@@ -1,0 +1,144 @@
+// §VII ablations — the paper's three mitigation proposals, swept over
+// deployment fractions against the measurement pipeline:
+//
+//  1. Replace EUI-64 IIDs with opaque/temporary IIDs (RFC 7217/8064):
+//     how fast does hardware vendor identification collapse?
+//  2. Filter probe-elicited ICMPv6 on the periphery (revisiting RFC 4890):
+//     how fast does discovery coverage collapse?
+//  3. Install the RFC 7084 unreachable route for undelegated space:
+//     how fast does the loop attack surface collapse?
+#include "bench/common.h"
+#include "topology/devices.h"
+
+using namespace xmap;
+
+namespace {
+
+topo::BuiltInternet build(sim::Network& net, int window_bits,
+                          std::vector<topo::IspSpec> specs) {
+  topo::BuildConfig cfg;
+  cfg.window_bits = window_bits;
+  cfg.seed = bench::seed_from_env();
+  return topo::build_internet(net, std::move(specs),
+                              topo::paper::vendor_catalog(), cfg);
+}
+
+}  // namespace
+
+int main() {
+  const int window_bits = bench::window_bits_from_env(10);
+  std::printf("\n=== Mitigation ablations (paper §VII) ===\n"
+              "(window 2^%d slots/block)\n", window_bits);
+
+  // ---- 1. EUI-64 deprecation ----------------------------------------------
+  std::printf("\n[1] Temporary/opaque IIDs instead of EUI-64 "
+              "(RFC 7217/8064):\n");
+  ana::TextTable eui_table{{"EUI-64 retained", "last hops", "EUI-64 addrs",
+                            "vendor-identified", "ID rate %"}};
+  for (double retain : {1.0, 0.5, 0.25, 0.0}) {
+    auto specs = topo::paper::isp_specs();
+    for (auto& spec : specs) {
+      const double moved = spec.iid_weights[0] * (1.0 - retain);
+      spec.iid_weights[0] -= moved;
+      spec.iid_weights[4] += moved;  // shifted to Randomized
+    }
+    sim::Network net{9090};
+    auto internet = build(net, window_bits, std::move(specs));
+    auto discovery = ana::run_discovery_scan(net, internet, {}, {});
+    std::uint64_t eui = 0, identified = 0;
+    for (const auto& hop : discovery.last_hops) {
+      if (net::classify_iid(hop.address.iid()) == net::IidStyle::kEui64) ++eui;
+      if (ana::vendor_from_address(hop.address, internet.oui)) ++identified;
+    }
+    eui_table.add_row({ana::fmt_pct(retain * 100, 0) + "%",
+                       ana::fmt_count(discovery.last_hops.size()),
+                       ana::fmt_count(eui), ana::fmt_count(identified),
+                       ana::fmt_pct(ana::percent(identified,
+                                                 discovery.last_hops.size()))});
+  }
+  eui_table.print();
+  std::printf("Discovery itself is untouched (the unreachable comes back "
+              "regardless of IID style); only attribution degrades — the "
+              "paper's point that EUI-64 leaks device identity.\n");
+
+  // ---- 2. Periphery ICMP filtering ----------------------------------------
+  std::printf("\n[2] Filtering probe-elicited ICMPv6 on the periphery:\n");
+  ana::TextTable filter_table{{"Devices filtering", "last hops",
+                               "coverage of ground truth %"}};
+  for (double filtered : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sim::Network net{9191};
+    auto internet = build(net, window_bits, topo::paper::isp_specs());
+    // Apply the mitigation to a deterministic fraction of devices.
+    net::Rng rng{7};
+    std::size_t total_devices = 0;
+    for (auto& isp : internet.isps) {
+      for (auto& dev : isp.devices) {
+        ++total_devices;
+        if (!rng.bernoulli(filtered)) continue;
+        auto* node = net.node(dev.node);
+        if (auto* cpe = dynamic_cast<topo::CpeRouter*>(node)) {
+          cpe->set_icmp_filtered(true);
+        } else if (auto* ue = dynamic_cast<topo::UeDevice*>(node)) {
+          ue->set_icmp_filtered(true);
+        }
+      }
+    }
+    auto discovery = ana::run_discovery_scan(net, internet, {}, {});
+    // Coverage: discovered addresses that are real devices.
+    std::unordered_set<net::Ipv6Address> truth;
+    for (const auto& isp : internet.isps) {
+      for (const auto& dev : isp.devices) truth.insert(dev.address);
+    }
+    std::uint64_t covered = 0;
+    for (const auto& hop : discovery.last_hops) {
+      covered += truth.count(hop.address);
+    }
+    filter_table.add_row({ana::fmt_pct(filtered * 100, 0) + "%",
+                          ana::fmt_count(discovery.last_hops.size()),
+                          ana::fmt_pct(ana::percent(covered, total_devices))});
+  }
+  filter_table.print();
+  std::printf("Coverage falls linearly with filtering deployment — the "
+              "paper's call to revisit RFC 4890's \"no need to filter "
+              "ping\" guidance.\n");
+
+  // ---- 3. RFC 7084 unreachable-route deployment ----------------------------
+  std::printf("\n[3] RFC 7084 unreachable routes for undelegated space:\n");
+  ana::TextTable patch_table{{"Devices patched", "confirmed loop devices",
+                              "residual vs unpatched %"}};
+  std::uint64_t baseline = 0;
+  for (double patched : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sim::Network net{9292};
+    auto internet = build(net, window_bits, topo::paper::isp_specs());
+    net::Rng rng{11};
+    for (auto& isp : internet.isps) {
+      for (auto& dev : isp.devices) {
+        if (!dev.loop_wan && !dev.loop_lan) continue;
+        if (!rng.bernoulli(patched)) continue;
+        if (auto* cpe =
+                dynamic_cast<topo::CpeRouter*>(net.node(dev.node))) {
+          cpe->install_unreachable_routes();
+        }
+      }
+    }
+    auto loops = ana::run_loop_scan(net, internet, {}, {});
+    std::uint64_t devices = 0;
+    for (const auto& loop : loops.confirmed) {
+      bool infrastructure = false;
+      for (const auto& isp : internet.isps) {
+        infrastructure =
+            infrastructure || loop.address == isp.router->address();
+      }
+      if (!infrastructure) ++devices;
+    }
+    if (patched == 0.0) baseline = devices;
+    patch_table.add_row(
+        {ana::fmt_pct(patched * 100, 0) + "%", ana::fmt_count(devices),
+         baseline == 0 ? "-" : ana::fmt_pct(ana::percent(devices, baseline))});
+  }
+  patch_table.print();
+  std::printf("Full deployment kills the attack surface; partial deployment "
+              "leaves a proportional residue — every unpatched CPE remains "
+              "an independent >200x amplifier.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Baseline comparison (Related Work / §III) — XMap's one-probe-per-
+// delegation discovery vs traceroute-based periphery discovery (Rye &
+// Beverly, PAM'20 — the paper's closest prior technique, which walks the
+// whole path to every target).
+//
+// Both techniques run against the same blocks; the comparison is probes
+// spent, peripheries found, and incidental infrastructure addresses
+// collected along the way.
+#include <set>
+
+#include "bench/common.h"
+#include "xmap/traceroute.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header(
+      "Baseline", "XMap sub-prefix probing vs traceroute periphery discovery");
+
+  auto world = bench::make_paper_world();
+  // Two contrasting blocks: a CPE broadband block and a UE mobile block.
+  const int kBlocks[] = {5 /*AT&T broadband*/, 14 /*CN Mobile mobile*/};
+
+  ana::TextTable table{{"Block", "Technique", "Probes", "Peripheries found",
+                        "Extra infra addrs", "Probes/periphery"}};
+
+  for (int index : kBlocks) {
+    const auto& isp = world.internet.isps[static_cast<std::size_t>(index)];
+    std::set<net::Ipv6Address> truth;
+    for (const auto& dev : isp.devices) truth.insert(dev.address);
+
+    // --- XMap: one echo probe per delegation slot (two parities). --------
+    {
+      const int idx[] = {index};
+      auto discovery =
+          ana::run_discovery_scan(world.net, world.internet, idx, {});
+      std::size_t found = 0, infra = 0;
+      for (const auto& hop : discovery.last_hops) {
+        if (truth.count(hop.address) != 0) {
+          ++found;
+        } else {
+          ++infra;
+        }
+      }
+      table.add_row({bench::isp_label(isp.spec), "XMap /a-b probing",
+                     ana::fmt_count(discovery.stats.sent),
+                     ana::fmt_count(found), ana::fmt_count(infra),
+                     found > 0 ? ana::fmt_double(
+                                     static_cast<double>(discovery.stats.sent) /
+                                     static_cast<double>(found))
+                               : "-"});
+    }
+
+    // --- Traceroute baseline: hop-walk every slot's probe address. --------
+    {
+      scan::TracerouteRunner::Config cfg;
+      cfg.source = *net::Ipv6Address::parse("2001:501::1");
+      cfg.seed = 15;
+      cfg.max_hops = 8;
+      auto* runner = world.net.make_node<scan::TracerouteRunner>(cfg);
+      const int iface = topo::attach_vantage(
+          world.net, world.internet, runner,
+          *net::Ipv6Prefix::parse("2001:501::/48"));
+      runner->set_iface(iface);
+
+      scan::TargetSpec spec{isp.scan_base, isp.window_lo, isp.window_hi};
+      const std::uint64_t slots = spec.count().to_u64();
+      for (std::uint64_t i = 0; i < slots; ++i) {
+        runner->trace(spec.nth_address(net::Uint128{i}, cfg.seed));
+      }
+      world.net.run();
+
+      std::set<net::Ipv6Address> found_addrs, infra_addrs;
+      for (const auto& result : runner->results()) {
+        for (const auto& hop : result.hops) {
+          if (truth.count(hop.router) != 0) {
+            found_addrs.insert(hop.router);
+          } else {
+            infra_addrs.insert(hop.router);
+          }
+        }
+      }
+      const std::uint64_t probes =
+          slots * static_cast<std::uint64_t>(cfg.max_hops);
+      table.add_row(
+          {"", "traceroute (PAM'20)", ana::fmt_count(probes),
+           ana::fmt_count(found_addrs.size()),
+           ana::fmt_count(infra_addrs.size()),
+           found_addrs.empty()
+               ? "-"
+               : ana::fmt_double(static_cast<double>(probes) /
+                                 static_cast<double>(found_addrs.size()))});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nShape check (paper §VIII): traceroute also reaches the periphery "
+      "but spends max_hops probes per target and mixes in transit-router "
+      "addresses; sub-prefix probing is ~1 probe per delegation (2 with the "
+      "parity workaround) and returns periphery addresses almost "
+      "exclusively.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Shared scaffolding for the experiment harnesses (one binary per paper
+// table/figure). Each binary builds the calibrated synthetic Internet,
+// runs the relevant pipeline stages, and prints the paper-style table plus
+// the paper's reported shape for side-by-side comparison.
+//
+// Scale: XMAP_WINDOW_BITS (env) sets slots-per-block as 2^bits, default 12
+// (the paper scans 2^32 per block; proportions, not magnitudes, are the
+// reproduction target). XMAP_SEED sets the world seed.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/pipeline.h"
+#include "analysis/report.h"
+#include "topology/paper_profiles.h"
+
+namespace xmap::bench {
+
+inline int window_bits_from_env(int fallback = 12) {
+  const char* env = std::getenv("XMAP_WINDOW_BITS");
+  if (env == nullptr) return fallback;
+  const int bits = std::atoi(env);
+  return bits >= 4 && bits <= 20 ? bits : fallback;
+}
+
+inline std::uint64_t seed_from_env(std::uint64_t fallback = 2020) {
+  const char* env = std::getenv("XMAP_SEED");
+  return env == nullptr ? fallback
+                        : static_cast<std::uint64_t>(std::atoll(env));
+}
+
+struct World {
+  sim::Network net{2020};
+  topo::BuiltInternet internet;
+
+  explicit World(std::vector<topo::IspSpec> specs, int window_bits,
+                 std::uint64_t seed)
+      : internet([&] {
+          topo::BuildConfig cfg;
+          cfg.window_bits = window_bits;
+          cfg.seed = seed;
+          return topo::build_internet(net, std::move(specs),
+                                      topo::paper::vendor_catalog(), cfg);
+        }()) {}
+};
+
+inline World make_paper_world() {
+  return World{topo::paper::isp_specs(), window_bits_from_env(),
+               seed_from_env()};
+}
+
+inline World make_bgp_world(int n_ases = 320) {
+  // BGP sweep uses a shallower per-prefix window (the paper probes 16-bit
+  // sub-prefix spaces per advertised prefix). A sprinkling of ASes carry
+  // aliased prefixes (hosting/CDN space), exercising the "non-aliased"
+  // filtering step of the pipeline.
+  const int bits = std::max(4, window_bits_from_env() - 6);
+  auto specs = topo::paper::bgp_specs(n_ases, seed_from_env());
+  for (std::size_t i = 0; i < specs.size(); i += 40) {
+    specs[i].aliased_slots = 2;
+  }
+  return World{std::move(specs), bits, seed_from_env() + 1};
+}
+
+// Per-ISP discovery results for the census-style tables.
+struct IspDiscovery {
+  int index = 0;
+  ana::DiscoveryResult result;
+};
+
+inline std::vector<IspDiscovery> discover_all(World& world) {
+  std::vector<IspDiscovery> out;
+  for (std::size_t i = 0; i < world.internet.isps.size(); ++i) {
+    const int idx[] = {static_cast<int>(i)};
+    IspDiscovery entry;
+    entry.index = static_cast<int>(i);
+    entry.result = ana::run_discovery_scan(world.net, world.internet, idx, {});
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+// Collects every (address -> alive grabs) over the given last hops.
+struct CensusGrabs {
+  std::vector<ana::GrabResult> all;
+  // address -> alive services
+  std::unordered_map<net::Ipv6Address, std::vector<const ana::GrabResult*>>
+      alive_by_addr;
+};
+
+inline CensusGrabs grab_all(World& world,
+                            const std::vector<scan::LastHop>& hops) {
+  std::vector<net::Ipv6Address> targets;
+  targets.reserve(hops.size());
+  for (const auto& hop : hops) targets.push_back(hop.address);
+  CensusGrabs out;
+  out.all = ana::grab_services(world.net, world.internet, targets, {});
+  for (const auto& grab : out.all) {
+    if (grab.alive) out.alive_by_addr[grab.target].push_back(&grab);
+  }
+  return out;
+}
+
+// Best-effort vendor identification: hardware (EUI-64 OUI) first, then
+// application-level hints — the paper's Table IV method.
+inline std::string identify_vendor(const net::Ipv6Address& addr,
+                                   const topo::OuiDb& oui,
+                                   const CensusGrabs* grabs) {
+  if (auto vendor = ana::vendor_from_address(addr, oui)) return *vendor;
+  if (grabs != nullptr) {
+    auto it = grabs->alive_by_addr.find(addr);
+    if (it != grabs->alive_by_addr.end()) {
+      for (const ana::GrabResult* grab : it->second) {
+        if (!grab->vendor_hint.empty()) return grab->vendor_hint;
+      }
+    }
+  }
+  return {};
+}
+
+inline std::string isp_label(const topo::IspSpec& spec) {
+  return spec.country + " " + spec.network + " " + spec.name;
+}
+
+inline void print_header(const char* table, const char* description) {
+  std::printf("\n=== %s ===\n%s\n", table, description);
+  std::printf("(window 2^%d slots/block, seed %llu — paper scale is 2^32; "
+              "compare proportions, not magnitudes)\n\n",
+              window_bits_from_env(),
+              static_cast<unsigned long long>(seed_from_env()));
+}
+
+}  // namespace xmap::bench

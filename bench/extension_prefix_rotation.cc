@@ -1,0 +1,96 @@
+// Extension experiment — host tracking across prefix rotation.
+//
+// ISPs rotate delegated prefixes (the paper's related work: prefix agility,
+// delegated-prefix rotation, assignment stability), which is often assumed
+// to protect subscriber privacy. This experiment renumbers the entire
+// universe (same devices, new delegations/WAN prefixes via
+// BuildConfig::placement_seed) and asks: how many peripheries discovered in
+// scan #1 can be re-identified in scan #2?
+//
+// The answer is the paper's §VII mitigation-1 rationale measured end to
+// end: every EUI-64 device is trivially re-identified through its embedded
+// MAC despite the renumbering, while privacy-addressed devices are lost.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header(
+      "Extension: prefix rotation",
+      "Host tracking across ISP renumbering via EUI-64 addresses");
+
+  const int window_bits = bench::window_bits_from_env(10);
+  const std::uint64_t seed = bench::seed_from_env();
+
+  auto scan_world = [&](std::uint64_t placement) {
+    struct Result {
+      std::unordered_map<net::MacAddress, net::Ipv6Address> by_mac;
+      std::size_t hops = 0;
+      std::size_t devices = 0;
+    };
+    sim::Network net{seed};
+    topo::BuildConfig cfg;
+    cfg.window_bits = window_bits;
+    cfg.seed = seed;
+    cfg.placement_seed = placement;
+    auto internet = topo::build_internet(net, topo::paper::isp_specs(),
+                                         topo::paper::vendor_catalog(), cfg);
+    auto discovery = ana::run_discovery_scan(net, internet, {}, {});
+    Result out;
+    out.hops = discovery.last_hops.size();
+    out.devices = internet.total_devices();
+    // Track genuine periphery devices (ground truth restricts away the
+    // CMTS infra responders, whose per-flow EUI-64 sources derive from the
+    // probed addresses rather than hardware).
+    std::unordered_set<net::Ipv6Address> device_addrs;
+    for (const auto& isp : internet.isps) {
+      for (const auto& dev : isp.devices) device_addrs.insert(dev.address);
+    }
+    for (const auto& hop : discovery.last_hops) {
+      if (device_addrs.count(hop.address) == 0) continue;
+      if (auto mac = net::MacAddress::from_eui64_iid(hop.address.iid())) {
+        out.by_mac[*mac] = hop.address;
+      }
+    }
+    return out;
+  };
+
+  const auto epoch1 = scan_world(1001);
+  const auto epoch2 = scan_world(2002);
+
+  std::size_t tracked = 0, moved = 0;
+  for (const auto& [mac, addr1] : epoch1.by_mac) {
+    auto it = epoch2.by_mac.find(mac);
+    if (it == epoch2.by_mac.end()) continue;
+    ++tracked;
+    if (it->second != addr1) ++moved;
+  }
+
+  ana::TextTable table{{"Metric", "Epoch 1", "Epoch 2"}};
+  table.add_row({"devices in world", ana::fmt_count(epoch1.devices),
+                 ana::fmt_count(epoch2.devices)});
+  table.add_row({"last hops discovered", ana::fmt_count(epoch1.hops),
+                 ana::fmt_count(epoch2.hops)});
+  table.add_row({"EUI-64 responders", ana::fmt_count(epoch1.by_mac.size()),
+                 ana::fmt_count(epoch2.by_mac.size())});
+  table.print();
+
+  std::printf(
+      "\nAcross the renumbering event:\n"
+      "  %zu devices re-identified by embedded MAC (%.1f%% of epoch-1 "
+      "EUI-64 responders)\n"
+      "  %zu of them had a different IPv6 address (the rotation \"worked\" "
+      "— and tracking survived it anyway)\n"
+      "  ~%.1f%% of the population (the privacy-addressed majority) could "
+      "not be linked across epochs\n",
+      tracked, ana::percent(tracked, epoch1.by_mac.size()), moved,
+      100.0 - ana::percent(epoch1.by_mac.size(), epoch1.hops));
+  std::printf(
+      "\nPaper §VII: \"the temporary and opaque IIDs should substitute for "
+      "the EUI-64 IIDs ... because of the drawbacks for hosts tracking, "
+      "activities correlation, addresses scanning, and device-specific "
+      "information leaking.\" This measures exactly that drawback.\n");
+  return tracked > 0 && moved == tracked ? 0 : 1;
+}

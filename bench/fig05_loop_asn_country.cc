@@ -1,0 +1,47 @@
+// Figure 5 — Top 10 routing-loop origin ASNs and countries from the
+// BGP-advertised-prefix sweep.
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header("Figure 5", "Top 10 routing loop ASN & country");
+
+  auto world = bench::make_bgp_world();
+  auto loops = ana::run_loop_scan(world.net, world.internet, {}, {});
+
+  ana::Counter by_asn, by_country;
+  for (const auto& loop : loops.confirmed) {
+    const auto* geo = world.internet.geo.lookup(loop.address);
+    if (geo == nullptr) continue;
+    by_asn.add("AS" + std::to_string(geo->asn));
+    by_country.add(geo->country);
+  }
+
+  std::printf("Top 10 origin ASNs by unique loop devices:\n");
+  for (const auto& [asn, count] : by_asn.top(10)) {
+    std::printf("  %-10s %6llu  |", asn.c_str(),
+                static_cast<unsigned long long>(count));
+    for (std::uint64_t c = 0; c < count * 50 / (by_asn.top(1)[0].second + 1);
+         ++c) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTop 10 origin countries by unique loop devices:\n");
+  for (const auto& [country, count] : by_country.top(10)) {
+    std::printf("  %-4s %6llu  |", country.c_str(),
+                static_cast<unsigned long long>(count));
+    for (std::uint64_t c = 0;
+         c < count * 50 / (by_country.top(1)[0].second + 1); ++c) {
+      std::printf("#");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper's top-10 country order: BR, CN, EC, VN, US, MM, IN, GB, DE, "
+      "CH (CZ close). Shape check: Latin-American and Asian networks "
+      "dominate, US mid-table despite its AS count.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6 — Top 5 routing-loop periphery device vendors within the top 5
+// ASes (from the deep scan of the fifteen sample blocks).
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header("Figure 6",
+                      "Top 5 routing loop periphery vendors within top 5 ASes");
+
+  auto world = bench::make_paper_world();
+  auto discoveries = bench::discover_all(world);
+  std::vector<scan::LastHop> all_hops;
+  for (const auto& entry : discoveries) {
+    all_hops.insert(all_hops.end(), entry.result.last_hops.begin(),
+                    entry.result.last_hops.end());
+  }
+  auto grabs = bench::grab_all(world, all_hops);
+
+  auto loops = ana::run_loop_scan(world.net, world.internet, {}, {});
+
+  ana::Counter by_vendor, by_asn;
+  std::map<std::string, ana::Counter> vendor_by_asn;
+  for (const auto& loop : loops.confirmed) {
+    const auto* geo = world.internet.geo.lookup(loop.address);
+    if (geo == nullptr) continue;
+    bool infrastructure = false;
+    for (const auto& isp : world.internet.isps) {
+      infrastructure = infrastructure || loop.address == isp.router->address();
+    }
+    if (infrastructure) continue;
+    const std::string vendor =
+        bench::identify_vendor(loop.address, world.internet.oui, &grabs);
+    if (vendor.empty()) continue;
+    const std::string asn = "AS" + std::to_string(geo->asn);
+    by_vendor.add(vendor);
+    by_asn.add(asn);
+    vendor_by_asn[asn].add(vendor);
+  }
+
+  std::printf("Top 5 loop-vulnerable vendors (identified devices):\n");
+  for (const auto& [vendor, count] : by_vendor.top(5)) {
+    std::printf("  %-16s %6llu\n", vendor.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\nPer-AS vendor breakdown (top 5 ASes):\n");
+  for (const auto& [asn, total] : by_asn.top(5)) {
+    std::printf("  %s (total %llu)\n", asn.c_str(),
+                static_cast<unsigned long long>(total));
+    for (const auto& [vendor, count] : vendor_by_asn[asn].top(5)) {
+      std::printf("      %-16s %6llu\n", vendor.c_str(),
+                  static_cast<unsigned long long>(count));
+    }
+  }
+
+  std::printf(
+      "\nPaper: vendors China Mobile, ZTE, Skyworth, Youhua Tech, StarNet "
+      "within ASes 4812/4134/4837/9808/24445 — Chinese broadband dominates "
+      "because the sampled blocks are biased towards it.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Section III-B — Scanning feasibility: measures the real CPU cost of
+// XMap's target generation + probe construction, then reproduces the
+// paper's feasibility arithmetic: a 1 Gbps scanner covers all /64
+// sub-prefixes of a /24 block (2^40) in ~8 days and all /60 sub-prefixes
+// (2^36) in ~14 hours; the paper's own 25 kpps good-citizen scans take
+// ~48 h per 32-bit window.
+#include <chrono>
+
+#include "analysis/report.h"
+#include "xmap/probe_module.h"
+#include "xmap/scanner.h"
+
+int main() {
+  using namespace xmap;
+  using Clock = std::chrono::steady_clock;
+
+  std::printf("\n=== Scan feasibility (Section III-B) ===\n\n");
+
+  // 1. Measure generation+build throughput on this machine.
+  const auto spec = *scan::TargetSpec::parse("2400::/8-40");  // 2^32 space
+  scan::CyclicGroup group{spec.count(), 42};
+  auto it = group.iterate();
+  const net::Ipv6Address src = *net::Ipv6Address::parse("2001:500::1");
+  scan::IcmpEchoProbe module{64};
+
+  constexpr int kProbes = 200000;
+  std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    const auto offset = it.next();
+    const auto target = spec.nth_address(*offset, 7);
+    const auto packet = module.make_probe(src, target, 7);
+    sink += packet.size();
+  }
+  const auto t1 = Clock::now();
+  const double seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  const double pps_cpu = kProbes / seconds;
+  const std::size_t packet_bytes = sink / kProbes;
+
+  std::printf("Measured on this host: %.0f probes/sec generated "
+              "(permutation + keyed-hash IID + ICMPv6 echo build, %zu-byte "
+              "packets), single thread.\n\n",
+              pps_cpu, packet_bytes);
+
+  // 2. Feasibility arithmetic at the paper's line rates.
+  const double wire_bits = static_cast<double>(packet_bytes + 38) * 8;  // +L2
+  auto line_rate_pps = [&](double gbps) {
+    return gbps * 1e9 / wire_bits;
+  };
+  auto fmt_duration = [](double secs) {
+    char buf[64];
+    if (secs < 3600) {
+      std::snprintf(buf, sizeof buf, "%.1f min", secs / 60);
+    } else if (secs < 2 * 86400) {
+      std::snprintf(buf, sizeof buf, "%.1f h", secs / 3600);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.1f days", secs / 86400);
+    }
+    return std::string{buf};
+  };
+
+  ana::TextTable table{{"Scan space", "# probes", "Rate", "Time", "Paper"}};
+  const double p40 = 1099511627776.0;  // 2^40 /64s in a /24 block
+  const double p36 = 68719476736.0;    // 2^36 /60s
+  const double p32 = 4294967296.0;     // 2^32 window per block
+  table.add_row({"/24 block, /64 granularity", "2^40",
+                 "1 Gbps", fmt_duration(p40 / line_rate_pps(1.0)), "~8 days"});
+  table.add_row({"/24 block, /60 granularity", "2^36",
+                 "1 Gbps", fmt_duration(p36 / line_rate_pps(1.0)), "~14 hours"});
+  table.add_row({"32-bit window (one block)", "2^32", "25 kpps (15 Mbps)",
+                 fmt_duration(p32 / 25000.0), "~48 hours"});
+  table.add_row({"32-bit window (one block)", "2^32", "1 Gbps",
+                 fmt_duration(p32 / line_rate_pps(1.0)), "-"});
+  table.add_row({"IPv4 Internet (ZMap ref)", "2^32", "1 Gbps",
+                 fmt_duration(p32 / line_rate_pps(1.0)), "<1 hour"});
+  table.print();
+
+  std::printf(
+      "\nCPU feasibility: at %.0f probes/sec of single-thread generation, "
+      "target generation is %.1fx faster than a 25 kpps polite scan needs, "
+      "and %s the 1 Gbps line rate (%.0f pps).\n",
+      pps_cpu, pps_cpu / 25000.0,
+      pps_cpu >= line_rate_pps(1.0) ? "exceeds" : "is within 10x of",
+      line_rate_pps(1.0));
+  std::printf("Search-cost headline: periphery discovery costs 1 probe per "
+              "delegation instead of 2^64 per /64 — a 1.8e19x reduction.\n");
+  return 0;
+}

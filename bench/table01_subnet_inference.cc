@@ -1,0 +1,40 @@
+// Table I — Inferred IPv6 sub-prefix length for end-users of target ISPs.
+//
+// Runs the Section IV-A bit-walk inference against every simulated block and
+// compares the inferred delegation length with the block's ground truth
+// (which is calibrated to the paper's Table I).
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header(
+      "Table I", "Inferred IPv6 sub-prefix length for end-users of target ISPs");
+
+  auto world = bench::make_paper_world();
+
+  ana::TextTable table{{"Country", "Network", "ISP", "ASN", "Paper block",
+                        "Paper len", "Inferred len", "Witnesses", "Probes",
+                        "Match"}};
+  int matches = 0;
+  for (std::size_t i = 0; i < world.internet.isps.size(); ++i) {
+    const auto& isp = world.internet.isps[i];
+    const auto inference = ana::infer_subnet_length(
+        world.net, world.internet, static_cast<int>(i), {});
+    const bool match =
+        inference.ok && inference.inferred_len == isp.spec.delegated_len;
+    matches += match ? 1 : 0;
+    table.add_row({isp.spec.country, isp.spec.network, isp.spec.name,
+                   std::to_string(isp.spec.asn), isp.spec.paper_block,
+                   std::to_string(isp.spec.delegated_len),
+                   inference.ok ? std::to_string(inference.inferred_len)
+                                : std::string{"-"},
+                   std::to_string(inference.witnesses),
+                   std::to_string(inference.probes), match ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\nInference matched ground truth on %d/%zu blocks.\n", matches,
+              world.internet.isps.size());
+  std::printf("Paper: all 12 ISPs assign prefixes of length at most 64 "
+              "(/56, /60 or /64 per block).\n");
+  return matches == static_cast<int>(world.internet.isps.size()) ? 0 : 1;
+}

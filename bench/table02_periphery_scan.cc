@@ -1,0 +1,102 @@
+// Table II — Results of periphery scanning for one sample IPv6 block within
+// each ISP: unique last hops, same/diff /64 split, distinct /64 prefixes,
+// EUI-64 addresses and unique embedded MACs.
+#include <set>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header("Table II",
+                      "Results of periphery scanning per sample IPv6 block");
+
+  auto world = bench::make_paper_world();
+  auto discoveries = bench::discover_all(world);
+
+  ana::TextTable table{{"Cty", "Network", "ISP", "Scan range (paper)",
+                        "Last hops", "% same", "% diff", "/64 uniq", "%",
+                        "EUI-64", "%", "MAC uniq", "%"}};
+
+  std::uint64_t total_hops = 0, total_same = 0, total_64 = 0, total_eui = 0,
+                 total_mac = 0, total_mac_uniq = 0;
+  // Paper-weighted totals: per-block proportions weighted by the paper's
+  // per-block last-hop counts, correcting for the scaled windows changing
+  // the cross-block population ratios.
+  double w_total = 0, w_same = 0, w_64 = 0, w_eui = 0, w_macu = 0;
+
+  for (const auto& entry : discoveries) {
+    const auto& isp = world.internet.isps[static_cast<std::size_t>(entry.index)];
+    const auto& hops = entry.result.last_hops;
+
+    std::uint64_t same = 0, eui = 0;
+    std::set<std::uint64_t> prefixes64;
+    std::set<net::MacAddress> macs;
+    std::uint64_t mac_total = 0;
+    for (const auto& hop : hops) {
+      if (hop.same_prefix64()) ++same;
+      prefixes64.insert(hop.address.prefix64());
+      if (auto mac = net::MacAddress::from_eui64_iid(hop.address.iid())) {
+        ++eui;
+        ++mac_total;
+        macs.insert(*mac);
+      }
+    }
+    const auto n = static_cast<std::uint64_t>(hops.size());
+    table.add_row(
+        {isp.spec.country, isp.spec.network, isp.spec.name,
+         isp.spec.paper_range, ana::fmt_count(n),
+         ana::fmt_pct(ana::percent(same, n)),
+         ana::fmt_pct(ana::percent(n - same, n)),
+         ana::fmt_count(prefixes64.size()),
+         ana::fmt_pct(ana::percent(prefixes64.size(), n)),
+         ana::fmt_count(eui), ana::fmt_pct(ana::percent(eui, n)),
+         ana::fmt_count(macs.size()),
+         ana::fmt_pct(ana::percent(macs.size(), mac_total))});
+
+    total_hops += n;
+    total_same += same;
+    total_64 += prefixes64.size();
+    total_eui += eui;
+    total_mac += mac_total;
+    total_mac_uniq += macs.size();
+
+    const double w = isp.spec.paper_hops;
+    w_total += w;
+    if (n > 0) {
+      w_same += w * static_cast<double>(same) / static_cast<double>(n);
+      w_64 += w * static_cast<double>(prefixes64.size()) /
+              static_cast<double>(n);
+      w_eui += w * static_cast<double>(eui) / static_cast<double>(n);
+      if (mac_total > 0) {
+        w_macu += w * static_cast<double>(macs.size()) /
+                  static_cast<double>(mac_total);
+      } else {
+        w_macu += w;
+      }
+    }
+  }
+
+  table.add_row({"-", "-", "Total", "-", ana::fmt_count(total_hops),
+                 ana::fmt_pct(ana::percent(total_same, total_hops)),
+                 ana::fmt_pct(ana::percent(total_hops - total_same, total_hops)),
+                 ana::fmt_count(total_64),
+                 ana::fmt_pct(ana::percent(total_64, total_hops)),
+                 ana::fmt_count(total_eui),
+                 ana::fmt_pct(ana::percent(total_eui, total_hops)),
+                 ana::fmt_count(total_mac_uniq),
+                 ana::fmt_pct(ana::percent(total_mac_uniq, total_mac))});
+  table.add_row({"-", "-", "Total (paper-wt)", "-", "-",
+                 ana::fmt_pct(100.0 * w_same / w_total),
+                 ana::fmt_pct(100.0 * (w_total - w_same) / w_total), "-",
+                 ana::fmt_pct(100.0 * w_64 / w_total), "-",
+                 ana::fmt_pct(100.0 * w_eui / w_total), "-",
+                 ana::fmt_pct(100.0 * w_macu / w_total)});
+  table.print();
+
+  std::printf(
+      "\nPaper totals (52.5M last hops): 77.2%% same / 22.8%% diff, 99.3%% "
+      "unique /64, 7.6%% EUI-64, 96.5%% unique MACs.\n"
+      "Shape checks: India+mobile blocks same-dominated, US/CN broadband "
+      "diff-dominated; Comcast ~95%% EUI-64, Unicom ~53%%, Jio ~1.4%%.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table V — IID analysis of peripheries with alive application services.
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header("Table V",
+                      "IID analysis of peripheries with alive services");
+
+  auto world = bench::make_paper_world();
+  auto discoveries = bench::discover_all(world);
+
+  std::vector<scan::LastHop> all_hops;
+  for (const auto& entry : discoveries) {
+    all_hops.insert(all_hops.end(), entry.result.last_hops.begin(),
+                    entry.result.last_hops.end());
+  }
+  auto grabs = bench::grab_all(world, all_hops);
+
+  ana::IidHistogram hist;
+  for (const auto& hop : all_hops) {
+    if (grabs.alive_by_addr.count(hop.address) != 0) hist.add(hop.address);
+  }
+
+  const double paper[net::kIidStyleCount] = {30.4, 0.3, 5.5, 0.2, 69.0};
+  ana::TextTable table{{"Class", "# num", "%", "paper %"}};
+  for (int i = 0; i < net::kIidStyleCount; ++i) {
+    const auto style = static_cast<net::IidStyle>(i);
+    table.add_row({net::iid_style_name(style), ana::fmt_count(hist.of(style)),
+                   ana::fmt_pct(ana::percent(hist.of(style), hist.total)),
+                   ana::fmt_pct(paper[i])});
+  }
+  table.add_row({"Total", ana::fmt_count(hist.total), "100.0", "100.0"});
+  table.print();
+
+  std::printf(
+      "\nShape check: service-bearing peripheries skew towards EUI-64 and "
+      "Randomized (the CPE styles); Low-byte/Byte-pattern nearly vanish.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table VII — Results of alive services on peripheries within each ISP:
+// device count and proportion of all discovered peripheries, per service.
+#include <array>
+#include <set>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header("Table VII",
+                      "Alive services on peripheries within each ISP");
+
+  auto world = bench::make_paper_world();
+  auto discoveries = bench::discover_all(world);
+
+  ana::TextTable table{{"ISP", "DNS", "NTP", "FTP", "SSH", "TELNET", "HTTP-80",
+                        "TLS", "HTTP-8080", "Total #", "Total %"}};
+
+  std::array<std::uint64_t, svc::kServiceCount> grand{};
+  std::uint64_t grand_any = 0, grand_hops = 0;
+  // Paper-weighted totals (see Table II for the rationale).
+  std::array<double, svc::kServiceCount> weighted{};
+  double w_any = 0, w_total = 0;
+
+  for (const auto& entry : discoveries) {
+    const auto& isp = world.internet.isps[static_cast<std::size_t>(entry.index)];
+    const auto& hops = entry.result.last_hops;
+    auto grabs = bench::grab_all(world, hops);
+
+    std::array<std::uint64_t, svc::kServiceCount> per_service{};
+    std::set<net::Ipv6Address> any;
+    for (const auto& grab : grabs.all) {
+      if (!grab.alive) continue;
+      ++per_service[static_cast<int>(grab.kind)];
+      any.insert(grab.target);
+    }
+
+    const auto n = static_cast<std::uint64_t>(hops.size());
+    std::vector<std::string> row{bench::isp_label(isp.spec)};
+    for (int s = 0; s < svc::kServiceCount; ++s) {
+      row.push_back(ana::fmt_count(per_service[s]) + " (" +
+                    ana::fmt_pct(ana::percent(per_service[s], n)) + "%)");
+      grand[static_cast<std::size_t>(s)] += per_service[static_cast<std::size_t>(s)];
+    }
+    row.push_back(ana::fmt_count(any.size()));
+    row.push_back(ana::fmt_pct(ana::percent(any.size(), n)));
+    table.add_row(std::move(row));
+
+    grand_any += any.size();
+    grand_hops += n;
+
+    const double w = isp.spec.paper_hops;
+    w_total += w;
+    if (n > 0) {
+      for (int s = 0; s < svc::kServiceCount; ++s) {
+        weighted[static_cast<std::size_t>(s)] +=
+            w * static_cast<double>(per_service[static_cast<std::size_t>(s)]) /
+            static_cast<double>(n);
+      }
+      w_any += w * static_cast<double>(any.size()) / static_cast<double>(n);
+    }
+  }
+
+  std::vector<std::string> total_row{"Total"};
+  for (int s = 0; s < svc::kServiceCount; ++s) {
+    total_row.push_back(ana::fmt_count(grand[static_cast<std::size_t>(s)]) + " (" +
+                        ana::fmt_pct(ana::percent(grand[static_cast<std::size_t>(s)], grand_hops)) +
+                        "%)");
+  }
+  total_row.push_back(ana::fmt_count(grand_any));
+  total_row.push_back(ana::fmt_pct(ana::percent(grand_any, grand_hops)));
+  table.add_row(std::move(total_row));
+
+  std::vector<std::string> weighted_row{"Total (paper-wt)"};
+  for (int s = 0; s < svc::kServiceCount; ++s) {
+    weighted_row.push_back(
+        ana::fmt_pct(100.0 * weighted[static_cast<std::size_t>(s)] / w_total) +
+        "%");
+  }
+  weighted_row.push_back("-");
+  weighted_row.push_back(ana::fmt_pct(100.0 * w_any / w_total));
+  table.add_row(std::move(weighted_row));
+  table.print();
+
+  std::printf(
+      "\nPaper totals: DNS 1.4%%, NTP ~0%%, FTP 0.3%%, SSH 0.3%%, TELNET "
+      "0.3%%, HTTP-80 2.4%%, TLS 0.3%%, HTTP-8080 6.7%%; overall 9.0%% of "
+      "peripheries expose at least one service.\n"
+      "Shape checks: CN Mobile broadband dominates (57.5%% in the paper), "
+      "CN Unicom second (24.6%%), HTTP-8080 the largest single service, "
+      "NTP concentrated in CenturyLink.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table VIII — Top software version families and device numbers of the
+// crucial services, with the CVE exposure counts the paper reports.
+#include "analysis/software_db.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header(
+      "Table VIII",
+      "Top software version and device number of crucial services");
+
+  auto world = bench::make_paper_world();
+  auto discoveries = bench::discover_all(world);
+
+  std::vector<scan::LastHop> all_hops;
+  for (const auto& entry : discoveries) {
+    all_hops.insert(all_hops.end(), entry.result.last_hops.begin(),
+                    entry.result.last_hops.end());
+  }
+  auto grabs = bench::grab_all(world, all_hops);
+
+  // service -> family -> (count, cves, year)
+  struct FamilyStats {
+    std::uint64_t devices = 0;
+    int cves = 0;
+    int year = 0;
+  };
+  std::map<int, std::map<std::string, FamilyStats>> stats;
+  for (const auto& grab : grabs.all) {
+    if (!grab.alive || !grab.software) continue;
+    const auto family = ana::classify_software(*grab.software);
+    auto& entry = stats[static_cast<int>(grab.kind)][family.family];
+    ++entry.devices;
+    entry.cves = family.cve_count;
+    entry.year = family.release_year;
+  }
+
+  ana::TextTable table{{"Service", "Software family", "# devices", "# CVE",
+                        "~release year"}};
+  for (const auto& [kind_int, families] : stats) {
+    const auto kind = static_cast<svc::ServiceKind>(kind_int);
+    // Order families by device count.
+    std::vector<std::pair<std::string, FamilyStats>> ordered(families.begin(),
+                                                             families.end());
+    std::sort(ordered.begin(), ordered.end(), [](const auto& a, const auto& b) {
+      return a.second.devices > b.second.devices;
+    });
+    bool first = true;
+    for (const auto& [family, fs] : ordered) {
+      table.add_row({first ? svc::service_name(kind) : "",
+                     family, ana::fmt_count(fs.devices),
+                     fs.cves > 0 ? std::to_string(fs.cves) : "-",
+                     fs.year > 0 ? std::to_string(fs.year) : "-"});
+      first = false;
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nPaper highlights: dnsmasq-2.4x on 142k DNS devices (16 CVEs, "
+      "released ~8 years before measurement); Jetty dominates HTTP-8080 "
+      "(3.5M, 24 HTTP CVEs); dropbear 0.4x on 112k SSH devices; openssh 3.5 "
+      "from 2002 still deployed (74 CVEs); FTP fleets on GNU Inetutils "
+      "1.4.1 / FreeBSD 6.00ls / vsftpd (3 CVEs).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table IX — Features of peripheries discovered from BGP-advertised-prefix
+// scanning: total last hops / ASes / countries, and the routing-loop subset.
+#include <set>
+
+#include "analysis/alias_detection.h"
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header(
+      "Table IX",
+      "Peripheries discovered from BGP advertised prefixes scanning");
+
+  auto world = bench::make_bgp_world();
+
+  // Discovery sweep over every advertised prefix, then aliased-prefix
+  // filtering (the paper reports unique, NON-ALIASED last hops).
+  auto discovery = ana::run_discovery_scan(world.net, world.internet, {}, {});
+  std::vector<net::Ipv6Address> candidates;
+  for (const auto& hop : discovery.last_hops) {
+    candidates.push_back(hop.address);
+  }
+  const auto alias_result = ana::detect_aliased_prefixes(
+      world.net, world.internet, candidates, {});
+  const auto raw_count = discovery.last_hops.size();
+  discovery.last_hops =
+      ana::strip_aliased(discovery.last_hops, alias_result);
+  std::printf("Alias filtering: %zu raw responders -> %zu non-aliased "
+              "(%zu aliased /64s removed).\n\n",
+              raw_count, discovery.last_hops.size(),
+              alias_result.aliased_prefix64.size());
+
+  std::set<std::uint32_t> asns;
+  std::set<std::string> countries;
+  for (const auto& hop : discovery.last_hops) {
+    if (const auto* geo = world.internet.geo.lookup(hop.address)) {
+      asns.insert(geo->asn);
+      countries.insert(geo->country);
+    }
+  }
+
+  // Loop sweep over the same universe.
+  auto loops = ana::run_loop_scan(world.net, world.internet, {}, {});
+  std::set<std::uint32_t> loop_asns;
+  std::set<std::string> loop_countries;
+  std::uint64_t loop_devices = 0;
+  for (const auto& loop : loops.confirmed) {
+    const auto* geo = world.internet.geo.lookup(loop.address);
+    if (geo == nullptr) continue;
+    ++loop_devices;
+    loop_asns.insert(geo->asn);
+    loop_countries.insert(geo->country);
+  }
+
+  ana::TextTable table{{"Last hops", "# unique", "# ASN", "# Country"}};
+  table.add_row({"Total", ana::fmt_count(discovery.last_hops.size()),
+                 ana::fmt_count(asns.size()),
+                 ana::fmt_count(countries.size())});
+  table.add_row({"with Routing Loop", ana::fmt_count(loop_devices),
+                 ana::fmt_count(loop_asns.size()),
+                 ana::fmt_count(loop_countries.size())});
+  table.print();
+
+  std::printf(
+      "\nPaper: 4,029,270 last hops over 6,911 ASes / 170 countries; "
+      "128,288 (3.2%%) loop-vulnerable over 3,877 ASes / 132 countries.\n"
+      "Shape checks: loop subset is a few percent of last hops, but spans "
+      "a majority of ASes and countries.\n");
+  std::printf("Measured loop share: %.1f%% of last hops; loops span %.0f%% "
+              "of ASes and %.0f%% of countries.\n",
+              ana::percent(loop_devices, discovery.last_hops.size()),
+              ana::percent(loop_asns.size(), asns.size()),
+              ana::percent(loop_countries.size(), countries.size()));
+  return 0;
+}

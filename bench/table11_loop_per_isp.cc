@@ -1,0 +1,51 @@
+// Table XI — Results of peripheries with routing loops within each ISP
+// (unique loop devices, same/diff /64 split against the triggering probe).
+#include "bench/common.h"
+
+int main() {
+  using namespace xmap;
+  bench::print_header("Table XI",
+                      "Peripheries with routing loop within each ISP");
+
+  auto world = bench::make_paper_world();
+
+  ana::TextTable table{{"Cty", "Network", "ISP", "Loop last hops", "% same",
+                        "% diff", "Ground-truth vulnerable"}};
+  std::uint64_t total = 0, total_same = 0, total_truth = 0;
+  for (std::size_t i = 0; i < world.internet.isps.size(); ++i) {
+    const auto& isp = world.internet.isps[i];
+    const int idx[] = {static_cast<int>(i)};
+    auto loops = ana::run_loop_scan(world.net, world.internet, idx, {});
+
+    std::uint64_t n = 0, same = 0;
+    for (const auto& loop : loops.confirmed) {
+      if (loop.address == isp.router->address()) continue;  // infrastructure
+      ++n;
+      if (loop.address.prefix64() == loop.probe_dst.prefix64()) ++same;
+    }
+    std::uint64_t truth = 0;
+    for (const auto& dev : isp.devices) {
+      if (dev.loop_wan || dev.loop_lan) ++truth;
+    }
+
+    table.add_row({isp.spec.country, isp.spec.network, isp.spec.name,
+                   ana::fmt_count(n), ana::fmt_pct(ana::percent(same, n)),
+                   ana::fmt_pct(ana::percent(n - same, n)),
+                   ana::fmt_count(truth)});
+    total += n;
+    total_same += same;
+    total_truth += truth;
+  }
+  table.add_row({"-", "-", "Total", ana::fmt_count(total),
+                 ana::fmt_pct(ana::percent(total_same, total)),
+                 ana::fmt_pct(ana::percent(total - total_same, total)),
+                 ana::fmt_count(total_truth)});
+  table.print();
+
+  std::printf(
+      "\nPaper totals: 5.79M loop peripheries, 4.9%% same / 95.1%% diff.\n"
+      "Shape checks: CN broadband blocks carry nearly all loops (loops on "
+      "the delegated LAN prefix -> diff); India's few loops are "
+      "WAN-prefix loops -> same; US broadband loops are 100%% diff.\n");
+  return 0;
+}

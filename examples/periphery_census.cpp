@@ -1,0 +1,103 @@
+// Periphery census: the paper's full measurement pipeline over the
+// calibrated fifteen-block universe — discovery scan, addr6-style IID
+// analysis, vendor identification (EUI-64 OUI + application banners) and
+// the exposed-service survey, printed as a compact report.
+//
+//   $ ./periphery_census [window_bits]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "analysis/pipeline.h"
+#include "analysis/report.h"
+#include "analysis/software_db.h"
+#include "topology/paper_profiles.h"
+
+using namespace xmap;
+
+int main(int argc, char** argv) {
+  const int window_bits = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  std::printf("== IPv6 periphery census (window 2^%d slots per block) ==\n\n",
+              window_bits);
+
+  sim::Network net{2021};
+  topo::BuildConfig build_cfg;
+  build_cfg.window_bits = window_bits;
+  build_cfg.seed = 2021;
+  auto internet = topo::build_internet(net, topo::paper::isp_specs(),
+                                       topo::paper::vendor_catalog(),
+                                       build_cfg);
+  std::printf("Built %zu ISP blocks with %zu periphery devices.\n\n",
+              internet.isps.size(), internet.total_devices());
+
+  // --- Discovery ----------------------------------------------------------
+  auto discovery = ana::run_discovery_scan(net, internet, {}, {});
+  std::printf("Discovery: %llu probes -> %zu unique last hops (%zu aliased "
+              "responders excluded), hit rate %.1f%%.\n\n",
+              static_cast<unsigned long long>(discovery.stats.sent),
+              discovery.last_hops.size(), discovery.aliased.size(),
+              100.0 * discovery.stats.hit_rate());
+
+  // --- IID analysis --------------------------------------------------------
+  auto hist = ana::iid_histogram(discovery.last_hops);
+  std::printf("Interface identifier classes (addr6 taxonomy):\n");
+  for (int i = 0; i < net::kIidStyleCount; ++i) {
+    const auto style = static_cast<net::IidStyle>(i);
+    std::printf("  %-13s %6llu (%.1f%%)\n", net::iid_style_name(style),
+                static_cast<unsigned long long>(hist.of(style)),
+                ana::percent(hist.of(style), hist.total));
+  }
+
+  // --- Vendor identification ----------------------------------------------
+  ana::Counter vendors;
+  for (const auto& hop : discovery.last_hops) {
+    if (auto vendor = ana::vendor_from_address(hop.address, internet.oui)) {
+      vendors.add(*vendor);
+    }
+  }
+  std::printf("\nHardware vendor identification (EUI-64 -> OUI): %llu "
+              "devices identified.\n",
+              static_cast<unsigned long long>(vendors.total()));
+  for (const auto& [vendor, count] : vendors.top(8)) {
+    std::printf("  %-16s %llu\n", vendor.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  // --- Exposed services ----------------------------------------------------
+  std::vector<net::Ipv6Address> targets;
+  for (const auto& hop : discovery.last_hops) targets.push_back(hop.address);
+  auto grabs = ana::grab_services(net, internet, targets, {});
+
+  ana::Counter per_service;
+  ana::Counter lagging_software;
+  std::set<net::Ipv6Address> any_service;
+  for (const auto& grab : grabs) {
+    if (!grab.alive) continue;
+    per_service.add(svc::service_name(grab.kind));
+    any_service.insert(grab.target);
+    if (grab.software) {
+      const auto family = ana::classify_software(*grab.software);
+      if (family.cve_count > 0) lagging_software.add(family.family);
+    }
+  }
+  std::printf("\nUnintended exposed services: %zu devices (%.1f%% of "
+              "peripheries) expose at least one service.\n",
+              any_service.size(),
+              ana::percent(any_service.size(), discovery.last_hops.size()));
+  for (const auto& [service, count] : per_service.top(8)) {
+    std::printf("  %-10s %llu\n", service.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\nCVE-exposed software families in the field:\n");
+  for (const auto& [family, count] : lagging_software.top(8)) {
+    const auto fam = ana::classify_software(
+        svc::SoftwareInfo{family.substr(0, family.rfind('-')),
+                          family.substr(family.rfind('-') + 1)});
+    std::printf("  %-22s %6llu devices\n", family.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\nSee bench/table0*_* binaries for the paper-style tables.\n");
+  return 0;
+}

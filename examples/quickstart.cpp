@@ -1,0 +1,89 @@
+// Quickstart: build a tiny simulated ISP, point XMap at its block, and
+// discover the periphery devices through their ICMPv6 Destination
+// Unreachable responses — the paper's core technique in ~80 lines.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "topology/devices.h"
+#include "xmap/results.h"
+#include "xmap/scanner.h"
+
+using namespace xmap;
+
+int main() {
+  // --- 1. A miniature ISP: one edge router, three customers. -------------
+  sim::Network net{/*seed=*/1};
+
+  topo::Router::Config isp_cfg;
+  isp_cfg.address = *net::Ipv6Address::parse("2001:db9::1");
+  auto* isp = net.make_node<topo::Router>(isp_cfg);
+  // Unallocated block space is null-routed at the edge.
+  isp->table().add(topo::Route{*net::Ipv6Prefix::parse("2001:db9::/32"),
+                               topo::RouteAction::kBlackhole, -1});
+
+  struct Customer {
+    const char* lan_slot;   // delegated /60
+    const char* wan_slot;   // point-to-point /64 with the ISP
+  };
+  const Customer customers[] = {
+      {"2001:db9:0:10::/60", "2001:db9:ffff:1::/64"},
+      {"2001:db9:0:20::/60", "2001:db9:ffff:2::/64"},
+      {"2001:db9:0:30::/60", "2001:db9:ffff:3::/64"},
+  };
+  for (const Customer& customer : customers) {
+    const auto slot = *net::Ipv6Prefix::parse(customer.lan_slot);
+    topo::CpeRouter::Config cpe_cfg;
+    cpe_cfg.lan_prefix = slot;
+    cpe_cfg.subnet_prefix = slot.nth_subprefix(64, net::Uint128{5});
+    cpe_cfg.wan_prefix = *net::Ipv6Prefix::parse(customer.wan_slot);
+    cpe_cfg.wan_address =
+        cpe_cfg.wan_prefix.address_with_suffix(net::Uint128{0xabcd});
+    auto* cpe = net.make_node<topo::CpeRouter>(cpe_cfg);
+    const auto link = net.connect(isp->id(), cpe->id());
+    isp->table().add_forward(slot, link.iface_a);
+    isp->table().add_forward(cpe_cfg.wan_prefix, link.iface_a);
+  }
+
+  // --- 2. XMap: scan the /56-60 window of the block, one probe per /60. --
+  scan::ScanConfig cfg;
+  cfg.targets.push_back(*scan::TargetSpec::parse("2001:db9::/56-60"));
+  cfg.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.seed = 42;
+  cfg.probes_per_sec = 1000;
+
+  scan::IcmpEchoProbe module{64};
+  auto* scanner = net.make_node<scan::SimChannelScanner>(cfg, module);
+  const auto uplink = net.connect(scanner->id(), isp->id());
+  scanner->set_iface(uplink.iface_a);
+  isp->table().add_forward(*net::Ipv6Prefix::parse("2001:500::/48"),
+                           uplink.iface_b);
+
+  scan::ResultCollector results;
+  scanner->on_response([&results](const scan::ProbeResponse& r, sim::SimTime) {
+    results.add(r);
+    std::printf("  %-13s from %-28s (probe was %s)\n",
+                scan::response_kind_name(r.kind),
+                r.responder.to_string().c_str(),
+                r.probe_dst.to_string().c_str());
+  });
+
+  std::printf("Scanning 2001:db9::/56-60 (16 probes, one per /60 "
+              "delegation)...\n");
+  scanner->start();
+  net.run();
+
+  // --- 3. The periphery, exposed. -----------------------------------------
+  std::printf("\nDiscovered %zu unique periphery device(s) with %llu "
+              "probes:\n",
+              results.last_hops().size(),
+              static_cast<unsigned long long>(scanner->stats().sent));
+  for (const auto& hop : results.last_hops()) {
+    std::printf("  %s  (%s /64 as the probe)\n",
+                hop.address.to_string().c_str(),
+                hop.same_prefix64() ? "same" : "different");
+  }
+  std::printf("\nEach device cost exactly one probe to find — versus 2^64 "
+              "per /64 by brute force.\n");
+  return results.last_hops().size() == 3 ? 0 : 1;
+}

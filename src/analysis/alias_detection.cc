@@ -1,0 +1,71 @@
+#include "analysis/alias_detection.h"
+
+#include <unordered_map>
+
+#include "analysis/probe_batch.h"
+
+namespace xmap::ana {
+
+AliasDetectionResult detect_aliased_prefixes(
+    sim::Network& net, topo::BuiltInternet& internet,
+    std::span<const net::Ipv6Address> candidates,
+    const AliasDetectionOptions& options) {
+  AliasDetectionResult result;
+
+  // Dedup candidate /64s.
+  std::unordered_set<std::uint64_t> prefixes;
+  for (const auto& addr : candidates) prefixes.insert(addr.prefix64());
+  result.candidates = prefixes.size();
+
+  auto* batch = net.make_node<ProbeBatch>(
+      ProbeBatch::Config{options.source, options.seed, 1e6});
+  const int iface =
+      topo::attach_vantage(net, internet, batch, options.vantage);
+  batch->set_iface(iface);
+
+  // Probe k pseudorandom addresses inside each candidate /64.
+  std::vector<net::Ipv6Address> targets;
+  for (std::uint64_t prefix : prefixes) {
+    const net::Ipv6Prefix p64{
+        net::Ipv6Address::from_value(net::Uint128{prefix, 0}), 64};
+    for (int k = 0; k < options.probes_per_prefix; ++k) {
+      const std::uint64_t iid = net::hash_combine64(
+          net::hash_combine64(options.seed, prefix),
+          static_cast<std::uint64_t>(k) | 0x8000000000000000ULL);
+      const auto target = p64.address_with_suffix(net::Uint128{iid});
+      targets.push_back(target);
+      batch->enqueue(target, 64);
+    }
+  }
+  batch->start();
+  net.run();
+  result.probes_sent = targets.size();
+
+  // Count echo replies per /64 where the responder IS the probed address.
+  std::unordered_map<std::uint64_t, int> replies;
+  for (const auto& response : batch->responses()) {
+    if (response.kind != scan::ResponseKind::kEchoReply) continue;
+    if (response.responder != response.probe_dst) continue;
+    ++replies[response.responder.prefix64()];
+  }
+  for (const auto& [prefix, count] : replies) {
+    if (count >= options.probes_per_prefix) {
+      result.aliased_prefix64.insert(prefix);
+    }
+  }
+  return result;
+}
+
+std::vector<scan::LastHop> strip_aliased(std::span<const scan::LastHop> hops,
+                                         const AliasDetectionResult& aliased) {
+  std::vector<scan::LastHop> out;
+  out.reserve(hops.size());
+  for (const auto& hop : hops) {
+    if (aliased.aliased_prefix64.count(hop.address.prefix64()) == 0) {
+      out.push_back(hop);
+    }
+  }
+  return out;
+}
+
+}  // namespace xmap::ana

@@ -1,0 +1,47 @@
+// Aliased-prefix detection (the Gasser et al. IMC'18 technique the paper's
+// "unique, non-aliased last hops" relies on).
+//
+// A prefix is aliased when *every* address in it answers — hosting space,
+// CDNs, middleboxes. The detector probes k pseudorandom addresses per
+// candidate /64 with ICMPv6 echo; if all k come back as echo replies from
+// the probed addresses themselves, the prefix is flagged and its apparent
+// "devices" are dropped from periphery statistics.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/builder.h"
+#include "xmap/results.h"
+
+namespace xmap::ana {
+
+struct AliasDetectionOptions {
+  net::Ipv6Address source = *net::Ipv6Address::parse("2001:500::5");
+  net::Ipv6Prefix vantage = *net::Ipv6Prefix::parse("2001:500::/48");
+  std::uint64_t seed = 17;
+  int probes_per_prefix = 8;
+  // All k probes must be answered by echo replies to flag the prefix.
+  // (Unreachables don't count: a periphery answering for its delegation is
+  // not aliased space.)
+};
+
+struct AliasDetectionResult {
+  std::unordered_set<std::uint64_t> aliased_prefix64;  // /64 routing prefixes
+  std::uint64_t probes_sent = 0;
+  std::uint64_t candidates = 0;
+};
+
+// Tests each candidate /64 (deduped); `candidates` are addresses whose
+// enclosing /64 should be examined — typically discovery-scan responders.
+[[nodiscard]] AliasDetectionResult detect_aliased_prefixes(
+    sim::Network& net, topo::BuiltInternet& internet,
+    std::span<const net::Ipv6Address> candidates,
+    const AliasDetectionOptions& options = {});
+
+// Convenience: drops last hops whose /64 was flagged as aliased.
+[[nodiscard]] std::vector<scan::LastHop> strip_aliased(
+    std::span<const scan::LastHop> hops, const AliasDetectionResult& aliased);
+
+}  // namespace xmap::ana

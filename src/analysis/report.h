@@ -1,0 +1,113 @@
+// Small aggregation and table-rendering helpers shared by the experiment
+// harnesses. Every bench binary prints paper-style tables through these.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xmap::ana {
+
+// Ordered counter keyed by string (vendor names, countries, versions, ...).
+class Counter {
+ public:
+  void add(const std::string& key, std::uint64_t n = 1) { map_[key] += n; }
+
+  [[nodiscard]] std::uint64_t get(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [k, v] : map_) sum += v;
+    return sum;
+  }
+  [[nodiscard]] std::size_t distinct() const { return map_.size(); }
+
+  // Top-k entries by count (descending), ties broken by key for stability.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> top(
+      std::size_t k) const {
+    std::vector<std::pair<std::string, std::uint64_t>> all(map_.begin(),
+                                                           map_.end());
+    std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& raw() const {
+    return map_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+[[nodiscard]] inline double percent(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+// Fixed-width text table, printed in the style of the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < row.size() ? row[i] : std::string{};
+        std::fprintf(out, "%c %-*s", i == 0 ? '|' : '|',
+                     static_cast<int>(width[i]), cell.c_str());
+      }
+      std::fprintf(out, " |\n");
+    };
+    std::size_t total = 1;
+    for (std::size_t w : width) total += w + 3;
+    const std::string rule(total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    print_row(header_);
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+    std::fprintf(out, "%s\n", rule.c_str());
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+[[nodiscard]] inline std::string fmt_count(std::uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
+  return buf;
+}
+[[nodiscard]] inline std::string fmt_pct(double p, int decimals = 1) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, p);
+  return buf;
+}
+[[nodiscard]] inline std::string fmt_double(double v, int decimals = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace xmap::ana

@@ -1,0 +1,80 @@
+#include "analysis/software_db.h"
+
+namespace xmap::ana {
+namespace {
+
+struct Entry {
+  const char* software;
+  const char* version_prefix;  // longest-prefix match on the version string
+  const char* family;
+  int cves;
+  int year;
+};
+
+// Data from the paper's Table VIII (CVE counts as reported) plus release
+// years used for the "released ~8 years ago" observations.
+constexpr Entry kEntries[] = {
+    {"dnsmasq", "2.4", "dnsmasq-2.4x", 16, 2012},
+    {"dnsmasq", "2.5", "dnsmasq-2.5x", 12, 2010},
+    {"dnsmasq", "2.6", "dnsmasq-2.6x", 10, 2012},
+    {"dnsmasq", "2.7", "dnsmasq-2.7x", 8, 2014},
+    {"dropbear", "0.4", "dropbear-0.4x", 10, 2005},
+    {"dropbear", "0.5", "dropbear-0.5x", 8, 2008},
+    {"dropbear", "2012", "dropbear-2012.x", 6, 2012},
+    {"dropbear", "2017", "dropbear-2017.x", 2, 2017},
+    {"openssh", "3.5", "openssh-3.5", 74, 2002},
+    {"openssh", "5.", "openssh-5.x", 40, 2009},
+    {"openssh", "6.", "openssh-6.x", 24, 2013},
+    {"openssh", "7.", "openssh-7.x", 12, 2016},
+    {"openssh", "8.", "openssh-8.x", 4, 2019},
+    {"Jetty", "6.", "Jetty-6.x", 24, 2007},
+    {"Jetty", "9.", "Jetty-9.x", 10, 2013},
+    {"MiniWeb HTTP Server", "", "MiniWeb", 3, 2009},
+    {"micro_httpd", "", "micro_httpd", 2, 2005},
+    {"GoAhead Embedded", "", "GoAhead", 8, 2003},
+    {"uhttpd", "", "uhttpd", 1, 2010},
+    {"GNU Inetutils", "1.4", "GNU-Inetutils-1.4.1", 0, 2002},
+    {"FreeBSD", "6.00", "FreeBSD-6.00ls", 1, 2005},
+    {"vsftpd", "2.2", "vsftpd-2.2.2", 1, 2009},
+    {"vsftpd", "2.3", "vsftpd-2.3.4", 1, 2011},
+    {"vsftpd", "3.0", "vsftpd-3.0.3", 0, 2015},
+    {"Fritz!Box", "", "Fritz!Box-FTP", 0, 2015},
+    {"ntpd", "4.", "ntpd-4.x", 0, 2010},
+};
+
+}  // namespace
+
+SoftwareFamily classify_software(const svc::SoftwareInfo& info) {
+  for (const Entry& e : kEntries) {
+    if (info.software != e.software) continue;
+    const std::string prefix = e.version_prefix;
+    if (prefix.empty() || info.version.rfind(prefix, 0) == 0) {
+      return SoftwareFamily{e.family, e.cves, e.year};
+    }
+  }
+  // Unknown: synthesize "<software>-<major>.x".
+  std::string major = info.version;
+  const std::size_t dot = major.find('.');
+  if (dot != std::string::npos) major = major.substr(0, dot);
+  SoftwareFamily out;
+  out.family = info.software + (major.empty() ? "" : "-" + major + ".x");
+  return out;
+}
+
+int known_cves_for_service(svc::ServiceKind kind) {
+  switch (kind) {
+    case svc::ServiceKind::kDns:
+      return 16;  // the paper: 16 CVEs impact the exposed dnsmasq fleet
+    case svc::ServiceKind::kSsh:
+      return 84;  // 74 (openssh) + 10 (dropbear 0.4x)
+    case svc::ServiceKind::kHttp:
+    case svc::ServiceKind::kHttp8080:
+      return 24;
+    case svc::ServiceKind::kFtp:
+      return 3;  // FreeBSD 6.00ls (1) + vsftpd (2)
+    default:
+      return 0;
+  }
+}
+
+}  // namespace xmap::ana

@@ -1,0 +1,31 @@
+// Software version-family knowledge base.
+//
+// Reproduces the paper's Table VIII analysis: grabbed software versions are
+// collapsed into the families the paper reports ("dnsmasq-2.4x", "dropbear
+// 0.4x", ...), each with its public CVE exposure count and release-age note.
+// CVE counts are the ones the paper cites; they are analysis inputs, not
+// live CVE-database queries.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "services/service.h"
+
+namespace xmap::ana {
+
+struct SoftwareFamily {
+  std::string family;    // e.g. "dnsmasq-2.4x"
+  int cve_count = 0;     // CVEs the paper attributes to the family
+  int release_year = 0;  // approximate first-release year (age analysis)
+};
+
+// Collapses a concrete software+version into its reporting family;
+// unknown software maps to "<software>-<major.x>" with zero CVEs.
+[[nodiscard]] SoftwareFamily classify_software(const svc::SoftwareInfo& info);
+
+// Total CVE count for a service column of Table VIII (sum over families of
+// that service's software set; informational helper for the bench).
+[[nodiscard]] int known_cves_for_service(svc::ServiceKind kind);
+
+}  // namespace xmap::ana

@@ -1,0 +1,209 @@
+#include "loopattack/attack_lab.h"
+
+namespace xmap::atk {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+const Ipv6Address kAttacker = *Ipv6Address::parse("2001:666::1");
+const Ipv6Prefix kWanPrefix = *Ipv6Prefix::parse("2001:db9:1234:5678::/64");
+const Ipv6Address kWanAddress =
+    *Ipv6Address::parse("2001:db9:1234:5678::ab");
+const Ipv6Prefix kLanPrefix = *Ipv6Prefix::parse("2001:db9:4321:8760::/60");
+const Ipv6Prefix kSubnetPrefix =
+    *Ipv6Prefix::parse("2001:db9:4321:8765::/64");
+// Targets inside the "Not-used Prefix" and the NX WAN space.
+const Ipv6Address kNotUsedTarget =
+    *Ipv6Address::parse("2001:db9:4321:8769::1");
+const Ipv6Address kNxWanTarget =
+    *Ipv6Address::parse("2001:db9:1234:5678::dead");
+// A spoofed source inside another not-used /64 of the same delegation.
+const Ipv6Address kSpoofedSource =
+    *Ipv6Address::parse("2001:db9:4321:876a::66");
+
+}  // namespace
+
+class AttackLab::AttackerNode : public sim::Node {
+ public:
+  void receive(const pkt::Bytes& packet, int) override {
+    pkt::Ipv6View ip{packet};
+    if (!ip.valid() || ip.next_header() != pkt::kProtoIcmpv6) return;
+    pkt::Icmpv6View icmp{ip.payload()};
+    if (!icmp.valid()) return;
+    if (icmp.type() == pkt::Icmpv6Type::kTimeExceeded) ++time_exceeded;
+    if (icmp.type() == pkt::Icmpv6Type::kDestUnreachable) ++unreachable;
+  }
+  void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }
+
+  std::uint64_t time_exceeded = 0;
+  std::uint64_t unreachable = 0;
+};
+
+AttackLab::AttackLab(const AttackLabConfig& config) {
+  attacker_ = net_.make_node<AttackerNode>();
+
+  // Transit chain: attacker -> t1 -> ... -> tn -> ISP.
+  sim::Node* upstream = attacker_;
+  int upstream_iface = 0;
+  std::vector<topo::Router*> transits;
+  for (int i = 0; i < config.transit_hops; ++i) {
+    topo::Router::Config tcfg;
+    tcfg.address = Ipv6Address::from_value(
+        net::Uint128{0x2001066600000000ULL + static_cast<std::uint64_t>(i + 1),
+                     1});
+    auto* transit = net_.make_node<topo::Router>(tcfg);
+    const auto att = net_.connect(upstream->id(), transit->id());
+    if (i == 0) attacker_iface_ = att.iface_a;
+    // Downstream routing is installed below once the ISP exists; upstream
+    // (towards the attacker) is each router's default route... actually the
+    // attack only needs downstream forwarding plus a return default.
+    transit->table().add_default(att.iface_b);  // back towards the attacker
+    transits.push_back(transit);
+    upstream = transit;
+    upstream_iface = att.iface_b;
+    (void)upstream_iface;
+  }
+
+  topo::Router::Config isp_cfg;
+  isp_cfg.address = *Ipv6Address::parse("2001:db9::1");
+  isp_ = net_.make_node<topo::Router>(isp_cfg);
+  const auto isp_att = net_.connect(upstream->id(), isp_->id());
+  if (config.transit_hops == 0) attacker_iface_ = isp_att.iface_a;
+  isp_->table().add_default(isp_att.iface_b);
+
+  // Forward routes towards the CPE space through the chain.
+  for (std::size_t i = 0; i < transits.size(); ++i) {
+    // Each transit router's interface 1 faces the next hop (interface 0
+    // faces upstream, interfaces were allocated in connect order).
+    transits[i]->table().add_forward(*Ipv6Prefix::parse("2001:db9::/32"), 1);
+  }
+
+  topo::CpeRouter::Config cpe_cfg;
+  cpe_cfg.wan_prefix = kWanPrefix;
+  cpe_cfg.wan_address = kWanAddress;
+  cpe_cfg.lan_prefix = kLanPrefix;
+  cpe_cfg.subnet_prefix = kSubnetPrefix;
+  cpe_cfg.loop_wan = config.cpe_loop_wan;
+  cpe_cfg.loop_lan = config.cpe_loop_lan;
+  cpe_cfg.loop_cap = config.cpe_loop_cap;
+  cpe_ = net_.make_node<topo::CpeRouter>(cpe_cfg);
+
+  const auto access =
+      net_.connect(isp_->id(), cpe_->id(), config.access_link);
+  access_link_ = access.link;
+  isp_->table().add_forward(kWanPrefix, access.iface_a);
+  isp_->table().add_forward(kLanPrefix, access.iface_a);
+}
+
+AttackResult AttackLab::attack(std::uint8_t hop_limit, int packets,
+                               bool target_wan, bool spoof_inside_lan) {
+  net_.reset_link_stats(access_link_);
+  const std::uint64_t te_before = attacker_->time_exceeded;
+  const std::uint64_t un_before = attacker_->unreachable;
+
+  const Ipv6Address target = target_wan ? kNxWanTarget : kNotUsedTarget;
+  const Ipv6Address source = spoof_inside_lan ? kSpoofedSource : kAttacker;
+
+  for (int i = 0; i < packets; ++i) {
+    attacker_->emit(attacker_iface_,
+                    pkt::build_echo_request(source, target, hop_limit,
+                                            static_cast<std::uint16_t>(i), 1));
+  }
+  net_.run();
+
+  AttackResult out;
+  out.attacker_packets = static_cast<std::uint64_t>(packets);
+  const auto& stats = net_.link_stats(access_link_);
+  out.access_link_packets = stats.packets_total();
+  out.access_link_bytes = stats.bytes_ab + stats.bytes_ba;
+  out.time_exceeded_received = attacker_->time_exceeded - te_before;
+  out.unreachable_received = attacker_->unreachable - un_before;
+  return out;
+}
+
+void AttackLab::patch_cpe() { cpe_->install_unreachable_routes(); }
+
+// ---------------------------------------------------------------------------
+// Case study
+// ---------------------------------------------------------------------------
+
+const std::vector<RouterModel>& case_study_models() {
+  static const std::vector<RouterModel> models = [] {
+    std::vector<RouterModel> v;
+    // The nine configurations the paper prints explicitly in Table XII.
+    v.push_back({"ASUS", "GT-AC5300 3.0.0.4.384_82037", true, false, -1});
+    v.push_back({"D-Link", "COVR-3902 1.01", true, false, -1});
+    v.push_back({"Huawei", "WS5100 10.0.2.8", true, true, -1});
+    v.push_back({"Linksys", "EA8100 2.0.1.200539", true, true, -1});
+    v.push_back({"Netgear", "R6400v2 1.0.4.102_10.0.75", true, true, -1});
+    v.push_back({"Tenda", "AC23 16.03.07.35", true, false, -1});
+    v.push_back({"TP-Link", "TL-XDR3230 1.0.8", true, true, -1});
+    v.push_back({"Xiaomi", "AX5 1.0.33", true, false, 20});
+    v.push_back({"OpenWRT", "19.07.4 r11208-ce6496d796", true, false, 20});
+    // The remaining population, matching the per-brand counts in the
+    // table's footer (95 routers + 4 OSes in total).
+    struct Fleet {
+      const char* brand;
+      int extra;            // beyond any explicit entry above
+      bool lan_vulnerable;  // brand-typical behaviour
+      int loop_cap;
+    };
+    static constexpr Fleet kFleet[] = {
+        {"China Mobile", 4, true, -1},  {"D-Link", 1, false, -1},
+        {"FAST", 1, false, -1},         {"Fiberhome", 2, true, -1},
+        {"H3C", 1, true, -1},           {"Hisense", 1, false, -1},
+        {"Huawei", 3, true, -1},        {"iKuai", 3, true, -1},
+        {"Mercury", 8, false, -1},      {"Mikrotik", 1, true, -1},
+        {"Netgear", 1, true, -1},       {"Skyworthdigital", 9, true, -1},
+        {"Totolink", 1, false, -1},     {"TP-Link", 41, true, -1},
+        {"Youhua", 1, true, -1},        {"ZTE", 9, true, -1},
+        {"DD-Wrt", 1, false, -1},       {"Gargoyle", 1, false, 20},
+        {"librecmc", 1, false, 20},
+    };
+    for (const Fleet& f : kFleet) {
+      for (int i = 0; i < f.extra; ++i) {
+        RouterModel m;
+        m.brand = f.brand;
+        m.model = std::string{"unit-"} + std::to_string(i + 1);
+        m.wan_vulnerable = true;  // every tested router looped (the paper)
+        m.lan_vulnerable = f.lan_vulnerable;
+        m.loop_cap = f.loop_cap;
+        v.push_back(std::move(m));
+      }
+    }
+    return v;
+  }();
+  return models;
+}
+
+CaseStudyRow test_router_model(const RouterModel& model) {
+  CaseStudyRow row;
+  row.model = &model;
+
+  AttackLabConfig cfg;
+  cfg.cpe_loop_wan = model.wan_vulnerable;
+  cfg.cpe_loop_lan = model.lan_vulnerable;
+  cfg.cpe_loop_cap = model.loop_cap;
+
+  {
+    AttackLab lab{cfg};
+    const auto wan = lab.attack(255, 1, /*target_wan=*/true);
+    row.wan_link_packets = wan.access_link_packets;
+    row.wan_loop_observed = wan.access_link_packets > 4;
+    const auto lan = lab.attack(255, 1, /*target_wan=*/false);
+    row.lan_link_packets = lan.access_link_packets;
+    row.lan_loop_observed = lan.access_link_packets > 4;
+  }
+  {
+    AttackLab lab{cfg};
+    lab.patch_cpe();
+    const auto wan = lab.attack(255, 1, /*target_wan=*/true);
+    const auto lan = lab.attack(255, 1, /*target_wan=*/false);
+    row.fixed_after_patch =
+        wan.access_link_packets <= 2 && lan.access_link_packets <= 2;
+  }
+  return row;
+}
+
+}  // namespace xmap::atk

@@ -1,0 +1,101 @@
+// Routing-loop attack laboratory.
+//
+// Reproduces Section VI's attack mechanics in isolation: a single
+// attacker -> (n transit hops) -> ISP router -> CPE router chain where the
+// CPE carries the routing flaw. The lab measures what the paper's Figure 4
+// illustrates — each crafted packet ping-pongs on the ISP<->CPE link until
+// its hop limit dies, amplifying the attacker's traffic by ~(255 - n), and
+// a spoofed source inside another not-used prefix makes the final Time
+// Exceeded loop as well, roughly doubling the damage.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/devices.h"
+
+namespace xmap::atk {
+
+struct AttackLabConfig {
+  int transit_hops = 1;  // routers between attacker and the ISP router
+  bool cpe_loop_wan = true;
+  bool cpe_loop_lan = true;
+  int cpe_loop_cap = -1;
+  // Optional link shaping on the ISP<->CPE access link.
+  sim::LinkParams access_link{};
+};
+
+struct AttackResult {
+  std::uint64_t attacker_packets = 0;
+  std::uint64_t access_link_packets = 0;  // both directions, ISP<->CPE
+  std::uint64_t access_link_bytes = 0;
+  std::uint64_t time_exceeded_received = 0;
+  std::uint64_t unreachable_received = 0;
+
+  [[nodiscard]] double amplification() const {
+    return attacker_packets == 0
+               ? 0.0
+               : static_cast<double>(access_link_packets) /
+                     static_cast<double>(attacker_packets);
+  }
+};
+
+class AttackLab {
+ public:
+  explicit AttackLab(const AttackLabConfig& config);
+
+  // Sends `packets` crafted packets with the given hop limit to an address
+  // inside the CPE's not-used delegated space (or its NX WAN space when
+  // `target_wan`). `spoof_inside_lan` forges the source into another
+  // not-used /64 so responses re-enter the loop.
+  [[nodiscard]] AttackResult attack(std::uint8_t hop_limit, int packets = 1,
+                                    bool target_wan = false,
+                                    bool spoof_inside_lan = false);
+
+  // Applies the RFC 7084 mitigation to the CPE and re-arms the lab.
+  void patch_cpe();
+
+  [[nodiscard]] topo::CpeRouter& cpe() { return *cpe_; }
+  [[nodiscard]] topo::Router& isp() { return *isp_; }
+
+ private:
+  class AttackerNode;
+
+  sim::Network net_{97};
+  AttackerNode* attacker_ = nullptr;
+  topo::Router* isp_ = nullptr;
+  topo::CpeRouter* cpe_ = nullptr;
+  sim::LinkId access_link_ = 0;
+  int attacker_iface_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Case study (Table XII): the 99-router / firmware matrix.
+// ---------------------------------------------------------------------------
+
+struct RouterModel {
+  std::string brand;
+  std::string model;     // model + firmware as the paper prints it
+  bool wan_vulnerable = true;
+  bool lan_vulnerable = false;
+  int loop_cap = -1;  // >=0: firmware stops forwarding the flow early
+};
+
+// The 95 sample home routers + 4 open-source router OSes of Table XII.
+[[nodiscard]] const std::vector<RouterModel>& case_study_models();
+
+struct CaseStudyRow {
+  const RouterModel* model = nullptr;
+  bool wan_loop_observed = false;
+  bool lan_loop_observed = false;
+  std::uint64_t wan_link_packets = 0;  // loop traffic for one HL-255 packet
+  std::uint64_t lan_link_packets = 0;
+  bool fixed_after_patch = false;  // mitigation verified
+};
+
+// Runs the WAN-prefix and LAN-prefix loop tests (hop limit 255) against one
+// modelled router, including the mitigation re-test.
+[[nodiscard]] CaseStudyRow test_router_model(const RouterModel& model);
+
+}  // namespace xmap::atk

@@ -1,0 +1,39 @@
+#include "netbase/checksum.h"
+
+namespace xmap::net {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) acc += static_cast<std::uint32_t>(data[i]) << 8;
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return checksum_finish(checksum_accumulate(data));
+}
+
+std::uint16_t ipv6_upper_layer_checksum(const Ipv6Address& src,
+                                        const Ipv6Address& dst,
+                                        std::uint8_t next_header,
+                                        std::span<const std::uint8_t> l4_data) {
+  std::uint32_t acc = 0;
+  acc = checksum_accumulate(std::span{src.bytes()}, acc);
+  acc = checksum_accumulate(std::span{dst.bytes()}, acc);
+  const std::uint32_t len = static_cast<std::uint32_t>(l4_data.size());
+  acc += len >> 16;
+  acc += len & 0xffff;
+  acc += next_header;  // high three bytes of the pseudo-header field are zero
+  acc = checksum_accumulate(l4_data, acc);
+  return checksum_finish(acc);
+}
+
+}  // namespace xmap::net

@@ -1,0 +1,32 @@
+// Internet checksum (RFC 1071) and the IPv6 pseudo-header variant used by
+// ICMPv6 (RFC 4443 §2.3), UDP and TCP over IPv6 (RFC 8200 §8.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netbase/ipv6.h"
+
+namespace xmap::net {
+
+// Ones-complement sum of 16-bit words, returning the running 32-bit
+// accumulator (not yet folded/complemented). Odd trailing byte is padded
+// with zero per RFC 1071.
+[[nodiscard]] std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                                std::uint32_t acc = 0);
+
+// Folds the accumulator and returns the ones-complement checksum.
+[[nodiscard]] std::uint16_t checksum_finish(std::uint32_t acc);
+
+// Plain RFC 1071 checksum over a buffer.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+// Upper-layer checksum over the IPv6 pseudo-header (src, dst, length,
+// next-header) plus the L4 payload. The payload's checksum field must be
+// zero when computing, and left in place when verifying (result is 0 for a
+// valid packet).
+[[nodiscard]] std::uint16_t ipv6_upper_layer_checksum(
+    const Ipv6Address& src, const Ipv6Address& dst, std::uint8_t next_header,
+    std::span<const std::uint8_t> l4_data);
+
+}  // namespace xmap::net

@@ -1,0 +1,122 @@
+#include "netbase/iid.h"
+
+#include "netbase/ipv4.h"
+
+namespace xmap::net {
+namespace {
+
+[[nodiscard]] bool has_eui64_marker(std::uint64_t iid) {
+  return ((iid >> 24) & 0xffff) == 0xfffe;
+}
+
+[[nodiscard]] bool is_low_byte(std::uint64_t iid) {
+  // A run of zeroes followed only by a low number.
+  return iid <= 0xffff;
+}
+
+[[nodiscard]] bool is_embed_ipv4(std::uint64_t iid) {
+  // Form 1: ::a.b.c.d — IPv4 in the low 32 bits, upper 32 bits zero.
+  if ((iid >> 32) == 0) {
+    return Ipv4Address{static_cast<std::uint32_t>(iid)}.is_plausible_host();
+  }
+  // Form 2: groups-as-octets, e.g. 2001:db8::192:168:1:1 — each 16-bit
+  // group holds one decimal octet value.
+  std::uint8_t octets[4];
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t group = (iid >> (16 * (3 - i))) & 0xffff;
+    // Groups-as-octets means each group reads as a decimal octet: the hex
+    // digits must be valid decimal and the value <= 255 when read as decimal.
+    std::uint64_t g = group;
+    std::uint32_t dec = 0, mul = 1;
+    bool ok = true;
+    if (g == 0) dec = 0;
+    while (g != 0) {
+      const std::uint64_t digit = g & 0xf;
+      if (digit > 9 || mul > 100) {
+        ok = false;
+        break;
+      }
+      dec += static_cast<std::uint32_t>(digit) * mul;
+      mul *= 10;
+      g >>= 4;
+    }
+    if (!ok || dec > 255) return false;
+    octets[i] = static_cast<std::uint8_t>(dec);
+  }
+  return Ipv4Address::from_octets(octets[0], octets[1], octets[2], octets[3])
+      .is_plausible_host();
+}
+
+[[nodiscard]] bool is_byte_pattern(std::uint64_t iid) {
+  // Few distinct byte values, or all 16-bit groups identical.
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(iid >> (8 * (7 - i)));
+  int distinct = 0;
+  bool seen[256] = {};
+  for (std::uint8_t b : bytes) {
+    if (!seen[b]) {
+      seen[b] = true;
+      ++distinct;
+    }
+  }
+  if (distinct <= 2) return true;
+  const std::uint64_t g = iid & 0xffff;
+  return ((iid >> 48) & 0xffff) == g && ((iid >> 32) & 0xffff) == g &&
+         ((iid >> 16) & 0xffff) == g;
+}
+
+}  // namespace
+
+IidStyle classify_iid(std::uint64_t iid) {
+  if (has_eui64_marker(iid)) return IidStyle::kEui64;
+  if (is_low_byte(iid)) return IidStyle::kLowByte;
+  if (is_embed_ipv4(iid)) return IidStyle::kEmbedIpv4;
+  if (is_byte_pattern(iid)) return IidStyle::kBytePattern;
+  return IidStyle::kRandomized;
+}
+
+std::uint64_t generate_iid(IidStyle style, Rng& rng, std::uint32_t oui,
+                           MacAddress* mac_out) {
+  switch (style) {
+    case IidStyle::kEui64: {
+      const std::uint64_t nic = rng.next() & 0xffffff;
+      const MacAddress mac = MacAddress::from_u64(
+          (static_cast<std::uint64_t>(oui) << 24) | nic);
+      if (mac_out != nullptr) *mac_out = mac;
+      return mac.to_eui64_iid();
+    }
+    case IidStyle::kLowByte:
+      return rng.uniform_range(1, 0xff);
+    case IidStyle::kEmbedIpv4: {
+      // ::a.b.c.d form with a plausible global IPv4.
+      while (true) {
+        const std::uint32_t v4 = static_cast<std::uint32_t>(rng.next());
+        if (Ipv4Address{v4}.is_plausible_host() &&
+            classify_iid(v4) == IidStyle::kEmbedIpv4) {
+          return v4;
+        }
+      }
+    }
+    case IidStyle::kBytePattern: {
+      while (true) {
+        // Two random byte values arranged in an alternating pattern.
+        const std::uint8_t x = static_cast<std::uint8_t>(rng.next());
+        const std::uint8_t y = static_cast<std::uint8_t>(rng.next());
+        std::uint64_t iid = 0;
+        for (int i = 0; i < 8; ++i)
+          iid = (iid << 8) | ((i % 2 == 0) ? x : y);
+        if (classify_iid(iid) == IidStyle::kBytePattern) return iid;
+      }
+    }
+    case IidStyle::kRandomized: {
+      while (true) {
+        const std::uint64_t iid = rng.next();
+        if (classify_iid(iid) == IidStyle::kRandomized) return iid;
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace xmap::net

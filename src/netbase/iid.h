@@ -1,0 +1,55 @@
+// Interface-identifier (IID) taxonomy.
+//
+// The paper analyses discovered addresses with the addr6 tool's classes
+// (Tables III, V and X): EUI-64, Low-byte, Embed-IPv4, Byte-pattern and
+// Randomized. Classification and synthesis live together here so the
+// topology generator and the analysis pipeline agree on semantics by
+// construction — a device generated with a given style always classifies
+// back to that style (enforced by tests and by rejection sampling in the
+// generators).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netbase/mac.h"
+#include "netbase/random.h"
+
+namespace xmap::net {
+
+enum class IidStyle : std::uint8_t {
+  kEui64 = 0,
+  kLowByte = 1,
+  kEmbedIpv4 = 2,
+  kBytePattern = 3,
+  kRandomized = 4,
+};
+
+inline constexpr int kIidStyleCount = 5;
+
+[[nodiscard]] constexpr const char* iid_style_name(IidStyle s) {
+  switch (s) {
+    case IidStyle::kEui64: return "EUI-64";
+    case IidStyle::kLowByte: return "Low-byte";
+    case IidStyle::kEmbedIpv4: return "Embed-IPv4";
+    case IidStyle::kBytePattern: return "Byte-pattern";
+    case IidStyle::kRandomized: return "Randomized";
+  }
+  return "?";
+}
+
+// Classifies a 64-bit IID. Checks run in priority order (EUI-64 marker,
+// low-byte, embedded IPv4, byte patterns) with Randomized as the fallback,
+// mirroring addr6's decision order.
+[[nodiscard]] IidStyle classify_iid(std::uint64_t iid);
+
+// Generates an IID of the requested style. For kEui64 the OUI seeds the
+// embedded MAC and the MAC is reported through `mac_out`; other styles leave
+// it untouched. Generation uses rejection sampling so that
+// classify_iid(generate_iid(style)) == style always holds.
+[[nodiscard]] std::uint64_t generate_iid(IidStyle style, Rng& rng,
+                                         std::uint32_t oui = 0,
+                                         MacAddress* mac_out = nullptr);
+
+}  // namespace xmap::net

@@ -1,0 +1,34 @@
+#include "netbase/ipv4.h"
+
+#include <cstdio>
+
+namespace xmap::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t v = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::size_t dot = i < 3 ? text.find('.', pos) : text.size();
+    if (dot == std::string_view::npos) return std::nullopt;
+    std::string_view part = text.substr(pos, dot - pos);
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    std::uint32_t octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<std::uint32_t>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    v = (v << 8) | octet;
+    pos = dot + 1;
+  }
+  return Ipv4Address{v};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return std::string{buf};
+}
+
+}  // namespace xmap::net

@@ -1,0 +1,53 @@
+// Minimal IPv4 address value type.
+//
+// Needed for two things: the "Embed-IPv4" interface-identifier class of the
+// addr6 taxonomy (Table III/V/X), and XMap's ZMap-compatible IPv4 target
+// generation (XMap can permute IPv4 spaces too, e.g. 192.168.0.0/20-25).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xmap::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t v) : v_(v) {}
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c, std::uint8_t d) {
+    return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) | d};
+  }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(v_ >> (8 * (3 - i)));
+  }
+
+  // Plausibly a globally-routed unicast host address: not 0.x, not 127.x,
+  // not multicast/reserved (224.0.0.0/3), not broadcast.
+  [[nodiscard]] constexpr bool is_plausible_host() const {
+    const std::uint8_t first = octet(0);
+    if (first == 0 || first == 127 || first >= 224) return false;
+    return v_ != 0xffffffffu;
+  }
+
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Ipv4Address&, const Ipv4Address&) =
+      default;
+  friend constexpr auto operator<=>(const Ipv4Address& a,
+                                    const Ipv4Address& b) {
+    return a.v_ <=> b.v_;
+  }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+}  // namespace xmap::net

@@ -1,0 +1,327 @@
+#include "netbase/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace xmap::net {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonParseResult run() {
+    skip_whitespace();
+    auto value = parse_value();
+    if (!value) return fail_result();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      set_error("trailing characters after document");
+      return fail_result();
+    }
+    return JsonParseResult{std::move(value), {}};
+  }
+
+ private:
+  JsonParseResult fail_result() {
+    return JsonParseResult{std::nullopt, error_};
+  }
+
+  void set_error(std::string message) {
+    if (!error_.message.empty()) return;  // keep the first error
+    error_.message = std::move(message);
+    error_.line = 1;
+    error_.column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++error_.line;
+        error_.column = 1;
+      } else {
+        ++error_.column;
+      }
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (++depth_ > 64) {
+      set_error("nesting too deep");
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (at_end()) {
+      set_error("unexpected end of input");
+      return std::nullopt;
+    }
+    std::optional<JsonValue> out;
+    switch (peek()) {
+      case '{': out = parse_object(); break;
+      case '[': out = parse_array(); break;
+      case '"': {
+        auto s = parse_string();
+        if (s) out = JsonValue{std::move(*s)};
+        break;
+      }
+      case 't':
+        if (consume_literal("true")) out = JsonValue{true};
+        else set_error("bad literal");
+        break;
+      case 'f':
+        if (consume_literal("false")) out = JsonValue{false};
+        else set_error("bad literal");
+        break;
+      case 'n':
+        if (consume_literal("null")) out = JsonValue{nullptr};
+        else set_error("bad literal");
+        break;
+      default:
+        out = parse_number();
+    }
+    --depth_;
+    return out;
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) return JsonValue{std::move(object)};
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') {
+        set_error("expected object key");
+        return std::nullopt;
+      }
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) {
+        set_error("expected ':'");
+        return std::nullopt;
+      }
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      object[std::move(*key)] = std::move(*value);
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue{std::move(object)};
+      set_error("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) return JsonValue{std::move(array)};
+    while (true) {
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue{std::move(array)};
+      set_error("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (at_end()) {
+        set_error("unterminated string");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        set_error("control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) {
+        set_error("dangling escape");
+        return std::nullopt;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            set_error("bad \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              set_error("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Encode as UTF-8 (no surrogate-pair handling; config files only).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          set_error("unknown escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") {
+      set_error("expected value");
+      return std::nullopt;
+    }
+    const std::string copy{token};
+    char* end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size() || !std::isfinite(value)) {
+      set_error("bad number");
+      return std::nullopt;
+    }
+    return JsonValue{value};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  JsonParseError error_;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const JsonValue& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    char buf[32];
+    if (d == static_cast<double>(static_cast<long long>(d)) &&
+        std::abs(d) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+    }
+    out += buf;
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const auto& item : v.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(item, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : v.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(key, out);
+      out.push_back(':');
+      dump_value(value, out);
+    }
+    out.push_back('}');
+  }
+}
+
+}  // namespace
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonParseResult json_parse(std::string_view text) {
+  return Parser{text}.run();
+}
+
+}  // namespace xmap::net

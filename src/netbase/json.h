@@ -1,0 +1,119 @@
+// Minimal JSON document model and parser (RFC 8259 subset sufficient for
+// configuration files: all value types, nested containers, string escapes,
+// no surrogate-pair decoding).
+//
+// Exists so that topology specifications can be loaded from files
+// (topology/spec_loader.h) without an external dependency; error messages
+// carry line/column positions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace xmap::net {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}  // NOLINT(runtime/explicit)
+  JsonValue(bool b) : value_(b) {}                // NOLINT(runtime/explicit)
+  JsonValue(double d) : value_(d) {}              // NOLINT(runtime/explicit)
+  JsonValue(int i) : value_(static_cast<double>(i)) {}  // NOLINT
+  JsonValue(std::string s) : value_(std::move(s)) {}    // NOLINT
+  JsonValue(const char* s) : value_(std::string{s}) {}  // NOLINT
+  JsonValue(JsonArray a) : value_(std::move(a)) {}      // NOLINT
+  JsonValue(JsonObject o) : value_(std::move(o)) {}     // NOLINT
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(value_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    return std::get<JsonArray>(value_);
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return std::get<JsonObject>(value_);
+  }
+
+  // Object member access; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+
+  // Typed getters with defaults, for config-file ergonomics.
+  [[nodiscard]] double number_or(const std::string& key, double fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_number() ? v->as_number() : fallback;
+  }
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_string() ? v->as_string()
+                                          : std::move(fallback);
+  }
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const {
+    const JsonValue* v = find(key);
+    return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+  }
+
+  // Serializes back to compact JSON text.
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+struct JsonParseError {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return message + " at line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+};
+
+struct JsonParseResult {
+  std::optional<JsonValue> value;  // nullopt on error
+  JsonParseError error;
+};
+
+[[nodiscard]] JsonParseResult json_parse(std::string_view text);
+
+}  // namespace xmap::net

@@ -1,0 +1,35 @@
+#include "netbase/mac.h"
+
+#include <cstdio>
+
+namespace xmap::net {
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> b{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(3 * i);
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int high = nibble(text[pos]);
+    const int low = nibble(text[pos + 1]);
+    if (high < 0 || low < 0) return std::nullopt;
+    if (i < 5 && text[pos + 2] != ':') return std::nullopt;
+    b[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((high << 4) | low);
+  }
+  return MacAddress{b};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", b_[0], b_[1],
+                b_[2], b_[3], b_[4], b_[5]);
+  return std::string{buf};
+}
+
+}  // namespace xmap::net

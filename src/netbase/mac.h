@@ -1,0 +1,103 @@
+// MAC (EUI-48) addresses and the Modified EUI-64 interface-identifier
+// transform (RFC 4291 appendix A): flip the universal/local bit of the first
+// octet and insert 0xfffe between the OUI and the NIC-specific bytes.
+//
+// The reverse transform is what lets a scanner recover the hardware vendor of
+// a periphery device from an SLAAC EUI-64 address — the basis of the paper's
+// vendor identification (Tables II and IV).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xmap::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(const std::array<std::uint8_t, 6>& bytes)
+      : b_(bytes) {}
+  // From a 48-bit integer, big-endian byte order.
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    std::array<std::uint8_t, 6> b{};
+    for (int i = 5; i >= 0; --i) {
+      b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    return MacAddress{b};
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& bytes() const {
+    return b_;
+  }
+  [[nodiscard]] constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (std::uint8_t byte : b_) v = (v << 8) | byte;
+    return v;
+  }
+
+  // Organisationally Unique Identifier: the high 24 bits.
+  [[nodiscard]] constexpr std::uint32_t oui() const {
+    return (static_cast<std::uint32_t>(b_[0]) << 16) |
+           (static_cast<std::uint32_t>(b_[1]) << 8) | b_[2];
+  }
+
+  [[nodiscard]] constexpr bool is_locally_administered() const {
+    return (b_[0] & 0x02) != 0;
+  }
+  [[nodiscard]] constexpr bool is_multicast() const {
+    return (b_[0] & 0x01) != 0;
+  }
+
+  // Modified EUI-64 interface identifier for SLAAC.
+  [[nodiscard]] constexpr std::uint64_t to_eui64_iid() const {
+    const std::uint8_t first = b_[0] ^ 0x02;  // flip U/L bit
+    return (static_cast<std::uint64_t>(first) << 56) |
+           (static_cast<std::uint64_t>(b_[1]) << 48) |
+           (static_cast<std::uint64_t>(b_[2]) << 40) |
+           (std::uint64_t{0xff} << 32) | (std::uint64_t{0xfe} << 24) |
+           (static_cast<std::uint64_t>(b_[3]) << 16) |
+           (static_cast<std::uint64_t>(b_[4]) << 8) | b_[5];
+  }
+
+  // Recovers the MAC from a Modified EUI-64 IID; nullopt when the IID does
+  // not carry the 0xfffe marker.
+  [[nodiscard]] static constexpr std::optional<MacAddress> from_eui64_iid(
+      std::uint64_t iid) {
+    if (((iid >> 24) & 0xffff) != 0xfffe) return std::nullopt;
+    std::array<std::uint8_t, 6> b{};
+    b[0] = static_cast<std::uint8_t>((iid >> 56) & 0xff) ^ 0x02;
+    b[1] = static_cast<std::uint8_t>((iid >> 48) & 0xff);
+    b[2] = static_cast<std::uint8_t>((iid >> 40) & 0xff);
+    b[3] = static_cast<std::uint8_t>((iid >> 16) & 0xff);
+    b[4] = static_cast<std::uint8_t>((iid >> 8) & 0xff);
+    b[5] = static_cast<std::uint8_t>(iid & 0xff);
+    return MacAddress{b};
+  }
+
+  // Parses "aa:bb:cc:dd:ee:ff" (case-insensitive); nullopt on bad syntax.
+  [[nodiscard]] static std::optional<MacAddress> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;  // lowercase, colon-separated
+
+  friend constexpr bool operator==(const MacAddress&, const MacAddress&) =
+      default;
+  friend constexpr auto operator<=>(const MacAddress& a, const MacAddress& b) {
+    return a.to_u64() <=> b.to_u64();
+  }
+
+ private:
+  std::array<std::uint8_t, 6> b_{};
+};
+
+}  // namespace xmap::net
+
+template <>
+struct std::hash<xmap::net::MacAddress> {
+  std::size_t operator()(const xmap::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};

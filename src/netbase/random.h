@@ -1,0 +1,106 @@
+// Deterministic pseudo-random generators.
+//
+// Every experiment in this reproduction is seeded, so the whole pipeline
+// (topology generation, scan permutation, probe validation tags) must use
+// generators with precisely specified output. We use SplitMix64 for seeding
+// and one-shot hashing, and xoshiro256** as the workhorse generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace xmap::net {
+
+// SplitMix64 step: advances the state and returns the next output. Also the
+// recommended seeder for xoshiro.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mix, usable as a keyed hash for probe validation (the
+// ZMap/XMap trick: echo identifiers are a keyed hash of the destination so
+// responses validate without per-probe state).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64_next(s);
+}
+
+[[nodiscard]] constexpr std::uint64_t hash_combine64(std::uint64_t a,
+                                                     std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64_next(sm);
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound); bound must be nonzero. Uses rejection
+  // sampling to avoid modulo bias.
+  constexpr std::uint64_t uniform(std::uint64_t bound) {
+    if (bound <= 1) return 0;
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  constexpr bool bernoulli(double p) { return unit() < p; }
+
+  // Picks an index from a discrete distribution given by non-negative
+  // weights; weights summing to zero yield index 0.
+  std::size_t pick_weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return 0;
+    double x = unit() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (x < weights[i]) return i;
+      x -= weights[i];
+    }
+    return weights.size() - 1;
+  }
+
+  // Derives an independent child generator (for per-device streams).
+  [[nodiscard]] constexpr Rng fork(std::uint64_t stream) {
+    return Rng{hash_combine64(next(), stream)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace xmap::net

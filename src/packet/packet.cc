@@ -1,0 +1,202 @@
+#include "packet/packet.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "netbase/checksum.h"
+
+namespace xmap::pkt {
+namespace {
+
+void write16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void write32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+}  // namespace
+
+bool Ipv6View::valid() const {
+  if (d_.size() < kIpv6HeaderSize) return false;
+  if (version() != 6) return false;
+  return d_.size() >= kIpv6HeaderSize + payload_length();
+}
+
+bool Icmpv6View::checksum_ok(const net::Ipv6Address& src,
+                             const net::Ipv6Address& dst) const {
+  if (!valid()) return false;
+  return net::ipv6_upper_layer_checksum(src, dst, kProtoIcmpv6, d_) == 0;
+}
+
+bool UdpView::checksum_ok(const net::Ipv6Address& src,
+                          const net::Ipv6Address& dst) const {
+  if (!valid()) return false;
+  return net::ipv6_upper_layer_checksum(src, dst, kProtoUdp,
+                                        d_.subspan(0, length())) == 0;
+}
+
+bool TcpView::checksum_ok(const net::Ipv6Address& src,
+                          const net::Ipv6Address& dst) const {
+  if (!valid()) return false;
+  return net::ipv6_upper_layer_checksum(src, dst, kProtoTcp, d_) == 0;
+}
+
+Bytes build_ipv6(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                 std::uint8_t next_header, std::uint8_t hop_limit,
+                 std::span<const std::uint8_t> l4_payload) {
+  Bytes p(kIpv6HeaderSize + l4_payload.size());
+  p[0] = 0x60;  // version 6, traffic class 0
+  write16(&p[4], static_cast<std::uint16_t>(l4_payload.size()));
+  p[6] = next_header;
+  p[7] = hop_limit;
+  std::copy(src.bytes().begin(), src.bytes().end(), p.begin() + 8);
+  std::copy(dst.bytes().begin(), dst.bytes().end(), p.begin() + 24);
+  std::copy(l4_payload.begin(), l4_payload.end(),
+            p.begin() + kIpv6HeaderSize);
+  return p;
+}
+
+namespace {
+
+// Assembles an ICMPv6 message with correct checksum and wraps it in IPv6.
+Bytes build_icmpv6(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                   std::uint8_t hop_limit, Icmpv6Type type, std::uint8_t code,
+                   std::span<const std::uint8_t> rest_and_body) {
+  Bytes msg(4 + rest_and_body.size());
+  msg[0] = static_cast<std::uint8_t>(type);
+  msg[1] = code;
+  // checksum (bytes 2-3) zero for computation
+  std::copy(rest_and_body.begin(), rest_and_body.end(), msg.begin() + 4);
+  const std::uint16_t csum =
+      net::ipv6_upper_layer_checksum(src, dst, kProtoIcmpv6, msg);
+  write16(&msg[2], csum);
+  return build_ipv6(src, dst, kProtoIcmpv6, hop_limit, msg);
+}
+
+}  // namespace
+
+Bytes build_echo_request(const net::Ipv6Address& src,
+                         const net::Ipv6Address& dst, std::uint8_t hop_limit,
+                         std::uint16_t ident, std::uint16_t seq,
+                         std::span<const std::uint8_t> payload) {
+  Bytes rest(4 + payload.size());
+  write16(&rest[0], ident);
+  write16(&rest[2], seq);
+  std::copy(payload.begin(), payload.end(), rest.begin() + 4);
+  return build_icmpv6(src, dst, hop_limit, Icmpv6Type::kEchoRequest, 0, rest);
+}
+
+Bytes build_echo_reply(const Bytes& request, std::uint8_t hop_limit) {
+  Ipv6View ip{request};
+  Icmpv6View icmp{ip.payload()};
+  Bytes rest(ip.payload().size() - 4);
+  std::copy(ip.payload().begin() + 4, ip.payload().end(), rest.begin());
+  return build_icmpv6(ip.dst(), ip.src(), hop_limit, Icmpv6Type::kEchoReply, 0,
+                      rest);
+}
+
+Bytes build_icmpv6_error(const net::Ipv6Address& router_src, Icmpv6Type type,
+                         std::uint8_t code,
+                         std::span<const std::uint8_t> invoking,
+                         std::uint8_t hop_limit) {
+  Ipv6View orig{invoking};
+  // RFC 4443 §2.4(c): quote as much of the invoking packet as fits without
+  // the error packet exceeding the minimum IPv6 MTU.
+  constexpr std::size_t kMaxQuoted =
+      kIpv6MinMtu - kIpv6HeaderSize - 8;  // 8 = ICMPv6 header + unused field
+  const std::size_t quoted = std::min(invoking.size(), kMaxQuoted);
+  Bytes rest(4 + quoted);  // 4 unused bytes, then the quoted packet
+  std::copy(invoking.begin(),
+            invoking.begin() + static_cast<std::ptrdiff_t>(quoted),
+            rest.begin() + 4);
+  return build_icmpv6(router_src, orig.src(), hop_limit, type, code, rest);
+}
+
+Bytes build_udp(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                std::span<const std::uint8_t> payload,
+                std::uint8_t hop_limit) {
+  Bytes seg(8 + payload.size());
+  write16(&seg[0], src_port);
+  write16(&seg[2], dst_port);
+  write16(&seg[4], static_cast<std::uint16_t>(seg.size()));
+  std::copy(payload.begin(), payload.end(), seg.begin() + 8);
+  std::uint16_t csum = net::ipv6_upper_layer_checksum(src, dst, kProtoUdp, seg);
+  if (csum == 0) csum = 0xffff;  // RFC 8200 §8.1: zero transmitted as 0xffff
+  write16(&seg[6], csum);
+  return build_ipv6(src, dst, kProtoUdp, hop_limit, seg);
+}
+
+Bytes build_tcp(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                std::uint16_t src_port, std::uint16_t dst_port,
+                std::uint32_t seq, std::uint32_t ack, std::uint8_t flags,
+                std::uint16_t window, std::span<const std::uint8_t> payload,
+                std::uint8_t hop_limit) {
+  Bytes seg(20 + payload.size());
+  write16(&seg[0], src_port);
+  write16(&seg[2], dst_port);
+  write32(&seg[4], seq);
+  write32(&seg[8], ack);
+  seg[12] = 5 << 4;  // data offset: 5 words, no options
+  seg[13] = flags;
+  write16(&seg[14], window);
+  std::copy(payload.begin(), payload.end(), seg.begin() + 20);
+  const std::uint16_t csum =
+      net::ipv6_upper_layer_checksum(src, dst, kProtoTcp, seg);
+  write16(&seg[16], csum);
+  return build_ipv6(src, dst, kProtoTcp, hop_limit, seg);
+}
+
+bool decrement_hop_limit(Bytes& p) {
+  if (p[7] <= 1) return false;
+  --p[7];
+  return true;
+}
+
+net::Ipv6Address src_of(const Bytes& p) { return Ipv6View{p}.src(); }
+net::Ipv6Address dst_of(const Bytes& p) { return Ipv6View{p}.dst(); }
+
+std::string summarize(const Bytes& p) {
+  Ipv6View ip{p};
+  if (!ip.valid()) return "<malformed>";
+  std::string out = ip.src().to_string() + " > " + ip.dst().to_string();
+  char extra[96] = {0};
+  switch (ip.next_header()) {
+    case kProtoIcmpv6: {
+      Icmpv6View icmp{ip.payload()};
+      if (icmp.valid()) {
+        std::snprintf(extra, sizeof extra, " icmp6 type=%u code=%u hlim=%u",
+                      static_cast<unsigned>(icmp.type()), icmp.code(),
+                      ip.hop_limit());
+      }
+      break;
+    }
+    case kProtoUdp: {
+      UdpView udp{ip.payload()};
+      if (udp.valid()) {
+        std::snprintf(extra, sizeof extra, " udp %u>%u len=%u", udp.src_port(),
+                      udp.dst_port(), udp.length());
+      }
+      break;
+    }
+    case kProtoTcp: {
+      TcpView tcp{ip.payload()};
+      if (tcp.valid()) {
+        std::snprintf(extra, sizeof extra, " tcp %u>%u flags=%02x",
+                      tcp.src_port(), tcp.dst_port(), tcp.flags());
+      }
+      break;
+    }
+    default:
+      std::snprintf(extra, sizeof extra, " proto=%u", ip.next_header());
+  }
+  return out + extra;
+}
+
+}  // namespace xmap::pkt

@@ -1,0 +1,271 @@
+// Wire-format IPv6 packets.
+//
+// The whole simulation substrate forwards genuine IPv6 packet bytes: a 40-byte
+// RFC 8200 base header followed by ICMPv6 (RFC 4443), UDP (RFC 768) or TCP
+// (RFC 9293) with correct pseudo-header checksums. Builders construct
+// packets; *View classes are non-owning parsers. Keeping everything
+// wire-accurate means the scanner's validation logic (checksums, quoted
+// invoking packets inside ICMPv6 errors) is exercised exactly as it would be
+// against a real network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/ipv6.h"
+
+namespace xmap::pkt {
+
+using Bytes = std::vector<std::uint8_t>;
+
+inline constexpr std::size_t kIpv6HeaderSize = 40;
+inline constexpr std::size_t kIpv6MinMtu = 1280;  // RFC 8200 §5
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kProtoIcmpv6 = 58;
+
+inline constexpr std::uint8_t kDefaultHopLimit = 64;
+inline constexpr std::uint8_t kMaxHopLimit = 255;
+
+// ICMPv6 message types (RFC 4443).
+enum class Icmpv6Type : std::uint8_t {
+  kDestUnreachable = 1,
+  kPacketTooBig = 2,
+  kTimeExceeded = 3,
+  kParamProblem = 4,
+  kEchoRequest = 128,
+  kEchoReply = 129,
+};
+
+// Destination Unreachable codes (RFC 4443 §3.1).
+enum class UnreachCode : std::uint8_t {
+  kNoRoute = 0,
+  kAdminProhibited = 1,
+  kBeyondScope = 2,
+  kAddressUnreachable = 3,
+  kPortUnreachable = 4,
+  kFailedPolicy = 5,
+  kRejectRoute = 6,
+};
+
+// Time Exceeded codes (RFC 4443 §3.3).
+enum class TimeExceededCode : std::uint8_t {
+  kHopLimitExceeded = 0,
+  kReassemblyTimeout = 1,
+};
+
+// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+// ---------------------------------------------------------------------------
+// Views (non-owning parsers)
+// ---------------------------------------------------------------------------
+
+class Ipv6View {
+ public:
+  explicit Ipv6View(std::span<const std::uint8_t> data) : d_(data) {}
+
+  // Structurally valid: big enough, version 6, payload length consistent.
+  [[nodiscard]] bool valid() const;
+
+  [[nodiscard]] int version() const { return d_[0] >> 4; }
+  [[nodiscard]] std::uint8_t traffic_class() const {
+    return static_cast<std::uint8_t>(((d_[0] & 0x0f) << 4) | (d_[1] >> 4));
+  }
+  [[nodiscard]] std::uint32_t flow_label() const {
+    return (static_cast<std::uint32_t>(d_[1] & 0x0f) << 16) |
+           (static_cast<std::uint32_t>(d_[2]) << 8) | d_[3];
+  }
+  [[nodiscard]] std::uint16_t payload_length() const {
+    return static_cast<std::uint16_t>((d_[4] << 8) | d_[5]);
+  }
+  [[nodiscard]] std::uint8_t next_header() const { return d_[6]; }
+  [[nodiscard]] std::uint8_t hop_limit() const { return d_[7]; }
+  [[nodiscard]] net::Ipv6Address src() const { return read_addr(8); }
+  [[nodiscard]] net::Ipv6Address dst() const { return read_addr(24); }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return d_.subspan(kIpv6HeaderSize,
+                      std::min<std::size_t>(payload_length(),
+                                            d_.size() - kIpv6HeaderSize));
+  }
+  [[nodiscard]] std::span<const std::uint8_t> raw() const { return d_; }
+
+ private:
+  [[nodiscard]] net::Ipv6Address read_addr(std::size_t offset) const {
+    std::array<std::uint8_t, 16> b{};
+    for (int i = 0; i < 16; ++i)
+      b[static_cast<std::size_t>(i)] = d_[offset + static_cast<std::size_t>(i)];
+    return net::Ipv6Address{b};
+  }
+  std::span<const std::uint8_t> d_;
+};
+
+class Icmpv6View {
+ public:
+  // `l4` is the ICMPv6 message (the IPv6 payload).
+  explicit Icmpv6View(std::span<const std::uint8_t> l4) : d_(l4) {}
+
+  [[nodiscard]] bool valid() const { return d_.size() >= 8; }
+  [[nodiscard]] Icmpv6Type type() const {
+    return static_cast<Icmpv6Type>(d_[0]);
+  }
+  [[nodiscard]] std::uint8_t code() const { return d_[1]; }
+  [[nodiscard]] std::uint16_t checksum() const {
+    return static_cast<std::uint16_t>((d_[2] << 8) | d_[3]);
+  }
+  [[nodiscard]] bool is_error() const { return d_[0] < 128; }
+
+  // Echo messages.
+  [[nodiscard]] std::uint16_t ident() const {
+    return static_cast<std::uint16_t>((d_[4] << 8) | d_[5]);
+  }
+  [[nodiscard]] std::uint16_t seq() const {
+    return static_cast<std::uint16_t>((d_[6] << 8) | d_[7]);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> echo_payload() const {
+    return d_.subspan(8);
+  }
+
+  // Error messages quote the invoking packet after 4 unused/MTU bytes.
+  [[nodiscard]] std::span<const std::uint8_t> invoking_packet() const {
+    return d_.subspan(8);
+  }
+
+  // Verifies the pseudo-header checksum given the enclosing addresses.
+  [[nodiscard]] bool checksum_ok(const net::Ipv6Address& src,
+                                 const net::Ipv6Address& dst) const;
+
+ private:
+  std::span<const std::uint8_t> d_;
+};
+
+class UdpView {
+ public:
+  explicit UdpView(std::span<const std::uint8_t> l4) : d_(l4) {}
+  [[nodiscard]] bool valid() const {
+    return d_.size() >= 8 && length() >= 8 && length() <= d_.size();
+  }
+  [[nodiscard]] std::uint16_t src_port() const {
+    return static_cast<std::uint16_t>((d_[0] << 8) | d_[1]);
+  }
+  [[nodiscard]] std::uint16_t dst_port() const {
+    return static_cast<std::uint16_t>((d_[2] << 8) | d_[3]);
+  }
+  [[nodiscard]] std::uint16_t length() const {
+    return static_cast<std::uint16_t>((d_[4] << 8) | d_[5]);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return d_.subspan(8, length() - 8);
+  }
+  [[nodiscard]] bool checksum_ok(const net::Ipv6Address& src,
+                                 const net::Ipv6Address& dst) const;
+
+ private:
+  std::span<const std::uint8_t> d_;
+};
+
+class TcpView {
+ public:
+  explicit TcpView(std::span<const std::uint8_t> l4) : d_(l4) {}
+  [[nodiscard]] bool valid() const {
+    return d_.size() >= 20 && data_offset() >= 20 && data_offset() <= d_.size();
+  }
+  [[nodiscard]] std::uint16_t src_port() const {
+    return static_cast<std::uint16_t>((d_[0] << 8) | d_[1]);
+  }
+  [[nodiscard]] std::uint16_t dst_port() const {
+    return static_cast<std::uint16_t>((d_[2] << 8) | d_[3]);
+  }
+  [[nodiscard]] std::uint32_t seq() const { return read32(4); }
+  [[nodiscard]] std::uint32_t ack() const { return read32(8); }
+  [[nodiscard]] std::size_t data_offset() const {
+    return static_cast<std::size_t>(d_[12] >> 4) * 4;
+  }
+  [[nodiscard]] std::uint8_t flags() const { return d_[13]; }
+  [[nodiscard]] std::uint16_t window() const {
+    return static_cast<std::uint16_t>((d_[14] << 8) | d_[15]);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const {
+    return d_.subspan(data_offset());
+  }
+  [[nodiscard]] bool checksum_ok(const net::Ipv6Address& src,
+                                 const net::Ipv6Address& dst) const;
+
+ private:
+  [[nodiscard]] std::uint32_t read32(std::size_t i) const {
+    return (static_cast<std::uint32_t>(d_[i]) << 24) |
+           (static_cast<std::uint32_t>(d_[i + 1]) << 16) |
+           (static_cast<std::uint32_t>(d_[i + 2]) << 8) | d_[i + 3];
+  }
+  std::span<const std::uint8_t> d_;
+};
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+// Generic IPv6 packet around a fully-formed L4 payload (checksum included).
+[[nodiscard]] Bytes build_ipv6(const net::Ipv6Address& src,
+                               const net::Ipv6Address& dst,
+                               std::uint8_t next_header, std::uint8_t hop_limit,
+                               std::span<const std::uint8_t> l4_payload);
+
+[[nodiscard]] Bytes build_echo_request(const net::Ipv6Address& src,
+                                       const net::Ipv6Address& dst,
+                                       std::uint8_t hop_limit,
+                                       std::uint16_t ident, std::uint16_t seq,
+                                       std::span<const std::uint8_t> payload = {});
+
+// Echo reply mirroring `request` (src/dst swapped, ident/seq/payload copied).
+[[nodiscard]] Bytes build_echo_reply(const Bytes& request,
+                                     std::uint8_t hop_limit = kDefaultHopLimit);
+
+// ICMPv6 error message (Destination Unreachable / Time Exceeded) quoting the
+// invoking packet, truncated so the result fits in the IPv6 minimum MTU.
+// Errors are originated at hop limit 255 (the common embedded-stack
+// behaviour) — which is what lets the spoofed-source variant of the routing
+// loop attack re-amplify through the victim's own Time Exceeded replies.
+[[nodiscard]] Bytes build_icmpv6_error(const net::Ipv6Address& router_src,
+                                       Icmpv6Type type, std::uint8_t code,
+                                       std::span<const std::uint8_t> invoking,
+                                       std::uint8_t hop_limit = kMaxHopLimit);
+
+[[nodiscard]] Bytes build_udp(const net::Ipv6Address& src,
+                              const net::Ipv6Address& dst,
+                              std::uint16_t src_port, std::uint16_t dst_port,
+                              std::span<const std::uint8_t> payload,
+                              std::uint8_t hop_limit = kDefaultHopLimit);
+
+[[nodiscard]] Bytes build_tcp(const net::Ipv6Address& src,
+                              const net::Ipv6Address& dst,
+                              std::uint16_t src_port, std::uint16_t dst_port,
+                              std::uint32_t seq, std::uint32_t ack,
+                              std::uint8_t flags, std::uint16_t window,
+                              std::span<const std::uint8_t> payload = {},
+                              std::uint8_t hop_limit = kDefaultHopLimit);
+
+// ---------------------------------------------------------------------------
+// In-place mutation helpers used by the forwarding plane.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline std::uint8_t hop_limit_of(const Bytes& p) { return p[7]; }
+inline void set_hop_limit(Bytes& p, std::uint8_t h) { p[7] = h; }
+// Decrements the hop limit; returns false when it was already zero or one
+// (i.e. the packet must be discarded and Time Exceeded generated).
+[[nodiscard]] bool decrement_hop_limit(Bytes& p);
+
+[[nodiscard]] net::Ipv6Address src_of(const Bytes& p);
+[[nodiscard]] net::Ipv6Address dst_of(const Bytes& p);
+
+// One-line human-readable summary (for traces and examples).
+[[nodiscard]] std::string summarize(const Bytes& p);
+
+}  // namespace xmap::pkt

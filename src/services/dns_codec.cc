@@ -1,0 +1,251 @@
+#include "services/dns_codec.h"
+
+#include <algorithm>
+
+namespace xmap::svc {
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+// Encodes a dotted name as length-prefixed labels. Returns false when a
+// label exceeds 63 bytes or the name exceeds 255.
+bool put_name(std::vector<std::uint8_t>& out, const std::string& name) {
+  if (name.size() > 253) return false;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string::npos) dot = name.size();
+    const std::size_t len = dot - start;
+    if (len > 63) return false;
+    if (len == 0 && dot != name.size()) return false;  // empty inner label
+    if (len > 0) {
+      out.push_back(static_cast<std::uint8_t>(len));
+      out.insert(out.end(), name.begin() + static_cast<std::ptrdiff_t>(start),
+                 name.begin() + static_cast<std::ptrdiff_t>(dot));
+    }
+    if (dot == name.size()) break;
+    start = dot + 1;
+  }
+  out.push_back(0);
+  return true;
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  std::uint8_t read8() {
+    if (pos_ + 1 > wire_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return wire_[pos_++];
+  }
+  std::uint16_t read16() {
+    const std::uint16_t hi = read8();
+    return static_cast<std::uint16_t>((hi << 8) | read8());
+  }
+  std::uint32_t read32() {
+    const std::uint32_t hi = read16();
+    return (hi << 16) | read16();
+  }
+  std::vector<std::uint8_t> read_bytes(std::size_t n) {
+    if (pos_ + n > wire_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> out(wire_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  wire_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  // Reads a possibly-compressed name; follows at most 32 pointers.
+  std::string read_name() {
+    std::string name;
+    std::size_t p = pos_;
+    bool jumped = false;
+    int hops = 0;
+    while (true) {
+      if (p >= wire_.size() || ++hops > 128) {
+        ok_ = false;
+        return {};
+      }
+      const std::uint8_t len = wire_[p];
+      if (len == 0) {
+        if (!jumped) pos_ = p + 1;
+        return name;
+      }
+      if ((len & 0xc0) == 0xc0) {
+        if (p + 1 >= wire_.size()) {
+          ok_ = false;
+          return {};
+        }
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | wire_[p + 1];
+        if (!jumped) pos_ = p + 2;
+        jumped = true;
+        if (target >= p) {  // forward pointers would allow loops
+          ok_ = false;
+          return {};
+        }
+        p = target;
+        continue;
+      }
+      if ((len & 0xc0) != 0) {  // reserved label types
+        ok_ = false;
+        return {};
+      }
+      if (p + 1 + len > wire_.size()) {
+        ok_ = false;
+        return {};
+      }
+      if (!name.empty()) name += '.';
+      name.append(reinterpret_cast<const char*>(&wire_[p + 1]), len);
+      p += 1 + static_cast<std::size_t>(len);
+    }
+  }
+
+ private:
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+DnsRecord DnsRecord::a(std::string name, std::uint32_t ipv4,
+                       std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.type = DnsType::kA;
+  r.ttl = ttl;
+  r.rdata = {static_cast<std::uint8_t>(ipv4 >> 24),
+             static_cast<std::uint8_t>(ipv4 >> 16),
+             static_cast<std::uint8_t>(ipv4 >> 8),
+             static_cast<std::uint8_t>(ipv4)};
+  return r;
+}
+
+DnsRecord DnsRecord::aaaa(std::string name,
+                          std::span<const std::uint8_t> addr16,
+                          std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.type = DnsType::kAaaa;
+  r.ttl = ttl;
+  r.rdata.assign(addr16.begin(), addr16.end());
+  return r;
+}
+
+DnsRecord DnsRecord::txt(std::string name, DnsClass klass, std::string text,
+                         std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.type = DnsType::kTxt;
+  r.klass = klass;
+  r.ttl = ttl;
+  const std::size_t len = std::min<std::size_t>(text.size(), 255);
+  r.rdata.push_back(static_cast<std::uint8_t>(len));
+  r.rdata.insert(r.rdata.end(), text.begin(),
+                 text.begin() + static_cast<std::ptrdiff_t>(len));
+  return r;
+}
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  put16(out, id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(rcode);
+  put16(out, flags);
+  put16(out, static_cast<std::uint16_t>(questions.size()));
+  put16(out, static_cast<std::uint16_t>(answers.size()));
+  put16(out, 0);  // authority
+  put16(out, 0);  // additional
+  for (const auto& q : questions) {
+    if (!put_name(out, q.name)) return {};
+    put16(out, static_cast<std::uint16_t>(q.type));
+    put16(out, static_cast<std::uint16_t>(q.klass));
+  }
+  for (const auto& rec : answers) {
+    if (!put_name(out, rec.name)) return {};
+    put16(out, static_cast<std::uint16_t>(rec.type));
+    put16(out, static_cast<std::uint16_t>(rec.klass));
+    put32(out, rec.ttl);
+    put16(out, static_cast<std::uint16_t>(rec.rdata.size()));
+    out.insert(out.end(), rec.rdata.begin(), rec.rdata.end());
+  }
+  return out;
+}
+
+std::optional<DnsMessage> DnsMessage::decode(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < 12) return std::nullopt;
+  Reader r{wire};
+  DnsMessage msg;
+  msg.id = r.read16();
+  const std::uint16_t flags = r.read16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  msg.recursion_available = (flags & 0x0080) != 0;
+  msg.rcode = static_cast<DnsRcode>(flags & 0x0f);
+  const std::uint16_t qd = r.read16();
+  const std::uint16_t an = r.read16();
+  r.read16();  // authority count (ignored)
+  r.read16();  // additional count (ignored)
+  if (qd > 32 || an > 64) return std::nullopt;  // hostile counts
+  for (int i = 0; i < qd; ++i) {
+    DnsQuestion q;
+    q.name = r.read_name();
+    q.type = static_cast<DnsType>(r.read16());
+    q.klass = static_cast<DnsClass>(r.read16());
+    if (!r.ok()) return std::nullopt;
+    msg.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an; ++i) {
+    DnsRecord rec;
+    rec.name = r.read_name();
+    rec.type = static_cast<DnsType>(r.read16());
+    rec.klass = static_cast<DnsClass>(r.read16());
+    rec.ttl = r.read32();
+    const std::uint16_t rdlen = r.read16();
+    rec.rdata = r.read_bytes(rdlen);
+    if (!r.ok()) return std::nullopt;
+    msg.answers.push_back(std::move(rec));
+  }
+  if (!r.ok()) return std::nullopt;
+  return msg;
+}
+
+DnsMessage make_version_query(std::uint16_t id) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.questions.push_back(
+      DnsQuestion{"version.bind", DnsType::kTxt, DnsClass::kChaos});
+  return msg;
+}
+
+DnsMessage make_query(std::uint16_t id, std::string name, DnsType type) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.recursion_desired = true;
+  msg.questions.push_back(DnsQuestion{std::move(name), type, DnsClass::kIn});
+  return msg;
+}
+
+}  // namespace xmap::svc

@@ -1,0 +1,83 @@
+// Minimal DNS wire-format codec (RFC 1035), enough for the periphery
+// service experiments: encode/decode queries and responses for A/AAAA/TXT,
+// including the CHAOS-class "version.bind" query that ZGrab-style scanners
+// use to fingerprint resolver software (Table VIII).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xmap::svc {
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kAny = 255,
+};
+
+enum class DnsClass : std::uint16_t {
+  kIn = 1,
+  kChaos = 3,
+};
+
+enum class DnsRcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+struct DnsQuestion {
+  std::string name;  // dotted form, no trailing dot
+  DnsType type = DnsType::kA;
+  DnsClass klass = DnsClass::kIn;
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType type = DnsType::kA;
+  DnsClass klass = DnsClass::kIn;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+
+  // Convenience constructors for the record types we emit.
+  static DnsRecord a(std::string name, std::uint32_t ipv4, std::uint32_t ttl);
+  static DnsRecord aaaa(std::string name, std::span<const std::uint8_t> addr16,
+                        std::uint32_t ttl);
+  static DnsRecord txt(std::string name, DnsClass klass, std::string text,
+                       std::uint32_t ttl);
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = false;
+  bool recursion_available = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  // nullopt on malformed input. Name decompression is supported with a
+  // pointer-loop guard.
+  [[nodiscard]] static std::optional<DnsMessage> decode(
+      std::span<const std::uint8_t> wire);
+};
+
+// Builds the conventional "version.bind TXT CH" software query.
+[[nodiscard]] DnsMessage make_version_query(std::uint16_t id);
+// Builds a standard recursive query.
+[[nodiscard]] DnsMessage make_query(std::uint16_t id, std::string name,
+                                    DnsType type);
+
+}  // namespace xmap::svc

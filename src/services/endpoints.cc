@@ -1,0 +1,297 @@
+// Concrete service endpoint implementations.
+//
+// Substitution note (see DESIGN.md): these speak genuine wire formats where
+// the experiment depends on it (DNS, NTP datagram layout, HTTP) and
+// authentic-looking text banners elsewhere (FTP/SSH/TELNET). TLS is modelled
+// as a handshake-shaped exchange carrying the certificate subject in clear —
+// the paper's grabber only extracts the certificate identity, so a full TLS
+// stack would add nothing to the measured behaviour.
+#include <algorithm>
+#include <cstring>
+
+#include "services/dns_codec.h"
+#include "services/service.h"
+
+namespace xmap::svc {
+namespace {
+
+Bytes to_bytes(const std::string& s) {
+  return Bytes{s.begin(), s.end()};
+}
+
+std::string to_string_view_copy(std::span<const std::uint8_t> data) {
+  return std::string{reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+class EndpointBase : public ServiceEndpoint {
+ public:
+  EndpointBase(ServiceKind kind, SoftwareInfo software, std::string banner)
+      : kind_(kind), software_(std::move(software)),
+        device_banner_(std::move(banner)) {}
+
+  [[nodiscard]] ServiceKind kind() const override { return kind_; }
+  [[nodiscard]] const SoftwareInfo& software() const override {
+    return software_;
+  }
+
+ protected:
+  [[nodiscard]] const std::string& device_banner() const {
+    return device_banner_;
+  }
+
+ private:
+  ServiceKind kind_;
+  SoftwareInfo software_;
+  std::string device_banner_;
+};
+
+// ---------------------------------------------------------------------------
+// DNS forwarder (dnsmasq-style): answers A/AAAA from a tiny synthetic cache
+// and "version.bind TXT CH" with the software version.
+// ---------------------------------------------------------------------------
+class DnsService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  std::optional<Bytes> handle_datagram(
+      std::span<const std::uint8_t> request) override {
+    auto query = DnsMessage::decode(request);
+    if (!query || query->is_response || query->questions.empty()) {
+      return std::nullopt;
+    }
+    const DnsQuestion& q = query->questions.front();
+
+    DnsMessage resp;
+    resp.id = query->id;
+    resp.is_response = true;
+    resp.recursion_desired = query->recursion_desired;
+    resp.recursion_available = true;  // it is an (open) forwarder
+    resp.questions.push_back(q);
+
+    if (q.klass == DnsClass::kChaos && q.type == DnsType::kTxt &&
+        (q.name == "version.bind" || q.name == "version.server")) {
+      resp.answers.push_back(DnsRecord::txt(q.name, DnsClass::kChaos,
+                                            software().full(), 0));
+    } else if (q.klass == DnsClass::kIn && q.type == DnsType::kA) {
+      // Synthetic forwarded answer: a stable fake derived from the name.
+      std::uint32_t h = 0x811c9dc5;
+      for (char c : q.name) h = (h ^ static_cast<std::uint8_t>(c)) * 16777619u;
+      const std::uint32_t addr = 0x05000000u | (h & 0x00ffffffu);  // 5.x.x.x
+      resp.answers.push_back(DnsRecord::a(q.name, addr, 300));
+    } else if (q.klass == DnsClass::kIn && q.type == DnsType::kAaaa) {
+      std::uint8_t addr[16] = {0x20, 0x01, 0x0d, 0xb8, 0xee, 0xee};
+      std::uint32_t h = 0x811c9dc5;
+      for (char c : q.name) h = (h ^ static_cast<std::uint8_t>(c)) * 16777619u;
+      std::memcpy(addr + 12, &h, 4);
+      resp.answers.push_back(DnsRecord::aaaa(q.name, addr, 300));
+    } else {
+      resp.rcode = DnsRcode::kNotImp;
+    }
+    return resp.encode();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// NTP v4 server: answers a 48-byte mode-3 (client) packet with a mode-4
+// (server) packet; version bits echo the server version (Table VII: all
+// exposed NTP servers ran version 4).
+// ---------------------------------------------------------------------------
+class NtpService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  std::optional<Bytes> handle_datagram(
+      std::span<const std::uint8_t> request) override {
+    if (request.size() >= 12 && (request[0] & 0x07) == 6) {
+      // NTP control message (mode 6), opcode READVAR: answer with the
+      // ASCII variable list carrying the daemon version — the query
+      // ntpq/ZGrab actually send for fingerprinting.
+      if ((request[1] & 0x1f) != 2) return std::nullopt;
+      const std::string vars = "version=\"" + software().full() +
+                               "\", processor=\"mips\", system=\"Linux\"";
+      Bytes resp(12, 0);
+      resp[0] = (request[0] & 0x38) | 6;   // same version, mode 6
+      resp[1] = 0x80 | 2;                  // response bit + READVAR opcode
+      resp[2] = request[2];                // sequence echoed
+      resp[3] = request[3];
+      resp[10] = static_cast<std::uint8_t>(vars.size() >> 8);
+      resp[11] = static_cast<std::uint8_t>(vars.size() & 0xff);
+      resp.insert(resp.end(), vars.begin(), vars.end());
+      return resp;
+    }
+    if (request.size() < 48) return std::nullopt;
+    const std::uint8_t li_vn_mode = request[0];
+    const std::uint8_t mode = li_vn_mode & 0x07;
+    if (mode != 3) return std::nullopt;  // only answer client requests
+    Bytes resp(48, 0);
+    resp[0] = static_cast<std::uint8_t>((4u << 3) | 4u);  // version 4, server
+    resp[1] = 2;                                          // stratum 2
+    resp[2] = request[2];                                 // poll echoed
+    // Reference id: "LOCL".
+    resp[12] = 'L';
+    resp[13] = 'O';
+    resp[14] = 'C';
+    resp[15] = 'L';
+    // Originate timestamp := client transmit timestamp (bytes 40..47).
+    std::copy(request.begin() + 40, request.begin() + 48, resp.begin() + 24);
+    // Receive/transmit timestamps: fixed synthetic epoch.
+    resp[32] = resp[40] = 0xe3;
+    resp[33] = resp[41] = 0x5b;
+    return resp;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FTP: RFC 959 greeting carrying the software identity.
+// ---------------------------------------------------------------------------
+class FtpService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  Bytes greeting() override {
+    return to_bytes("220 " + device_banner() + " FTP server (" +
+                    software().full() + ") ready.\r\n");
+  }
+
+  std::optional<Bytes> handle_stream(
+      std::span<const std::uint8_t> request) override {
+    const std::string line = to_string_view_copy(request);
+    if (line.rfind("USER", 0) == 0)
+      return to_bytes("331 Password required.\r\n");
+    if (line.rfind("QUIT", 0) == 0) return to_bytes("221 Goodbye.\r\n");
+    if (line.rfind("SYST", 0) == 0) return to_bytes("215 UNIX Type: L8\r\n");
+    return to_bytes("500 Unknown command.\r\n");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SSH: version exchange string (RFC 4253 §4.2).
+// ---------------------------------------------------------------------------
+class SshService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  Bytes greeting() override {
+    // dropbear formats as "SSH-2.0-dropbear_0.46"; openssh as
+    // "SSH-2.0-OpenSSH_3.5". Reproduce the underscore convention.
+    return to_bytes("SSH-2.0-" + software().software + "_" +
+                    software().version + "\r\n");
+  }
+
+  std::optional<Bytes> handle_stream(
+      std::span<const std::uint8_t>) override {
+    // A real server would start key exchange; the grabber only needs the
+    // version string, so just keep the connection silent.
+    return std::nullopt;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TELNET: login prompt with the vendor banner (how the paper identified 37k
+// devices with "forthright vendor banners").
+// ---------------------------------------------------------------------------
+class TelnetService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  Bytes greeting() override {
+    // IAC DO/WILL negotiation preamble followed by the banner.
+    Bytes out{0xff, 0xfd, 0x18, 0xff, 0xfd, 0x20};
+    const std::string text = device_banner() + " login: ";
+    out.insert(out.end(), text.begin(), text.end());
+    return out;
+  }
+
+  std::optional<Bytes> handle_stream(
+      std::span<const std::uint8_t>) override {
+    return to_bytes(std::string{"Password: "});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// HTTP management page: Server header carries the embedded web server
+// identity; the body is the router login page keyed on in the paper
+// ("identified by the login keywords").
+// ---------------------------------------------------------------------------
+class HttpService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  std::optional<Bytes> handle_stream(
+      std::span<const std::uint8_t> request) override {
+    const std::string req = to_string_view_copy(request);
+    if (req.rfind("GET", 0) != 0 && req.rfind("HEAD", 0) != 0 &&
+        req.rfind("POST", 0) != 0) {
+      return std::nullopt;
+    }
+    const std::string body =
+        "<html><head><title>" + device_banner() +
+        " Router Login</title></head><body><form action=\"/login.cgi\" "
+        "method=\"post\"><input name=\"username\"/><input name=\"password\" "
+        "type=\"password\"/></form></body></html>";
+    std::string resp = "HTTP/1.1 200 OK\r\n";
+    resp += "Server: " + software().full() + "\r\n";
+    resp += "Content-Type: text/html\r\n";
+    resp += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    resp += "Connection: close\r\n\r\n";
+    resp += body;
+    return to_bytes(resp);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TLS: handshake-shaped exchange. Recognises a ClientHello (content type
+// 0x16) and replies with a record whose payload carries the certificate
+// subject and cipher in clear; see the substitution note at the top.
+// ---------------------------------------------------------------------------
+class TlsService final : public EndpointBase {
+ public:
+  using EndpointBase::EndpointBase;
+
+  std::optional<Bytes> handle_stream(
+      std::span<const std::uint8_t> request) override {
+    if (request.size() < 5 || request[0] != 0x16) return std::nullopt;
+    const std::string summary = "CERT CN=" + device_banner() +
+                                " ISSUER=" + software().full() +
+                                " CIPHER=TLS_RSA_WITH_AES_128_CBC_SHA";
+    Bytes out{0x16, 0x03, 0x03};  // handshake, TLS 1.2 record version
+    out.push_back(static_cast<std::uint8_t>(summary.size() >> 8));
+    out.push_back(static_cast<std::uint8_t>(summary.size() & 0xff));
+    out.insert(out.end(), summary.begin(), summary.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ServiceEndpoint> make_service(ServiceKind kind,
+                                              SoftwareInfo software,
+                                              std::string device_banner) {
+  switch (kind) {
+    case ServiceKind::kDns:
+      return std::make_unique<DnsService>(kind, std::move(software),
+                                          std::move(device_banner));
+    case ServiceKind::kNtp:
+      return std::make_unique<NtpService>(kind, std::move(software),
+                                          std::move(device_banner));
+    case ServiceKind::kFtp:
+      return std::make_unique<FtpService>(kind, std::move(software),
+                                          std::move(device_banner));
+    case ServiceKind::kSsh:
+      return std::make_unique<SshService>(kind, std::move(software),
+                                          std::move(device_banner));
+    case ServiceKind::kTelnet:
+      return std::make_unique<TelnetService>(kind, std::move(software),
+                                             std::move(device_banner));
+    case ServiceKind::kHttp:
+    case ServiceKind::kHttp8080:
+      return std::make_unique<HttpService>(kind, std::move(software),
+                                           std::move(device_banner));
+    case ServiceKind::kTls:
+      return std::make_unique<TlsService>(kind, std::move(software),
+                                          std::move(device_banner));
+  }
+  return nullptr;
+}
+
+}  // namespace xmap::svc

@@ -1,0 +1,120 @@
+// Application-layer service endpoints hosted on periphery devices.
+//
+// These are the seven security-relevant services the paper probes (Table VI):
+// DNS/53, NTP/123, FTP/21, SSH/22, TELNET/23, HTTP/80, TLS/443 and HTTP/8080.
+// Each endpoint consumes raw application bytes and produces raw response
+// bytes, exactly what a ZGrab-style banner grabber sees. Software name and
+// version strings are carried verbatim in the banners so the analysis layer
+// can reproduce the paper's version/CVE exposure study (Table VIII).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xmap::svc {
+
+// Order matters: this is the column order of Tables VI and VII.
+enum class ServiceKind : std::uint8_t {
+  kDns = 0,      // UDP/53
+  kNtp = 1,      // UDP/123
+  kFtp = 2,      // TCP/21
+  kSsh = 3,      // TCP/22
+  kTelnet = 4,   // TCP/23
+  kHttp = 5,     // TCP/80
+  kTls = 6,      // TCP/443
+  kHttp8080 = 7  // TCP/8080
+};
+
+inline constexpr int kServiceCount = 8;
+inline constexpr ServiceKind kAllServices[kServiceCount] = {
+    ServiceKind::kDns,    ServiceKind::kNtp,  ServiceKind::kFtp,
+    ServiceKind::kSsh,    ServiceKind::kTelnet, ServiceKind::kHttp,
+    ServiceKind::kTls,    ServiceKind::kHttp8080};
+
+[[nodiscard]] constexpr std::uint16_t port_of(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kDns: return 53;
+    case ServiceKind::kNtp: return 123;
+    case ServiceKind::kFtp: return 21;
+    case ServiceKind::kSsh: return 22;
+    case ServiceKind::kTelnet: return 23;
+    case ServiceKind::kHttp: return 80;
+    case ServiceKind::kTls: return 443;
+    case ServiceKind::kHttp8080: return 8080;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr bool is_tcp(ServiceKind kind) {
+  return kind != ServiceKind::kDns && kind != ServiceKind::kNtp;
+}
+
+[[nodiscard]] constexpr const char* service_name(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kDns: return "DNS-53";
+    case ServiceKind::kNtp: return "NTP-123";
+    case ServiceKind::kFtp: return "FTP-21";
+    case ServiceKind::kSsh: return "SSH-22";
+    case ServiceKind::kTelnet: return "TELNET-23";
+    case ServiceKind::kHttp: return "HTTP-80";
+    case ServiceKind::kTls: return "TLS-443";
+    case ServiceKind::kHttp8080: return "HTTP-8080";
+  }
+  return "?";
+}
+
+// Software identity baked into a service's banners.
+struct SoftwareInfo {
+  std::string software;  // e.g. "dnsmasq", "dropbear", "Jetty"
+  std::string version;   // e.g. "2.45", "0.46"
+
+  [[nodiscard]] std::string full() const {
+    return version.empty() ? software : software + "-" + version;
+  }
+  friend bool operator==(const SoftwareInfo&, const SoftwareInfo&) = default;
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+// One application-layer responder bound to a port on a device.
+//
+// The interface is transport-shaped rather than protocol-shaped:
+//  * UDP services answer one datagram with at most one datagram.
+//  * TCP services may greet with a banner as soon as the handshake
+//    completes, and answer request data with response data.
+class ServiceEndpoint {
+ public:
+  virtual ~ServiceEndpoint() = default;
+
+  [[nodiscard]] virtual ServiceKind kind() const = 0;
+  [[nodiscard]] virtual const SoftwareInfo& software() const = 0;
+
+  // UDP request/response. Default: not a UDP service.
+  [[nodiscard]] virtual std::optional<Bytes> handle_datagram(
+      std::span<const std::uint8_t> /*request*/) {
+    return std::nullopt;
+  }
+
+  // Bytes pushed by the server right after the TCP handshake (FTP/SSH/TELNET
+  // greeting). Empty for services that wait for the client.
+  [[nodiscard]] virtual Bytes greeting() { return {}; }
+
+  // TCP request/response (single exchange, enough for banner grabbing).
+  [[nodiscard]] virtual std::optional<Bytes> handle_stream(
+      std::span<const std::uint8_t> /*request*/) {
+    return std::nullopt;
+  }
+};
+
+// Factory covering all eight services. `device_banner` is vendor/device text
+// woven into banners where real devices expose it (HTTP server header, FTP
+// greeting, TELNET prompt), which is how app-level vendor identification
+// works in the paper.
+[[nodiscard]] std::unique_ptr<ServiceEndpoint> make_service(
+    ServiceKind kind, SoftwareInfo software, std::string device_banner);
+
+}  // namespace xmap::svc

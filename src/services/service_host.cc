@@ -1,0 +1,109 @@
+#include "services/service_host.h"
+
+#include "netbase/random.h"
+
+namespace xmap::svc {
+namespace {
+
+// Deterministic server initial sequence number for a 4-tuple.
+std::uint32_t server_isn(const net::Ipv6Address& peer, std::uint16_t peer_port,
+                         std::uint16_t local_port) {
+  const std::uint64_t h = net::hash_combine64(
+      peer.value().lo() ^ peer.value().hi(),
+      (static_cast<std::uint64_t>(peer_port) << 16) | local_port);
+  return static_cast<std::uint32_t>(h);
+}
+
+}  // namespace
+
+void ServiceHost::bind(std::unique_ptr<ServiceEndpoint> service) {
+  const std::uint16_t port = port_of(service->kind());
+  services_[port] = std::move(service);
+}
+
+std::vector<pkt::Bytes> ServiceHost::handle(const pkt::Bytes& packet,
+                                            const net::Ipv6Address& self) {
+  std::vector<pkt::Bytes> out;
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid()) return out;
+
+  if (ip.next_header() == pkt::kProtoUdp) {
+    pkt::UdpView udp{ip.payload()};
+    if (!udp.valid() || !udp.checksum_ok(ip.src(), ip.dst())) return out;
+    auto it = services_.find(udp.dst_port());
+    if (it == services_.end()) {
+      out.push_back(pkt::build_icmpv6_error(
+          self, pkt::Icmpv6Type::kDestUnreachable,
+          static_cast<std::uint8_t>(pkt::UnreachCode::kPortUnreachable),
+          packet));
+      return out;
+    }
+    if (auto resp = it->second->handle_datagram(udp.payload())) {
+      out.push_back(pkt::build_udp(self, ip.src(), udp.dst_port(),
+                                   udp.src_port(), *resp));
+    }
+    return out;
+  }
+
+  if (ip.next_header() == pkt::kProtoTcp) {
+    pkt::TcpView tcp{ip.payload()};
+    if (!tcp.valid() || !tcp.checksum_ok(ip.src(), ip.dst())) return out;
+    const std::uint16_t lport = tcp.dst_port();
+    const std::uint16_t rport = tcp.src_port();
+    auto it = services_.find(lport);
+    const std::uint32_t isn = server_isn(ip.src(), rport, lport);
+
+    if (tcp.flags() & pkt::kTcpRst) return out;  // never answer RSTs
+
+    if (it == services_.end()) {
+      // Closed port: RST/ACK per RFC 9293 §3.10.7.1.
+      out.push_back(pkt::build_tcp(self, ip.src(), lport, rport, 0,
+                                   tcp.seq() + 1, pkt::kTcpRst | pkt::kTcpAck,
+                                   0));
+      return out;
+    }
+
+    ServiceEndpoint& service = *it->second;
+    if (tcp.flags() & pkt::kTcpSyn) {
+      out.push_back(pkt::build_tcp(self, ip.src(), lport, rport, isn,
+                                   tcp.seq() + 1, pkt::kTcpSyn | pkt::kTcpAck,
+                                   65535));
+      return out;
+    }
+
+    if (tcp.flags() & pkt::kTcpFin) {
+      out.push_back(pkt::build_tcp(self, ip.src(), lport, rport, tcp.ack(),
+                                   tcp.seq() + 1, pkt::kTcpFin | pkt::kTcpAck,
+                                   65535));
+      return out;
+    }
+
+    if (tcp.flags() & pkt::kTcpAck) {
+      const auto data = tcp.payload();
+      if (data.empty()) {
+        // Handshake-completing ACK: push the greeting, if any.
+        Bytes greeting = service.greeting();
+        if (!greeting.empty()) {
+          out.push_back(pkt::build_tcp(self, ip.src(), lport, rport, isn + 1,
+                                       tcp.seq(), pkt::kTcpPsh | pkt::kTcpAck,
+                                       65535, greeting));
+        }
+        return out;
+      }
+      if (auto resp = service.handle_stream(data)) {
+        // Ack the client's data; continue our stream after any greeting.
+        const std::uint32_t server_seq =
+            isn + 1 + static_cast<std::uint32_t>(service.greeting().size());
+        out.push_back(pkt::build_tcp(
+            self, ip.src(), lport, rport, server_seq,
+            tcp.seq() + static_cast<std::uint32_t>(data.size()),
+            pkt::kTcpPsh | pkt::kTcpAck, 65535, *resp));
+      }
+      return out;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace xmap::svc

@@ -1,0 +1,46 @@
+// Packet-level service hosting for a simulated device.
+//
+// A ServiceHost owns the service endpoints bound on a device and converts
+// between wire packets and application bytes. TCP is handled with a
+// stateless responder (SYN -> SYN/ACK, bare ACK -> greeting, data ->
+// response), which is exactly the amount of TCP a single-exchange banner
+// grab requires; the server's sequence numbers are a keyed hash of the
+// 4-tuple so behaviour is deterministic without per-connection state.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.h"
+#include "services/service.h"
+
+namespace xmap::svc {
+
+class ServiceHost {
+ public:
+  ServiceHost() = default;
+
+  // Binds a service on its well-known port; replaces any previous binding.
+  void bind(std::unique_ptr<ServiceEndpoint> service);
+
+  [[nodiscard]] bool has(ServiceKind kind) const {
+    return services_.count(port_of(kind)) != 0;
+  }
+  [[nodiscard]] const ServiceEndpoint* endpoint(std::uint16_t port) const {
+    auto it = services_.find(port);
+    return it == services_.end() ? nullptr : it->second.get();
+  }
+  [[nodiscard]] std::size_t service_count() const { return services_.size(); }
+
+  // Handles a UDP or TCP packet addressed to this device (dst == self).
+  // Returns zero or more fully-formed response packets, including TCP RSTs
+  // for closed ports and ICMPv6 Port Unreachable for closed UDP ports.
+  [[nodiscard]] std::vector<pkt::Bytes> handle(const pkt::Bytes& packet,
+                                               const net::Ipv6Address& self);
+
+ private:
+  std::map<std::uint16_t, std::unique_ptr<ServiceEndpoint>> services_;
+};
+
+}  // namespace xmap::svc

@@ -1,0 +1,67 @@
+#include "sim/network.h"
+
+namespace xmap::sim {
+
+Network::Attachment Network::connect(NodeId a, NodeId b,
+                                     const LinkParams& params) {
+  if (node_links_.size() < nodes_.size()) node_links_.resize(nodes_.size());
+
+  const LinkId id = static_cast<LinkId>(links_.size());
+  Link link;
+  link.a = {a, nodes_[a]->interface_count_++};
+  link.b = {b, nodes_[b]->interface_count_++};
+  link.params = params;
+  links_.push_back(link);
+
+  node_links_[a].push_back(id);
+  node_links_[b].push_back(id);
+  return {id, link.a.iface, link.b.iface};
+}
+
+void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
+  // Unplugged port or node with no links: packet silently dropped.
+  if (from >= node_links_.size() || iface < 0 ||
+      static_cast<std::size_t>(iface) >= node_links_[from].size()) {
+    return;
+  }
+  Link& link = links_[node_links_[from][static_cast<std::size_t>(iface)]];
+  const bool is_a = link.a.node == from && link.a.iface == iface;
+
+  if (link.params.loss > 0 && rng_.bernoulli(link.params.loss)) {
+    ++link.stats.dropped;
+    return;
+  }
+
+  const Endpoint dest = is_a ? link.b : link.a;
+  const std::size_t size = packet.size();
+
+  // Serialization delay: the sender's transmit queue frees up after
+  // size*8/rate seconds; packets queue FIFO behind earlier ones.
+  SimTime depart = loop_.now();
+  if (link.params.rate_bps > 0) {
+    SimTime& next_free = is_a ? link.next_free_ab : link.next_free_ba;
+    const SimTime ser =
+        static_cast<SimTime>(size) * 8 * kSecond / link.params.rate_bps;
+    depart = std::max(depart, next_free);
+    next_free = depart + ser;
+    depart += ser;
+  }
+  const SimTime arrive = depart + link.params.latency;
+
+  if (is_a) {
+    ++link.stats.packets_ab;
+    link.stats.bytes_ab += size;
+  } else {
+    ++link.stats.packets_ba;
+    link.stats.bytes_ba += size;
+  }
+
+  loop_.schedule_at(
+      arrive, [this, from, dest, p = std::move(packet)]() mutable {
+        ++packets_delivered_;
+        if (tracer_) tracer_(loop_.now(), from, dest.node, p);
+        nodes_[dest.node]->receive(p, dest.iface);
+      });
+}
+
+}  // namespace xmap::sim

@@ -1,0 +1,160 @@
+// Simulated network graph: nodes joined by point-to-point links.
+//
+// Nodes exchange wire-format IPv6 packets (pkt::Bytes). Links model
+// propagation latency, serialization delay (bit rate) and random loss, and
+// keep per-direction traffic counters — the routing-loop amplification
+// experiments read those counters directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netbase/random.h"
+#include "packet/packet.h"
+#include "sim/event_loop.h"
+
+namespace xmap::sim {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+class Network;
+
+// Base class for everything attached to the network (routers, hosts, the
+// scanner itself).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // Called when a packet arrives on interface `iface` (per-node numbering in
+  // order of connect() calls).
+  virtual void receive(const pkt::Bytes& packet, int iface) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Network* network() const { return network_; }
+  [[nodiscard]] int interface_count() const { return interface_count_; }
+
+ protected:
+  // Sends a packet out of one of this node's interfaces.
+  void send(int iface, pkt::Bytes packet);
+
+ private:
+  friend class Network;
+  Network* network_ = nullptr;
+  NodeId id_ = kInvalidNode;
+  int interface_count_ = 0;
+};
+
+struct LinkParams {
+  SimTime latency = 100 * kMicrosecond;  // one-way propagation
+  double loss = 0.0;                     // per-packet drop probability
+  // Serialization rate in bits per simulated second; 0 = infinite.
+  std::uint64_t rate_bps = 0;
+};
+
+struct LinkStats {
+  std::uint64_t packets_ab = 0;  // delivered a -> b
+  std::uint64_t packets_ba = 0;
+  std::uint64_t bytes_ab = 0;
+  std::uint64_t bytes_ba = 0;
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] std::uint64_t packets_total() const {
+    return packets_ab + packets_ba;
+  }
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] SimTime now() const { return loop_.now(); }
+
+  // Takes ownership; returns the node for convenience.
+  template <typename T>
+  T* add_node(std::unique_ptr<T> node) {
+    T* raw = node.get();
+    raw->network_ = this;
+    raw->id_ = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+  template <typename T, typename... Args>
+  T* make_node(Args&&... args) {
+    return add_node(std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] Node* node(NodeId id) const { return nodes_[id].get(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  // Connects two nodes; allocates the next interface index on each side and
+  // returns {link id, iface on a, iface on b}.
+  struct Attachment {
+    LinkId link;
+    int iface_a;
+    int iface_b;
+  };
+  Attachment connect(NodeId a, NodeId b, const LinkParams& params = {});
+
+  [[nodiscard]] const LinkStats& link_stats(LinkId id) const {
+    return links_[id].stats;
+  }
+  void reset_link_stats(LinkId id) { links_[id].stats = LinkStats{}; }
+
+  // Runs the event loop to completion (bounded by max_events as a backstop).
+  void run(std::uint64_t max_events = ~std::uint64_t{0}) {
+    loop_.run(max_events);
+  }
+  void run_until(SimTime deadline) { loop_.run_until(deadline); }
+
+  [[nodiscard]] std::uint64_t packets_delivered() const {
+    return packets_delivered_;
+  }
+
+  // Delivery tracer: called for every delivered packet (after loss, at
+  // arrival time) — a pcap-style tap for debugging and the examples.
+  // Pass nullptr to disable.
+  using Tracer = std::function<void(SimTime when, NodeId from, NodeId to,
+                                    const pkt::Bytes& packet)>;
+  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+ private:
+  friend class Node;
+
+  struct Endpoint {
+    NodeId node = kInvalidNode;
+    int iface = -1;
+  };
+  struct Link {
+    Endpoint a;
+    Endpoint b;
+    LinkParams params;
+    LinkStats stats;
+    SimTime next_free_ab = 0;  // transmit-queue model per direction
+    SimTime next_free_ba = 0;
+  };
+
+  // Routes a transmit request from (node, iface) onto its link.
+  void transmit(NodeId from, int iface, pkt::Bytes packet);
+
+  EventLoop loop_;
+  net::Rng rng_;
+  Tracer tracer_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Link> links_;
+  // node_links_[node][iface] == link id (interfaces are dense per node).
+  std::vector<std::vector<LinkId>> node_links_;
+  std::uint64_t packets_delivered_ = 0;
+};
+
+inline void Node::send(int iface, pkt::Bytes packet) {
+  network_->transmit(id_, iface, std::move(packet));
+}
+
+}  // namespace xmap::sim

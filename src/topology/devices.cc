@@ -1,0 +1,480 @@
+#include "topology/devices.h"
+
+namespace xmap::topo {
+namespace {
+
+// Flow key for loop-cap bookkeeping: keyed hash of the packet's 4 address
+// words (src/dst), so repeated forwards of one looping flow share a counter.
+std::uint64_t flow_key(const pkt::Bytes& packet) {
+  pkt::Ipv6View ip{packet};
+  const net::Uint128 s = ip.src().value();
+  const net::Uint128 d = ip.dst().value();
+  return net::hash_combine64(net::hash_combine64(s.hi(), s.lo()),
+                             net::hash_combine64(d.hi(), d.lo()));
+}
+
+bool is_echo_request(const pkt::Ipv6View& ip) {
+  if (ip.next_header() != pkt::kProtoIcmpv6) return false;
+  pkt::Icmpv6View icmp{ip.payload()};
+  return icmp.valid() && icmp.type() == pkt::Icmpv6Type::kEchoRequest;
+}
+
+}  // namespace
+
+bool IcmpRateLimiter::allow(sim::SimTime now) {
+  if (rate_ == 0) return true;
+  const double refill = static_cast<double>(now - last_) *
+                        static_cast<double>(rate_) /
+                        static_cast<double>(sim::kSecond);
+  tokens_ = std::min<double>(burst_, tokens_ + refill);
+  last_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+void Router::receive(const pkt::Bytes& packet, int iface) {
+  ++counters_.received;
+  if (provisioner_ != nullptr &&
+      provisioner_->maybe_handle(packet, iface, [this](int ifc, pkt::Bytes p) {
+        emit(ifc, std::move(p));
+      })) {
+    return;
+  }
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst().is_multicast() || ip.dst().is_link_local()) {
+    ++counters_.dropped;
+    return;
+  }
+
+  if (ip.dst() == config_.address) {
+    deliver_local(packet, iface);
+    return;
+  }
+
+  const Route* route = table_.lookup(ip.dst());
+  const RouteAction action =
+      route != nullptr ? route->action
+                       : (config_.no_route_action == RouteAction::kUnreachable
+                              ? RouteAction::kUnreachable
+                              : RouteAction::kBlackhole);
+
+  switch (action) {
+    case RouteAction::kDeliver:
+      deliver_local(packet, iface);
+      return;
+    case RouteAction::kUnreachable:
+      ++counters_.dropped;
+      send_error(pkt::Icmpv6Type::kDestUnreachable,
+                 static_cast<std::uint8_t>(pkt::UnreachCode::kNoRoute), packet,
+                 iface);
+      return;
+    case RouteAction::kBlackhole:
+      ++counters_.dropped;
+      return;
+    case RouteAction::kForward: {
+      pkt::Bytes fwd = packet;
+      if (!pkt::decrement_hop_limit(fwd)) {
+        ++counters_.dropped;
+        send_error(pkt::Icmpv6Type::kTimeExceeded,
+                   static_cast<std::uint8_t>(
+                       pkt::TimeExceededCode::kHopLimitExceeded),
+                   packet, iface);
+        return;
+      }
+      ++counters_.forwarded;
+      emit(route->iface, std::move(fwd));
+      return;
+    }
+  }
+}
+
+void Router::deliver_local(const pkt::Bytes& packet, int iface) {
+  ++counters_.delivered_local;
+  pkt::Ipv6View ip{packet};
+  if (is_echo_request(ip)) {
+    ++counters_.echo_replies_sent;
+    emit(iface, pkt::build_echo_reply(packet));
+  }
+}
+
+void Router::send_error(pkt::Icmpv6Type type, std::uint8_t code,
+                        const pkt::Bytes& invoking, int iface) {
+  // Never answer an ICMPv6 error with an error (RFC 4443 §2.4(e)).
+  pkt::Ipv6View ip{invoking};
+  if (ip.next_header() == pkt::kProtoIcmpv6) {
+    pkt::Icmpv6View icmp{ip.payload()};
+    if (icmp.valid() && icmp.is_error()) return;
+  }
+
+  net::Ipv6Address source = config_.address;
+  if (type == pkt::Icmpv6Type::kDestUnreachable &&
+      config_.error_source == ErrorSource::kPerFlowInfra) {
+    // Deterministic per destination: the same probe address always elicits
+    // the same infra responder.
+    const net::Uint128 dst = ip.dst().value();
+    const std::uint64_t h =
+        net::hash_combine64(net::hash_combine64(0x1f7a, dst.hi()), dst.lo());
+    if (config_.unreachable_answer_fraction < 1.0) {
+      const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (unit >= config_.unreachable_answer_fraction) return;
+    }
+    const int pool =
+        config_.infra_pool_64s > 0 ? config_.infra_pool_64s : 1;
+    const auto slot = net::Uint128{h % static_cast<std::uint64_t>(pool)};
+    const net::Ipv6Prefix p64 = config_.infra_pool.nth_subprefix(64, slot);
+    std::uint64_t iid;
+    if (config_.infra_iid_style == net::IidStyle::kEui64) {
+      const std::uint64_t nic = net::mix64(h) & 0xffffff;
+      iid = net::MacAddress::from_u64(
+                (static_cast<std::uint64_t>(config_.infra_oui) << 24) | nic)
+                .to_eui64_iid();
+    } else {
+      iid = net::mix64(h ^ 0x5ca1ab1e);
+    }
+    source = p64.address_with_suffix(net::Uint128{iid});
+  }
+
+  if (!limiter_.allow(network()->now())) return;
+  if (type == pkt::Icmpv6Type::kDestUnreachable) {
+    ++counters_.unreachable_sent;
+  } else {
+    ++counters_.time_exceeded_sent;
+  }
+  emit(iface, pkt::build_icmpv6_error(source, type, code, invoking));
+}
+
+// ---------------------------------------------------------------------------
+// CpeRouter
+// ---------------------------------------------------------------------------
+
+void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
+  ++counters_.received;
+  if (provision_active_ && handle_provisioning(packet)) return;
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst().is_multicast() || ip.dst().is_link_local()) {
+    ++counters_.dropped;
+    return;
+  }
+  const net::Ipv6Address dst = ip.dst();
+
+  // 1. Our own addresses: the WAN interface address and the LAN-side
+  //    gateway address (subnet_prefix::1).
+  const net::Ipv6Address lan_gw =
+      config_.subnet_prefix.address_with_suffix(net::Uint128{1});
+  if (dst == config_.wan_address || dst == lan_gw) {
+    deliver_local(packet);
+    return;
+  }
+
+  // 2. The advertised LAN subnet: deliver to a host if it exists; otherwise
+  //    this router is the last hop and must report Address Unreachable —
+  //    the error that exposes its WAN address to the scanner (Section III).
+  if (config_.subnet_prefix.contains(dst)) {
+    if (lan_hosts_.count(dst) != 0 && lan_iface_ >= 0) {
+      pkt::Bytes fwd = packet;
+      if (!pkt::decrement_hop_limit(fwd)) {
+        send_error(pkt::Icmpv6Type::kTimeExceeded,
+                   static_cast<std::uint8_t>(
+                       pkt::TimeExceededCode::kHopLimitExceeded),
+                   packet);
+        return;
+      }
+      ++counters_.forwarded;
+      send(lan_iface_, std::move(fwd));
+      return;
+    }
+    if (lan_hosts_.count(dst) != 0) {
+      // Host exists but its LAN segment is not instantiated in this run:
+      // the packet is considered delivered.
+      ++counters_.delivered_local;
+      return;
+    }
+    ++counters_.dropped;
+    send_error(
+        pkt::Icmpv6Type::kDestUnreachable,
+        static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable),
+        packet);
+    return;
+  }
+
+  // 3. Delegated LAN space the router did NOT assign ("Not-used Prefix").
+  //    Patched firmware null-routes it (RFC 7084 WAA-8); vulnerable
+  //    firmware lets it match the default route -> loop.
+  if (config_.lan_prefix.contains(dst)) {
+    if (config_.loop_lan) {
+      forward_wan(packet, /*looping=*/true);
+    } else {
+      ++counters_.dropped;
+      send_error(pkt::Icmpv6Type::kDestUnreachable,
+                 static_cast<std::uint8_t>(pkt::UnreachCode::kNoRoute),
+                 packet);
+    }
+    return;
+  }
+
+  // 4. Our WAN /64 but not our address ("NX WAN Address").
+  if (config_.wan_prefix.contains(dst)) {
+    if (config_.loop_wan) {
+      forward_wan(packet, /*looping=*/true);
+    } else {
+      ++counters_.dropped;
+      send_error(
+          pkt::Icmpv6Type::kDestUnreachable,
+          static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable),
+          packet);
+    }
+    return;
+  }
+
+  // 5. Anything else: default route towards the ISP (traffic from the LAN
+  //    heading for the Internet). Packets arriving *from* the WAN for a
+  //    foreign destination are bounced back the same way — the ISP's
+  //    routing, not ours, decides whether that loops.
+  (void)iface;
+  forward_wan(packet, /*looping=*/false);
+}
+
+void CpeRouter::forward_wan(pkt::Bytes packet, bool looping) {
+  if (looping && config_.loop_cap >= 0) {
+    if (loop_counts_.size() > 4096) loop_counts_.clear();
+    int& count = loop_counts_[flow_key(packet)];
+    if (++count > config_.loop_cap) {
+      ++counters_.dropped;
+      return;
+    }
+  }
+  const pkt::Bytes original = packet;  // for the Time Exceeded quote
+  if (!pkt::decrement_hop_limit(packet)) {
+    send_error(
+        pkt::Icmpv6Type::kTimeExceeded,
+        static_cast<std::uint8_t>(pkt::TimeExceededCode::kHopLimitExceeded),
+        original);
+    return;
+  }
+  ++counters_.forwarded;
+  send(kWanIface, std::move(packet));
+}
+
+void CpeRouter::deliver_local(const pkt::Bytes& packet) {
+  ++counters_.delivered_local;
+  pkt::Ipv6View ip{packet};
+  if (is_echo_request(ip)) {
+    if (icmp_filtered_) return;
+    ++counters_.echo_replies_sent;
+    send(kWanIface, pkt::build_echo_reply(packet));
+    return;
+  }
+  // Services are reachable on any of the device's own addresses; responses
+  // are sourced from the address the client targeted.
+  for (pkt::Bytes& resp : services_.handle(packet, ip.dst())) {
+    send(kWanIface, std::move(resp));
+  }
+}
+
+void CpeRouter::send_error(pkt::Icmpv6Type type, std::uint8_t code,
+                           const pkt::Bytes& invoking) {
+  if (icmp_filtered_) {
+    ++counters_.dropped;
+    return;
+  }
+  pkt::Ipv6View ip{invoking};
+  if (ip.next_header() == pkt::kProtoIcmpv6) {
+    pkt::Icmpv6View icmp{ip.payload()};
+    if (icmp.valid() && icmp.is_error()) return;
+  }
+  if (!limiter_.allow(network()->now())) return;
+  if (type == pkt::Icmpv6Type::kDestUnreachable) {
+    ++counters_.unreachable_sent;
+  } else {
+    ++counters_.time_exceeded_sent;
+  }
+  send(kWanIface, pkt::build_icmpv6_error(config_.wan_address, type, code,
+                                          invoking));
+}
+
+void CpeRouter::begin_provisioning(const ProvisionParams& params) {
+  provision_params_ = params;
+  provision_active_ = true;
+  provision_done_ = false;
+  // Link-local source for the exchange, formed from the interface id.
+  link_local_ = net::Ipv6Prefix{*net::Ipv6Address::parse("fe80::"), 64}
+                    .address_with_suffix(net::Uint128{params.iid});
+  send(kWanIface, build_router_solicit(link_local_));
+}
+
+bool CpeRouter::handle_provisioning(const pkt::Bytes& packet) {
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid()) return false;
+
+  // Router Advertisement: adopt the WAN prefix, form the WAN address by
+  // SLAAC, then ask for a delegation.
+  if (ip.next_header() == pkt::kProtoIcmpv6) {
+    auto ra = parse_router_advert(ip.payload());
+    if (!ra) return false;
+    for (const PrefixInformation& pi : ra->prefixes) {
+      if (!pi.autonomous || pi.prefix.length() != 64) continue;
+      config_.wan_prefix = pi.prefix;
+      config_.wan_address =
+          pi.prefix.address_with_suffix(net::Uint128{provision_params_.iid});
+      break;
+    }
+    if (ra->other_config) {
+      Dhcpv6Message solicit;
+      solicit.type = Dhcpv6MsgType::kSolicit;
+      solicit.transaction_id =
+          static_cast<std::uint32_t>(provision_params_.iid) & 0xffffff;
+      solicit.client_duid = provision_params_.iid;
+      send(kWanIface,
+           pkt::build_udp(link_local_, *net::Ipv6Address::parse("fe80::1"),
+                          kDhcpv6ClientPort, kDhcpv6ServerPort,
+                          solicit.encode()));
+    } else {
+      // SLAAC-only subscriber (single-prefix device): the WAN /64 is all
+      // there is; anchor the LAN branches so they match nothing.
+      config_.lan_prefix = net::Ipv6Prefix{config_.wan_prefix.address(), 128};
+      config_.subnet_prefix =
+          net::Ipv6Prefix{config_.wan_prefix.address(), 128};
+      provision_done_ = true;
+      provision_active_ = false;
+    }
+    return true;
+  }
+
+  // DHCPv6 server messages.
+  if (ip.next_header() == pkt::kProtoUdp) {
+    pkt::UdpView udp{ip.payload()};
+    if (!udp.valid() || udp.dst_port() != kDhcpv6ClientPort) return false;
+    auto msg = Dhcpv6Message::decode(udp.payload());
+    if (!msg) return true;
+    if (msg->type == Dhcpv6MsgType::kAdvertise) {
+      Dhcpv6Message request = *msg;
+      request.type = Dhcpv6MsgType::kRequest;
+      send(kWanIface,
+           pkt::build_udp(link_local_, ip.src(), kDhcpv6ClientPort,
+                          kDhcpv6ServerPort, request.encode()));
+      return true;
+    }
+    if (msg->type == Dhcpv6MsgType::kReply && msg->delegated_prefix) {
+      config_.lan_prefix = *msg->delegated_prefix;
+      const std::uint64_t subnets =
+          config_.lan_prefix.length() >= 64
+              ? 1
+              : (1ULL << (64 - config_.lan_prefix.length()));
+      config_.subnet_prefix = config_.lan_prefix.nth_subprefix(
+          64, net::Uint128{provision_params_.subnet_index % subnets});
+      provision_done_ = true;
+      provision_active_ = false;
+      return true;
+    }
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// UeDevice
+// ---------------------------------------------------------------------------
+
+void UeDevice::receive(const pkt::Bytes& packet, int iface) {
+  ++counters_.received;
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst().is_multicast() || ip.dst().is_link_local()) {
+    ++counters_.dropped;
+    return;
+  }
+
+  if (ip.dst() == config_.ue_address) {
+    ++counters_.delivered_local;
+    if (is_echo_request(ip)) {
+      if (icmp_filtered_) return;
+      ++counters_.echo_replies_sent;
+      send(iface, pkt::build_echo_reply(packet));
+      return;
+    }
+    for (pkt::Bytes& resp : services_.handle(packet, ip.dst())) {
+      send(iface, std::move(resp));
+    }
+    return;
+  }
+
+  // The rest of the delegated /64 does not exist: the UE's IPv6 stack
+  // itself originates Address Unreachable (RFC 4443 §3.1, "by the IPv6
+  // layer in the originating node" — here the destination's last hop).
+  if (config_.ue_prefix.contains(ip.dst())) {
+    pkt::Ipv6View view{packet};
+    if (view.next_header() == pkt::kProtoIcmpv6) {
+      pkt::Icmpv6View icmp{view.payload()};
+      if (icmp.valid() && icmp.is_error()) {
+        ++counters_.dropped;
+        return;
+      }
+    }
+    if (icmp_filtered_) {
+      ++counters_.dropped;
+      return;
+    }
+    if (limiter_.allow(network()->now())) {
+      ++counters_.unreachable_sent;
+      send(iface,
+           pkt::build_icmpv6_error(
+               config_.ue_address, pkt::Icmpv6Type::kDestUnreachable,
+               static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable),
+               packet));
+    }
+    return;
+  }
+
+  ++counters_.dropped;  // not ours, and a UE does not forward
+}
+
+// ---------------------------------------------------------------------------
+// AliasedPrefixHost
+// ---------------------------------------------------------------------------
+
+void AliasedPrefixHost::receive(const pkt::Bytes& packet, int iface) {
+  ++counters_.received;
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || !prefix_.contains(ip.dst())) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.delivered_local;
+  if (is_echo_request(ip)) {
+    ++counters_.echo_replies_sent;
+    // The reply is sourced from whatever address was probed — the aliased
+    // signature.
+    send(iface, pkt::build_echo_reply(packet));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LanHost
+// ---------------------------------------------------------------------------
+
+void LanHost::receive(const pkt::Bytes& packet, int iface) {
+  ++counters_.received;
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst() != address_) {
+    ++counters_.dropped;
+    return;
+  }
+  ++counters_.delivered_local;
+  if (is_echo_request(ip)) {
+    ++counters_.echo_replies_sent;
+    send(iface, pkt::build_echo_reply(packet));
+    return;
+  }
+  for (pkt::Bytes& resp : services_.handle(packet, ip.dst())) {
+    send(iface, std::move(resp));
+  }
+}
+
+}  // namespace xmap::topo

@@ -1,0 +1,143 @@
+#include "topology/dhcpv6.h"
+
+namespace xmap::topo {
+namespace {
+
+constexpr std::uint16_t kOptClientId = 1;
+constexpr std::uint16_t kOptServerId = 2;
+constexpr std::uint16_t kOptIaPd = 25;
+constexpr std::uint16_t kOptIaPrefix = 26;
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+  put16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+  put32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t read16(std::span<const std::uint8_t> d, std::size_t i) {
+  return static_cast<std::uint16_t>((d[i] << 8) | d[i + 1]);
+}
+
+std::uint32_t read32(std::span<const std::uint8_t> d, std::size_t i) {
+  return (static_cast<std::uint32_t>(read16(d, i)) << 16) | read16(d, i + 2);
+}
+
+std::uint64_t read64(std::span<const std::uint8_t> d, std::size_t i) {
+  return (static_cast<std::uint64_t>(read32(d, i)) << 32) | read32(d, i + 4);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Dhcpv6Message::encode() const {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>((transaction_id >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((transaction_id >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(transaction_id & 0xff));
+
+  // Client identifier (DUID-LL, hardware type 1 + 8-byte identifier).
+  put16(out, kOptClientId);
+  put16(out, 10);
+  put16(out, 3);  // DUID-LL
+  put64(out, client_duid);
+
+  if (server_duid != 0) {
+    put16(out, kOptServerId);
+    put16(out, 10);
+    put16(out, 3);
+    put64(out, server_duid);
+  }
+
+  // IA_PD with an optional IAPREFIX.
+  const std::uint16_t iaprefix_len = delegated_prefix ? 25 + 4 : 0;
+  put16(out, kOptIaPd);
+  put16(out, static_cast<std::uint16_t>(12 + iaprefix_len));
+  put32(out, iaid);
+  put32(out, 3600);  // T1
+  put32(out, 5400);  // T2
+  if (delegated_prefix) {
+    put16(out, kOptIaPrefix);
+    put16(out, 25);
+    put32(out, preferred_lifetime);
+    put32(out, valid_lifetime);
+    out.push_back(static_cast<std::uint8_t>(delegated_prefix->length()));
+    const net::Ipv6Address prefix_addr = delegated_prefix->address();
+    const auto& bytes = prefix_addr.bytes();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+std::optional<Dhcpv6Message> Dhcpv6Message::decode(
+    std::span<const std::uint8_t> wire) {
+  if (wire.size() < 4) return std::nullopt;
+  Dhcpv6Message msg;
+  const std::uint8_t type = wire[0];
+  if (type != 1 && type != 2 && type != 3 && type != 7) return std::nullopt;
+  msg.type = static_cast<Dhcpv6MsgType>(type);
+  msg.transaction_id = (static_cast<std::uint32_t>(wire[1]) << 16) |
+                       (static_cast<std::uint32_t>(wire[2]) << 8) | wire[3];
+
+  std::size_t pos = 4;
+  while (pos + 4 <= wire.size()) {
+    const std::uint16_t opt = read16(wire, pos);
+    const std::uint16_t len = read16(wire, pos + 2);
+    pos += 4;
+    if (pos + len > wire.size()) return std::nullopt;
+    switch (opt) {
+      case kOptClientId:
+        if (len == 10 && read16(wire, pos) == 3) {
+          msg.client_duid = read64(wire, pos + 2);
+        }
+        break;
+      case kOptServerId:
+        if (len == 10 && read16(wire, pos) == 3) {
+          msg.server_duid = read64(wire, pos + 2);
+        }
+        break;
+      case kOptIaPd: {
+        if (len < 12) return std::nullopt;
+        msg.iaid = read32(wire, pos);
+        // Walk sub-options.
+        std::size_t sub = pos + 12;
+        const std::size_t end = pos + len;
+        while (sub + 4 <= end) {
+          const std::uint16_t sub_opt = read16(wire, sub);
+          const std::uint16_t sub_len = read16(wire, sub + 2);
+          sub += 4;
+          if (sub + sub_len > end) return std::nullopt;
+          if (sub_opt == kOptIaPrefix && sub_len >= 25) {
+            msg.preferred_lifetime = read32(wire, sub);
+            msg.valid_lifetime = read32(wire, sub + 4);
+            const int prefix_len = wire[sub + 8];
+            if (prefix_len > 128) return std::nullopt;
+            std::array<std::uint8_t, 16> addr{};
+            for (int i = 0; i < 16; ++i) {
+              addr[static_cast<std::size_t>(i)] =
+                  wire[sub + 9 + static_cast<std::size_t>(i)];
+            }
+            msg.delegated_prefix =
+                net::Ipv6Prefix{net::Ipv6Address{addr}, prefix_len};
+          }
+          sub += sub_len;
+        }
+        break;
+      }
+      default:
+        break;  // unknown options are skipped
+    }
+    pos += len;
+  }
+  return msg;
+}
+
+}  // namespace xmap::topo

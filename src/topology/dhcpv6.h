@@ -1,0 +1,45 @@
+// DHCPv6 Prefix Delegation (RFC 8415) wire formats — the subset an ISP
+// uses to delegate a LAN prefix to a requesting CPE router: SOLICIT ->
+// ADVERTISE -> REQUEST -> REPLY carrying an IA_PD option with one IAPREFIX.
+//
+// Together with ndp.h this forms the provisioning plane of the paper's §II:
+// the CPE's WAN address comes from an RA (SLAAC) and its delegated LAN
+// prefix from DHCPv6-PD, exactly the "multiple prefixes" allocation model
+// whose consequences the paper measures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace xmap::topo {
+
+inline constexpr std::uint16_t kDhcpv6ClientPort = 546;
+inline constexpr std::uint16_t kDhcpv6ServerPort = 547;
+
+enum class Dhcpv6MsgType : std::uint8_t {
+  kSolicit = 1,
+  kAdvertise = 2,
+  kRequest = 3,
+  kReply = 7,
+};
+
+struct Dhcpv6Message {
+  Dhcpv6MsgType type = Dhcpv6MsgType::kSolicit;
+  std::uint32_t transaction_id = 0;  // 24 bits used
+  std::uint32_t iaid = 1;
+  // Delegated prefix; empty (length 0 prefix, valid=0) in a bare SOLICIT.
+  std::optional<net::Ipv6Prefix> delegated_prefix;
+  std::uint32_t valid_lifetime = 86400;
+  std::uint32_t preferred_lifetime = 14400;
+  // DUID-LL identifiers (client option 1 / server option 2).
+  std::uint64_t client_duid = 0;
+  std::uint64_t server_duid = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static std::optional<Dhcpv6Message> decode(
+      std::span<const std::uint8_t> wire);
+};
+
+}  // namespace xmap::topo

@@ -1,0 +1,120 @@
+#include "topology/ndp.h"
+
+#include "netbase/checksum.h"
+
+namespace xmap::topo {
+namespace {
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t read32(std::span<const std::uint8_t> d, std::size_t i) {
+  return (static_cast<std::uint32_t>(d[i]) << 24) |
+         (static_cast<std::uint32_t>(d[i + 1]) << 16) |
+         (static_cast<std::uint32_t>(d[i + 2]) << 8) | d[i + 3];
+}
+
+pkt::Bytes wrap_icmpv6(const net::Ipv6Address& src,
+                       const net::Ipv6Address& dst,
+                       std::vector<std::uint8_t> msg) {
+  // ND messages travel with hop limit 255 (RFC 4861 §4).
+  const std::uint16_t csum =
+      net::ipv6_upper_layer_checksum(src, dst, pkt::kProtoIcmpv6, msg);
+  msg[2] = static_cast<std::uint8_t>(csum >> 8);
+  msg[3] = static_cast<std::uint8_t>(csum & 0xff);
+  return pkt::build_ipv6(src, dst, pkt::kProtoIcmpv6, 255, msg);
+}
+
+}  // namespace
+
+net::Ipv6Address all_routers_address() {
+  return *net::Ipv6Address::parse("ff02::2");
+}
+
+pkt::Bytes build_router_solicit(const net::Ipv6Address& src) {
+  std::vector<std::uint8_t> msg{kIcmpv6RouterSolicit, 0, 0, 0, 0, 0, 0, 0};
+  return wrap_icmpv6(src, all_routers_address(), std::move(msg));
+}
+
+pkt::Bytes build_router_advert(const net::Ipv6Address& src,
+                               const net::Ipv6Address& dst,
+                               const RouterAdvertisement& ra) {
+  std::vector<std::uint8_t> msg;
+  msg.reserve(16 + ra.prefixes.size() * 32);
+  msg.push_back(kIcmpv6RouterAdvert);
+  msg.push_back(0);  // code
+  msg.push_back(0);  // checksum (filled later)
+  msg.push_back(0);
+  msg.push_back(ra.cur_hop_limit);
+  std::uint8_t flags = 0;
+  if (ra.managed) flags |= 0x80;
+  if (ra.other_config) flags |= 0x40;
+  msg.push_back(flags);
+  msg.push_back(static_cast<std::uint8_t>(ra.router_lifetime >> 8));
+  msg.push_back(static_cast<std::uint8_t>(ra.router_lifetime & 0xff));
+  put32(msg, 0);  // reachable time (unspecified)
+  put32(msg, 0);  // retrans timer (unspecified)
+
+  for (const PrefixInformation& pi : ra.prefixes) {
+    msg.push_back(3);  // option: Prefix Information
+    msg.push_back(4);  // length in units of 8 octets (32 bytes)
+    msg.push_back(static_cast<std::uint8_t>(pi.prefix.length()));
+    std::uint8_t pi_flags = 0;
+    if (pi.on_link) pi_flags |= 0x80;
+    if (pi.autonomous) pi_flags |= 0x40;
+    msg.push_back(pi_flags);
+    put32(msg, pi.valid_lifetime);
+    put32(msg, pi.preferred_lifetime);
+    put32(msg, 0);  // reserved2
+    const net::Ipv6Address prefix_addr = pi.prefix.address();
+    const auto& bytes = prefix_addr.bytes();
+    msg.insert(msg.end(), bytes.begin(), bytes.end());
+  }
+  return wrap_icmpv6(src, dst, std::move(msg));
+}
+
+std::optional<RouterAdvertisement> parse_router_advert(
+    std::span<const std::uint8_t> m) {
+  if (m.size() < 16 || m[0] != kIcmpv6RouterAdvert || m[1] != 0) {
+    return std::nullopt;
+  }
+  RouterAdvertisement ra;
+  ra.cur_hop_limit = m[4];
+  ra.managed = (m[5] & 0x80) != 0;
+  ra.other_config = (m[5] & 0x40) != 0;
+  ra.router_lifetime = static_cast<std::uint16_t>((m[6] << 8) | m[7]);
+
+  std::size_t pos = 16;
+  while (pos + 2 <= m.size()) {
+    const std::uint8_t type = m[pos];
+    const std::size_t len = static_cast<std::size_t>(m[pos + 1]) * 8;
+    if (len == 0 || pos + len > m.size()) return std::nullopt;
+    if (type == 3 && len == 32) {
+      PrefixInformation pi;
+      const int prefix_len = m[pos + 2];
+      if (prefix_len > 128) return std::nullopt;
+      pi.on_link = (m[pos + 3] & 0x80) != 0;
+      pi.autonomous = (m[pos + 3] & 0x40) != 0;
+      pi.valid_lifetime = read32(m, pos + 4);
+      pi.preferred_lifetime = read32(m, pos + 8);
+      std::array<std::uint8_t, 16> addr{};
+      for (int i = 0; i < 16; ++i) {
+        addr[static_cast<std::size_t>(i)] = m[pos + 16 + static_cast<std::size_t>(i)];
+      }
+      pi.prefix = net::Ipv6Prefix{net::Ipv6Address{addr}, prefix_len};
+      ra.prefixes.push_back(pi);
+    }
+    pos += len;
+  }
+  return ra;
+}
+
+bool is_router_solicit(std::span<const std::uint8_t> m) {
+  return m.size() >= 8 && m[0] == kIcmpv6RouterSolicit && m[1] == 0;
+}
+
+}  // namespace xmap::topo

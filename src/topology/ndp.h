@@ -1,0 +1,55 @@
+// Neighbor Discovery (RFC 4861) Router Solicitation / Router Advertisement
+// wire formats, with the Prefix Information option (type 3).
+//
+// This is the SLAAC half of the provisioning plane described in the paper's
+// §II: the ISP router advertises the WAN /64 on the point-to-point subnet,
+// and the CPE forms its WAN address from the advertised prefix plus its
+// interface identifier (RFC 4862).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace xmap::topo {
+
+inline constexpr std::uint8_t kIcmpv6RouterSolicit = 133;
+inline constexpr std::uint8_t kIcmpv6RouterAdvert = 134;
+
+// The all-routers link-scope multicast group RS messages are sent to.
+[[nodiscard]] net::Ipv6Address all_routers_address();
+
+struct PrefixInformation {
+  net::Ipv6Prefix prefix;
+  bool on_link = true;
+  bool autonomous = true;  // the A flag: usable for SLAAC
+  std::uint32_t valid_lifetime = 86400;
+  std::uint32_t preferred_lifetime = 14400;
+};
+
+struct RouterAdvertisement {
+  std::uint8_t cur_hop_limit = 64;
+  bool managed = false;        // M flag: addresses via DHCPv6
+  bool other_config = true;    // O flag: other config via DHCPv6 (e.g. PD)
+  std::uint16_t router_lifetime = 1800;
+  std::vector<PrefixInformation> prefixes;
+};
+
+// Builds a Router Solicitation packet from `src` to all-routers.
+[[nodiscard]] pkt::Bytes build_router_solicit(const net::Ipv6Address& src);
+
+// Builds a Router Advertisement from `src` (the router) to `dst`.
+[[nodiscard]] pkt::Bytes build_router_advert(const net::Ipv6Address& src,
+                                             const net::Ipv6Address& dst,
+                                             const RouterAdvertisement& ra);
+
+// Parses the ICMPv6 payload of a Router Advertisement; nullopt when the
+// message is not a structurally valid RA.
+[[nodiscard]] std::optional<RouterAdvertisement> parse_router_advert(
+    std::span<const std::uint8_t> icmpv6_message);
+
+// True when the ICMPv6 payload is a Router Solicitation.
+[[nodiscard]] bool is_router_solicit(std::span<const std::uint8_t> icmpv6_message);
+
+}  // namespace xmap::topo

@@ -1,0 +1,594 @@
+#include "topology/paper_profiles.h"
+
+#include <cmath>
+
+namespace xmap::topo::paper {
+namespace {
+
+using svc::ServiceKind;
+using svc::SoftwareInfo;
+
+ServiceDeployment dep(ServiceKind kind, double p,
+                      std::vector<ServiceDeployment::Choice> sw) {
+  ServiceDeployment d;
+  d.kind = kind;
+  d.probability = p;
+  d.software = std::move(sw);
+  return d;
+}
+
+ServiceDeployment::Choice ch(const char* software, const char* version,
+                             double weight = 1.0) {
+  return ServiceDeployment::Choice{SoftwareInfo{software, version}, weight};
+}
+
+VendorProfile cpe(const char* name, std::uint32_t oui, double loop_wan,
+                  double loop_lan, int loop_cap,
+                  std::vector<ServiceDeployment> services) {
+  VendorProfile v;
+  v.name = name;
+  v.device_class = DeviceClass::kCpe;
+  v.oui = oui;
+  v.loop_wan_prob = loop_wan;
+  v.loop_lan_prob = loop_lan;
+  v.loop_cap = loop_cap;
+  v.services = std::move(services);
+  return v;
+}
+
+VendorProfile ue(const char* name, std::uint32_t oui) {
+  VendorProfile v;
+  v.name = name;
+  v.device_class = DeviceClass::kUe;
+  v.oui = oui;
+  return v;
+}
+
+std::vector<VendorProfile> make_catalog() {
+  std::vector<VendorProfile> v;
+  // --- CPE vendors (synthetic OUIs in the b0:dx:xx range) ------------------
+  // Loop probabilities are per-vendor firmware base rates; the per-ISP
+  // loop_scale multiplies them to reach the Table XI per-ISP rates.
+  v.push_back(cpe("China Mobile", 0xb0d001, 0.45, 0.62, -1,
+                  {dep(ServiceKind::kHttp8080, 0.62, {ch("Jetty", "6.1.26")}),
+                   dep(ServiceKind::kHttp, 0.18,
+                       {ch("MiniWeb HTTP Server", "0.8.19")}),
+                   dep(ServiceKind::kDns, 0.035,
+                       {ch("dnsmasq", "2.52", 2), ch("dnsmasq", "2.62", 1)}),
+                   dep(ServiceKind::kTelnet, 0.012, {ch("telnetd", "")}),
+                   dep(ServiceKind::kTls, 0.02, {ch("embedded-tls", "1.0")})}));
+  v.push_back(cpe("ZTE", 0xb0d002, 0.40, 0.55, -1,
+                  {dep(ServiceKind::kDns, 0.22,
+                       {ch("dnsmasq", "2.52", 3), ch("dnsmasq", "2.45", 1)}),
+                   dep(ServiceKind::kTelnet, 0.22, {ch("telnetd", "")}),
+                   dep(ServiceKind::kHttp, 0.10,
+                       {ch("GoAhead Embedded", "2.5")}),
+                   dep(ServiceKind::kHttp8080, 0.05, {ch("Jetty", "6.1.26")})}));
+  v.push_back(cpe("Skyworth", 0xb0d003, 0.42, 0.58, -1,
+                  {dep(ServiceKind::kHttp, 0.24,
+                       {ch("MiniWeb HTTP Server", "0.8.19")}),
+                   dep(ServiceKind::kDns, 0.05, {ch("dnsmasq", "2.52")})}));
+  v.push_back(cpe("Fiberhome", 0xb0d004, 0.30, 0.42, -1,
+                  {dep(ServiceKind::kDns, 0.72,
+                       {ch("dnsmasq", "2.40", 5), ch("dnsmasq", "2.45", 1)}),
+                   dep(ServiceKind::kSsh, 0.52, {ch("dropbear", "0.48", 9),
+                                                 ch("dropbear", "0.46", 1)}),
+                   dep(ServiceKind::kFtp, 0.52,
+                       {ch("GNU Inetutils", "1.4.1")}),
+                   dep(ServiceKind::kTelnet, 0.50, {ch("telnetd", "")}),
+                   dep(ServiceKind::kHttp, 0.50, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kTls, 0.50,
+                       {ch("embedded-tls", "1.0")})}));
+  v.push_back(cpe("Youhua Tech", 0xb0d005, 0.35, 0.50, -1,
+                  {dep(ServiceKind::kDns, 0.97, {ch("dnsmasq", "2.40")}),
+                   dep(ServiceKind::kSsh, 0.95, {ch("dropbear", "0.48")}),
+                   dep(ServiceKind::kTelnet, 0.95, {ch("telnetd", "")}),
+                   dep(ServiceKind::kFtp, 0.95,
+                       {ch("GNU Inetutils", "1.4.1")}),
+                   dep(ServiceKind::kHttp, 0.90, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kTls, 0.22,
+                       {ch("embedded-tls", "1.0")})}));
+  v.push_back(cpe("China Unicom", 0xb0d006, 0.40, 0.55, -1,
+                  {dep(ServiceKind::kTelnet, 0.55, {ch("telnetd", "")}),
+                   dep(ServiceKind::kHttp, 0.45,
+                       {ch("MiniWeb HTTP Server", "0.8.19")}),
+                   dep(ServiceKind::kDns, 0.28, {ch("dnsmasq", "2.62")})}));
+  v.push_back(cpe("AVM GmbH", 0xb0d007, 0.10, 0.15, -1,
+                  {dep(ServiceKind::kFtp, 0.25, {ch("Fritz!Box", "7.21")}),
+                   dep(ServiceKind::kTls, 0.40, {ch("embedded-tls", "1.2")}),
+                   dep(ServiceKind::kHttp, 0.15,
+                       {ch("FRITZ!OS httpd", "7.21")}),
+                   dep(ServiceKind::kNtp, 0.05, {ch("ntpd", "4.2.8")})}));
+  v.push_back(cpe("Technicolor", 0xb0d008, 0.08, 0.12, -1,
+                  {dep(ServiceKind::kHttp, 0.04, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kTls, 0.03, {ch("embedded-tls", "1.0")}),
+                   dep(ServiceKind::kNtp, 0.02, {ch("ntpd", "4.2.8")}),
+                   dep(ServiceKind::kSsh, 0.01, {ch("dropbear", "2012.55")}),
+                   dep(ServiceKind::kDns, 0.01, {ch("dnsmasq", "2.62")})}));
+  v.push_back(cpe("Huawei", 0xb0d009, 0.35, 0.45, -1,
+                  {dep(ServiceKind::kHttp, 0.06,
+                       {ch("GoAhead Embedded", "2.5")}),
+                   dep(ServiceKind::kDns, 0.04, {ch("dnsmasq", "2.62")}),
+                   dep(ServiceKind::kTelnet, 0.02, {ch("telnetd", "")})}));
+  v.push_back(cpe("StarNet", 0xb0d00a, 0.40, 0.55, -1,
+                  {dep(ServiceKind::kHttp8080, 0.85,
+                       {ch("Jetty", "6.1.26")})}));
+  v.push_back(cpe("TP-Link", 0xb0d00b, 0.30, 0.40, -1,
+                  {dep(ServiceKind::kHttp, 0.40, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kDns, 0.30,
+                       {ch("dnsmasq", "2.62", 2), ch("dnsmasq", "2.73", 1)}),
+                   dep(ServiceKind::kSsh, 0.10,
+                       {ch("dropbear", "2012.55")})}));
+  v.push_back(cpe("D-Link", 0xb0d00c, 0.25, 0.35, -1,
+                  {dep(ServiceKind::kHttp, 0.10,
+                       {ch("GoAhead Embedded", "2.5")}),
+                   dep(ServiceKind::kDns, 0.08, {ch("dnsmasq", "2.73")}),
+                   dep(ServiceKind::kFtp, 0.02, {ch("vsftpd", "2.3.4")})}));
+  v.push_back(cpe("Xiaomi", 0xb0d00d, 0.30, 0.40, 20,
+                  {dep(ServiceKind::kHttp, 0.08, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kDns, 0.06, {ch("dnsmasq", "2.76")})}));
+  v.push_back(cpe("Hitron Tech", 0xb0d00e, 0.15, 0.20, -1,
+                  {dep(ServiceKind::kHttp, 0.30, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kTls, 0.20, {ch("embedded-tls", "1.0")}),
+                   dep(ServiceKind::kSsh, 0.10, {ch("openssh", "5.3")})}));
+  v.push_back(cpe("Netgear", 0xb0d00f, 0.20, 0.30, -1,
+                  {dep(ServiceKind::kHttp, 0.05, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kDns, 0.03, {ch("dnsmasq", "2.76")})}));
+  v.push_back(cpe("Linksys", 0xb0d010, 0.20, 0.30, -1,
+                  {dep(ServiceKind::kHttp, 0.05,
+                       {ch("MiniWeb HTTP Server", "0.8.19")})}));
+  v.push_back(cpe("Asus", 0xb0d011, 0.20, 0.30, -1,
+                  {dep(ServiceKind::kHttp, 0.04, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kSsh, 0.02, {ch("dropbear", "2017.75")})}));
+  v.push_back(cpe("Optilink", 0xb0d012, 0.45, 0.55, -1,
+                  {dep(ServiceKind::kDns, 0.85,
+                       {ch("dnsmasq", "2.73", 3), ch("dnsmasq", "2.76", 1)}),
+                   dep(ServiceKind::kHttp, 0.03, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kTelnet, 0.01, {ch("telnetd", "")})}));
+  v.push_back(cpe("Tenda", 0xb0d013, 0.30, 0.40, -1,
+                  {dep(ServiceKind::kHttp, 0.05,
+                       {ch("GoAhead Embedded", "2.5")})}));
+  v.push_back(cpe("MikroTik", 0xb0d014, 0.25, 0.35, -1,
+                  {dep(ServiceKind::kSsh, 0.10, {ch("openssh", "6.6")}),
+                   dep(ServiceKind::kFtp, 0.05, {ch("vsftpd", "3.0.3")}),
+                   dep(ServiceKind::kHttp, 0.05, {ch("micro_httpd", "1.0")})}));
+  v.push_back(cpe("China Telecom", 0xb0d015, 0.40, 0.55, -1,
+                  {dep(ServiceKind::kDns, 0.30, {ch("dnsmasq", "2.52")}),
+                   dep(ServiceKind::kHttp, 0.25,
+                       {ch("MiniWeb HTTP Server", "0.8.19")}),
+                   dep(ServiceKind::kTelnet, 0.10, {ch("telnetd", "")})}));
+  v.push_back(cpe("OpenWrt", 0xb0d016, 0.30, 0.40, 20,
+                  {dep(ServiceKind::kDns, 0.40, {ch("dnsmasq", "2.76")}),
+                   dep(ServiceKind::kSsh, 0.20, {ch("dropbear", "2017.75")}),
+                   dep(ServiceKind::kHttp, 0.15, {ch("uhttpd", "2.0")}),
+                   dep(ServiceKind::kTelnet, 0.05, {ch("telnetd", "")})}));
+  v.push_back(cpe("Mercury", 0xb0d017, 0.35, 0.45, -1,
+                  {dep(ServiceKind::kHttp, 0.10, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kDns, 0.05, {ch("dnsmasq", "2.62")})}));
+  v.push_back(cpe("Xfinity", 0xb0d018, 0.002, 0.004, -1,
+                  {dep(ServiceKind::kHttp8080, 0.004,
+                       {ch("Jetty", "9.4.30")}),
+                   dep(ServiceKind::kNtp, 0.003, {ch("ntpd", "4.2.8")}),
+                   dep(ServiceKind::kTelnet, 0.001, {ch("telnetd", "")}),
+                   dep(ServiceKind::kTls, 0.001,
+                       {ch("embedded-tls", "1.2")})}));
+  v.push_back(cpe("Totolink", 0xb0d019, 0.35, 0.45, -1,
+                  {dep(ServiceKind::kHttp, 0.10,
+                       {ch("GoAhead Embedded", "2.5")})}));
+  v.push_back(cpe("Arris", 0xb0d01a, 0.05, 0.08, -1,
+                  {dep(ServiceKind::kHttp, 0.05, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kTls, 0.05, {ch("embedded-tls", "1.0")}),
+                   dep(ServiceKind::kSsh, 0.02, {ch("openssh", "5.3")}),
+                   dep(ServiceKind::kNtp, 0.01, {ch("ntpd", "4.2.8")})}));
+  v.push_back(cpe("Zyxel", 0xb0d01b, 0.15, 0.25, -1,
+                  {dep(ServiceKind::kNtp, 0.55, {ch("ntpd", "4.2.8")}),
+                   dep(ServiceKind::kDns, 0.07,
+                       {ch("dnsmasq", "2.62", 1), ch("dnsmasq", "2.45", 1)}),
+                   dep(ServiceKind::kTls, 0.08, {ch("embedded-tls", "1.0")}),
+                   dep(ServiceKind::kHttp, 0.05, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kSsh, 0.04, {ch("openssh", "3.5")}),
+                   dep(ServiceKind::kFtp, 0.012,
+                       {ch("FreeBSD", "6.00ls", 1), ch("vsftpd", "2.2.2", 1)}),
+                   dep(ServiceKind::kTelnet, 0.03, {ch("telnetd", "")})}));
+  v.push_back(cpe("FAST", 0xb0d01c, 0.35, 0.45, -1,
+                  {dep(ServiceKind::kHttp, 0.08, {ch("micro_httpd", "1.0")})}));
+  v.push_back(cpe("H3C", 0xb0d01d, 0.35, 0.45, -1,
+                  {dep(ServiceKind::kTelnet, 0.08, {ch("telnetd", "")})}));
+  v.push_back(cpe("Hisense", 0xb0d01e, 0.35, 0.45, -1, {}));
+  v.push_back(cpe("iKuai", 0xb0d01f, 0.35, 0.45, -1,
+                  {dep(ServiceKind::kHttp, 0.10, {ch("nginx", "1.10")})}));
+  v.push_back(cpe("Generic CPE", 0xb0d020, 0.30, 0.40, -1,
+                  {dep(ServiceKind::kHttp, 0.05, {ch("micro_httpd", "1.0")}),
+                   dep(ServiceKind::kDns, 0.04, {ch("dnsmasq", "2.52")}),
+                   dep(ServiceKind::kSsh, 0.02, {ch("dropbear", "0.46")})}));
+  // --- UE vendors (phones; they do not forward, hence never loop) ----------
+  v.push_back(ue("NTMore", 0xb0dd01));
+  v.push_back(ue("HMD Global", 0xb0dd02));
+  v.push_back(ue("Vivo", 0xb0dd03));
+  v.push_back(ue("Oppo", 0xb0dd04));
+  v.push_back(ue("Apple", 0xb0dd05));
+  v.push_back(ue("Samsung", 0xb0dd06));
+  v.push_back(ue("Nokia", 0xb0dd07));
+  v.push_back(ue("LG", 0xb0dd08));
+  v.push_back(ue("Motorola", 0xb0dd09));
+  v.push_back(ue("Lenovo", 0xb0dd0a));
+  v.push_back(ue("Nubia", 0xb0dd0b));
+  v.push_back(ue("OnePlus", 0xb0dd0c));
+  return v;
+}
+
+}  // namespace
+
+const std::vector<VendorProfile>& vendor_catalog() {
+  static const std::vector<VendorProfile> catalog = make_catalog();
+  return catalog;
+}
+
+VendorId vendor_id(std::string_view name) {
+  const auto& catalog = vendor_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].name == name) return static_cast<VendorId>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+std::vector<std::pair<VendorId, double>> mix(
+    std::initializer_list<std::pair<const char*, double>> shares) {
+  std::vector<std::pair<VendorId, double>> out;
+  for (const auto& [name, weight] : shares) {
+    const VendorId id = vendor_id(name);
+    out.emplace_back(id, weight);
+  }
+  return out;
+}
+
+// Common UE mixes.
+std::vector<std::pair<VendorId, double>> india_ue_mix() {
+  return mix({{"NTMore", 0.24}, {"HMD Global", 0.14}, {"Vivo", 0.12},
+              {"Oppo", 0.11}, {"Samsung", 0.11}, {"Apple", 0.07},
+              {"Nokia", 0.06}, {"LG", 0.04}, {"Motorola", 0.03},
+              {"Lenovo", 0.02}, {"TP-Link", 0.03}, {"Huawei", 0.03}});
+}
+
+std::vector<std::pair<VendorId, double>> cn_ue_mix() {
+  return mix({{"Vivo", 0.26}, {"Oppo", 0.26}, {"Apple", 0.12},
+              {"Samsung", 0.06}, {"Nubia", 0.05}, {"Lenovo", 0.05},
+              {"OnePlus", 0.04}, {"Xiaomi", 0.10}, {"Huawei", 0.06}});
+}
+
+IspSpec isp(const char* country, const char* network, const char* name,
+            std::uint32_t asn, const char* paper_block,
+            const char* paper_range, const char* block_base,
+            int delegated_len, bool ue_model, double density) {
+  IspSpec s;
+  s.country = country;
+  s.network = network;
+  s.name = name;
+  s.asn = asn;
+  s.paper_block = paper_block;
+  s.paper_range = paper_range;
+  s.block_base = *net::Ipv6Address::parse(block_base);
+  s.delegated_len = delegated_len;
+  s.ue_model = ue_model;
+  s.density = density;
+  return s;
+}
+
+void set_iid(IspSpec& s, double eui, double low, double embed, double pattern) {
+  s.iid_weights[0] = eui;
+  s.iid_weights[1] = low;
+  s.iid_weights[2] = embed;
+  s.iid_weights[3] = pattern;
+  s.iid_weights[4] = std::max(0.0, 1.0 - eui - low - embed - pattern);
+}
+
+}  // namespace
+
+std::vector<IspSpec> isp_specs() {
+  std::vector<IspSpec> out;
+
+  // 1. Reliance Jio — IN broadband, /64 delegations, 99.8% "same".
+  {
+    auto s = isp("IN", "Broadband", "Reliance Jio", 55836, "/32", "/32-64",
+                 "3fff:100::", 64, false, 0.137);
+    s.paper_hops = 3365175;
+    s.separate_wan_fraction = 0.002;
+    set_iid(s, 0.014, 0.002, 0.03, 0.06);
+    s.vendor_mix = mix({{"Optilink", 0.45}, {"D-Link", 0.20},
+                        {"TP-Link", 0.20}, {"Huawei", 0.15}});
+    s.loop_scale = 0.006;
+    s.service_scale = 0.012;
+    out.push_back(std::move(s));
+  }
+  // 2. BSNL — IN broadband; tiny usable population, chatty edge router.
+  {
+    auto s = isp("IN", "Broadband", "BSNL", 9829, "/32", "/32-64",
+                 "3fff:200::", 64, false, 0.008);
+    s.paper_hops = 2404;
+    s.separate_wan_fraction = 0.656;
+    set_iid(s, 0.767, 0.01, 0.02, 0.05);
+    s.vendor_mix = mix({{"Optilink", 0.40}, {"Huawei", 0.30},
+                        {"D-Link", 0.30}});
+    s.loop_scale = 0.30;
+    s.service_scale = 0.10;
+    s.unallocated = RouteAction::kUnreachable;
+    out.push_back(std::move(s));
+  }
+  // 3. Bharti Airtel — IN mobile (UE model), the largest block.
+  {
+    auto s = isp("IN", "Mobile", "Bharti Airtel", 45609, "/32", "/32-64",
+                 "3fff:300::", 64, true, 0.70);
+    s.paper_hops = 22542690;
+    s.separate_wan_fraction = 0.011;
+    set_iid(s, 0.014, 0.001, 0.05, 0.09);
+    s.vendor_mix = india_ue_mix();
+    s.loop_scale = 0.25;  // applies to the small hotspot-CPE share
+    s.service_scale = 0.08;
+    out.push_back(std::move(s));
+  }
+  // 4. Vodafone — IN mobile.
+  {
+    auto s = isp("IN", "Mobile", "Vadafone", 38266, "/32", "/32-64",
+                 "3fff:400::", 64, true, 0.113);
+    s.paper_hops = 2307784;
+    s.separate_wan_fraction = 0.002;
+    set_iid(s, 0.013, 0.001, 0.05, 0.08);
+    s.vendor_mix = india_ue_mix();
+    s.loop_scale = 0.04;
+    s.service_scale = 0.12;
+    out.push_back(std::move(s));
+  }
+  // 5. Comcast — US broadband, /56 delegations, EUI-64 dominated.
+  {
+    auto s = isp("US", "Broadband", "Comcast", 7922, "/24", "/24-56",
+                 "3fff:500::", 56, false, 0.024);
+    s.paper_hops = 87308;
+    s.wan_inside_lan_fraction = 0.0;
+    set_iid(s, 0.95, 0.002, 0.003, 0.01);
+    s.vendor_mix = mix({{"Xfinity", 0.55}, {"Technicolor", 0.20},
+                        {"Netgear", 0.10}, {"Hitron Tech", 0.10},
+                        {"Linksys", 0.05}});
+    s.loop_scale = 0.10;
+    s.service_scale = 0.50;
+    s.unallocated = RouteAction::kUnreachable;
+    s.infra_per_flow = true;
+    s.infra_answer_fraction = 0.35;
+    s.infra_pool_64s = 4;
+    s.infra_iid_style = net::IidStyle::kEui64;
+    s.infra_oui = 0xb0dc01;  // synthetic CMTS line-card OUI
+    out.push_back(std::move(s));
+  }
+  // 6. AT&T — US broadband, /60 delegations.
+  {
+    auto s = isp("US", "Broadband", "AT&T", 7018, "/24", "/28-60",
+                 "3fff:600::", 60, false, 0.065);
+    s.paper_hops = 740141;
+    s.wan_inside_lan_fraction = 0.0;
+    set_iid(s, 0.128, 0.005, 0.01, 0.03);
+    s.vendor_mix = mix({{"Arris", 0.60}, {"Technicolor", 0.30},
+                        {"Netgear", 0.10}});
+    s.loop_scale = 0.030;
+    s.service_scale = 0.40;
+    out.push_back(std::move(s));
+  }
+  // 7. Charter — US broadband.
+  {
+    auto s = isp("US", "Broadband", "Charter", 20115, "/24", "/24-56",
+                 "3fff:700::", 56, false, 0.010);
+    s.paper_hops = 13027;
+    s.wan_inside_lan_fraction = 0.26;
+    set_iid(s, 0.006, 0.004, 0.01, 0.03);
+    s.vendor_mix = mix({{"Arris", 0.40}, {"Technicolor", 0.30},
+                        {"Netgear", 0.15}, {"Hitron Tech", 0.15}});
+    s.loop_scale = 0.10;
+    s.service_scale = 4.0;
+    s.unallocated = RouteAction::kUnreachable;
+    s.infra_per_flow = true;
+    s.infra_answer_fraction = 0.07;
+    s.infra_pool_64s = 3;
+    out.push_back(std::move(s));
+  }
+  // 8. CenturyLink — US broadband; the NTP hotspot (93% of exposed NTP).
+  {
+    auto s = isp("US", "Broadband", "CenturyLink", 209, "/24", "/24-56",
+                 "3fff:800::", 56, false, 0.039);
+    s.paper_hops = 249835;
+    s.wan_inside_lan_fraction = 0.0;
+    set_iid(s, 0.37, 0.01, 0.02, 0.05);
+    s.vendor_mix = mix({{"Zyxel", 0.35}, {"Technicolor", 0.25},
+                        {"AVM GmbH", 0.35}, {"Arris", 0.05}});
+    s.loop_scale = 0.22;
+    s.service_scale = 0.14;
+    out.push_back(std::move(s));
+  }
+  // 9. AT&T — US mobile (UE model).
+  {
+    auto s = isp("US", "Mobile", "AT&T", 20057, "/32", "/32-64",
+                 "3fff:900::", 64, true, 0.098);
+    s.paper_hops = 1734506;
+    s.separate_wan_fraction = 0.055;
+    set_iid(s, 0.0003, 0.001, 0.002, 0.01);
+    s.vendor_mix = mix({{"Apple", 0.45}, {"Samsung", 0.30}, {"LG", 0.08},
+                        {"Motorola", 0.07}, {"OnePlus", 0.04},
+                        {"Netgear", 0.06}});
+    s.loop_scale = 0.0;
+    s.service_scale = 0.02;
+    out.push_back(std::move(s));
+  }
+  // 10. Mediacom — US enterprise; chatty edge (alias-detection exercise).
+  {
+    auto s = isp("US", "Enterprise", "Mediacom", 30036, "/28", "/28-56",
+                 "3fff:a00::", 56, false, 0.017);
+    s.paper_hops = 38399;
+    s.wan_inside_lan_fraction = 0.0;
+    set_iid(s, 0.004, 0.01, 0.02, 0.04);
+    s.vendor_mix = mix({{"Arris", 0.50}, {"Technicolor", 0.30},
+                        {"Netgear", 0.20}});
+    s.loop_scale = 1.1;
+    s.service_scale = 2.0;
+    s.unallocated = RouteAction::kUnreachable;
+    s.infra_per_flow = true;
+    s.infra_answer_fraction = 0.50;
+    s.infra_pool_64s = 2;
+    out.push_back(std::move(s));
+  }
+  // 11. China Telecom — CN broadband, /60 delegations.
+  {
+    auto s = isp("CN", "Broadband", "Telecom", 4134, "/24", "/28-60",
+                 "3fff:b00::", 60, false, 0.109);
+    s.paper_hops = 2122292;
+    s.wan_inside_lan_fraction = 0.032;
+    set_iid(s, 0.122, 0.01, 0.10, 0.16);
+    s.vendor_mix = mix({{"China Telecom", 0.28}, {"ZTE", 0.24},
+                        {"Huawei", 0.22}, {"TP-Link", 0.16},
+                        {"Skyworth", 0.10}});
+    s.loop_scale = 0.80;
+    s.service_scale = 0.12;
+    out.push_back(std::move(s));
+  }
+  // 12. China Unicom — CN broadband.
+  {
+    auto s = isp("CN", "Broadband", "Unicom", 4837, "/24", "/28-60",
+                 "3fff:c00::", 60, false, 0.085);
+    s.paper_hops = 1273075;
+    s.wan_inside_lan_fraction = 0.48;
+    set_iid(s, 0.533, 0.01, 0.06, 0.12);
+    s.vendor_mix = mix({{"China Unicom", 0.32}, {"ZTE", 0.28},
+                        {"Huawei", 0.20}, {"TP-Link", 0.20}});
+    s.loop_scale = 1.50;
+    s.service_scale = 0.38;
+    out.push_back(std::move(s));
+  }
+  // 13. China Mobile — CN broadband; the largest service exposure (57.5%).
+  {
+    auto s = isp("CN", "Broadband", "Mobile", 9808, "/24", "/28-60",
+                 "3fff:d00::", 60, false, 0.200);
+    s.paper_hops = 7316861;
+    s.wan_inside_lan_fraction = 0.38;
+    set_iid(s, 0.331, 0.012, 0.09, 0.17);
+    s.vendor_mix = mix({{"China Mobile", 0.52}, {"ZTE", 0.15},
+                        {"Skyworth", 0.13}, {"Fiberhome", 0.08},
+                        {"Youhua Tech", 0.05}, {"StarNet", 0.04},
+                        {"Mercury", 0.03}});
+    s.loop_scale = 1.00;
+    s.service_scale = 1.00;
+    out.push_back(std::move(s));
+  }
+  // 14. China Unicom — CN mobile (UE model).
+  {
+    auto s = isp("CN", "Mobile", "Unicom", 4837, "/32", "/32-64",
+                 "3fff:e00::", 64, true, 0.144);
+    s.paper_hops = 3696275;
+    s.separate_wan_fraction = 0.021;
+    set_iid(s, 0.004, 0.001, 0.04, 0.08);
+    s.vendor_mix = cn_ue_mix();
+    s.loop_scale = 0.012;
+    s.service_scale = 0.02;
+    out.push_back(std::move(s));
+  }
+  // 15. China Mobile — CN mobile (UE model).
+  {
+    auto s = isp("CN", "Mobile", "Mobile", 9808, "/32", "/32-64",
+                 "3fff:f00::", 64, true, 0.200);
+    s.paper_hops = 7193972;
+    s.separate_wan_fraction = 0.016;
+    set_iid(s, 0.003, 0.001, 0.04, 0.08);
+    s.vendor_mix = cn_ue_mix();
+    s.loop_scale = 0.012;
+    s.service_scale = 0.02;
+    out.push_back(std::move(s));
+  }
+
+  return out;
+}
+
+std::vector<IspSpec> bgp_specs(int n_ases, std::uint64_t seed) {
+  // Country table for the BGP-wide sweep: (code, share of ASes, loop
+  // propensity, base ASN). Shares and propensities are calibrated so the
+  // top-10 loop countries come out in the paper's Figure 5 order:
+  // BR, CN, EC, VN, US, MM, IN, GB, DE, CH (CZ close behind).
+  struct Country {
+    const char* code;
+    double as_share;
+    double loop;
+    std::uint32_t base_asn;
+    double density;
+  };
+  static const Country kCountries[] = {
+      {"BR", 0.070, 0.62, 28006, 0.62}, {"CN", 0.075, 0.46, 4134, 0.55},
+      {"EC", 0.020, 0.74, 27947, 0.58}, {"VN", 0.030, 0.44, 7552, 0.50},
+      {"US", 0.120, 0.12, 7922, 0.45},  {"MM", 0.012, 0.58, 9988, 0.48},
+      {"IN", 0.060, 0.16, 55836, 0.42}, {"GB", 0.045, 0.13, 2856, 0.40},
+      {"DE", 0.055, 0.11, 3320, 0.42},  {"CH", 0.020, 0.20, 6830, 0.40},
+      {"CZ", 0.020, 0.20, 5610, 0.38},  {"NL", 0.030, 0.07, 1136, 0.35},
+      {"FR", 0.035, 0.07, 3215, 0.35},  {"JP", 0.035, 0.06, 2516, 0.35},
+      {"KR", 0.020, 0.06, 4766, 0.35},  {"AU", 0.020, 0.07, 1221, 0.32},
+      {"RU", 0.030, 0.09, 12389, 0.32}, {"IT", 0.025, 0.07, 3269, 0.32},
+      {"ES", 0.020, 0.07, 3352, 0.30},  {"SE", 0.015, 0.06, 3301, 0.30},
+      {"PL", 0.020, 0.08, 5617, 0.30},  {"TR", 0.015, 0.10, 9121, 0.32},
+      {"ZA", 0.012, 0.10, 5713, 0.30},  {"MX", 0.015, 0.11, 8151, 0.32},
+      {"AR", 0.015, 0.11, 7303, 0.32},  {"CL", 0.012, 0.10, 7418, 0.30},
+      {"CO", 0.012, 0.11, 13489, 0.30}, {"TH", 0.015, 0.10, 9931, 0.32},
+      {"MY", 0.012, 0.09, 4788, 0.30},  {"ID", 0.015, 0.10, 7713, 0.32},
+      {"PH", 0.012, 0.10, 9299, 0.30},  {"SG", 0.010, 0.06, 7473, 0.28},
+      {"HK", 0.010, 0.07, 4760, 0.28},  {"TW", 0.012, 0.06, 3462, 0.28},
+      {"NZ", 0.008, 0.06, 9500, 0.26},  {"CA", 0.020, 0.08, 812, 0.30},
+  };
+
+  std::vector<double> weights;
+  for (const auto& c : kCountries) weights.push_back(c.as_share);
+
+  net::Rng rng{seed};
+  std::vector<IspSpec> out;
+  out.reserve(static_cast<std::size_t>(n_ases));
+  for (int i = 0; i < n_ases; ++i) {
+    const Country& c = kCountries[rng.pick_weighted(weights)];
+    IspSpec s;
+    s.country = c.code;
+    s.network = "BGP";
+    s.name = std::string{"AS"} + std::to_string(c.base_asn) + "-" +
+             std::to_string(i);
+    s.asn = c.base_asn + static_cast<std::uint32_t>(i % 7 == 0 ? 0 : i);
+    s.paper_block = "/32";
+    s.paper_range = "/32-48";
+    // Unique block base per AS inside 3fff:8000::/17 (clear of the 15
+    // sample ISP blocks which live under 3fff:0000::/20). Bit 36 spacing
+    // keeps blocks distinct for any window_bits <= 19.
+    const std::uint64_t hi = 0x3fff800000000000ULL |
+                             (static_cast<std::uint64_t>(i) << 36);
+    s.block_base = net::Ipv6Address::from_value(net::Uint128{hi, 0});
+    s.delegated_len = 48;  // business-site delegations (RFC 6177)
+    s.ue_model = false;
+    s.density = c.density * rng.unit() * 0.8 + 0.08;
+    // Two addressing cultures (Table X): ~30% of ASes address their edge
+    // manually (low-byte heavy, loop-prone), the rest look like consumer
+    // CPE populations.
+    const bool manual = rng.bernoulli(0.30);
+    if (manual) {
+      s.iid_weights[0] = 0.22;
+      s.iid_weights[1] = 0.25;
+      s.iid_weights[2] = 0.05;
+      s.iid_weights[3] = 0.01;
+      s.iid_weights[4] = 0.47;
+      s.loop_scale = c.loop * 0.9;
+    } else {
+      s.iid_weights[0] = 0.20;
+      s.iid_weights[1] = 0.03;
+      s.iid_weights[2] = 0.02;
+      s.iid_weights[3] = 0.01;
+      s.iid_weights[4] = 0.74;
+      s.loop_scale = c.loop * 0.3;
+    }
+    s.wan_inside_lan_fraction = 0.10;
+    s.vendor_mix = mix({{"ZTE", 0.15}, {"Huawei", 0.15}, {"MikroTik", 0.15},
+                        {"TP-Link", 0.15}, {"Netgear", 0.10},
+                        {"Generic CPE", 0.30}});
+    s.service_scale = 0.10;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace xmap::topo::paper

@@ -1,0 +1,35 @@
+// Calibrated profiles reproducing the paper's measurement universe.
+//
+// The vendor catalogue and the fifteen ISP block specifications below are
+// data, not mechanism: every probability is chosen so that the *shape* of
+// the paper's results re-emerges from the generic builder — which ISPs are
+// "same"- vs "diff"-dominated (Table II), the addr6 style mix (Table III),
+// the vendor league table (Table IV, Figures 2/3/6), the per-ISP exposed
+// service rates (Table VII) and the per-ISP routing-loop rates (Table XI).
+// Absolute counts scale with BuildConfig::window_bits; proportions are what
+// the experiments compare against the paper.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "topology/builder.h"
+
+namespace xmap::topo::paper {
+
+// The device vendor catalogue (Table IV + Table XII vendors). OUIs are
+// synthetic but stable; real OUI values are trademarked data we do not need.
+[[nodiscard]] const std::vector<VendorProfile>& vendor_catalog();
+
+// Index of a vendor by name within vendor_catalog(); -1 when absent.
+[[nodiscard]] VendorId vendor_id(std::string_view name);
+
+// The fifteen sample IPv6 blocks of Table I/II, calibrated.
+[[nodiscard]] std::vector<IspSpec> isp_specs();
+
+// A BGP-advertised-prefix universe for the global routing-loop sweep
+// (Table IX/X, Figure 5): `n_ases` synthetic ASes across ~36 countries with
+// per-country loop propensities matching the paper's top-10 ordering.
+[[nodiscard]] std::vector<IspSpec> bgp_specs(int n_ases, std::uint64_t seed);
+
+}  // namespace xmap::topo::paper

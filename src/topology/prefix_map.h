@@ -1,0 +1,127 @@
+// Longest-prefix-match container over IPv6 prefixes.
+//
+// A binary trie on address bits, generic over the mapped value so it backs
+// both the forwarding tables (RoutingTable) and the measurement lookups
+// (GeoDb's prefix -> AS/country mapping). Nodes live in a flat vector for
+// locality; an ISP router holding one route per subscriber does a lookup per
+// forwarded packet, so this is on the simulator's hot path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv6.h"
+
+namespace xmap::topo {
+
+template <typename T>
+class PrefixMap {
+ public:
+  PrefixMap() { nodes_.push_back(Node{}); }
+
+  // Inserts or replaces the value at `prefix`.
+  void insert(const net::Ipv6Prefix& prefix, T value) {
+    std::size_t node = 0;
+    const net::Uint128 bits = prefix.address().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int b = bits.bit(127 - depth) ? 1 : 0;
+      if (nodes_[node].child[b] < 0) {
+        nodes_[node].child[b] = static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back(Node{});
+      }
+      node = static_cast<std::size_t>(nodes_[node].child[b]);
+    }
+    if (nodes_[node].value < 0) {
+      nodes_[node].value = static_cast<std::int32_t>(values_.size());
+      values_.push_back(std::move(value));
+      ++size_;
+    } else {
+      values_[static_cast<std::size_t>(nodes_[node].value)] = std::move(value);
+    }
+  }
+
+  // Longest-prefix match; nullptr when nothing matches.
+  [[nodiscard]] const T* lookup(const net::Ipv6Address& addr) const {
+    const net::Uint128 bits = addr.value();
+    std::size_t node = 0;
+    std::int32_t best = nodes_[0].value;
+    for (int depth = 0; depth < 128; ++depth) {
+      const int b = bits.bit(127 - depth) ? 1 : 0;
+      const std::int32_t next = nodes_[node].child[b];
+      if (next < 0) break;
+      node = static_cast<std::size_t>(next);
+      if (nodes_[node].value >= 0) best = nodes_[node].value;
+    }
+    return best < 0 ? nullptr : &values_[static_cast<std::size_t>(best)];
+  }
+
+  // Exact-match lookup at a specific prefix; nullptr when absent.
+  [[nodiscard]] const T* exact(const net::Ipv6Prefix& prefix) const {
+    const net::Uint128 bits = prefix.address().value();
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int b = bits.bit(127 - depth) ? 1 : 0;
+      const std::int32_t next = nodes_[node].child[b];
+      if (next < 0) return nullptr;
+      node = static_cast<std::size_t>(next);
+    }
+    return nodes_[node].value < 0
+               ? nullptr
+               : &values_[static_cast<std::size_t>(nodes_[node].value)];
+  }
+
+  // Removes the exact entry; returns whether one existed. (The trie node is
+  // left in place — removal is rare and the memory cost is negligible.)
+  bool erase(const net::Ipv6Prefix& prefix) {
+    const net::Uint128 bits = prefix.address().value();
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int b = bits.bit(127 - depth) ? 1 : 0;
+      const std::int32_t next = nodes_[node].child[b];
+      if (next < 0) return false;
+      node = static_cast<std::size_t>(next);
+    }
+    if (nodes_[node].value < 0) return false;
+    nodes_[node].value = -1;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Visits every (prefix, value) pair in trie order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    net::Uint128 bits{};
+    walk(0, 0, bits, fn);
+  }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::int32_t value = -1;
+  };
+
+  template <typename Fn>
+  void walk(std::size_t node, int depth, net::Uint128& bits, Fn&& fn) const {
+    if (nodes_[node].value >= 0) {
+      fn(net::Ipv6Prefix{net::Ipv6Address::from_value(bits), depth},
+         values_[static_cast<std::size_t>(nodes_[node].value)]);
+    }
+    for (int b = 0; b < 2; ++b) {
+      if (nodes_[node].child[b] < 0) continue;
+      if (b) bits.set_bit(127 - depth, true);
+      walk(static_cast<std::size_t>(nodes_[node].child[b]), depth + 1, bits,
+           fn);
+      if (b) bits.set_bit(127 - depth, false);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<T> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xmap::topo

@@ -1,0 +1,67 @@
+#include "topology/provisioning.h"
+
+namespace xmap::topo {
+namespace {
+
+// Provisioning messages are exchanged with link-local addressing on the
+// point-to-point access subnet; the server side uses this anchor.
+const net::Ipv6Address& server_link_local() {
+  static const net::Ipv6Address addr = *net::Ipv6Address::parse("fe80::1");
+  return addr;
+}
+
+}  // namespace
+
+bool Provisioner::maybe_handle(const pkt::Bytes& packet, int iface,
+                               const Emit& emit) {
+  auto offer_it = offers_.find(iface);
+  if (offer_it == offers_.end()) return false;
+  const Offer& offer = offer_it->second;
+
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid()) return false;
+
+  // --- Router Solicitation -> Router Advertisement -------------------------
+  if (ip.next_header() == pkt::kProtoIcmpv6 &&
+      is_router_solicit(ip.payload())) {
+    RouterAdvertisement ra;
+    ra.managed = false;
+    ra.other_config = offer.delegated.has_value();
+    PrefixInformation pi;
+    pi.prefix = offer.wan_prefix;
+    ra.prefixes.push_back(pi);
+    emit(iface, build_router_advert(server_link_local(), ip.src(), ra));
+    return true;
+  }
+
+  // --- DHCPv6-PD ------------------------------------------------------------
+  if (ip.next_header() == pkt::kProtoUdp) {
+    pkt::UdpView udp{ip.payload()};
+    if (!udp.valid() || udp.dst_port() != kDhcpv6ServerPort) return false;
+    auto request = Dhcpv6Message::decode(udp.payload());
+    if (!request) return true;  // addressed to us, but malformed: swallow
+
+    Dhcpv6Message reply = *request;
+    reply.server_duid = server_duid_;
+    switch (request->type) {
+      case Dhcpv6MsgType::kSolicit:
+        reply.type = Dhcpv6MsgType::kAdvertise;
+        reply.delegated_prefix = offer.delegated;
+        break;
+      case Dhcpv6MsgType::kRequest:
+        reply.type = Dhcpv6MsgType::kReply;
+        reply.delegated_prefix = offer.delegated;
+        break;
+      default:
+        return true;  // not a client message we serve
+    }
+    emit(iface, pkt::build_udp(server_link_local(), ip.src(),
+                               kDhcpv6ServerPort, kDhcpv6ClientPort,
+                               reply.encode()));
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace xmap::topo

@@ -1,0 +1,50 @@
+// The ISP-side provisioning plane: answers Router Solicitations with RAs
+// advertising the subscriber's WAN /64 (SLAAC), and runs the DHCPv6-PD
+// server side (SOLICIT -> ADVERTISE, REQUEST -> REPLY) delegating the LAN
+// prefix — per access interface.
+//
+// Attached to a topo::Router via set_provisioner(); the router consults it
+// before normal forwarding, which is exactly where a BNG terminates these
+// link-scope protocols.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "packet/packet.h"
+#include "topology/dhcpv6.h"
+#include "topology/ndp.h"
+
+namespace xmap::topo {
+
+class Provisioner {
+ public:
+  struct Offer {
+    net::Ipv6Prefix wan_prefix;  // advertised in the RA (SLAAC, /64)
+    std::optional<net::Ipv6Prefix> delegated;  // IA_PD contents, if any
+  };
+
+  explicit Provisioner(std::uint64_t server_duid = 0x00b0d0'00000001ULL)
+      : server_duid_(server_duid) {}
+
+  // Registers what the subscriber on `iface` is entitled to.
+  void set_offer(int iface, Offer offer) {
+    offers_[iface] = std::move(offer);
+  }
+  [[nodiscard]] std::size_t offer_count() const { return offers_.size(); }
+
+  // Inspects an inbound packet on `iface`. When it is a provisioning
+  // message this handles it — emitting any reply through `emit` — and
+  // returns true; otherwise returns false and the router proceeds normally.
+  using Emit = std::function<void(int iface, pkt::Bytes packet)>;
+  bool maybe_handle(const pkt::Bytes& packet, int iface, const Emit& emit);
+
+  [[nodiscard]] std::uint64_t server_duid() const { return server_duid_; }
+
+ private:
+  std::uint64_t server_duid_;
+  std::unordered_map<int, Offer> offers_;
+};
+
+}  // namespace xmap::topo

@@ -1,0 +1,130 @@
+#include "topology/spec_loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "netbase/json.h"
+
+namespace xmap::topo {
+namespace {
+
+SpecLoadResult fail(std::string message) {
+  return SpecLoadResult{std::nullopt, std::move(message)};
+}
+
+VendorId vendor_by_name(const std::vector<VendorProfile>& vendors,
+                        const std::string& name) {
+  for (std::size_t i = 0; i < vendors.size(); ++i) {
+    if (vendors[i].name == name) return static_cast<VendorId>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+SpecLoadResult load_specs_from_json(std::string_view json_text,
+                                    const std::vector<VendorProfile>& vendors) {
+  auto parsed = net::json_parse(json_text);
+  if (!parsed.value) return fail("JSON: " + parsed.error.to_string());
+  const net::JsonValue& root = *parsed.value;
+  if (!root.is_object()) return fail("top level must be an object");
+  const net::JsonValue* blocks = root.find("blocks");
+  if (blocks == nullptr || !blocks->is_array()) {
+    return fail("missing \"blocks\" array");
+  }
+
+  std::vector<IspSpec> out;
+  int index = 0;
+  for (const net::JsonValue& entry : blocks->as_array()) {
+    const std::string where = "blocks[" + std::to_string(index++) + "]";
+    if (!entry.is_object()) return fail(where + " must be an object");
+
+    IspSpec spec;
+    spec.name = entry.string_or("name", "");
+    if (spec.name.empty()) return fail(where + ": \"name\" is required");
+
+    const std::string base_text = entry.string_or("block_base", "");
+    auto base = net::Ipv6Address::parse(base_text);
+    if (!base) {
+      return fail(where + ": bad or missing \"block_base\": " + base_text);
+    }
+    spec.block_base = *base;
+
+    spec.country = entry.string_or("country", "XX");
+    spec.network = entry.string_or("network", "Broadband");
+    spec.asn = static_cast<std::uint32_t>(entry.number_or("asn", 64500));
+    spec.paper_block = entry.string_or("paper_block", "-");
+    spec.paper_range = entry.string_or("paper_range", "-");
+    spec.paper_hops = entry.number_or("paper_hops", 0);
+
+    const double len = entry.number_or("delegated_len", 64);
+    if (len != 56 && len != 60 && len != 64) {
+      return fail(where + ": \"delegated_len\" must be 56, 60 or 64");
+    }
+    spec.delegated_len = static_cast<int>(len);
+    spec.ue_model = entry.bool_or("ue_model", false);
+
+    spec.density = entry.number_or("density", 0.2);
+    if (spec.density < 0 || spec.density > 1) {
+      return fail(where + ": \"density\" must be in [0, 1]");
+    }
+    spec.separate_wan_fraction = entry.number_or("separate_wan_fraction", 0.0);
+    spec.wan_inside_lan_fraction =
+        entry.number_or("wan_inside_lan_fraction", 0.0);
+    spec.service_scale = entry.number_or("service_scale", 1.0);
+    spec.loop_scale = entry.number_or("loop_scale", 1.0);
+    spec.mac_clone_fraction = entry.number_or("mac_clone_fraction", 0.035);
+
+    const std::string unallocated = entry.string_or("unallocated", "blackhole");
+    if (unallocated == "blackhole") {
+      spec.unallocated = RouteAction::kBlackhole;
+    } else if (unallocated == "unreachable") {
+      spec.unallocated = RouteAction::kUnreachable;
+    } else {
+      return fail(where + ": \"unallocated\" must be blackhole|unreachable");
+    }
+
+    if (const net::JsonValue* weights = entry.find("iid_weights")) {
+      if (!weights->is_array() ||
+          weights->as_array().size() != net::kIidStyleCount) {
+        return fail(where + ": \"iid_weights\" must be an array of 5 numbers");
+      }
+      for (int i = 0; i < net::kIidStyleCount; ++i) {
+        const auto& w = weights->as_array()[static_cast<std::size_t>(i)];
+        if (!w.is_number() || w.as_number() < 0) {
+          return fail(where + ": bad iid weight");
+        }
+        spec.iid_weights[i] = w.as_number();
+      }
+    }
+
+    const net::JsonValue* vendor_map = entry.find("vendors");
+    if (vendor_map == nullptr || !vendor_map->is_object() ||
+        vendor_map->as_object().empty()) {
+      return fail(where + ": \"vendors\" object is required");
+    }
+    for (const auto& [name, weight] : vendor_map->as_object()) {
+      const VendorId id = vendor_by_name(vendors, name);
+      if (id < 0) return fail(where + ": unknown vendor \"" + name + "\"");
+      if (!weight.is_number() || weight.as_number() <= 0) {
+        return fail(where + ": vendor \"" + name + "\" needs a positive weight");
+      }
+      spec.vendor_mix.emplace_back(id, weight.as_number());
+    }
+
+    out.push_back(std::move(spec));
+  }
+  if (out.empty()) return fail("\"blocks\" is empty");
+  return SpecLoadResult{std::move(out), {}};
+}
+
+SpecLoadResult load_specs_from_file(const std::string& path,
+                                    const std::vector<VendorProfile>& vendors) {
+  std::ifstream in{path};
+  if (!in) return fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_specs_from_json(buffer.str(), vendors);
+}
+
+}  // namespace xmap::topo

@@ -1,0 +1,50 @@
+// Topology specification loading from JSON configuration files.
+//
+// Lets a user define custom measurement universes for xmap_sim and the
+// library without recompiling. Schema (all per-block fields except
+// "name"/"block_base" optional, with the defaults of topo::IspSpec):
+//
+// {
+//   "blocks": [
+//     {
+//       "name": "ExampleNet",           // required
+//       "block_base": "3fff:abc::",     // required
+//       "country": "XX", "network": "Broadband", "asn": 64500,
+//       "delegated_len": 60,            // 56 | 60 | 64
+//       "ue_model": false,
+//       "density": 0.2,
+//       "separate_wan_fraction": 0.0,
+//       "wan_inside_lan_fraction": 0.1,
+//       "iid_weights": [0.1, 0.01, 0.02, 0.05, 0.82],
+//       "vendors": {"ZTE": 0.5, "Huawei": 0.5},   // catalogue names
+//       "unallocated": "blackhole",     // or "unreachable"
+//       "service_scale": 1.0,
+//       "loop_scale": 0.5
+//     }
+//   ]
+// }
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/builder.h"
+
+namespace xmap::topo {
+
+struct SpecLoadResult {
+  std::optional<std::vector<IspSpec>> specs;  // nullopt on error
+  std::string error;
+};
+
+// Parses a JSON document text into block specifications, resolving vendor
+// names against `vendors` (use paper::vendor_catalog()).
+[[nodiscard]] SpecLoadResult load_specs_from_json(
+    std::string_view json_text, const std::vector<VendorProfile>& vendors);
+
+// Convenience: reads the file, then parses.
+[[nodiscard]] SpecLoadResult load_specs_from_file(
+    const std::string& path, const std::vector<VendorProfile>& vendors);
+
+}  // namespace xmap::topo

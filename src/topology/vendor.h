@@ -1,0 +1,76 @@
+// Device vendor profiles.
+//
+// A vendor profile captures everything the paper attributes to a device
+// maker: the OUI space its MACs come from (recovered through EUI-64
+// addresses), which services its firmware exposes to the WAN and with what
+// software versions (Tables IV, VII, VIII; Figures 2, 3), and whether its
+// IPv6 routing module carries the loop flaw of Section VI (Table XII).
+// All OUIs here are synthetic but stable; see DESIGN.md's substitution table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "services/service.h"
+
+namespace xmap::topo {
+
+enum class DeviceClass : std::uint8_t { kCpe, kUe };
+
+// Probability that a device of this vendor exposes a service on its WAN,
+// with a weighted choice of software/version when it does.
+struct ServiceDeployment {
+  svc::ServiceKind kind;
+  double probability = 0.0;
+  struct Choice {
+    svc::SoftwareInfo software;
+    double weight = 1.0;
+  };
+  std::vector<Choice> software;
+};
+
+struct VendorProfile {
+  std::string name;
+  DeviceClass device_class = DeviceClass::kCpe;
+  std::uint32_t oui = 0;
+  // Probability that a device ships with the flawed routing module for the
+  // WAN / delegated-LAN prefix respectively (Section VI-A distinguishes the
+  // two ways the default route can swallow undelegated space).
+  double loop_wan_prob = 0.0;
+  double loop_lan_prob = 0.0;
+  // Forwarding cap for a looping flow; <0 = loops until hop-limit expiry.
+  int loop_cap = -1;
+  std::vector<ServiceDeployment> services;
+};
+
+using VendorId = int;
+
+// OUI -> vendor name registry (the IEEE file, miniaturised).
+class OuiDb {
+ public:
+  void add(std::uint32_t oui, std::string vendor) {
+    map_[oui] = std::move(vendor);
+  }
+
+  [[nodiscard]] const std::string* lookup(std::uint32_t oui) const {
+    auto it = map_.find(oui);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  [[nodiscard]] static OuiDb from_vendors(
+      const std::vector<VendorProfile>& vendors) {
+    OuiDb db;
+    for (const auto& v : vendors) db.add(v.oui, v.name);
+    return db;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> map_;
+};
+
+}  // namespace xmap::topo

@@ -1,0 +1,32 @@
+#include "xmap/blocklist.h"
+
+namespace xmap::scan {
+
+bool Blocklist::permitted(const net::Ipv6Address& addr) const {
+  const bool blocked = blocked_.lookup(addr) != nullptr;
+  if (!has_allowlist_) return !blocked;
+  const bool allowed = allowed_.lookup(addr) != nullptr;
+  // With an allowlist, a target must be allowed; an explicit block still
+  // wins (ZMap's "blacklist overrides whitelist" behaviour).
+  return allowed && !blocked;
+}
+
+Blocklist Blocklist::well_behaved_defaults() {
+  Blocklist list;
+  for (const char* prefix :
+       {"::/128",         // unspecified
+        "::1/128",        // loopback
+        "::ffff:0:0/96",  // IPv4-mapped
+        "64:ff9b::/96",   // NAT64 well-known
+        "100::/64",       // discard-only
+        "2001::/32",      // Teredo
+        "2001:db8::/32",  // documentation
+        "fc00::/7",       // unique-local
+        "fe80::/10",      // link-local
+        "ff00::/8"}) {    // multicast
+    list.block(*net::Ipv6Prefix::parse(prefix));
+  }
+  return list;
+}
+
+}  // namespace xmap::scan

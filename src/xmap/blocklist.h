@@ -1,0 +1,44 @@
+// Scan blocklist / allowlist.
+//
+// Mirrors ZMap's blacklist semantics: targets inside a blocked prefix are
+// skipped at generation time; an optional allowlist restricts the scan to
+// listed space. Good-citizenship defaults cover the special-use IPv6
+// registry (loopback, link-local, multicast, documentation, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/prefix_map.h"
+
+namespace xmap::scan {
+
+class Blocklist {
+ public:
+  Blocklist() = default;
+
+  void block(const net::Ipv6Prefix& prefix) { blocked_.insert(prefix, 1); }
+  void allow(const net::Ipv6Prefix& prefix) {
+    allowed_.insert(prefix, 1);
+    has_allowlist_ = true;
+  }
+
+  // A target may be probed when it is not under a blocked prefix and — if
+  // an allowlist is present — is under an allowed prefix. A blocked entry
+  // that is more specific than an allowed one wins, and vice versa.
+  [[nodiscard]] bool permitted(const net::Ipv6Address& addr) const;
+
+  [[nodiscard]] std::size_t blocked_count() const { return blocked_.size(); }
+  [[nodiscard]] std::size_t allowed_count() const { return allowed_.size(); }
+
+  // RFC 6890 / IANA special-purpose space that a well-behaved Internet
+  // scanner never probes.
+  [[nodiscard]] static Blocklist well_behaved_defaults();
+
+ private:
+  topo::PrefixMap<char> blocked_;
+  topo::PrefixMap<char> allowed_;
+  bool has_allowlist_ = false;
+};
+
+}  // namespace xmap::scan

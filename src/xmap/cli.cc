@@ -1,0 +1,198 @@
+#include "xmap/cli.h"
+
+#include <charconv>
+
+namespace xmap::scan {
+namespace {
+
+bool parse_int(std::string_view text, long long& out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // from_chars for double is not available everywhere; strtod via a copy.
+  const std::string copy{text};
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+}  // namespace
+
+std::vector<std::string> probe_module_names() {
+  return {"icmp_echo", "icmp_echo:<hoplimit>", "tcp_syn:<port>", "udp_dns",
+          "udp_ntp", "traceroute"};
+}
+
+std::string cli_usage() {
+  return R"(xmap_sim — the XMap scanner driven against the simulated Internet
+
+Usage: xmap_sim [options]
+
+Target selection:
+  --target <addr/lo-hi>     scan window spec (repeatable);
+                            default: every block of the selected world
+  --world paper|bgp:<n>|file:<path>
+                            substrate: the 15 calibrated ISP blocks, a
+                            synthetic BGP table with <n> ASes, or a JSON
+                            spec file (default paper)
+  --window-bits <n>         slots per block = 2^n (default 10)
+
+Scanning:
+  --probe-module <name>     icmp_echo[:<hoplimit>] | tcp_syn:<port> |
+                            udp_dns | udp_ntp | traceroute (default icmp_echo)
+  --rate <pps>              probes per (simulated) second (default 25000)
+  --seed <n>                permutation & validation seed (default 1)
+  --shards <n> --shard <i>  partition the scan zmap-style
+  --max-probes <n>          stop after n probes (default: all)
+  --retries <n>             send each probe 1+n times (default 0)
+  --no-blocklist            do not apply the special-use-prefix blocklist
+
+Output:
+  --output-format csv|jsonl (default csv)
+  --output-file <path>      default: stdout
+  --quiet                   suppress the stats footer
+  --list-probe-modules      print module names and exit
+  --help                    this text
+)";
+}
+
+CliParseResult parse_cli(int argc, const char* const* argv) {
+  CliOptions opts;
+  auto fail = [](std::string message) {
+    return CliParseResult{std::nullopt, std::move(message)};
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next_value = [&](std::string_view flag,
+                          std::string& out) -> bool {
+      if (i + 1 >= argc) {
+        out.clear();
+        return false;
+      }
+      (void)flag;
+      out = argv[++i];
+      return true;
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--list-probe-modules") {
+      opts.list_probe_modules = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      opts.quiet = true;
+    } else if (arg == "--no-blocklist") {
+      opts.use_default_blocklist = false;
+    } else if (arg == "--target") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--target needs a value");
+      auto spec = TargetSpec::parse(value);
+      if (!spec) return fail("bad target spec: " + value);
+      opts.targets.push_back(*spec);
+    } else if (arg == "--probe-module") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--probe-module needs a value");
+      opts.probe_module = value;
+    } else if (arg == "--world") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--world needs a value");
+      if (value != "paper" && value.rfind("bgp:", 0) != 0 &&
+          value.rfind("file:", 0) != 0) {
+        return fail("--world must be 'paper', 'bgp:<n>' or 'file:<path>'");
+      }
+      opts.world = value;
+    } else if (arg == "--rate") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--rate needs a value");
+      if (!parse_double(value, opts.rate_pps) || opts.rate_pps <= 0) {
+        return fail("bad --rate: " + value);
+      }
+    } else if (arg == "--seed") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0) {
+        return fail("bad --seed");
+      }
+      opts.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--shards") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 1) {
+        return fail("bad --shards");
+      }
+      opts.shards = static_cast<int>(n);
+    } else if (arg == "--shard") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0) {
+        return fail("bad --shard");
+      }
+      opts.shard = static_cast<int>(n);
+    } else if (arg == "--retries") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0 || n > 16) {
+        return fail("bad --retries (0..16)");
+      }
+      opts.retries = static_cast<int>(n);
+    } else if (arg == "--max-probes") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0) {
+        return fail("bad --max-probes");
+      }
+      opts.max_probes = static_cast<std::uint64_t>(n);
+    } else if (arg == "--window-bits") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 4 || n > 20) {
+        return fail("bad --window-bits (4..20)");
+      }
+      opts.window_bits = static_cast<int>(n);
+    } else if (arg == "--output-format") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--output-format needs a value");
+      if (value != "csv" && value != "jsonl" && value != "json") {
+        return fail("--output-format must be csv or jsonl");
+      }
+      opts.output_format = value;
+    } else if (arg == "--output-file") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--output-file needs a value");
+      opts.output_file = value;
+    } else {
+      return fail("unknown flag: " + std::string{arg});
+    }
+  }
+
+  if (opts.shard >= opts.shards) {
+    return fail("--shard must be < --shards");
+  }
+
+  // Validate the probe module selector.
+  const std::string& module = opts.probe_module;
+  const bool known =
+      module == "icmp_echo" || module.rfind("icmp_echo:", 0) == 0 ||
+      module.rfind("tcp_syn:", 0) == 0 || module == "udp_dns" ||
+      module == "udp_ntp" || module == "traceroute";
+  if (!known) return fail("unknown probe module: " + module);
+  if (module.rfind("tcp_syn:", 0) == 0) {
+    long long port = 0;
+    if (!parse_int(module.substr(8), port) || port < 1 || port > 65535) {
+      return fail("bad tcp_syn port");
+    }
+  }
+  if (module.rfind("icmp_echo:", 0) == 0) {
+    long long hl = 0;
+    if (!parse_int(module.substr(10), hl) || hl < 1 || hl > 255) {
+      return fail("bad icmp_echo hop limit");
+    }
+  }
+
+  return CliParseResult{std::move(opts), {}};
+}
+
+}  // namespace xmap::scan

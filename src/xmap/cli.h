@@ -1,0 +1,62 @@
+// Command-line options for the xmap_sim driver.
+//
+// The flag vocabulary deliberately mirrors the released XMap/ZMap tools
+// (--target-port via module suffix, --rate, --seed, --shards/--shard,
+// --max-results style caps) so that someone who knows the real scanner can
+// drive the simulation the same way. Parsing lives in the library so it is
+// unit-testable without spawning the binary.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xmap/blocklist.h"
+#include "xmap/target_spec.h"
+
+namespace xmap::scan {
+
+struct CliOptions {
+  // Targets; empty = scan every block of the selected world.
+  std::vector<TargetSpec> targets;
+
+  // Probe module selector: "icmp_echo" (default), "icmp_echo:<hoplimit>",
+  // "tcp_syn:<port>", "udp_dns", "udp_ntp", "traceroute".
+  std::string probe_module = "icmp_echo";
+
+  double rate_pps = 25000;  // --rate (paper's good-citizen default)
+  std::uint64_t seed = 1;   // --seed
+  int shard = 0;            // --shard
+  int shards = 1;           // --shards
+  std::uint64_t max_probes = 0;  // --max-probes (0 = all)
+  int retries = 0;               // --retries
+  bool use_default_blocklist = true;  // --no-blocklist disables
+
+  std::string output_format = "csv";  // --output-format csv|jsonl
+  std::string output_file;            // --output-file (empty = stdout)
+  bool quiet = false;                 // --quiet (suppress the stats footer)
+
+  // Simulation substrate: "paper" (the 15 calibrated blocks),
+  // "bgp:<n_ases>", or "file:<path>" (a JSON spec document; see
+  // topology/spec_loader.h for the schema).
+  std::string world = "paper";
+  int window_bits = 10;  // --window-bits
+
+  bool help = false;
+  bool list_probe_modules = false;
+};
+
+struct CliParseResult {
+  std::optional<CliOptions> options;  // nullopt on error
+  std::string error;                  // set on error
+};
+
+[[nodiscard]] CliParseResult parse_cli(int argc, const char* const* argv);
+
+// The --help text.
+[[nodiscard]] std::string cli_usage();
+
+// Names accepted by --probe-module, for --list-probe-modules.
+[[nodiscard]] std::vector<std::string> probe_module_names();
+
+}  // namespace xmap::scan

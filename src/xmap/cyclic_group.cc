@@ -1,0 +1,184 @@
+#include "xmap/cyclic_group.h"
+
+#include <array>
+
+namespace xmap::scan {
+namespace {
+
+using net::Uint128;
+
+// Miller-Rabin witness round: returns true when `a` proves n composite.
+bool witness_says_composite(Uint128 a, Uint128 d, int r, Uint128 n) {
+  Uint128 x = Uint128::powmod(a, d, n);
+  if (x == Uint128{1} || x == n - Uint128{1}) return false;
+  for (int i = 1; i < r; ++i) {
+    x = Uint128::mulmod(x, x, n);
+    if (x == n - Uint128{1}) return false;
+  }
+  return true;
+}
+
+Uint128 pollard_rho(Uint128 n, net::Rng& rng) {
+  if (!n.bit(0)) return Uint128{2};
+  while (true) {
+    const Uint128 c = Uint128{rng.next()} % n + Uint128{1};
+    auto f = [&](Uint128 x) {
+      return (Uint128::mulmod(x, x, n) + c) % n;
+    };
+    Uint128 x{2}, y{2}, d{1};
+    while (d == Uint128{1}) {
+      x = f(x);
+      y = f(f(y));
+      const Uint128 diff = x > y ? x - y : y - x;
+      if (diff.is_zero()) break;  // cycle without factor; retry with new c
+      // gcd(diff, n)
+      Uint128 a = diff, b = n;
+      while (!b.is_zero()) {
+        const Uint128 t = a % b;
+        a = b;
+        b = t;
+      }
+      d = a;
+    }
+    if (d != Uint128{1} && d != n) return d;
+  }
+}
+
+void factor_into(Uint128 n, std::vector<Uint128>& out, net::Rng& rng) {
+  if (n <= Uint128{1}) return;
+  if (is_prime(n)) {
+    out.push_back(n);
+    return;
+  }
+  const Uint128 d = pollard_rho(n, rng);
+  factor_into(d, out, rng);
+  factor_into(n / d, out, rng);
+}
+
+}  // namespace
+
+bool is_prime(Uint128 n) {
+  if (n < Uint128{2}) return false;
+  static constexpr std::uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13,
+                                                   17, 19, 23, 29, 31, 37};
+  for (std::uint64_t p : kSmallPrimes) {
+    if (n == Uint128{p}) return true;
+    if ((n % Uint128{p}).is_zero()) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  Uint128 d = n - Uint128{1};
+  int r = 0;
+  while (!d.bit(0)) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 3.3e24 (~2^81).
+  for (std::uint64_t a : kSmallPrimes) {
+    if (witness_says_composite(Uint128{a}, d, r, n)) return false;
+  }
+  return true;
+}
+
+Uint128 next_prime(Uint128 n) {
+  if (n <= Uint128{2}) return Uint128{2};
+  if (!n.bit(0)) ++n;
+  while (!is_prime(n)) n += Uint128{2};
+  return n;
+}
+
+std::vector<Uint128> distinct_prime_factors(Uint128 n) {
+  std::vector<Uint128> all;
+  net::Rng rng{0x9d2c5680u};  // fixed: factorisation must be deterministic
+  // Strip small factors first to keep Pollard's rho fast.
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL, 41ULL, 43ULL, 47ULL}) {
+    const Uint128 pp{p};
+    if ((n % pp).is_zero()) {
+      all.push_back(pp);
+      while ((n % pp).is_zero()) n /= pp;
+    }
+  }
+  std::vector<Uint128> rest;
+  factor_into(n, rest, rng);
+  for (const Uint128& f : rest) {
+    bool seen = false;
+    for (const Uint128& g : all) seen = seen || g == f;
+    if (!seen) all.push_back(f);
+  }
+  return all;
+}
+
+CyclicGroup::CyclicGroup(Uint128 size, std::uint64_t seed) : size_(size) {
+  if (size_.is_zero()) size_ = Uint128{1};
+  p_ = next_prime(size_ + Uint128{1});
+
+  if (p_ == Uint128{2}) {
+    g_ = Uint128{1};  // trivial group
+    start_ = Uint128{1};
+    return;
+  }
+
+  // Smallest primitive root mod p (deterministic for a given p).
+  const Uint128 order = p_ - Uint128{1};
+  const auto factors = distinct_prime_factors(order);
+  for (Uint128 candidate{2};; ++candidate) {
+    bool primitive = true;
+    for (const Uint128& q : factors) {
+      if (Uint128::powmod(candidate, order / q, p_) == Uint128{1}) {
+        primitive = false;
+        break;
+      }
+    }
+    if (primitive) {
+      g_ = candidate;
+      break;
+    }
+  }
+
+  // Random starting element g^e, e derived from the seed.
+  const Uint128 e = Uint128{net::mix64(seed)} % order;
+  start_ = Uint128::powmod(g_, e, p_);
+}
+
+CyclicGroup::Iterator CyclicGroup::shard_iterate(int shard, int shards) const {
+  if (shards < 1) shards = 1;
+  if (shard < 0 || shard >= shards) shard = 0;
+
+  if (p_ == Uint128{2}) {
+    Iterator it{this, Uint128{1}, Uint128{1}};
+    it.yielded_ = Uint128{0};
+    it.raw_remaining_ = shard == 0 ? Uint128{1} : Uint128{0};
+    return it;
+  }
+
+  const Uint128 order = p_ - Uint128{1};
+  const Uint128 shard_start =
+      Uint128::mulmod(start_, Uint128::powmod(g_, Uint128{static_cast<std::uint64_t>(shard)}, p_), p_);
+  const Uint128 step =
+      Uint128::powmod(g_, Uint128{static_cast<std::uint64_t>(shards)}, p_);
+
+  Iterator it{this, shard_start, step};
+  // Raw positions visited by this shard: k in [0, order) with
+  // k ≡ shard (mod shards).
+  const Uint128 s{static_cast<std::uint64_t>(shard)};
+  const Uint128 m{static_cast<std::uint64_t>(shards)};
+  it.raw_remaining_ =
+      order > s ? (order - s + m - Uint128{1}) / m : Uint128{0};
+  return it;
+}
+
+std::optional<Uint128> CyclicGroup::Iterator::next() {
+  while (!raw_remaining_.is_zero()) {
+    const Uint128 cur = x_;
+    x_ = Uint128::mulmod(x_, step_, group_->p_);
+    raw_remaining_ -= Uint128{1};
+    const Uint128 offset = cur - Uint128{1};
+    if (offset < group_->size_) {
+      ++yielded_;
+      return offset;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace xmap::scan

@@ -1,0 +1,83 @@
+// Full-cycle random permutation over arbitrary-size scan spaces.
+//
+// This is ZMap's address-randomisation trick generalised as XMap does it:
+// to visit every element of [0, N) exactly once in pseudo-random order with
+// O(1) state, iterate x -> x*g (mod p) in the multiplicative group of
+// integers modulo p, where p is the smallest prime > N and g is a primitive
+// root mod p. Group elements 1..p-1 map to offsets 0..p-2; offsets >= N are
+// skipped (at most (p-N-1) of them, vanishingly few by Bertrand/PNT).
+//
+// ZMap hard-codes p = 2^32 + 15 for the IPv4 space; XMap's contribution is
+// supporting any window width at any bit position of a 128-bit address, so
+// p is found at runtime (Miller-Rabin) and a generator is derived by
+// factoring p-1 (trial division + Pollard's rho). All arithmetic is done in
+// Uint128, which is exact for every N < 2^64 and for p slightly above it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/random.h"
+#include "netbase/uint128.h"
+
+namespace xmap::scan {
+
+// Deterministic Miller-Rabin for n < ~3.3e24 (covers everything < 2^81).
+[[nodiscard]] bool is_prime(net::Uint128 n);
+
+// Smallest prime >= n (n >= 2).
+[[nodiscard]] net::Uint128 next_prime(net::Uint128 n);
+
+// Prime factorisation (with multiplicity collapsed to distinct factors) of
+// n < 2^64-ish; uses trial division then Pollard's rho.
+[[nodiscard]] std::vector<net::Uint128> distinct_prime_factors(net::Uint128 n);
+
+// The multiplicative group used for one scan.
+class CyclicGroup {
+ public:
+  // size = N, the number of elements to permute (>= 1).
+  explicit CyclicGroup(net::Uint128 size, std::uint64_t seed);
+
+  [[nodiscard]] net::Uint128 size() const { return size_; }
+  [[nodiscard]] net::Uint128 prime() const { return p_; }
+  [[nodiscard]] net::Uint128 generator() const { return g_; }
+
+  // An iterator over the permutation: yields every offset in [0, size)
+  // exactly once, then returns nullopt forever.
+  class Iterator {
+   public:
+    // Yields the next offset, or nullopt when the cycle is complete.
+    [[nodiscard]] std::optional<net::Uint128> next();
+
+    // Number of offsets already yielded.
+    [[nodiscard]] net::Uint128 yielded() const { return yielded_; }
+
+   private:
+    friend class CyclicGroup;
+    Iterator(const CyclicGroup* group, net::Uint128 start, net::Uint128 step)
+        : group_(group), step_(step), x_(start) {}
+
+    const CyclicGroup* group_;
+    net::Uint128 step_;  // g^shards (shard stride)
+    net::Uint128 x_;
+    net::Uint128 raw_remaining_{0};  // raw group elements left to visit
+    net::Uint128 yielded_{0};
+  };
+
+  // Whole-space iterator (single shard).
+  [[nodiscard]] Iterator iterate() const { return shard_iterate(0, 1); }
+
+  // Shard `shard` of `shards`: the cycle is partitioned by stride so the
+  // union over all shards is the whole space and shards are disjoint —
+  // ZMap/XMap's multi-instance scanning scheme.
+  [[nodiscard]] Iterator shard_iterate(int shard, int shards) const;
+
+ private:
+  net::Uint128 size_;
+  net::Uint128 p_;
+  net::Uint128 g_;
+  net::Uint128 start_;  // random starting element derived from the seed
+};
+
+}  // namespace xmap::scan

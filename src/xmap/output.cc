@@ -1,0 +1,38 @@
+#include "xmap/output.h"
+
+namespace xmap::scan {
+
+void CsvWriter::begin() {
+  out_ << "saddr,probe_dst,classification,icmp_code,hlim,timestamp_us\n";
+}
+
+void CsvWriter::record(const ProbeResponse& response, sim::SimTime when) {
+  out_ << response.responder.to_string() << ','
+       << response.probe_dst.to_string() << ','
+       << response_kind_name(response.kind) << ','
+       << static_cast<int>(response.icmp_code) << ','
+       << static_cast<int>(response.hop_limit) << ','
+       << when / sim::kMicrosecond << '\n';
+}
+
+void JsonlWriter::record(const ProbeResponse& response, sim::SimTime when) {
+  // All emitted values are addresses, enum names and integers — no JSON
+  // string escaping is required for this fixed vocabulary.
+  out_ << "{\"saddr\":\"" << response.responder.to_string()
+       << "\",\"probe_dst\":\"" << response.probe_dst.to_string()
+       << "\",\"classification\":\"" << response_kind_name(response.kind)
+       << "\",\"icmp_code\":" << static_cast<int>(response.icmp_code)
+       << ",\"hlim\":" << static_cast<int>(response.hop_limit)
+       << ",\"timestamp_us\":" << when / sim::kMicrosecond << "}\n";
+}
+
+std::unique_ptr<ResultWriter> make_writer(const std::string& format,
+                                          std::ostream& out) {
+  if (format == "csv") return std::make_unique<CsvWriter>(out);
+  if (format == "jsonl" || format == "json") {
+    return std::make_unique<JsonlWriter>(out);
+  }
+  return nullptr;
+}
+
+}  // namespace xmap::scan

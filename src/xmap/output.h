@@ -1,0 +1,54 @@
+// Scan result output writers (the xmap/zmap "output module" equivalent).
+//
+// Two formats: CSV (one header + one row per validated response) and JSON
+// Lines (one object per response). Used by the CLI driver; stream-based so
+// tests can write into a stringstream.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/event_loop.h"
+#include "xmap/probe_module.h"
+
+namespace xmap::scan {
+
+class ResultWriter {
+ public:
+  virtual ~ResultWriter() = default;
+
+  // Called once before any record.
+  virtual void begin() {}
+  // One validated response.
+  virtual void record(const ProbeResponse& response, sim::SimTime when) = 0;
+  // Called once after the last record.
+  virtual void end() {}
+};
+
+// classic zmap-style CSV: saddr,probe_dst,kind,icmp_code,hlim,timestamp_us
+class CsvWriter final : public ResultWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  void begin() override;
+  void record(const ProbeResponse& response, sim::SimTime when) override;
+
+ private:
+  std::ostream& out_;
+};
+
+// JSON Lines; keys mirror the CSV columns.
+class JsonlWriter final : public ResultWriter {
+ public:
+  explicit JsonlWriter(std::ostream& out) : out_(out) {}
+  void record(const ProbeResponse& response, sim::SimTime when) override;
+
+ private:
+  std::ostream& out_;
+};
+
+// Factory by format name ("csv" | "jsonl"); nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<ResultWriter> make_writer(
+    const std::string& format, std::ostream& out);
+
+}  // namespace xmap::scan

@@ -1,0 +1,215 @@
+#include "xmap/probe_module.h"
+
+#include "netbase/random.h"
+
+namespace xmap::scan {
+namespace {
+
+std::uint64_t addr_hash(const net::Ipv6Address& dst, std::uint64_t seed,
+                        int salt) {
+  const net::Uint128 v = dst.value();
+  std::uint64_t h = net::hash_combine64(seed, v.hi());
+  h = net::hash_combine64(h, v.lo());
+  return net::hash_combine64(h, static_cast<std::uint64_t>(salt));
+}
+
+// Recovers the original probe header from an ICMPv6 error's quoted packet.
+// Returns the quoted Ipv6View when present and structurally valid.
+std::optional<pkt::Ipv6View> quoted_packet(const pkt::Icmpv6View& icmp) {
+  if (!icmp.is_error()) return std::nullopt;
+  auto quoted = icmp.invoking_packet();
+  if (quoted.size() < pkt::kIpv6HeaderSize) return std::nullopt;
+  pkt::Ipv6View view{quoted};
+  if (view.version() != 6) return std::nullopt;
+  return view;
+}
+
+}  // namespace
+
+std::uint16_t probe_tag16(const net::Ipv6Address& dst, std::uint64_t seed,
+                          int salt) {
+  return static_cast<std::uint16_t>(addr_hash(dst, seed, salt));
+}
+
+std::uint32_t probe_tag32(const net::Ipv6Address& dst, std::uint64_t seed,
+                          int salt) {
+  return static_cast<std::uint32_t>(addr_hash(dst, seed, salt));
+}
+
+// ---------------------------------------------------------------------------
+// IcmpEchoProbe
+// ---------------------------------------------------------------------------
+
+pkt::Bytes IcmpEchoProbe::make_probe(const net::Ipv6Address& src,
+                                     const net::Ipv6Address& target,
+                                     std::uint64_t seed) const {
+  return pkt::build_echo_request(src, target, hop_limit_,
+                                 probe_tag16(target, seed, 1),
+                                 probe_tag16(target, seed, 2));
+}
+
+std::optional<ProbeResponse> IcmpEchoProbe::classify(
+    const pkt::Bytes& packet, const net::Ipv6Address& src,
+    std::uint64_t seed) const {
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst() != src ||
+      ip.next_header() != pkt::kProtoIcmpv6) {
+    return std::nullopt;
+  }
+  pkt::Icmpv6View icmp{ip.payload()};
+  if (!icmp.valid() || !icmp.checksum_ok(ip.src(), ip.dst())) {
+    return std::nullopt;
+  }
+
+  ProbeResponse out;
+  out.responder = ip.src();
+  out.hop_limit = ip.hop_limit();
+
+  if (icmp.type() == pkt::Icmpv6Type::kEchoReply) {
+    // Echo replies carry our ident/seq; dst of the probe == responder.
+    if (icmp.ident() != probe_tag16(ip.src(), seed, 1) ||
+        icmp.seq() != probe_tag16(ip.src(), seed, 2)) {
+      return std::nullopt;
+    }
+    out.kind = ResponseKind::kEchoReply;
+    out.probe_dst = ip.src();
+    return out;
+  }
+
+  if (icmp.type() == pkt::Icmpv6Type::kDestUnreachable ||
+      icmp.type() == pkt::Icmpv6Type::kTimeExceeded ||
+      icmp.type() == pkt::Icmpv6Type::kPacketTooBig) {
+    auto orig = quoted_packet(icmp);
+    if (!orig) return std::nullopt;
+    if (orig->src() != src || orig->next_header() != pkt::kProtoIcmpv6) {
+      return std::nullopt;
+    }
+    pkt::Icmpv6View orig_icmp{orig->payload()};
+    if (!orig_icmp.valid() ||
+        orig_icmp.type() != pkt::Icmpv6Type::kEchoRequest) {
+      return std::nullopt;
+    }
+    const net::Ipv6Address probed = orig->dst();
+    if (orig_icmp.ident() != probe_tag16(probed, seed, 1) ||
+        orig_icmp.seq() != probe_tag16(probed, seed, 2)) {
+      return std::nullopt;  // spoofed or stale
+    }
+    out.kind = icmp.type() == pkt::Icmpv6Type::kTimeExceeded
+                   ? ResponseKind::kTimeExceeded
+                   : ResponseKind::kDestUnreachable;
+    out.probe_dst = probed;
+    out.icmp_code = icmp.code();
+    return out;
+  }
+
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// TcpSynProbe
+// ---------------------------------------------------------------------------
+
+pkt::Bytes TcpSynProbe::make_probe(const net::Ipv6Address& src,
+                                   const net::Ipv6Address& target,
+                                   std::uint64_t seed) const {
+  const std::uint16_t sport =
+      static_cast<std::uint16_t>(0xc000 | (probe_tag16(target, seed, 3) & 0x3fff));
+  return pkt::build_tcp(src, target, sport, port_,
+                        probe_tag32(target, seed, 4), 0, pkt::kTcpSyn, 65535);
+}
+
+std::optional<ProbeResponse> TcpSynProbe::classify(
+    const pkt::Bytes& packet, const net::Ipv6Address& src,
+    std::uint64_t seed) const {
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst() != src) return std::nullopt;
+  if (ip.next_header() != pkt::kProtoTcp) return std::nullopt;
+  pkt::TcpView tcp{ip.payload()};
+  if (!tcp.valid() || !tcp.checksum_ok(ip.src(), ip.dst())) {
+    return std::nullopt;
+  }
+  const net::Ipv6Address responder = ip.src();
+  if (tcp.src_port() != port_) return std::nullopt;
+  const std::uint16_t expect_sport = static_cast<std::uint16_t>(
+      0xc000 | (probe_tag16(responder, seed, 3) & 0x3fff));
+  if (tcp.dst_port() != expect_sport) return std::nullopt;
+  if (tcp.ack() != probe_tag32(responder, seed, 4) + 1) return std::nullopt;
+
+  ProbeResponse out;
+  out.responder = responder;
+  out.probe_dst = responder;
+  out.hop_limit = ip.hop_limit();
+  if ((tcp.flags() & (pkt::kTcpSyn | pkt::kTcpAck)) ==
+      (pkt::kTcpSyn | pkt::kTcpAck)) {
+    out.kind = ResponseKind::kTcpSynAck;
+  } else if (tcp.flags() & pkt::kTcpRst) {
+    out.kind = ResponseKind::kTcpRst;
+  } else {
+    out.kind = ResponseKind::kOther;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UdpProbe
+// ---------------------------------------------------------------------------
+
+pkt::Bytes UdpProbe::make_probe(const net::Ipv6Address& src,
+                                const net::Ipv6Address& target,
+                                std::uint64_t seed) const {
+  const std::uint16_t sport =
+      static_cast<std::uint16_t>(0xc000 | (probe_tag16(target, seed, 5) & 0x3fff));
+  return pkt::build_udp(src, target, sport, port_, payload_);
+}
+
+std::optional<ProbeResponse> UdpProbe::classify(const pkt::Bytes& packet,
+                                                const net::Ipv6Address& src,
+                                                std::uint64_t seed) const {
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid() || ip.dst() != src) return std::nullopt;
+
+  if (ip.next_header() == pkt::kProtoUdp) {
+    pkt::UdpView udp{ip.payload()};
+    if (!udp.valid() || udp.src_port() != port_) return std::nullopt;
+    const std::uint16_t expect_sport = static_cast<std::uint16_t>(
+        0xc000 | (probe_tag16(ip.src(), seed, 5) & 0x3fff));
+    if (udp.dst_port() != expect_sport) return std::nullopt;
+    ProbeResponse out;
+    out.kind = ResponseKind::kUdpData;
+    out.responder = ip.src();
+    out.probe_dst = ip.src();
+    out.hop_limit = ip.hop_limit();
+    return out;
+  }
+
+  if (ip.next_header() == pkt::kProtoIcmpv6) {
+    pkt::Icmpv6View icmp{ip.payload()};
+    if (!icmp.valid() || !icmp.checksum_ok(ip.src(), ip.dst())) {
+      return std::nullopt;
+    }
+    auto orig = quoted_packet(icmp);
+    if (!orig || orig->src() != src ||
+        orig->next_header() != pkt::kProtoUdp) {
+      return std::nullopt;
+    }
+    pkt::UdpView orig_udp{orig->payload()};
+    if (!orig_udp.valid() || orig_udp.dst_port() != port_) return std::nullopt;
+    const net::Ipv6Address probed = orig->dst();
+    const std::uint16_t expect_sport = static_cast<std::uint16_t>(
+        0xc000 | (probe_tag16(probed, seed, 5) & 0x3fff));
+    if (orig_udp.src_port() != expect_sport) return std::nullopt;
+    ProbeResponse out;
+    out.kind = icmp.type() == pkt::Icmpv6Type::kTimeExceeded
+                   ? ResponseKind::kTimeExceeded
+                   : ResponseKind::kDestUnreachable;
+    out.responder = ip.src();
+    out.probe_dst = probed;
+    out.icmp_code = icmp.code();
+    out.hop_limit = ip.hop_limit();
+    return out;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace xmap::scan

@@ -1,0 +1,84 @@
+// Scan result aggregation.
+//
+// The paper reports *unique, non-aliased last hops*: responses are deduped
+// by responder address, and responders that answer for an implausible
+// number of distinct probes (ISP edge routers emitting errors for a whole
+// block, aliased space) are flagged and excluded from periphery statistics.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "xmap/probe_module.h"
+
+namespace xmap::scan {
+
+struct LastHop {
+  net::Ipv6Address address;
+  ResponseKind first_kind = ResponseKind::kOther;
+  std::uint8_t first_icmp_code = 0;
+  net::Ipv6Address first_probe_dst;
+  std::uint64_t responses = 0;
+  // Did the first response come from the same /64 as the probed address?
+  // (Table II's "same" vs "diff" columns.)
+  [[nodiscard]] bool same_prefix64() const {
+    return address.prefix64() == first_probe_dst.prefix64();
+  }
+};
+
+class ResultCollector {
+ public:
+  // `alias_threshold`: a responder answering for more distinct probes than
+  // this is treated as aliased (e.g. an ISP router), not a periphery.
+  explicit ResultCollector(std::uint64_t alias_threshold = 16)
+      : alias_threshold_(alias_threshold) {}
+
+  void add(const ProbeResponse& response) {
+    ++total_;
+    ++by_kind_[static_cast<int>(response.kind)];
+    auto [it, inserted] = hops_.try_emplace(response.responder);
+    LastHop& hop = it->second;
+    if (inserted) {
+      hop.address = response.responder;
+      hop.first_kind = response.kind;
+      hop.first_icmp_code = response.icmp_code;
+      hop.first_probe_dst = response.probe_dst;
+    }
+    ++hop.responses;
+  }
+
+  [[nodiscard]] std::uint64_t total_responses() const { return total_; }
+  [[nodiscard]] std::uint64_t count_of(ResponseKind kind) const {
+    return by_kind_[static_cast<int>(kind)];
+  }
+
+  // Unique responders below the alias threshold — the periphery candidates.
+  [[nodiscard]] std::vector<LastHop> last_hops() const {
+    std::vector<LastHop> out;
+    out.reserve(hops_.size());
+    for (const auto& [addr, hop] : hops_) {
+      if (hop.responses <= alias_threshold_) out.push_back(hop);
+    }
+    return out;
+  }
+
+  // Responders answering for many probes (ISP routers, aliased prefixes).
+  [[nodiscard]] std::vector<LastHop> aliased() const {
+    std::vector<LastHop> out;
+    for (const auto& [addr, hop] : hops_) {
+      if (hop.responses > alias_threshold_) out.push_back(hop);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t unique_responders() const { return hops_.size(); }
+
+ private:
+  std::uint64_t alias_threshold_;
+  std::unordered_map<net::Ipv6Address, LastHop> hops_;
+  std::uint64_t total_ = 0;
+  std::uint64_t by_kind_[8] = {};
+};
+
+}  // namespace xmap::scan

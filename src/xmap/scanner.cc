@@ -1,0 +1,81 @@
+#include "xmap/scanner.h"
+
+namespace xmap::scan {
+
+void SimChannelScanner::start() {
+  if (started_) return;
+  started_ = true;
+  spec_state_.resize(config_.targets.size());
+  stats_.first_send = network()->now();
+  network()->loop().schedule_after(0, [this] { send_tick(); });
+}
+
+bool SimChannelScanner::next_target(net::Ipv6Address& out) {
+  while (current_spec_ < config_.targets.size()) {
+    const TargetSpec& spec = config_.targets[current_spec_];
+    SpecState& state = spec_state_[current_spec_];
+    if (!state.group) {
+      // Per-spec subseed keeps permutations independent across specs.
+      const std::uint64_t subseed =
+          net::hash_combine64(config_.seed, current_spec_);
+      state.group = std::make_unique<CyclicGroup>(spec.count(), subseed);
+      state.iter = std::make_unique<CyclicGroup::Iterator>(
+          state.group->shard_iterate(config_.shard, config_.shards));
+    }
+    if (auto offset = state.iter->next()) {
+      ++stats_.targets_generated;
+      out = spec.nth_address(*offset, config_.seed);
+      return true;
+    }
+    ++current_spec_;
+  }
+  return false;
+}
+
+void SimChannelScanner::send_tick() {
+  if (config_.max_probes != 0 && stats_.sent >= config_.max_probes) {
+    sending_done_ = true;
+    return;
+  }
+
+  net::Ipv6Address target;
+  bool have = false;
+  // Skip blocklisted targets without consuming send slots.
+  while (next_target(target)) {
+    if (config_.blocklist != nullptr && !config_.blocklist->permitted(target)) {
+      ++stats_.blocked;
+      continue;
+    }
+    have = true;
+    break;
+  }
+  if (!have) {
+    sending_done_ = true;
+    return;
+  }
+
+  const int copies = 1 + (config_.retries > 0 ? config_.retries : 0);
+  for (int copy = 0; copy < copies; ++copy) {
+    send(iface_, module_.make_probe(config_.source, target, config_.seed));
+    ++stats_.sent;
+  }
+  stats_.last_send = network()->now();
+
+  const double pps = config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
+  const auto gap = static_cast<sim::SimTime>(
+      static_cast<double>(sim::kSecond) / pps);
+  network()->loop().schedule_after(gap, [this] { send_tick(); });
+}
+
+void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
+  ++stats_.received;
+  auto response = module_.classify(packet, config_.source, config_.seed);
+  if (!response) {
+    ++stats_.discarded;
+    return;
+  }
+  ++stats_.validated;
+  if (callback_) callback_(*response, network()->now());
+}
+
+}  // namespace xmap::scan

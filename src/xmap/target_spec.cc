@@ -1,0 +1,74 @@
+#include "xmap/target_spec.h"
+
+#include <charconv>
+
+#include "netbase/ipv4.h"
+
+namespace xmap::scan {
+
+std::optional<TargetSpec> TargetSpec::parse(std::string_view text,
+                                            SuffixPolicy policy) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+
+  const std::string_view addr_text = text.substr(0, slash);
+  std::optional<net::Ipv6Address> addr;
+  int v4_shift = 0;
+  if (addr_text.find(':') == std::string_view::npos) {
+    // ZMap compatibility: a dotted-quad base ("192.168.0.0/20-25") scans
+    // the IPv4 space through its IPv4-mapped embedding (::ffff:a.b.c.d),
+    // with window positions shifted by the 96-bit mapping prefix. XMap "can
+    // permute all the address space with any length and at any position,
+    // such as ... 192.168.0.0/20-25" — this is that path.
+    const auto v4 = net::Ipv4Address::parse(addr_text);
+    if (!v4) return std::nullopt;
+    addr = net::Ipv6Address::from_value(
+        (net::Uint128{0xffff} << 32) | net::Uint128{v4->value()});
+    v4_shift = 96;
+  } else {
+    addr = net::Ipv6Address::parse(addr_text);
+  }
+  if (!addr) return std::nullopt;
+
+  std::string_view range = text.substr(slash + 1);
+  int lo = 0, hi = 0;
+  const std::size_t dash = range.find('-');
+  auto parse_int = [](std::string_view s, int& out) {
+    auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc{} && ptr == s.data() + s.size();
+  };
+  if (dash == std::string_view::npos) {
+    if (!parse_int(range, lo)) return std::nullopt;
+    hi = lo;
+  } else {
+    if (!parse_int(range.substr(0, dash), lo)) return std::nullopt;
+    if (!parse_int(range.substr(dash + 1), hi)) return std::nullopt;
+  }
+  lo += v4_shift;
+  hi += v4_shift;
+  if (lo < v4_shift || hi < lo || hi > 128) return std::nullopt;
+  if (hi - lo >= 128) return std::nullopt;  // count would overflow
+  return TargetSpec{net::Ipv6Prefix{*addr, lo}, lo, hi, policy};
+}
+
+net::Ipv6Address TargetSpec::nth_address(net::Uint128 i,
+                                         std::uint64_t seed) const {
+  const net::Ipv6Prefix prefix = nth_prefix(i);
+  switch (policy_) {
+    case SuffixPolicy::kZero:
+      return prefix.address();
+    case SuffixPolicy::kFixed:
+      return prefix.address_with_suffix(fixed_suffix_);
+    case SuffixPolicy::kRandom: {
+      // Stateless: the suffix is a keyed hash of (seed, offset), so any
+      // component of the pipeline can re-derive the probed address.
+      const std::uint64_t h1 =
+          net::hash_combine64(seed, i.lo() ^ 0x517cc1b727220a95ULL);
+      const std::uint64_t h2 = net::hash_combine64(h1, i.hi());
+      return prefix.address_with_suffix(net::Uint128{h2, h1});
+    }
+  }
+  return prefix.address();
+}
+
+}  // namespace xmap::scan

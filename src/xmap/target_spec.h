@@ -1,0 +1,82 @@
+// Scan target specification.
+//
+// XMap's target syntax extends ZMap's: "2001:db8::/32-64" names the 2^32
+// sub-prefix space between bit 32 and bit 64 of the base prefix — each
+// element of the space is one /64 sub-prefix, probed at one address. The
+// bits below the window (the would-be IID space) are filled per the
+// configured policy; the paper uses a random IID per probed sub-prefix,
+// generated statelessly from the scan seed so that responses can be
+// re-derived and validated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ipv6.h"
+#include "netbase/random.h"
+
+namespace xmap::scan {
+
+enum class SuffixPolicy : std::uint8_t {
+  kRandom,  // keyed-hash suffix per target (default; the paper's mode)
+  kZero,    // all-zero suffix (probe the subnet anycast-ish address)
+  kFixed,   // a caller-provided constant suffix
+};
+
+class TargetSpec {
+ public:
+  TargetSpec() = default;
+
+  // base: the enclosing prefix; window [lo, hi): the bits being enumerated.
+  // Requires base.length() <= lo < hi <= 128.
+  TargetSpec(net::Ipv6Prefix base, int lo, int hi,
+             SuffixPolicy policy = SuffixPolicy::kRandom,
+             net::Uint128 fixed_suffix = net::Uint128{})
+      : base_(base), lo_(lo), hi_(hi), policy_(policy),
+        fixed_suffix_(fixed_suffix) {}
+
+  // Parses "addr/lo-hi" (window form) or "addr/len" (single-probe form,
+  // window [len, len]). Returns nullopt on malformed input or lo > hi,
+  // hi > 128, lo < 0.
+  [[nodiscard]] static std::optional<TargetSpec> parse(
+      std::string_view text, SuffixPolicy policy = SuffixPolicy::kRandom);
+
+  [[nodiscard]] const net::Ipv6Prefix& base() const { return base_; }
+  [[nodiscard]] int window_lo() const { return lo_; }
+  [[nodiscard]] int window_hi() const { return hi_; }
+  [[nodiscard]] SuffixPolicy policy() const { return policy_; }
+
+  // Number of probe targets (2^(hi-lo)); hi-lo == 128 is rejected at parse.
+  [[nodiscard]] net::Uint128 count() const {
+    return net::Uint128::pow2(hi_ - lo_);
+  }
+
+  // The probed sub-prefix for window offset i.
+  [[nodiscard]] net::Ipv6Prefix nth_prefix(net::Uint128 i) const {
+    const net::Uint128 v = base_.address().value() | (i << (128 - hi_));
+    return net::Ipv6Prefix{net::Ipv6Address::from_value(v), hi_};
+  }
+
+  // The concrete probe address for window offset i: sub-prefix plus suffix
+  // per policy. `seed` keys the stateless random suffix.
+  [[nodiscard]] net::Ipv6Address nth_address(net::Uint128 i,
+                                             std::uint64_t seed) const;
+
+  [[nodiscard]] std::string to_string() const {
+    return base_.address().to_string() + "/" + std::to_string(lo_) + "-" +
+           std::to_string(hi_);
+  }
+
+  friend bool operator==(const TargetSpec&, const TargetSpec&) = default;
+
+ private:
+  net::Ipv6Prefix base_;
+  int lo_ = 0;
+  int hi_ = 0;
+  SuffixPolicy policy_ = SuffixPolicy::kRandom;
+  net::Uint128 fixed_suffix_;
+};
+
+}  // namespace xmap::scan

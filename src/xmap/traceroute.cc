@@ -1,0 +1,89 @@
+#include "xmap/traceroute.h"
+
+namespace xmap::scan {
+
+pkt::Bytes TracerouteProbe::make_hop_probe(const net::Ipv6Address& src,
+                                           const net::Ipv6Address& target,
+                                           std::uint8_t hop_limit,
+                                           std::uint64_t seed) const {
+  // Payload: [originating hop limit][check byte], the Yarrp trick adapted
+  // to ICMPv6 echo — both bytes come back inside the quoted packet.
+  const std::uint8_t check = static_cast<std::uint8_t>(
+      probe_tag16(target, seed, 6) ^ hop_limit);
+  const std::uint8_t payload[2] = {hop_limit, check};
+  return pkt::build_echo_request(src, target, hop_limit,
+                                 probe_tag16(target, seed, 1),
+                                 probe_tag16(target, seed, 2), payload);
+}
+
+std::optional<ProbeResponse> TracerouteProbe::classify(
+    const pkt::Bytes& packet, const net::Ipv6Address& src,
+    std::uint64_t seed) const {
+  // Reuse the echo module's validation, then recover the originating hop
+  // limit from the quoted payload.
+  IcmpEchoProbe echo{64};
+  auto base = echo.classify(packet, src, seed);
+  if (!base) return std::nullopt;
+
+  pkt::Ipv6View ip{packet};
+  pkt::Icmpv6View icmp{ip.payload()};
+
+  std::span<const std::uint8_t> probe_payload;
+  if (icmp.type() == pkt::Icmpv6Type::kEchoReply) {
+    probe_payload = icmp.echo_payload();
+  } else {
+    pkt::Ipv6View quoted{icmp.invoking_packet()};
+    pkt::Icmpv6View quoted_icmp{quoted.payload()};
+    if (!quoted_icmp.valid()) return std::nullopt;
+    probe_payload = quoted_icmp.echo_payload();
+  }
+  if (probe_payload.size() < 2) return std::nullopt;
+  const std::uint8_t sent_hl = probe_payload[0];
+  const std::uint8_t check = static_cast<std::uint8_t>(
+      probe_tag16(base->probe_dst, seed, 6) ^ sent_hl);
+  if (probe_payload[1] != check) return std::nullopt;  // stale/forged
+
+  base->hop_limit = sent_hl;  // reinterpreted: originating hop limit
+  return base;
+}
+
+void TracerouteRunner::trace(const net::Ipv6Address& target) {
+  targets_.push_back(target);
+  for (int hl = 1; hl <= config_.max_hops; ++hl) {
+    send(iface_, module_.make_hop_probe(config_.source, target,
+                                        static_cast<std::uint8_t>(hl),
+                                        config_.seed));
+  }
+}
+
+void TracerouteRunner::receive(const pkt::Bytes& packet, int /*iface*/) {
+  auto response = module_.classify(packet, config_.source, config_.seed);
+  if (!response) return;
+  TraceHop hop;
+  hop.distance = response->hop_limit;
+  hop.router = response->responder;
+  hop.kind = response->kind;
+  observed_[response->probe_dst].emplace(hop.distance, hop);
+}
+
+std::vector<TraceResult> TracerouteRunner::results() const {
+  std::vector<TraceResult> out;
+  for (const auto& target : targets_) {
+    TraceResult result;
+    result.target = target;
+    auto it = observed_.find(target);
+    if (it != observed_.end()) {
+      for (const auto& [distance, hop] : it->second) {
+        result.hops.push_back(hop);
+        if (hop.kind == ResponseKind::kEchoReply ||
+            hop.kind == ResponseKind::kDestUnreachable) {
+          result.reached = true;
+        }
+      }
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace xmap::scan

@@ -1,0 +1,92 @@
+// Stateless traceroute probing (Yarrp-style), plus a path-walking helper.
+//
+// The paper positions periphery discovery against active topology probing
+// (CAIDA Ark, RIPE Atlas, Yarrp6, Rye & Beverly's PAM'20 traceroute-based
+// periphery discovery); this module implements that baseline so the
+// comparison experiments can run. Like Yarrp, probing is stateless: the
+// originating hop limit is stowed in bytes the probe controls (the echo
+// payload), and recovered from the quoted packet inside the Time Exceeded
+// response — no per-probe state, probes can be fired in any order.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/network.h"
+#include "xmap/probe_module.h"
+
+namespace xmap::scan {
+
+// Probe module: ICMPv6 echo whose payload carries the originating hop
+// limit. classify() reports, for Time Exceeded responses, which hop of the
+// path answered.
+class TracerouteProbe final : public ProbeModule {
+ public:
+  [[nodiscard]] std::string name() const override { return "traceroute6"; }
+
+  // hop limit is passed per probe via make_hop_probe; make_probe uses 64.
+  [[nodiscard]] pkt::Bytes make_probe(const net::Ipv6Address& src,
+                                      const net::Ipv6Address& target,
+                                      std::uint64_t seed) const override {
+    return make_hop_probe(src, target, 64, seed);
+  }
+
+  [[nodiscard]] pkt::Bytes make_hop_probe(const net::Ipv6Address& src,
+                                          const net::Ipv6Address& target,
+                                          std::uint8_t hop_limit,
+                                          std::uint64_t seed) const;
+
+  // For Time Exceeded / Destination Unreachable / Echo Reply responses the
+  // returned ProbeResponse carries the *originating* hop limit of the
+  // matched probe in `hop_limit` (recovered from the quoted payload), so
+  // the caller can place the responder at its path distance.
+  [[nodiscard]] std::optional<ProbeResponse> classify(
+      const pkt::Bytes& packet, const net::Ipv6Address& src,
+      std::uint64_t seed) const override;
+};
+
+// One traced hop.
+struct TraceHop {
+  int distance = 0;  // originating hop limit
+  net::Ipv6Address router;
+  ResponseKind kind = ResponseKind::kOther;  // TE = mid-path, others = end
+};
+
+struct TraceResult {
+  net::Ipv6Address target;
+  std::vector<TraceHop> hops;  // ordered by distance
+  bool reached = false;        // got an echo reply or unreachable from path end
+};
+
+// Orchestrates one traceroute over the simulated network: fires probes at
+// hop limits 1..max_hops (statelessly, all at once) from a measurement
+// node, then assembles the path. The node must already be attached.
+class TracerouteRunner : public sim::Node {
+ public:
+  struct Config {
+    net::Ipv6Address source;
+    std::uint64_t seed = 1;
+    int max_hops = 16;
+  };
+
+  explicit TracerouteRunner(Config config) : config_(std::move(config)) {}
+
+  void set_iface(int iface) { iface_ = iface; }
+
+  // Queues a target; run() the network afterwards, then collect results().
+  void trace(const net::Ipv6Address& target);
+
+  [[nodiscard]] std::vector<TraceResult> results() const;
+
+  void receive(const pkt::Bytes& packet, int iface) override;
+
+ private:
+  Config config_;
+  int iface_ = 0;
+  TracerouteProbe module_;
+  std::vector<net::Ipv6Address> targets_;
+  // responses grouped by (target, distance)
+  std::map<net::Ipv6Address, std::map<int, TraceHop>> observed_;
+};
+
+}  // namespace xmap::scan

@@ -1,0 +1,132 @@
+#include "analysis/alias_detection.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "topology/paper_profiles.h"
+
+namespace xmap::ana {
+namespace {
+
+using net::Ipv6Address;
+
+// A world where two ISP blocks carry aliased prefixes among the devices.
+struct AliasWorld {
+  sim::Network net{606};
+  topo::BuiltInternet internet;
+
+  AliasWorld() : internet([&] {
+      auto specs = topo::paper::isp_specs();
+      specs[5].aliased_slots = 3;   // AT&T broadband
+      specs[10].aliased_slots = 2;  // CN Telecom
+      topo::BuildConfig cfg;
+      cfg.window_bits = 8;
+      cfg.seed = 606;
+      return topo::build_internet(net, specs, topo::paper::vendor_catalog(),
+                                  cfg);
+    }()) {}
+};
+
+TEST(AliasDetection, BuilderPlantsAliasedPrefixes) {
+  AliasWorld world;
+  EXPECT_EQ(world.internet.isps[5].aliased_prefixes.size(), 3u);
+  EXPECT_EQ(world.internet.isps[10].aliased_prefixes.size(), 2u);
+  EXPECT_TRUE(world.internet.isps[0].aliased_prefixes.empty());
+}
+
+TEST(AliasDetection, AliasedSlotsInflateDiscoveryWithEchoReplies) {
+  AliasWorld world;
+  const int idx[] = {5};
+  auto discovery = run_discovery_scan(world.net, world.internet, idx, {});
+  // Each probe into an aliased slot yields an echo reply from the probed
+  // address; with two parities, each aliased slot contributes up to two
+  // fake "last hops".
+  std::uint64_t echo_hops = 0;
+  for (const auto& hop : discovery.last_hops) {
+    if (hop.first_kind == scan::ResponseKind::kEchoReply) ++echo_hops;
+  }
+  EXPECT_GE(echo_hops, 3u);
+}
+
+TEST(AliasDetection, DetectsExactlyThePlantedPrefixes) {
+  AliasWorld world;
+  const int idx[] = {5, 10};
+  auto discovery = run_discovery_scan(world.net, world.internet, idx, {});
+  std::vector<Ipv6Address> candidates;
+  for (const auto& hop : discovery.last_hops) {
+    candidates.push_back(hop.address);
+  }
+
+  auto aliased =
+      detect_aliased_prefixes(world.net, world.internet, candidates, {});
+
+  // Ground truth: the planted slots' /64s that were actually probed. For a
+  // /56 or /60 delegation the probe lands in one /64 of the slot; that /64
+  // must be flagged.
+  std::unordered_set<std::uint64_t> truth;
+  for (int i : idx) {
+    for (const auto& prefix :
+         world.internet.isps[static_cast<std::size_t>(i)].aliased_prefixes) {
+      // any /64 inside the slot that appeared among candidates
+      for (const auto& addr : candidates) {
+        if (prefix.contains(addr)) truth.insert(addr.prefix64());
+      }
+    }
+  }
+  EXPECT_EQ(aliased.aliased_prefix64, truth);
+  EXPECT_GT(aliased.aliased_prefix64.size(), 0u);
+}
+
+TEST(AliasDetection, PeripheryPrefixesAreNotFlagged) {
+  AliasWorld world;
+  const int idx[] = {5, 10};
+  auto discovery = run_discovery_scan(world.net, world.internet, idx, {});
+  std::vector<Ipv6Address> candidates;
+  for (const auto& hop : discovery.last_hops) candidates.push_back(hop.address);
+  auto aliased =
+      detect_aliased_prefixes(world.net, world.internet, candidates, {});
+
+  // No real device WAN /64 may be flagged: a periphery answers unreachable,
+  // not echo, for its spare addresses.
+  for (int i : idx) {
+    for (const auto& dev :
+         world.internet.isps[static_cast<std::size_t>(i)].devices) {
+      EXPECT_EQ(aliased.aliased_prefix64.count(dev.address.prefix64()), 0u)
+          << dev.address.to_string();
+    }
+  }
+}
+
+TEST(AliasDetection, StripAliasedRemovesOnlyFakeHops) {
+  AliasWorld world;
+  const int idx[] = {5};
+  auto discovery = run_discovery_scan(world.net, world.internet, idx, {});
+  std::vector<Ipv6Address> candidates;
+  for (const auto& hop : discovery.last_hops) candidates.push_back(hop.address);
+  auto aliased =
+      detect_aliased_prefixes(world.net, world.internet, candidates, {});
+  auto cleaned = strip_aliased(discovery.last_hops, aliased);
+
+  ASSERT_LT(cleaned.size(), discovery.last_hops.size());
+  // Every remaining hop is a genuine device (or infra responder).
+  std::unordered_set<Ipv6Address> devices;
+  for (const auto& dev : world.internet.isps[5].devices) {
+    devices.insert(dev.address);
+  }
+  std::uint64_t device_hops = 0;
+  for (const auto& hop : cleaned) {
+    EXPECT_NE(hop.first_kind, scan::ResponseKind::kEchoReply);
+    device_hops += devices.count(hop.address);
+  }
+  EXPECT_EQ(device_hops, devices.size());
+}
+
+TEST(AliasDetection, EmptyCandidatesIsCheap) {
+  AliasWorld world;
+  auto aliased = detect_aliased_prefixes(world.net, world.internet, {}, {});
+  EXPECT_EQ(aliased.probes_sent, 0u);
+  EXPECT_TRUE(aliased.aliased_prefix64.empty());
+}
+
+}  // namespace
+}  // namespace xmap::ana

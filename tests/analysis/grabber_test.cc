@@ -1,0 +1,222 @@
+#include "analysis/service_grabber.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "topology/builder.h"
+#include "topology/paper_profiles.h"
+
+namespace xmap::ana {
+namespace {
+
+using net::Ipv6Address;
+
+// ---------------------- parse_banner unit tests ----------------------------
+
+GrabResult make_result(svc::ServiceKind kind, std::string banner) {
+  GrabResult r;
+  r.kind = kind;
+  r.banner = std::move(banner);
+  return r;
+}
+
+TEST(ParseBanner, Dns) {
+  auto r = make_result(svc::ServiceKind::kDns, "dnsmasq-2.45");
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  ASSERT_TRUE(r.software.has_value());
+  EXPECT_EQ(r.software->software, "dnsmasq");
+  EXPECT_EQ(r.software->version, "2.45");
+}
+
+TEST(ParseBanner, Ssh) {
+  auto r = make_result(svc::ServiceKind::kSsh, "SSH-2.0-dropbear_0.46\r\n");
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  ASSERT_TRUE(r.software.has_value());
+  EXPECT_EQ(r.software->software, "dropbear");
+  EXPECT_EQ(r.software->version, "0.46");
+}
+
+TEST(ParseBanner, SshRejectsGarbage) {
+  auto r = make_result(svc::ServiceKind::kSsh, "HTTP/1.1 200 OK");
+  parse_banner(r);
+  EXPECT_FALSE(r.alive);
+}
+
+TEST(ParseBanner, Ftp) {
+  auto r = make_result(
+      svc::ServiceKind::kFtp,
+      "220 Fiberhome FTP server (GNU Inetutils-1.4.1) ready.\r\n");
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  EXPECT_EQ(r.vendor_hint, "Fiberhome");
+  ASSERT_TRUE(r.software.has_value());
+  EXPECT_EQ(r.software->software, "GNU Inetutils");
+  EXPECT_EQ(r.software->version, "1.4.1");
+}
+
+TEST(ParseBanner, TelnetStripsIacAndFindsVendor) {
+  std::string banner{"\xff\xfd\x18\xff\xfd\x20"};
+  banner += "China Unicom login: ";
+  auto r = make_result(svc::ServiceKind::kTelnet, banner);
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  EXPECT_EQ(r.vendor_hint, "China Unicom");
+}
+
+TEST(ParseBanner, HttpManagementPage) {
+  auto r = make_result(
+      svc::ServiceKind::kHttp,
+      "HTTP/1.1 200 OK\r\nServer: micro_httpd-1.0\r\n\r\n"
+      "<html><head><title>TP-Link Router Login</title></head></html>");
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  EXPECT_TRUE(r.management_page);
+  EXPECT_EQ(r.vendor_hint, "TP-Link");
+  ASSERT_TRUE(r.software.has_value());
+  EXPECT_EQ(r.software->software, "micro_httpd");
+}
+
+TEST(ParseBanner, Tls) {
+  auto r = make_result(svc::ServiceKind::kTls,
+                       "\x16\x03\x03..CERT CN=AVM GmbH ISSUER=embedded-tls-1.2"
+                       " CIPHER=TLS_RSA_WITH_AES_128_CBC_SHA");
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  EXPECT_EQ(r.vendor_hint, "AVM GmbH");
+  ASSERT_TRUE(r.software.has_value());
+  EXPECT_EQ(r.software->software, "embedded-tls");
+  EXPECT_EQ(r.software->version, "1.2");
+}
+
+TEST(ParseBanner, Ntp) {
+  auto r = make_result(svc::ServiceKind::kNtp, "4");
+  parse_banner(r);
+  EXPECT_TRUE(r.alive);
+  ASSERT_TRUE(r.software.has_value());
+  EXPECT_EQ(r.software->software, "ntpd");
+}
+
+TEST(ParseBanner, EmptyBannerIsDead) {
+  for (svc::ServiceKind kind : svc::kAllServices) {
+    auto r = make_result(kind, "");
+    parse_banner(r);
+    EXPECT_FALSE(r.alive) << svc::service_name(kind);
+  }
+}
+
+// ---------------------- end-to-end grabs over the sim ----------------------
+
+class GrabberWorld : public ::testing::Test {
+ protected:
+  GrabberWorld() {
+    // One hand-built CPE with a known service set.
+    topo::CpeRouter::Config cfg;
+    cfg.wan_prefix = *net::Ipv6Prefix::parse("3fff:aaa:0:1::/64");
+    cfg.wan_address = *Ipv6Address::parse("3fff:aaa:0:1::99");
+    cfg.lan_prefix = *net::Ipv6Prefix::parse("3fff:aaa:1::/60");
+    cfg.subnet_prefix = *net::Ipv6Prefix::parse("3fff:aaa:1::/64");
+    cpe_ = net_.make_node<topo::CpeRouter>(cfg);
+    cpe_->services().bind(
+        svc::make_service(svc::ServiceKind::kDns, {"dnsmasq", "2.45"}, "ZTE"));
+    cpe_->services().bind(svc::make_service(svc::ServiceKind::kSsh,
+                                            {"dropbear", "0.46"}, "ZTE"));
+    cpe_->services().bind(svc::make_service(svc::ServiceKind::kHttp,
+                                            {"micro_httpd", "1.0"}, "ZTE"));
+    cpe_->services().bind(svc::make_service(svc::ServiceKind::kFtp,
+                                            {"GNU Inetutils", "1.4.1"}, "ZTE"));
+
+    ServiceGrabber::Config gcfg;
+    gcfg.source = *Ipv6Address::parse("2001:500::2");
+    grabber_ = net_.make_node<ServiceGrabber>(gcfg);
+    auto att = net_.connect(grabber_->id(), cpe_->id());
+    grabber_->set_iface(att.iface_a);
+  }
+
+  sim::Network net_{55};
+  topo::CpeRouter* cpe_;
+  ServiceGrabber* grabber_;
+};
+
+TEST_F(GrabberWorld, GrabsAllServicesOfOneDevice) {
+  const Ipv6Address target = *Ipv6Address::parse("3fff:aaa:0:1::99");
+  for (svc::ServiceKind kind : svc::kAllServices) {
+    grabber_->enqueue(target, kind);
+  }
+  grabber_->start();
+  net_.run();
+
+  const auto& results = grabber_->results();
+  ASSERT_EQ(results.size(), 8u);
+
+  int alive = 0;
+  for (const auto& r : results) {
+    switch (r.kind) {
+      case svc::ServiceKind::kDns:
+        EXPECT_TRUE(r.alive);
+        ASSERT_TRUE(r.software.has_value());
+        EXPECT_EQ(r.software->full(), "dnsmasq-2.45");
+        break;
+      case svc::ServiceKind::kSsh:
+        EXPECT_TRUE(r.alive);
+        ASSERT_TRUE(r.software.has_value());
+        EXPECT_EQ(r.software->full(), "dropbear-0.46");
+        break;
+      case svc::ServiceKind::kHttp:
+        EXPECT_TRUE(r.alive);
+        EXPECT_TRUE(r.management_page);
+        EXPECT_EQ(r.vendor_hint, "ZTE");
+        break;
+      case svc::ServiceKind::kFtp:
+        EXPECT_TRUE(r.alive);
+        EXPECT_EQ(r.vendor_hint, "ZTE");
+        break;
+      default:
+        EXPECT_FALSE(r.alive) << svc::service_name(r.kind);
+        EXPECT_FALSE(r.port_open) << svc::service_name(r.kind);
+    }
+    if (r.alive) ++alive;
+  }
+  EXPECT_EQ(alive, 4);
+}
+
+TEST_F(GrabberWorld, ClosedUdpPortNotAlive) {
+  const Ipv6Address target = *Ipv6Address::parse("3fff:aaa:0:1::99");
+  grabber_->enqueue(target, svc::ServiceKind::kNtp);
+  grabber_->start();
+  net_.run();
+  ASSERT_EQ(grabber_->results().size(), 1u);
+  EXPECT_FALSE(grabber_->results()[0].port_open);
+  EXPECT_FALSE(grabber_->results()[0].alive);
+}
+
+TEST_F(GrabberWorld, UnresponsiveTargetTimesOut) {
+  const Ipv6Address target = *Ipv6Address::parse("3fff:aaa:1::77");  // no host
+  grabber_->enqueue(target, svc::ServiceKind::kHttp);
+  grabber_->start();
+  net_.run();
+  ASSERT_EQ(grabber_->results().size(), 1u);
+  EXPECT_FALSE(grabber_->results()[0].port_open);
+}
+
+TEST(ReportUtils, CounterTopAndPercent) {
+  Counter counter;
+  counter.add("a", 5);
+  counter.add("b", 10);
+  counter.add("c", 1);
+  counter.add("a", 5);
+  EXPECT_EQ(counter.get("a"), 10u);
+  EXPECT_EQ(counter.total(), 21u);
+  EXPECT_EQ(counter.distinct(), 3u);
+  const auto top = counter.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  // a and b tie at 10; key order breaks the tie.
+  EXPECT_EQ(top[0].first, "a");
+  EXPECT_EQ(top[1].first, "b");
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percent(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace xmap::ana

@@ -1,0 +1,66 @@
+#include "analysis/software_db.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::ana {
+namespace {
+
+TEST(SoftwareDb, DnsmasqFamilies) {
+  auto fam = classify_software({"dnsmasq", "2.45"});
+  EXPECT_EQ(fam.family, "dnsmasq-2.4x");
+  EXPECT_EQ(fam.cve_count, 16);
+  EXPECT_EQ(fam.release_year, 2012);
+  EXPECT_EQ(classify_software({"dnsmasq", "2.52"}).family, "dnsmasq-2.5x");
+  EXPECT_EQ(classify_software({"dnsmasq", "2.62"}).family, "dnsmasq-2.6x");
+  EXPECT_EQ(classify_software({"dnsmasq", "2.76"}).family, "dnsmasq-2.7x");
+}
+
+TEST(SoftwareDb, SshFamilies) {
+  EXPECT_EQ(classify_software({"dropbear", "0.46"}).family, "dropbear-0.4x");
+  EXPECT_EQ(classify_software({"dropbear", "0.48"}).cve_count, 10);
+  EXPECT_EQ(classify_software({"dropbear", "2017.75"}).family,
+            "dropbear-2017.x");
+  const auto old_ssh = classify_software({"openssh", "3.5"});
+  EXPECT_EQ(old_ssh.family, "openssh-3.5");
+  EXPECT_EQ(old_ssh.cve_count, 74);
+  EXPECT_EQ(old_ssh.release_year, 2002);
+}
+
+TEST(SoftwareDb, HttpAndFtpFamilies) {
+  EXPECT_EQ(classify_software({"Jetty", "6.1.26"}).family, "Jetty-6.x");
+  EXPECT_EQ(classify_software({"MiniWeb HTTP Server", "0.8.19"}).family,
+            "MiniWeb");
+  EXPECT_EQ(classify_software({"GNU Inetutils", "1.4.1"}).family,
+            "GNU-Inetutils-1.4.1");
+  EXPECT_EQ(classify_software({"vsftpd", "2.3.4"}).cve_count, 1);
+  EXPECT_EQ(classify_software({"FreeBSD", "6.00ls"}).family,
+            "FreeBSD-6.00ls");
+}
+
+TEST(SoftwareDb, UnknownSoftwareSynthesisesFamily) {
+  const auto fam = classify_software({"mystery-httpd", "3.2.1"});
+  EXPECT_EQ(fam.family, "mystery-httpd-3.x");
+  EXPECT_EQ(fam.cve_count, 0);
+  const auto noversion = classify_software({"thing", ""});
+  EXPECT_EQ(noversion.family, "thing");
+}
+
+TEST(SoftwareDb, ServiceCveTotalsMatchPaper) {
+  EXPECT_EQ(known_cves_for_service(svc::ServiceKind::kDns), 16);
+  EXPECT_EQ(known_cves_for_service(svc::ServiceKind::kSsh), 84);
+  EXPECT_EQ(known_cves_for_service(svc::ServiceKind::kHttp), 24);
+  EXPECT_EQ(known_cves_for_service(svc::ServiceKind::kFtp), 3);
+  EXPECT_EQ(known_cves_for_service(svc::ServiceKind::kNtp), 0);
+  EXPECT_EQ(known_cves_for_service(svc::ServiceKind::kTelnet), 0);
+}
+
+TEST(SoftwareDb, LaggingVersionsAreOld) {
+  // The paper's headline: exposed fleets run software released 8-10 years
+  // before the 2020 measurement.
+  EXPECT_LE(classify_software({"dnsmasq", "2.45"}).release_year, 2012);
+  EXPECT_LE(classify_software({"dropbear", "0.46"}).release_year, 2006);
+  EXPECT_LE(classify_software({"openssh", "3.5"}).release_year, 2002);
+}
+
+}  // namespace
+}  // namespace xmap::ana

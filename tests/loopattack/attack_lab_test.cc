@@ -1,0 +1,149 @@
+#include "loopattack/attack_lab.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::atk {
+namespace {
+
+TEST(AttackLab, AmplificationFactorExceeds200) {
+  AttackLabConfig cfg;
+  cfg.transit_hops = 2;
+  AttackLab lab{cfg};
+  const auto result = lab.attack(255);
+  // Hop count before the ISP: attacker link + 2 transits; the paper's bound
+  // is ~(255 - n) packets on the victim link.
+  EXPECT_GT(result.amplification(), 200.0);
+  EXPECT_LE(result.amplification(), 255.0);
+  EXPECT_EQ(result.attacker_packets, 1u);
+}
+
+TEST(AttackLab, AmplificationScalesWithHopLimit) {
+  AttackLabConfig cfg;
+  AttackLab lab{cfg};
+  const auto full = lab.attack(255);
+  const auto half = lab.attack(128);
+  EXPECT_GT(full.access_link_packets, half.access_link_packets);
+  EXPECT_NEAR(static_cast<double>(half.access_link_packets),
+              static_cast<double>(full.access_link_packets) / 2.0, 6.0);
+}
+
+TEST(AttackLab, MoreTransitHopsMeansLessAmplification) {
+  AttackLabConfig near_cfg;
+  near_cfg.transit_hops = 0;
+  AttackLabConfig far_cfg;
+  far_cfg.transit_hops = 8;
+  AttackLab near_lab{near_cfg};
+  AttackLab far_lab{far_cfg};
+  const auto near_result = near_lab.attack(255);
+  const auto far_result = far_lab.attack(255);
+  EXPECT_GT(near_result.access_link_packets,
+            far_result.access_link_packets);
+  // Difference is roughly the extra hop count (8 extra decrements).
+  EXPECT_NEAR(static_cast<double>(near_result.access_link_packets -
+                                  far_result.access_link_packets),
+              8.0, 3.0);
+}
+
+TEST(AttackLab, WanTargetAlsoLoops) {
+  AttackLab lab{AttackLabConfig{}};
+  const auto result = lab.attack(255, 1, /*target_wan=*/true);
+  EXPECT_GT(result.amplification(), 200.0);
+}
+
+TEST(AttackLab, SpoofedSourceDoublesTheLoop) {
+  AttackLab lab{AttackLabConfig{}};
+  const auto plain = lab.attack(255, 1, false, /*spoof_inside_lan=*/false);
+  const auto spoofed = lab.attack(255, 1, false, /*spoof_inside_lan=*/true);
+  // The Time Exceeded generated at the end of the first loop is itself
+  // routed into the not-used prefix and loops again (Section VI-A).
+  EXPECT_GT(spoofed.access_link_packets,
+            plain.access_link_packets + plain.access_link_packets / 2);
+}
+
+TEST(AttackLab, AttackerSeesTimeExceededAtLoopEnd) {
+  AttackLab lab{AttackLabConfig{}};
+  const auto result = lab.attack(255, 3);
+  EXPECT_EQ(result.time_exceeded_received, 3u);
+}
+
+TEST(AttackLab, LoopCapLimitsDamage) {
+  AttackLabConfig cfg;
+  cfg.cpe_loop_cap = 20;
+  AttackLab lab{cfg};
+  const auto result = lab.attack(255);
+  // Capped firmware forwards the flow >10 but far fewer than 255-n times.
+  EXPECT_GT(result.access_link_packets, 10u);
+  EXPECT_LT(result.access_link_packets, 60u);
+}
+
+TEST(AttackLab, PatchedCpeStopsTheAttack) {
+  AttackLab lab{AttackLabConfig{}};
+  const auto before = lab.attack(255);
+  EXPECT_GT(before.amplification(), 200.0);
+  lab.patch_cpe();
+  const auto after = lab.attack(255);
+  EXPECT_LE(after.access_link_packets, 2u);
+  EXPECT_EQ(after.unreachable_received, 1u);  // RFC 7084 unreachable route
+}
+
+TEST(AttackLab, MultiplePacketsMultiplyTraffic) {
+  AttackLab lab{AttackLabConfig{}};
+  const auto one = lab.attack(255, 1);
+  const auto ten = lab.attack(255, 10);
+  EXPECT_NEAR(static_cast<double>(ten.access_link_packets),
+              static_cast<double>(one.access_link_packets) * 10.0,
+              static_cast<double>(one.access_link_packets));
+}
+
+TEST(CaseStudy, ModelCatalogMatchesTableXII) {
+  const auto& models = case_study_models();
+  EXPECT_EQ(models.size(), 99u);  // 95 routers + 4 open-source OSes
+  int tp_link = 0, zte = 0, os_count = 0;
+  for (const auto& m : models) {
+    EXPECT_TRUE(m.wan_vulnerable);  // all 99 tested routers looped
+    if (m.brand == "TP-Link") ++tp_link;
+    if (m.brand == "ZTE") ++zte;
+    if (m.brand == "OpenWRT" || m.brand == "DD-Wrt" || m.brand == "Gargoyle" ||
+        m.brand == "librecmc") {
+      ++os_count;
+    }
+  }
+  EXPECT_EQ(tp_link, 42);
+  EXPECT_EQ(zte, 9);
+  EXPECT_EQ(os_count, 4);
+}
+
+TEST(CaseStudy, ExplicitModelsBehaveAsInTheTable) {
+  const auto& models = case_study_models();
+  // ASUS GT-AC5300: WAN vulnerable, LAN immune.
+  const auto asus = test_router_model(models[0]);
+  EXPECT_TRUE(asus.wan_loop_observed);
+  EXPECT_FALSE(asus.lan_loop_observed);
+  EXPECT_TRUE(asus.fixed_after_patch);
+  // Huawei WS5100: both vulnerable.
+  const auto huawei = test_router_model(models[2]);
+  EXPECT_TRUE(huawei.wan_loop_observed);
+  EXPECT_TRUE(huawei.lan_loop_observed);
+  // Xiaomi AX5: capped loop (>10 forwards, far below (255-n)/2).
+  const auto xiaomi = test_router_model(models[7]);
+  EXPECT_TRUE(xiaomi.wan_loop_observed);
+  EXPECT_GT(xiaomi.wan_link_packets, 10u);
+  EXPECT_LT(xiaomi.wan_link_packets, 60u);
+}
+
+TEST(CaseStudy, UncappedModelLoopsNearFullHopBudget) {
+  const auto& models = case_study_models();
+  const auto netgear = test_router_model(models[4]);  // R6400v2, uncapped
+  EXPECT_GT(netgear.wan_link_packets, 200u);
+  EXPECT_GT(netgear.lan_link_packets, 200u);
+}
+
+TEST(CaseStudy, EveryModelIsFixedByTheMitigation) {
+  for (const auto& model : case_study_models()) {
+    const auto row = test_router_model(model);
+    EXPECT_TRUE(row.fixed_after_patch) << model.brand << " " << model.model;
+  }
+}
+
+}  // namespace
+}  // namespace xmap::atk

@@ -1,0 +1,77 @@
+#include "netbase/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xmap::net {
+namespace {
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03,
+                                       0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0001 + f203 + f4f5 + f6f7 = 2DDF0 -> fold -> DDF2; ~ = 220D.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, EmptyBuffer) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> data{0x01};
+  // Word = 0x0100; ~0x0100 = 0xfeff.
+  EXPECT_EQ(internet_checksum(data), 0xfeff);
+}
+
+TEST(Checksum, VerifyingIncludedChecksumYieldsZero) {
+  std::vector<std::uint8_t> data{0x45, 0x00, 0x00, 0x30, 0x44, 0x22,
+                                 0x40, 0x00, 0x80, 0x06, 0x00, 0x00,
+                                 0x8c, 0x7c, 0x19, 0xac, 0xae, 0x24,
+                                 0x1e, 0x2b};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(csum >> 8);
+  data[11] = static_cast<std::uint8_t>(csum & 0xff);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, PseudoHeaderDependsOnAddresses) {
+  const auto src1 = *Ipv6Address::parse("2001:db8::1");
+  const auto src2 = *Ipv6Address::parse("2001:db8::2");
+  const auto dst = *Ipv6Address::parse("2001:db8::ff");
+  const std::vector<std::uint8_t> l4{0x80, 0x00, 0x00, 0x00, 0x12, 0x34,
+                                     0x00, 0x01};
+  EXPECT_NE(ipv6_upper_layer_checksum(src1, dst, 58, l4),
+            ipv6_upper_layer_checksum(src2, dst, 58, l4));
+}
+
+TEST(Checksum, PseudoHeaderDependsOnProtocol) {
+  const auto src = *Ipv6Address::parse("2001:db8::1");
+  const auto dst = *Ipv6Address::parse("2001:db8::ff");
+  const std::vector<std::uint8_t> l4{0x01, 0x02, 0x03, 0x04};
+  EXPECT_NE(ipv6_upper_layer_checksum(src, dst, 6, l4),
+            ipv6_upper_layer_checksum(src, dst, 17, l4));
+}
+
+TEST(Checksum, InsertedChecksumVerifiesToZero) {
+  const auto src = *Ipv6Address::parse("fe80::1");
+  const auto dst = *Ipv6Address::parse("ff02::1");
+  std::vector<std::uint8_t> l4{0x80, 0x00, 0x00, 0x00, 0xab, 0xcd,
+                               0x00, 0x07, 0xde, 0xad, 0xbe, 0xef};
+  const std::uint16_t csum = ipv6_upper_layer_checksum(src, dst, 58, l4);
+  l4[2] = static_cast<std::uint8_t>(csum >> 8);
+  l4[3] = static_cast<std::uint8_t>(csum & 0xff);
+  EXPECT_EQ(ipv6_upper_layer_checksum(src, dst, 58, l4), 0);
+}
+
+TEST(Checksum, AccumulateIsAssociativeAcrossChunks) {
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::uint32_t acc = 0;
+  acc = checksum_accumulate(std::span{data}.subspan(0, 4), acc);
+  acc = checksum_accumulate(std::span{data}.subspan(4), acc);
+  EXPECT_EQ(checksum_finish(acc), internet_checksum(data));
+}
+
+}  // namespace
+}  // namespace xmap::net

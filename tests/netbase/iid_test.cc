@@ -1,0 +1,106 @@
+#include "netbase/iid.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::net {
+namespace {
+
+TEST(ClassifyIid, Eui64Marker) {
+  const MacAddress mac = *MacAddress::parse("00:1a:2b:3c:4d:5e");
+  EXPECT_EQ(classify_iid(mac.to_eui64_iid()), IidStyle::kEui64);
+}
+
+TEST(ClassifyIid, LowByte) {
+  EXPECT_EQ(classify_iid(0x1), IidStyle::kLowByte);
+  EXPECT_EQ(classify_iid(0xff), IidStyle::kLowByte);
+  EXPECT_EQ(classify_iid(0xffff), IidStyle::kLowByte);
+  EXPECT_NE(classify_iid(0x10000), IidStyle::kLowByte);
+}
+
+TEST(ClassifyIid, EmbedIpv4LowBits) {
+  // ::202.96.1.1 form.
+  EXPECT_EQ(classify_iid(0x00000000ca600101ULL), IidStyle::kEmbedIpv4);
+  // 0.x addresses are not plausible hosts.
+  EXPECT_NE(classify_iid(0x0000000000600101ULL), IidStyle::kEmbedIpv4);
+}
+
+TEST(ClassifyIid, EmbedIpv4GroupsAsOctets) {
+  // ...:192:168:1:1 style — 0x0192 read as decimal 192, etc.
+  const std::uint64_t iid = 0x0192'0168'0001'0001ULL;
+  EXPECT_EQ(classify_iid(iid), IidStyle::kEmbedIpv4);
+}
+
+TEST(ClassifyIid, GroupsWithHexDigitsAreNotIpv4) {
+  // 0x01a2 contains 'a': not a decimal octet.
+  const std::uint64_t iid = 0x01a2'0168'0001'0001ULL;
+  EXPECT_NE(classify_iid(iid), IidStyle::kEmbedIpv4);
+}
+
+TEST(ClassifyIid, BytePattern) {
+  EXPECT_EQ(classify_iid(0xaaaaaaaaaaaaaaaaULL), IidStyle::kBytePattern);
+  EXPECT_EQ(classify_iid(0xa5a5a5a5a5a5a5a5ULL), IidStyle::kBytePattern);
+  EXPECT_EQ(classify_iid(0x1234123412341234ULL), IidStyle::kBytePattern);
+}
+
+TEST(ClassifyIid, Randomized) {
+  EXPECT_EQ(classify_iid(0x9abcdef013572468ULL), IidStyle::kRandomized);
+}
+
+TEST(ClassifyIid, PriorityEui64BeatsPattern) {
+  // An IID with the fffe marker is EUI-64 even if byte-pattern-ish.
+  const std::uint64_t iid = 0x020000fffe000000ULL;
+  EXPECT_EQ(classify_iid(iid), IidStyle::kEui64);
+}
+
+TEST(ClassifyIid, ZeroIsLowByte) {
+  EXPECT_EQ(classify_iid(0), IidStyle::kLowByte);
+}
+
+TEST(IidStyleName, AllNamed) {
+  EXPECT_STREQ(iid_style_name(IidStyle::kEui64), "EUI-64");
+  EXPECT_STREQ(iid_style_name(IidStyle::kLowByte), "Low-byte");
+  EXPECT_STREQ(iid_style_name(IidStyle::kEmbedIpv4), "Embed-IPv4");
+  EXPECT_STREQ(iid_style_name(IidStyle::kBytePattern), "Byte-pattern");
+  EXPECT_STREQ(iid_style_name(IidStyle::kRandomized), "Randomized");
+}
+
+// Property: generation and classification agree for every style.
+class IidRoundTrip : public ::testing::TestWithParam<IidStyle> {};
+
+TEST_P(IidRoundTrip, GenerateThenClassify) {
+  const IidStyle style = GetParam();
+  Rng rng{static_cast<std::uint64_t>(style) + 1000};
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t iid = generate_iid(style, rng, 0xb0d001);
+    EXPECT_EQ(classify_iid(iid), style) << std::hex << iid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, IidRoundTrip,
+                         ::testing::Values(IidStyle::kEui64,
+                                           IidStyle::kLowByte,
+                                           IidStyle::kEmbedIpv4,
+                                           IidStyle::kBytePattern,
+                                           IidStyle::kRandomized));
+
+TEST(GenerateIid, Eui64CarriesOuiAndMac) {
+  Rng rng{5};
+  MacAddress mac;
+  const std::uint64_t iid =
+      generate_iid(IidStyle::kEui64, rng, 0xb0d004, &mac);
+  EXPECT_EQ(mac.oui(), 0xb0d004u);
+  auto recovered = MacAddress::from_eui64_iid(iid);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, mac);
+}
+
+TEST(GenerateIid, DeterministicForSeed) {
+  Rng a{7}, b{7};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(generate_iid(IidStyle::kRandomized, a, 0),
+              generate_iid(IidStyle::kRandomized, b, 0));
+  }
+}
+
+}  // namespace
+}  // namespace xmap::net

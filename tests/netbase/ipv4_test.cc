@@ -1,0 +1,48 @@
+#include "netbase/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::net {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormat) {
+  auto a = Ipv4Address::parse("192.168.1.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0xc0a80101u);
+  EXPECT_EQ(a->to_string(), "192.168.1.1");
+}
+
+TEST(Ipv4Address, Octets) {
+  auto a = Ipv4Address::from_octets(10, 20, 30, 40);
+  EXPECT_EQ(a.octet(0), 10);
+  EXPECT_EQ(a.octet(1), 20);
+  EXPECT_EQ(a.octet(2), 30);
+  EXPECT_EQ(a.octet(3), 40);
+}
+
+TEST(Ipv4Address, ParseRejectsBadInput) {
+  EXPECT_FALSE(Ipv4Address::parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1234.1.1.1").has_value());
+}
+
+TEST(Ipv4Address, PlausibleHost) {
+  EXPECT_TRUE(Ipv4Address::parse("8.8.8.8")->is_plausible_host());
+  EXPECT_TRUE(Ipv4Address::parse("192.168.1.1")->is_plausible_host());
+  EXPECT_FALSE(Ipv4Address::parse("0.0.0.0")->is_plausible_host());
+  EXPECT_FALSE(Ipv4Address::parse("127.0.0.1")->is_plausible_host());
+  EXPECT_FALSE(Ipv4Address::parse("224.0.0.1")->is_plausible_host());
+  EXPECT_FALSE(Ipv4Address::parse("255.255.255.255")->is_plausible_host());
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(*Ipv4Address::parse("1.2.3.4"), *Ipv4Address::parse("1.2.3.5"));
+  EXPECT_EQ(*Ipv4Address::parse("1.2.3.4"), *Ipv4Address::parse("1.2.3.4"));
+}
+
+}  // namespace
+}  // namespace xmap::net

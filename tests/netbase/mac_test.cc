@@ -1,0 +1,78 @@
+#include "netbase/mac.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/random.h"
+
+namespace xmap::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormat) {
+  auto m = MacAddress::parse("00:1a:2b:3c:4d:5e");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "00:1a:2b:3c:4d:5e");
+  EXPECT_EQ(m->oui(), 0x001a2bu);
+}
+
+TEST(MacAddress, ParseUppercase) {
+  auto m = MacAddress::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+TEST(MacAddress, ParseRejectsBadInput) {
+  EXPECT_FALSE(MacAddress::parse("").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:1a:2b:3c:4d").has_value());
+  EXPECT_FALSE(MacAddress::parse("00:1a:2b:3c:4d:5e:6f").has_value());
+  EXPECT_FALSE(MacAddress::parse("00-1a-2b-3c-4d-5e").has_value());
+  EXPECT_FALSE(MacAddress::parse("0g:1a:2b:3c:4d:5e").has_value());
+  EXPECT_FALSE(MacAddress::parse("001a2b3c4d5e").has_value());
+}
+
+TEST(MacAddress, U64RoundTrip) {
+  auto m = *MacAddress::parse("12:34:56:78:9a:bc");
+  EXPECT_EQ(m.to_u64(), 0x123456789abcULL);
+  EXPECT_EQ(MacAddress::from_u64(0x123456789abcULL), m);
+}
+
+TEST(MacAddress, FlagBits) {
+  EXPECT_TRUE(MacAddress::from_u64(0x020000000001ULL).is_locally_administered());
+  EXPECT_FALSE(MacAddress::from_u64(0x000000000001ULL).is_locally_administered());
+  EXPECT_TRUE(MacAddress::from_u64(0x010000000001ULL).is_multicast());
+  EXPECT_FALSE(MacAddress::from_u64(0x020000000001ULL).is_multicast());
+}
+
+TEST(MacAddress, Eui64KnownVector) {
+  // RFC 4291 appendix A example: 34-56-78-9A-BC-DE -> 3656:78ff:fe9a:bcde.
+  auto m = *MacAddress::parse("34:56:78:9a:bc:de");
+  EXPECT_EQ(m.to_eui64_iid(), 0x365678fffe9abcdeULL);
+}
+
+TEST(MacAddress, Eui64RoundTrip) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const MacAddress m = MacAddress::from_u64(rng.next() & 0xffffffffffffULL);
+    auto back = MacAddress::from_eui64_iid(m.to_eui64_iid());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(MacAddress, FromEui64RejectsMissingMarker) {
+  // A randomized IID without ff:fe in the middle is not EUI-64.
+  EXPECT_FALSE(MacAddress::from_eui64_iid(0x123456789abcdef0ULL).has_value());
+  EXPECT_FALSE(MacAddress::from_eui64_iid(0).has_value());
+  // fffe in the wrong position.
+  EXPECT_FALSE(MacAddress::from_eui64_iid(0xfffe000000000000ULL).has_value());
+}
+
+TEST(MacAddress, Eui64MarkerPosition) {
+  auto m = *MacAddress::parse("00:00:00:00:00:00");
+  const std::uint64_t iid = m.to_eui64_iid();
+  EXPECT_EQ((iid >> 24) & 0xffff, 0xfffeULL);
+  // U/L bit flipped: first octet becomes 0x02.
+  EXPECT_EQ(iid >> 56, 0x02ULL);
+}
+
+}  // namespace
+}  // namespace xmap::net

@@ -1,0 +1,130 @@
+#include "netbase/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace xmap::net {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBoundOneIsZero) {
+  Rng rng{7};
+  EXPECT_EQ(rng.uniform(1), 0u);
+  EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng{11};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng{13};
+  constexpr int kBuckets = 10, kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i)
+    ++counts[rng.uniform(kBuckets)];
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.05);
+  }
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng{17};
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.unit();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng{19};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng{23};
+  const double weights[] = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i)
+    ++counts[rng.pick_weighted(weights)];
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.02);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.02);
+}
+
+TEST(Rng, PickWeightedAllZeroIsIndexZero) {
+  Rng rng{29};
+  const double weights[] = {0.0, 0.0};
+  EXPECT_EQ(rng.pick_weighted(weights), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{31};
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Splitmix, KnownVector) {
+  // Reference value from the splitmix64 reference implementation, seed 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Mix64, StatelessAndDistinct) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine64(1, 2), hash_combine64(2, 1));
+}
+
+}  // namespace
+}  // namespace xmap::net

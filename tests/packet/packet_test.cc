@@ -1,0 +1,213 @@
+#include "packet/packet.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/checksum.h"
+
+namespace xmap::pkt {
+namespace {
+
+using net::Ipv6Address;
+
+const Ipv6Address kSrc = *Ipv6Address::parse("2001:db8::1");
+const Ipv6Address kDst = *Ipv6Address::parse("2001:db8:1234:5678::42");
+const Ipv6Address kRouter = *Ipv6Address::parse("2001:db8:1234:5678:0204:8dff:fe12:3456");
+
+TEST(Ipv6Header, BuildAndParse) {
+  const std::vector<std::uint8_t> payload{1, 2, 3, 4};
+  Bytes p = build_ipv6(kSrc, kDst, kProtoUdp, 77, payload);
+  Ipv6View v{p};
+  ASSERT_TRUE(v.valid());
+  EXPECT_EQ(v.version(), 6);
+  EXPECT_EQ(v.payload_length(), 4);
+  EXPECT_EQ(v.next_header(), kProtoUdp);
+  EXPECT_EQ(v.hop_limit(), 77);
+  EXPECT_EQ(v.src(), kSrc);
+  EXPECT_EQ(v.dst(), kDst);
+  ASSERT_EQ(v.payload().size(), 4u);
+  EXPECT_EQ(v.payload()[0], 1);
+  EXPECT_EQ(v.payload()[3], 4);
+}
+
+TEST(Ipv6Header, InvalidWhenTruncated) {
+  Bytes p = build_ipv6(kSrc, kDst, kProtoUdp, 64, std::vector<std::uint8_t>(10));
+  p.resize(45);  // payload truncated below declared length
+  EXPECT_FALSE(Ipv6View{p}.valid());
+  Bytes tiny(20);
+  EXPECT_FALSE(Ipv6View{tiny}.valid());
+}
+
+TEST(Ipv6Header, InvalidWrongVersion) {
+  Bytes p = build_ipv6(kSrc, kDst, kProtoUdp, 64, {});
+  p[0] = 0x40;  // IPv4 version nibble
+  EXPECT_FALSE(Ipv6View{p}.valid());
+}
+
+TEST(EchoRequest, RoundTrip) {
+  const std::vector<std::uint8_t> payload{0xde, 0xad};
+  Bytes p = build_echo_request(kSrc, kDst, 64, 0x1234, 7, payload);
+  Ipv6View ip{p};
+  ASSERT_TRUE(ip.valid());
+  EXPECT_EQ(ip.next_header(), kProtoIcmpv6);
+  Icmpv6View icmp{ip.payload()};
+  ASSERT_TRUE(icmp.valid());
+  EXPECT_EQ(icmp.type(), Icmpv6Type::kEchoRequest);
+  EXPECT_EQ(icmp.code(), 0);
+  EXPECT_EQ(icmp.ident(), 0x1234);
+  EXPECT_EQ(icmp.seq(), 7);
+  ASSERT_EQ(icmp.echo_payload().size(), 2u);
+  EXPECT_EQ(icmp.echo_payload()[0], 0xde);
+  EXPECT_TRUE(icmp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(EchoRequest, CorruptedChecksumDetected) {
+  Bytes p = build_echo_request(kSrc, kDst, 64, 1, 1);
+  p.back() ^= 0xff;
+  Ipv6View ip{p};
+  Icmpv6View icmp{ip.payload()};
+  EXPECT_FALSE(icmp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(EchoReply, MirrorsRequest) {
+  const std::vector<std::uint8_t> payload{9, 8, 7};
+  Bytes req = build_echo_request(kSrc, kDst, 64, 0xabcd, 3, payload);
+  Bytes rep = build_echo_reply(req);
+  Ipv6View ip{rep};
+  ASSERT_TRUE(ip.valid());
+  EXPECT_EQ(ip.src(), kDst);
+  EXPECT_EQ(ip.dst(), kSrc);
+  Icmpv6View icmp{ip.payload()};
+  EXPECT_EQ(icmp.type(), Icmpv6Type::kEchoReply);
+  EXPECT_EQ(icmp.ident(), 0xabcd);
+  EXPECT_EQ(icmp.seq(), 3);
+  ASSERT_EQ(icmp.echo_payload().size(), 3u);
+  EXPECT_EQ(icmp.echo_payload()[2], 7);
+  EXPECT_TRUE(icmp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(Icmpv6Error, DestUnreachableQuotesInvokingPacket) {
+  Bytes probe = build_echo_request(kSrc, kDst, 64, 0x55aa, 9);
+  Bytes err = build_icmpv6_error(
+      kRouter, Icmpv6Type::kDestUnreachable,
+      static_cast<std::uint8_t>(UnreachCode::kAddressUnreachable), probe);
+  Ipv6View ip{err};
+  ASSERT_TRUE(ip.valid());
+  EXPECT_EQ(ip.src(), kRouter);
+  EXPECT_EQ(ip.dst(), kSrc);  // error goes to the probe's source
+  Icmpv6View icmp{ip.payload()};
+  ASSERT_TRUE(icmp.valid());
+  EXPECT_EQ(icmp.type(), Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(icmp.code(),
+            static_cast<std::uint8_t>(UnreachCode::kAddressUnreachable));
+  EXPECT_TRUE(icmp.is_error());
+  EXPECT_TRUE(icmp.checksum_ok(ip.src(), ip.dst()));
+
+  // The quoted packet parses back to the original probe.
+  auto quoted = icmp.invoking_packet();
+  ASSERT_EQ(quoted.size(), probe.size());
+  Ipv6View orig{quoted};
+  ASSERT_TRUE(orig.valid());
+  EXPECT_EQ(orig.dst(), kDst);
+  Icmpv6View orig_icmp{orig.payload()};
+  EXPECT_EQ(orig_icmp.ident(), 0x55aa);
+  EXPECT_EQ(orig_icmp.seq(), 9);
+}
+
+TEST(Icmpv6Error, TimeExceededType) {
+  Bytes probe = build_echo_request(kSrc, kDst, 1, 1, 1);
+  Bytes err = build_icmpv6_error(
+      kRouter, Icmpv6Type::kTimeExceeded,
+      static_cast<std::uint8_t>(TimeExceededCode::kHopLimitExceeded), probe);
+  Icmpv6View icmp{Ipv6View{err}.payload()};
+  EXPECT_EQ(icmp.type(), Icmpv6Type::kTimeExceeded);
+  EXPECT_TRUE(icmp.is_error());
+}
+
+TEST(Icmpv6Error, TruncatesToMinimumMtu) {
+  // A maximal-size invoking packet must be truncated so the error fits 1280.
+  Bytes big = build_echo_request(kSrc, kDst, 64, 1, 1,
+                                 std::vector<std::uint8_t>(1400));
+  Bytes err = build_icmpv6_error(kRouter, Icmpv6Type::kDestUnreachable, 0, big);
+  EXPECT_LE(err.size(), kIpv6MinMtu);
+  Ipv6View ip{err};
+  Icmpv6View icmp{ip.payload()};
+  EXPECT_TRUE(icmp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(Udp, BuildAndParse) {
+  const std::vector<std::uint8_t> payload{0xca, 0xfe, 0xba, 0xbe};
+  Bytes p = build_udp(kSrc, kDst, 4321, 53, payload);
+  Ipv6View ip{p};
+  ASSERT_TRUE(ip.valid());
+  UdpView udp{ip.payload()};
+  ASSERT_TRUE(udp.valid());
+  EXPECT_EQ(udp.src_port(), 4321);
+  EXPECT_EQ(udp.dst_port(), 53);
+  EXPECT_EQ(udp.length(), 12);
+  ASSERT_EQ(udp.payload().size(), 4u);
+  EXPECT_EQ(udp.payload()[0], 0xca);
+  EXPECT_TRUE(udp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(Udp, CorruptionDetected) {
+  Bytes p = build_udp(kSrc, kDst, 4321, 53, std::vector<std::uint8_t>{1, 2});
+  p.back() ^= 0x01;
+  Ipv6View ip{p};
+  EXPECT_FALSE(UdpView{ip.payload()}.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(Tcp, SynBuildAndParse) {
+  Bytes p = build_tcp(kSrc, kDst, 55555, 80, 0x01020304, 0, kTcpSyn, 65535);
+  Ipv6View ip{p};
+  ASSERT_TRUE(ip.valid());
+  TcpView tcp{ip.payload()};
+  ASSERT_TRUE(tcp.valid());
+  EXPECT_EQ(tcp.src_port(), 55555);
+  EXPECT_EQ(tcp.dst_port(), 80);
+  EXPECT_EQ(tcp.seq(), 0x01020304u);
+  EXPECT_EQ(tcp.flags(), kTcpSyn);
+  EXPECT_EQ(tcp.window(), 65535);
+  EXPECT_TRUE(tcp.payload().empty());
+  EXPECT_TRUE(tcp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(Tcp, PayloadAndFlags) {
+  const std::vector<std::uint8_t> payload{'G', 'E', 'T'};
+  Bytes p = build_tcp(kSrc, kDst, 1, 2, 10, 20, kTcpPsh | kTcpAck, 1000,
+                      payload);
+  TcpView tcp{Ipv6View{p}.payload()};
+  EXPECT_EQ(tcp.flags(), kTcpPsh | kTcpAck);
+  EXPECT_EQ(tcp.ack(), 20u);
+  ASSERT_EQ(tcp.payload().size(), 3u);
+  EXPECT_EQ(tcp.payload()[0], 'G');
+}
+
+TEST(HopLimit, DecrementAndFloor) {
+  Bytes p = build_echo_request(kSrc, kDst, 2, 1, 1);
+  EXPECT_EQ(hop_limit_of(p), 2);
+  EXPECT_TRUE(decrement_hop_limit(p));
+  EXPECT_EQ(hop_limit_of(p), 1);
+  EXPECT_FALSE(decrement_hop_limit(p));  // would hit zero: discard
+  set_hop_limit(p, 255);
+  EXPECT_EQ(hop_limit_of(p), 255);
+}
+
+TEST(Helpers, SrcDstAccessors) {
+  Bytes p = build_echo_request(kSrc, kDst, 64, 1, 1);
+  EXPECT_EQ(src_of(p), kSrc);
+  EXPECT_EQ(dst_of(p), kDst);
+}
+
+TEST(Summarize, CoversProtocols) {
+  EXPECT_NE(summarize(build_echo_request(kSrc, kDst, 64, 1, 1)).find("icmp6"),
+            std::string::npos);
+  EXPECT_NE(summarize(build_udp(kSrc, kDst, 1, 53, {})).find("udp"),
+            std::string::npos);
+  EXPECT_NE(
+      summarize(build_tcp(kSrc, kDst, 1, 80, 0, 0, kTcpSyn, 0)).find("tcp"),
+      std::string::npos);
+  EXPECT_EQ(summarize(Bytes(4)), "<malformed>");
+}
+
+}  // namespace
+}  // namespace xmap::pkt

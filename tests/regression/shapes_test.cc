@@ -1,0 +1,170 @@
+// Regression tests for the paper's headline shapes — fast, small-window
+// versions of the bench harnesses, asserting the *orderings and contrasts*
+// the reproduction is accountable for (EXPERIMENTS.md documents the full
+// runs). If calibration drift ever breaks a paper shape, this suite fails.
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "loopattack/attack_lab.h"
+#include "topology/paper_profiles.h"
+
+namespace xmap {
+namespace {
+
+using net::Ipv6Address;
+
+struct ShapeWorld {
+  sim::Network net{2026};
+  topo::BuiltInternet internet;
+
+  ShapeWorld() : internet([&] {
+      topo::BuildConfig cfg;
+      cfg.window_bits = 10;
+      cfg.seed = 2026;
+      return topo::build_internet(net, topo::paper::isp_specs(),
+                                  topo::paper::vendor_catalog(), cfg);
+    }()) {}
+
+  double same_fraction(int isp) {
+    const int idx[] = {isp};
+    auto result = ana::run_discovery_scan(net, internet, idx, {});
+    std::uint64_t same = 0;
+    for (const auto& hop : result.last_hops) {
+      if (hop.same_prefix64()) ++same;
+    }
+    return result.last_hops.empty()
+               ? 0
+               : static_cast<double>(same) /
+                     static_cast<double>(result.last_hops.size());
+  }
+
+  double eui_fraction(int isp) {
+    const int idx[] = {isp};
+    auto result = ana::run_discovery_scan(net, internet, idx, {});
+    auto hist = ana::iid_histogram(result.last_hops);
+    return hist.total == 0 ? 0
+                           : static_cast<double>(
+                                 hist.of(net::IidStyle::kEui64)) /
+                                 static_cast<double>(hist.total);
+  }
+
+  double loop_rate(int isp) {
+    const auto& devices = internet.isps[static_cast<std::size_t>(isp)].devices;
+    if (devices.empty()) return 0;
+    std::uint64_t vulnerable = 0;
+    for (const auto& dev : devices) {
+      if (dev.loop_wan || dev.loop_lan) ++vulnerable;
+    }
+    return static_cast<double>(vulnerable) /
+           static_cast<double>(devices.size());
+  }
+};
+
+// ISP indices (paper_profiles order).
+constexpr int kJio = 0, kBharti = 2, kComcast = 4, kAttBroadband = 5,
+              kAttMobile = 8, kTelecom = 10, kUnicom = 11, kCnMobile = 12;
+
+TEST(PaperShapes, Table2SameDiffContrast) {
+  ShapeWorld world;
+  // /64-delegation blocks are same-dominated; CPE blocks diff-dominated.
+  EXPECT_GT(world.same_fraction(kJio), 0.9);
+  EXPECT_GT(world.same_fraction(kBharti), 0.9);
+  EXPECT_LT(world.same_fraction(kAttBroadband), 0.1);
+  EXPECT_LT(world.same_fraction(kTelecom), 0.1);
+}
+
+TEST(PaperShapes, Table2EuiOrdering) {
+  ShapeWorld world;
+  const double comcast = world.eui_fraction(kComcast);
+  const double unicom = world.eui_fraction(kUnicom);
+  const double jio = world.eui_fraction(kJio);
+  // Paper: Comcast ~95% > Unicom ~53% > Jio ~1.4%.
+  EXPECT_GT(comcast, unicom);
+  EXPECT_GT(unicom, jio);
+  EXPECT_GT(comcast, 0.7);
+  EXPECT_LT(jio, 0.15);
+}
+
+TEST(PaperShapes, Table11LoopConcentration) {
+  ShapeWorld world;
+  // CN broadband is the loop hotspot; US mobile is clean; India is thin.
+  EXPECT_GT(world.loop_rate(kUnicom), world.loop_rate(kJio));
+  EXPECT_GT(world.loop_rate(kCnMobile), 0.2);
+  EXPECT_DOUBLE_EQ(world.loop_rate(kAttMobile), 0.0);
+  EXPECT_LT(world.loop_rate(kJio), 0.05);
+}
+
+TEST(PaperShapes, Table7ServiceExposureOrdering) {
+  ShapeWorld world;
+  auto exposure = [&world](int isp) {
+    const int idx[] = {isp};
+    auto discovery = ana::run_discovery_scan(world.net, world.internet, idx, {});
+    std::vector<Ipv6Address> targets;
+    for (const auto& hop : discovery.last_hops) targets.push_back(hop.address);
+    auto grabs = ana::grab_services(world.net, world.internet, targets, {});
+    std::unordered_set<Ipv6Address> any;
+    for (const auto& grab : grabs) {
+      if (grab.alive) any.insert(grab.target);
+    }
+    return targets.empty() ? 0.0
+                           : static_cast<double>(any.size()) /
+                                 static_cast<double>(targets.size());
+  };
+  // Paper Table VII: CN Mobile broadband (57.5%) >> CN Unicom (24.6%)
+  // >> Jio (0.9%).
+  const double cn_mobile = exposure(kCnMobile);
+  const double cn_unicom = exposure(kUnicom);
+  const double jio = exposure(kJio);
+  EXPECT_GT(cn_mobile, cn_unicom);
+  EXPECT_GT(cn_unicom, jio);
+  EXPECT_GT(cn_mobile, 0.35);
+  EXPECT_LT(jio, 0.1);
+}
+
+TEST(PaperShapes, Section6AmplificationHeadlines) {
+  atk::AttackLab lab{atk::AttackLabConfig{}};
+  const auto plain = lab.attack(255);
+  EXPECT_GT(plain.amplification(), 200.0);  // the >200x claim
+  const auto spoofed = lab.attack(255, 1, false, true);
+  EXPECT_GT(spoofed.amplification(), plain.amplification() * 1.5);  // ~2x
+  lab.patch_cpe();
+  EXPECT_LE(lab.attack(255).access_link_packets, 2u);  // mitigation kills it
+}
+
+TEST(PaperShapes, Table12AllTestedRoutersVulnerable) {
+  int vulnerable = 0;
+  // Sample the fleet (the full matrix runs in attack_lab_test).
+  const auto& models = atk::case_study_models();
+  for (std::size_t i = 0; i < models.size(); i += 7) {
+    const auto row = atk::test_router_model(models[i]);
+    if (row.wan_loop_observed || row.lan_loop_observed) ++vulnerable;
+  }
+  EXPECT_EQ(vulnerable, static_cast<int>((models.size() + 6) / 7));
+}
+
+TEST(PaperShapes, Table1DelegationLengthsRecoverable) {
+  ShapeWorld world;
+  // One block per delegated length (full sweep in table01 bench).
+  const struct {
+    int isp;
+    int expect;
+  } cases[] = {{kJio, 64}, {kAttBroadband, 60}, {kComcast, 56}};
+  for (const auto& c : cases) {
+    auto result = ana::infer_subnet_length(world.net, world.internet, c.isp, {});
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.inferred_len, c.expect);
+  }
+}
+
+TEST(PaperShapes, DiscoveryCostIsOneProbePerDelegationPerParity) {
+  ShapeWorld world;
+  const int idx[] = {kAttBroadband};
+  auto result = ana::run_discovery_scan(world.net, world.internet, idx, {});
+  EXPECT_EQ(result.stats.sent, 2u * 1024u);  // 2 parities x 2^10 slots
+  const std::size_t truth =
+      world.internet.isps[kAttBroadband].devices.size();
+  EXPECT_GE(result.last_hops.size(), truth * 9 / 10);  // finds the periphery
+}
+
+}  // namespace
+}  // namespace xmap

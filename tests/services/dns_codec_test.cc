@@ -1,0 +1,130 @@
+#include "services/dns_codec.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::svc {
+namespace {
+
+TEST(DnsCodec, QueryRoundTrip) {
+  DnsMessage q = make_query(0x1234, "www.example.com", DnsType::kAaaa);
+  auto wire = q.encode();
+  ASSERT_FALSE(wire.empty());
+  auto decoded = DnsMessage::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_FALSE(decoded->is_response);
+  EXPECT_TRUE(decoded->recursion_desired);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "www.example.com");
+  EXPECT_EQ(decoded->questions[0].type, DnsType::kAaaa);
+  EXPECT_EQ(decoded->questions[0].klass, DnsClass::kIn);
+}
+
+TEST(DnsCodec, VersionBindQuery) {
+  DnsMessage q = make_version_query(7);
+  auto decoded = DnsMessage::decode(q.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "version.bind");
+  EXPECT_EQ(decoded->questions[0].type, DnsType::kTxt);
+  EXPECT_EQ(decoded->questions[0].klass, DnsClass::kChaos);
+}
+
+TEST(DnsCodec, ResponseWithARecord) {
+  DnsMessage resp;
+  resp.id = 9;
+  resp.is_response = true;
+  resp.recursion_available = true;
+  resp.questions.push_back(DnsQuestion{"a.example", DnsType::kA, DnsClass::kIn});
+  resp.answers.push_back(DnsRecord::a("a.example", 0x05010203, 300));
+  auto decoded = DnsMessage::decode(resp.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_response);
+  EXPECT_TRUE(decoded->recursion_available);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "a.example");
+  EXPECT_EQ(decoded->answers[0].ttl, 300u);
+  ASSERT_EQ(decoded->answers[0].rdata.size(), 4u);
+  EXPECT_EQ(decoded->answers[0].rdata[0], 5);
+  EXPECT_EQ(decoded->answers[0].rdata[3], 3);
+}
+
+TEST(DnsCodec, TxtRecordCarriesText) {
+  DnsRecord r = DnsRecord::txt("version.bind", DnsClass::kChaos,
+                               "dnsmasq-2.45", 0);
+  ASSERT_GE(r.rdata.size(), 13u);
+  EXPECT_EQ(r.rdata[0], 12);  // length byte
+  EXPECT_EQ(std::string(r.rdata.begin() + 1, r.rdata.end()), "dnsmasq-2.45");
+}
+
+TEST(DnsCodec, RcodeRoundTrip) {
+  DnsMessage m;
+  m.id = 1;
+  m.is_response = true;
+  m.rcode = DnsRcode::kNxDomain;
+  auto decoded = DnsMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rcode, DnsRcode::kNxDomain);
+}
+
+TEST(DnsCodec, RootNameEncodes) {
+  DnsMessage m;
+  m.id = 2;
+  m.questions.push_back(DnsQuestion{"", DnsType::kNs, DnsClass::kIn});
+  auto decoded = DnsMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->questions[0].name, "");
+}
+
+TEST(DnsCodec, DecodeRejectsTruncated) {
+  EXPECT_FALSE(DnsMessage::decode(std::vector<std::uint8_t>(4)).has_value());
+  DnsMessage q = make_query(1, "example.com", DnsType::kA);
+  auto wire = q.encode();
+  wire.resize(wire.size() - 3);
+  EXPECT_FALSE(DnsMessage::decode(wire).has_value());
+}
+
+TEST(DnsCodec, DecodeRejectsHostileCounts) {
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[4] = 0xff;  // qdcount = 0xff00
+  EXPECT_FALSE(DnsMessage::decode(wire).has_value());
+}
+
+TEST(DnsCodec, DecodeRejectsPointerLoop) {
+  // Header + a name that is a compression pointer to itself.
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;  // one question
+  wire.push_back(0xc0);
+  wire.push_back(12);  // pointer to offset 12 (itself)
+  wire.push_back(0);
+  wire.push_back(1);
+  wire.push_back(0);
+  wire.push_back(1);
+  EXPECT_FALSE(DnsMessage::decode(wire).has_value());
+}
+
+TEST(DnsCodec, CompressedNameDecodes) {
+  // Build a response manually where the answer name points at the question.
+  DnsMessage q = make_query(5, "x.y", DnsType::kA);
+  auto wire = q.encode();
+  // Append one answer: pointer to question name at offset 12.
+  wire[7] = 1;  // ancount = 1
+  const std::uint8_t answer[] = {0xc0, 12,   0, 1, 0, 1, 0, 0,
+                                 0,    60,   0, 4, 1, 2, 3, 4};
+  wire.insert(wire.end(), std::begin(answer), std::end(answer));
+  auto decoded = DnsMessage::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "x.y");
+}
+
+TEST(DnsCodec, LongLabelRejectedOnEncode) {
+  DnsMessage m;
+  m.id = 3;
+  m.questions.push_back(
+      DnsQuestion{std::string(70, 'a'), DnsType::kA, DnsClass::kIn});
+  EXPECT_TRUE(m.encode().empty());
+}
+
+}  // namespace
+}  // namespace xmap::svc

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "services/dns_codec.h"
+#include "services/service.h"
+#include "services/service_host.h"
+
+namespace xmap::svc {
+namespace {
+
+using net::Ipv6Address;
+
+const Ipv6Address kClient = *Ipv6Address::parse("2001:db8:1::1");
+const Ipv6Address kDevice = *Ipv6Address::parse("2001:db8:2::1");
+
+std::string as_text(std::span<const std::uint8_t> data) {
+  return std::string{reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+TEST(ServiceMeta, PortsAndTransports) {
+  EXPECT_EQ(port_of(ServiceKind::kDns), 53);
+  EXPECT_EQ(port_of(ServiceKind::kNtp), 123);
+  EXPECT_EQ(port_of(ServiceKind::kFtp), 21);
+  EXPECT_EQ(port_of(ServiceKind::kSsh), 22);
+  EXPECT_EQ(port_of(ServiceKind::kTelnet), 23);
+  EXPECT_EQ(port_of(ServiceKind::kHttp), 80);
+  EXPECT_EQ(port_of(ServiceKind::kTls), 443);
+  EXPECT_EQ(port_of(ServiceKind::kHttp8080), 8080);
+  EXPECT_FALSE(is_tcp(ServiceKind::kDns));
+  EXPECT_FALSE(is_tcp(ServiceKind::kNtp));
+  for (auto kind : {ServiceKind::kFtp, ServiceKind::kSsh, ServiceKind::kTelnet,
+                    ServiceKind::kHttp, ServiceKind::kTls,
+                    ServiceKind::kHttp8080}) {
+    EXPECT_TRUE(is_tcp(kind)) << service_name(kind);
+  }
+}
+
+TEST(DnsService, AnswersVersionBind) {
+  auto service = make_service(ServiceKind::kDns, {"dnsmasq", "2.45"}, "ZTE");
+  auto resp = service->handle_datagram(make_version_query(42).encode());
+  ASSERT_TRUE(resp.has_value());
+  auto msg = DnsMessage::decode(*resp);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->id, 42);
+  EXPECT_TRUE(msg->is_response);
+  ASSERT_EQ(msg->answers.size(), 1u);
+  const auto& rdata = msg->answers[0].rdata;
+  const std::string text(rdata.begin() + 1, rdata.end());
+  EXPECT_EQ(text, "dnsmasq-2.45");
+}
+
+TEST(DnsService, AnswersARecordAsForwarder) {
+  auto service = make_service(ServiceKind::kDns, {"dnsmasq", "2.45"}, "ZTE");
+  auto resp =
+      service->handle_datagram(make_query(7, "example.com", DnsType::kA).encode());
+  ASSERT_TRUE(resp.has_value());
+  auto msg = DnsMessage::decode(*resp);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->recursion_available);  // open forwarder
+  ASSERT_EQ(msg->answers.size(), 1u);
+  EXPECT_EQ(msg->answers[0].type, DnsType::kA);
+  ASSERT_EQ(msg->answers[0].rdata.size(), 4u);
+}
+
+TEST(DnsService, StableAnswersForSameName) {
+  auto service = make_service(ServiceKind::kDns, {"dnsmasq", "2.45"}, "ZTE");
+  auto a = service->handle_datagram(make_query(1, "x.com", DnsType::kA).encode());
+  auto b = service->handle_datagram(make_query(2, "x.com", DnsType::kA).encode());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  auto ma = DnsMessage::decode(*a), mb = DnsMessage::decode(*b);
+  EXPECT_EQ(ma->answers[0].rdata, mb->answers[0].rdata);
+}
+
+TEST(DnsService, IgnoresGarbageAndResponses) {
+  auto service = make_service(ServiceKind::kDns, {"dnsmasq", "2.45"}, "ZTE");
+  EXPECT_FALSE(service->handle_datagram(std::vector<std::uint8_t>{1, 2, 3})
+                   .has_value());
+  DnsMessage already_response;
+  already_response.is_response = true;
+  already_response.questions.push_back(
+      DnsQuestion{"a", DnsType::kA, DnsClass::kIn});
+  EXPECT_FALSE(
+      service->handle_datagram(already_response.encode()).has_value());
+}
+
+TEST(NtpService, AnswersMode3WithMode4Version4) {
+  auto service = make_service(ServiceKind::kNtp, {"ntpd", "4.2.8"}, "Zyxel");
+  Bytes req(48, 0);
+  req[0] = (4 << 3) | 3;  // version 4, mode 3 (client)
+  req[40] = 0xaa;         // transmit timestamp marker
+  auto resp = service->handle_datagram(req);
+  ASSERT_TRUE(resp.has_value());
+  ASSERT_EQ(resp->size(), 48u);
+  EXPECT_EQ(((*resp)[0] >> 3) & 0x7, 4);  // version 4
+  EXPECT_EQ((*resp)[0] & 0x7, 4);         // mode 4 (server)
+  EXPECT_EQ((*resp)[24], 0xaa);           // originate = client transmit
+}
+
+TEST(NtpService, Mode6ReadvarCarriesVersionString) {
+  auto service = make_service(ServiceKind::kNtp, {"ntpd", "4.2.8"}, "Zyxel");
+  Bytes req(12, 0);
+  req[0] = (2 << 3) | 6;  // control message
+  req[1] = 2;             // READVAR
+  req[2] = 0x12;          // sequence
+  auto resp = service->handle_datagram(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ((*resp)[0] & 0x07, 6);
+  EXPECT_EQ((*resp)[1] & 0x80, 0x80);  // response bit
+  EXPECT_EQ((*resp)[2], 0x12);
+  const std::string text(resp->begin() + 12, resp->end());
+  EXPECT_NE(text.find("version=\"ntpd-4.2.8\""), std::string::npos);
+}
+
+TEST(NtpService, Mode6NonReadvarIgnored) {
+  auto service = make_service(ServiceKind::kNtp, {"ntpd", "4.2.8"}, "Zyxel");
+  Bytes req(12, 0);
+  req[0] = (2 << 3) | 6;
+  req[1] = 1;  // READSTAT, not served
+  EXPECT_FALSE(service->handle_datagram(req).has_value());
+}
+
+TEST(NtpService, IgnoresNonClientModes) {
+  auto service = make_service(ServiceKind::kNtp, {"ntpd", "4.2.8"}, "Zyxel");
+  Bytes req(48, 0);
+  req[0] = (4 << 3) | 4;  // mode 4: server-to-server, not a client request
+  EXPECT_FALSE(service->handle_datagram(req).has_value());
+  EXPECT_FALSE(service->handle_datagram(Bytes(20)).has_value());
+}
+
+TEST(FtpService, GreetingCarriesSoftwareAndVendor) {
+  auto service =
+      make_service(ServiceKind::kFtp, {"GNU Inetutils", "1.4.1"}, "Fiberhome");
+  const std::string banner = as_text(service->greeting());
+  EXPECT_NE(banner.find("220 "), std::string::npos);
+  EXPECT_NE(banner.find("Fiberhome"), std::string::npos);
+  EXPECT_NE(banner.find("GNU Inetutils-1.4.1"), std::string::npos);
+}
+
+TEST(FtpService, UserCommandGetsPasswordPrompt) {
+  auto service =
+      make_service(ServiceKind::kFtp, {"vsftpd", "2.3.4"}, "D-Link");
+  const std::string user = "USER admin\r\n";
+  auto resp = service->handle_stream(
+      std::vector<std::uint8_t>(user.begin(), user.end()));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(as_text(*resp).substr(0, 3), "331");
+}
+
+TEST(SshService, VersionStringFormat) {
+  auto service = make_service(ServiceKind::kSsh, {"dropbear", "0.46"}, "ZTE");
+  EXPECT_EQ(as_text(service->greeting()), "SSH-2.0-dropbear_0.46\r\n");
+}
+
+TEST(TelnetService, LoginPromptWithVendorBanner) {
+  auto service =
+      make_service(ServiceKind::kTelnet, {"telnetd", ""}, "China Unicom");
+  const std::string banner = as_text(service->greeting());
+  EXPECT_NE(banner.find("China Unicom"), std::string::npos);
+  EXPECT_NE(banner.find("login:"), std::string::npos);
+  // IAC negotiation preamble present.
+  EXPECT_EQ(service->greeting()[0], 0xff);
+}
+
+TEST(HttpService, ServesLoginPageWithServerHeader) {
+  auto service =
+      make_service(ServiceKind::kHttp, {"micro_httpd", "1.0"}, "TP-Link");
+  const std::string get = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  auto resp =
+      service->handle_stream(std::vector<std::uint8_t>(get.begin(), get.end()));
+  ASSERT_TRUE(resp.has_value());
+  const std::string text = as_text(*resp);
+  EXPECT_EQ(text.substr(0, 15), "HTTP/1.1 200 OK");
+  EXPECT_NE(text.find("Server: micro_httpd-1.0"), std::string::npos);
+  EXPECT_NE(text.find("Router Login"), std::string::npos);
+  EXPECT_NE(text.find("TP-Link"), std::string::npos);
+}
+
+TEST(HttpService, IgnoresNonHttp) {
+  auto service =
+      make_service(ServiceKind::kHttp, {"micro_httpd", "1.0"}, "TP-Link");
+  EXPECT_FALSE(
+      service->handle_stream(std::vector<std::uint8_t>{0x16, 0x03}).has_value());
+}
+
+TEST(TlsService, RespondsToClientHelloWithCertSummary) {
+  auto service =
+      make_service(ServiceKind::kTls, {"embedded-tls", "1.0"}, "AVM GmbH");
+  Bytes hello{0x16, 0x03, 0x01, 0x00, 0x05, 1, 0, 0, 1, 0};
+  auto resp = service->handle_stream(hello);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ((*resp)[0], 0x16);
+  const std::string text = as_text(*resp);
+  EXPECT_NE(text.find("CN=AVM GmbH"), std::string::npos);
+  EXPECT_NE(text.find("embedded-tls-1.0"), std::string::npos);
+}
+
+TEST(TlsService, IgnoresNonHandshakeBytes) {
+  auto service =
+      make_service(ServiceKind::kTls, {"embedded-tls", "1.0"}, "AVM");
+  EXPECT_FALSE(service->handle_stream(Bytes{'G', 'E', 'T'}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// ServiceHost: packet-level behaviour.
+// ---------------------------------------------------------------------------
+
+class ServiceHostTest : public ::testing::Test {
+ protected:
+  ServiceHostTest() {
+    host_.bind(make_service(ServiceKind::kDns, {"dnsmasq", "2.45"}, "ZTE"));
+    host_.bind(make_service(ServiceKind::kSsh, {"dropbear", "0.46"}, "ZTE"));
+    host_.bind(make_service(ServiceKind::kHttp, {"micro_httpd", "1.0"}, "ZTE"));
+  }
+  ServiceHost host_;
+};
+
+TEST_F(ServiceHostTest, BindAndQuery) {
+  EXPECT_TRUE(host_.has(ServiceKind::kDns));
+  EXPECT_TRUE(host_.has(ServiceKind::kSsh));
+  EXPECT_FALSE(host_.has(ServiceKind::kFtp));
+  EXPECT_EQ(host_.service_count(), 3u);
+  ASSERT_NE(host_.endpoint(53), nullptr);
+  EXPECT_EQ(host_.endpoint(53)->software().software, "dnsmasq");
+  EXPECT_EQ(host_.endpoint(9999), nullptr);
+}
+
+TEST_F(ServiceHostTest, UdpRequestResponse) {
+  auto query = make_version_query(3).encode();
+  auto packet = pkt::build_udp(kClient, kDevice, 5353, 53, query);
+  auto out = host_.handle(packet, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::Ipv6View ip{out[0]};
+  EXPECT_EQ(ip.src(), kDevice);
+  EXPECT_EQ(ip.dst(), kClient);
+  pkt::UdpView udp{ip.payload()};
+  ASSERT_TRUE(udp.valid());
+  EXPECT_EQ(udp.src_port(), 53);
+  EXPECT_EQ(udp.dst_port(), 5353);
+  auto msg = DnsMessage::decode(udp.payload());
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->is_response);
+}
+
+TEST_F(ServiceHostTest, UdpClosedPortYieldsPortUnreachable) {
+  auto packet = pkt::build_udp(kClient, kDevice, 5353, 9999,
+                               std::vector<std::uint8_t>{1});
+  auto out = host_.handle(packet, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::Ipv6View ip{out[0]};
+  pkt::Icmpv6View icmp{ip.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(icmp.code(),
+            static_cast<std::uint8_t>(pkt::UnreachCode::kPortUnreachable));
+}
+
+TEST_F(ServiceHostTest, TcpSynToOpenPortGetsSynAck) {
+  auto syn = pkt::build_tcp(kClient, kDevice, 40000, 22, 100, 0, pkt::kTcpSyn,
+                            65535);
+  auto out = host_.handle(syn, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::TcpView tcp{pkt::Ipv6View{out[0]}.payload()};
+  EXPECT_EQ(tcp.flags(), pkt::kTcpSyn | pkt::kTcpAck);
+  EXPECT_EQ(tcp.ack(), 101u);
+  EXPECT_EQ(tcp.src_port(), 22);
+}
+
+TEST_F(ServiceHostTest, TcpSynToClosedPortGetsRst) {
+  auto syn = pkt::build_tcp(kClient, kDevice, 40000, 8080, 100, 0,
+                            pkt::kTcpSyn, 65535);
+  auto out = host_.handle(syn, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::TcpView tcp{pkt::Ipv6View{out[0]}.payload()};
+  EXPECT_TRUE(tcp.flags() & pkt::kTcpRst);
+}
+
+TEST_F(ServiceHostTest, BareAckTriggersGreeting) {
+  auto ack =
+      pkt::build_tcp(kClient, kDevice, 40000, 22, 101, 1, pkt::kTcpAck, 65535);
+  auto out = host_.handle(ack, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::TcpView tcp{pkt::Ipv6View{out[0]}.payload()};
+  EXPECT_EQ(as_text(tcp.payload()).substr(0, 8), "SSH-2.0-");
+}
+
+TEST_F(ServiceHostTest, BareAckOnSilentServiceGetsNothing) {
+  // HTTP has no greeting; a bare ACK produces no packet.
+  auto ack =
+      pkt::build_tcp(kClient, kDevice, 40000, 80, 101, 1, pkt::kTcpAck, 65535);
+  EXPECT_TRUE(host_.handle(ack, kDevice).empty());
+}
+
+TEST_F(ServiceHostTest, DataSegmentGetsServiceResponse) {
+  const std::string get = "GET / HTTP/1.1\r\n\r\n";
+  auto data = pkt::build_tcp(kClient, kDevice, 40000, 80, 101, 1,
+                             pkt::kTcpPsh | pkt::kTcpAck, 65535,
+                             std::vector<std::uint8_t>(get.begin(), get.end()));
+  auto out = host_.handle(data, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::TcpView tcp{pkt::Ipv6View{out[0]}.payload()};
+  EXPECT_EQ(as_text(tcp.payload()).substr(0, 8), "HTTP/1.1");
+  // The response acknowledges the client's data.
+  EXPECT_EQ(tcp.ack(), 101u + get.size());
+}
+
+TEST_F(ServiceHostTest, RstIsNeverAnswered) {
+  auto rst =
+      pkt::build_tcp(kClient, kDevice, 40000, 22, 1, 0, pkt::kTcpRst, 0);
+  EXPECT_TRUE(host_.handle(rst, kDevice).empty());
+  auto rst_closed =
+      pkt::build_tcp(kClient, kDevice, 40000, 7777, 1, 0, pkt::kTcpRst, 0);
+  EXPECT_TRUE(host_.handle(rst_closed, kDevice).empty());
+}
+
+TEST_F(ServiceHostTest, FinGetsFinAck) {
+  auto fin = pkt::build_tcp(kClient, kDevice, 40000, 22, 200, 5,
+                            pkt::kTcpFin | pkt::kTcpAck, 65535);
+  auto out = host_.handle(fin, kDevice);
+  ASSERT_EQ(out.size(), 1u);
+  pkt::TcpView tcp{pkt::Ipv6View{out[0]}.payload()};
+  EXPECT_TRUE(tcp.flags() & pkt::kTcpFin);
+  EXPECT_EQ(tcp.ack(), 201u);
+}
+
+TEST_F(ServiceHostTest, CorruptChecksumIgnored) {
+  auto query = make_version_query(3).encode();
+  auto packet = pkt::build_udp(kClient, kDevice, 5353, 53, query);
+  packet.back() ^= 0xff;
+  EXPECT_TRUE(host_.handle(packet, kDevice).empty());
+}
+
+TEST_F(ServiceHostTest, SynAckSequencesAreDeterministic) {
+  auto syn = pkt::build_tcp(kClient, kDevice, 40000, 22, 100, 0, pkt::kTcpSyn,
+                            65535);
+  auto out1 = host_.handle(syn, kDevice);
+  auto out2 = host_.handle(syn, kDevice);
+  ASSERT_EQ(out1.size(), 1u);
+  ASSERT_EQ(out2.size(), 1u);
+  EXPECT_EQ(pkt::TcpView{pkt::Ipv6View{out1[0]}.payload()}.seq(),
+            pkt::TcpView{pkt::Ipv6View{out2[0]}.payload()}.seq());
+}
+
+}  // namespace
+}  // namespace xmap::svc

@@ -1,0 +1,305 @@
+#include "topology/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topology/paper_profiles.h"
+
+namespace xmap::topo {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+BuildConfig small_config() {
+  BuildConfig cfg;
+  cfg.window_bits = 8;  // 256 slots per block: fast tests
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(VendorCatalog, LooksSane) {
+  const auto& catalog = paper::vendor_catalog();
+  EXPECT_GT(catalog.size(), 35u);
+  std::unordered_set<std::uint32_t> ouis;
+  std::unordered_set<std::string> names;
+  for (const auto& v : catalog) {
+    EXPECT_FALSE(v.name.empty());
+    EXPECT_TRUE(ouis.insert(v.oui).second) << "duplicate OUI " << v.name;
+    EXPECT_TRUE(names.insert(v.name).second) << "duplicate name " << v.name;
+    for (const auto& dep : v.services) {
+      EXPECT_GE(dep.probability, 0.0);
+      EXPECT_LE(dep.probability, 1.0);
+      EXPECT_FALSE(dep.software.empty());
+    }
+  }
+  EXPECT_GE(paper::vendor_id("ZTE"), 0);
+  EXPECT_GE(paper::vendor_id("Apple"), 0);
+  EXPECT_EQ(paper::vendor_id("NoSuchVendor"), -1);
+}
+
+TEST(IspSpecs, FifteenBlocksMatchingTableI) {
+  const auto specs = paper::isp_specs();
+  ASSERT_EQ(specs.size(), 15u);
+  int len56 = 0, len60 = 0, len64 = 0;
+  for (const auto& s : specs) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.vendor_mix.empty());
+    for (const auto& [id, w] : s.vendor_mix) {
+      ASSERT_GE(id, 0) << s.name << " has an unknown vendor";
+      EXPECT_GT(w, 0.0);
+    }
+    if (s.delegated_len == 56) ++len56;
+    if (s.delegated_len == 60) ++len60;
+    if (s.delegated_len == 64) ++len64;
+  }
+  // Table I: four /56 blocks, four /60 blocks, seven /64 blocks.
+  EXPECT_EQ(len56, 4);
+  EXPECT_EQ(len60, 4);
+  EXPECT_EQ(len64, 7);
+}
+
+class BuiltWorld : public ::testing::Test {
+ protected:
+  BuiltWorld()
+      : internet_(build_internet(net_, paper::isp_specs(),
+                                 paper::vendor_catalog(), small_config())) {}
+
+  sim::Network net_{42};
+  BuiltInternet internet_;
+};
+
+TEST_F(BuiltWorld, AllIspsBuilt) {
+  EXPECT_EQ(internet_.isps.size(), 15u);
+  EXPECT_GT(internet_.total_devices(), 200u);
+  for (const auto& isp : internet_.isps) {
+    EXPECT_NE(isp.router, nullptr);
+    EXPECT_LE(isp.devices.size(), 256u);
+  }
+}
+
+TEST_F(BuiltWorld, SlotsAreUniqueAndInsideScanWindow) {
+  for (const auto& isp : internet_.isps) {
+    std::unordered_set<Ipv6Prefix> slots;
+    for (const auto& dev : isp.devices) {
+      EXPECT_EQ(dev.slot.length(), isp.spec.delegated_len);
+      EXPECT_TRUE(isp.scan_base.contains(dev.slot))
+          << dev.slot.to_string() << " outside " << isp.scan_base.to_string();
+      EXPECT_TRUE(slots.insert(dev.slot).second)
+          << "duplicate slot " << dev.slot.to_string();
+    }
+  }
+}
+
+TEST_F(BuiltWorld, DeviceAddressesMatchTheirWanPrefix) {
+  for (const auto& isp : internet_.isps) {
+    for (const auto& dev : isp.devices) {
+      EXPECT_TRUE(dev.wan_prefix.contains(dev.address))
+          << dev.address.to_string() << " not in "
+          << dev.wan_prefix.to_string();
+    }
+  }
+}
+
+TEST_F(BuiltWorld, Eui64DevicesCarryVendorOui) {
+  int eui_count = 0;
+  for (const auto& isp : internet_.isps) {
+    for (const auto& dev : isp.devices) {
+      if (dev.iid_style != net::IidStyle::kEui64) {
+        EXPECT_FALSE(dev.mac.has_value());
+        continue;
+      }
+      ++eui_count;
+      ASSERT_TRUE(dev.mac.has_value());
+      const auto* vendor_name = internet_.oui.lookup(dev.mac->oui());
+      ASSERT_NE(vendor_name, nullptr);
+      EXPECT_EQ(*vendor_name, internet_.vendor(dev.vendor).name);
+      // The IID embedded in the device address recovers the MAC.
+      auto recovered = net::MacAddress::from_eui64_iid(dev.address.iid());
+      ASSERT_TRUE(recovered.has_value());
+      EXPECT_EQ(*recovered, *dev.mac);
+    }
+  }
+  EXPECT_GT(eui_count, 20);
+}
+
+TEST_F(BuiltWorld, IidStylesMatchAddresses) {
+  for (const auto& isp : internet_.isps) {
+    for (const auto& dev : isp.devices) {
+      EXPECT_EQ(net::classify_iid(dev.address.iid()), dev.iid_style);
+    }
+  }
+}
+
+TEST_F(BuiltWorld, GeoDbResolvesEveryDeviceToItsIsp) {
+  for (const auto& isp : internet_.isps) {
+    for (const auto& dev : isp.devices) {
+      const GeoInfo* geo = internet_.geo.lookup(dev.address);
+      // Devices with separate WAN /64 live in the wan_pool half, still
+      // inside the ISP block.
+      ASSERT_NE(geo, nullptr) << dev.address.to_string();
+      EXPECT_EQ(geo->asn, isp.spec.asn);
+      EXPECT_EQ(geo->country, isp.spec.country);
+    }
+  }
+}
+
+TEST_F(BuiltWorld, UeModelIspsContainUeDevices) {
+  int ue_devices = 0;
+  for (const auto& isp : internet_.isps) {
+    for (const auto& dev : isp.devices) {
+      if (dev.device_class == DeviceClass::kUe && !dev.separate_wan) {
+        ++ue_devices;
+        EXPECT_TRUE(isp.spec.ue_model) << isp.spec.name;
+        EXPECT_FALSE(dev.loop_wan);
+        EXPECT_FALSE(dev.loop_lan);
+      }
+    }
+  }
+  EXPECT_GT(ue_devices, 50);
+}
+
+TEST_F(BuiltWorld, ProbeElicitsUnreachableEndToEnd) {
+  // End-to-end smoke test of the discovery mechanism across the full built
+  // topology: probe one allocated slot through the core.
+  class Collector : public sim::Node {
+   public:
+    void receive(const pkt::Bytes& packet, int) override {
+      received.push_back(packet);
+    }
+    void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }
+    std::vector<pkt::Bytes> received;
+  };
+  auto* collector = net_.make_node<Collector>();
+  const auto vantage = *Ipv6Prefix::parse("2001:500::/48");
+  const int iface = attach_vantage(net_, internet_, collector, vantage);
+
+  const auto& isp = internet_.isps[0];  // Reliance Jio
+  ASSERT_FALSE(isp.devices.empty());
+  const auto& dev = isp.devices[0];
+  const Ipv6Address probe_dst =
+      dev.slot.address_with_suffix(net::Uint128{0xdeadbeefcafeULL});
+  const Ipv6Address src = *Ipv6Address::parse("2001:500::1");
+  collector->emit(iface, pkt::build_echo_request(src, probe_dst, 64, 1, 1));
+  net_.run();
+
+  ASSERT_FALSE(collector->received.empty());
+  pkt::Ipv6View ip{collector->received[0]};
+  pkt::Icmpv6View icmp{ip.payload()};
+  // Either the periphery answered unreachable (patched / NX) or the probe
+  // address happened to be the device address (echo reply) — for the
+  // chosen suffix a collision is essentially impossible.
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(ip.src(), dev.address);
+}
+
+TEST(Builder, DeterministicForSameSeed) {
+  sim::Network net_a{1}, net_b{1};
+  const auto cfg = small_config();
+  auto a = build_internet(net_a, paper::isp_specs(), paper::vendor_catalog(),
+                          cfg);
+  auto b = build_internet(net_b, paper::isp_specs(), paper::vendor_catalog(),
+                          cfg);
+  ASSERT_EQ(a.total_devices(), b.total_devices());
+  for (std::size_t i = 0; i < a.isps.size(); ++i) {
+    ASSERT_EQ(a.isps[i].devices.size(), b.isps[i].devices.size());
+    for (std::size_t j = 0; j < a.isps[i].devices.size(); ++j) {
+      EXPECT_EQ(a.isps[i].devices[j].address, b.isps[i].devices[j].address);
+      EXPECT_EQ(a.isps[i].devices[j].vendor, b.isps[i].devices[j].vendor);
+      EXPECT_EQ(a.isps[i].devices[j].loop_lan, b.isps[i].devices[j].loop_lan);
+    }
+  }
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  sim::Network net_a{1}, net_b{2};
+  auto cfg_a = small_config();
+  auto cfg_b = small_config();
+  cfg_b.seed = 43;
+  auto a = build_internet(net_a, paper::isp_specs(), paper::vendor_catalog(),
+                          cfg_a);
+  auto b = build_internet(net_b, paper::isp_specs(), paper::vendor_catalog(),
+                          cfg_b);
+  int diffs = 0;
+  const std::size_t n =
+      std::min(a.isps[0].devices.size(), b.isps[0].devices.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    if (a.isps[0].devices[j].address != b.isps[0].devices[j].address) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Builder, PlacementSeedRenumbersWithoutChangingIdentities) {
+  auto build = [](std::uint64_t placement) {
+    auto net = std::make_unique<sim::Network>(1);
+    auto cfg = small_config();
+    cfg.placement_seed = placement;
+    auto world = build_internet(*net, paper::isp_specs(),
+                                paper::vendor_catalog(), cfg);
+    return std::pair{std::move(net), std::move(world)};
+  };
+  auto [net_a, a] = build(111);
+  auto [net_b, b] = build(222);
+  ASSERT_EQ(a.total_devices(), b.total_devices());
+
+  std::size_t same_slot = 0, same_addr = 0, total = 0;
+  for (std::size_t i = 0; i < a.isps.size(); ++i) {
+    ASSERT_EQ(a.isps[i].devices.size(), b.isps[i].devices.size());
+    for (std::size_t j = 0; j < a.isps[i].devices.size(); ++j) {
+      const auto& da = a.isps[i].devices[j];
+      const auto& db = b.isps[i].devices[j];
+      // Identity is invariant...
+      EXPECT_EQ(da.vendor, db.vendor);
+      EXPECT_EQ(da.iid_style, db.iid_style);
+      EXPECT_EQ(da.mac.has_value(), db.mac.has_value());
+      if (da.mac) {
+        EXPECT_EQ(*da.mac, *db.mac);
+      }
+      EXPECT_EQ(da.loop_wan, db.loop_wan);
+      EXPECT_EQ(da.loop_lan, db.loop_lan);
+      EXPECT_EQ(da.services.size(), db.services.size());
+      // ...while placement moves.
+      ++total;
+      same_slot += da.slot == db.slot ? 1 : 0;
+      same_addr += da.address == db.address ? 1 : 0;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_LT(same_slot, total / 50);  // essentially everyone moved
+  EXPECT_LT(same_addr, total / 50);
+}
+
+TEST(Builder, BgpSpecsGenerateDistinctBlocks) {
+  const auto specs = paper::bgp_specs(64, 7);
+  ASSERT_EQ(specs.size(), 64u);
+  std::unordered_set<std::string> blocks;
+  std::unordered_set<std::string> countries;
+  for (const auto& s : specs) {
+    EXPECT_TRUE(blocks.insert(s.block_base.to_string()).second);
+    countries.insert(s.country);
+    EXPECT_EQ(s.delegated_len, 48);
+  }
+  EXPECT_GT(countries.size(), 8u);
+}
+
+TEST(Builder, BgpWorldBuildsAndResolvesGeo) {
+  sim::Network net{5};
+  BuildConfig cfg;
+  cfg.window_bits = 4;
+  cfg.seed = 5;
+  auto world = build_internet(net, paper::bgp_specs(32, 7),
+                              paper::vendor_catalog(), cfg);
+  EXPECT_EQ(world.isps.size(), 32u);
+  EXPECT_GT(world.total_devices(), 30u);
+  for (const auto& isp : world.isps) {
+    for (const auto& dev : isp.devices) {
+      const GeoInfo* geo = world.geo.lookup(dev.address);
+      ASSERT_NE(geo, nullptr);
+      EXPECT_EQ(geo->country, isp.spec.country);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmap::topo

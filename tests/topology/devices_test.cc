@@ -1,0 +1,489 @@
+// Behavioural tests for the device models — these encode the RFC 4443 /
+// RFC 7084 behaviours the paper's discovery technique and loop attack rely
+// on, exercised over the event-driven network with real packets.
+#include <gtest/gtest.h>
+
+#include "services/service.h"
+#include "topology/devices.h"
+
+namespace xmap::topo {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+Ipv6Prefix pfx(const char* text) { return *Ipv6Prefix::parse(text); }
+Ipv6Address addr(const char* text) { return *Ipv6Address::parse(text); }
+
+// Captures everything it receives.
+class Probe : public sim::Node {
+ public:
+  void receive(const pkt::Bytes& packet, int) override {
+    received.push_back(packet);
+  }
+  void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }
+  std::vector<pkt::Bytes> received;
+
+  // Convenience: parse of the i-th received packet.
+  [[nodiscard]] pkt::Icmpv6View icmp(std::size_t i) const {
+    return pkt::Icmpv6View{pkt::Ipv6View{received[i]}.payload()};
+  }
+};
+
+const Ipv6Address kScanner = addr("2001:500::1");
+
+// -------------------------- CPE fixture ------------------------------------
+
+struct CpeWorld {
+  sim::Network net{7};
+  Probe* probe;
+  CpeRouter* cpe;
+  int probe_iface;
+
+  explicit CpeWorld(CpeRouter::Config cfg) {
+    probe = net.make_node<Probe>();
+    cpe = net.make_node<CpeRouter>(cfg);
+    auto att = net.connect(probe->id(), cpe->id());
+    probe_iface = att.iface_a;
+  }
+
+  void send_probe(const Ipv6Address& dst, std::uint8_t hop_limit = 64) {
+    probe->emit(probe_iface,
+                pkt::build_echo_request(kScanner, dst, hop_limit, 1, 1));
+    net.run();
+  }
+};
+
+CpeRouter::Config patched_cpe() {
+  CpeRouter::Config cfg;
+  cfg.wan_prefix = pfx("2001:db8:1234:5678::/64");
+  cfg.wan_address = addr("2001:db8:1234:5678::ab");
+  cfg.lan_prefix = pfx("2001:db8:4321:8760::/60");
+  cfg.subnet_prefix = pfx("2001:db8:4321:8765::/64");
+  return cfg;
+}
+
+CpeRouter::Config vulnerable_cpe() {
+  CpeRouter::Config cfg = patched_cpe();
+  cfg.loop_wan = true;
+  cfg.loop_lan = true;
+  return cfg;
+}
+
+TEST(CpeRouter, EchoToWanAddressGetsReply) {
+  CpeWorld w{patched_cpe()};
+  w.send_probe(addr("2001:db8:1234:5678::ab"));
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kEchoReply);
+  EXPECT_EQ(w.cpe->counters().echo_replies_sent, 1u);
+}
+
+TEST(CpeRouter, NxAddressInSubnetYieldsAddressUnreachableFromWanAddress) {
+  // THE core discovery behaviour: a probe to a nonexistent host inside the
+  // advertised subnet exposes the CPE's WAN address.
+  CpeWorld w{patched_cpe()};
+  w.send_probe(addr("2001:db8:4321:8765::dead"));
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::Ipv6View ip{w.probe->received[0]};
+  EXPECT_EQ(ip.src(), addr("2001:db8:1234:5678::ab"));  // WAN address!
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(w.probe->icmp(0).code(),
+            static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable));
+}
+
+TEST(CpeRouter, UnreachableQuotesInvokingProbe) {
+  CpeWorld w{patched_cpe()};
+  const auto target = addr("2001:db8:4321:8765::dead");
+  w.send_probe(target);
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::Ipv6View quoted{w.probe->icmp(0).invoking_packet()};
+  ASSERT_TRUE(quoted.valid());
+  EXPECT_EQ(quoted.dst(), target);
+  EXPECT_EQ(quoted.src(), kScanner);
+}
+
+TEST(CpeRouter, PatchedNotUsedPrefixYieldsNoRoute) {
+  CpeWorld w{patched_cpe()};
+  w.send_probe(addr("2001:db8:4321:8769::1"));  // delegated but not assigned
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(w.probe->icmp(0).code(),
+            static_cast<std::uint8_t>(pkt::UnreachCode::kNoRoute));
+  EXPECT_EQ(w.cpe->counters().forwarded, 0u);
+}
+
+TEST(CpeRouter, PatchedNxWanAddressYieldsAddressUnreachable) {
+  CpeWorld w{patched_cpe()};
+  w.send_probe(addr("2001:db8:1234:5678::ffff"));
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(w.probe->icmp(0).code(),
+            static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable));
+}
+
+TEST(CpeRouter, VulnerableNotUsedPrefixBouncesToDefaultRoute) {
+  // The Section VI flaw: the packet comes straight back out of the WAN with
+  // the hop limit decremented, instead of an unreachable error.
+  CpeWorld w{vulnerable_cpe()};
+  w.send_probe(addr("2001:db8:4321:8769::1"), 33);
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::Ipv6View ip{w.probe->received[0]};
+  EXPECT_EQ(ip.next_header(), pkt::kProtoIcmpv6);
+  pkt::Icmpv6View icmp{ip.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kEchoRequest);  // the probe itself
+  EXPECT_EQ(ip.hop_limit(), 32);  // decremented once
+  EXPECT_EQ(w.cpe->counters().forwarded, 1u);
+}
+
+TEST(CpeRouter, VulnerableNxWanAddressBouncesToo) {
+  CpeWorld w{vulnerable_cpe()};
+  w.send_probe(addr("2001:db8:1234:5678::ffff"), 33);
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(pkt::Ipv6View{w.probe->received[0]}.hop_limit(), 32);
+}
+
+TEST(CpeRouter, HopLimitOneYieldsTimeExceeded) {
+  CpeWorld w{vulnerable_cpe()};
+  w.send_probe(addr("2001:db8:4321:8769::1"), 1);
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kTimeExceeded);
+  pkt::Ipv6View ip{w.probe->received[0]};
+  EXPECT_EQ(ip.src(), addr("2001:db8:1234:5678::ab"));
+}
+
+TEST(CpeRouter, LoopCapStopsForwardingAFlow) {
+  CpeRouter::Config cfg = vulnerable_cpe();
+  cfg.loop_cap = 3;
+  CpeWorld w{cfg};
+  // Same flow (same src/dst) probed repeatedly: forwarded only 3 times.
+  for (int i = 0; i < 6; ++i) {
+    w.send_probe(addr("2001:db8:4321:8769::1"), 50);
+  }
+  EXPECT_EQ(w.cpe->counters().forwarded, 3u);
+  EXPECT_EQ(w.probe->received.size(), 3u);
+}
+
+TEST(CpeRouter, LoopCapIsPerFlow) {
+  CpeRouter::Config cfg = vulnerable_cpe();
+  cfg.loop_cap = 2;
+  CpeWorld w{cfg};
+  for (int i = 0; i < 4; ++i) w.send_probe(addr("2001:db8:4321:8769::1"), 50);
+  for (int i = 0; i < 4; ++i) w.send_probe(addr("2001:db8:4321:8769::2"), 50);
+  EXPECT_EQ(w.cpe->counters().forwarded, 4u);  // 2 per flow
+}
+
+TEST(CpeRouter, InstallUnreachableRoutesFixesTheFlaw) {
+  CpeWorld w{vulnerable_cpe()};
+  w.cpe->install_unreachable_routes();
+  w.send_probe(addr("2001:db8:4321:8769::1"), 33);
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(w.cpe->counters().forwarded, 0u);
+}
+
+TEST(CpeRouter, ExistingLanHostSwallowedWhenNoLanSegment) {
+  CpeRouter::Config cfg = patched_cpe();
+  CpeWorld w{cfg};
+  w.cpe->add_lan_host(addr("2001:db8:4321:8765::77"));
+  w.send_probe(addr("2001:db8:4321:8765::77"));
+  EXPECT_TRUE(w.probe->received.empty());  // delivered, host not simulated
+  EXPECT_EQ(w.cpe->counters().delivered_local, 1u);
+}
+
+TEST(CpeRouter, ForwardsToRealLanHost) {
+  CpeRouter::Config cfg = patched_cpe();
+  sim::Network net{9};
+  auto* probe = net.make_node<Probe>();
+  auto* cpe = net.make_node<CpeRouter>(cfg);
+  auto wan = net.connect(probe->id(), cpe->id());
+  auto* host = net.make_node<LanHost>(addr("2001:db8:4321:8765::77"));
+  auto lan = net.connect(cpe->id(), host->id());
+  cpe->set_lan_iface(lan.iface_a);
+  cpe->add_lan_host(host->address());
+
+  probe->emit(wan.iface_a,
+              pkt::build_echo_request(kScanner, host->address(), 64, 1, 1));
+  net.run();
+  // Echo reply comes back from the LAN host through the CPE.
+  ASSERT_EQ(probe->received.size(), 1u);
+  EXPECT_EQ(pkt::Ipv6View{probe->received[0]}.src(), host->address());
+  EXPECT_EQ(host->counters().echo_replies_sent, 1u);
+}
+
+TEST(CpeRouter, NeverAnswersIcmpErrorWithError) {
+  CpeWorld w{patched_cpe()};
+  // Deliver a Time Exceeded aimed at a nonexistent subnet address.
+  auto inner = pkt::build_echo_request(kScanner, addr("2001:db8::1"), 64, 1, 1);
+  auto err = pkt::build_icmpv6_error(addr("2001:db8:ffff::1"),
+                                     pkt::Icmpv6Type::kTimeExceeded, 0, inner);
+  // Rewrite destination to the CPE's nonexistent subnet space.
+  pkt::Bytes crafted = pkt::build_ipv6(
+      addr("2001:db8:ffff::1"), addr("2001:db8:4321:8765::dead"),
+      pkt::kProtoIcmpv6, 64, pkt::Ipv6View{err}.payload());
+  w.probe->emit(w.probe_iface, crafted);
+  w.net.run();
+  EXPECT_TRUE(w.probe->received.empty());
+}
+
+TEST(CpeRouter, IcmpErrorsAreRateLimited) {
+  CpeRouter::Config cfg = patched_cpe();
+  cfg.icmp_rate_per_sec = 10;
+  cfg.icmp_burst = 5;
+  CpeWorld w{cfg};
+  // 50 instantaneous probes: only the burst gets errors.
+  for (int i = 0; i < 50; ++i) {
+    w.probe->emit(w.probe_iface,
+                  pkt::build_echo_request(
+                      kScanner, addr("2001:db8:4321:8765::dead"), 64, 1,
+                      static_cast<std::uint16_t>(i)));
+  }
+  w.net.run();
+  EXPECT_EQ(w.probe->received.size(), 5u);
+}
+
+TEST(CpeRouter, ServicesReachableOnWanAddress) {
+  CpeRouter::Config cfg = patched_cpe();
+  CpeWorld w{cfg};
+  w.cpe->services().bind(svc::make_service(svc::ServiceKind::kSsh,
+                                           {"dropbear", "0.46"}, "ZTE"));
+  w.probe->emit(w.probe_iface,
+                pkt::build_tcp(kScanner, addr("2001:db8:1234:5678::ab"), 40000,
+                               22, 1, 0, pkt::kTcpSyn, 65535));
+  w.net.run();
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::TcpView tcp{pkt::Ipv6View{w.probe->received[0]}.payload()};
+  EXPECT_EQ(tcp.flags(), pkt::kTcpSyn | pkt::kTcpAck);
+}
+
+TEST(CpeRouter, MulticastAndLinkLocalDropped) {
+  CpeWorld w{patched_cpe()};
+  w.send_probe(addr("ff02::1"));
+  w.send_probe(addr("fe80::1"));
+  EXPECT_TRUE(w.probe->received.empty());
+  EXPECT_EQ(w.cpe->counters().dropped, 2u);
+}
+
+// -------------------------- UE fixture -------------------------------------
+
+struct UeWorld {
+  sim::Network net{11};
+  Probe* probe;
+  UeDevice* ue;
+  int probe_iface;
+
+  UeWorld() {
+    UeDevice::Config cfg;
+    cfg.ue_prefix = pfx("2001:db8:abcd:ef12::/64");
+    cfg.ue_address = addr("2001:db8:abcd:ef12::99");
+    probe = net.make_node<Probe>();
+    ue = net.make_node<UeDevice>(cfg);
+    auto att = net.connect(probe->id(), ue->id());
+    probe_iface = att.iface_a;
+  }
+
+  void send_probe(const Ipv6Address& dst) {
+    probe->emit(probe_iface, pkt::build_echo_request(kScanner, dst, 64, 1, 1));
+    net.run();
+  }
+};
+
+TEST(UeDevice, AnswersEchoOnOwnAddress) {
+  UeWorld w;
+  w.send_probe(addr("2001:db8:abcd:ef12::99"));
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kEchoReply);
+}
+
+TEST(UeDevice, NxAddressInUePrefixYieldsUnreachableFromUeAddress) {
+  UeWorld w;
+  w.send_probe(addr("2001:db8:abcd:ef12::dead"));
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(pkt::Ipv6View{w.probe->received[0]}.src(),
+            addr("2001:db8:abcd:ef12::99"));
+  EXPECT_EQ(w.probe->icmp(0).type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(w.probe->icmp(0).code(),
+            static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable));
+}
+
+TEST(UeDevice, DoesNotForwardForeignTraffic) {
+  UeWorld w;
+  w.send_probe(addr("2001:db8:ffff::1"));
+  EXPECT_TRUE(w.probe->received.empty());
+  EXPECT_EQ(w.ue->counters().dropped, 1u);
+}
+
+TEST(UeDevice, NeverAnswersErrorWithError) {
+  UeWorld w;
+  auto inner = pkt::build_echo_request(kScanner, addr("2001:db8::1"), 64, 1, 1);
+  auto err = pkt::build_ipv6(
+      kScanner, addr("2001:db8:abcd:ef12::dead"), pkt::kProtoIcmpv6, 64,
+      pkt::Ipv6View{pkt::build_icmpv6_error(kScanner,
+                                            pkt::Icmpv6Type::kTimeExceeded, 0,
+                                            inner)}
+          .payload());
+  w.probe->emit(w.probe_iface, err);
+  w.net.run();
+  EXPECT_TRUE(w.probe->received.empty());
+}
+
+// -------------------------- Router -----------------------------------------
+
+struct RouterWorld {
+  sim::Network net{13};
+  Probe* probe;
+  Router* router;
+  Probe* downstream;
+  int probe_iface;
+  int router_down_iface;
+
+  explicit RouterWorld(RouteAction no_route = RouteAction::kBlackhole) {
+    Router::Config cfg;
+    cfg.address = addr("2001:db8::1");
+    cfg.no_route_action = no_route;
+    probe = net.make_node<Probe>();
+    router = net.make_node<Router>(cfg);
+    downstream = net.make_node<Probe>();
+    auto up = net.connect(probe->id(), router->id());
+    probe_iface = up.iface_a;
+    auto down = net.connect(router->id(), downstream->id());
+    router_down_iface = down.iface_a;
+  }
+};
+
+TEST(Router, ForwardsAlongLongestMatch) {
+  RouterWorld w;
+  w.router->table().add_forward(pfx("2001:db8:1::/48"), w.router_down_iface);
+  w.probe->emit(w.probe_iface, pkt::build_echo_request(
+                                   kScanner, addr("2001:db8:1::5"), 64, 1, 1));
+  w.net.run();
+  ASSERT_EQ(w.downstream->received.size(), 1u);
+  EXPECT_EQ(pkt::Ipv6View{w.downstream->received[0]}.hop_limit(), 63);
+}
+
+TEST(Router, UnreachableRouteGeneratesNoRouteError) {
+  RouterWorld w;
+  w.router->table().add_unreachable(pfx("2001:db8:dead::/48"));
+  w.probe->emit(w.probe_iface, pkt::build_echo_request(
+                                   kScanner, addr("2001:db8:dead::1"), 64, 1, 1));
+  w.net.run();
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::Icmpv6View icmp{pkt::Ipv6View{w.probe->received[0]}.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(icmp.code(), static_cast<std::uint8_t>(pkt::UnreachCode::kNoRoute));
+}
+
+TEST(Router, NoRoutePolicyBlackholeIsSilent) {
+  RouterWorld w{RouteAction::kBlackhole};
+  w.probe->emit(w.probe_iface, pkt::build_echo_request(
+                                   kScanner, addr("9999::1"), 64, 1, 1));
+  w.net.run();
+  EXPECT_TRUE(w.probe->received.empty());
+}
+
+TEST(Router, NoRoutePolicyUnreachableAnswers) {
+  RouterWorld w{RouteAction::kUnreachable};
+  w.probe->emit(w.probe_iface, pkt::build_echo_request(
+                                   kScanner, addr("9999::1"), 64, 1, 1));
+  w.net.run();
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  EXPECT_EQ(pkt::Ipv6View{w.probe->received[0]}.src(), addr("2001:db8::1"));
+}
+
+TEST(Router, HopLimitExpiryGeneratesTimeExceeded) {
+  RouterWorld w;
+  w.router->table().add_forward(pfx("2001:db8:1::/48"), w.router_down_iface);
+  w.probe->emit(w.probe_iface, pkt::build_echo_request(
+                                   kScanner, addr("2001:db8:1::5"), 1, 1, 1));
+  w.net.run();
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::Icmpv6View icmp{pkt::Ipv6View{w.probe->received[0]}.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kTimeExceeded);
+  EXPECT_TRUE(w.downstream->received.empty());
+}
+
+TEST(Router, AnswersEchoOnOwnAddress) {
+  RouterWorld w;
+  w.probe->emit(w.probe_iface,
+                pkt::build_echo_request(kScanner, addr("2001:db8::1"), 64, 1, 1));
+  w.net.run();
+  ASSERT_EQ(w.probe->received.size(), 1u);
+  pkt::Icmpv6View icmp{pkt::Ipv6View{w.probe->received[0]}.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kEchoReply);
+}
+
+// -------------------------- Full loop across ISP + CPE ---------------------
+
+TEST(RoutingLoop, PacketPingPongsUntilHopLimitExhausts) {
+  sim::Network net{17};
+  auto* probe = net.make_node<Probe>();
+
+  Router::Config isp_cfg;
+  isp_cfg.address = addr("2001:db8::1");
+  auto* isp = net.make_node<Router>(isp_cfg);
+
+  CpeRouter::Config cpe_cfg = vulnerable_cpe();
+  auto* cpe = net.make_node<CpeRouter>(cpe_cfg);
+
+  auto up = net.connect(isp->id(), probe->id());
+  auto down = net.connect(isp->id(), cpe->id());
+  isp->table().add_default(up.iface_a);
+  isp->table().add_forward(cpe_cfg.wan_prefix, down.iface_a);
+  isp->table().add_forward(cpe_cfg.lan_prefix, down.iface_a);
+
+  // Attacker packet with hop limit 255 to a not-used address.
+  probe->emit(up.iface_b, pkt::build_echo_request(
+                              kScanner, addr("2001:db8:4321:8769::1"), 255, 7,
+                              7));
+  net.run();
+
+  // The ISP<->CPE link carried the packet (255 - n) times in total, n being
+  // the hops before the ISP (here 1: the ISP itself decrements first).
+  const auto& stats = net.link_stats(down.link);
+  EXPECT_GT(stats.packets_total(), 200u);  // amplification factor > 200
+  // The loop ends with a Time Exceeded back to the source.
+  ASSERT_FALSE(probe->received.empty());
+  pkt::Icmpv6View icmp{pkt::Ipv6View{probe->received.back()}.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kTimeExceeded);
+}
+
+TEST(RoutingLoop, PatchedCpeKillsTheLoopImmediately) {
+  sim::Network net{19};
+  auto* probe = net.make_node<Probe>();
+  Router::Config isp_cfg;
+  isp_cfg.address = addr("2001:db8::1");
+  auto* isp = net.make_node<Router>(isp_cfg);
+  CpeRouter::Config cpe_cfg = patched_cpe();
+  auto* cpe = net.make_node<CpeRouter>(cpe_cfg);
+  auto up = net.connect(isp->id(), probe->id());
+  auto down = net.connect(isp->id(), cpe->id());
+  isp->table().add_default(up.iface_a);
+  isp->table().add_forward(cpe_cfg.lan_prefix, down.iface_a);
+
+  probe->emit(up.iface_b, pkt::build_echo_request(
+                              kScanner, addr("2001:db8:4321:8769::1"), 255, 7,
+                              7));
+  net.run();
+  EXPECT_LE(net.link_stats(down.link).packets_total(), 2u);
+  ASSERT_EQ(probe->received.size(), 1u);
+  pkt::Icmpv6View icmp{pkt::Ipv6View{probe->received[0]}.payload()};
+  EXPECT_EQ(icmp.type(), pkt::Icmpv6Type::kDestUnreachable);
+  EXPECT_EQ(icmp.code(), static_cast<std::uint8_t>(pkt::UnreachCode::kNoRoute));
+}
+
+TEST(IcmpRateLimiterUnit, RefillsOverTime) {
+  IcmpRateLimiter limiter{100, 2};  // 100/s, burst 2
+  EXPECT_TRUE(limiter.allow(0));
+  EXPECT_TRUE(limiter.allow(0));
+  EXPECT_FALSE(limiter.allow(0));
+  EXPECT_EQ(limiter.suppressed(), 1u);
+  // 10ms later one token has refilled.
+  EXPECT_TRUE(limiter.allow(10 * sim::kMillisecond));
+  EXPECT_FALSE(limiter.allow(10 * sim::kMillisecond));
+}
+
+TEST(IcmpRateLimiterUnit, ZeroRateMeansUnlimited) {
+  IcmpRateLimiter limiter{0};
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(limiter.allow(0));
+}
+
+}  // namespace
+}  // namespace xmap::topo

@@ -1,0 +1,285 @@
+// Provisioning-plane tests: NDP RS/RA and DHCPv6-PD codecs, the ISP-side
+// Provisioner, the CPE client state machine, and full equivalence between
+// a direct-configured world and a protocol-provisioned one.
+#include <gtest/gtest.h>
+
+#include "analysis/pipeline.h"
+#include "topology/dhcpv6.h"
+#include "topology/ndp.h"
+#include "topology/paper_profiles.h"
+#include "topology/provisioning.h"
+
+namespace xmap::topo {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+// ---------------------------- NDP codec -------------------------------------
+
+TEST(Ndp, RouterSolicitBuildAndDetect) {
+  const auto src = *Ipv6Address::parse("fe80::abcd");
+  auto rs = build_router_solicit(src);
+  pkt::Ipv6View ip{rs};
+  ASSERT_TRUE(ip.valid());
+  EXPECT_EQ(ip.src(), src);
+  EXPECT_EQ(ip.dst(), all_routers_address());
+  EXPECT_EQ(ip.hop_limit(), 255);
+  EXPECT_TRUE(is_router_solicit(ip.payload()));
+  EXPECT_FALSE(parse_router_advert(ip.payload()).has_value());
+  pkt::Icmpv6View icmp{ip.payload()};
+  EXPECT_TRUE(icmp.checksum_ok(ip.src(), ip.dst()));
+}
+
+TEST(Ndp, RouterAdvertRoundTrip) {
+  RouterAdvertisement ra;
+  ra.cur_hop_limit = 64;
+  ra.managed = false;
+  ra.other_config = true;
+  ra.router_lifetime = 1234;
+  PrefixInformation pi;
+  pi.prefix = *Ipv6Prefix::parse("2001:db9:1:2::/64");
+  pi.valid_lifetime = 1000;
+  pi.preferred_lifetime = 500;
+  ra.prefixes.push_back(pi);
+  PrefixInformation pi2;
+  pi2.prefix = *Ipv6Prefix::parse("2001:db9:ffff::/64");
+  pi2.autonomous = false;
+  ra.prefixes.push_back(pi2);
+
+  const auto src = *Ipv6Address::parse("fe80::1");
+  const auto dst = *Ipv6Address::parse("fe80::2");
+  auto packet = build_router_advert(src, dst, ra);
+  pkt::Ipv6View ip{packet};
+  ASSERT_TRUE(ip.valid());
+  auto parsed = parse_router_advert(ip.payload());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->router_lifetime, 1234);
+  EXPECT_TRUE(parsed->other_config);
+  EXPECT_FALSE(parsed->managed);
+  ASSERT_EQ(parsed->prefixes.size(), 2u);
+  EXPECT_EQ(parsed->prefixes[0].prefix.to_string(), "2001:db9:1:2::/64");
+  EXPECT_EQ(parsed->prefixes[0].valid_lifetime, 1000u);
+  EXPECT_TRUE(parsed->prefixes[0].autonomous);
+  EXPECT_FALSE(parsed->prefixes[1].autonomous);
+}
+
+TEST(Ndp, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_router_advert(std::vector<std::uint8_t>(4)).has_value());
+  // RA header with a truncated option.
+  std::vector<std::uint8_t> bad(16, 0);
+  bad[0] = kIcmpv6RouterAdvert;
+  bad.push_back(3);
+  bad.push_back(4);  // claims 32 bytes, but nothing follows
+  EXPECT_FALSE(parse_router_advert(bad).has_value());
+  // Zero-length option.
+  std::vector<std::uint8_t> zero(16, 0);
+  zero[0] = kIcmpv6RouterAdvert;
+  zero.push_back(3);
+  zero.push_back(0);
+  EXPECT_FALSE(parse_router_advert(zero).has_value());
+}
+
+// ---------------------------- DHCPv6 codec ----------------------------------
+
+TEST(Dhcpv6, SolicitRoundTrip) {
+  Dhcpv6Message msg;
+  msg.type = Dhcpv6MsgType::kSolicit;
+  msg.transaction_id = 0xabcdef;
+  msg.client_duid = 0x1122334455667788ULL;
+  auto decoded = Dhcpv6Message::decode(msg.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, Dhcpv6MsgType::kSolicit);
+  EXPECT_EQ(decoded->transaction_id, 0xabcdefu);
+  EXPECT_EQ(decoded->client_duid, 0x1122334455667788ULL);
+  EXPECT_FALSE(decoded->delegated_prefix.has_value());
+}
+
+TEST(Dhcpv6, ReplyWithDelegationRoundTrip) {
+  Dhcpv6Message msg;
+  msg.type = Dhcpv6MsgType::kReply;
+  msg.transaction_id = 7;
+  msg.client_duid = 42;
+  msg.server_duid = 99;
+  msg.delegated_prefix = *Ipv6Prefix::parse("2001:db9:4321:8760::/60");
+  msg.valid_lifetime = 5000;
+  msg.preferred_lifetime = 2500;
+  auto decoded = Dhcpv6Message::decode(msg.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, Dhcpv6MsgType::kReply);
+  EXPECT_EQ(decoded->server_duid, 99u);
+  ASSERT_TRUE(decoded->delegated_prefix.has_value());
+  EXPECT_EQ(decoded->delegated_prefix->to_string(),
+            "2001:db9:4321:8760::/60");
+  EXPECT_EQ(decoded->valid_lifetime, 5000u);
+}
+
+TEST(Dhcpv6, DecodeRejectsBadInput) {
+  EXPECT_FALSE(Dhcpv6Message::decode(std::vector<std::uint8_t>(2)).has_value());
+  std::vector<std::uint8_t> bad_type{9, 0, 0, 1};
+  EXPECT_FALSE(Dhcpv6Message::decode(bad_type).has_value());
+  // Truncated option.
+  Dhcpv6Message msg;
+  msg.delegated_prefix = *Ipv6Prefix::parse("2001:db9::/60");
+  auto wire = msg.encode();
+  wire.resize(wire.size() - 5);
+  EXPECT_FALSE(Dhcpv6Message::decode(wire).has_value());
+}
+
+// ------------------------- end-to-end provisioning --------------------------
+
+struct ProvisionWorld {
+  sim::Network net{808};
+  Router* isp;
+  CpeRouter* cpe;
+  Provisioner provisioner;
+
+  ProvisionWorld(bool with_delegation) {
+    Router::Config rcfg;
+    rcfg.address = *Ipv6Address::parse("2001:db9::1");
+    isp = net.make_node<Router>(rcfg);
+
+    CpeRouter::Config blank;
+    blank.wan_prefix = Ipv6Prefix{Ipv6Address{}, 128};
+    blank.lan_prefix = Ipv6Prefix{Ipv6Address{}, 128};
+    blank.subnet_prefix = Ipv6Prefix{Ipv6Address{}, 128};
+    cpe = net.make_node<CpeRouter>(blank);
+
+    const auto att = net.connect(isp->id(), cpe->id());
+    Provisioner::Offer offer;
+    offer.wan_prefix = *Ipv6Prefix::parse("2001:db9:1234:5678::/64");
+    if (with_delegation) {
+      offer.delegated = *Ipv6Prefix::parse("2001:db9:4321:8760::/60");
+    }
+    provisioner.set_offer(att.iface_a, offer);
+    isp->set_provisioner(&provisioner);
+    isp->table().add_forward(offer.wan_prefix, att.iface_a);
+    if (offer.delegated) isp->table().add_forward(*offer.delegated, att.iface_a);
+  }
+};
+
+TEST(Provisioning, FullSlaacPlusPdExchange) {
+  ProvisionWorld world{true};
+  world.cpe->begin_provisioning(CpeRouter::ProvisionParams{0xabcd, 5});
+  world.net.run();
+  ASSERT_TRUE(world.cpe->provisioned());
+  EXPECT_EQ(world.cpe->config().wan_prefix.to_string(),
+            "2001:db9:1234:5678::/64");
+  EXPECT_EQ(world.cpe->config().wan_address.to_string(),
+            "2001:db9:1234:5678::abcd");
+  EXPECT_EQ(world.cpe->config().lan_prefix.to_string(),
+            "2001:db9:4321:8760::/60");
+  EXPECT_EQ(world.cpe->config().subnet_prefix.to_string(),
+            "2001:db9:4321:8765::/64");
+}
+
+TEST(Provisioning, SlaacOnlySubscriber) {
+  ProvisionWorld world{false};
+  world.cpe->begin_provisioning(CpeRouter::ProvisionParams{0x99, 0});
+  world.net.run();
+  ASSERT_TRUE(world.cpe->provisioned());
+  EXPECT_EQ(world.cpe->config().wan_address.to_string(),
+            "2001:db9:1234:5678::99");
+  // Nothing delegated: the LAN anchors match nothing.
+  EXPECT_EQ(world.cpe->config().lan_prefix.length(), 128);
+}
+
+TEST(Provisioning, ProvisionedCpeAnswersDiscoveryProbes) {
+  ProvisionWorld world{true};
+  world.cpe->begin_provisioning(CpeRouter::ProvisionParams{0xabcd, 5});
+  world.net.run();
+
+  // Probe a nonexistent address in the acquired subnet through the ISP.
+  class Probe : public sim::Node {
+   public:
+    void receive(const pkt::Bytes& packet, int) override {
+      received.push_back(packet);
+    }
+    void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }
+    std::vector<pkt::Bytes> received;
+  };
+  auto* probe = world.net.make_node<Probe>();
+  const auto up = world.net.connect(probe->id(), world.isp->id());
+  world.isp->table().add_forward(*Ipv6Prefix::parse("2001:500::/48"),
+                                 up.iface_b);
+  probe->emit(up.iface_a,
+              pkt::build_echo_request(*Ipv6Address::parse("2001:500::1"),
+                                      *Ipv6Address::parse(
+                                          "2001:db9:4321:8765::dead"),
+                                      64, 1, 1));
+  world.net.run();
+  ASSERT_EQ(probe->received.size(), 1u);
+  EXPECT_EQ(pkt::Ipv6View{probe->received[0]}.src(),
+            *Ipv6Address::parse("2001:db9:1234:5678::abcd"));
+}
+
+TEST(Provisioning, ProvisionerIgnoresUnknownInterfaces) {
+  Provisioner provisioner;
+  provisioner.set_offer(0, Provisioner::Offer{
+                               *Ipv6Prefix::parse("2001:db9::/64"), {}});
+  bool emitted = false;
+  auto rs = build_router_solicit(*Ipv6Address::parse("fe80::5"));
+  EXPECT_FALSE(provisioner.maybe_handle(
+      rs, /*iface=*/7, [&](int, pkt::Bytes) { emitted = true; }));
+  EXPECT_FALSE(emitted);
+  EXPECT_TRUE(provisioner.maybe_handle(
+      rs, /*iface=*/0, [&](int, pkt::Bytes) { emitted = true; }));
+  EXPECT_TRUE(emitted);
+}
+
+// --------------- world-level equivalence: direct vs provisioned -------------
+
+TEST(Provisioning, ProvisionedWorldMatchesDirectWorldDiscovery) {
+  auto run_discovery = [](bool provision) {
+    sim::Network net{4242};
+    BuildConfig cfg;
+    cfg.window_bits = 7;
+    cfg.seed = 4242;
+    cfg.provision_via_protocols = provision;
+    auto internet = build_internet(net, paper::isp_specs(),
+                                   paper::vendor_catalog(), cfg);
+    const int indices[] = {5, 10, 12};  // AT&T, CN Telecom, CN Mobile
+    auto result = ana::run_discovery_scan(net, internet, indices, {});
+    std::vector<std::string> addrs;
+    for (const auto& hop : result.last_hops) {
+      addrs.push_back(hop.address.to_string());
+    }
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
+  };
+
+  const auto direct = run_discovery(false);
+  const auto provisioned = run_discovery(true);
+  ASSERT_GT(direct.size(), 40u);
+  EXPECT_EQ(direct, provisioned)
+      << "protocol-acquired configuration must be indistinguishable from "
+         "direct configuration";
+}
+
+TEST(Provisioning, ProvisionedWorldCpesReportDone) {
+  sim::Network net{11};
+  BuildConfig cfg;
+  cfg.window_bits = 6;
+  cfg.seed = 11;
+  cfg.provision_via_protocols = true;
+  auto internet = build_internet(net, paper::isp_specs(),
+                                 paper::vendor_catalog(), cfg);
+  EXPECT_FALSE(internet.provisioners.empty());
+  int cpes = 0, done = 0;
+  for (const auto& isp : internet.isps) {
+    for (const auto& dev : isp.devices) {
+      auto* cpe = dynamic_cast<CpeRouter*>(net.node(dev.node));
+      if (cpe == nullptr) continue;
+      ++cpes;
+      if (cpe->provisioned()) {
+        ++done;
+        EXPECT_EQ(cpe->config().wan_address, dev.address);
+      }
+    }
+  }
+  EXPECT_GT(cpes, 30);
+  EXPECT_EQ(done, cpes);
+}
+
+}  // namespace
+}  // namespace xmap::topo

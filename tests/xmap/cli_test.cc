@@ -1,0 +1,176 @@
+#include "xmap/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "xmap/output.h"
+
+namespace xmap::scan {
+namespace {
+
+CliParseResult parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"xmap_sim"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsWhenNoFlags) {
+  auto result = parse({});
+  ASSERT_TRUE(result.options.has_value());
+  const auto& opts = *result.options;
+  EXPECT_TRUE(opts.targets.empty());
+  EXPECT_EQ(opts.probe_module, "icmp_echo");
+  EXPECT_DOUBLE_EQ(opts.rate_pps, 25000);
+  EXPECT_EQ(opts.shards, 1);
+  EXPECT_EQ(opts.world, "paper");
+  EXPECT_EQ(opts.output_format, "csv");
+  EXPECT_TRUE(opts.use_default_blocklist);
+  EXPECT_FALSE(opts.help);
+}
+
+TEST(Cli, FullFlagSet) {
+  auto result = parse({"--target", "2400::/32-48", "--target", "2600::/24-56",
+                       "--probe-module", "tcp_syn:443", "--rate", "1000",
+                       "--seed", "99", "--shards", "4", "--shard", "2",
+                       "--max-probes", "5000", "--window-bits", "8",
+                       "--world", "bgp:100", "--output-format", "jsonl",
+                       "--output-file", "/tmp/x.jsonl", "--quiet",
+                       "--no-blocklist"});
+  ASSERT_TRUE(result.options.has_value()) << result.error;
+  const auto& opts = *result.options;
+  ASSERT_EQ(opts.targets.size(), 2u);
+  EXPECT_EQ(opts.targets[0].to_string(), "2400::/32-48");
+  EXPECT_EQ(opts.probe_module, "tcp_syn:443");
+  EXPECT_DOUBLE_EQ(opts.rate_pps, 1000);
+  EXPECT_EQ(opts.seed, 99u);
+  EXPECT_EQ(opts.shards, 4);
+  EXPECT_EQ(opts.shard, 2);
+  EXPECT_EQ(opts.max_probes, 5000u);
+  EXPECT_EQ(opts.window_bits, 8);
+  EXPECT_EQ(opts.world, "bgp:100");
+  EXPECT_EQ(opts.output_format, "jsonl");
+  EXPECT_EQ(opts.output_file, "/tmp/x.jsonl");
+  EXPECT_TRUE(opts.quiet);
+  EXPECT_FALSE(opts.use_default_blocklist);
+}
+
+TEST(Cli, RetriesFlag) {
+  auto result = parse({"--retries", "3"});
+  ASSERT_TRUE(result.options.has_value());
+  EXPECT_EQ(result.options->retries, 3);
+  EXPECT_FALSE(parse({"--retries", "-1"}).options.has_value());
+  EXPECT_FALSE(parse({"--retries", "99"}).options.has_value());
+}
+
+TEST(Cli, HelpAndListFlags) {
+  EXPECT_TRUE(parse({"--help"}).options->help);
+  EXPECT_TRUE(parse({"-h"}).options->help);
+  EXPECT_TRUE(parse({"--list-probe-modules"}).options->list_probe_modules);
+  EXPECT_FALSE(cli_usage().empty());
+  EXPECT_FALSE(probe_module_names().empty());
+}
+
+struct BadArgs {
+  std::initializer_list<const char*> args;
+  const char* why;
+};
+
+class CliRejects : public ::testing::TestWithParam<int> {};
+
+TEST(Cli, RejectsBadInput) {
+  const std::vector<std::vector<const char*>> cases = {
+      {"--target"},                        // missing value
+      {"--target", "garbage"},             // unparseable spec
+      {"--target", "2400::/64-32"},        // inverted window
+      {"--rate", "-5"},                    // negative rate
+      {"--rate", "abc"},                   // non-numeric
+      {"--seed", "x"},                     //
+      {"--shards", "0"},                   //
+      {"--shard", "3", "--shards", "2"},   // shard >= shards
+      {"--window-bits", "30"},             // out of range
+      {"--world", "mars"},                 //
+      {"--output-format", "xml"},          //
+      {"--probe-module", "nope"},          //
+      {"--probe-module", "tcp_syn:0"},     // bad port
+      {"--probe-module", "tcp_syn:99999"}, //
+      {"--probe-module", "icmp_echo:0"},   // bad hop limit
+      {"--frobnicate"},                    // unknown flag
+  };
+  for (const auto& args : cases) {
+    std::vector<const char*> argv{"xmap_sim"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    auto result = parse_cli(static_cast<int>(argv.size()), argv.data());
+    EXPECT_FALSE(result.options.has_value())
+        << "accepted: " << args[0] << " ...";
+    EXPECT_FALSE(result.error.empty());
+  }
+}
+
+TEST(Cli, AcceptsAllDocumentedModules) {
+  for (const char* module :
+       {"icmp_echo", "icmp_echo:32", "tcp_syn:80", "udp_dns", "udp_ntp",
+        "traceroute"}) {
+    auto result = parse({"--probe-module", module});
+    EXPECT_TRUE(result.options.has_value()) << module << ": " << result.error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Output writers
+// ---------------------------------------------------------------------------
+
+ProbeResponse sample_response() {
+  ProbeResponse r;
+  r.kind = ResponseKind::kDestUnreachable;
+  r.responder = *net::Ipv6Address::parse("2400::1");
+  r.probe_dst = *net::Ipv6Address::parse("2400:0:0:5::abcd");
+  r.icmp_code = 3;
+  r.hop_limit = 61;
+  return r;
+}
+
+TEST(OutputWriters, CsvFormat) {
+  std::ostringstream out;
+  auto writer = make_writer("csv", out);
+  ASSERT_NE(writer, nullptr);
+  writer->begin();
+  writer->record(sample_response(), 1500 * sim::kMicrosecond);
+  writer->end();
+  EXPECT_EQ(out.str(),
+            "saddr,probe_dst,classification,icmp_code,hlim,timestamp_us\n"
+            "2400::1,2400:0:0:5::abcd,dest-unreach,3,61,1500\n");
+}
+
+TEST(OutputWriters, JsonlFormat) {
+  std::ostringstream out;
+  auto writer = make_writer("jsonl", out);
+  ASSERT_NE(writer, nullptr);
+  writer->begin();
+  writer->record(sample_response(), 2 * sim::kSecond);
+  writer->end();
+  EXPECT_EQ(out.str(),
+            "{\"saddr\":\"2400::1\",\"probe_dst\":\"2400:0:0:5::abcd\","
+            "\"classification\":\"dest-unreach\",\"icmp_code\":3,"
+            "\"hlim\":61,\"timestamp_us\":2000000}\n");
+}
+
+TEST(OutputWriters, JsonAliasAndUnknown) {
+  std::ostringstream out;
+  EXPECT_NE(make_writer("json", out), nullptr);
+  EXPECT_EQ(make_writer("xml", out), nullptr);
+}
+
+TEST(OutputWriters, MultipleRecords) {
+  std::ostringstream out;
+  auto writer = make_writer("csv", out);
+  writer->begin();
+  for (int i = 0; i < 3; ++i) writer->record(sample_response(), 0);
+  // Header + 3 rows.
+  int lines = 0;
+  for (char c : out.str()) lines += c == '\n';
+  EXPECT_EQ(lines, 4);
+}
+
+}  // namespace
+}  // namespace xmap::scan

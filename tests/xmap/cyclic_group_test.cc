@@ -1,0 +1,226 @@
+#include "xmap/cyclic_group.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace xmap::scan {
+namespace {
+
+using net::Uint128;
+
+TEST(Primality, SmallNumbers) {
+  EXPECT_FALSE(is_prime(Uint128{0}));
+  EXPECT_FALSE(is_prime(Uint128{1}));
+  EXPECT_TRUE(is_prime(Uint128{2}));
+  EXPECT_TRUE(is_prime(Uint128{3}));
+  EXPECT_FALSE(is_prime(Uint128{4}));
+  EXPECT_TRUE(is_prime(Uint128{5}));
+  EXPECT_FALSE(is_prime(Uint128{9}));
+  EXPECT_TRUE(is_prime(Uint128{97}));
+  EXPECT_FALSE(is_prime(Uint128{1001}));
+}
+
+TEST(Primality, KnownLargePrimes) {
+  // Largest prime below 2^32 and ZMap's modulus 2^32 + 15.
+  EXPECT_TRUE(is_prime(Uint128{4294967291ULL}));
+  EXPECT_TRUE(is_prime(Uint128{4294967311ULL}));
+  EXPECT_FALSE(is_prime(Uint128{4294967295ULL}));
+  // Largest prime below 2^64.
+  EXPECT_TRUE(is_prime(Uint128{0xffffffffffffffc5ULL}));
+  // Mersenne prime 2^61 - 1.
+  EXPECT_TRUE(is_prime(Uint128{(1ULL << 61) - 1}));
+  // Carmichael number 561 = 3*11*17 must not fool Miller-Rabin.
+  EXPECT_FALSE(is_prime(Uint128{561}));
+  EXPECT_FALSE(is_prime(Uint128{1729}));
+}
+
+TEST(Primality, Above64Bits) {
+  // 2^64 + 13 is prime (the first prime above 2^64).
+  EXPECT_TRUE(is_prime(Uint128{1, 13}));
+  EXPECT_FALSE(is_prime(Uint128{1, 0}));  // 2^64
+  EXPECT_FALSE(is_prime(Uint128{1, 1}));  // 2^64+1 = 274177 * 67280421310721
+}
+
+TEST(NextPrime, FindsTheNextPrime) {
+  EXPECT_EQ(next_prime(Uint128{2}), Uint128{2});
+  EXPECT_EQ(next_prime(Uint128{8}), Uint128{11});
+  EXPECT_EQ(next_prime(Uint128{11}), Uint128{11});
+  EXPECT_EQ(next_prime(Uint128{4294967296ULL}), Uint128{4294967311ULL});
+  // next_prime(2^64) = 2^64 + 13.
+  EXPECT_EQ(next_prime(Uint128{1, 0}), (Uint128{1, 13}));
+}
+
+TEST(Factorisation, DistinctFactors) {
+  auto sorted = [](std::vector<Uint128> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(distinct_prime_factors(Uint128{12})),
+            (std::vector<Uint128>{Uint128{2}, Uint128{3}}));
+  EXPECT_EQ(sorted(distinct_prime_factors(Uint128{97})),
+            (std::vector<Uint128>{Uint128{97}}));
+  EXPECT_EQ(sorted(distinct_prime_factors(Uint128{1})),
+            (std::vector<Uint128>{}));
+  // 2^32 + 14 = 2 * 3^2 * 5 * 131 * 364289.
+  EXPECT_EQ(sorted(distinct_prime_factors(Uint128{4294967310ULL})),
+            (std::vector<Uint128>{Uint128{2}, Uint128{3}, Uint128{5},
+                                  Uint128{131}, Uint128{364289}}));
+}
+
+TEST(Factorisation, FactorsArePrimeDivisors) {
+  net::Rng rng{77};
+  for (int i = 0; i < 50; ++i) {
+    const Uint128 n{rng.next() >> 16};
+    if (n < Uint128{2}) continue;
+    for (const Uint128& f : distinct_prime_factors(n)) {
+      EXPECT_TRUE(is_prime(f)) << f.to_string();
+      EXPECT_TRUE((n % f).is_zero()) << f.to_string() << " !| " << n.to_string();
+    }
+  }
+}
+
+TEST(CyclicGroup, TrivialSizes) {
+  CyclicGroup g1{Uint128{1}, 7};
+  auto it = g1.iterate();
+  auto v = it.next();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, Uint128{0});
+  EXPECT_FALSE(it.next().has_value());
+}
+
+// Property: the iterator yields every offset in [0, N) exactly once.
+class PermutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationSweep, IsABijection) {
+  const std::uint64_t n = GetParam();
+  CyclicGroup group{Uint128{n}, 42};
+  auto it = group.iterate();
+  std::vector<bool> seen(n, false);
+  std::uint64_t count = 0;
+  while (auto v = it.next()) {
+    ASSERT_TRUE(v->fits_u64());
+    const std::uint64_t offset = v->to_u64();
+    ASSERT_LT(offset, n);
+    ASSERT_FALSE(seen[offset]) << "duplicate " << offset;
+    seen[offset] = true;
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 16, 17, 255, 256,
+                                           257, 1000, 4096, 65536, 100000));
+
+TEST(CyclicGroup, DifferentSeedsGiveDifferentOrders) {
+  CyclicGroup a{Uint128{1024}, 1};
+  CyclicGroup b{Uint128{1024}, 2};
+  auto ia = a.iterate(), ib = b.iterate();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (*ia.next() == *ib.next()) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(CyclicGroup, SameSeedIsDeterministic) {
+  CyclicGroup a{Uint128{1024}, 9}, b{Uint128{1024}, 9};
+  auto ia = a.iterate(), ib = b.iterate();
+  for (int i = 0; i < 1024; ++i) {
+    EXPECT_EQ(ia.next(), ib.next());
+  }
+}
+
+TEST(CyclicGroup, OrderLooksShuffled) {
+  // Not a randomness test — just check the order isn't the identity or a
+  // constant stride, which would defeat the politeness goal.
+  CyclicGroup group{Uint128{10000}, 3};
+  auto it = group.iterate();
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(it.next()->to_u64());
+  int monotone = 0;
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    if (first[i] > first[i - 1]) ++monotone;
+  }
+  EXPECT_GT(monotone, 20);
+  EXPECT_LT(monotone, 80);
+}
+
+// Property: shards partition the space exactly.
+class ShardSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardSweep, ShardsPartitionTheSpace) {
+  const int shards = GetParam();
+  const std::uint64_t n = 10007;
+  CyclicGroup group{Uint128{n}, 17};
+  std::vector<int> hits(n, 0);
+  for (int s = 0; s < shards; ++s) {
+    auto it = group.shard_iterate(s, shards);
+    while (auto v = it.next()) {
+      ++hits[v->to_u64()];
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i], 1) << "offset " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardSweep, ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(CyclicGroup, ShardsAreBalanced) {
+  const std::uint64_t n = 100000;
+  CyclicGroup group{Uint128{n}, 5};
+  std::uint64_t counts[4] = {};
+  for (int s = 0; s < 4; ++s) {
+    auto it = group.shard_iterate(s, 4);
+    while (it.next()) ++counts[s];
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(static_cast<double>(counts[s]), n / 4.0, n * 0.01);
+  }
+}
+
+TEST(CyclicGroup, LargeSpaceFirstElementsAreValid) {
+  // A 2^48 space: we cannot enumerate it, but the first elements must be
+  // in range and distinct.
+  CyclicGroup group{Uint128::pow2(48), 23};
+  EXPECT_GE(group.prime(), Uint128::pow2(48));
+  auto it = group.iterate();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = it.next();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_LT(*v, Uint128::pow2(48));
+    EXPECT_TRUE(seen.insert(v->to_u64()).second);
+  }
+}
+
+TEST(CyclicGroup, FullIidSpaceWorks) {
+  // The full 64-bit IID space: p = 2^64 + 13 exceeds 64 bits; arithmetic
+  // must stay exact.
+  CyclicGroup group{Uint128::pow2(64), 29};
+  EXPECT_EQ(group.prime(), (Uint128{1, 13}));
+  auto it = group.iterate();
+  for (int i = 0; i < 1000; ++i) {
+    auto v = it.next();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_LT(*v, Uint128::pow2(64));
+  }
+}
+
+TEST(CyclicGroup, GeneratorIsPrimitiveRoot) {
+  CyclicGroup group{Uint128{1000}, 31};
+  const Uint128 p = group.prime();
+  const Uint128 g = group.generator();
+  // g^(p-1) == 1 and g^((p-1)/q) != 1 for each prime factor q.
+  EXPECT_EQ(Uint128::powmod(g, p - Uint128{1}, p), Uint128{1});
+  for (const Uint128& q : distinct_prime_factors(p - Uint128{1})) {
+    EXPECT_NE(Uint128::powmod(g, (p - Uint128{1}) / q, p), Uint128{1});
+  }
+}
+
+}  // namespace
+}  // namespace xmap::scan

@@ -1,0 +1,207 @@
+#include "xmap/probe_module.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::scan {
+namespace {
+
+using net::Ipv6Address;
+
+const Ipv6Address kSrc = *Ipv6Address::parse("2001:500::1");
+const Ipv6Address kTarget = *Ipv6Address::parse("3fff:100:0:5::1234");
+const Ipv6Address kRouter = *Ipv6Address::parse("3fff:100:ffff::1");
+constexpr std::uint64_t kSeed = 77;
+
+TEST(IcmpEchoProbe, ProbeCarriesKeyedTags) {
+  IcmpEchoProbe probe{64};
+  auto packet = probe.make_probe(kSrc, kTarget, kSeed);
+  pkt::Ipv6View ip{packet};
+  EXPECT_EQ(ip.src(), kSrc);
+  EXPECT_EQ(ip.dst(), kTarget);
+  EXPECT_EQ(ip.hop_limit(), 64);
+  pkt::Icmpv6View icmp{ip.payload()};
+  EXPECT_EQ(icmp.ident(), probe_tag16(kTarget, kSeed, 1));
+  EXPECT_EQ(icmp.seq(), probe_tag16(kTarget, kSeed, 2));
+}
+
+TEST(IcmpEchoProbe, ClassifiesEchoReply) {
+  IcmpEchoProbe probe{64};
+  auto request = probe.make_probe(kSrc, kTarget, kSeed);
+  auto reply = pkt::build_echo_reply(request);
+  auto result = probe.classify(reply, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kEchoReply);
+  EXPECT_EQ(result->responder, kTarget);
+  EXPECT_EQ(result->probe_dst, kTarget);
+}
+
+TEST(IcmpEchoProbe, ClassifiesDestUnreachableViaQuotedProbe) {
+  IcmpEchoProbe probe{64};
+  auto request = probe.make_probe(kSrc, kTarget, kSeed);
+  auto err = pkt::build_icmpv6_error(
+      kRouter, pkt::Icmpv6Type::kDestUnreachable,
+      static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable),
+      request);
+  auto result = probe.classify(err, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kDestUnreachable);
+  EXPECT_EQ(result->responder, kRouter);
+  EXPECT_EQ(result->probe_dst, kTarget);  // recovered from the quote
+  EXPECT_EQ(result->icmp_code,
+            static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable));
+}
+
+TEST(IcmpEchoProbe, ClassifiesTimeExceeded) {
+  IcmpEchoProbe probe{32};
+  auto request = probe.make_probe(kSrc, kTarget, kSeed);
+  auto err = pkt::build_icmpv6_error(kRouter, pkt::Icmpv6Type::kTimeExceeded,
+                                     0, request);
+  auto result = probe.classify(err, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kTimeExceeded);
+}
+
+TEST(IcmpEchoProbe, RejectsSpoofedIdent) {
+  IcmpEchoProbe probe{64};
+  // A forged unreachable quoting a probe we never sent (wrong ident).
+  auto forged_probe = pkt::build_echo_request(kSrc, kTarget, 64, 0x1111,
+                                              0x2222);
+  auto err = pkt::build_icmpv6_error(
+      kRouter, pkt::Icmpv6Type::kDestUnreachable, 3, forged_probe);
+  EXPECT_FALSE(probe.classify(err, kSrc, kSeed).has_value());
+}
+
+TEST(IcmpEchoProbe, RejectsWrongSeed) {
+  IcmpEchoProbe probe{64};
+  auto request = probe.make_probe(kSrc, kTarget, kSeed);
+  auto err = pkt::build_icmpv6_error(
+      kRouter, pkt::Icmpv6Type::kDestUnreachable, 3, request);
+  EXPECT_TRUE(probe.classify(err, kSrc, kSeed).has_value());
+  EXPECT_FALSE(probe.classify(err, kSrc, kSeed + 1).has_value());
+}
+
+TEST(IcmpEchoProbe, RejectsSpoofedEchoReply) {
+  IcmpEchoProbe probe{64};
+  auto fake = pkt::build_echo_request(kTarget, kSrc, 64, 0xabcd, 1);
+  // Make it a reply by rebuilding with swapped roles and wrong tags.
+  pkt::Bytes reply = pkt::build_echo_reply(
+      pkt::build_echo_request(kSrc, kTarget, 64, 0xabcd, 1));
+  EXPECT_FALSE(probe.classify(reply, kSrc, kSeed).has_value());
+  (void)fake;
+}
+
+TEST(IcmpEchoProbe, RejectsPacketsForOtherDestinations) {
+  IcmpEchoProbe probe{64};
+  auto request = probe.make_probe(kSrc, kTarget, kSeed);
+  auto reply = pkt::build_echo_reply(request);
+  const Ipv6Address other = *Ipv6Address::parse("2001:500::2");
+  EXPECT_FALSE(probe.classify(reply, other, kSeed).has_value());
+}
+
+TEST(IcmpEchoProbe, RejectsCorruptedChecksum) {
+  IcmpEchoProbe probe{64};
+  auto reply = pkt::build_echo_reply(probe.make_probe(kSrc, kTarget, kSeed));
+  reply.back() ^= 1;
+  EXPECT_FALSE(probe.classify(reply, kSrc, kSeed).has_value());
+}
+
+TEST(IcmpEchoProbe, RejectsNonIcmp) {
+  IcmpEchoProbe probe{64};
+  auto udp = pkt::build_udp(kTarget, kSrc, 53, 1234,
+                            std::vector<std::uint8_t>{1, 2});
+  EXPECT_FALSE(probe.classify(udp, kSrc, kSeed).has_value());
+}
+
+TEST(TcpSynProbe, ProbeAndSynAckRoundTrip) {
+  TcpSynProbe probe{80};
+  auto syn = probe.make_probe(kSrc, kTarget, kSeed);
+  pkt::TcpView tcp{pkt::Ipv6View{syn}.payload()};
+  EXPECT_EQ(tcp.dst_port(), 80);
+  EXPECT_EQ(tcp.flags(), pkt::kTcpSyn);
+
+  // Target answers SYN/ACK.
+  auto synack = pkt::build_tcp(kTarget, kSrc, 80, tcp.src_port(), 500,
+                               tcp.seq() + 1, pkt::kTcpSyn | pkt::kTcpAck,
+                               65535);
+  auto result = probe.classify(synack, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kTcpSynAck);
+  EXPECT_EQ(result->responder, kTarget);
+}
+
+TEST(TcpSynProbe, ClassifiesRst) {
+  TcpSynProbe probe{22};
+  auto syn = probe.make_probe(kSrc, kTarget, kSeed);
+  pkt::TcpView tcp{pkt::Ipv6View{syn}.payload()};
+  auto rst = pkt::build_tcp(kTarget, kSrc, 22, tcp.src_port(), 0,
+                            tcp.seq() + 1, pkt::kTcpRst | pkt::kTcpAck, 0);
+  auto result = probe.classify(rst, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kTcpRst);
+}
+
+TEST(TcpSynProbe, RejectsWrongAckNumber) {
+  TcpSynProbe probe{80};
+  auto syn = probe.make_probe(kSrc, kTarget, kSeed);
+  pkt::TcpView tcp{pkt::Ipv6View{syn}.payload()};
+  auto synack = pkt::build_tcp(kTarget, kSrc, 80, tcp.src_port(), 500,
+                               tcp.seq() + 2,  // off by one: stale/forged
+                               pkt::kTcpSyn | pkt::kTcpAck, 65535);
+  EXPECT_FALSE(probe.classify(synack, kSrc, kSeed).has_value());
+}
+
+TEST(TcpSynProbe, RejectsWrongPorts) {
+  TcpSynProbe probe{80};
+  auto syn = probe.make_probe(kSrc, kTarget, kSeed);
+  pkt::TcpView tcp{pkt::Ipv6View{syn}.payload()};
+  auto wrong_src = pkt::build_tcp(kTarget, kSrc, 8080, tcp.src_port(), 500,
+                                  tcp.seq() + 1, pkt::kTcpSyn | pkt::kTcpAck,
+                                  65535);
+  EXPECT_FALSE(probe.classify(wrong_src, kSrc, kSeed).has_value());
+  auto wrong_dst = pkt::build_tcp(kTarget, kSrc, 80, 1234, 500, tcp.seq() + 1,
+                                  pkt::kTcpSyn | pkt::kTcpAck, 65535);
+  EXPECT_FALSE(probe.classify(wrong_dst, kSrc, kSeed).has_value());
+}
+
+TEST(UdpProbe, DataResponseValidated) {
+  UdpProbe probe{53, pkt::Bytes{1, 2, 3}, "udp_dns"};
+  auto packet = probe.make_probe(kSrc, kTarget, kSeed);
+  pkt::UdpView udp{pkt::Ipv6View{packet}.payload()};
+  EXPECT_EQ(udp.dst_port(), 53);
+  auto resp = pkt::build_udp(kTarget, kSrc, 53, udp.src_port(),
+                             pkt::Bytes{9, 9});
+  auto result = probe.classify(resp, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kUdpData);
+  EXPECT_EQ(result->responder, kTarget);
+}
+
+TEST(UdpProbe, IcmpErrorRecoversProbedAddress) {
+  UdpProbe probe{53, pkt::Bytes{1, 2, 3}, "udp_dns"};
+  auto packet = probe.make_probe(kSrc, kTarget, kSeed);
+  auto err = pkt::build_icmpv6_error(
+      kRouter, pkt::Icmpv6Type::kDestUnreachable,
+      static_cast<std::uint8_t>(pkt::UnreachCode::kPortUnreachable), packet);
+  auto result = probe.classify(err, kSrc, kSeed);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kDestUnreachable);
+  EXPECT_EQ(result->probe_dst, kTarget);
+  EXPECT_EQ(result->responder, kRouter);
+}
+
+TEST(UdpProbe, RejectsWrongSourcePortEcho) {
+  UdpProbe probe{53, pkt::Bytes{1}, "udp_dns"};
+  auto resp = pkt::build_udp(kTarget, kSrc, 53, 1024, pkt::Bytes{9});
+  EXPECT_FALSE(probe.classify(resp, kSrc, kSeed).has_value());
+}
+
+TEST(ProbeTags, AreStableAndAddressDependent) {
+  EXPECT_EQ(probe_tag16(kTarget, 1, 1), probe_tag16(kTarget, 1, 1));
+  EXPECT_NE(probe_tag16(kTarget, 1, 1), probe_tag16(kTarget, 1, 2));
+  EXPECT_NE(probe_tag16(kTarget, 1, 1), probe_tag16(kTarget, 2, 1));
+  EXPECT_NE(probe_tag16(kTarget, 1, 1), probe_tag16(kRouter, 1, 1));
+  EXPECT_EQ(probe_tag32(kTarget, 1, 1), probe_tag32(kTarget, 1, 1));
+}
+
+}  // namespace
+}  // namespace xmap::scan

@@ -1,0 +1,361 @@
+// Integration tests: the scanner engine against the built synthetic
+// Internet — the paper's discovery methodology end to end.
+#include "xmap/scanner.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topology/builder.h"
+#include "topology/paper_profiles.h"
+#include "xmap/results.h"
+
+namespace xmap::scan {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using net::Uint128;
+
+const Ipv6Address kScannerAddr = *Ipv6Address::parse("2001:500::1");
+const Ipv6Prefix kVantagePrefix = *Ipv6Prefix::parse("2001:500::/48");
+
+struct ScanWorld {
+  sim::Network net{101};
+  topo::BuiltInternet internet;
+
+  explicit ScanWorld(int window_bits = 8, std::uint64_t seed = 42)
+      : internet([&] {
+          topo::BuildConfig cfg;
+          cfg.window_bits = window_bits;
+          cfg.seed = seed;
+          return topo::build_internet(net, topo::paper::isp_specs(),
+                                      topo::paper::vendor_catalog(), cfg);
+        }()) {}
+
+  // Runs a discovery scan over the given ISP indices; returns the collector.
+  ResultCollector scan(std::initializer_list<int> isp_indices,
+                       const ProbeModule& module, double pps = 1e6,
+                       int shard = 0, int shards = 1) {
+    ScanConfig cfg;
+    for (int i : isp_indices) {
+      const auto& isp = internet.isps[static_cast<std::size_t>(i)];
+      cfg.targets.push_back(TargetSpec{isp.scan_base, isp.window_lo,
+                                       isp.window_hi});
+    }
+    cfg.source = kScannerAddr;
+    cfg.seed = 7;
+    cfg.probes_per_sec = pps;
+    cfg.shard = shard;
+    cfg.shards = shards;
+    auto* scanner = net.make_node<SimChannelScanner>(cfg, module);
+    const int iface =
+        topo::attach_vantage(net, internet, scanner, kVantagePrefix);
+    scanner->set_iface(iface);
+    ResultCollector collector;
+    scanner->on_response(
+        [&collector](const ProbeResponse& r, sim::SimTime) {
+          collector.add(r);
+        });
+    scanner->start();
+    net.run();
+    last_stats = scanner->stats();
+    return collector;
+  }
+
+  ScanStats last_stats;
+};
+
+TEST(ScannerIntegration, DiscoversEssentiallyAllPeripheries) {
+  ScanWorld world{8};
+  IcmpEchoProbe probe{64};
+  auto collector = world.scan({0}, probe);  // Reliance Jio block
+
+  const auto& isp = world.internet.isps[0];
+  // One probe per slot.
+  EXPECT_EQ(world.last_stats.sent, 256u);
+  // Expected responders: the device WAN addresses.
+  std::unordered_set<Ipv6Address> expected;
+  for (const auto& dev : isp.devices) expected.insert(dev.address);
+
+  std::unordered_set<Ipv6Address> found;
+  for (const auto& hop : collector.last_hops()) found.insert(hop.address);
+
+  // Every found last hop is a real device; discovery covers ~all devices
+  // (vulnerable loop-wan devices may surface via Time Exceeded from the
+  // ISP instead — rare at Jio's loop rate).
+  std::size_t known = 0;
+  for (const auto& addr : found) {
+    known += expected.count(addr);
+  }
+  EXPECT_GE(found.size(), expected.size() * 95 / 100);
+  EXPECT_EQ(known, found.size()) << "scanner found non-device addresses";
+}
+
+TEST(ScannerIntegration, SameDiffSplitMatchesIspModel) {
+  ScanWorld world{8};
+  IcmpEchoProbe probe{64};
+  // ISP 0 = Jio (same-dominated), ISP 5 = AT&T broadband (diff-dominated).
+  auto same_side = world.scan({0}, probe);
+  std::size_t same = 0, total = 0;
+  for (const auto& hop : same_side.last_hops()) {
+    ++total;
+    if (hop.same_prefix64()) ++same;
+  }
+  ASSERT_GT(total, 20u);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(total), 0.9);
+
+  ScanWorld world2{8};
+  auto diff_side = world2.scan({5}, probe);
+  same = total = 0;
+  for (const auto& hop : diff_side.last_hops()) {
+    ++total;
+    if (hop.same_prefix64()) ++same;
+  }
+  ASSERT_GT(total, 10u);
+  EXPECT_LT(static_cast<double>(same) / static_cast<double>(total), 0.1);
+}
+
+TEST(ScannerIntegration, ChattyIspRouterIsAliasedOut) {
+  ScanWorld world{8};
+  IcmpEchoProbe probe{64};
+  // ISP 1 (BSNL) answers unallocated slots from its edge router; the router
+  // must show up as aliased, not as hundreds of peripheries.
+  auto collector = world.scan({1}, probe);
+  const auto aliased = collector.aliased();
+  ASSERT_EQ(aliased.size(), 1u);
+  EXPECT_EQ(aliased[0].address, world.internet.isps[1].router->address());
+  for (const auto& hop : collector.last_hops()) {
+    EXPECT_NE(hop.address, world.internet.isps[1].router->address());
+  }
+}
+
+TEST(ScannerIntegration, ShardsUnionEqualsWholeScan) {
+  IcmpEchoProbe probe{64};
+  std::unordered_set<Ipv6Address> whole;
+  {
+    ScanWorld world{8};
+    auto collector = world.scan({3}, probe);
+    for (const auto& hop : collector.last_hops()) whole.insert(hop.address);
+  }
+  std::unordered_set<Ipv6Address> sharded;
+  std::uint64_t total_sent = 0;
+  for (int s = 0; s < 3; ++s) {
+    ScanWorld world{8};  // identical builds (same seed)
+    auto collector = world.scan({3}, probe, 1e6, s, 3);
+    total_sent += world.last_stats.sent;
+    for (const auto& hop : collector.last_hops()) sharded.insert(hop.address);
+  }
+  EXPECT_EQ(total_sent, 256u);  // shards partition the probe space
+  EXPECT_EQ(sharded, whole);
+}
+
+TEST(ScannerIntegration, BlocklistSuppressesProbes) {
+  ScanWorld world{8};
+  IcmpEchoProbe probe{64};
+  Blocklist blocklist;
+  blocklist.block(world.internet.isps[0].scan_base);  // block everything
+
+  ScanConfig cfg;
+  const auto& isp = world.internet.isps[0];
+  cfg.targets.push_back(TargetSpec{isp.scan_base, isp.window_lo,
+                                   isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.blocklist = &blocklist;
+  auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface = topo::attach_vantage(world.net, world.internet, scanner,
+                                         kVantagePrefix);
+  scanner->set_iface(iface);
+  scanner->start();
+  world.net.run();
+  EXPECT_EQ(scanner->stats().sent, 0u);
+  EXPECT_EQ(scanner->stats().blocked, 256u);
+}
+
+TEST(ScannerIntegration, RateLimitSpreadsSendsOverTime) {
+  ScanWorld world{6};  // 64 slots
+  IcmpEchoProbe probe{64};
+  ScanConfig cfg;
+  const auto& isp = world.internet.isps[0];
+  cfg.targets.push_back(TargetSpec{isp.scan_base, isp.window_lo,
+                                   isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.probes_per_sec = 64;  // 64 probes at 64 pps ≈ 1 second of sending
+  auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface = topo::attach_vantage(world.net, world.internet, scanner,
+                                         kVantagePrefix);
+  scanner->set_iface(iface);
+  scanner->start();
+  world.net.run();
+  EXPECT_EQ(scanner->stats().sent, 64u);
+  const auto duration = scanner->stats().last_send - scanner->stats().first_send;
+  EXPECT_NEAR(static_cast<double>(duration) / sim::kSecond, 1.0, 0.05);
+}
+
+TEST(ScannerIntegration, MaxProbesCapsTheScan) {
+  ScanWorld world{8};
+  IcmpEchoProbe probe{64};
+  ScanConfig cfg;
+  const auto& isp = world.internet.isps[0];
+  cfg.targets.push_back(TargetSpec{isp.scan_base, isp.window_lo,
+                                   isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.max_probes = 10;
+  auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface = topo::attach_vantage(world.net, world.internet, scanner,
+                                         kVantagePrefix);
+  scanner->set_iface(iface);
+  scanner->start();
+  world.net.run();
+  EXPECT_EQ(scanner->stats().sent, 10u);
+}
+
+TEST(ScannerIntegration, StatsValidatedMatchesCallbacks) {
+  ScanWorld world{8};
+  IcmpEchoProbe probe{64};
+  auto collector = world.scan({0, 5}, probe);
+  EXPECT_EQ(world.last_stats.validated, collector.total_responses());
+  EXPECT_GT(world.last_stats.hit_rate(), 0.05);
+  EXPECT_EQ(world.last_stats.discarded + world.last_stats.validated,
+            world.last_stats.received);
+}
+
+// Property: discovery completeness holds for arbitrary world/scan seeds.
+class DiscoverySeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiscoverySeedSweep, FindsEssentiallyAllDevicesNoFalsePositives) {
+  sim::Network net{GetParam()};
+  topo::BuildConfig bcfg;
+  bcfg.window_bits = 8;
+  bcfg.seed = GetParam();
+  auto internet = topo::build_internet(net, topo::paper::isp_specs(),
+                                       topo::paper::vendor_catalog(), bcfg);
+  IcmpEchoProbe probe{64};
+  ScanConfig cfg;
+  const auto& isp = internet.isps[5];  // AT&T broadband: clean CPE block
+  cfg.targets.push_back(
+      TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.seed = GetParam() ^ 0xabcd;
+  auto* scanner = net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface =
+      topo::attach_vantage(net, internet, scanner, kVantagePrefix);
+  scanner->set_iface(iface);
+  ResultCollector collector;
+  scanner->on_response(
+      [&collector](const ProbeResponse& r, sim::SimTime) { collector.add(r); });
+  scanner->start();
+  net.run();
+
+  std::unordered_set<Ipv6Address> truth;
+  for (const auto& dev : isp.devices) truth.insert(dev.address);
+  std::size_t known = 0;
+  for (const auto& hop : collector.last_hops()) {
+    known += truth.count(hop.address);
+    EXPECT_TRUE(truth.count(hop.address))
+        << "false positive " << hop.address.to_string();
+  }
+  EXPECT_GE(known, truth.size() * 9 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiscoverySeedSweep,
+                         ::testing::Values(3, 1234, 98765, 0xfeedface));
+
+TEST(ScannerIntegration, RetriesRecoverFromLossyLinks) {
+  // Build a lossy world: 30% loss on core and access links. Without
+  // retries a third of the periphery is missed; with retries coverage
+  // recovers (stateless validation makes duplicates harmless).
+  auto run = [](int retries) {
+    sim::Network net{314};
+    topo::BuildConfig bcfg;
+    bcfg.window_bits = 8;
+    bcfg.seed = 314;
+    bcfg.core_link.loss = 0.3;
+    auto internet = topo::build_internet(net, topo::paper::isp_specs(),
+                                         topo::paper::vendor_catalog(), bcfg);
+    IcmpEchoProbe probe{64};
+    ScanConfig cfg;
+    const auto& isp = internet.isps[5];
+    cfg.targets.push_back(
+        TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+    cfg.source = kScannerAddr;
+    cfg.retries = retries;
+    auto* scanner = net.make_node<SimChannelScanner>(cfg, probe);
+    const int iface =
+        topo::attach_vantage(net, internet, scanner, kVantagePrefix);
+    scanner->set_iface(iface);
+    ResultCollector collector;
+    scanner->on_response(
+        [&collector](const ProbeResponse& r, sim::SimTime) {
+          collector.add(r);
+        });
+    scanner->start();
+    net.run();
+    return std::pair{collector.last_hops().size(),
+                     internet.isps[5].devices.size()};
+  };
+
+  const auto [found_plain, truth] = run(0);
+  const auto [found_retry, truth2] = run(3);
+  ASSERT_EQ(truth, truth2);
+  EXPECT_LT(found_plain, truth);  // loss bites
+  EXPECT_GT(found_retry, found_plain);
+  EXPECT_GE(found_retry, truth * 9 / 10);  // retries recover coverage
+}
+
+TEST(ScannerIntegration, RetriesMultiplySentCount) {
+  ScanWorld world{6};
+  IcmpEchoProbe probe{64};
+  ScanConfig cfg;
+  const auto& isp = world.internet.isps[0];
+  cfg.targets.push_back(
+      TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.retries = 2;
+  auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface = topo::attach_vantage(world.net, world.internet, scanner,
+                                         kVantagePrefix);
+  scanner->set_iface(iface);
+  scanner->start();
+  world.net.run();
+  EXPECT_EQ(scanner->stats().sent, 64u * 3u);
+}
+
+TEST(ResultCollectorUnit, DedupAndCounts) {
+  ResultCollector collector{2};
+  ProbeResponse r;
+  r.kind = ResponseKind::kDestUnreachable;
+  r.responder = *Ipv6Address::parse("3fff::1");
+  r.probe_dst = *Ipv6Address::parse("3fff::2");
+  collector.add(r);
+  collector.add(r);
+  EXPECT_EQ(collector.total_responses(), 2u);
+  EXPECT_EQ(collector.unique_responders(), 1u);
+  EXPECT_EQ(collector.count_of(ResponseKind::kDestUnreachable), 2u);
+  ASSERT_EQ(collector.last_hops().size(), 1u);
+  EXPECT_EQ(collector.last_hops()[0].responses, 2u);
+  // Exceed the alias threshold.
+  collector.add(r);
+  EXPECT_TRUE(collector.last_hops().empty());
+  ASSERT_EQ(collector.aliased().size(), 1u);
+}
+
+TEST(ResultCollectorUnit, SamePrefix64Flag) {
+  ProbeResponse same;
+  same.responder = *Ipv6Address::parse("3fff:1:2:3::aa");
+  same.probe_dst = *Ipv6Address::parse("3fff:1:2:3::bb");
+  ProbeResponse diff;
+  diff.responder = *Ipv6Address::parse("3fff:1:2:4::aa");
+  diff.probe_dst = *Ipv6Address::parse("3fff:1:2:3::bb");
+  ResultCollector collector;
+  collector.add(same);
+  collector.add(diff);
+  int same_count = 0;
+  for (const auto& hop : collector.last_hops()) {
+    if (hop.same_prefix64()) ++same_count;
+  }
+  EXPECT_EQ(same_count, 1);
+}
+
+}  // namespace
+}  // namespace xmap::scan

@@ -1,0 +1,158 @@
+#include "xmap/target_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xmap/blocklist.h"
+
+namespace xmap::scan {
+namespace {
+
+using net::Ipv6Address;
+using net::Uint128;
+
+TEST(TargetSpec, ParseWindowForm) {
+  auto spec = TargetSpec::parse("2001:db8::/32-64");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->window_lo(), 32);
+  EXPECT_EQ(spec->window_hi(), 64);
+  EXPECT_EQ(spec->count(), Uint128::pow2(32));
+  EXPECT_EQ(spec->to_string(), "2001:db8::/32-64");
+}
+
+TEST(TargetSpec, ParseSingleForm) {
+  auto spec = TargetSpec::parse("2001:db8::/48");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->window_lo(), 48);
+  EXPECT_EQ(spec->window_hi(), 48);
+  EXPECT_EQ(spec->count(), Uint128{1});
+}
+
+TEST(TargetSpec, ParseRejectsBadInput) {
+  EXPECT_FALSE(TargetSpec::parse("").has_value());
+  EXPECT_FALSE(TargetSpec::parse("2001:db8::").has_value());
+  EXPECT_FALSE(TargetSpec::parse("garbage/32-64").has_value());
+  EXPECT_FALSE(TargetSpec::parse("2001:db8::/64-32").has_value());
+  EXPECT_FALSE(TargetSpec::parse("2001:db8::/32-129").has_value());
+  EXPECT_FALSE(TargetSpec::parse("2001:db8::/-1-64").has_value());
+  EXPECT_FALSE(TargetSpec::parse("2001:db8::/0-128").has_value());
+  EXPECT_FALSE(TargetSpec::parse("2001:db8::/a-b").has_value());
+}
+
+TEST(TargetSpec, NthPrefixEnumeratesWindow) {
+  auto spec = *TargetSpec::parse("2001:db8::/32-36");
+  EXPECT_EQ(spec.count(), Uint128{16});
+  EXPECT_EQ(spec.nth_prefix(Uint128{0}).to_string(), "2001:db8::/36");
+  EXPECT_EQ(spec.nth_prefix(Uint128{1}).to_string(), "2001:db8:1000::/36");
+  EXPECT_EQ(spec.nth_prefix(Uint128{15}).to_string(), "2001:db8:f000::/36");
+}
+
+TEST(TargetSpec, RandomSuffixIsInsidePrefixAndDeterministic) {
+  auto spec = *TargetSpec::parse("2001:db8::/32-64");
+  const Ipv6Address a = spec.nth_address(Uint128{5}, 99);
+  const Ipv6Address b = spec.nth_address(Uint128{5}, 99);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(spec.nth_prefix(Uint128{5}).contains(a));
+  // Different seeds give different suffixes.
+  EXPECT_NE(spec.nth_address(Uint128{5}, 100), a);
+  // Different offsets give different suffixes.
+  EXPECT_NE(spec.nth_address(Uint128{6}, 99).iid(), a.iid());
+}
+
+TEST(TargetSpec, ZeroPolicy) {
+  auto spec = *TargetSpec::parse("2001:db8::/32-64", SuffixPolicy::kZero);
+  EXPECT_EQ(spec.nth_address(Uint128{1}, 7).to_string(), "2001:db8:0:1::");
+}
+
+TEST(TargetSpec, FixedPolicy) {
+  TargetSpec spec{*net::Ipv6Prefix::parse("2001:db8::/32"), 32, 64,
+                  SuffixPolicy::kFixed, Uint128{0x1234}};
+  EXPECT_EQ(spec.nth_address(Uint128{1}, 7).to_string(),
+            "2001:db8:0:1::1234");
+}
+
+TEST(TargetSpec, SuffixesLookRandomAcrossOffsets) {
+  auto spec = *TargetSpec::parse("2001:db8::/32-64");
+  std::set<std::uint64_t> iids;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    iids.insert(spec.nth_address(Uint128{i}, 5).iid());
+  }
+  EXPECT_EQ(iids.size(), 1000u);  // no collisions in 1000 draws
+}
+
+TEST(TargetSpec, Ipv4MappedZmapCompatibility) {
+  // "192.168.0.0/20-25": the 2^5 sub-prefixes between bits 20 and 25 of the
+  // IPv4 space, via the IPv4-mapped embedding.
+  auto spec = TargetSpec::parse("192.168.0.0/20-25");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->window_lo(), 116);  // 96 + 20
+  EXPECT_EQ(spec->window_hi(), 121);  // 96 + 25
+  EXPECT_EQ(spec->count(), Uint128{32});
+  // First sub-prefix is the mapped base.
+  EXPECT_EQ(spec->nth_prefix(Uint128{0}).address().to_string(),
+            "::ffff:192.168.0.0");
+  // Offset 1 sets the window's lowest bit (v4 bit 24): 192.168.0.128.
+  EXPECT_EQ(spec->nth_prefix(Uint128{1}).address().to_string(),
+            "::ffff:192.168.0.128");
+  // The top offset sets the whole window (v4 bits 20-24): 192.168.15.128.
+  EXPECT_EQ(spec->nth_prefix(Uint128{31}).address().to_string(),
+            "::ffff:192.168.15.128");
+}
+
+TEST(TargetSpec, Ipv4WholeInternetSpec) {
+  auto spec = TargetSpec::parse("0.0.0.0/0-32");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->count(), Uint128::pow2(32));  // ZMap's scan space
+  EXPECT_EQ(spec->window_lo(), 96);
+  EXPECT_EQ(spec->window_hi(), 128);
+}
+
+TEST(TargetSpec, Ipv4RejectsBadInput) {
+  EXPECT_FALSE(TargetSpec::parse("300.0.0.0/0-8").has_value());
+  EXPECT_FALSE(TargetSpec::parse("10.0.0/0-8").has_value());
+  EXPECT_FALSE(TargetSpec::parse("10.0.0.0/24-40").has_value());  // past /32
+}
+
+TEST(Blocklist, DefaultsBlockSpecialUse) {
+  const Blocklist list = Blocklist::well_behaved_defaults();
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("::1")));
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("fe80::1")));
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("ff02::1")));
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("2001:db8::1")));
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("fc00::1")));
+  EXPECT_TRUE(list.permitted(*Ipv6Address::parse("2400:1234::1")));
+  EXPECT_TRUE(list.permitted(*Ipv6Address::parse("3fff:100::1")));
+}
+
+TEST(Blocklist, EmptyPermitsEverything) {
+  const Blocklist list;
+  EXPECT_TRUE(list.permitted(*Ipv6Address::parse("::1")));
+}
+
+TEST(Blocklist, AllowlistRestrictsScan) {
+  Blocklist list;
+  list.allow(*net::Ipv6Prefix::parse("2400::/16"));
+  EXPECT_TRUE(list.permitted(*Ipv6Address::parse("2400:1::1")));
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("2600:1::1")));
+}
+
+TEST(Blocklist, BlockOverridesAllow) {
+  Blocklist list;
+  list.allow(*net::Ipv6Prefix::parse("2400::/16"));
+  list.block(*net::Ipv6Prefix::parse("2400:dead::/32"));
+  EXPECT_TRUE(list.permitted(*Ipv6Address::parse("2400:1::1")));
+  EXPECT_FALSE(list.permitted(*Ipv6Address::parse("2400:dead::1")));
+}
+
+TEST(Blocklist, Counts) {
+  Blocklist list;
+  list.block(*net::Ipv6Prefix::parse("2400::/16"));
+  list.block(*net::Ipv6Prefix::parse("2600::/16"));
+  list.allow(*net::Ipv6Prefix::parse("2a00::/16"));
+  EXPECT_EQ(list.blocked_count(), 2u);
+  EXPECT_EQ(list.allowed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace xmap::scan

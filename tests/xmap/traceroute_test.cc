@@ -1,0 +1,177 @@
+#include "xmap/traceroute.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/devices.h"
+
+namespace xmap::scan {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+const Ipv6Address kSource = *Ipv6Address::parse("2001:500::1");
+
+TEST(TracerouteProbe, PayloadCarriesHopLimit) {
+  TracerouteProbe module;
+  const auto target = *Ipv6Address::parse("2400::1");
+  auto probe = module.make_hop_probe(kSource, target, 7, 42);
+  pkt::Ipv6View ip{probe};
+  EXPECT_EQ(ip.hop_limit(), 7);
+  pkt::Icmpv6View icmp{ip.payload()};
+  ASSERT_GE(icmp.echo_payload().size(), 2u);
+  EXPECT_EQ(icmp.echo_payload()[0], 7);
+}
+
+TEST(TracerouteProbe, RecoversOriginatingHopLimitFromTimeExceeded) {
+  TracerouteProbe module;
+  const auto target = *Ipv6Address::parse("2400::1");
+  const auto router = *Ipv6Address::parse("2400:ffff::1");
+  auto probe = module.make_hop_probe(kSource, target, 5, 42);
+  // Simulate in-flight decrement to 1 before expiry.
+  pkt::set_hop_limit(probe, 1);
+  auto te = pkt::build_icmpv6_error(router, pkt::Icmpv6Type::kTimeExceeded, 0,
+                                    probe);
+  auto result = module.classify(te, kSource, 42);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->kind, ResponseKind::kTimeExceeded);
+  EXPECT_EQ(result->hop_limit, 5);  // the originating value, not the wire one
+  EXPECT_EQ(result->responder, router);
+}
+
+TEST(TracerouteProbe, RejectsCorruptedCheckByte) {
+  TracerouteProbe module;
+  const auto target = *Ipv6Address::parse("2400::1");
+  const auto router = *Ipv6Address::parse("2400:ffff::1");
+  // Forge a probe claiming a different hop limit than the check byte.
+  auto probe = module.make_hop_probe(kSource, target, 5, 42);
+  pkt::Ipv6View ip{probe};
+  pkt::Icmpv6View icmp{ip.payload()};
+  // Rebuild the probe with a tampered payload byte.
+  std::vector<std::uint8_t> payload{9, icmp.echo_payload()[1]};
+  auto forged = pkt::build_echo_request(kSource, target, 9, icmp.ident(),
+                                        icmp.seq(), payload);
+  auto te = pkt::build_icmpv6_error(router, pkt::Icmpv6Type::kTimeExceeded, 0,
+                                    forged);
+  EXPECT_FALSE(module.classify(te, kSource, 42).has_value());
+}
+
+TEST(TracerouteProbe, WrongSeedRejected) {
+  TracerouteProbe module;
+  const auto target = *Ipv6Address::parse("2400::1");
+  auto probe = module.make_hop_probe(kSource, target, 3, 42);
+  auto reply = pkt::build_echo_reply(probe);
+  EXPECT_TRUE(module.classify(reply, kSource, 42).has_value());
+  EXPECT_FALSE(module.classify(reply, kSource, 43).has_value());
+}
+
+// Build a 3-router chain ending in a CPE and traceroute through it.
+struct ChainWorld {
+  sim::Network net{71};
+  TracerouteRunner* runner;
+  std::vector<topo::Router*> routers;
+  topo::CpeRouter* cpe;
+
+  ChainWorld() {
+    TracerouteRunner::Config cfg;
+    cfg.source = kSource;
+    cfg.max_hops = 10;
+    runner = net.make_node<TracerouteRunner>(cfg);
+
+    sim::Node* upstream = runner;
+    for (int i = 0; i < 3; ++i) {
+      topo::Router::Config rcfg;
+      rcfg.address = *Ipv6Address::parse(
+          (std::string{"2400::"} + std::to_string(i + 1)).c_str());
+      auto* router = net.make_node<topo::Router>(rcfg);
+      const auto att = net.connect(upstream->id(), router->id());
+      if (i == 0) runner->set_iface(att.iface_a);
+      router->table().add_default(att.iface_b);  // back towards the source
+      routers.push_back(router);
+      upstream = router;
+    }
+
+    topo::CpeRouter::Config ccfg;
+    ccfg.wan_prefix = *Ipv6Prefix::parse("2400:1:0:ffff::/64");
+    ccfg.wan_address = *Ipv6Address::parse("2400:1:0:ffff::9");
+    ccfg.lan_prefix = *Ipv6Prefix::parse("2400:1:0:10::/60");
+    ccfg.subnet_prefix = *Ipv6Prefix::parse("2400:1:0:15::/64");
+    cpe = net.make_node<topo::CpeRouter>(ccfg);
+    const auto last = net.connect(routers[2]->id(), cpe->id());
+
+    // Downstream routes through the chain.
+    for (int i = 0; i < 3; ++i) {
+      routers[i]->table().add_forward(*Ipv6Prefix::parse("2400:1::/32"),
+                                      i < 2 ? 1 : last.iface_a);
+    }
+  }
+};
+
+TEST(TracerouteRunner, WalksTheFullPath) {
+  ChainWorld world;
+  const auto target = *Ipv6Address::parse("2400:1:0:ffff::9");  // CPE itself
+  world.runner->trace(target);
+  world.net.run();
+  auto results = world.runner->results();
+  ASSERT_EQ(results.size(), 1u);
+  const auto& r = results[0];
+  EXPECT_TRUE(r.reached);
+  ASSERT_GE(r.hops.size(), 4u);
+  EXPECT_EQ(r.hops[0].router, world.routers[0]->address());
+  EXPECT_EQ(r.hops[0].distance, 1);
+  EXPECT_EQ(r.hops[1].router, world.routers[1]->address());
+  EXPECT_EQ(r.hops[2].router, world.routers[2]->address());
+  // The final hop answers with an echo reply from the target.
+  EXPECT_EQ(r.hops[3].router, target);
+  EXPECT_EQ(r.hops[3].kind, ResponseKind::kEchoReply);
+}
+
+TEST(TracerouteRunner, LastHopOfNxAddressIsThePeriphery) {
+  // Rye & Beverly's PAM'20 technique: traceroute to a random address and
+  // the last responding hop is the periphery.
+  ChainWorld world;
+  const auto target = *Ipv6Address::parse("2400:1:0:15::dead");  // NX in subnet
+  world.runner->trace(target);
+  world.net.run();
+  auto results = world.runner->results();
+  ASSERT_EQ(results.size(), 1u);
+  const auto& r = results[0];
+  ASSERT_GE(r.hops.size(), 4u);
+  const TraceHop& last = r.hops.back();
+  EXPECT_EQ(last.router, world.cpe->wan_address());
+  EXPECT_EQ(last.kind, ResponseKind::kDestUnreachable);
+  EXPECT_TRUE(r.reached);
+}
+
+TEST(TracerouteRunner, UnroutedTargetGivesPartialPath) {
+  ChainWorld world;
+  const auto target = *Ipv6Address::parse("9999::1");  // no route anywhere
+  world.runner->trace(target);
+  world.net.run();
+  auto results = world.runner->results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].reached);
+  // Hop 1 still answers Time Exceeded... actually the first router has no
+  // route and blackholes, so only probes expiring *at* it respond.
+  ASSERT_GE(results[0].hops.size(), 1u);
+  EXPECT_EQ(results[0].hops[0].router, world.routers[0]->address());
+  EXPECT_EQ(results[0].hops[0].kind, ResponseKind::kTimeExceeded);
+}
+
+TEST(TracerouteRunner, MultipleTargetsInterleaved) {
+  ChainWorld world;
+  const auto t1 = *Ipv6Address::parse("2400:1:0:ffff::9");
+  const auto t2 = *Ipv6Address::parse("2400:1:0:15::dead");
+  world.runner->trace(t1);
+  world.runner->trace(t2);
+  world.net.run();
+  auto results = world.runner->results();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].reached);
+  EXPECT_TRUE(results[1].reached);
+  EXPECT_EQ(results[0].target, t1);
+  EXPECT_EQ(results[1].target, t2);
+}
+
+}  // namespace
+}  // namespace xmap::scan

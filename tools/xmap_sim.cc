@@ -1,0 +1,210 @@
+// xmap_sim — the XMap scanner as a command-line tool, driven against the
+// simulated Internet (the repo's substitute for a raw-socket backend; see
+// DESIGN.md). Run --help for the flag reference; the vocabulary mirrors
+// the released XMap/ZMap tools.
+//
+//   $ xmap_sim --world paper --probe-module icmp_echo --rate 100000
+//              --output-format jsonl --output-file scan.jsonl
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "services/dns_codec.h"
+#include "topology/paper_profiles.h"
+#include "topology/spec_loader.h"
+#include "xmap/cli.h"
+#include "xmap/output.h"
+#include "xmap/scanner.h"
+#include "xmap/traceroute.h"
+
+using namespace xmap;
+
+namespace {
+
+std::unique_ptr<scan::ProbeModule> make_module(const std::string& selector) {
+  if (selector == "icmp_echo") {
+    return std::make_unique<scan::IcmpEchoProbe>(64);
+  }
+  if (selector.rfind("icmp_echo:", 0) == 0) {
+    return std::make_unique<scan::IcmpEchoProbe>(
+        static_cast<std::uint8_t>(std::atoi(selector.c_str() + 10)));
+  }
+  if (selector.rfind("tcp_syn:", 0) == 0) {
+    return std::make_unique<scan::TcpSynProbe>(
+        static_cast<std::uint16_t>(std::atoi(selector.c_str() + 8)));
+  }
+  if (selector == "udp_dns") {
+    return std::make_unique<scan::UdpProbe>(
+        53, svc::make_version_query(0x4242).encode(), "udp_dns");
+  }
+  if (selector == "udp_ntp") {
+    pkt::Bytes ntp(48, 0);
+    ntp[0] = (4 << 3) | 3;
+    return std::make_unique<scan::UdpProbe>(123, std::move(ntp), "udp_ntp");
+  }
+  return nullptr;  // "traceroute" handled by the runner path below
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parsed = scan::parse_cli(argc, argv);
+  if (!parsed.options) {
+    std::fprintf(stderr, "xmap_sim: %s\n(try --help)\n",
+                 parsed.error.c_str());
+    return 2;
+  }
+  const scan::CliOptions& opts = *parsed.options;
+  if (opts.help) {
+    std::fputs(scan::cli_usage().c_str(), stdout);
+    return 0;
+  }
+  if (opts.list_probe_modules) {
+    for (const auto& name : scan::probe_module_names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
+  // --- Substrate -----------------------------------------------------------
+  sim::Network net{opts.seed};
+  topo::BuildConfig build_cfg;
+  build_cfg.window_bits = opts.window_bits;
+  build_cfg.seed = opts.seed;
+  std::vector<topo::IspSpec> specs;
+  if (opts.world == "paper") {
+    specs = topo::paper::isp_specs();
+  } else if (opts.world.rfind("bgp:", 0) == 0) {
+    specs = topo::paper::bgp_specs(std::atoi(opts.world.c_str() + 4),
+                                   opts.seed);
+  } else {  // file:<path>
+    auto loaded = topo::load_specs_from_file(
+        opts.world.substr(5), topo::paper::vendor_catalog());
+    if (!loaded.specs) {
+      std::fprintf(stderr, "xmap_sim: %s\n", loaded.error.c_str());
+      return 2;
+    }
+    specs = std::move(*loaded.specs);
+  }
+  auto internet = topo::build_internet(net, specs,
+                                       topo::paper::vendor_catalog(),
+                                       build_cfg);
+
+  // --- Output --------------------------------------------------------------
+  std::ofstream file;
+  if (!opts.output_file.empty()) {
+    file.open(opts.output_file);
+    if (!file) {
+      std::fprintf(stderr, "xmap_sim: cannot open %s\n",
+                   opts.output_file.c_str());
+      return 2;
+    }
+  }
+  std::ostream& out = opts.output_file.empty() ? std::cout : file;
+  auto writer = scan::make_writer(opts.output_format, out);
+
+  // --- Scan ----------------------------------------------------------------
+  scan::ScanConfig cfg;
+  cfg.targets = opts.targets;
+  if (cfg.targets.empty()) {
+    for (const auto& isp : internet.isps) {
+      cfg.targets.push_back(
+          scan::TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+    }
+  }
+
+  if (opts.probe_module == "traceroute") {
+    // Traceroute mode: hop-walk one address per delegation slot (bounded by
+    // --max-probes, counted in targets). Each responding hop is one record.
+    scan::TracerouteRunner::Config tr_cfg;
+    tr_cfg.source = *net::Ipv6Address::parse("2001:500::1");
+    tr_cfg.seed = opts.seed;
+    auto* runner = net.make_node<scan::TracerouteRunner>(tr_cfg);
+    const int tr_iface = topo::attach_vantage(
+        net, internet, runner, *net::Ipv6Prefix::parse("2001:500::/48"));
+    runner->set_iface(tr_iface);
+
+    std::uint64_t traced = 0;
+    const std::uint64_t cap = opts.max_probes > 0 ? opts.max_probes : 256;
+    for (const auto& spec : cfg.targets) {
+      const std::uint64_t slots =
+          spec.count().fits_u64() ? spec.count().to_u64() : cap;
+      for (std::uint64_t i = 0; i < slots && traced < cap; ++i, ++traced) {
+        runner->trace(spec.nth_address(net::Uint128{i}, opts.seed));
+      }
+    }
+    net.run();
+
+    writer->begin();
+    std::uint64_t hops = 0;
+    for (const auto& result : runner->results()) {
+      for (const auto& hop : result.hops) {
+        scan::ProbeResponse record;
+        record.kind = hop.kind;
+        record.responder = hop.router;
+        record.probe_dst = result.target;
+        record.hop_limit = static_cast<std::uint8_t>(hop.distance);
+        writer->record(record, net.now());
+        ++hops;
+      }
+    }
+    writer->end();
+    if (!opts.quiet) {
+      std::fprintf(stderr,
+                   "xmap_sim: traced %llu targets, observed %llu hops\n",
+                   static_cast<unsigned long long>(traced),
+                   static_cast<unsigned long long>(hops));
+    }
+    return 0;
+  }
+  cfg.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.seed = opts.seed;
+  cfg.probes_per_sec = opts.rate_pps;
+  cfg.shard = opts.shard;
+  cfg.shards = opts.shards;
+  cfg.max_probes = opts.max_probes;
+  cfg.retries = opts.retries;
+  const scan::Blocklist blocklist = scan::Blocklist::well_behaved_defaults();
+  if (opts.use_default_blocklist) cfg.blocklist = &blocklist;
+
+  auto module = make_module(opts.probe_module);
+  if (!module) {
+    std::fprintf(stderr, "xmap_sim: probe module '%s' is not available in "
+                         "the bulk driver\n",
+                 opts.probe_module.c_str());
+    return 2;
+  }
+
+  auto* scanner = net.make_node<scan::SimChannelScanner>(cfg, *module);
+  const int iface = topo::attach_vantage(
+      net, internet, scanner, *net::Ipv6Prefix::parse("2001:500::/48"));
+  scanner->set_iface(iface);
+
+  writer->begin();
+  scanner->on_response(
+      [&writer](const scan::ProbeResponse& r, sim::SimTime when) {
+        writer->record(r, when);
+      });
+  scanner->start();
+  net.run();
+  writer->end();
+
+  if (!opts.quiet) {
+    const auto& stats = scanner->stats();
+    std::fprintf(
+        stderr,
+        "xmap_sim: %llu probes sent (%llu blocked), %llu responses "
+        "(%llu validated, %llu discarded), hit rate %.2f%%, "
+        "simulated duration %.2fs\n",
+        static_cast<unsigned long long>(stats.sent),
+        static_cast<unsigned long long>(stats.blocked),
+        static_cast<unsigned long long>(stats.received),
+        static_cast<unsigned long long>(stats.validated),
+        static_cast<unsigned long long>(stats.discarded),
+        100.0 * stats.hit_rate(),
+        static_cast<double>(stats.last_send - stats.first_send) /
+            static_cast<double>(sim::kSecond));
+  }
+  return 0;
+}
