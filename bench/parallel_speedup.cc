@@ -1,0 +1,91 @@
+// Parallel-executor speedup: wall-clock of the N-worker engine vs one
+// worker on the paper world at several scales. The per-worker cost has two
+// parts — the replica world-build (every worker rebuilds its own
+// thread-confined world; total build work grows with N) and the sharded
+// scan itself (total scan work is constant, split N ways) — so attainable
+// speedup is build-bound Amdahl; a raw-socket backend would skip the build
+// entirely. On a machine with fewer cores than workers the interesting
+// number is how close speedup stays to 1.0x: that is pure coordination
+// overhead (queue, monitor, oversubscription), since the CPU work only
+// grows with N. The header prints hardware_concurrency so the table is
+// interpretable either way.
+//
+// XMAP_SEED overrides the world seed; thread counts are fixed {1,2,4,8}.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "engine/executor.h"
+#include "topology/paper_profiles.h"
+
+namespace {
+
+using namespace xmap;
+
+struct RunOutcome {
+  double wall_seconds = 0;
+  std::uint64_t sent = 0;
+  std::size_t unique = 0;
+};
+
+RunOutcome run_once(int threads, int window_bits, std::uint64_t seed) {
+  static const scan::IcmpEchoProbe module{64};
+  engine::EngineConfig cfg;
+  cfg.world_specs = topo::paper::isp_specs();
+  cfg.vendors = topo::paper::vendor_catalog();
+  cfg.build.window_bits = window_bits;
+  cfg.build.seed = seed;
+  cfg.module = &module;
+  cfg.scan.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.scan.seed = seed ^ 0x5eed;
+  cfg.scan.probes_per_sec = 1e9;  // unthrottled: measure engine cost
+  cfg.threads = threads;
+  auto result = engine::run_parallel_scan(cfg);
+  if (!result.ok) {
+    std::fprintf(stderr, "engine error: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  return {result.wall_seconds, result.stats.sent,
+          result.collector.unique_responders()};
+}
+
+}  // namespace
+
+int main() {
+  const char* env = std::getenv("XMAP_SEED");
+  const std::uint64_t seed =
+      env != nullptr ? static_cast<std::uint64_t>(std::atoll(env)) : 2020;
+
+  std::printf("parallel executor speedup (paper world, ICMPv6 echo)\n");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  for (int window_bits : {8, 10, 12}) {
+    std::printf("\nwindow 2^%d per block (%d probes total)\n", window_bits,
+                15 * (1 << window_bits));
+    std::printf("%8s %10s %9s %11s %10s %8s\n", "threads", "wall_s",
+                "speedup", "efficiency", "sent", "uniq");
+    double base = 0;
+    std::size_t base_unique = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      // Best-of-3 to damp scheduler noise.
+      RunOutcome best = run_once(threads, window_bits, seed);
+      for (int rep = 1; rep < 3; ++rep) {
+        RunOutcome again = run_once(threads, window_bits, seed);
+        if (again.wall_seconds < best.wall_seconds) best = again;
+      }
+      if (threads == 1) {
+        base = best.wall_seconds;
+        base_unique = best.unique;
+      } else if (best.unique != base_unique) {
+        std::fprintf(stderr,
+                     "result mismatch at %d threads: %zu vs %zu unique\n",
+                     threads, best.unique, base_unique);
+        return 1;
+      }
+      std::printf("%8d %10.4f %8.2fx %10.0f%% %10llu %8zu\n", threads,
+                  best.wall_seconds, base / best.wall_seconds,
+                  100.0 * base / best.wall_seconds / threads,
+                  static_cast<unsigned long long>(best.sent), best.unique);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Bounded multi-producer / single-consumer result queue.
+//
+// The parallel executor's only cross-thread data channel: N scanning
+// workers push validated responses, one collector thread pops and merges.
+// The bound applies backpressure — a worker that outpaces the collector
+// blocks in push() instead of growing an unbounded buffer (ZMap's recv
+// thread has the same property via the kernel socket buffer).
+//
+// Mutex + condvar rather than a lock-free ring: producers block anyway at
+// the bound, the queue is far from the scan's hot path (one push per
+// *validated response*, not per probe), and a mutex is trivially clean
+// under ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xmap::engine {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false (dropping `value`) if the
+  // queue was closed.
+  bool push(T value) {
+    std::unique_lock lock{mu_};
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. Returns nullopt once the queue is
+  // closed *and* fully drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mu_};
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Idempotent. Wakes all waiters; subsequent pushes fail, pops drain the
+  // remaining items then return nullopt.
+  void close() {
+    {
+      std::lock_guard lock{mu_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mu_};
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mu_};
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace xmap::engine

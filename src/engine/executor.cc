@@ -1,0 +1,185 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <tuple>
+
+#include "engine/bounded_queue.h"
+
+namespace xmap::engine {
+namespace {
+
+EngineResult fail(std::string message) {
+  EngineResult result;
+  result.ok = false;
+  result.error = std::move(message);
+  return result;
+}
+
+// Default targets (every block of the world). Window placement is a pure
+// function of the spec, so this costs nothing — no throwaway world build on
+// the main thread (which would be a serial prefix as long as one worker's
+// whole replica build).
+std::vector<scan::TargetSpec> default_targets(const EngineConfig& config) {
+  std::vector<scan::TargetSpec> targets;
+  targets.reserve(config.world_specs.size());
+  for (const auto& spec : config.world_specs) {
+    const topo::ScanWindow window =
+        topo::scan_window(spec, config.build.window_bits);
+    targets.push_back(scan::TargetSpec{window.scan_base, window.window_lo,
+                                       window.window_hi});
+  }
+  return targets;
+}
+
+std::uint64_t expected_targets(const std::vector<scan::TargetSpec>& targets,
+                               int machine_shards) {
+  net::Uint128 total{0};
+  for (const auto& spec : targets) total = total + spec.count();
+  const std::uint64_t capped =
+      total.fits_u64() ? total.to_u64() : ~std::uint64_t{0};
+  return capped / static_cast<std::uint64_t>(machine_shards);
+}
+
+}  // namespace
+
+EngineResult run_parallel_scan(const EngineConfig& config) {
+  if (config.module == nullptr) return fail("engine: no probe module");
+  if (config.threads < 1 || config.threads > kMaxWorkers) {
+    return fail("engine: threads must be in 1.." +
+                std::to_string(kMaxWorkers));
+  }
+  if (config.scan.shards < 1 || config.scan.shard < 0 ||
+      config.scan.shard >= config.scan.shards) {
+    return fail("engine: invalid machine shard configuration");
+  }
+  if (config.world_specs.empty()) return fail("engine: empty world spec");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int threads = config.threads;
+
+  scan::ScanConfig base = config.scan;
+  if (base.targets.empty()) base.targets = default_targets(config);
+
+  scan::ScanProgress progress;
+  MonitorOptions monitor_options;
+  monitor_options.out = config.status_out;
+  monitor_options.interval_ms = config.status_interval_ms;
+  monitor_options.expected_targets =
+      expected_targets(base.targets, config.scan.shards);
+  monitor_options.workers = threads;
+  Monitor monitor{progress, monitor_options};
+
+  BoundedQueue<EngineRecord> queue{config.queue_capacity};
+  std::vector<WorkerReport> reports(static_cast<std::size_t>(threads));
+  std::atomic<int> active{threads};
+
+  const auto worker_main = [&](int w) {
+    // Thread-confined deterministic replica: every worker builds the same
+    // world from the same specs and seed, then walks its own sub-shard of
+    // the permutation. No state is shared with other workers except the
+    // result queue and the progress atomics.
+    sim::Network net{config.build.seed};
+    auto internet = topo::build_internet(net, config.world_specs,
+                                         config.vendors, config.build);
+    scan::ScanConfig wcfg = base;
+    wcfg.shard = config.scan.shard * threads + w;
+    wcfg.shards = config.scan.shards * threads;
+    if (base.max_probes != 0) {
+      // Distribute the global cap; shares sum exactly to the cap.
+      const std::uint64_t n = static_cast<std::uint64_t>(threads);
+      const std::uint64_t uw = static_cast<std::uint64_t>(w);
+      wcfg.max_probes = base.max_probes / n + (uw < base.max_probes % n);
+      if (wcfg.max_probes == 0) {
+        // Zero share means "send nothing", but 0 encodes "unlimited" in
+        // ScanConfig — skip the scan outright.
+        reports[static_cast<std::size_t>(w)].sim_duration = 0;
+        progress.workers_done.fetch_add(1, std::memory_order_relaxed);
+        if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          queue.close();
+        }
+        return;
+      }
+    }
+
+    auto* scanner =
+        net.make_node<scan::SimChannelScanner>(wcfg, *config.module);
+    const int iface =
+        topo::attach_vantage(net, internet, scanner, config.vantage);
+    scanner->set_iface(iface);
+    scanner->set_progress(&progress);
+    scanner->on_response(
+        [&queue, w](const scan::ProbeResponse& r, sim::SimTime when) {
+          queue.push(EngineRecord{r, when, w});
+        });
+    scanner->start();
+    net.run();
+
+    WorkerReport& report = reports[static_cast<std::size_t>(w)];
+    report.stats = scanner->stats();
+    report.sim_duration = net.now();
+    progress.workers_done.fetch_add(1, std::memory_order_relaxed);
+    // The last worker out closes the queue so the collector loop drains
+    // the tail and terminates.
+    if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) queue.close();
+  };
+
+  monitor.start();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) workers.emplace_back(worker_main, w);
+
+  // Collector: the main thread is ZMap's recv thread — single consumer of
+  // the MPSC queue.
+  EngineResult result;
+  result.collector = scan::ResultCollector{config.alias_threshold};
+  while (auto record = queue.pop()) {
+    result.records.push_back(std::move(*record));
+  }
+  for (auto& t : workers) t.join();
+  monitor.stop();
+
+  // Deterministic merge order: worker sim clocks are deterministic, so
+  // sorting by (sim time, worker, responder, probe) yields a byte-stable
+  // record stream regardless of real-time interleaving.
+  std::sort(result.records.begin(), result.records.end(),
+            [](const EngineRecord& a, const EngineRecord& b) {
+              return std::tuple(a.when, a.worker, a.response.responder,
+                                a.response.probe_dst,
+                                static_cast<int>(a.response.kind)) <
+                     std::tuple(b.when, b.worker, b.response.responder,
+                                b.response.probe_dst,
+                                static_cast<int>(b.response.kind));
+            });
+  for (const auto& record : result.records) {
+    result.collector.add(record.response);
+  }
+
+  MetricsSummary summary;
+  summary.threads = threads;
+  for (const auto& report : reports) {
+    result.stats += report.stats;
+    summary.per_worker.push_back(report.stats);
+    summary.sim_duration_ns =
+        std::max<std::uint64_t>(summary.sim_duration_ns, report.sim_duration);
+  }
+  result.workers = std::move(reports);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  summary.wall_seconds = result.wall_seconds;
+  summary.merged = result.stats;
+  summary.unique_responders = result.collector.unique_responders();
+  summary.aliased_responders = result.collector.aliased().size();
+  result.metrics = metrics_json(summary);
+  if (config.status_out != nullptr) {
+    *config.status_out << result.metrics << '\n' << std::flush;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xmap::engine

@@ -1,0 +1,98 @@
+// The parallel scan executor.
+//
+// ZMap/XMap's send/recv/monitor thread architecture, adapted to the
+// simulated substrate. The key property making the scan embarrassingly
+// parallel is that both halves are deterministic and stateless:
+//
+//   * the world is a pure function of (specs, BuildConfig) — every worker
+//     thread rebuilds an identical, thread-confined sim::Network replica;
+//   * the permutation is shardable — worker w of N walks shard
+//     (machine_shard*N + w) of (machine_shards*N), so the workers' target
+//     sets partition the permutation exactly (no gaps, no double-probing).
+//
+// Each worker runs its own SimChannelScanner to completion and pushes
+// validated responses through a bounded MPSC queue; the main thread drains
+// the queue, orders the records deterministically, and merges them into one
+// ResultCollector + summed ScanStats. A monitor thread renders live status
+// lines from shared atomic counters (see telemetry.h).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "engine/telemetry.h"
+#include "topology/builder.h"
+#include "xmap/results.h"
+#include "xmap/scanner.h"
+
+namespace xmap::engine {
+
+struct EngineConfig {
+  // The world every worker replicates (resolve with topo::resolve_world).
+  std::vector<topo::IspSpec> world_specs;
+  std::vector<topo::VendorProfile> vendors;
+  topo::BuildConfig build;
+  net::Ipv6Prefix vantage = *net::Ipv6Prefix::parse("2001:500::/48");
+
+  // The probing technique; required, not owned, shared read-only by all
+  // workers (modules are immutable — see probe_factory.h).
+  const scan::ProbeModule* module = nullptr;
+
+  // Base scan parameters. `scan.shard`/`scan.shards` express the
+  // machine-level partition (multi-instance scanning); worker sub-shards
+  // compose underneath it. `scan.max_probes` is a global cap, distributed
+  // across workers. `scan.targets` empty = scan every block of the world.
+  scan::ScanConfig scan;
+
+  int threads = 1;  // worker count (1..kMaxWorkers)
+
+  // Result-queue bound: workers block (backpressure) when the collector
+  // falls this many responses behind.
+  std::size_t queue_capacity = 4096;
+
+  // Passed through to the merged ResultCollector (see results.h).
+  std::uint64_t alias_threshold = 16;
+
+  // Live telemetry; nullptr disables the monitor thread entirely.
+  std::ostream* status_out = nullptr;
+  int status_interval_ms = 250;
+};
+
+inline constexpr int kMaxWorkers = 64;
+
+// One validated response as it crossed the queue. `when` is the worker's
+// sim-clock arrival time (deterministic per worker).
+struct EngineRecord {
+  scan::ProbeResponse response;
+  sim::SimTime when = 0;
+  int worker = 0;
+};
+
+struct WorkerReport {
+  scan::ScanStats stats;
+  sim::SimTime sim_duration = 0;  // worker's final sim-clock reading
+};
+
+struct EngineResult {
+  bool ok = false;
+  std::string error;  // set when !ok (bad config)
+
+  // All validated responses, deterministically ordered (worker sim time,
+  // then worker id, then responder/probe) — byte-stable across runs.
+  std::vector<EngineRecord> records;
+
+  scan::ResultCollector collector;  // merged union of all workers
+  scan::ScanStats stats;            // per-worker stats, summed
+  std::vector<WorkerReport> workers;
+  double wall_seconds = 0;
+
+  // The JSON metrics snapshot (also written to status_out when set).
+  std::string metrics;
+};
+
+// Runs the scan across config.threads workers and blocks until every
+// worker finished and results are merged.
+[[nodiscard]] EngineResult run_parallel_scan(const EngineConfig& config);
+
+}  // namespace xmap::engine

@@ -1,0 +1,69 @@
+#include "engine/probe_factory.h"
+
+#include <charconv>
+
+#include "services/dns_codec.h"
+
+namespace xmap::engine {
+namespace {
+
+ProbeModuleResult fail(std::string message) {
+  return ProbeModuleResult{nullptr, std::move(message)};
+}
+
+// Strict integer suffix parse: the whole suffix must be digits and the
+// value must land in [lo, hi].
+bool parse_suffix(std::string_view text, long lo, long hi, long& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size() && out >= lo &&
+         out <= hi;
+}
+
+}  // namespace
+
+ProbeModuleResult make_probe_module(const std::string& selector) {
+  if (selector == "icmp_echo") {
+    return {std::make_unique<scan::IcmpEchoProbe>(64), {}};
+  }
+  if (selector.rfind("icmp_echo:", 0) == 0) {
+    long hop_limit = 0;
+    if (!parse_suffix(std::string_view{selector}.substr(10), 1, 255,
+                      hop_limit)) {
+      return fail("probe module '" + selector +
+                  "': hop limit must be an integer in 1..255");
+    }
+    return {std::make_unique<scan::IcmpEchoProbe>(
+                static_cast<std::uint8_t>(hop_limit)),
+            {}};
+  }
+  if (selector.rfind("tcp_syn:", 0) == 0) {
+    long port = 0;
+    if (!parse_suffix(std::string_view{selector}.substr(8), 1, 65535, port)) {
+      return fail("probe module '" + selector +
+                  "': port must be an integer in 1..65535");
+    }
+    return {std::make_unique<scan::TcpSynProbe>(
+                static_cast<std::uint16_t>(port)),
+            {}};
+  }
+  if (selector == "udp_dns") {
+    return {std::make_unique<scan::UdpProbe>(
+                53, svc::make_version_query(0x4242).encode(), "udp_dns"),
+            {}};
+  }
+  if (selector == "udp_ntp") {
+    pkt::Bytes ntp(48, 0);
+    ntp[0] = (4 << 3) | 3;  // NTPv4, client mode
+    return {std::make_unique<scan::UdpProbe>(123, std::move(ntp), "udp_ntp"),
+            {}};
+  }
+  if (selector == "traceroute") {
+    return fail(
+        "probe module 'traceroute' is a hop-walking runner, not a bulk "
+        "probe module");
+  }
+  return fail("unknown probe module '" + selector + "'");
+}
+
+}  // namespace xmap::engine

@@ -1,0 +1,26 @@
+// Probe-module construction from CLI-style selector strings.
+//
+// One strict parser shared by tools/xmap_sim and the parallel engine:
+// "icmp_echo[:<hoplimit>]", "tcp_syn:<port>", "udp_dns", "udp_ntp".
+// Malformed suffixes ("icmp_echo:abc", "tcp_syn:") are rejected with a
+// descriptive error instead of silently probing hop limit 0 / port 0.
+//
+// The returned module is immutable and safe to share across worker
+// threads (make_probe/classify are const and stateless).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "xmap/probe_module.h"
+
+namespace xmap::engine {
+
+struct ProbeModuleResult {
+  std::unique_ptr<scan::ProbeModule> module;  // null on error
+  std::string error;                          // set on error
+};
+
+[[nodiscard]] ProbeModuleResult make_probe_module(const std::string& selector);
+
+}  // namespace xmap::engine

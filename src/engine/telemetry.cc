@@ -1,0 +1,137 @@
+#include "engine/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace xmap::engine {
+namespace {
+
+// "m:ss" like the zmap monitor (hours folded into minutes).
+std::string clock_string(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<std::uint64_t>(seconds);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu:%02llu",
+                static_cast<unsigned long long>(total / 60),
+                static_cast<unsigned long long>(total % 60));
+  return buf;
+}
+
+std::string rate_string(double per_sec) {
+  char buf[32];
+  if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f Mp/s", per_sec / 1e6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f Kp/s", per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f p/s", per_sec);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Monitor::start() {
+  if (options_.out == nullptr || running_) return;
+  running_ = true;
+  stopping_ = false;
+  started_ = std::chrono::steady_clock::now();
+  emit(false);
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Monitor::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard lock{mu_};
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  emit(true);
+  running_ = false;
+}
+
+void Monitor::thread_main() {
+  std::unique_lock lock{mu_};
+  const auto interval = std::chrono::milliseconds(
+      options_.interval_ms > 0 ? options_.interval_ms : 250);
+  while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+    lock.unlock();
+    emit(false);
+    lock.lock();
+  }
+}
+
+void Monitor::emit(bool final_line) {
+  *options_.out << status_line(final_line) << '\n' << std::flush;
+}
+
+std::string Monitor::status_line(bool final_line) const {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  const scan::ScanStats s = progress_.snapshot();
+  const std::uint64_t done =
+      progress_.workers_done.load(std::memory_order_relaxed);
+
+  std::ostringstream line;
+  line << clock_string(elapsed);
+  if (options_.expected_targets > 0) {
+    const double frac = std::min(
+        1.0, static_cast<double>(s.targets_generated) /
+                 static_cast<double>(options_.expected_targets));
+    char pct[16];
+    std::snprintf(pct, sizeof pct, " %.0f%%", 100.0 * frac);
+    line << pct;
+    if (!final_line && frac > 0 && frac < 1) {
+      const double eta = elapsed * (1.0 - frac) / frac;
+      line << " (" << clock_string(eta) << " left)";
+    }
+  }
+  if (final_line) line << " (done)";
+  line << "; send: " << s.sent << " ("
+       << rate_string(elapsed > 0 ? static_cast<double>(s.sent) / elapsed : 0)
+       << " avg); recv: " << s.validated << " ok";
+  if (s.discarded > 0) line << ", " << s.discarded << " stray";
+  char hits[32];
+  std::snprintf(hits, sizeof hits, "; hits: %.2f%%", 100.0 * s.hit_rate());
+  line << hits;
+  line << "; workers: " << done << "/" << options_.workers << " done";
+  return line.str();
+}
+
+std::string metrics_json(const MetricsSummary& summary) {
+  std::ostringstream out;
+  const auto stats_fields = [&out](const scan::ScanStats& s) {
+    out << "\"targets_generated\":" << s.targets_generated
+        << ",\"blocked\":" << s.blocked << ",\"sent\":" << s.sent
+        << ",\"received\":" << s.received << ",\"validated\":" << s.validated
+        << ",\"discarded\":" << s.discarded;
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.6f", s.hit_rate());
+    out << ",\"hit_rate\":" << rate;
+  };
+
+  char wall[32];
+  std::snprintf(wall, sizeof wall, "%.6f", summary.wall_seconds);
+  out << "{\"threads\":" << summary.threads << ",\"wall_seconds\":" << wall
+      << ",";
+  stats_fields(summary.merged);
+  out << ",\"unique_responders\":" << summary.unique_responders
+      << ",\"aliased_responders\":" << summary.aliased_responders
+      << ",\"sim_duration_ns\":" << summary.sim_duration_ns
+      << ",\"per_worker\":[";
+  for (std::size_t w = 0; w < summary.per_worker.size(); ++w) {
+    if (w != 0) out << ",";
+    out << "{\"worker\":" << w << ",";
+    stats_fields(summary.per_worker[w]);
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace xmap::engine

@@ -1,0 +1,77 @@
+// Live scan telemetry: the ZMap-style monitor thread.
+//
+// While workers scan, a monitor thread samples the shared ScanProgress
+// atomics on a fixed wall-clock cadence and renders one status line per
+// tick (elapsed, %-complete, ETA, send/recv rates, hit rate) — the
+// operator-facing heartbeat ZMap/XMap print during long scans. At exit the
+// executor emits a machine-readable JSON metrics snapshot through
+// metrics_json() for harnesses and dashboards.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xmap/stats.h"
+
+namespace xmap::engine {
+
+struct MonitorOptions {
+  std::ostream* out = nullptr;         // where status lines go
+  int interval_ms = 250;               // tick cadence (wall clock)
+  std::uint64_t expected_targets = 0;  // 0 = unknown (no %-complete / ETA)
+  int workers = 1;
+};
+
+class Monitor {
+ public:
+  Monitor(const scan::ScanProgress& progress, MonitorOptions options)
+      : progress_(progress), options_(std::move(options)) {}
+  ~Monitor() { stop(); }
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // Emits an initial line and begins ticking. No-op without an out stream.
+  void start();
+  // Emits the final status line and joins the monitor thread. Idempotent.
+  void stop();
+
+  // One rendered status line for the current counters (exposed for tests).
+  [[nodiscard]] std::string status_line(bool final_line) const;
+
+ private:
+  void thread_main();
+  void emit(bool final_line);
+
+  const scan::ScanProgress& progress_;
+  MonitorOptions options_;
+  std::chrono::steady_clock::time_point started_{};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+// The final machine-readable snapshot (merged + per-worker accounting).
+struct MetricsSummary {
+  int threads = 1;
+  double wall_seconds = 0;
+  scan::ScanStats merged;
+  std::vector<scan::ScanStats> per_worker;
+  std::uint64_t unique_responders = 0;
+  std::uint64_t aliased_responders = 0;
+  std::uint64_t sim_duration_ns = 0;  // longest worker sim-clock duration
+};
+
+// Renders the summary as a single-line JSON object (no trailing newline).
+[[nodiscard]] std::string metrics_json(const MetricsSummary& summary);
+
+}  // namespace xmap::engine

@@ -19,6 +19,7 @@ Network::Attachment Network::connect(NodeId a, NodeId b,
 }
 
 void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
+  assert_confined();
   // Unplugged port or node with no links: packet silently dropped.
   if (from >= node_links_.size() || iface < 0 ||
       static_cast<std::size_t>(iface) >= node_links_[from].size()) {

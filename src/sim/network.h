@@ -6,9 +6,11 @@
 // experiments read those counters directly.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "netbase/random.h"
@@ -109,9 +111,26 @@ class Network {
 
   // Runs the event loop to completion (bounded by max_events as a backstop).
   void run(std::uint64_t max_events = ~std::uint64_t{0}) {
+    assert_confined();
     loop_.run(max_events);
   }
-  void run_until(SimTime deadline) { loop_.run_until(deadline); }
+  void run_until(SimTime deadline) {
+    assert_confined();
+    loop_.run_until(deadline);
+  }
+
+  // A Network (and everything attached to it) is thread-confined: there is
+  // no internal locking, so one thread must own all event processing. The
+  // parallel engine gives each worker thread its own deterministic replica.
+  // The owner is captured on the first run()/run_until() call; debug builds
+  // assert on cross-thread use.
+  void assert_confined() {
+#ifndef NDEBUG
+    if (owner_ == std::thread::id{}) owner_ = std::this_thread::get_id();
+    assert(owner_ == std::this_thread::get_id() &&
+           "sim::Network used from a second thread (not thread-safe)");
+#endif
+  }
 
   [[nodiscard]] std::uint64_t packets_delivered() const {
     return packets_delivered_;
@@ -146,6 +165,9 @@ class Network {
   EventLoop loop_;
   net::Rng rng_;
   Tracer tracer_;
+#ifndef NDEBUG
+  std::thread::id owner_{};  // set by the first run(); see assert_confined()
+#endif
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Link> links_;
   // node_links_[node][iface] == link id (interfaces are dense per node).

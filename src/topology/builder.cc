@@ -54,6 +54,16 @@ double service_style_factor(net::IidStyle style) {
 
 }  // namespace
 
+ScanWindow scan_window(const IspSpec& spec, int window_bits) {
+  ScanWindow window;
+  const int scan_len = spec.delegated_len - window_bits;
+  const net::Ipv6Prefix block{spec.block_base, scan_len - 1};
+  window.scan_base = block.nth_subprefix(scan_len, net::Uint128{0});
+  window.window_lo = scan_len;
+  window.window_hi = spec.delegated_len;
+  return window;
+}
+
 BuiltInternet build_internet(sim::Network& net,
                              const std::vector<IspSpec>& isps,
                              const std::vector<VendorProfile>& vendors,
@@ -94,12 +104,13 @@ BuiltInternet build_internet(sim::Network& net,
 
     IspInstance inst;
     inst.spec = spec;
-    const int scan_len = spec.delegated_len - config.window_bits;
+    const ScanWindow window = scan_window(spec, config.window_bits);
+    const int scan_len = window.window_lo;
     inst.block = net::Ipv6Prefix{spec.block_base, scan_len - 1};
-    inst.scan_base = inst.block.nth_subprefix(scan_len, net::Uint128{0});
+    inst.scan_base = window.scan_base;
     inst.wan_pool = inst.block.nth_subprefix(scan_len, net::Uint128{1});
-    inst.window_lo = scan_len;
-    inst.window_hi = spec.delegated_len;
+    inst.window_lo = window.window_lo;
+    inst.window_hi = window.window_hi;
 
     Router::Config rcfg;
     rcfg.address = inst.block.address_with_suffix(net::Uint128{1});

@@ -156,6 +156,16 @@ struct BuiltInternet {
   }
 };
 
+// Placement of one ISP's probing window — a pure function of the spec and
+// the window size (no seed, no device population). The parallel engine uses
+// this to derive default targets without paying for a throwaway world build.
+struct ScanWindow {
+  net::Ipv6Prefix scan_base;
+  int window_lo = 0;
+  int window_hi = 0;
+};
+[[nodiscard]] ScanWindow scan_window(const IspSpec& spec, int window_bits);
+
 // Builds the full topology into `net`. Deterministic for a given config.
 [[nodiscard]] BuiltInternet build_internet(
     sim::Network& net, const std::vector<IspSpec>& isps,

@@ -1,0 +1,43 @@
+#include "topology/world.h"
+
+#include <charconv>
+
+#include "topology/paper_profiles.h"
+#include "topology/spec_loader.h"
+
+namespace xmap::topo {
+namespace {
+
+WorldResult fail(std::string message) {
+  return WorldResult{std::nullopt, std::move(message)};
+}
+
+}  // namespace
+
+WorldResult resolve_world(const std::string& selector, std::uint64_t seed,
+                          const std::vector<VendorProfile>& vendors) {
+  if (selector == "paper") {
+    return WorldResult{paper::isp_specs(), {}};
+  }
+  if (selector.rfind("bgp:", 0) == 0) {
+    const std::string_view count = std::string_view{selector}.substr(4);
+    int n_ases = 0;
+    const auto [ptr, ec] =
+        std::from_chars(count.data(), count.data() + count.size(), n_ases);
+    if (ec != std::errc{} || ptr != count.data() + count.size() ||
+        n_ases < 1 || n_ases > 100000) {
+      return fail("bad world '" + selector +
+                  "': bgp:<n> needs an AS count in 1..100000");
+    }
+    return WorldResult{paper::bgp_specs(n_ases, seed), {}};
+  }
+  if (selector.rfind("file:", 0) == 0) {
+    auto loaded = load_specs_from_file(selector.substr(5), vendors);
+    if (!loaded.specs) return fail(std::move(loaded.error));
+    return WorldResult{std::move(*loaded.specs), {}};
+  }
+  return fail("unknown world '" + selector +
+              "' (want paper, bgp:<n> or file:<path>)");
+}
+
+}  // namespace xmap::topo

@@ -1,0 +1,34 @@
+// World-selector resolution.
+//
+// A "world" names the measurement universe a scan runs against. The
+// selector grammar is shared by tools/xmap_sim and the parallel engine:
+//
+//   paper          the fifteen calibrated ISP blocks of Tables I/II
+//   bgp:<n>        a synthetic BGP universe with <n> ASes (1..100000)
+//   file:<path>    a JSON block-spec document (topology/spec_loader.h)
+//
+// Resolution is deterministic for a given (selector, seed) pair, which is
+// what lets every parallel worker rebuild an identical world replica from
+// the spec list alone.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topology/builder.h"
+
+namespace xmap::topo {
+
+struct WorldResult {
+  std::optional<std::vector<IspSpec>> specs;  // nullopt on error
+  std::string error;                          // set on error
+};
+
+// Resolves `selector` into block specifications. Vendor names inside JSON
+// spec files are resolved against `vendors` (use paper::vendor_catalog()).
+[[nodiscard]] WorldResult resolve_world(
+    const std::string& selector, std::uint64_t seed,
+    const std::vector<VendorProfile>& vendors);
+
+}  // namespace xmap::topo

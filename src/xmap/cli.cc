@@ -50,6 +50,14 @@ Scanning:
   --retries <n>             send each probe 1+n times (default 0)
   --no-blocklist            do not apply the special-use-prefix blocklist
 
+Parallel engine:
+  --threads <n>             scan with n worker threads, each walking a
+                            disjoint sub-shard of the permutation (1..64)
+  --status-updates-file <path|->
+                            live monitor: periodic status lines plus a
+                            final JSON metrics summary ('-' = stderr)
+  --status-interval-ms <n>  monitor cadence (default 250)
+
 Output:
   --output-format csv|jsonl (default csv)
   --output-file <path>      default: stdout
@@ -145,6 +153,28 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail("bad --max-probes");
       }
       opts.max_probes = static_cast<std::uint64_t>(n);
+    } else if (arg == "--threads") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 1 ||
+          n > 64) {
+        return fail("bad --threads (1..64)");
+      }
+      opts.threads = static_cast<int>(n);
+    } else if (arg == "--status-updates-file") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--status-updates-file needs a value");
+      }
+      opts.status_updates_file = value;
+    } else if (arg == "--status-interval-ms") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 10 ||
+          n > 60000) {
+        return fail("bad --status-interval-ms (10..60000)");
+      }
+      opts.status_interval_ms = static_cast<int>(n);
     } else if (arg == "--window-bits") {
       std::string value;
       long long n = 0;
@@ -190,6 +220,12 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
     if (!parse_int(module.substr(10), hl) || hl < 1 || hl > 255) {
       return fail("bad icmp_echo hop limit");
     }
+  }
+  if (module == "traceroute" &&
+      (opts.threads > 0 || !opts.status_updates_file.empty())) {
+    return fail(
+        "--threads/--status-updates-file need a bulk probe module, not the "
+        "traceroute runner");
   }
 
   return CliParseResult{std::move(opts), {}};

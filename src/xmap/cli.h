@@ -36,6 +36,14 @@ struct CliOptions {
   std::string output_file;            // --output-file (empty = stdout)
   bool quiet = false;                 // --quiet (suppress the stats footer)
 
+  // Parallel engine: --threads routes the scan through the multi-worker
+  // executor (src/engine). 0 = flag absent, classic in-process path.
+  int threads = 0;  // --threads (1..64)
+  // Live monitor destination: empty = off, "-" = stderr, else a file path.
+  // Implies the engine path (a 1-worker executor when --threads is absent).
+  std::string status_updates_file;  // --status-updates-file
+  int status_interval_ms = 250;     // --status-interval-ms
+
   // Simulation substrate: "paper" (the 15 calibrated blocks),
   // "bgp:<n_ases>", or "file:<path>" (a JSON spec document; see
   // topology/spec_loader.h for the schema).

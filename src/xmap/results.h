@@ -48,6 +48,20 @@ class ResultCollector {
     ++hop.responses;
   }
 
+  // Union with another collector (the parallel executor's merge step):
+  // response counts add, so the alias-threshold verdict over the union is
+  // identical to a single-collector run. For responders seen by both sides
+  // this collector's first_* fields win — "first" is per-shard arrival
+  // order, which is not globally ordered across workers.
+  void merge(const ResultCollector& other) {
+    total_ += other.total_;
+    for (int k = 0; k < 8; ++k) by_kind_[k] += other.by_kind_[k];
+    for (const auto& [addr, hop] : other.hops_) {
+      auto [it, inserted] = hops_.try_emplace(addr, hop);
+      if (!inserted) it->second.responses += hop.responses;
+    }
+  }
+
   [[nodiscard]] std::uint64_t total_responses() const { return total_; }
   [[nodiscard]] std::uint64_t count_of(ResponseKind kind) const {
     return by_kind_[static_cast<int>(kind)];

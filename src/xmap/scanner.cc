@@ -24,6 +24,9 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out) {
     }
     if (auto offset = state.iter->next()) {
       ++stats_.targets_generated;
+      if (progress_ != nullptr) {
+        progress_->targets_generated.fetch_add(1, std::memory_order_relaxed);
+      }
       out = spec.nth_address(*offset, config_.seed);
       return true;
     }
@@ -44,6 +47,9 @@ void SimChannelScanner::send_tick() {
   while (next_target(target)) {
     if (config_.blocklist != nullptr && !config_.blocklist->permitted(target)) {
       ++stats_.blocked;
+      if (progress_ != nullptr) {
+        progress_->blocked.fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
     }
     have = true;
@@ -59,6 +65,10 @@ void SimChannelScanner::send_tick() {
     send(iface_, module_.make_probe(config_.source, target, config_.seed));
     ++stats_.sent;
   }
+  if (progress_ != nullptr) {
+    progress_->sent.fetch_add(static_cast<std::uint64_t>(copies),
+                              std::memory_order_relaxed);
+  }
   stats_.last_send = network()->now();
 
   const double pps = config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
@@ -69,12 +79,21 @@ void SimChannelScanner::send_tick() {
 
 void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
   ++stats_.received;
+  if (progress_ != nullptr) {
+    progress_->received.fetch_add(1, std::memory_order_relaxed);
+  }
   auto response = module_.classify(packet, config_.source, config_.seed);
   if (!response) {
     ++stats_.discarded;
+    if (progress_ != nullptr) {
+      progress_->discarded.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   ++stats_.validated;
+  if (progress_ != nullptr) {
+    progress_->validated.fetch_add(1, std::memory_order_relaxed);
+  }
   if (callback_) callback_(*response, network()->now());
 }
 

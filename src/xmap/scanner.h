@@ -19,6 +19,7 @@
 #include "xmap/blocklist.h"
 #include "xmap/cyclic_group.h"
 #include "xmap/probe_module.h"
+#include "xmap/stats.h"
 #include "xmap/target_spec.h"
 
 namespace xmap::scan {
@@ -38,23 +39,6 @@ struct ScanConfig {
   int retries = 0;
 };
 
-struct ScanStats {
-  std::uint64_t targets_generated = 0;
-  std::uint64_t blocked = 0;
-  std::uint64_t sent = 0;
-  std::uint64_t received = 0;   // packets that reached the scanner
-  std::uint64_t validated = 0;  // passed probe-module validation
-  std::uint64_t discarded = 0;  // failed validation (stray/spoofed)
-  sim::SimTime first_send = 0;
-  sim::SimTime last_send = 0;
-
-  [[nodiscard]] double hit_rate() const {
-    return sent == 0 ? 0.0
-                     : static_cast<double>(validated) /
-                           static_cast<double>(sent);
-  }
-};
-
 // A scanner attached to the simulated network as a node. start() schedules
 // the paced send loop on the network's event loop; responses arriving on the
 // node's interface are classified and handed to the callback.
@@ -69,6 +53,11 @@ class SimChannelScanner : public sim::Node {
   // The interface (from Network::connect / attach_vantage) to send on.
   void set_iface(int iface) { iface_ = iface; }
   void on_response(ResponseCallback cb) { callback_ = std::move(cb); }
+
+  // Optional live-telemetry sink (not owned; may be shared by several
+  // scanners running on different threads — counters are atomic). The
+  // authoritative totals remain `stats()`.
+  void set_progress(ScanProgress* progress) { progress_ = progress; }
 
   // Begins the scan at the current sim time. Call Network::run() after.
   void start();
@@ -97,6 +86,7 @@ class SimChannelScanner : public sim::Node {
   std::size_t current_spec_ = 0;
 
   ScanStats stats_;
+  ScanProgress* progress_ = nullptr;
   bool started_ = false;
   bool sending_done_ = false;
 };

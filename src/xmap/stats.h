@@ -1,0 +1,86 @@
+// Scan accounting.
+//
+// `ScanStats` is the per-engine counter block (what one SimChannelScanner
+// accumulates); it is merge-friendly so that per-worker stats from the
+// parallel executor sum exactly to the single-thread totals. `ScanProgress`
+// is the lock-free live view of the same counters: workers publish into it
+// with relaxed atomics and the monitor thread samples it for status lines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/event_loop.h"
+
+namespace xmap::scan {
+
+struct ScanStats {
+  std::uint64_t targets_generated = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;   // packets that reached the scanner
+  std::uint64_t validated = 0;  // passed probe-module validation
+  std::uint64_t discarded = 0;  // failed validation (stray/spoofed)
+  sim::SimTime first_send = 0;
+  sim::SimTime last_send = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(validated) /
+                           static_cast<double>(sent);
+  }
+
+  // Counter union: counts add; the send window widens to cover both
+  // (min first_send, max last_send). Merging a default-constructed (idle)
+  // stats block is a no-op.
+  ScanStats& merge(const ScanStats& other) {
+    const bool self_active = sent != 0 || targets_generated != 0;
+    const bool other_active =
+        other.sent != 0 || other.targets_generated != 0;
+    targets_generated += other.targets_generated;
+    blocked += other.blocked;
+    sent += other.sent;
+    received += other.received;
+    validated += other.validated;
+    discarded += other.discarded;
+    if (other_active) {
+      if (!self_active) {
+        first_send = other.first_send;
+        last_send = other.last_send;
+      } else {
+        if (other.first_send < first_send) first_send = other.first_send;
+        if (other.last_send > last_send) last_send = other.last_send;
+      }
+    }
+    return *this;
+  }
+  ScanStats& operator+=(const ScanStats& other) { return merge(other); }
+
+  friend bool operator==(const ScanStats&, const ScanStats&) = default;
+};
+
+// Live counters shared between N scanning workers and the monitor thread.
+// Relaxed ordering is sufficient: the monitor only renders approximate
+// progress; exact totals come from the per-worker ScanStats after join.
+struct ScanProgress {
+  std::atomic<std::uint64_t> targets_generated{0};
+  std::atomic<std::uint64_t> blocked{0};
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> validated{0};
+  std::atomic<std::uint64_t> discarded{0};
+  std::atomic<std::uint32_t> workers_done{0};
+
+  [[nodiscard]] ScanStats snapshot() const {
+    ScanStats s;
+    s.targets_generated = targets_generated.load(std::memory_order_relaxed);
+    s.blocked = blocked.load(std::memory_order_relaxed);
+    s.sent = sent.load(std::memory_order_relaxed);
+    s.received = received.load(std::memory_order_relaxed);
+    s.validated = validated.load(std::memory_order_relaxed);
+    s.discarded = discarded.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+}  // namespace xmap::scan

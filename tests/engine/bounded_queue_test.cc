@@ -1,0 +1,104 @@
+// The executor's only cross-thread channel: FIFO per producer, bounded
+// (backpressure), close-then-drain termination.
+#include "engine/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace xmap::engine {
+namespace {
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> queue{8};
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> queue{0};
+  EXPECT_EQ(queue.capacity(), 1u);
+}
+
+TEST(BoundedQueue, CloseThenDrain) {
+  BoundedQueue<int> queue{4};
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(3));  // rejected after close
+  EXPECT_EQ(queue.pop(), 1);    // remaining items still drain
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // then terminal nullopt
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue{4};
+  std::thread consumer{[&queue] { EXPECT_EQ(queue.pop(), std::nullopt); }};
+  queue.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, CapacityBlocksProducerUntilConsumed) {
+  BoundedQueue<int> queue{2};
+  std::atomic<int> pushed{0};
+  std::thread producer{[&] {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(queue.push(i));
+      pushed.fetch_add(1);
+    }
+  }};
+  // The producer can get at most `capacity` ahead of the consumer.
+  int got = 0;
+  while (got < 100) {
+    auto v = queue.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, got);
+    ++got;
+    EXPECT_LE(pushed.load(), got + 2 + 1);  // capacity + one in-flight push
+  }
+  producer.join();
+  EXPECT_EQ(pushed.load(), 100);
+}
+
+TEST(BoundedQueue, MultiProducerKeepsPerProducerOrderAndLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kItems = 2000;
+  BoundedQueue<std::pair<int, int>> queue{16};  // small bound: backpressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kItems; ++i) {
+        ASSERT_TRUE(queue.push({p, i}));
+      }
+    });
+  }
+  std::thread closer{[&] {
+    for (auto& t : producers) t.join();
+    queue.close();
+  }};
+
+  std::vector<int> next(kProducers, 0);
+  int total = 0;
+  while (auto item = queue.pop()) {
+    const auto [p, i] = *item;
+    EXPECT_EQ(i, next[static_cast<std::size_t>(p)]++);  // FIFO per producer
+    ++total;
+  }
+  closer.join();
+  EXPECT_EQ(total, kProducers * kItems);
+  EXPECT_EQ(std::accumulate(next.begin(), next.end(), 0),
+            kProducers * kItems);
+}
+
+}  // namespace
+}  // namespace xmap::engine

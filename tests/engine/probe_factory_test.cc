@@ -1,0 +1,51 @@
+// Selector parsing: every malformed suffix must be rejected with a
+// descriptive error (regression: std::atoi silently yielded hop limit 0 /
+// port 0 for inputs like "icmp_echo:abc" and "tcp_syn:").
+#include "engine/probe_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace xmap::engine {
+namespace {
+
+TEST(ProbeFactory, BuildsDocumentedModules) {
+  EXPECT_EQ(make_probe_module("icmp_echo").module->name(), "icmpv6_echo");
+  EXPECT_EQ(make_probe_module("icmp_echo:255").module->name(),
+            "icmpv6_echo");
+  EXPECT_EQ(make_probe_module("tcp_syn:443").module->name(), "tcp_syn");
+  EXPECT_EQ(make_probe_module("udp_dns").module->name(), "udp_dns");
+  EXPECT_EQ(make_probe_module("udp_ntp").module->name(), "udp_ntp");
+}
+
+TEST(ProbeFactory, HopLimitSuffixIsApplied) {
+  auto result = make_probe_module("icmp_echo:32");
+  ASSERT_NE(result.module, nullptr);
+  EXPECT_EQ(static_cast<scan::IcmpEchoProbe&>(*result.module).hop_limit(),
+            32);
+}
+
+TEST(ProbeFactory, RejectsMalformedSelectors) {
+  for (const char* selector :
+       {"icmp_echo:abc", "icmp_echo:", "icmp_echo:0", "icmp_echo:256",
+        "icmp_echo:64x", "icmp_echo: 64", "tcp_syn:", "tcp_syn:abc",
+        "tcp_syn:0", "tcp_syn:65536", "tcp_syn:80x", "udp_dns:53", "nope",
+        ""}) {
+    auto result = make_probe_module(selector);
+    EXPECT_EQ(result.module, nullptr) << "accepted: " << selector;
+    EXPECT_FALSE(result.error.empty()) << selector;
+  }
+}
+
+TEST(ProbeFactory, ErrorsNameTheSelectorAndConstraint) {
+  EXPECT_NE(make_probe_module("icmp_echo:abc").error.find("1..255"),
+            std::string::npos);
+  EXPECT_NE(make_probe_module("tcp_syn:").error.find("1..65535"),
+            std::string::npos);
+  // traceroute is a runner, not a bulk module; the error should say so
+  // rather than claim the name is unknown.
+  EXPECT_NE(make_probe_module("traceroute").error.find("traceroute"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmap::engine

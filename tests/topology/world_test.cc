@@ -1,0 +1,59 @@
+// World-selector resolution (shared by tools/xmap_sim and the engine).
+#include "topology/world.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/paper_profiles.h"
+
+namespace xmap::topo {
+namespace {
+
+WorldResult resolve(const std::string& selector, std::uint64_t seed = 1) {
+  return resolve_world(selector, seed, paper::vendor_catalog());
+}
+
+TEST(ResolveWorld, PaperYieldsTheFifteenCalibratedBlocks) {
+  auto result = resolve("paper");
+  ASSERT_TRUE(result.specs.has_value()) << result.error;
+  EXPECT_EQ(result.specs->size(), 15u);
+}
+
+TEST(ResolveWorld, BgpCountIsParsedStrictly) {
+  auto result = resolve("bgp:25");
+  ASSERT_TRUE(result.specs.has_value()) << result.error;
+  EXPECT_EQ(result.specs->size(), 25u);
+
+  for (const char* bad :
+       {"bgp:", "bgp:abc", "bgp:0", "bgp:-3", "bgp:12x", "bgp:100001"}) {
+    auto rejected = resolve(bad);
+    EXPECT_FALSE(rejected.specs.has_value()) << "accepted: " << bad;
+    EXPECT_NE(rejected.error.find(bad), std::string::npos) << rejected.error;
+  }
+}
+
+TEST(ResolveWorld, BgpIsDeterministicPerSeed) {
+  auto a = resolve("bgp:10", 7);
+  auto b = resolve("bgp:10", 7);
+  ASSERT_TRUE(a.specs && b.specs);
+  ASSERT_EQ(a.specs->size(), b.specs->size());
+  for (std::size_t i = 0; i < a.specs->size(); ++i) {
+    EXPECT_EQ((*a.specs)[i].name, (*b.specs)[i].name);
+    EXPECT_EQ((*a.specs)[i].block_base, (*b.specs)[i].block_base);
+  }
+}
+
+TEST(ResolveWorld, MissingFileIsAnError) {
+  auto result = resolve("file:/nonexistent/world.json");
+  EXPECT_FALSE(result.specs.has_value());
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ResolveWorld, UnknownSelectorNamesTheGrammar) {
+  auto result = resolve("mars");
+  ASSERT_FALSE(result.specs.has_value());
+  EXPECT_NE(result.error.find("mars"), std::string::npos);
+  EXPECT_NE(result.error.find("bgp:<n>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmap::topo

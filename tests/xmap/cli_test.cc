@@ -55,6 +55,34 @@ TEST(Cli, FullFlagSet) {
   EXPECT_FALSE(opts.use_default_blocklist);
 }
 
+TEST(Cli, ParallelEngineFlags) {
+  auto result = parse({"--threads", "8", "--status-updates-file", "-",
+                       "--status-interval-ms", "100"});
+  ASSERT_TRUE(result.options.has_value()) << result.error;
+  EXPECT_EQ(result.options->threads, 8);
+  EXPECT_EQ(result.options->status_updates_file, "-");
+  EXPECT_EQ(result.options->status_interval_ms, 100);
+
+  // Defaults: classic path, monitor off.
+  auto plain = parse({});
+  EXPECT_EQ(plain.options->threads, 0);
+  EXPECT_TRUE(plain.options->status_updates_file.empty());
+  EXPECT_EQ(plain.options->status_interval_ms, 250);
+
+  EXPECT_FALSE(parse({"--threads", "0"}).options.has_value());
+  EXPECT_FALSE(parse({"--threads", "65"}).options.has_value());
+  EXPECT_FALSE(parse({"--threads", "abc"}).options.has_value());
+  EXPECT_FALSE(parse({"--status-updates-file"}).options.has_value());
+  EXPECT_FALSE(
+      parse({"--status-interval-ms", "5"}).options.has_value());
+  // The traceroute runner is single-threaded and unmonitored.
+  EXPECT_FALSE(parse({"--threads", "2", "--probe-module", "traceroute"})
+                   .options.has_value());
+  EXPECT_FALSE(parse({"--status-updates-file", "-", "--probe-module",
+                      "traceroute"})
+                   .options.has_value());
+}
+
 TEST(Cli, RetriesFlag) {
   auto result = parse({"--retries", "3"});
   ASSERT_TRUE(result.options.has_value());

@@ -340,6 +340,39 @@ TEST(ResultCollectorUnit, DedupAndCounts) {
   ASSERT_EQ(collector.aliased().size(), 1u);
 }
 
+TEST(ResultCollectorUnit, MergeUnionsResponderMapsExactly) {
+  ProbeResponse r;
+  r.kind = ResponseKind::kDestUnreachable;
+  r.responder = *Ipv6Address::parse("3fff::1");
+  r.probe_dst = *Ipv6Address::parse("3fff::2");
+
+  // Split the same response stream across two collectors (two workers)...
+  ResultCollector left{2};
+  ResultCollector right{2};
+  left.add(r);
+  left.add(r);
+  right.add(r);
+  ProbeResponse other = r;
+  other.responder = *Ipv6Address::parse("3fff::99");
+  right.add(other);
+
+  // ...the merged union must classify like a single collector that saw all
+  // four: 3fff::1 crossed the alias threshold only across the shards.
+  left.merge(right);
+  EXPECT_EQ(left.total_responses(), 4u);
+  EXPECT_EQ(left.count_of(ResponseKind::kDestUnreachable), 4u);
+  EXPECT_EQ(left.unique_responders(), 2u);
+  ASSERT_EQ(left.aliased().size(), 1u);
+  EXPECT_EQ(left.aliased()[0].responses, 3u);
+  ASSERT_EQ(left.last_hops().size(), 1u);
+  EXPECT_EQ(left.last_hops()[0].address, other.responder);
+
+  // Merging an empty collector is a no-op.
+  const std::uint64_t before = left.total_responses();
+  left.merge(ResultCollector{2});
+  EXPECT_EQ(left.total_responses(), before);
+}
+
 TEST(ResultCollectorUnit, SamePrefix64Flag) {
   ProbeResponse same;
   same.responder = *Ipv6Address::parse("3fff:1:2:3::aa");

@@ -5,14 +5,16 @@
 //
 //   $ xmap_sim --world paper --probe-module icmp_echo --rate 100000
 //              --output-format jsonl --output-file scan.jsonl
+//   $ xmap_sim --threads 4 --status-updates-file -
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 
-#include "services/dns_codec.h"
+#include "engine/executor.h"
+#include "engine/probe_factory.h"
 #include "topology/paper_profiles.h"
-#include "topology/spec_loader.h"
+#include "topology/world.h"
 #include "xmap/cli.h"
 #include "xmap/output.h"
 #include "xmap/scanner.h"
@@ -22,28 +24,25 @@ using namespace xmap;
 
 namespace {
 
-std::unique_ptr<scan::ProbeModule> make_module(const std::string& selector) {
-  if (selector == "icmp_echo") {
-    return std::make_unique<scan::IcmpEchoProbe>(64);
+void print_stats_footer(const scan::ScanStats& stats, int threads,
+                        double wall_seconds) {
+  std::fprintf(
+      stderr,
+      "xmap_sim: %llu probes sent (%llu blocked), %llu responses "
+      "(%llu validated, %llu discarded), hit rate %.2f%%, "
+      "simulated duration %.2fs",
+      static_cast<unsigned long long>(stats.sent),
+      static_cast<unsigned long long>(stats.blocked),
+      static_cast<unsigned long long>(stats.received),
+      static_cast<unsigned long long>(stats.validated),
+      static_cast<unsigned long long>(stats.discarded),
+      100.0 * stats.hit_rate(),
+      static_cast<double>(stats.last_send - stats.first_send) /
+          static_cast<double>(sim::kSecond));
+  if (threads > 0) {
+    std::fprintf(stderr, ", %d workers, wall %.2fs", threads, wall_seconds);
   }
-  if (selector.rfind("icmp_echo:", 0) == 0) {
-    return std::make_unique<scan::IcmpEchoProbe>(
-        static_cast<std::uint8_t>(std::atoi(selector.c_str() + 10)));
-  }
-  if (selector.rfind("tcp_syn:", 0) == 0) {
-    return std::make_unique<scan::TcpSynProbe>(
-        static_cast<std::uint16_t>(std::atoi(selector.c_str() + 8)));
-  }
-  if (selector == "udp_dns") {
-    return std::make_unique<scan::UdpProbe>(
-        53, svc::make_version_query(0x4242).encode(), "udp_dns");
-  }
-  if (selector == "udp_ntp") {
-    pkt::Bytes ntp(48, 0);
-    ntp[0] = (4 << 3) | 3;
-    return std::make_unique<scan::UdpProbe>(123, std::move(ntp), "udp_ntp");
-  }
-  return nullptr;  // "traceroute" handled by the runner path below
+  std::fputc('\n', stderr);
 }
 
 }  // namespace
@@ -67,29 +66,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // --- Substrate -----------------------------------------------------------
-  sim::Network net{opts.seed};
+  // --- World ---------------------------------------------------------------
   topo::BuildConfig build_cfg;
   build_cfg.window_bits = opts.window_bits;
   build_cfg.seed = opts.seed;
-  std::vector<topo::IspSpec> specs;
-  if (opts.world == "paper") {
-    specs = topo::paper::isp_specs();
-  } else if (opts.world.rfind("bgp:", 0) == 0) {
-    specs = topo::paper::bgp_specs(std::atoi(opts.world.c_str() + 4),
-                                   opts.seed);
-  } else {  // file:<path>
-    auto loaded = topo::load_specs_from_file(
-        opts.world.substr(5), topo::paper::vendor_catalog());
-    if (!loaded.specs) {
-      std::fprintf(stderr, "xmap_sim: %s\n", loaded.error.c_str());
-      return 2;
-    }
-    specs = std::move(*loaded.specs);
+  auto world = topo::resolve_world(opts.world, opts.seed,
+                                   topo::paper::vendor_catalog());
+  if (!world.specs) {
+    std::fprintf(stderr, "xmap_sim: %s\n", world.error.c_str());
+    return 2;
   }
-  auto internet = topo::build_internet(net, specs,
-                                       topo::paper::vendor_catalog(),
-                                       build_cfg);
+  const std::vector<topo::IspSpec>& specs = *world.specs;
 
   // --- Output --------------------------------------------------------------
   std::ofstream file;
@@ -104,21 +91,34 @@ int main(int argc, char** argv) {
   std::ostream& out = opts.output_file.empty() ? std::cout : file;
   auto writer = scan::make_writer(opts.output_format, out);
 
-  // --- Scan ----------------------------------------------------------------
+  // --- Scan configuration --------------------------------------------------
   scan::ScanConfig cfg;
   cfg.targets = opts.targets;
-  if (cfg.targets.empty()) {
-    for (const auto& isp : internet.isps) {
-      cfg.targets.push_back(
-          scan::TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
-    }
-  }
+  cfg.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.seed = opts.seed;
+  cfg.probes_per_sec = opts.rate_pps;
+  cfg.shard = opts.shard;
+  cfg.shards = opts.shards;
+  cfg.max_probes = opts.max_probes;
+  cfg.retries = opts.retries;
+  const scan::Blocklist blocklist = scan::Blocklist::well_behaved_defaults();
+  if (opts.use_default_blocklist) cfg.blocklist = &blocklist;
 
   if (opts.probe_module == "traceroute") {
     // Traceroute mode: hop-walk one address per delegation slot (bounded by
     // --max-probes, counted in targets). Each responding hop is one record.
+    sim::Network net{opts.seed};
+    auto internet = topo::build_internet(net, specs,
+                                         topo::paper::vendor_catalog(),
+                                         build_cfg);
+    if (cfg.targets.empty()) {
+      for (const auto& isp : internet.isps) {
+        cfg.targets.push_back(
+            scan::TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+      }
+    }
     scan::TracerouteRunner::Config tr_cfg;
-    tr_cfg.source = *net::Ipv6Address::parse("2001:500::1");
+    tr_cfg.source = cfg.source;
     tr_cfg.seed = opts.seed;
     auto* runner = net.make_node<scan::TracerouteRunner>(tr_cfg);
     const int tr_iface = topo::attach_vantage(
@@ -158,25 +158,70 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  cfg.source = *net::Ipv6Address::parse("2001:500::1");
-  cfg.seed = opts.seed;
-  cfg.probes_per_sec = opts.rate_pps;
-  cfg.shard = opts.shard;
-  cfg.shards = opts.shards;
-  cfg.max_probes = opts.max_probes;
-  cfg.retries = opts.retries;
-  const scan::Blocklist blocklist = scan::Blocklist::well_behaved_defaults();
-  if (opts.use_default_blocklist) cfg.blocklist = &blocklist;
 
-  auto module = make_module(opts.probe_module);
-  if (!module) {
-    std::fprintf(stderr, "xmap_sim: probe module '%s' is not available in "
-                         "the bulk driver\n",
-                 opts.probe_module.c_str());
+  auto module = engine::make_probe_module(opts.probe_module);
+  if (!module.module) {
+    std::fprintf(stderr, "xmap_sim: %s\n", module.error.c_str());
     return 2;
   }
 
-  auto* scanner = net.make_node<scan::SimChannelScanner>(cfg, *module);
+  // --- Parallel engine path ------------------------------------------------
+  if (opts.threads > 0 || !opts.status_updates_file.empty()) {
+    std::ofstream status_file;
+    std::ostream* status_out = nullptr;
+    if (opts.status_updates_file == "-") {
+      status_out = &std::clog;  // stderr, keeps result output clean
+    } else if (!opts.status_updates_file.empty()) {
+      status_file.open(opts.status_updates_file);
+      if (!status_file) {
+        std::fprintf(stderr, "xmap_sim: cannot open %s\n",
+                     opts.status_updates_file.c_str());
+        return 2;
+      }
+      status_out = &status_file;
+    }
+
+    engine::EngineConfig engine_cfg;
+    engine_cfg.world_specs = specs;
+    engine_cfg.vendors = topo::paper::vendor_catalog();
+    engine_cfg.build = build_cfg;
+    engine_cfg.module = module.module.get();
+    engine_cfg.scan = cfg;
+    engine_cfg.threads = opts.threads > 0 ? opts.threads : 1;
+    engine_cfg.status_out = status_out;
+    engine_cfg.status_interval_ms = opts.status_interval_ms;
+    auto result = engine::run_parallel_scan(engine_cfg);
+    if (!result.ok) {
+      std::fprintf(stderr, "xmap_sim: %s\n", result.error.c_str());
+      return 2;
+    }
+
+    // Records are pre-sorted deterministically by the engine, so the
+    // output stream is byte-identical across runs for a fixed seed.
+    writer->begin();
+    for (const auto& record : result.records) {
+      writer->record(record.response, record.when);
+    }
+    writer->end();
+    if (!opts.quiet) {
+      print_stats_footer(result.stats, engine_cfg.threads,
+                         result.wall_seconds);
+    }
+    return 0;
+  }
+
+  // --- Classic single-thread in-process path -------------------------------
+  sim::Network net{opts.seed};
+  auto internet = topo::build_internet(net, specs,
+                                       topo::paper::vendor_catalog(),
+                                       build_cfg);
+  if (cfg.targets.empty()) {
+    for (const auto& isp : internet.isps) {
+      cfg.targets.push_back(
+          scan::TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+    }
+  }
+  auto* scanner = net.make_node<scan::SimChannelScanner>(cfg, *module.module);
   const int iface = topo::attach_vantage(
       net, internet, scanner, *net::Ipv6Prefix::parse("2001:500::/48"));
   scanner->set_iface(iface);
@@ -190,21 +235,6 @@ int main(int argc, char** argv) {
   net.run();
   writer->end();
 
-  if (!opts.quiet) {
-    const auto& stats = scanner->stats();
-    std::fprintf(
-        stderr,
-        "xmap_sim: %llu probes sent (%llu blocked), %llu responses "
-        "(%llu validated, %llu discarded), hit rate %.2f%%, "
-        "simulated duration %.2fs\n",
-        static_cast<unsigned long long>(stats.sent),
-        static_cast<unsigned long long>(stats.blocked),
-        static_cast<unsigned long long>(stats.received),
-        static_cast<unsigned long long>(stats.validated),
-        static_cast<unsigned long long>(stats.discarded),
-        100.0 * stats.hit_rate(),
-        static_cast<double>(stats.last_send - stats.first_send) /
-            static_cast<double>(sim::kSecond));
-  }
+  if (!opts.quiet) print_stats_footer(scanner->stats(), 0, 0);
   return 0;
 }
