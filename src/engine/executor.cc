@@ -76,7 +76,7 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   std::vector<WorkerReport> reports(static_cast<std::size_t>(threads));
   std::atomic<int> active{threads};
 
-  const auto worker_main = [&](int w) {
+  const auto worker_body = [&](int w) {
     // Thread-confined deterministic replica: every worker builds the same
     // world from the same specs and seed, then walks its own sub-shard of
     // the permutation. No state is shared with other workers except the
@@ -84,6 +84,19 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     sim::Network net{config.build.seed};
     auto internet = topo::build_internet(net, config.world_specs,
                                          config.vendors, config.build);
+    if (config.faults.any()) {
+      sim::FaultInjector* injector = net.install_faults(config.faults);
+      // Every periphery device is a silent-window candidate; the injector
+      // picks the configured fraction with a keyed per-node coin, so the
+      // selection is identical in every replica.
+      std::vector<sim::NodeId> candidates;
+      for (const auto& isp : internet.isps) {
+        for (const auto& device : isp.devices) {
+          candidates.push_back(device.node);
+        }
+      }
+      injector->choose_silent(candidates);
+    }
     scan::ScanConfig wcfg = base;
     wcfg.shard = config.scan.shard * threads + w;
     wcfg.shards = config.scan.shards * threads;
@@ -96,10 +109,6 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
         // Zero share means "send nothing", but 0 encodes "unlimited" in
         // ScanConfig — skip the scan outright.
         reports[static_cast<std::size_t>(w)].sim_duration = 0;
-        progress.workers_done.fetch_add(1, std::memory_order_relaxed);
-        if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          queue.close();
-        }
         return;
       }
     }
@@ -120,6 +129,25 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     WorkerReport& report = reports[static_cast<std::size_t>(w)];
     report.stats = scanner->stats();
     report.sim_duration = net.now();
+  };
+
+  const auto worker_main = [&](int w) {
+    // Failure containment: a throwing worker must neither std::terminate
+    // the process nor leave the collector blocked on an open queue. The
+    // error is reported structurally; surviving workers' results stand.
+    try {
+      worker_body(w);
+    } catch (const std::exception& e) {
+      WorkerReport& report = reports[static_cast<std::size_t>(w)];
+      report.failed = true;
+      report.error = e.what();
+      progress.workers_failed.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      WorkerReport& report = reports[static_cast<std::size_t>(w)];
+      report.failed = true;
+      report.error = "unknown exception";
+      progress.workers_failed.fetch_add(1, std::memory_order_relaxed);
+    }
     progress.workers_done.fetch_add(1, std::memory_order_relaxed);
     // The last worker out closes the queue so the collector loop drains
     // the tail and terminates.
@@ -162,9 +190,12 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   for (const auto& report : reports) {
     result.stats += report.stats;
     summary.per_worker.push_back(report.stats);
+    summary.worker_errors.push_back(report.error);
+    if (report.failed) ++result.failed_workers;
     summary.sim_duration_ns =
         std::max<std::uint64_t>(summary.sim_duration_ns, report.sim_duration);
   }
+  summary.failed_workers = result.failed_workers;
   result.workers = std::move(reports);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

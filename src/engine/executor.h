@@ -45,6 +45,11 @@ struct EngineConfig {
   // across workers. `scan.targets` empty = scan every block of the world.
   scan::ScanConfig scan;
 
+  // Fault-injection plan installed into every worker's network replica
+  // (plan.any() == false leaves the substrate pristine). Every CPE/UE
+  // device node is a silent-window candidate.
+  sim::FaultPlan faults;
+
   int threads = 1;  // worker count (1..kMaxWorkers)
 
   // Result-queue bound: workers block (backpressure) when the collector
@@ -72,6 +77,10 @@ struct EngineRecord {
 struct WorkerReport {
   scan::ScanStats stats;
   sim::SimTime sim_duration = 0;  // worker's final sim-clock reading
+  // Failure containment: a worker thread that throws is reported here
+  // (partial stats retained) instead of taking the process down.
+  bool failed = false;
+  std::string error;
 };
 
 struct EngineResult {
@@ -85,6 +94,7 @@ struct EngineResult {
   scan::ResultCollector collector;  // merged union of all workers
   scan::ScanStats stats;            // per-worker stats, summed
   std::vector<WorkerReport> workers;
+  int failed_workers = 0;  // workers that threw (see WorkerReport::error)
   double wall_seconds = 0;
 
   // The JSON metrics snapshot (also written to status_out when set).

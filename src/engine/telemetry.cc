@@ -96,10 +96,15 @@ std::string Monitor::status_line(bool final_line) const {
        << rate_string(elapsed > 0 ? static_cast<double>(s.sent) / elapsed : 0)
        << " avg); recv: " << s.validated << " ok";
   if (s.discarded > 0) line << ", " << s.discarded << " stray";
+  if (s.corrupted > 0) line << ", " << s.corrupted << " corrupt";
+  if (s.late > 0) line << ", " << s.late << " late";
   char hits[32];
   std::snprintf(hits, sizeof hits, "; hits: %.2f%%", 100.0 * s.hit_rate());
   line << hits;
   line << "; workers: " << done << "/" << options_.workers << " done";
+  const std::uint32_t failed =
+      progress_.workers_failed.load(std::memory_order_relaxed);
+  if (failed > 0) line << ", " << failed << " FAILED";
   return line.str();
 }
 
@@ -109,10 +114,29 @@ std::string metrics_json(const MetricsSummary& summary) {
     out << "\"targets_generated\":" << s.targets_generated
         << ",\"blocked\":" << s.blocked << ",\"sent\":" << s.sent
         << ",\"received\":" << s.received << ",\"validated\":" << s.validated
-        << ",\"discarded\":" << s.discarded;
+        << ",\"discarded\":" << s.discarded
+        << ",\"retransmits\":" << s.retransmits
+        << ",\"duplicates\":" << s.duplicates
+        << ",\"corrupted\":" << s.corrupted << ",\"late\":" << s.late
+        << ",\"rate_adjustments\":" << s.rate_adjustments;
     char rate[32];
     std::snprintf(rate, sizeof rate, "%.6f", s.hit_rate());
     out << ",\"hit_rate\":" << rate;
+  };
+  const auto json_escape = [](const std::string& s) {
+    std::string escaped;
+    escaped.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+        escaped += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        escaped += ' ';
+      } else {
+        escaped += c;
+      }
+    }
+    return escaped;
   };
 
   char wall[32];
@@ -123,11 +147,15 @@ std::string metrics_json(const MetricsSummary& summary) {
   out << ",\"unique_responders\":" << summary.unique_responders
       << ",\"aliased_responders\":" << summary.aliased_responders
       << ",\"sim_duration_ns\":" << summary.sim_duration_ns
+      << ",\"workers_failed\":" << summary.failed_workers
       << ",\"per_worker\":[";
   for (std::size_t w = 0; w < summary.per_worker.size(); ++w) {
     if (w != 0) out << ",";
     out << "{\"worker\":" << w << ",";
     stats_fields(summary.per_worker[w]);
+    if (w < summary.worker_errors.size() && !summary.worker_errors[w].empty()) {
+      out << ",\"error\":\"" << json_escape(summary.worker_errors[w]) << "\"";
+    }
     out << "}";
   }
   out << "]}";

@@ -66,6 +66,10 @@ struct MetricsSummary {
   double wall_seconds = 0;
   scan::ScanStats merged;
   std::vector<scan::ScanStats> per_worker;
+  // Parallel to per_worker: the contained failure message for workers that
+  // threw ("" for healthy workers).
+  std::vector<std::string> worker_errors;
+  int failed_workers = 0;
   std::uint64_t unique_responders = 0;
   std::uint64_t aliased_responders = 0;
   std::uint64_t sim_duration_ns = 0;  // longest worker sim-clock duration

@@ -121,7 +121,7 @@ class Icmpv6View {
   [[nodiscard]] std::uint16_t checksum() const {
     return static_cast<std::uint16_t>((d_[2] << 8) | d_[3]);
   }
-  [[nodiscard]] bool is_error() const { return d_[0] < 128; }
+  [[nodiscard]] bool is_error() const { return !d_.empty() && d_[0] < 128; }
 
   // Echo messages.
   [[nodiscard]] std::uint16_t ident() const {

@@ -25,12 +25,41 @@ void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
       static_cast<std::size_t>(iface) >= node_links_[from].size()) {
     return;
   }
-  Link& link = links_[node_links_[from][static_cast<std::size_t>(iface)]];
+  const LinkId link_id = node_links_[from][static_cast<std::size_t>(iface)];
+  Link& link = links_[link_id];
   const bool is_a = link.a.node == from && link.a.iface == iface;
 
   if (link.params.loss > 0 && rng_.bernoulli(link.params.loss)) {
     ++link.stats.dropped;
     return;
+  }
+
+  FaultInjector::Verdict verdict;
+  if (faults_) {
+    verdict = faults_->on_transmit(link_id, link.params.fault_class,
+                                   loop_.now(), packet);
+    if (verdict.drop) {
+      ++link.stats.dropped;
+      return;
+    }
+    if (verdict.corrupt && packet.size() > pkt::kIpv6HeaderSize) {
+      // Flip a couple of bits in the delivered copy: enough to break the
+      // upper-layer checksum without changing the packet length. Flips are
+      // confined to the L4 payload — real-world flips that rewrite the IPv6
+      // header (addresses, hop limit) die at the next hop's checks and are
+      // indistinguishable from loss, which the loss dials already model;
+      // letting them through would also let corruption re-aim or resurrect
+      // packets caught in routing loops, turning the loop amplifier into an
+      // unbounded event cascade when combined with duplication.
+      const std::size_t span = packet.size() - pkt::kIpv6HeaderSize;
+      std::uint64_t k = verdict.corrupt_key;
+      const int flips = 1 + static_cast<int>(k % 3);
+      for (int i = 0; i < flips; ++i) {
+        k = net::mix64(k);
+        packet[pkt::kIpv6HeaderSize + k % span] ^=
+            static_cast<std::uint8_t>(1u << ((k >> 32) % 8));
+      }
+    }
   }
 
   const Endpoint dest = is_a ? link.b : link.a;
@@ -47,7 +76,7 @@ void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
     next_free = depart + ser;
     depart += ser;
   }
-  const SimTime arrive = depart + link.params.latency;
+  const SimTime arrive = depart + link.params.latency + verdict.extra_delay;
 
   if (is_a) {
     ++link.stats.packets_ab;
@@ -57,12 +86,21 @@ void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
     link.stats.bytes_ba += size;
   }
 
-  loop_.schedule_at(
-      arrive, [this, from, dest, p = std::move(packet)]() mutable {
-        ++packets_delivered_;
-        if (tracer_) tracer_(loop_.now(), from, dest.node, p);
-        nodes_[dest.node]->receive(p, dest.iface);
-      });
+  const auto deliver = [this, from, dest](const pkt::Bytes& p) {
+    if (faults_ && faults_->node_silent(dest.node, loop_.now())) {
+      faults_->count_silent_drop();
+      return;
+    }
+    ++packets_delivered_;
+    if (tracer_) tracer_(loop_.now(), from, dest.node, p);
+    nodes_[dest.node]->receive(p, dest.iface);
+  };
+  if (verdict.duplicate) {
+    loop_.schedule_at(arrive + kMicrosecond,
+                      [deliver, p = packet] { deliver(p); });
+  }
+  loop_.schedule_at(arrive,
+                    [deliver, p = std::move(packet)] { deliver(p); });
 }
 
 }  // namespace xmap::sim

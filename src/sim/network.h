@@ -16,11 +16,10 @@
 #include "netbase/random.h"
 #include "packet/packet.h"
 #include "sim/event_loop.h"
+#include "sim/faults.h"
 
 namespace xmap::sim {
 
-using NodeId = std::uint32_t;
-using LinkId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = ~NodeId{0};
 
 class Network;
@@ -55,6 +54,9 @@ struct LinkParams {
   double loss = 0.0;                     // per-packet drop probability
   // Serialization rate in bits per simulated second; 0 = infinite.
   std::uint64_t rate_bps = 0;
+  // Fault-plan scope: which LinkFaultParams of an installed FaultPlan
+  // applies to this link (builders tag core vs access tiers).
+  LinkClass fault_class = LinkClass::kOther;
 };
 
 struct LinkStats {
@@ -71,7 +73,7 @@ struct LinkStats {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Network(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -143,6 +145,15 @@ class Network {
                                     const pkt::Bytes& packet)>;
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
+  // Installs (or replaces) the fault-injection layer. A plan with
+  // seed == 0 inherits the network seed, so one seed still pins the whole
+  // run. Returns the injector for silent-candidate registration.
+  FaultInjector* install_faults(const FaultPlan& plan) {
+    faults_ = std::make_unique<FaultInjector>(plan, seed_);
+    return faults_.get();
+  }
+  [[nodiscard]] FaultInjector* faults() const { return faults_.get(); }
+
  private:
   friend class Node;
 
@@ -164,7 +175,9 @@ class Network {
 
   EventLoop loop_;
   net::Rng rng_;
+  std::uint64_t seed_ = 1;
   Tracer tracer_;
+  std::unique_ptr<FaultInjector> faults_;
 #ifndef NDEBUG
   std::thread::id owner_{};  // set by the first run(); see assert_confined()
 #endif

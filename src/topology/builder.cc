@@ -67,7 +67,12 @@ ScanWindow scan_window(const IspSpec& spec, int window_bits) {
 BuiltInternet build_internet(sim::Network& net,
                              const std::vector<IspSpec>& isps,
                              const std::vector<VendorProfile>& vendors,
-                             const BuildConfig& config) {
+                             const BuildConfig& raw_config) {
+  // Tag the link tiers for class-scoped fault plans (sim::FaultPlan): the
+  // caller dials loss/flap/etc. per class, not per link.
+  BuildConfig config = raw_config;
+  config.core_link.fault_class = sim::LinkClass::kCore;
+  config.access_link.fault_class = sim::LinkClass::kAccess;
   BuiltInternet out;
   out.vendors = vendors;
   out.oui = OuiDb::from_vendors(vendors);
@@ -385,7 +390,9 @@ BuiltInternet build_internet(sim::Network& net,
 int attach_vantage(sim::Network& net, BuiltInternet& internet, sim::Node* node,
                    const net::Ipv6Prefix& vantage_prefix,
                    const sim::LinkParams& link) {
-  const auto att = net.connect(node->id(), internet.core->id(), link);
+  sim::LinkParams tagged = link;
+  tagged.fault_class = sim::LinkClass::kCore;
+  const auto att = net.connect(node->id(), internet.core->id(), tagged);
   internet.core->table().add_forward(vantage_prefix, att.iface_b);
   return att.iface_a;
 }

@@ -20,6 +20,75 @@ VendorId vendor_by_name(const std::vector<VendorProfile>& vendors,
   return -1;
 }
 
+// Parses one per-link-class fault block ("access"/"core"/"other").
+std::string parse_link_faults(const net::JsonValue& entry,
+                              sim::LinkFaultParams& out) {
+  if (!entry.is_object()) return "must be an object";
+  out.loss = entry.number_or("loss", 0.0);
+  out.duplicate = entry.number_or("duplicate", 0.0);
+  out.corrupt = entry.number_or("corrupt", 0.0);
+  out.jitter_ms = entry.number_or("jitter_ms", 0.0);
+  if (out.loss < 0 || out.loss > 1 || out.duplicate < 0 ||
+      out.duplicate > 1 || out.corrupt < 0 || out.corrupt > 1 ||
+      out.jitter_ms < 0) {
+    return "probabilities must be in [0, 1] and jitter_ms >= 0";
+  }
+  if (const net::JsonValue* burst = entry.find("burst")) {
+    if (!burst->is_object()) return "\"burst\" must be an object";
+    out.burst.rate_per_sec = burst->number_or("rate_per_sec", 0.0);
+    out.burst.mean_ms = burst->number_or("mean_ms", 50.0);
+    out.burst.loss = burst->number_or("loss", 1.0);
+    if (out.burst.rate_per_sec < 0 || out.burst.mean_ms <= 0 ||
+        out.burst.loss < 0 || out.burst.loss > 1) {
+      return "bad \"burst\" parameters";
+    }
+  }
+  if (const net::JsonValue* flap = entry.find("flap")) {
+    if (!flap->is_object()) return "\"flap\" must be an object";
+    out.flap.period_ms = flap->number_or("period_ms", 0.0);
+    out.flap.down_ms = flap->number_or("down_ms", 0.0);
+    out.flap.fraction = flap->number_or("fraction", 1.0);
+    if (out.flap.period_ms < 0 || out.flap.down_ms < 0 ||
+        out.flap.down_ms > out.flap.period_ms || out.flap.fraction < 0 ||
+        out.flap.fraction > 1) {
+      return "bad \"flap\" parameters";
+    }
+  }
+  return {};
+}
+
+std::string parse_fault_plan(const net::JsonValue& entry,
+                             sim::FaultPlan& out) {
+  if (!entry.is_object()) return "\"faults\" must be an object";
+  out.seed =
+      static_cast<std::uint64_t>(entry.number_or("seed", 0.0));
+  const struct {
+    const char* key;
+    sim::LinkFaultParams* params;
+  } classes[] = {{"access", &out.access},
+                 {"core", &out.core},
+                 {"other", &out.other}};
+  for (const auto& cls : classes) {
+    if (const net::JsonValue* v = entry.find(cls.key)) {
+      const std::string err = parse_link_faults(*v, *cls.params);
+      if (!err.empty()) {
+        return std::string{"faults."} + cls.key + ": " + err;
+      }
+    }
+  }
+  if (const net::JsonValue* silent = entry.find("silent")) {
+    if (!silent->is_object()) return "\"faults.silent\" must be an object";
+    out.silent.fraction = silent->number_or("fraction", 0.0);
+    out.silent.start_ms = silent->number_or("start_ms", 0.0);
+    out.silent.duration_ms = silent->number_or("duration_ms", 0.0);
+    if (out.silent.fraction < 0 || out.silent.fraction > 1 ||
+        out.silent.start_ms < 0 || out.silent.duration_ms < 0) {
+      return "bad \"faults.silent\" parameters";
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 SpecLoadResult load_specs_from_json(std::string_view json_text,
@@ -115,7 +184,15 @@ SpecLoadResult load_specs_from_json(std::string_view json_text,
     out.push_back(std::move(spec));
   }
   if (out.empty()) return fail("\"blocks\" is empty");
-  return SpecLoadResult{std::move(out), {}};
+
+  SpecLoadResult result{std::move(out), {}, std::nullopt};
+  if (const net::JsonValue* faults = root.find("faults")) {
+    sim::FaultPlan plan;
+    const std::string err = parse_fault_plan(*faults, plan);
+    if (!err.empty()) return fail(err);
+    result.faults = plan;
+  }
+  return result;
 }
 
 SpecLoadResult load_specs_from_file(const std::string& path,

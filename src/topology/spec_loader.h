@@ -21,7 +21,17 @@
 //       "service_scale": 1.0,
 //       "loop_scale": 0.5
 //     }
-//   ]
+//   ],
+//   "faults": {                         // optional fault-injection plan
+//     "seed": 0,                        // 0 = inherit the world seed
+//     "access": {                       // likewise "core" and "other"
+//       "loss": 0.02,                   // keyed i.i.d. loss probability
+//       "burst": {"rate_per_sec": 2, "mean_ms": 80, "loss": 0.9},
+//       "duplicate": 0.01, "corrupt": 0.005, "jitter_ms": 3,
+//       "flap": {"period_ms": 2000, "down_ms": 200, "fraction": 0.3}
+//     },
+//     "silent": {"fraction": 0.05, "start_ms": 0, "duration_ms": 500}
+//   }
 // }
 #pragma once
 
@@ -29,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.h"
 #include "topology/builder.h"
 
 namespace xmap::topo {
@@ -36,6 +47,8 @@ namespace xmap::topo {
 struct SpecLoadResult {
   std::optional<std::vector<IspSpec>> specs;  // nullopt on error
   std::string error;
+  // Fault plan from the optional top-level "faults" object.
+  std::optional<sim::FaultPlan> faults;
 };
 
 // Parses a JSON document text into block specifications, resolving vendor

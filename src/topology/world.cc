@@ -34,7 +34,7 @@ WorldResult resolve_world(const std::string& selector, std::uint64_t seed,
   if (selector.rfind("file:", 0) == 0) {
     auto loaded = load_specs_from_file(selector.substr(5), vendors);
     if (!loaded.specs) return fail(std::move(loaded.error));
-    return WorldResult{std::move(*loaded.specs), {}};
+    return WorldResult{std::move(*loaded.specs), {}, loaded.faults};
   }
   return fail("unknown world '" + selector +
               "' (want paper, bgp:<n> or file:<path>)");

@@ -23,6 +23,10 @@ namespace xmap::topo {
 struct WorldResult {
   std::optional<std::vector<IspSpec>> specs;  // nullopt on error
   std::string error;                          // set on error
+  // Fault plan embedded in a file: world's optional "faults" object.
+  // Callers use it when the command line supplies no fault flags of its
+  // own (CLI flags build a complete plan and take precedence).
+  std::optional<sim::FaultPlan> faults;
 };
 
 // Resolves `selector` into block specifications. Vendor names inside JSON

@@ -19,6 +19,23 @@ bool parse_double(std::string_view text, double& out) {
   return end == copy.c_str() + copy.size() && !copy.empty();
 }
 
+// Splits "a/b[/c...]" into numbers. Accepts min..max fields, fills `out`.
+bool parse_slashed(std::string_view text, double* out, int min_fields,
+                   int max_fields, int& n_fields) {
+  n_fields = 0;
+  for (;;) {
+    const std::size_t cut = text.find('/');
+    if (n_fields == max_fields) return false;  // too many fields
+    if (!parse_double(text.substr(0, cut), out[n_fields])) return false;
+    ++n_fields;
+    if (cut == std::string_view::npos) break;
+    text.remove_prefix(cut + 1);
+  }
+  return n_fields >= min_fields;
+}
+
+bool unit_range(double v) { return v >= 0 && v <= 1; }
+
 }  // namespace
 
 std::vector<std::string> probe_module_names() {
@@ -48,7 +65,33 @@ Scanning:
   --shards <n> --shard <i>  partition the scan zmap-style
   --max-probes <n>          stop after n probes (default: all)
   --retries <n>             send each probe 1+n times (default 0)
+  --retry-spacing-ms <ms>   target gap between copies of a probe; rounded
+                            to whole pacing slots (default 100)
+  --cooldown-secs <s>       keep receiving this long after the last send,
+                            zmap-style (default 8)
+  --adaptive-rate           AIMD backoff: halve the rate when the hit rate
+                            collapses, recover multiplicatively (note:
+                            makes results depend on --threads)
   --no-blocklist            do not apply the special-use-prefix blocklist
+
+Fault injection (deterministic, keyed off --fault-seed):
+  --fault-seed <n>          fault stream seed (default: the scan seed)
+  --access-loss <p>         i.i.d. loss on access links (0..1)
+  --core-loss <p>           i.i.d. loss on core links (0..1)
+  --burst <r>[/<ms>[/<p>]]  Gilbert-Elliott bursts on access links: r burst
+                            starts per link-second, mean ms long, drop
+                            probability p inside (defaults 50 ms, p=1)
+  --duplicate <p>           access-link duplication probability
+  --corrupt <p>             access-link bit-corruption probability
+  --jitter-ms <ms>          max extra access-link delay (reorders)
+  --flap <period>/<down>[/<frac>]
+                            a fraction of access links goes down for
+                            down ms out of every period ms
+  --silent <frac>[/<start>/<dur_ms>]
+                            fraction of CPEs ignores traffic during the
+                            window (dur 0 = forever)
+  --device-icmp-rate <n>    CPE ICMPv6 error tokens/sec (0 = unlimited)
+  --router-icmp-rate <n>    router ICMPv6 error tokens/sec (0 = unlimited)
 
 Parallel engine:
   --threads <n>             scan with n worker threads, each walking a
@@ -193,6 +236,100 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       std::string value;
       if (!next_value(arg, value)) return fail("--output-file needs a value");
       opts.output_file = value;
+    } else if (arg == "--retry-spacing-ms") {
+      std::string value;
+      if (!next_value(arg, value) ||
+          !parse_double(value, opts.retry_spacing_ms) ||
+          opts.retry_spacing_ms < 0 || opts.retry_spacing_ms > 60000) {
+        return fail("bad --retry-spacing-ms (0..60000)");
+      }
+    } else if (arg == "--cooldown-secs") {
+      std::string value;
+      if (!next_value(arg, value) ||
+          !parse_double(value, opts.cooldown_secs) ||
+          opts.cooldown_secs < 0 || opts.cooldown_secs > 3600) {
+        return fail("bad --cooldown-secs (0..3600)");
+      }
+    } else if (arg == "--adaptive-rate") {
+      opts.adaptive_rate = true;
+    } else if (arg == "--fault-seed") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0) {
+        return fail("bad --fault-seed");
+      }
+      opts.faults.seed = static_cast<std::uint64_t>(n);
+      opts.faults_given = true;
+    } else if (arg == "--access-loss" || arg == "--core-loss" ||
+               arg == "--duplicate" || arg == "--corrupt") {
+      std::string value;
+      double p = 0;
+      if (!next_value(arg, value) || !parse_double(value, p) ||
+          !unit_range(p)) {
+        return fail("bad " + std::string{arg} + " (probability in 0..1)");
+      }
+      if (arg == "--access-loss") opts.faults.access.loss = p;
+      if (arg == "--core-loss") opts.faults.core.loss = p;
+      if (arg == "--duplicate") opts.faults.access.duplicate = p;
+      if (arg == "--corrupt") opts.faults.access.corrupt = p;
+      opts.faults_given = true;
+    } else if (arg == "--jitter-ms") {
+      std::string value;
+      if (!next_value(arg, value) ||
+          !parse_double(value, opts.faults.access.jitter_ms) ||
+          opts.faults.access.jitter_ms < 0) {
+        return fail("bad --jitter-ms");
+      }
+      opts.faults_given = true;
+    } else if (arg == "--burst") {
+      std::string value;
+      double f[3] = {0, 50, 1};
+      int n = 0;
+      if (!next_value(arg, value) || !parse_slashed(value, f, 1, 3, n) ||
+          f[0] < 0 || (n > 1 && f[1] <= 0) || (n > 2 && !unit_range(f[2]))) {
+        return fail("bad --burst (<rate_per_sec>[/<mean_ms>[/<loss>]])");
+      }
+      opts.faults.access.burst.rate_per_sec = f[0];
+      if (n > 1) opts.faults.access.burst.mean_ms = f[1];
+      if (n > 2) opts.faults.access.burst.loss = f[2];
+      opts.faults_given = true;
+    } else if (arg == "--flap") {
+      std::string value;
+      double f[3] = {0, 0, 1};
+      int n = 0;
+      if (!next_value(arg, value) || !parse_slashed(value, f, 2, 3, n) ||
+          f[0] < 0 || f[1] < 0 || f[1] > f[0] ||
+          (n > 2 && !unit_range(f[2]))) {
+        return fail("bad --flap (<period_ms>/<down_ms>[/<fraction>])");
+      }
+      opts.faults.access.flap.period_ms = f[0];
+      opts.faults.access.flap.down_ms = f[1];
+      if (n > 2) opts.faults.access.flap.fraction = f[2];
+      opts.faults_given = true;
+    } else if (arg == "--silent") {
+      std::string value;
+      double f[3] = {0, 0, 0};
+      int n = 0;
+      if (!next_value(arg, value) || !parse_slashed(value, f, 1, 3, n) ||
+          !unit_range(f[0]) || f[1] < 0 || f[2] < 0) {
+        return fail("bad --silent (<fraction>[/<start_ms>/<duration_ms>])");
+      }
+      opts.faults.silent.fraction = f[0];
+      opts.faults.silent.start_ms = f[1];
+      opts.faults.silent.duration_ms = f[2];
+      opts.faults_given = true;
+    } else if (arg == "--device-icmp-rate" || arg == "--router-icmp-rate") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0 ||
+          n > 1000000) {
+        return fail("bad " + std::string{arg} + " (0..1000000 tokens/sec)");
+      }
+      if (arg == "--device-icmp-rate") {
+        opts.device_icmp_rate = static_cast<std::uint32_t>(n);
+      } else {
+        opts.router_icmp_rate = static_cast<std::uint32_t>(n);
+      }
     } else {
       return fail("unknown flag: " + std::string{arg});
     }

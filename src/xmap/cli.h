@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/faults.h"
 #include "xmap/blocklist.h"
 #include "xmap/target_spec.h"
 
@@ -30,7 +31,18 @@ struct CliOptions {
   int shards = 1;           // --shards
   std::uint64_t max_probes = 0;  // --max-probes (0 = all)
   int retries = 0;               // --retries
+  double retry_spacing_ms = 100;  // --retry-spacing-ms
+  double cooldown_secs = 8;       // --cooldown-secs (ZMap semantics)
+  bool adaptive_rate = false;     // --adaptive-rate (AIMD backoff)
   bool use_default_blocklist = true;  // --no-blocklist disables
+
+  // Fault injection (sim substrate). The flags build an access/core-scoped
+  // plan; when none is given, a plan embedded in a file: world applies.
+  sim::FaultPlan faults;
+  bool faults_given = false;
+  // RFC 4443 ICMPv6 error rate limits (tokens/sec; 0 = unlimited).
+  std::uint32_t device_icmp_rate = 0;  // --device-icmp-rate
+  std::uint32_t router_icmp_rate = 0;  // --router-icmp-rate
 
   std::string output_format = "csv";  // --output-format csv|jsonl
   std::string output_file;            // --output-file (empty = stdout)

@@ -172,6 +172,7 @@ std::optional<Uint128> CyclicGroup::Iterator::next() {
     const Uint128 cur = x_;
     x_ = Uint128::mulmod(x_, step_, group_->p_);
     raw_remaining_ -= Uint128{1};
+    raw_visited_ += Uint128{1};
     const Uint128 offset = cur - Uint128{1};
     if (offset < group_->size_) {
       ++yielded_;

@@ -53,6 +53,12 @@ class CyclicGroup {
     // Number of offsets already yielded.
     [[nodiscard]] net::Uint128 yielded() const { return yielded_; }
 
+    // Raw cycle steps consumed so far (yielded offsets plus skipped
+    // positions >= size). After a successful next(), the yielded element's
+    // raw index within this shard's walk is raw_visited() - 1 — the slot
+    // arithmetic the scanner's thread-invariant pacing is built on.
+    [[nodiscard]] net::Uint128 raw_visited() const { return raw_visited_; }
+
    private:
     friend class CyclicGroup;
     Iterator(const CyclicGroup* group, net::Uint128 start, net::Uint128 step)
@@ -62,6 +68,7 @@ class CyclicGroup {
     net::Uint128 step_;  // g^shards (shard stride)
     net::Uint128 x_;
     net::Uint128 raw_remaining_{0};  // raw group elements left to visit
+    net::Uint128 raw_visited_{0};
     net::Uint128 yielded_{0};
   };
 

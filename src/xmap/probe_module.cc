@@ -170,7 +170,10 @@ std::optional<ProbeResponse> UdpProbe::classify(const pkt::Bytes& packet,
 
   if (ip.next_header() == pkt::kProtoUdp) {
     pkt::UdpView udp{ip.payload()};
-    if (!udp.valid() || udp.src_port() != port_) return std::nullopt;
+    if (!udp.valid() || !udp.checksum_ok(ip.src(), ip.dst()) ||
+        udp.src_port() != port_) {
+      return std::nullopt;
+    }
     const std::uint16_t expect_sport = static_cast<std::uint16_t>(
         0xc000 | (probe_tag16(ip.src(), seed, 5) & 0x3fff));
     if (udp.dst_port() != expect_sport) return std::nullopt;

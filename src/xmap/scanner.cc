@@ -1,32 +1,116 @@
 #include "xmap/scanner.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace xmap::scan {
+namespace {
+
+// Wire-integrity gate: structurally valid IPv6 with a verifiable
+// upper-layer checksum. Fault-injected bit flips land here (`corrupted`)
+// instead of being fed to — or worse, validated by — the probe module.
+bool wire_intact(const pkt::Bytes& packet) {
+  pkt::Ipv6View ip{packet};
+  if (!ip.valid()) return false;
+  const auto l4 = ip.payload();
+  switch (ip.next_header()) {
+    case pkt::kProtoIcmpv6: {
+      pkt::Icmpv6View icmp{l4};
+      return icmp.valid() && icmp.checksum_ok(ip.src(), ip.dst());
+    }
+    case pkt::kProtoUdp: {
+      pkt::UdpView udp{l4};
+      return udp.valid() && udp.checksum_ok(ip.src(), ip.dst());
+    }
+    case pkt::kProtoTcp: {
+      pkt::TcpView tcp{l4};
+      return tcp.valid() && tcp.checksum_ok(ip.src(), ip.dst());
+    }
+    default:
+      // Unknown upper layer: structurally fine; let classification decide.
+      return true;
+  }
+}
+
+std::uint64_t response_key(const ProbeResponse& r) {
+  const net::Uint128 responder = r.responder.value();
+  const net::Uint128 probed = r.probe_dst.value();
+  std::uint64_t h = net::hash_combine64(responder.hi(), responder.lo());
+  h = net::hash_combine64(h, probed.hi());
+  h = net::hash_combine64(h, probed.lo());
+  return net::hash_combine64(h, static_cast<std::uint64_t>(r.kind));
+}
+
+sim::SimTime gap_for(double pps) {
+  if (pps <= 0) pps = 1e9;
+  const auto gap = static_cast<sim::SimTime>(
+      static_cast<double>(sim::kSecond) / pps);
+  return gap > 0 ? gap : 1;
+}
+
+}  // namespace
 
 void SimChannelScanner::start() {
   if (started_) return;
   started_ = true;
+
+  copies_ = 1 + (config_.retries > 0 ? config_.retries : 0);
+  gap_ns_ = gap_for(config_.probes_per_sec);
+  // Retry spacing in whole target periods (one period = (1+retries) slots),
+  // so retransmit slots interleave with fresh slots without collisions.
+  const double spacing_ns =
+      std::max(0.0, config_.retry_spacing_ms) *
+      static_cast<double>(sim::kMillisecond);
+  const double period_ns =
+      static_cast<double>(copies_) * static_cast<double>(gap_ns_);
+  spacing_periods_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(spacing_ns / period_ns)));
+
+  // Build every spec's permutation up front: raw_base must be known for
+  // all specs before the first send so slot positions are globally
+  // consistent (and identical across shards and thread counts).
   spec_state_.resize(config_.targets.size());
+  std::uint64_t raw_base = 0;
+  for (std::size_t i = 0; i < config_.targets.size(); ++i) {
+    const std::uint64_t subseed = net::hash_combine64(config_.seed, i);
+    SpecState& state = spec_state_[i];
+    state.group =
+        std::make_unique<CyclicGroup>(config_.targets[i].count(), subseed);
+    state.iter = std::make_unique<CyclicGroup::Iterator>(
+        state.group->shard_iterate(config_.shard, config_.shards));
+    state.raw_base = raw_base;
+    const net::Uint128 order = state.group->prime() - net::Uint128{1};
+    raw_base += order.fits_u64() ? order.to_u64() : ~std::uint64_t{0};
+  }
+
+  current_pps_ = config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
+  window_end_ = network()->now() + sim::kSecond / 2;
+  next_fresh_at_ = network()->now();
+
   stats_.first_send = network()->now();
-  network()->loop().schedule_after(0, [this] { send_tick(); });
+  network()->loop().schedule_after(0, [this] { schedule_fresh(); });
 }
 
-bool SimChannelScanner::next_target(net::Ipv6Address& out) {
+bool SimChannelScanner::next_target(net::Ipv6Address& out,
+                                    std::uint64_t& raw_slot) {
   while (current_spec_ < config_.targets.size()) {
     const TargetSpec& spec = config_.targets[current_spec_];
     SpecState& state = spec_state_[current_spec_];
-    if (!state.group) {
-      // Per-spec subseed keeps permutations independent across specs.
-      const std::uint64_t subseed =
-          net::hash_combine64(config_.seed, current_spec_);
-      state.group = std::make_unique<CyclicGroup>(spec.count(), subseed);
-      state.iter = std::make_unique<CyclicGroup::Iterator>(
-          state.group->shard_iterate(config_.shard, config_.shards));
-    }
     if (auto offset = state.iter->next()) {
       ++stats_.targets_generated;
       if (progress_ != nullptr) {
         progress_->targets_generated.fetch_add(1, std::memory_order_relaxed);
       }
+      // Global raw-cycle position of this target: the iterator has consumed
+      // raw_visited() steps of its shard-strided walk, so the element just
+      // yielded sits at shard-local raw index raw_visited()-1, i.e. global
+      // index (raw_visited()-1)*shards + shard within the spec's cycle.
+      const net::Uint128 visited = state.iter->raw_visited();
+      const std::uint64_t local =
+          (visited - net::Uint128{1}).to_u64() *
+              static_cast<std::uint64_t>(config_.shards) +
+          static_cast<std::uint64_t>(config_.shard);
+      raw_slot = state.raw_base + local;
       out = spec.nth_address(*offset, config_.seed);
       return true;
     }
@@ -35,17 +119,21 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out) {
   return false;
 }
 
-void SimChannelScanner::send_tick() {
-  if (config_.max_probes != 0 && stats_.sent >= config_.max_probes) {
-    sending_done_ = true;
+void SimChannelScanner::schedule_fresh() {
+  if (budget_exhausted()) {
+    fresh_done_ = true;
+    maybe_finish_sending();
     return;
   }
 
   net::Ipv6Address target;
+  std::uint64_t raw_slot = 0;
   bool have = false;
-  // Skip blocklisted targets without consuming send slots.
-  while (next_target(target)) {
-    if (config_.blocklist != nullptr && !config_.blocklist->permitted(target)) {
+  // Skip blocklisted targets; their slots stay empty (the schedule is a
+  // pure function of the permutation, not of the blocklist).
+  while (next_target(target, raw_slot)) {
+    if (config_.blocklist != nullptr &&
+        !config_.blocklist->permitted(target)) {
       ++stats_.blocked;
       if (progress_ != nullptr) {
         progress_->blocked.fetch_add(1, std::memory_order_relaxed);
@@ -56,31 +144,136 @@ void SimChannelScanner::send_tick() {
     break;
   }
   if (!have) {
-    sending_done_ = true;
+    fresh_done_ = true;
+    maybe_finish_sending();
     return;
   }
 
-  const int copies = 1 + (config_.retries > 0 ? config_.retries : 0);
-  for (int copy = 0; copy < copies; ++copy) {
-    send(iface_, module_.make_probe(config_.source, target, config_.seed));
-    ++stats_.sent;
+  if (config_.adaptive_rate) {
+    // Load-driven pacing: fresh probes are spaced (1+retries) slots of the
+    // *current* rate apart; retransmits ride at fixed offsets after their
+    // fresh copy. Aggregate stays below current_pps_.
+    adapt_rate();
+    const sim::SimTime gap = gap_for(current_pps_);
+    const sim::SimTime t0 =
+        std::max(next_fresh_at_, network()->now());
+    next_fresh_at_ = t0 + static_cast<sim::SimTime>(copies_) * gap;
+    const auto spacing = static_cast<sim::SimTime>(
+        std::max(0.0, config_.retry_spacing_ms) *
+        static_cast<double>(sim::kMillisecond));
+    for (int c = 0; c < copies_; ++c) {
+      ++pending_sends_;
+      const sim::SimTime tc =
+          t0 + static_cast<sim::SimTime>(c) * std::max(spacing, gap);
+      network()->loop().schedule_at(tc, [this, target, c] {
+        send_copy(target, c);
+        if (c == 0) schedule_fresh();
+      });
+    }
+    return;
+  }
+
+  // Deterministic slot pacing: every copy owns one global packet slot, so
+  // send times depend only on (seed, targets, rate, retries) — never on
+  // shard count or thread count.
+  const std::uint64_t period = raw_slot * static_cast<std::uint64_t>(copies_);
+  for (int c = 0; c < copies_; ++c) {
+    ++pending_sends_;
+    const std::uint64_t slot =
+        period + static_cast<std::uint64_t>(c) *
+                     (spacing_periods_ * static_cast<std::uint64_t>(copies_) +
+                      1);
+    const sim::SimTime tc = slot * gap_ns_;
+    network()->loop().schedule_at(tc, [this, target, c] {
+      send_copy(target, c);
+      if (c == 0) schedule_fresh();
+    });
+  }
+}
+
+void SimChannelScanner::send_copy(const net::Ipv6Address& target, int copy) {
+  --pending_sends_;
+  if (budget_exhausted()) {
+    maybe_finish_sending();
+    return;
+  }
+  send(iface_, module_.make_probe(config_.source, target, config_.seed));
+  ++stats_.sent;
+  ++window_sent_;
+  if (copy > 0) {
+    ++stats_.retransmits;
+    if (progress_ != nullptr) {
+      progress_->retransmits.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (progress_ != nullptr) {
-    progress_->sent.fetch_add(static_cast<std::uint64_t>(copies),
-                              std::memory_order_relaxed);
+    progress_->sent.fetch_add(1, std::memory_order_relaxed);
   }
   stats_.last_send = network()->now();
+  maybe_finish_sending();
+}
 
-  const double pps = config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
-  const auto gap = static_cast<sim::SimTime>(
-      static_cast<double>(sim::kSecond) / pps);
-  network()->loop().schedule_after(gap, [this] { send_tick(); });
+void SimChannelScanner::maybe_finish_sending() {
+  if (sending_done_ || !fresh_done_ || pending_sends_ != 0) return;
+  sending_done_ = true;
+  // ZMap cooldown semantics: the receive window stays open for
+  // cooldown_secs after the last send, then closes; later arrivals are
+  // accounted as `late` instead of validated.
+  const double cooldown = std::max(0.0, config_.cooldown_secs);
+  recv_deadline_ =
+      stats_.last_send + static_cast<sim::SimTime>(
+                             cooldown * static_cast<double>(sim::kSecond));
+}
+
+void SimChannelScanner::adapt_rate() {
+  if (network()->now() < window_end_) return;
+  // Evaluate only windows with enough sends for a meaningful rate.
+  if (window_sent_ >= 16) {
+    const double hr = static_cast<double>(window_validated_) /
+                      static_cast<double>(window_sent_);
+    if (hr > best_hit_rate_) best_hit_rate_ = hr;
+    const double base =
+        config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
+    const double floor = std::max(1.0, base / 64.0);
+    if (best_hit_rate_ > 0 && hr < 0.5 * best_hit_rate_ &&
+        current_pps_ > floor) {
+      // Hit rate collapsed: suspected ICMPv6 rate limiting — back off.
+      current_pps_ = std::max(floor, current_pps_ / 2.0);
+      ++stats_.rate_adjustments;
+      if (progress_ != nullptr) {
+        progress_->rate_adjustments.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (hr >= 0.8 * best_hit_rate_ && current_pps_ < base) {
+      current_pps_ = std::min(base, current_pps_ * 1.25);
+      ++stats_.rate_adjustments;
+      if (progress_ != nullptr) {
+        progress_->rate_adjustments.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  window_sent_ = 0;
+  window_validated_ = 0;
+  window_end_ = network()->now() + sim::kSecond / 2;
 }
 
 void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
   ++stats_.received;
   if (progress_ != nullptr) {
     progress_->received.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (sending_done_ && network()->now() > recv_deadline_) {
+    ++stats_.late;
+    if (progress_ != nullptr) {
+      progress_->late.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (!wire_intact(packet)) {
+    ++stats_.corrupted;
+    if (progress_ != nullptr) {
+      progress_->corrupted.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
   }
   auto response = module_.classify(packet, config_.source, config_.seed);
   if (!response) {
@@ -91,8 +284,15 @@ void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
     return;
   }
   ++stats_.validated;
+  ++window_validated_;
   if (progress_ != nullptr) {
     progress_->validated.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!seen_responses_.insert(response_key(*response)).second) {
+    ++stats_.duplicates;
+    if (progress_ != nullptr) {
+      progress_->duplicates.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (callback_) callback_(*response, network()->now());
 }

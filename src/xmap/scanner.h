@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/network.h"
@@ -35,8 +36,22 @@ struct ScanConfig {
   std::uint64_t max_probes = 0;          // 0 = unlimited (testing aid)
   // Send each probe 1+retries times (XMap's --retries; copes with loss on
   // the path). Stateless validation makes duplicate responses harmless —
-  // dedup happens in the ResultCollector.
+  // dedup happens in the ResultCollector. Every copy is charged against
+  // the probes_per_sec budget and retransmits are spaced
+  // `retry_spacing_ms` apart, so bursty loss shorter than the spacing
+  // cannot eat all copies of a probe.
   int retries = 0;
+  double retry_spacing_ms = 100.0;
+  // ZMap's --cooldown-secs: how long after the last send the receive
+  // window stays open. Replies arriving later are counted `late` and
+  // dropped instead of validated.
+  double cooldown_secs = 8.0;
+  // Opt-in AIMD rate controller: when the validated-response rate
+  // collapses (suspected ICMPv6 rate limiting or an outage), halve the
+  // send rate; recover multiplicatively while the hit rate is healthy.
+  // Send times become load-dependent, so this intentionally trades the
+  // cross-thread-count byte-identical guarantee for resilience.
+  bool adaptive_rate = false;
 };
 
 // A scanner attached to the simulated network as a node. start() schedules
@@ -68,26 +83,62 @@ class SimChannelScanner : public sim::Node {
   void receive(const pkt::Bytes& packet, int iface) override;
 
  private:
-  void send_tick();
-  // Draws the next permitted target; false when all specs are exhausted.
-  bool next_target(net::Ipv6Address& out);
+  // Draws the next permitted target and its global raw-cycle position;
+  // false when all specs are exhausted.
+  bool next_target(net::Ipv6Address& out, std::uint64_t& raw_slot);
+  // Draws one fresh target and schedules all of its copies; re-arms itself.
+  void schedule_fresh();
+  void send_copy(const net::Ipv6Address& target, int copy);
+  void maybe_finish_sending();
+  void adapt_rate();
+  [[nodiscard]] bool budget_exhausted() const {
+    return config_.max_probes != 0 && stats_.sent >= config_.max_probes;
+  }
 
   ScanConfig config_;
   const ProbeModule& module_;
   ResponseCallback callback_;
   int iface_ = 0;
 
-  // Permutation state: one group+iterator per target spec, created lazily.
+  // Permutation state: one group+iterator per target spec. `raw_base` is
+  // the spec's first global raw-cycle slot: the sum of (p-1) over all
+  // earlier specs — identical for every shard of the same scan, which is
+  // what makes slot-indexed send times thread-count invariant.
   struct SpecState {
     std::unique_ptr<CyclicGroup> group;
     std::unique_ptr<CyclicGroup::Iterator> iter;
+    std::uint64_t raw_base = 0;
   };
   std::vector<SpecState> spec_state_;
   std::size_t current_spec_ = 0;
 
+  // Pacing: one packet slot per gap at the configured rate; fresh probe at
+  // raw slot q occupies packet slot q*(1+retries), retransmit copy c sits
+  // at q*(1+retries) + c*(spacing_periods*(1+retries) + 1) — collision-free
+  // (slot mod (1+retries) identifies the copy) so the aggregate rate never
+  // exceeds probes_per_sec.
+  sim::SimTime gap_ns_ = 0;
+  int copies_ = 1;
+  std::uint64_t spacing_periods_ = 1;
+
+  // Adaptive-rate controller state (only touched when adaptive_rate).
+  double current_pps_ = 0;
+  double best_hit_rate_ = 0;
+  std::uint64_t window_sent_ = 0;
+  std::uint64_t window_validated_ = 0;
+  sim::SimTime window_end_ = 0;
+  sim::SimTime next_fresh_at_ = 0;
+
+  // Duplicate detection: keyed hashes of every validated response.
+  std::unordered_set<std::uint64_t> seen_responses_;
+
+  std::uint64_t pending_sends_ = 0;  // copies scheduled but not yet fired
+  sim::SimTime recv_deadline_ = ~sim::SimTime{0};
+
   ScanStats stats_;
   ScanProgress* progress_ = nullptr;
   bool started_ = false;
+  bool fresh_done_ = false;
   bool sending_done_ = false;
 };
 

@@ -21,6 +21,15 @@ struct ScanStats {
   std::uint64_t received = 0;   // packets that reached the scanner
   std::uint64_t validated = 0;  // passed probe-module validation
   std::uint64_t discarded = 0;  // failed validation (stray/spoofed)
+  // Robustness accounting. Invariant:
+  //   received == validated + discarded + corrupted + late
+  // and duplicates is the subset of validated already seen for the same
+  // (responder, probe target, kind).
+  std::uint64_t retransmits = 0;  // retry copies sent (subset of `sent`)
+  std::uint64_t duplicates = 0;   // validated repeats of an earlier response
+  std::uint64_t corrupted = 0;    // malformed on the wire (bad checksum/len)
+  std::uint64_t late = 0;         // arrived after the cooldown closed
+  std::uint64_t rate_adjustments = 0;  // adaptive-rate controller steps
   sim::SimTime first_send = 0;
   sim::SimTime last_send = 0;
 
@@ -43,6 +52,11 @@ struct ScanStats {
     received += other.received;
     validated += other.validated;
     discarded += other.discarded;
+    retransmits += other.retransmits;
+    duplicates += other.duplicates;
+    corrupted += other.corrupted;
+    late += other.late;
+    rate_adjustments += other.rate_adjustments;
     if (other_active) {
       if (!self_active) {
         first_send = other.first_send;
@@ -69,7 +83,13 @@ struct ScanProgress {
   std::atomic<std::uint64_t> received{0};
   std::atomic<std::uint64_t> validated{0};
   std::atomic<std::uint64_t> discarded{0};
+  std::atomic<std::uint64_t> retransmits{0};
+  std::atomic<std::uint64_t> duplicates{0};
+  std::atomic<std::uint64_t> corrupted{0};
+  std::atomic<std::uint64_t> late{0};
+  std::atomic<std::uint64_t> rate_adjustments{0};
   std::atomic<std::uint32_t> workers_done{0};
+  std::atomic<std::uint32_t> workers_failed{0};
 
   [[nodiscard]] ScanStats snapshot() const {
     ScanStats s;
@@ -79,6 +99,11 @@ struct ScanProgress {
     s.received = received.load(std::memory_order_relaxed);
     s.validated = validated.load(std::memory_order_relaxed);
     s.discarded = discarded.load(std::memory_order_relaxed);
+    s.retransmits = retransmits.load(std::memory_order_relaxed);
+    s.duplicates = duplicates.load(std::memory_order_relaxed);
+    s.corrupted = corrupted.load(std::memory_order_relaxed);
+    s.late = late.load(std::memory_order_relaxed);
+    s.rate_adjustments = rate_adjustments.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "topology/paper_profiles.h"
@@ -250,6 +252,111 @@ TEST(ParallelExecutor, TinyQueueStillCompletesViaBackpressure) {
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_EQ(hop_set(result.collector),
             classic_single_thread_scan().hops);
+}
+
+// Acceptance: with a fault plan installed, the merged record stream is
+// identical for every thread count — fault fates are keyed by packet and
+// time, not by worker call order.
+TEST(ParallelExecutor, FaultsPreserveThreadCountDeterminism) {
+  auto faulted = [](int threads) {
+    auto cfg = make_config(threads);
+    cfg.faults.access.loss = 0.2;
+    cfg.faults.access.burst.rate_per_sec = 3.0;
+    cfg.faults.access.burst.mean_ms = 60.0;
+    cfg.faults.access.duplicate = 0.05;
+    cfg.faults.access.corrupt = 0.02;
+    cfg.faults.access.jitter_ms = 1.0;
+    cfg.faults.silent.fraction = 0.05;
+    cfg.scan.retries = 2;
+    return run_parallel_scan(cfg);
+  };
+  auto reference = faulted(1);
+  ASSERT_TRUE(reference.ok) << reference.error;
+  EXPECT_GT(reference.stats.retransmits, 0u);
+  const std::string expect = records_fingerprint(reference);
+  for (int threads : {2, 5}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto result = faulted(threads);
+    ASSERT_TRUE(result.ok) << result.error;
+    // record.worker differs by construction; compare response streams.
+    std::ostringstream a, b;
+    for (const auto& r : reference.records) {
+      a << r.response.responder.to_string() << '|'
+        << r.response.probe_dst.to_string() << '|' << r.when << '\n';
+    }
+    for (const auto& r : result.records) {
+      b << r.response.responder.to_string() << '|'
+        << r.response.probe_dst.to_string() << '|' << r.when << '\n';
+    }
+    EXPECT_EQ(a.str(), b.str());
+    // Stats invariants hold in aggregate too.
+    EXPECT_EQ(result.stats.sent, reference.stats.sent);
+    EXPECT_EQ(result.stats.validated, reference.stats.validated);
+    EXPECT_EQ(result.stats.corrupted, reference.stats.corrupted);
+    EXPECT_EQ(result.stats.duplicates, reference.stats.duplicates);
+    EXPECT_EQ(result.stats.validated + result.stats.discarded +
+                  result.stats.corrupted + result.stats.late,
+              result.stats.received);
+  }
+  (void)expect;
+}
+
+// A probe module that throws on the first make_probe call that observes the
+// trigger flag — exactly one worker hits it, the rest scan normally.
+class ThrowingProbe final : public scan::ProbeModule {
+ public:
+  [[nodiscard]] std::string name() const override { return "throwing"; }
+  [[nodiscard]] pkt::Bytes make_probe(const net::Ipv6Address& src,
+                                      const net::Ipv6Address& target,
+                                      std::uint64_t seed) const override {
+    if (!armed_.test_and_set()) {
+      throw std::runtime_error("injected probe-module failure");
+    }
+    return inner_.make_probe(src, target, seed);
+  }
+  [[nodiscard]] std::optional<scan::ProbeResponse> classify(
+      const pkt::Bytes& packet, const net::Ipv6Address& src,
+      std::uint64_t seed) const override {
+    return inner_.classify(packet, src, seed);
+  }
+
+ private:
+  scan::IcmpEchoProbe inner_{64};
+  mutable std::atomic_flag armed_ = ATOMIC_FLAG_INIT;
+};
+
+// Satellite requirement: a throwing worker is contained — no
+// std::terminate, a structured per-worker error, failed_workers surfaced in
+// the result and the metrics JSON, and the remaining workers finish.
+TEST(ParallelExecutor, WorkerExceptionIsContainedAndReported) {
+  ThrowingProbe module;
+  std::ostringstream status;
+  auto cfg = make_config(4);
+  cfg.module = &module;
+  cfg.status_out = &status;
+  auto result = run_parallel_scan(cfg);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  EXPECT_EQ(result.failed_workers, 1);
+  int failed = 0;
+  for (const auto& worker : result.workers) {
+    if (worker.failed) {
+      ++failed;
+      EXPECT_NE(worker.error.find("injected probe-module failure"),
+                std::string::npos)
+          << worker.error;
+    } else {
+      EXPECT_TRUE(worker.error.empty());
+      EXPECT_GT(worker.stats.sent, 0u);  // survivors completed their shards
+    }
+  }
+  EXPECT_EQ(failed, 1);
+
+  const std::string text = status.str();
+  EXPECT_NE(text.find("\"workers_failed\":1"), std::string::npos) << text;
+  EXPECT_NE(text.find("injected probe-module failure"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("FAILED"), std::string::npos) << text;
 }
 
 }  // namespace

@@ -98,11 +98,90 @@ TEST_P(FuzzSeeds, ProbeClassifierRejectsGarbageQuietly) {
   const auto src = *net::Ipv6Address::parse("2001:500::1");
   scan::IcmpEchoProbe echo{64};
   scan::TcpSynProbe syn{80};
+  scan::UdpProbe udp{53, {0x12, 0x34}, "udp_fuzz"};
   for (int i = 0; i < 2000; ++i) {
     const auto wire = random_bytes(rng, 200);
     EXPECT_FALSE(echo.classify(wire, src, 7).has_value());
     EXPECT_FALSE(syn.classify(wire, src, 7).has_value());
+    EXPECT_FALSE(udp.classify(wire, src, 7).has_value());
   }
+}
+
+// Every prefix truncation of a valid probe/response must be handled by
+// every packet view and classifier without crashes — and a proper prefix
+// must never classify as a valid response (no false positives from
+// fragments the fault layer or a hostile network could produce).
+TEST(TruncationProperty, ViewsAndClassifiersRejectEveryPrefix) {
+  const auto src = *net::Ipv6Address::parse("2001:500::1");
+  const auto dst = *net::Ipv6Address::parse("2400:1:2:3::1234");
+  const auto router = *net::Ipv6Address::parse("2400:ffff::1");
+  scan::IcmpEchoProbe echo{64};
+  scan::TcpSynProbe syn{80};
+  scan::UdpProbe udp{53, {0x12, 0x34, 0x56}, "udp_fuzz"};
+
+  std::vector<pkt::Bytes> wires;
+  wires.push_back(echo.make_probe(src, dst, 7));
+  wires.push_back(syn.make_probe(src, dst, 7));
+  wires.push_back(udp.make_probe(src, dst, 7));
+  wires.push_back(pkt::build_icmpv6_error(
+      router, pkt::Icmpv6Type::kDestUnreachable, 3,
+      echo.make_probe(src, dst, 7)));
+  wires.push_back(pkt::build_icmpv6_error(
+      router, pkt::Icmpv6Type::kTimeExceeded, 0,
+      syn.make_probe(src, dst, 7)));
+
+  for (const auto& wire : wires) {
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const pkt::Bytes cut{wire.begin(),
+                           wire.begin() + static_cast<std::ptrdiff_t>(len)};
+      pkt::Ipv6View ip{cut};
+      if (ip.valid()) {
+        (void)ip.src();
+        (void)ip.payload();
+      }
+      pkt::Icmpv6View icmp{cut};
+      if (icmp.valid()) (void)icmp.type();
+      pkt::UdpView uv{cut};
+      if (uv.valid()) (void)uv.payload();
+      pkt::TcpView tv{cut};
+      if (tv.valid()) (void)tv.payload();
+      // A truncated wire is not a response: the IPv6 payload length no
+      // longer matches, so every classifier must reject it.
+      EXPECT_FALSE(echo.classify(cut, src, 7).has_value()) << len;
+      EXPECT_FALSE(syn.classify(cut, src, 7).has_value()) << len;
+      EXPECT_FALSE(udp.classify(cut, src, 7).has_value()) << len;
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, UdpClassifierRejectsMutatedResponses) {
+  // Bit-flip an in-form UDP "response" (ports swapped relative to the
+  // probe): flips must be caught by the UDP checksum or the keyed source
+  // port; accepted packets may only be flips in payload don't-care bits
+  // that keep the checksum valid — never a different probed address.
+  net::Rng rng{GetParam()};
+  const auto src = *net::Ipv6Address::parse("2001:500::1");
+  const auto dst = *net::Ipv6Address::parse("2400:1:2:3::1234");
+  scan::UdpProbe udp{53, {0xab, 0xcd, 0xef, 0x01}, "udp_fuzz"};
+  const auto probe = udp.make_probe(src, dst, 7);
+  pkt::Ipv6View pview{probe};
+  pkt::UdpView pudp{pview.payload()};
+  // Craft the legitimate reply: dst -> src, ports mirrored.
+  const pkt::Bytes reply_payload{0xab, 0xcd};
+  const auto valid = pkt::build_udp(dst, src, pudp.dst_port(),
+                                    pudp.src_port(), reply_payload, 64);
+  ASSERT_TRUE(udp.classify(valid, src, 7).has_value());
+  int accepted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = valid;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    if (auto r = udp.classify(mutated, src, 7)) {
+      ++accepted;
+      EXPECT_EQ(r->responder, dst);
+    }
+  }
+  EXPECT_LT(accepted, 200);
 }
 
 TEST_P(FuzzSeeds, ClassifierRejectsMutatedResponses) {

@@ -1,0 +1,296 @@
+// Unit tests for the seeded fault-injection layer: determinism (fate is a
+// pure function of seed/link/packet/attempt/time, never of call order),
+// statistical sanity of the dials, and the sim::Network integration.
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/random.h"
+#include "sim/network.h"
+
+namespace xmap::sim {
+namespace {
+
+pkt::Bytes numbered_packet(std::uint64_t n) {
+  pkt::Bytes out(48);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(net::mix64(n) >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+TEST(FaultInjector, EmptyPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+  FaultInjector inj{plan, 7};
+  const auto v = inj.on_transmit(0, LinkClass::kAccess, 0, numbered_packet(1));
+  EXPECT_FALSE(v.drop);
+  EXPECT_FALSE(v.duplicate);
+  EXPECT_FALSE(v.corrupt);
+  EXPECT_EQ(v.extra_delay, 0u);
+  EXPECT_EQ(inj.stats().dropped_total(), 0u);
+}
+
+TEST(FaultInjector, IidLossMatchesConfiguredProbability) {
+  FaultPlan plan;
+  plan.access.loss = 0.3;
+  FaultInjector inj{plan, 42};
+  int dropped = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (inj.on_transmit(5, LinkClass::kAccess, 0, numbered_packet(i)).drop) {
+      ++dropped;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / kN, 0.3, 0.02);
+  EXPECT_EQ(inj.stats().iid_dropped, static_cast<std::uint64_t>(dropped));
+  // Class scoping: core links are untouched by an access-only plan.
+  EXPECT_FALSE(
+      inj.on_transmit(5, LinkClass::kCore, 0, numbered_packet(1)).drop);
+}
+
+TEST(FaultInjector, VerdictsAreIndependentOfCallOrder) {
+  FaultPlan plan;
+  plan.access.loss = 0.4;
+  plan.access.duplicate = 0.2;
+  plan.access.corrupt = 0.2;
+  plan.access.jitter_ms = 2.0;
+
+  auto fate = [](FaultInjector& inj, std::uint64_t n) {
+    const auto v =
+        inj.on_transmit(3, LinkClass::kAccess, 1000, numbered_packet(n));
+    return std::tuple{v.drop, v.duplicate, v.corrupt, v.extra_delay};
+  };
+  FaultInjector fwd{plan, 9};
+  FaultInjector rev{plan, 9};
+  std::vector<std::tuple<bool, bool, bool, SimTime>> a, b;
+  for (int i = 0; i < 500; ++i) a.push_back(fate(fwd, i));
+  for (int i = 499; i >= 0; --i) b.push_back(fate(rev, i));
+  std::reverse(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjector, RetransmittedCopiesDrawIndependentFates) {
+  // Retry copies are byte-identical; the per-(link, packet) attempt counter
+  // must give each copy its own coin, or loss would be all-or-nothing.
+  FaultPlan plan;
+  plan.access.loss = 0.5;
+  FaultInjector inj{plan, 11};
+  int fate_differs = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto p = numbered_packet(i);
+    const bool first = inj.on_transmit(2, LinkClass::kAccess, 0, p).drop;
+    const bool second = inj.on_transmit(2, LinkClass::kAccess, 0, p).drop;
+    if (first != second) ++fate_differs;
+  }
+  // P(differs) = 0.5 per pair; all-same would mean the counter is broken.
+  EXPECT_GT(fate_differs, 100);
+}
+
+TEST(FaultInjector, BurstWindowsAreTimeKeyedAndDeterministic) {
+  FaultPlan plan;
+  plan.access.burst.rate_per_sec = 3.0;
+  plan.access.burst.mean_ms = 50.0;
+  const FaultInjector a{plan, 77};
+  const FaultInjector b{plan, 77};
+  int in = 0, total = 0;
+  for (SimTime t = 0; t < 10 * kSecond; t += kMillisecond) {
+    const bool burst = a.in_burst(4, LinkClass::kAccess, t);
+    // Pure function of (seed, link, time): a second injector agrees.
+    EXPECT_EQ(burst, b.in_burst(4, LinkClass::kAccess, t));
+    ++total;
+    if (burst) ++in;
+  }
+  // ~3 bursts/sec x ~50ms each => ~15% of time inside a burst; accept a
+  // wide band (exponential durations, small sample).
+  EXPECT_GT(in, total / 50);
+  EXPECT_LT(in, total / 2);
+  // Different links see different windows.
+  int agree = 0;
+  for (SimTime t = 0; t < kSecond; t += kMillisecond) {
+    if (a.in_burst(4, LinkClass::kAccess, t) ==
+        a.in_burst(9, LinkClass::kAccess, t)) {
+      ++agree;
+    }
+  }
+  EXPECT_LT(agree, 1000);
+}
+
+TEST(FaultInjector, FlapWindowsFollowPeriodPhaseAndFraction) {
+  FaultPlan plan;
+  plan.access.flap.period_ms = 100.0;
+  plan.access.flap.down_ms = 25.0;
+  FaultInjector inj{plan, 5};
+  // Duty cycle: 25% down, periodic.
+  int down = 0;
+  const int kSteps = 4000;
+  for (int i = 0; i < kSteps; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * (kMillisecond / 4);
+    if (inj.link_down(1, LinkClass::kAccess, t)) ++down;
+    // Periodicity: the window repeats exactly.
+    EXPECT_EQ(inj.link_down(1, LinkClass::kAccess, t),
+              inj.link_down(1, LinkClass::kAccess, t + 100 * kMillisecond));
+  }
+  EXPECT_NEAR(static_cast<double>(down) / kSteps, 0.25, 0.02);
+
+  // fraction == 0 disables every link.
+  plan.access.flap.fraction = 0.0;
+  FaultInjector none{plan, 5};
+  for (int link = 0; link < 20; ++link) {
+    EXPECT_FALSE(none.link_down(link, LinkClass::kAccess, 0));
+  }
+}
+
+TEST(FaultInjector, SilentSelectionMatchesFractionAndWindow) {
+  FaultPlan plan;
+  plan.silent.fraction = 0.25;
+  plan.silent.start_ms = 10.0;
+  plan.silent.duration_ms = 20.0;
+  FaultInjector inj{plan, 123};
+  std::vector<NodeId> candidates(4000);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = static_cast<NodeId>(i);
+  }
+  inj.choose_silent(candidates);
+
+  int silent = 0;
+  for (const NodeId n : candidates) {
+    if (inj.node_silent(n, 15 * kMillisecond)) ++silent;
+    // Outside [start, start+duration) nobody is silent.
+    EXPECT_FALSE(inj.node_silent(n, 5 * kMillisecond));
+    EXPECT_FALSE(inj.node_silent(n, 35 * kMillisecond));
+  }
+  EXPECT_NEAR(static_cast<double>(silent) / 4000.0, 0.25, 0.03);
+
+  // duration 0 = silent forever.
+  FaultPlan forever;
+  forever.silent.fraction = 1.0;
+  FaultInjector all{forever, 123};
+  all.choose_silent({1, 2, 3});
+  EXPECT_TRUE(all.node_silent(2, 0));
+  EXPECT_TRUE(all.node_silent(2, 3600 * kSecond));
+  EXPECT_FALSE(all.node_silent(99, 0));  // not a candidate
+}
+
+TEST(FaultInjector, DuplicateAndCorruptVerdictsAreCounted) {
+  FaultPlan plan;
+  plan.access.duplicate = 0.5;
+  plan.access.corrupt = 0.5;
+  FaultInjector inj{plan, 21};
+  int dup = 0, corrupt = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v =
+        inj.on_transmit(0, LinkClass::kAccess, 0, numbered_packet(i));
+    if (v.duplicate) ++dup;
+    if (v.corrupt) {
+      ++corrupt;
+      EXPECT_NE(v.corrupt_key, 0u);
+    }
+  }
+  EXPECT_NEAR(dup / 2000.0, 0.5, 0.05);
+  EXPECT_NEAR(corrupt / 2000.0, 0.5, 0.05);
+  EXPECT_EQ(inj.stats().duplicated, static_cast<std::uint64_t>(dup));
+  EXPECT_EQ(inj.stats().corrupted, static_cast<std::uint64_t>(corrupt));
+}
+
+// ---------------------------------------------------------------------------
+// sim::Network integration: the injector actually gates deliveries.
+// ---------------------------------------------------------------------------
+
+class SinkNode : public Node {
+ public:
+  void receive(const pkt::Bytes& packet, int) override {
+    packets.push_back(packet);
+    times.push_back(network()->now());
+  }
+  void emit(int iface, pkt::Bytes packet) { send(iface, std::move(packet)); }
+  std::vector<pkt::Bytes> packets;
+  std::vector<SimTime> times;
+};
+
+struct TwoNodeNet {
+  Network net{99};
+  SinkNode* a;
+  SinkNode* b;
+  Network::Attachment wire;
+
+  explicit TwoNodeNet(LinkClass cls) {
+    a = net.make_node<SinkNode>();
+    b = net.make_node<SinkNode>();
+    LinkParams params;
+    params.fault_class = cls;
+    wire = net.connect(a->id(), b->id(), params);
+  }
+};
+
+TEST(FaultNetworkIntegration, FullLossSilencesTheLink) {
+  TwoNodeNet t{LinkClass::kAccess};
+  FaultPlan plan;
+  plan.access.loss = 1.0;
+  t.net.install_faults(plan);
+  for (int i = 0; i < 20; ++i) t.a->emit(t.wire.iface_a, numbered_packet(i));
+  t.net.run();
+  EXPECT_TRUE(t.b->packets.empty());
+  EXPECT_EQ(t.net.faults()->stats().iid_dropped, 20u);
+  EXPECT_EQ(t.net.link_stats(t.wire.link).dropped, 20u);
+}
+
+TEST(FaultNetworkIntegration, DuplicationDeliversTwice) {
+  TwoNodeNet t{LinkClass::kAccess};
+  FaultPlan plan;
+  plan.access.duplicate = 1.0;
+  t.net.install_faults(plan);
+  for (int i = 0; i < 10; ++i) t.a->emit(t.wire.iface_a, numbered_packet(i));
+  t.net.run();
+  EXPECT_EQ(t.b->packets.size(), 20u);
+}
+
+TEST(FaultNetworkIntegration, CorruptionFlipsBitsInDeliveredCopy) {
+  TwoNodeNet t{LinkClass::kAccess};
+  FaultPlan plan;
+  plan.access.corrupt = 1.0;
+  t.net.install_faults(plan);
+  const auto original = numbered_packet(1);
+  t.a->emit(t.wire.iface_a, original);
+  t.net.run();
+  ASSERT_EQ(t.b->packets.size(), 1u);
+  EXPECT_NE(t.b->packets[0], original);
+  EXPECT_EQ(t.b->packets[0].size(), original.size());
+}
+
+TEST(FaultNetworkIntegration, SilentNodeIgnoresDeliveries) {
+  TwoNodeNet t{LinkClass::kOther};
+  FaultPlan plan;
+  plan.silent.fraction = 1.0;
+  FaultInjector* inj = t.net.install_faults(plan);
+  inj->choose_silent({t.b->id()});
+  for (int i = 0; i < 5; ++i) t.a->emit(t.wire.iface_a, numbered_packet(i));
+  t.net.run();
+  EXPECT_TRUE(t.b->packets.empty());
+  EXPECT_EQ(inj->stats().silent_dropped, 5u);
+}
+
+TEST(FaultNetworkIntegration, JitterDelaysButDeliversEverything) {
+  TwoNodeNet t{LinkClass::kAccess};
+  FaultPlan plan;
+  plan.access.jitter_ms = 5.0;
+  t.net.install_faults(plan);
+  const int kN = 50;
+  for (int i = 0; i < kN; ++i) t.a->emit(t.wire.iface_a, numbered_packet(i));
+  t.net.run();
+  ASSERT_EQ(t.b->packets.size(), static_cast<std::size_t>(kN));
+  // All sent at t=0 over a 100us link: without jitter every arrival is at
+  // exactly 100us; with jitter some arrive later (and none earlier).
+  bool any_delayed = false;
+  for (const SimTime when : t.b->times) {
+    EXPECT_GE(when, 100 * kMicrosecond);
+    if (when > 100 * kMicrosecond) any_delayed = true;
+  }
+  EXPECT_TRUE(any_delayed);
+}
+
+}  // namespace
+}  // namespace xmap::sim

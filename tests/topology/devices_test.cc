@@ -483,6 +483,44 @@ TEST(IcmpRateLimiterUnit, RefillsOverTime) {
 TEST(IcmpRateLimiterUnit, ZeroRateMeansUnlimited) {
   IcmpRateLimiter limiter{0};
   for (int i = 0; i < 1000; ++i) EXPECT_TRUE(limiter.allow(0));
+  // Unlimited mode never counts suppressions.
+  EXPECT_EQ(limiter.suppressed(), 0u);
+}
+
+TEST(IcmpRateLimiterUnit, IdleRefillIsCappedAtBurst) {
+  IcmpRateLimiter limiter{1000, 3};
+  // Exhaust the bucket, then go idle for an hour: the bucket must refill to
+  // the burst size, not to an hour's worth of tokens.
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(limiter.allow(0));
+  EXPECT_FALSE(limiter.allow(0));
+  const sim::SimTime later = 3600 * sim::kSecond;
+  int granted = 0;
+  while (limiter.allow(later)) ++granted;
+  EXPECT_EQ(granted, 3);
+}
+
+TEST(IcmpRateLimiterUnit, RefillBoundaryIsExact) {
+  IcmpRateLimiter limiter{100, 1};  // one token per 10ms
+  EXPECT_TRUE(limiter.allow(0));
+  // 9.99ms: fractionally under one token — still limited.
+  EXPECT_FALSE(limiter.allow(9990 * sim::kMicrosecond));
+  // The earlier partial refill is retained; 10us later the token completes.
+  EXPECT_TRUE(limiter.allow(10 * sim::kMillisecond));
+}
+
+TEST(IcmpRateLimiterUnit, SuppressedCountsEveryDenialUnderSustainedLoad) {
+  IcmpRateLimiter limiter{10, 1};  // 10/s
+  std::uint64_t granted = 0;
+  // 1000 arrivals over one second at 1ms spacing against a 10/s limiter.
+  for (int i = 0; i < 1000; ++i) {
+    if (limiter.allow(static_cast<sim::SimTime>(i) * sim::kMillisecond)) {
+      ++granted;
+    }
+  }
+  EXPECT_EQ(granted + limiter.suppressed(), 1000u);
+  // Sustained throughput converges on the configured rate (burst of 1).
+  EXPECT_GE(granted, 10u);
+  EXPECT_LE(granted, 12u);
 }
 
 }  // namespace

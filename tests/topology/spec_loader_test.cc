@@ -147,5 +147,68 @@ TEST(SpecLoader, FileRoundTrip) {
   EXPECT_NE(missing.error.find("cannot open"), std::string::npos);
 }
 
+constexpr const char* kMinimalBlock = R"(
+  "blocks": [{"name": "N", "block_base": "3fff::", "vendors": {"ZTE": 1}}])";
+
+TEST(SpecLoader, NoFaultsObjectMeansNoPlan) {
+  auto result = load_specs_from_json(std::string{"{"} + kMinimalBlock + "}",
+                                     paper::vendor_catalog());
+  ASSERT_TRUE(result.specs.has_value()) << result.error;
+  EXPECT_FALSE(result.faults.has_value());
+}
+
+TEST(SpecLoader, ParsesFullFaultPlan) {
+  const std::string doc = std::string{"{"} + kMinimalBlock + R"(,
+    "faults": {
+      "seed": 9,
+      "access": {
+        "loss": 0.02,
+        "burst": {"rate_per_sec": 2, "mean_ms": 80, "loss": 0.9},
+        "duplicate": 0.01, "corrupt": 0.005, "jitter_ms": 3,
+        "flap": {"period_ms": 2000, "down_ms": 200, "fraction": 0.3}
+      },
+      "core": {"loss": 0.001},
+      "silent": {"fraction": 0.05, "start_ms": 100, "duration_ms": 500}
+    }
+  })";
+  auto result = load_specs_from_json(doc, paper::vendor_catalog());
+  ASSERT_TRUE(result.specs.has_value()) << result.error;
+  ASSERT_TRUE(result.faults.has_value());
+  const sim::FaultPlan& plan = *result.faults;
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_DOUBLE_EQ(plan.access.loss, 0.02);
+  EXPECT_DOUBLE_EQ(plan.access.burst.rate_per_sec, 2);
+  EXPECT_DOUBLE_EQ(plan.access.burst.mean_ms, 80);
+  EXPECT_DOUBLE_EQ(plan.access.burst.loss, 0.9);
+  EXPECT_DOUBLE_EQ(plan.access.duplicate, 0.01);
+  EXPECT_DOUBLE_EQ(plan.access.corrupt, 0.005);
+  EXPECT_DOUBLE_EQ(plan.access.jitter_ms, 3);
+  EXPECT_DOUBLE_EQ(plan.access.flap.period_ms, 2000);
+  EXPECT_DOUBLE_EQ(plan.access.flap.down_ms, 200);
+  EXPECT_DOUBLE_EQ(plan.access.flap.fraction, 0.3);
+  EXPECT_DOUBLE_EQ(plan.core.loss, 0.001);
+  EXPECT_DOUBLE_EQ(plan.other.loss, 0);
+  EXPECT_DOUBLE_EQ(plan.silent.fraction, 0.05);
+  EXPECT_DOUBLE_EQ(plan.silent.start_ms, 100);
+  EXPECT_DOUBLE_EQ(plan.silent.duration_ms, 500);
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(SpecLoader, RejectsBadFaultPlans) {
+  auto bad = [&](const char* faults) {
+    const std::string doc = std::string{"{"} + kMinimalBlock +
+                            ", \"faults\": " + faults + "}";
+    return load_specs_from_json(doc, paper::vendor_catalog());
+  };
+  EXPECT_FALSE(bad("[]").specs.has_value());
+  EXPECT_FALSE(bad(R"({"access": {"loss": 1.5}})").specs.has_value());
+  EXPECT_FALSE(bad(R"({"access": {"burst": {"rate_per_sec": -1}}})")
+                   .specs.has_value());
+  EXPECT_FALSE(
+      bad(R"({"core": {"flap": {"period_ms": 100, "down_ms": 200}}})")
+          .specs.has_value());
+  EXPECT_FALSE(bad(R"({"silent": {"fraction": 2}})").specs.has_value());
+}
+
 }  // namespace
 }  // namespace xmap::topo

@@ -183,6 +183,94 @@ TEST(OutputWriters, JsonlFormat) {
             "\"hlim\":61,\"timestamp_us\":2000000}\n");
 }
 
+TEST(Cli, ResilienceFlags) {
+  auto result = parse({"--retries", "2", "--retry-spacing-ms", "250",
+                       "--cooldown-secs", "4.5", "--adaptive-rate"});
+  ASSERT_TRUE(result.options.has_value()) << result.error;
+  const auto& opts = *result.options;
+  EXPECT_EQ(opts.retries, 2);
+  EXPECT_DOUBLE_EQ(opts.retry_spacing_ms, 250);
+  EXPECT_DOUBLE_EQ(opts.cooldown_secs, 4.5);
+  EXPECT_TRUE(opts.adaptive_rate);
+  // Defaults when absent.
+  auto plain = parse({});
+  EXPECT_DOUBLE_EQ(plain.options->retry_spacing_ms, 100);
+  EXPECT_DOUBLE_EQ(plain.options->cooldown_secs, 8);
+  EXPECT_FALSE(plain.options->adaptive_rate);
+  EXPECT_FALSE(plain.options->faults_given);
+  EXPECT_FALSE(plain.options->faults.any());
+}
+
+TEST(Cli, FaultInjectionFlags) {
+  auto result = parse({"--fault-seed", "99", "--access-loss", "0.2",
+                       "--core-loss", "0.01", "--burst", "3/80/0.9",
+                       "--duplicate", "0.05", "--corrupt", "0.02",
+                       "--jitter-ms", "2.5", "--flap", "2000/200/0.3",
+                       "--silent", "0.1/500/1500", "--device-icmp-rate",
+                       "100", "--router-icmp-rate", "1000"});
+  ASSERT_TRUE(result.options.has_value()) << result.error;
+  const auto& opts = *result.options;
+  EXPECT_TRUE(opts.faults_given);
+  EXPECT_EQ(opts.faults.seed, 99u);
+  EXPECT_DOUBLE_EQ(opts.faults.access.loss, 0.2);
+  EXPECT_DOUBLE_EQ(opts.faults.core.loss, 0.01);
+  EXPECT_DOUBLE_EQ(opts.faults.access.burst.rate_per_sec, 3);
+  EXPECT_DOUBLE_EQ(opts.faults.access.burst.mean_ms, 80);
+  EXPECT_DOUBLE_EQ(opts.faults.access.burst.loss, 0.9);
+  EXPECT_DOUBLE_EQ(opts.faults.access.duplicate, 0.05);
+  EXPECT_DOUBLE_EQ(opts.faults.access.corrupt, 0.02);
+  EXPECT_DOUBLE_EQ(opts.faults.access.jitter_ms, 2.5);
+  EXPECT_DOUBLE_EQ(opts.faults.access.flap.period_ms, 2000);
+  EXPECT_DOUBLE_EQ(opts.faults.access.flap.down_ms, 200);
+  EXPECT_DOUBLE_EQ(opts.faults.access.flap.fraction, 0.3);
+  EXPECT_DOUBLE_EQ(opts.faults.silent.fraction, 0.1);
+  EXPECT_DOUBLE_EQ(opts.faults.silent.start_ms, 500);
+  EXPECT_DOUBLE_EQ(opts.faults.silent.duration_ms, 1500);
+  EXPECT_EQ(opts.device_icmp_rate, 100u);
+  EXPECT_EQ(opts.router_icmp_rate, 1000u);
+  EXPECT_TRUE(opts.faults.any());
+}
+
+TEST(Cli, SlashedSpecsAcceptOptionalFields) {
+  auto burst = parse({"--burst", "2"});
+  ASSERT_TRUE(burst.options.has_value()) << burst.error;
+  EXPECT_DOUBLE_EQ(burst.options->faults.access.burst.rate_per_sec, 2);
+  EXPECT_DOUBLE_EQ(burst.options->faults.access.burst.mean_ms, 50);
+  EXPECT_DOUBLE_EQ(burst.options->faults.access.burst.loss, 1);
+
+  auto flap = parse({"--flap", "1000/100"});
+  ASSERT_TRUE(flap.options.has_value()) << flap.error;
+  EXPECT_DOUBLE_EQ(flap.options->faults.access.flap.fraction, 1);
+
+  auto silent = parse({"--silent", "0.25"});
+  ASSERT_TRUE(silent.options.has_value()) << silent.error;
+  EXPECT_DOUBLE_EQ(silent.options->faults.silent.fraction, 0.25);
+  EXPECT_DOUBLE_EQ(silent.options->faults.silent.duration_ms, 0);
+}
+
+TEST(Cli, RejectsBadFaultFlags) {
+  EXPECT_FALSE(parse({"--access-loss", "1.5"}).options.has_value());
+  EXPECT_FALSE(parse({"--corrupt", "-0.1"}).options.has_value());
+  EXPECT_FALSE(parse({"--burst", "abc"}).options.has_value());
+  EXPECT_FALSE(parse({"--burst", "1/2/3/4"}).options.has_value());
+  EXPECT_FALSE(parse({"--flap", "100"}).options.has_value());
+  EXPECT_FALSE(parse({"--flap", "100/200"}).options.has_value());  // down>per
+  EXPECT_FALSE(parse({"--silent", "2"}).options.has_value());
+  EXPECT_FALSE(parse({"--cooldown-secs", "-1"}).options.has_value());
+  EXPECT_FALSE(parse({"--retry-spacing-ms", "x"}).options.has_value());
+  EXPECT_FALSE(parse({"--device-icmp-rate", "-5"}).options.has_value());
+}
+
+TEST(Cli, UsageMentionsResilienceAndFaultFlags) {
+  const std::string usage = cli_usage();
+  for (const char* flag :
+       {"--retry-spacing-ms", "--cooldown-secs", "--adaptive-rate",
+        "--fault-seed", "--access-loss", "--burst", "--flap", "--silent",
+        "--device-icmp-rate"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
 TEST(OutputWriters, JsonAliasAndUnknown) {
   std::ostringstream out;
   EXPECT_NE(make_writer("json", out), nullptr);

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_set>
+#include <vector>
 
 #include "topology/builder.h"
 #include "topology/paper_profiles.h"
@@ -319,6 +321,151 @@ TEST(ScannerIntegration, RetriesMultiplySentCount) {
   scanner->start();
   world.net.run();
   EXPECT_EQ(scanner->stats().sent, 64u * 3u);
+}
+
+TEST(ScannerIntegration, RetransmitsAreSpacedAndRespectTheRate) {
+  // The pre-fix scanner emitted retry copies back to back, tripling the
+  // instantaneous rate. Spaced slot pacing must keep every inter-send gap
+  // at >= 1/pps and land copies ~retry_spacing_ms after their original.
+  ScanWorld world{6};  // 64 targets
+  IcmpEchoProbe probe{64};
+  ScanConfig cfg;
+  const auto& isp = world.internet.isps[0];
+  cfg.targets.push_back(
+      TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.probes_per_sec = 192;
+  cfg.retries = 2;
+  cfg.retry_spacing_ms = 100;
+  auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface = topo::attach_vantage(world.net, world.internet, scanner,
+                                         kVantagePrefix);
+  scanner->set_iface(iface);
+
+  // The vantage link has fixed latency and no loss, so delivery times at
+  // the first hop reproduce send times shifted by a constant.
+  std::vector<sim::SimTime> sends;
+  world.net.set_tracer([&](sim::SimTime when, sim::NodeId from, sim::NodeId,
+                           const pkt::Bytes&) {
+    if (from == scanner->id()) sends.push_back(when);
+  });
+  scanner->start();
+  world.net.run();
+
+  EXPECT_EQ(scanner->stats().sent, 64u * 3u);
+  EXPECT_EQ(scanner->stats().retransmits, 64u * 2u);
+  ASSERT_EQ(sends.size(), 64u * 3u);
+  std::sort(sends.begin(), sends.end());
+  const auto gap =
+      static_cast<sim::SimTime>(static_cast<double>(sim::kSecond) / 192.0);
+  for (std::size_t i = 1; i < sends.size(); ++i) {
+    // Send-rate invariant: no two packets closer than one pacing slot.
+    EXPECT_GE(sends[i] - sends[i - 1], gap)
+        << "burst at packet " << i;
+  }
+  // Aggregate rate stays at the configured pps, not pps * (1+retries).
+  const auto span = sends.back() - sends.front();
+  EXPECT_GE(span, static_cast<sim::SimTime>(sends.size() - 1) * gap);
+}
+
+TEST(ScannerIntegration, CooldownBoundsTheReceiveWindow) {
+  // Slow links + zero cooldown: every response lands after the receive
+  // deadline and is accounted `late`, never validated.
+  auto run = [](double cooldown_secs) {
+    sim::Network net{55};
+    topo::BuildConfig bcfg;
+    bcfg.window_bits = 6;
+    bcfg.seed = 55;
+    bcfg.core_link.latency = 300 * sim::kMillisecond;
+    auto internet = topo::build_internet(net, topo::paper::isp_specs(),
+                                         topo::paper::vendor_catalog(), bcfg);
+    IcmpEchoProbe probe{64};
+    ScanConfig cfg;
+    const auto& isp = internet.isps[5];
+    cfg.targets.push_back(
+        TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+    cfg.source = kScannerAddr;
+    cfg.probes_per_sec = 1e6;
+    cfg.cooldown_secs = cooldown_secs;
+    auto* scanner = net.make_node<SimChannelScanner>(cfg, probe);
+    const int iface =
+        topo::attach_vantage(net, internet, scanner, kVantagePrefix);
+    scanner->set_iface(iface);
+    scanner->start();
+    net.run();
+    return scanner->stats();
+  };
+
+  const auto cut = run(0.0);
+  EXPECT_GT(cut.received, 0u);
+  EXPECT_EQ(cut.validated, 0u);
+  EXPECT_EQ(cut.late, cut.received);
+
+  const auto open = run(8.0);
+  EXPECT_GT(open.validated, 0u);
+  EXPECT_EQ(open.late, 0u);
+}
+
+TEST(ScannerIntegration, FaultCountersUpholdTheAccountingInvariant) {
+  // Duplication + corruption + loss on access links: every received packet
+  // is accounted exactly once across validated/discarded/corrupted/late,
+  // and duplicate responses are flagged without double-counting.
+  ScanWorld world{8};
+  sim::FaultPlan plan;
+  plan.access.duplicate = 1.0;
+  plan.access.corrupt = 0.15;
+  plan.access.loss = 0.1;
+  world.net.install_faults(plan);
+  IcmpEchoProbe probe{64};
+  auto collector = world.scan({5}, probe);
+
+  const auto& s = world.last_stats;
+  EXPECT_GT(s.received, 0u);
+  EXPECT_EQ(s.validated + s.discarded + s.corrupted + s.late, s.received);
+  EXPECT_GT(s.duplicates, 0u);   // duplicate=1 echoes everything twice
+  EXPECT_GT(s.corrupted, 0u);    // bit flips break checksums
+  EXPECT_LE(s.duplicates, s.validated);
+  // The collector still sees only real devices (no corrupted acceptances).
+  std::unordered_set<Ipv6Address> truth;
+  for (const auto& dev : world.internet.isps[5].devices) {
+    truth.insert(dev.address);
+  }
+  for (const auto& hop : collector.last_hops()) {
+    EXPECT_TRUE(truth.count(hop.address))
+        << "corrupted packet validated: " << hop.address.to_string();
+  }
+}
+
+TEST(ScannerIntegration, AdaptiveRateBacksOffWhenHitRateCollapses) {
+  // Every CPE goes silent one second into the scan: the windowed hit rate
+  // collapses to zero and the AIMD controller must halve the rate at least
+  // once (counted in rate_adjustments) while still covering every target.
+  ScanWorld world{8};
+  sim::FaultPlan plan;
+  plan.silent.fraction = 1.0;
+  plan.silent.start_ms = 1000;
+  sim::FaultInjector* inj = world.net.install_faults(plan);
+  std::vector<sim::NodeId> cpes;
+  for (const auto& dev : world.internet.isps[5].devices) {
+    cpes.push_back(dev.node);
+  }
+  inj->choose_silent(cpes);
+  IcmpEchoProbe probe{64};
+  ScanConfig cfg;
+  const auto& isp = world.internet.isps[5];
+  cfg.targets.push_back(
+      TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+  cfg.source = kScannerAddr;
+  cfg.probes_per_sec = 64;  // ~4s of sending: several 500ms windows
+  cfg.adaptive_rate = true;
+  auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+  const int iface = topo::attach_vantage(world.net, world.internet, scanner,
+                                         kVantagePrefix);
+  scanner->set_iface(iface);
+  scanner->start();
+  world.net.run();
+  EXPECT_GT(scanner->stats().rate_adjustments, 0u);
+  EXPECT_EQ(scanner->stats().sent, 256u);  // backoff delays, never drops
 }
 
 TEST(ResultCollectorUnit, DedupAndCounts) {

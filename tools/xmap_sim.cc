@@ -28,21 +28,47 @@ void print_stats_footer(const scan::ScanStats& stats, int threads,
                         double wall_seconds) {
   std::fprintf(
       stderr,
-      "xmap_sim: %llu probes sent (%llu blocked), %llu responses "
-      "(%llu validated, %llu discarded), hit rate %.2f%%, "
+      "xmap_sim: %llu probes sent (%llu blocked, %llu retransmits), "
+      "%llu responses (%llu validated, %llu discarded), hit rate %.2f%%, "
       "simulated duration %.2fs",
       static_cast<unsigned long long>(stats.sent),
       static_cast<unsigned long long>(stats.blocked),
+      static_cast<unsigned long long>(stats.retransmits),
       static_cast<unsigned long long>(stats.received),
       static_cast<unsigned long long>(stats.validated),
       static_cast<unsigned long long>(stats.discarded),
       100.0 * stats.hit_rate(),
       static_cast<double>(stats.last_send - stats.first_send) /
           static_cast<double>(sim::kSecond));
+  if (stats.duplicates > 0 || stats.corrupted > 0 || stats.late > 0) {
+    std::fprintf(stderr, " [%llu duplicate, %llu corrupt, %llu late]",
+                 static_cast<unsigned long long>(stats.duplicates),
+                 static_cast<unsigned long long>(stats.corrupted),
+                 static_cast<unsigned long long>(stats.late));
+  }
+  if (stats.rate_adjustments > 0) {
+    std::fprintf(stderr, ", %llu rate adjustments",
+                 static_cast<unsigned long long>(stats.rate_adjustments));
+  }
   if (threads > 0) {
     std::fprintf(stderr, ", %d workers, wall %.2fs", threads, wall_seconds);
   }
   std::fputc('\n', stderr);
+}
+
+// Installs `plan` (if non-empty) on a freshly built classic-path network,
+// registering every periphery device as a silent-window candidate.
+void install_faults(sim::Network& net, const topo::BuiltInternet& internet,
+                    const sim::FaultPlan& plan) {
+  if (!plan.any()) return;
+  sim::FaultInjector* injector = net.install_faults(plan);
+  std::vector<sim::NodeId> candidates;
+  for (const auto& isp : internet.isps) {
+    for (const auto& device : isp.devices) {
+      candidates.push_back(device.node);
+    }
+  }
+  injector->choose_silent(candidates);
 }
 
 }  // namespace
@@ -70,6 +96,8 @@ int main(int argc, char** argv) {
   topo::BuildConfig build_cfg;
   build_cfg.window_bits = opts.window_bits;
   build_cfg.seed = opts.seed;
+  build_cfg.device_icmp_rate = opts.device_icmp_rate;
+  build_cfg.router_icmp_rate = opts.router_icmp_rate;
   auto world = topo::resolve_world(opts.world, opts.seed,
                                    topo::paper::vendor_catalog());
   if (!world.specs) {
@@ -77,6 +105,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::vector<topo::IspSpec>& specs = *world.specs;
+  // CLI fault flags build a complete plan and beat a file: world's
+  // embedded one; either way the plan is empty unless dials are nonzero.
+  const sim::FaultPlan fault_plan = opts.faults_given
+                                        ? opts.faults
+                                        : world.faults.value_or(
+                                              sim::FaultPlan{});
 
   // --- Output --------------------------------------------------------------
   std::ofstream file;
@@ -101,6 +135,9 @@ int main(int argc, char** argv) {
   cfg.shards = opts.shards;
   cfg.max_probes = opts.max_probes;
   cfg.retries = opts.retries;
+  cfg.retry_spacing_ms = opts.retry_spacing_ms;
+  cfg.cooldown_secs = opts.cooldown_secs;
+  cfg.adaptive_rate = opts.adaptive_rate;
   const scan::Blocklist blocklist = scan::Blocklist::well_behaved_defaults();
   if (opts.use_default_blocklist) cfg.blocklist = &blocklist;
 
@@ -111,6 +148,7 @@ int main(int argc, char** argv) {
     auto internet = topo::build_internet(net, specs,
                                          topo::paper::vendor_catalog(),
                                          build_cfg);
+    install_faults(net, internet, fault_plan);
     if (cfg.targets.empty()) {
       for (const auto& isp : internet.isps) {
         cfg.targets.push_back(
@@ -190,6 +228,7 @@ int main(int argc, char** argv) {
     engine_cfg.threads = opts.threads > 0 ? opts.threads : 1;
     engine_cfg.status_out = status_out;
     engine_cfg.status_interval_ms = opts.status_interval_ms;
+    engine_cfg.faults = fault_plan;
     auto result = engine::run_parallel_scan(engine_cfg);
     if (!result.ok) {
       std::fprintf(stderr, "xmap_sim: %s\n", result.error.c_str());
@@ -207,6 +246,11 @@ int main(int argc, char** argv) {
       print_stats_footer(result.stats, engine_cfg.threads,
                          result.wall_seconds);
     }
+    if (result.failed_workers > 0) {
+      std::fprintf(stderr, "xmap_sim: %d worker(s) failed; results partial\n",
+                   result.failed_workers);
+      return 1;
+    }
     return 0;
   }
 
@@ -215,6 +259,7 @@ int main(int argc, char** argv) {
   auto internet = topo::build_internet(net, specs,
                                        topo::paper::vendor_catalog(),
                                        build_cfg);
+  install_faults(net, internet, fault_plan);
   if (cfg.targets.empty()) {
     for (const auto& isp : internet.isps) {
       cfg.targets.push_back(
