@@ -76,14 +76,37 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   std::vector<WorkerReport> reports(static_cast<std::size_t>(threads));
   std::atomic<int> active{threads};
 
+  // Per-worker observability sinks, thread-confined like everything else a
+  // worker touches; merged deterministically after join. The fixed-size
+  // vectors never reallocate, so the per-worker pointers stay stable.
+  const bool tracing = config.obs.trace_level != obs::TraceLevel::kOff;
+  std::vector<obs::TraceBuffer> traces(
+      static_cast<std::size_t>(threads),
+      obs::TraceBuffer{config.obs.trace_level});
+  std::vector<obs::MetricsShard> shards(static_cast<std::size_t>(threads));
+  std::vector<obs::StageProfile> profiles(static_cast<std::size_t>(threads));
+  obs::MetricsShard main_shard;     // collector-side (main thread) series
+  obs::StageProfile main_profile;   // collector-side merge timing
+
   const auto worker_body = [&](int w) {
+    obs::TraceBuffer* trace = tracing ? &traces[static_cast<std::size_t>(w)]
+                                      : nullptr;
+    obs::MetricsShard* metrics =
+        config.obs.metrics ? &shards[static_cast<std::size_t>(w)] : nullptr;
+    obs::StageProfile* profile =
+        config.obs.profile ? &profiles[static_cast<std::size_t>(w)] : nullptr;
+
     // Thread-confined deterministic replica: every worker builds the same
     // world from the same specs and seed, then walks its own sub-shard of
     // the permutation. No state is shared with other workers except the
     // result queue and the progress atomics.
     sim::Network net{config.build.seed};
-    auto internet = topo::build_internet(net, config.world_specs,
-                                         config.vendors, config.build);
+    net.set_obs(trace, metrics);
+    auto internet = [&] {
+      obs::ScopedStageTimer build_timer{profile, obs::Stage::kBuild};
+      return topo::build_internet(net, config.world_specs, config.vendors,
+                                  config.build);
+    }();
     if (config.faults.any()) {
       sim::FaultInjector* injector = net.install_faults(config.faults);
       // Every periphery device is a silent-window candidate; the injector
@@ -119,6 +142,7 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
         topo::attach_vantage(net, internet, scanner, config.vantage);
     scanner->set_iface(iface);
     scanner->set_progress(&progress);
+    scanner->set_obs(config.obs, trace, metrics, profile);
     scanner->on_response(
         [&queue, w](const scan::ProbeResponse& r, sim::SimTime when) {
           queue.push(EngineRecord{r, when, w});
@@ -163,26 +187,38 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   // the MPSC queue.
   EngineResult result;
   result.collector = scan::ResultCollector{config.alias_threshold};
+  std::size_t queue_peak = 0;
   while (auto record = queue.pop()) {
+    // +1 for the record just popped: peak occupancy as the consumer saw it.
+    queue_peak = std::max(queue_peak, queue.size() + 1);
     result.records.push_back(std::move(*record));
   }
   for (auto& t : workers) t.join();
   monitor.stop();
 
-  // Deterministic merge order: worker sim clocks are deterministic, so
-  // sorting by (sim time, worker, responder, probe) yields a byte-stable
-  // record stream regardless of real-time interleaving.
-  std::sort(result.records.begin(), result.records.end(),
-            [](const EngineRecord& a, const EngineRecord& b) {
-              return std::tuple(a.when, a.worker, a.response.responder,
-                                a.response.probe_dst,
-                                static_cast<int>(a.response.kind)) <
-                     std::tuple(b.when, b.worker, b.response.responder,
-                                b.response.probe_dst,
-                                static_cast<int>(b.response.kind));
-            });
-  for (const auto& record : result.records) {
-    result.collector.add(record.response);
+  {
+    // Deterministic merge order: worker sim clocks are deterministic, so a
+    // content sort by (sim time, responder, probe, kind) yields a
+    // byte-stable record stream regardless of real-time interleaving. The
+    // worker index is only the final tiebreak — putting it before the
+    // content fields would order same-time records by sharding and break
+    // byte-identity across --threads values.
+    obs::ScopedStageTimer merge_timer{
+        config.obs.profile ? &main_profile : nullptr, obs::Stage::kMerge};
+    std::sort(result.records.begin(), result.records.end(),
+              [](const EngineRecord& a, const EngineRecord& b) {
+                return std::tuple(a.when, a.response.responder,
+                                  a.response.probe_dst,
+                                  static_cast<int>(a.response.kind),
+                                  a.worker) <
+                       std::tuple(b.when, b.response.responder,
+                                  b.response.probe_dst,
+                                  static_cast<int>(b.response.kind),
+                                  b.worker);
+              });
+    for (const auto& record : result.records) {
+      result.collector.add(record.response);
+    }
   }
 
   MetricsSummary summary;
@@ -205,6 +241,33 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   summary.merged = result.stats;
   summary.unique_responders = result.collector.unique_responders();
   summary.aliased_responders = result.collector.aliased().size();
+
+  if (tracing) {
+    std::vector<std::vector<obs::TraceEvent>> buffers;
+    buffers.reserve(traces.size());
+    for (auto& t : traces) buffers.push_back(t.take());
+    result.trace = obs::merge_traces(std::move(buffers));
+  }
+  if (config.obs.metrics) {
+    // Queue depth is a wall-clock artifact of scheduling, not of the scan:
+    // flagged so the deterministic Prometheus export skips it.
+    *main_shard.gauge("engine_queue_depth_peak", {},
+                      "Peak result-queue occupancy seen by the collector",
+                      /*wall_clock=*/true) =
+        static_cast<std::uint64_t>(queue_peak);
+    std::vector<const obs::MetricsShard*> shard_ptrs;
+    shard_ptrs.reserve(shards.size() + 1);
+    for (const auto& shard : shards) shard_ptrs.push_back(&shard);
+    shard_ptrs.push_back(&main_shard);
+    result.metrics_snapshot = obs::merge_shards(shard_ptrs);
+    summary.obs_metrics = result.metrics_snapshot;
+  }
+  if (config.obs.profile) {
+    for (const auto& profile : profiles) result.stage_profile.merge(profile);
+    result.stage_profile.merge(main_profile);
+    summary.stage_profile = result.stage_profile;
+  }
+
   result.metrics = metrics_json(summary);
   if (config.status_out != nullptr) {
     *config.status_out << result.metrics << '\n' << std::flush;

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "engine/telemetry.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 #include "topology/builder.h"
 #include "xmap/results.h"
 #include "xmap/scanner.h"
@@ -62,6 +64,12 @@ struct EngineConfig {
   // Live telemetry; nullptr disables the monitor thread entirely.
   std::ostream* status_out = nullptr;
   int status_interval_ms = 250;
+
+  // Observability: trace level, metrics registry, stage profiling. Each
+  // worker gets its own thread-confined TraceBuffer / MetricsShard /
+  // StageProfile; the engine merges them deterministically after join (see
+  // EngineResult::trace / metrics_snapshot / stage_profile).
+  obs::ObsConfig obs;
 };
 
 inline constexpr int kMaxWorkers = 64;
@@ -99,6 +107,14 @@ struct EngineResult {
 
   // The JSON metrics snapshot (also written to status_out when set).
   std::string metrics;
+
+  // Observability outputs (populated per EngineConfig::obs; empty when
+  // off). `trace` and `metrics_snapshot` carry only sim-clock /
+  // partition-invariant data, so their serialized forms are byte-identical
+  // across --threads values; `stage_profile` is wall clock by design.
+  std::vector<obs::TraceEvent> trace;
+  obs::MetricsSnapshot metrics_snapshot;
+  obs::StageProfile stage_profile;
 };
 
 // Runs the scan across config.threads workers and blocks until every

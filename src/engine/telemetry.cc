@@ -69,13 +69,21 @@ void Monitor::emit(bool final_line) {
 }
 
 std::string Monitor::status_line(bool final_line) const {
-  const double elapsed =
+  return status_line(
+      final_line,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started_)
-          .count();
+          .count());
+}
+
+std::string Monitor::status_line(bool final_line, double elapsed) const {
   const scan::ScanStats s = progress_.snapshot();
   const std::uint64_t done =
       progress_.workers_done.load(std::memory_order_relaxed);
+
+  // Below this elapsed floor the very first tick would divide by a
+  // near-zero duration and print garbage rates / ETAs; render "--" instead.
+  constexpr double kMinElapsed = 1e-3;
 
   std::ostringstream line;
   line << clock_string(elapsed);
@@ -86,18 +94,29 @@ std::string Monitor::status_line(bool final_line) const {
     char pct[16];
     std::snprintf(pct, sizeof pct, " %.0f%%", 100.0 * frac);
     line << pct;
-    if (!final_line && frac > 0 && frac < 1) {
-      const double eta = elapsed * (1.0 - frac) / frac;
-      line << " (" << clock_string(eta) << " left)";
+    if (!final_line && frac < 1) {
+      // An ETA extrapolated from a sliver of progress (or none) is
+      // nonsense; admit it instead of printing it.
+      if (elapsed >= kMinElapsed && frac >= 1e-4) {
+        const double eta = elapsed * (1.0 - frac) / frac;
+        line << " (" << clock_string(eta) << " left)";
+      } else {
+        line << " (-- left)";
+      }
     }
   }
   if (final_line) line << " (done)";
-  line << "; send: " << s.sent << " ("
-       << rate_string(elapsed > 0 ? static_cast<double>(s.sent) / elapsed : 0)
-       << " avg); recv: " << s.validated << " ok";
+  line << "; send: " << s.sent << " (";
+  if (elapsed >= kMinElapsed) {
+    line << rate_string(static_cast<double>(s.sent) / elapsed);
+  } else {
+    line << "--";
+  }
+  line << " avg); recv: " << s.validated << " ok";
   if (s.discarded > 0) line << ", " << s.discarded << " stray";
   if (s.corrupted > 0) line << ", " << s.corrupted << " corrupt";
   if (s.late > 0) line << ", " << s.late << " late";
+  if (s.duplicates > 0) line << ", " << s.duplicates << " dup";
   char hits[32];
   std::snprintf(hits, sizeof hits, "; hits: %.2f%%", 100.0 * s.hit_rate());
   line << hits;
@@ -147,8 +166,16 @@ std::string metrics_json(const MetricsSummary& summary) {
   out << ",\"unique_responders\":" << summary.unique_responders
       << ",\"aliased_responders\":" << summary.aliased_responders
       << ",\"sim_duration_ns\":" << summary.sim_duration_ns
-      << ",\"workers_failed\":" << summary.failed_workers
-      << ",\"per_worker\":[";
+      << ",\"workers_failed\":" << summary.failed_workers;
+  if (!summary.obs_metrics.empty()) {
+    out << ",\"metrics\":";
+    obs::append_metrics_json(out, summary.obs_metrics);
+  }
+  if (!summary.stage_profile.empty()) {
+    out << ",\"stage_profile\":";
+    obs::append_stage_profile_json(out, summary.stage_profile);
+  }
+  out << ",\"per_worker\":[";
   for (std::size_t w = 0; w < summary.per_worker.size(); ++w) {
     if (w != 0) out << ",";
     out << "{\"worker\":" << w << ",";

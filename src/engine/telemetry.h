@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "xmap/stats.h"
 
 namespace xmap::engine {
@@ -44,6 +46,11 @@ class Monitor {
 
   // One rendered status line for the current counters (exposed for tests).
   [[nodiscard]] std::string status_line(bool final_line) const;
+  // Same, with the elapsed wall seconds supplied by the caller — the
+  // deterministic variant the edge-case tests use (elapsed ~ 0 must render
+  // "--" rates/ETA instead of dividing by a near-zero duration).
+  [[nodiscard]] std::string status_line(bool final_line,
+                                        double elapsed_seconds) const;
 
  private:
   void thread_main();
@@ -73,6 +80,12 @@ struct MetricsSummary {
   std::uint64_t unique_responders = 0;
   std::uint64_t aliased_responders = 0;
   std::uint64_t sim_duration_ns = 0;  // longest worker sim-clock duration
+
+  // Optional observability sections (empty = omitted from the JSON): the
+  // merged labeled-metrics registry and the summed wall-clock stage
+  // profile.
+  obs::MetricsSnapshot obs_metrics;
+  obs::StageProfile stage_profile;
 };
 
 // Renders the summary as a single-line JSON object (no trailing newline).

@@ -40,7 +40,9 @@ class AttackLab::AttackerNode : public sim::Node {
   std::uint64_t unreachable = 0;
 };
 
-AttackLab::AttackLab(const AttackLabConfig& config) {
+AttackLab::AttackLab(const AttackLabConfig& config)
+    : trace_(config.trace), metrics_(config.metrics) {
+  net_.set_obs(trace_, metrics_);
   attacker_ = net_.make_node<AttackerNode>();
 
   // Transit chain: attacker -> t1 -> ... -> tn -> ISP.
@@ -99,6 +101,7 @@ AttackLab::AttackLab(const AttackLabConfig& config) {
 AttackResult AttackLab::attack(std::uint8_t hop_limit, int packets,
                                bool target_wan, bool spoof_inside_lan) {
   net_.reset_link_stats(access_link_);
+  const sim::SimTime start_time = net_.now();
   const std::uint64_t te_before = attacker_->time_exceeded;
   const std::uint64_t un_before = attacker_->unreachable;
 
@@ -119,6 +122,31 @@ AttackResult AttackLab::attack(std::uint8_t hop_limit, int packets,
   out.access_link_bytes = stats.bytes_ab + stats.bytes_ba;
   out.time_exceeded_received = attacker_->time_exceeded - te_before;
   out.unreachable_received = attacker_->unreachable - un_before;
+
+  if (metrics_ != nullptr) {
+    *metrics_->counter("loop_attack_packets", {},
+                       "Crafted packets injected by the loop attacker") +=
+        out.attacker_packets;
+    *metrics_->counter(
+        "loop_attack_link_packets", {},
+        "Access-link packets generated by loop amplification") +=
+        out.access_link_packets;
+  }
+  if (trace_ != nullptr && trace_->at(obs::TraceLevel::kScan)) {
+    // Amplification summary: one event per attack() burst, spanning the
+    // sim-time window the loop traffic occupied.
+    obs::TraceEvent e;
+    e.ts = start_time;
+    e.dur = net_.now() - start_time;
+    e.name = "loop_attack";
+    e.cat = "loop";
+    e.str_key = "space";
+    e.str_val = target_wan ? "wan" : "lan";
+    e.i0 = {"packets", out.attacker_packets};
+    e.i1 = {"link_packets", out.access_link_packets};
+    e.i2 = {"time_exceeded", out.time_exceeded_received};
+    trace_->add(e);
+  }
   return out;
 }
 

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topology/devices.h"
 
 namespace xmap::atk {
@@ -24,6 +26,12 @@ struct AttackLabConfig {
   int cpe_loop_cap = -1;
   // Optional link shaping on the ISP<->CPE access link.
   sim::LinkParams access_link{};
+  // Optional observability sinks (caller-owned, may be null). The lab's
+  // substrate emits packet-level trace events through them, and every
+  // attack() records a "loop_attack" amplification summary event plus
+  // loop_attack_* counters.
+  obs::TraceBuffer* trace = nullptr;
+  obs::MetricsShard* metrics = nullptr;
 };
 
 struct AttackResult {
@@ -63,6 +71,8 @@ class AttackLab {
   class AttackerNode;
 
   sim::Network net_{97};
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::MetricsShard* metrics_ = nullptr;
   AttackerNode* attacker_ = nullptr;
   topo::Router* isp_ = nullptr;
   topo::CpeRouter* cpe_ = nullptr;

@@ -1,0 +1,240 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xmap::obs {
+namespace {
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+void prom_escape_into(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+}
+
+void json_escape_into(std::ostream& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+// `probes_sent{worker="0",shard="3"}` — the flat series name used as the
+// JSON key and (prefixed) in the Prometheus body.
+std::string series_label(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::ostringstream out;
+  out << name << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"";
+    prom_escape_into(out, v);
+    out << '"';
+  }
+  out << '}';
+  return out.str();
+}
+
+// Prometheus label body including the extra `le` label of histogram
+// buckets; `le` empty = omit.
+void prom_labels_into(std::ostream& out, const Labels& labels,
+                      const std::string& le = {}) {
+  if (labels.empty() && le.empty()) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"";
+    prom_escape_into(out, v);
+    out << '"';
+  }
+  if (!le.empty()) {
+    if (!first) out << ',';
+    out << "le=\"" << le << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bounds_ != bounds_) {
+    // Mismatched registrations for one series name: keep our shape, fold
+    // the other's population into sum/count and its tail into +Inf so no
+    // observation silently disappears.
+    counts_.back() += other.count_;
+  } else {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+MetricsShard::Series& MetricsShard::find_or_create(const std::string& name,
+                                                   Labels&& labels,
+                                                   MetricKind kind,
+                                                   const char* help,
+                                                   bool wall_clock) {
+  Series& series = series_[SeriesKey{name, std::move(labels)}];
+  series.kind = kind;
+  if (wall_clock) series.wall_clock = true;
+  if (series.help.empty() && help != nullptr) series.help = help;
+  return series;
+}
+
+std::uint64_t* MetricsShard::counter(const std::string& name, Labels labels,
+                                     const char* help) {
+  return &find_or_create(name, sorted(std::move(labels)),
+                         MetricKind::kCounter, help, false)
+              .value;
+}
+
+std::uint64_t* MetricsShard::gauge(const std::string& name, Labels labels,
+                                   const char* help, bool wall_clock) {
+  return &find_or_create(name, sorted(std::move(labels)), MetricKind::kGauge,
+                         help, wall_clock)
+              .value;
+}
+
+Histogram* MetricsShard::histogram(const std::string& name,
+                                   std::vector<std::uint64_t> bounds,
+                                   Labels labels, const char* help) {
+  Series& series = find_or_create(name, sorted(std::move(labels)),
+                                  MetricKind::kHistogram, help, false);
+  if (series.histogram == nullptr) {
+    std::sort(bounds.begin(), bounds.end());
+    series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return series.histogram.get();
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::find(
+    const std::string& name, const Labels& labels) const {
+  for (const Entry& entry : entries) {
+    if (entry.name == name && entry.labels == labels) return &entry;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot merge_shards(const std::vector<const MetricsShard*>& shards) {
+  // std::map iteration gives (name, labels) order within each shard, and
+  // the merged map is insertion-order independent — deterministic for any
+  // partition of the same series population.
+  std::map<MetricsShard::SeriesKey, MetricsSnapshot::Entry> merged;
+  for (const MetricsShard* shard : shards) {
+    if (shard == nullptr) continue;
+    for (const auto& [key, series] : shard->series()) {
+      MetricsSnapshot::Entry& entry = merged[key];
+      if (entry.name.empty()) {
+        entry.name = key.first;
+        entry.labels = key.second;
+        entry.kind = series.kind;
+      }
+      if (series.wall_clock) entry.wall_clock = true;
+      if (entry.help.empty()) entry.help = series.help;
+      entry.value += series.value;
+      if (series.histogram != nullptr) {
+        if (!entry.histogram.has_value()) {
+          entry.histogram.emplace(series.histogram->bounds());
+        }
+        entry.histogram->merge(*series.histogram);
+      }
+    }
+  }
+  MetricsSnapshot snapshot;
+  snapshot.entries.reserve(merged.size());
+  for (auto& [key, entry] : merged) {
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot,
+                            bool include_wall_clock) {
+  std::ostringstream out;
+  std::string last_family;
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    if (entry.wall_clock && !include_wall_clock) continue;
+    std::string family = "xmap_" + entry.name;
+    if (entry.kind == MetricKind::kCounter) family += "_total";
+    if (family != last_family) {
+      if (!entry.help.empty()) {
+        out << "# HELP " << family << ' ' << entry.help << '\n';
+      }
+      out << "# TYPE " << family << ' ' << to_string(entry.kind) << '\n';
+      last_family = family;
+    }
+    if (entry.kind == MetricKind::kHistogram && entry.histogram.has_value()) {
+      const Histogram& h = *entry.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        cumulative += h.counts()[i];
+        out << family << "_bucket";
+        prom_labels_into(out, entry.labels, std::to_string(h.bounds()[i]));
+        out << ' ' << cumulative << '\n';
+      }
+      cumulative += h.counts().back();
+      out << family << "_bucket";
+      prom_labels_into(out, entry.labels, "+Inf");
+      out << ' ' << cumulative << '\n';
+      out << family << "_sum";
+      prom_labels_into(out, entry.labels);
+      out << ' ' << h.sum() << '\n';
+      out << family << "_count";
+      prom_labels_into(out, entry.labels);
+      out << ' ' << h.count() << '\n';
+    } else {
+      out << family;
+      prom_labels_into(out, entry.labels);
+      out << ' ' << entry.value << '\n';
+    }
+  }
+  return out.str();
+}
+
+void append_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << '{';
+  bool first = true;
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    if (!first) out << ',';
+    first = false;
+    out << '"';
+    json_escape_into(out, series_label(entry.name, entry.labels));
+    out << "\":";
+    if (entry.kind == MetricKind::kHistogram && entry.histogram.has_value()) {
+      const Histogram& h = *entry.histogram;
+      out << "{\"buckets\":{";
+      for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+        out << '"' << h.bounds()[i] << "\":" << h.counts()[i] << ',';
+      }
+      out << "\"+Inf\":" << h.counts().back() << "},\"sum\":" << h.sum()
+          << ",\"count\":" << h.count() << '}';
+    } else {
+      out << entry.value;
+    }
+  }
+  out << '}';
+}
+
+}  // namespace xmap::obs

@@ -1,0 +1,157 @@
+// Labeled metrics registry: counters, gauges and fixed-bucket histograms.
+//
+// Built for the parallel engine's threading model: each worker owns one
+// thread-confined MetricsShard and bumps plain (non-atomic) uint64 cells
+// through pointers resolved once at setup — the hot path is a single
+// increment, no locks, no hashing. After the workers join, the shards are
+// merged in deterministic shard order into a MetricsSnapshot: counters and
+// histogram buckets sum, gauges sum (a gauge that must not sum lives in
+// exactly one shard). Series are keyed by (name, sorted labels), so the
+// merged snapshot of any N-way sharding of the same scan is identical —
+// which is what keeps the Prometheus text export byte-stable across
+// --threads values.
+//
+// Series carrying wall-clock-dependent values (queue depths, timings) are
+// registered with wall_clock = true; the deterministic Prometheus export
+// omits them (they still appear in the JSON telemetry).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xmap::obs {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] constexpr const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      break;
+  }
+  return "histogram";
+}
+
+// Label set as sorted key/value pairs; sorted form is the identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Fixed-bucket histogram with Prometheus le-semantics: observation v lands
+// in the first bucket whose upper bound satisfies v <= bound; values above
+// every bound land in the implicit +Inf bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds)
+      : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void observe(std::uint64_t value) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    ++counts_[i];
+    sum_ += value;
+    ++count_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
+    return bounds_;
+  }
+  // counts()[i] is the count for bounds()[i]; back() is the +Inf bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  // Bucket-wise sum; bounds must match (callers register identical specs).
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// One worker's thread-confined slice of the registry.
+class MetricsShard {
+ public:
+  MetricsShard() = default;
+  MetricsShard(const MetricsShard&) = delete;
+  MetricsShard& operator=(const MetricsShard&) = delete;
+
+  // Find-or-create; the returned cell pointer is stable for the shard's
+  // lifetime — resolve once, increment freely. `help` is kept from the
+  // first registration that supplies one.
+  std::uint64_t* counter(const std::string& name, Labels labels = {},
+                         const char* help = "");
+  std::uint64_t* gauge(const std::string& name, Labels labels = {},
+                       const char* help = "", bool wall_clock = false);
+  Histogram* histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds, Labels labels = {},
+                       const char* help = "");
+
+  struct Series {
+    MetricKind kind = MetricKind::kCounter;
+    bool wall_clock = false;
+    std::uint64_t value = 0;                // counter / gauge cell
+    std::unique_ptr<Histogram> histogram;   // kHistogram only
+    std::string help;
+  };
+  using SeriesKey = std::pair<std::string, Labels>;  // (name, sorted labels)
+
+  [[nodiscard]] const std::map<SeriesKey, Series>& series() const {
+    return series_;
+  }
+
+ private:
+  Series& find_or_create(const std::string& name, Labels&& labels,
+                         MetricKind kind, const char* help, bool wall_clock);
+
+  std::map<SeriesKey, Series> series_;
+};
+
+// The merged, ordered view of N shards.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    bool wall_clock = false;
+    std::uint64_t value = 0;                  // counter / gauge
+    std::optional<Histogram> histogram;       // kHistogram
+    std::string help;
+  };
+  std::vector<Entry> entries;  // sorted by (name, labels)
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  // The entry for (name, labels), or nullptr (exposed for tests).
+  [[nodiscard]] const Entry* find(const std::string& name,
+                                  const Labels& labels = {}) const;
+};
+
+// Merges shards in the given (deterministic) order: counters, gauges and
+// histogram buckets sum per series key.
+[[nodiscard]] MetricsSnapshot merge_shards(
+    const std::vector<const MetricsShard*>& shards);
+
+// Prometheus text exposition format. Metric names are prefixed "xmap_";
+// counters additionally get the "_total" suffix. With
+// include_wall_clock == false (the default, used for --metrics-file) the
+// output contains only deterministic series and is byte-identical across
+// --threads values.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot,
+                                          bool include_wall_clock = false);
+
+// Compact JSON object fragment ({"series":value,...}; histograms render as
+// {"buckets":{...},"sum":..,"count":..}) — merged into metrics_json().
+void append_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+}  // namespace xmap::obs

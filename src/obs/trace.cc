@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace xmap::obs {
+namespace {
+
+// Compares possibly-null C strings by content (null sorts first).
+int cstr_cmp(const char* a, const char* b) {
+  if (a == nullptr || b == nullptr) {
+    return (a == nullptr ? 0 : 1) - (b == nullptr ? 0 : 1);
+  }
+  return std::strcmp(a, b);
+}
+
+int addr_cmp(const net::Ipv6Address& a, const net::Ipv6Address& b) {
+  if (a.value() < b.value()) return -1;
+  return a.value() == b.value() ? 0 : 1;
+}
+
+int int_arg_cmp(const TraceEvent::IntArg& a, const TraceEvent::IntArg& b) {
+  if (const int c = cstr_cmp(a.key, b.key)) return c;
+  if (a.value != b.value) return a.value < b.value ? -1 : 1;
+  return 0;
+}
+
+void json_escape_into(std::ostream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+// Renders the shared "args" object ({} when the event carries none).
+void write_args(std::ostream& out, const TraceEvent& e) {
+  out << '{';
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  if (e.addr1_key != nullptr) {
+    sep();
+    out << '"';
+    json_escape_into(out, e.addr1_key);
+    out << "\":\"" << e.addr1.to_string() << '"';
+  }
+  if (e.addr2_key != nullptr) {
+    sep();
+    out << '"';
+    json_escape_into(out, e.addr2_key);
+    out << "\":\"" << e.addr2.to_string() << '"';
+  }
+  if (e.str_key != nullptr) {
+    sep();
+    out << '"';
+    json_escape_into(out, e.str_key);
+    out << "\":\"";
+    json_escape_into(out, e.str_val != nullptr ? e.str_val : "");
+    out << '"';
+  }
+  for (const TraceEvent::IntArg* arg : {&e.i0, &e.i1, &e.i2}) {
+    if (arg->key == nullptr) continue;
+    sep();
+    out << '"';
+    json_escape_into(out, arg->key);
+    out << "\":" << arg->value;
+  }
+  out << '}';
+}
+
+}  // namespace
+
+bool trace_event_less(const TraceEvent& a, const TraceEvent& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (const int c = cstr_cmp(a.name, b.name)) return c < 0;
+  if (const int c = cstr_cmp(a.cat, b.cat)) return c < 0;
+  if (const int c = cstr_cmp(a.addr1_key, b.addr1_key)) return c < 0;
+  if (const int c = addr_cmp(a.addr1, b.addr1)) return c < 0;
+  if (const int c = cstr_cmp(a.addr2_key, b.addr2_key)) return c < 0;
+  if (const int c = addr_cmp(a.addr2, b.addr2)) return c < 0;
+  if (const int c = cstr_cmp(a.str_key, b.str_key)) return c < 0;
+  if (const int c = cstr_cmp(a.str_val, b.str_val)) return c < 0;
+  if (const int c = int_arg_cmp(a.i0, b.i0)) return c < 0;
+  if (const int c = int_arg_cmp(a.i1, b.i1)) return c < 0;
+  if (const int c = int_arg_cmp(a.i2, b.i2)) return c < 0;
+  return a.dur < b.dur;
+}
+
+std::vector<TraceEvent> merge_traces(
+    std::vector<std::vector<TraceEvent>> buffers) {
+  std::vector<TraceEvent> merged;
+  std::size_t total = 0;
+  for (const auto& b : buffers) total += b.size();
+  merged.reserve(total);
+  for (auto& b : buffers) {
+    merged.insert(merged.end(), b.begin(), b.end());
+  }
+  std::sort(merged.begin(), merged.end(), trace_event_less);
+  return merged;
+}
+
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    out << "{\"ts\":" << e.ts << ",\"name\":\"";
+    json_escape_into(out, e.name);
+    out << "\",\"cat\":\"";
+    json_escape_into(out, e.cat);
+    out << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i') << '"';
+    if (e.dur > 0) out << ",\"dur\":" << e.dur;
+    out << ",\"args\":";
+    write_args(out, e);
+    out << "}\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  // Chrome trace timestamps are microseconds; keep full nanosecond
+  // precision as fixed three-decimal text so output stays byte-stable.
+  const auto us = [](std::uint64_t ns) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string{buf};
+  };
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"name\":\"";
+    json_escape_into(out, e.name);
+    out << "\",\"cat\":\"";
+    json_escape_into(out, e.cat);
+    out << "\",\"ph\":\"" << (e.dur > 0 ? 'X' : 'i') << '"';
+    if (e.dur == 0) out << ",\"s\":\"g\"";
+    out << ",\"ts\":" << us(e.ts);
+    if (e.dur > 0) out << ",\"dur\":" << us(e.dur);
+    // The trace is partition-invariant, so there is no meaningful thread
+    // identity to attach: everything renders on one deterministic track.
+    out << ",\"pid\":1,\"tid\":1,\"args\":";
+    write_args(out, e);
+    out << '}';
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace xmap::obs

@@ -1,0 +1,100 @@
+// Deterministic event tracing: the probe-lifecycle span/event model.
+//
+// Every event is stamped with the *simulation* clock, never wall clock, and
+// carries only data that is a pure function of (seed, world, scan config) —
+// no worker ids, no thread ids, no real-time readings. Per-worker buffers
+// are therefore partition-invariant: the union of the events recorded by N
+// workers (each scanning sub-shard w of N) equals the event set of a
+// single-worker run, and after the deterministic content sort in
+// merge_traces() the serialized output is byte-identical for any --threads
+// value — the same guarantee the engine gives for scan records.
+//
+// Two serializations are provided: JSONL (one event object per line, the
+// documented schema in docs/observability.md) and Chrome trace-event JSON,
+// loadable in Perfetto / chrome://tracing (spans render as slices, instants
+// as marks).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "netbase/ipv6.h"
+#include "obs/config.h"
+
+namespace xmap::obs {
+
+// One trace event. All strings are pointers to static storage (string
+// literals at the emit sites); events are plain values, freely copyable.
+// `dur == 0` renders as an instant event, `dur > 0` as a complete span
+// [ts, ts+dur).
+struct TraceEvent {
+  std::uint64_t ts = 0;   // sim-clock nanoseconds
+  std::uint64_t dur = 0;  // span duration in ns; 0 = instant
+  const char* name = "";  // event name, e.g. "probe_sent"
+  const char* cat = "";   // category: "scan" | "net" | "fault" | "loop"
+
+  // Optional arguments. A null key means "unused". Addresses serialize in
+  // RFC 5952 text form; the str argument must point at static storage.
+  const char* addr1_key = nullptr;
+  net::Ipv6Address addr1{};
+  const char* addr2_key = nullptr;
+  net::Ipv6Address addr2{};
+  const char* str_key = nullptr;
+  const char* str_val = nullptr;
+  struct IntArg {
+    const char* key = nullptr;
+    std::uint64_t value = 0;
+  };
+  IntArg i0, i1, i2;
+};
+
+// Strict weak ordering on event *content* (timestamp first, then name,
+// category and every argument, with strings compared by value). Two events
+// with identical content compare equal, so the sorted order of any
+// partition's union is unique — the determinism anchor for merge_traces().
+[[nodiscard]] bool trace_event_less(const TraceEvent& a, const TraceEvent& b);
+
+// A thread-confined event sink. One buffer per worker; no locking — the
+// engine merges after join, mirroring how ScanStats are handled.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(TraceLevel level = TraceLevel::kOff) : level_(level) {}
+
+  [[nodiscard]] TraceLevel level() const { return level_; }
+  // True when events of `need` verbosity should be recorded.
+  [[nodiscard]] bool at(TraceLevel need) const {
+    return static_cast<int>(level_) >= static_cast<int>(need) &&
+           level_ != TraceLevel::kOff;
+  }
+
+  void add(const TraceEvent& event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::vector<TraceEvent> take() { return std::move(events_); }
+
+ private:
+  TraceLevel level_;
+  std::vector<TraceEvent> events_;
+};
+
+// Merges per-worker event streams into one deterministically ordered
+// stream: concatenate, then content-sort. Because event content is
+// partition-invariant, any sharding of the same scan merges to the same
+// sequence.
+[[nodiscard]] std::vector<TraceEvent> merge_traces(
+    std::vector<std::vector<TraceEvent>> buffers);
+
+// JSONL: one {"ts":..,"name":..,"cat":..,"ph":"i"|"X"[,"dur":..],
+// "args":{..}} object per line. Keys render in fixed order.
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceEvent>& events);
+
+// Chrome trace-event JSON ("traceEvents" array form) for Perfetto /
+// chrome://tracing. Timestamps are microseconds with nanosecond decimals.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace xmap::obs

@@ -35,11 +35,82 @@ double keyed_unit(std::uint64_t key, std::uint64_t salt) {
   return static_cast<double>(v >> 11) * 0x1.0p-53;
 }
 
+// Verdict kinds in the [kind] index order of verdict_cells_ / note_verdict.
+enum : int {
+  kKindIidDrop = 0,
+  kKindBurstDrop,
+  kKindFlapDrop,
+  kKindDuplicate,
+  kKindCorrupt,
+  kKindJitter,
+};
+constexpr const char* kFaultKindNames[6] = {
+    "iid_drop", "burst_drop", "flap_drop", "duplicate", "corrupt", "jitter",
+};
+constexpr const char* kFaultEventNames[6] = {
+    "fault_iid_drop",  "fault_burst_drop", "fault_flap_drop",
+    "fault_duplicate", "fault_corrupt",    "fault_jitter",
+};
+
 }  // namespace
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t network_seed)
     : plan_(plan),
       seed_(plan.seed != 0 ? plan.seed : network_seed) {}
+
+void FaultInjector::set_obs(obs::TraceBuffer* trace,
+                            obs::MetricsShard* metrics) {
+  trace_ = trace;
+  if (metrics == nullptr) {
+    for (auto& row : verdict_cells_) row[0] = row[1] = row[2] = nullptr;
+    silent_cell_ = nullptr;
+    return;
+  }
+  for (int kind = 0; kind < kVerdictKinds; ++kind) {
+    for (int cls = 0; cls < 3; ++cls) {
+      verdict_cells_[kind][cls] = metrics->counter(
+          "fault_verdicts",
+          {{"kind", kFaultKindNames[kind]},
+           {"link_class", link_class_name(static_cast<LinkClass>(cls))}},
+          "Fault-injection verdicts by kind and link class");
+    }
+  }
+  silent_cell_ = metrics->counter(
+      "fault_verdicts", {{"kind", "silent_drop"}, {"link_class", "node"}},
+      "Fault-injection verdicts by kind and link class");
+}
+
+void FaultInjector::note_verdict(int kind, const char* event_name,
+                                 LinkClass cls, LinkId link, SimTime when,
+                                 std::uint64_t extra) {
+  if (std::uint64_t* cell = verdict_cells_[kind][static_cast<int>(cls)]) {
+    ++*cell;
+  }
+  if (trace_ != nullptr && trace_->at(obs::TraceLevel::kPacket)) {
+    obs::TraceEvent e;
+    e.ts = when;
+    e.name = event_name;
+    e.cat = "fault";
+    e.str_key = "link_class";
+    e.str_val = link_class_name(cls);
+    e.i0 = {"link", link};
+    if (kind == kKindJitter) e.i1 = {"delay_ns", extra};
+    trace_->add(e);
+  }
+}
+
+void FaultInjector::note_silent_drop(NodeId node, SimTime when) {
+  ++stats_.silent_dropped;
+  if (silent_cell_ != nullptr) ++*silent_cell_;
+  if (trace_ != nullptr && trace_->at(obs::TraceLevel::kPacket)) {
+    obs::TraceEvent e;
+    e.ts = when;
+    e.name = "fault_silent_drop";
+    e.cat = "fault";
+    e.i0 = {"node", node};
+    trace_->add(e);
+  }
+}
 
 const LinkFaultParams& FaultInjector::params_for(LinkClass cls) const {
   switch (cls) {
@@ -118,6 +189,8 @@ FaultInjector::Verdict FaultInjector::on_transmit(LinkId link, LinkClass cls,
   if (link_down(link, cls, when)) {
     verdict.drop = true;
     ++stats_.flap_dropped;
+    note_verdict(kKindFlapDrop, kFaultEventNames[kKindFlapDrop], cls, link,
+                 when);
     return verdict;
   }
 
@@ -131,27 +204,39 @@ FaultInjector::Verdict FaultInjector::on_transmit(LinkId link, LinkClass cls,
       keyed_unit(key, kSaltBurst) < params.burst.loss) {
     verdict.drop = true;
     ++stats_.burst_dropped;
+    note_verdict(kKindBurstDrop, kFaultEventNames[kKindBurstDrop], cls, link,
+                 when);
     return verdict;
   }
   if (params.loss > 0 && keyed_unit(key, kSaltIid) < params.loss) {
     verdict.drop = true;
     ++stats_.iid_dropped;
+    note_verdict(kKindIidDrop, kFaultEventNames[kKindIidDrop], cls, link,
+                 when);
     return verdict;
   }
   if (params.duplicate > 0 && keyed_unit(key, kSaltDup) < params.duplicate) {
     verdict.duplicate = true;
     ++stats_.duplicated;
+    note_verdict(kKindDuplicate, kFaultEventNames[kKindDuplicate], cls, link,
+                 when);
   }
   if (params.corrupt > 0 && keyed_unit(key, kSaltCorrupt) < params.corrupt) {
     verdict.corrupt = true;
     verdict.corrupt_key = net::mix64(net::hash_combine64(key, kSaltCorrupt));
     ++stats_.corrupted;
+    note_verdict(kKindCorrupt, kFaultEventNames[kKindCorrupt], cls, link,
+                 when);
   }
   if (params.jitter_ms > 0) {
     const double u = keyed_unit(key, kSaltJitter);
     verdict.extra_delay = static_cast<SimTime>(
         u * params.jitter_ms * static_cast<double>(kMillisecond));
-    if (verdict.extra_delay > 0) ++stats_.jittered;
+    if (verdict.extra_delay > 0) {
+      ++stats_.jittered;
+      note_verdict(kKindJitter, kFaultEventNames[kKindJitter], cls, link,
+                   when, verdict.extra_delay);
+    }
   }
   return verdict;
 }

@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "packet/packet.h"
 #include "sim/event_loop.h"
 
@@ -30,6 +32,18 @@ using LinkId = std::uint32_t;
 // Coarse link taxonomy for class-scoped fault plans: the paper's loss and
 // rate-limit pathologies live on the access tier, not the core.
 enum class LinkClass : std::uint8_t { kOther = 0, kCore = 1, kAccess = 2 };
+
+[[nodiscard]] constexpr const char* link_class_name(LinkClass cls) {
+  switch (cls) {
+    case LinkClass::kCore:
+      return "core";
+    case LinkClass::kAccess:
+      return "access";
+    case LinkClass::kOther:
+      break;
+  }
+  return "other";
+}
 
 // Gilbert–Elliott style bursty loss: bursts begin at `rate_per_sec` per
 // link-second, last `mean_ms` on average, and drop packets with probability
@@ -118,7 +132,13 @@ class FaultInjector {
   // node); a keyed per-node coin selects plan.silent.fraction of them.
   void choose_silent(const std::vector<NodeId>& candidates);
   [[nodiscard]] bool node_silent(NodeId node, SimTime when) const;
-  void count_silent_drop() { ++stats_.silent_dropped; }
+  void note_silent_drop(NodeId node, SimTime when);
+
+  // Attaches observability sinks (both owned by the caller, thread-confined
+  // with this injector). Every verdict then bumps a
+  // fault_verdicts{kind,link_class} counter and — at packet trace level —
+  // emits a "fault"-category event stamped with the sim clock.
+  void set_obs(obs::TraceBuffer* trace, obs::MetricsShard* metrics);
 
   // True when `link` of class `cls` sits inside a bursty-loss window at
   // `when` (exposed for tests; on_transmit folds this into the verdict).
@@ -133,9 +153,21 @@ class FaultInjector {
  private:
   [[nodiscard]] const LinkFaultParams& params_for(LinkClass cls) const;
 
+  // Bumps the (kind, class) verdict counter and records the trace event.
+  void note_verdict(int kind, const char* event_name, LinkClass cls,
+                    LinkId link, SimTime when, std::uint64_t extra = 0);
+
   FaultPlan plan_;
   std::uint64_t seed_ = 1;
   FaultStats stats_;
+  obs::TraceBuffer* trace_ = nullptr;
+  // Counter cells indexed [kind][link class]; resolved once in set_obs so
+  // the verdict hot path is a single increment. kind order matches
+  // kFaultKindNames in faults.cc; the silent-drop counter is node-scoped
+  // and lives in its own cell.
+  static constexpr int kVerdictKinds = 6;
+  std::uint64_t* verdict_cells_[kVerdictKinds][3] = {};
+  std::uint64_t* silent_cell_ = nullptr;
   // Per-(link, packet-hash) attempt counters: retransmitted probes are
   // byte-identical, so the attempt index is what differentiates their fault
   // draws. Counts depend only on this replica's own traffic per packet, so

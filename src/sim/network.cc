@@ -88,10 +88,21 @@ void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
 
   const auto deliver = [this, from, dest](const pkt::Bytes& p) {
     if (faults_ && faults_->node_silent(dest.node, loop_.now())) {
-      faults_->count_silent_drop();
+      faults_->note_silent_drop(dest.node, loop_.now());
       return;
     }
     ++packets_delivered_;
+    if (delivered_cell_ != nullptr) ++*delivered_cell_;
+    if (trace_ != nullptr && trace_->at(obs::TraceLevel::kPacket)) {
+      obs::TraceEvent e;
+      e.ts = loop_.now();
+      e.name = "packet_hop";
+      e.cat = "net";
+      e.i0 = {"from", from};
+      e.i1 = {"to", dest.node};
+      e.i2 = {"bytes", p.size()};
+      trace_->add(e);
+    }
     if (tracer_) tracer_(loop_.now(), from, dest.node, p);
     nodes_[dest.node]->receive(p, dest.iface);
   };

@@ -150,9 +150,47 @@ class Network {
   // run. Returns the injector for silent-candidate registration.
   FaultInjector* install_faults(const FaultPlan& plan) {
     faults_ = std::make_unique<FaultInjector>(plan, seed_);
+    faults_->set_obs(trace_, metrics_);
     return faults_.get();
   }
   [[nodiscard]] FaultInjector* faults() const { return faults_.get(); }
+
+  // Attaches observability sinks (caller-owned, thread-confined with this
+  // network). At packet trace level every delivery emits a "packet_hop"
+  // event stamped with the sim clock; ICMPv6 rate-limiter suppressions
+  // reported by devices via note_icmp_rate_limited() are counted and
+  // traced. Propagates to the installed fault injector (and to any
+  // installed later).
+  void set_obs(obs::TraceBuffer* trace, obs::MetricsShard* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+    delivered_cell_ =
+        metrics != nullptr
+            ? metrics->counter("sim_packets_delivered", {},
+                               "Packets delivered by the simulated substrate")
+            : nullptr;
+    icmp_limited_cell_ =
+        metrics != nullptr
+            ? metrics->counter(
+                  "icmp_rate_limited", {},
+                  "ICMPv6 errors suppressed by device token buckets")
+            : nullptr;
+    if (faults_) faults_->set_obs(trace, metrics);
+  }
+
+  // Called by device nodes when their RFC 4443 ICMPv6 token bucket denies
+  // an error transmission.
+  void note_icmp_rate_limited(NodeId node) {
+    if (icmp_limited_cell_ != nullptr) ++*icmp_limited_cell_;
+    if (trace_ != nullptr && trace_->at(obs::TraceLevel::kPacket)) {
+      obs::TraceEvent e;
+      e.ts = loop_.now();
+      e.name = "icmp_rate_limited";
+      e.cat = "net";
+      e.i0 = {"node", node};
+      trace_->add(e);
+    }
+  }
 
  private:
   friend class Node;
@@ -177,6 +215,10 @@ class Network {
   net::Rng rng_;
   std::uint64_t seed_ = 1;
   Tracer tracer_;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::MetricsShard* metrics_ = nullptr;
+  std::uint64_t* delivered_cell_ = nullptr;
+  std::uint64_t* icmp_limited_cell_ = nullptr;
   std::unique_ptr<FaultInjector> faults_;
 #ifndef NDEBUG
   std::thread::id owner_{};  // set by the first run(); see assert_confined()

@@ -142,7 +142,10 @@ void Router::send_error(pkt::Icmpv6Type type, std::uint8_t code,
     source = p64.address_with_suffix(net::Uint128{iid});
   }
 
-  if (!limiter_.allow(network()->now())) return;
+  if (!limiter_.allow(network()->now())) {
+    network()->note_icmp_rate_limited(id());
+    return;
+  }
   if (type == pkt::Icmpv6Type::kDestUnreachable) {
     ++counters_.unreachable_sent;
   } else {
@@ -290,7 +293,10 @@ void CpeRouter::send_error(pkt::Icmpv6Type type, std::uint8_t code,
     pkt::Icmpv6View icmp{ip.payload()};
     if (icmp.valid() && icmp.is_error()) return;
   }
-  if (!limiter_.allow(network()->now())) return;
+  if (!limiter_.allow(network()->now())) {
+    network()->note_icmp_rate_limited(id());
+    return;
+  }
   if (type == pkt::Icmpv6Type::kDestUnreachable) {
     ++counters_.unreachable_sent;
   } else {
@@ -428,6 +434,8 @@ void UeDevice::receive(const pkt::Bytes& packet, int iface) {
                config_.ue_address, pkt::Icmpv6Type::kDestUnreachable,
                static_cast<std::uint8_t>(pkt::UnreachCode::kAddressUnreachable),
                packet));
+    } else {
+      network()->note_icmp_rate_limited(id());
     }
     return;
   }

@@ -185,12 +185,23 @@ SpecLoadResult load_specs_from_json(std::string_view json_text,
   }
   if (out.empty()) return fail("\"blocks\" is empty");
 
-  SpecLoadResult result{std::move(out), {}, std::nullopt};
+  SpecLoadResult result{std::move(out), {}, std::nullopt, std::nullopt};
   if (const net::JsonValue* faults = root.find("faults")) {
     sim::FaultPlan plan;
     const std::string err = parse_fault_plan(*faults, plan);
     if (!err.empty()) return fail(err);
     result.faults = plan;
+  }
+  if (const net::JsonValue* obs_entry = root.find("obs")) {
+    if (!obs_entry->is_object()) return fail("\"obs\" must be an object");
+    obs::ObsConfig config;
+    const std::string level_text = obs_entry->string_or("trace_level", "off");
+    if (!obs::trace_level_from_string(level_text, config.trace_level)) {
+      return fail("\"obs.trace_level\" must be off, scan or packet");
+    }
+    config.metrics = obs_entry->bool_or("metrics", false);
+    config.profile = obs_entry->bool_or("profile", false);
+    result.obs = config;
   }
   return result;
 }

@@ -31,6 +31,11 @@
 //       "flap": {"period_ms": 2000, "down_ms": 200, "fraction": 0.3}
 //     },
 //     "silent": {"fraction": 0.05, "start_ms": 0, "duration_ms": 500}
+//   },
+//   "obs": {                            // optional observability defaults
+//     "trace_level": "off",             // off | scan | packet
+//     "metrics": false,                 // labeled metrics registry
+//     "profile": false                  // wall-clock stage timers
 //   }
 // }
 #pragma once
@@ -39,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/config.h"
 #include "sim/faults.h"
 #include "topology/builder.h"
 
@@ -49,6 +55,9 @@ struct SpecLoadResult {
   std::string error;
   // Fault plan from the optional top-level "faults" object.
   std::optional<sim::FaultPlan> faults;
+  // Observability defaults from the optional top-level "obs" object
+  // (explicit CLI flags override these).
+  std::optional<obs::ObsConfig> obs;
 };
 
 // Parses a JSON document text into block specifications, resolving vendor

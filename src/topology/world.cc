@@ -9,7 +9,8 @@ namespace xmap::topo {
 namespace {
 
 WorldResult fail(std::string message) {
-  return WorldResult{std::nullopt, std::move(message)};
+  return WorldResult{std::nullopt, std::move(message), std::nullopt,
+                     std::nullopt};
 }
 
 }  // namespace
@@ -17,7 +18,7 @@ WorldResult fail(std::string message) {
 WorldResult resolve_world(const std::string& selector, std::uint64_t seed,
                           const std::vector<VendorProfile>& vendors) {
   if (selector == "paper") {
-    return WorldResult{paper::isp_specs(), {}};
+    return WorldResult{paper::isp_specs(), {}, std::nullopt, std::nullopt};
   }
   if (selector.rfind("bgp:", 0) == 0) {
     const std::string_view count = std::string_view{selector}.substr(4);
@@ -29,12 +30,14 @@ WorldResult resolve_world(const std::string& selector, std::uint64_t seed,
       return fail("bad world '" + selector +
                   "': bgp:<n> needs an AS count in 1..100000");
     }
-    return WorldResult{paper::bgp_specs(n_ases, seed), {}};
+    return WorldResult{paper::bgp_specs(n_ases, seed), {}, std::nullopt,
+                       std::nullopt};
   }
   if (selector.rfind("file:", 0) == 0) {
     auto loaded = load_specs_from_file(selector.substr(5), vendors);
     if (!loaded.specs) return fail(std::move(loaded.error));
-    return WorldResult{std::move(*loaded.specs), {}, loaded.faults};
+    return WorldResult{std::move(*loaded.specs), {}, loaded.faults,
+                       loaded.obs};
   }
   return fail("unknown world '" + selector +
               "' (want paper, bgp:<n> or file:<path>)");

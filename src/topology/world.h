@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/config.h"
 #include "topology/builder.h"
 
 namespace xmap::topo {
@@ -27,6 +28,9 @@ struct WorldResult {
   // Callers use it when the command line supplies no fault flags of its
   // own (CLI flags build a complete plan and take precedence).
   std::optional<sim::FaultPlan> faults;
+  // Observability defaults from a file: world's optional "obs" object;
+  // explicit CLI observability flags override these field by field.
+  std::optional<obs::ObsConfig> obs;
 };
 
 // Resolves `selector` into block specifications. Vendor names inside JSON

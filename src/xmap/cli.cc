@@ -101,6 +101,19 @@ Parallel engine:
                             final JSON metrics summary ('-' = stderr)
   --status-interval-ms <n>  monitor cadence (default 250)
 
+Observability:
+  --trace-level off|scan|packet
+                            deterministic sim-clock event trace: per-target
+                            lifecycle (scan) or every substrate event
+                            (packet); byte-identical across --threads
+  --trace-file <path>       write the trace (implies --trace-level scan)
+  --trace-format jsonl|chrome
+                            trace serialization; default: chrome when the
+                            file ends in .json, else jsonl
+  --metrics-file <path>     Prometheus text export of the labeled metrics
+                            registry (deterministic series only)
+  --profile                 wall-clock stage timing table on stderr at exit
+
 Output:
   --output-format csv|jsonl (default csv)
   --output-file <path>      default: stdout
@@ -236,6 +249,31 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       std::string value;
       if (!next_value(arg, value)) return fail("--output-file needs a value");
       opts.output_file = value;
+    } else if (arg == "--trace-file") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--trace-file needs a value");
+      opts.trace_file = value;
+    } else if (arg == "--trace-format") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--trace-format needs a value");
+      if (value != "jsonl" && value != "chrome") {
+        return fail("--trace-format must be jsonl or chrome");
+      }
+      opts.trace_format = value;
+    } else if (arg == "--trace-level") {
+      std::string value;
+      obs::TraceLevel level = obs::TraceLevel::kOff;
+      if (!next_value(arg, value) ||
+          !obs::trace_level_from_string(value, level)) {
+        return fail("--trace-level must be off, scan or packet");
+      }
+      opts.trace_level = level;
+    } else if (arg == "--metrics-file") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--metrics-file needs a value");
+      opts.metrics_file = value;
+    } else if (arg == "--profile") {
+      opts.profile = true;
     } else if (arg == "--retry-spacing-ms") {
       std::string value;
       if (!next_value(arg, value) ||
@@ -363,6 +401,13 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
     return fail(
         "--threads/--status-updates-file need a bulk probe module, not the "
         "traceroute runner");
+  }
+  if (module == "traceroute" &&
+      (!opts.trace_file.empty() || !opts.metrics_file.empty() ||
+       opts.profile || opts.trace_level.has_value())) {
+    return fail(
+        "observability flags need a bulk probe module, not the traceroute "
+        "runner");
   }
 
   return CliParseResult{std::move(opts), {}};

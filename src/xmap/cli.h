@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/config.h"
 #include "sim/faults.h"
 #include "xmap/blocklist.h"
 #include "xmap/target_spec.h"
@@ -47,6 +48,15 @@ struct CliOptions {
   std::string output_format = "csv";  // --output-format csv|jsonl
   std::string output_file;            // --output-file (empty = stdout)
   bool quiet = false;                 // --quiet (suppress the stats footer)
+
+  // Observability (src/obs). CLI flags override any "obs" section of a
+  // file: world spec. --trace-file without --trace-level implies scan
+  // level; --metrics-file implies the metrics registry.
+  std::string trace_file;    // --trace-file (empty = no trace output)
+  std::string trace_format;  // --trace-format jsonl|chrome ("" = by suffix)
+  std::optional<obs::TraceLevel> trace_level;  // --trace-level
+  std::string metrics_file;  // --metrics-file (Prometheus text)
+  bool profile = false;      // --profile (stage table on stderr at exit)
 
   // Parallel engine: --threads routes the scan through the multi-worker
   // executor (src/engine). 0 = flag absent, classic in-process path.

@@ -48,7 +48,64 @@ sim::SimTime gap_for(double pps) {
   return gap > 0 ? gap : 1;
 }
 
+inline void bump(std::uint64_t* cell) {
+  if (cell != nullptr) ++*cell;
+}
+
+std::uint64_t addr_key(const net::Ipv6Address& addr) {
+  const net::Uint128 v = addr.value();
+  return net::hash_combine64(v.hi(), v.lo());
+}
+
+// Sim-RTT histogram bounds (ns): 100µs … 1s, roughly log-spaced. The
+// simulated topologies put echo RTTs in the hundreds of µs to tens of ms.
+const std::vector<std::uint64_t> kRttBoundsNs = {
+    100'000,     250'000,     500'000,       1'000'000,   2'500'000,
+    5'000'000,   10'000'000,  25'000'000,    50'000'000,  100'000'000,
+    250'000'000, 500'000'000, 1'000'000'000,
+};
+
 }  // namespace
+
+void SimChannelScanner::set_obs(const obs::ObsConfig& config,
+                                obs::TraceBuffer* trace,
+                                obs::MetricsShard* metrics,
+                                obs::StageProfile* profile) {
+  trace_ = config.trace_level != obs::TraceLevel::kOff ? trace : nullptr;
+  profile_ = config.profile ? profile : nullptr;
+  if (config.metrics && metrics != nullptr) {
+    cells_.targets_generated =
+        metrics->counter("targets_generated", {},
+                         "Targets drawn from the scan permutation");
+    cells_.blocked = metrics->counter(
+        "targets_blocked", {}, "Targets suppressed by the blocklist");
+    cells_.sent = metrics->counter(
+        "probes_sent", {}, "Probe packets sent (fresh plus retransmits)");
+    cells_.retransmits = metrics->counter("probes_retransmitted", {},
+                                          "Retransmit copies sent");
+    cells_.received = metrics->counter(
+        "responses_received", {}, "Packets arriving at the scanner");
+    cells_.validated =
+        metrics->counter("responses_validated", {},
+                         "Responses accepted by the probe module");
+    cells_.duplicates = metrics->counter(
+        "responses_duplicate", {}, "Validated responses already seen");
+    cells_.discarded = metrics->counter(
+        "responses_discarded", {}, "Packets rejected by classification");
+    cells_.corrupted =
+        metrics->counter("responses_corrupted", {},
+                         "Packets failing the wire-integrity gate");
+    cells_.late = metrics->counter(
+        "responses_late", {}, "Responses after the cooldown deadline");
+    cells_.rate_adjustments = metrics->counter(
+        "rate_adjustments", {}, "AIMD rate-controller adjustments");
+    rtt_hist_ = metrics->histogram(
+        "icmp_rtt_sim_ns", kRttBoundsNs, {},
+        "Probe-to-validated-response round trip in sim nanoseconds");
+  }
+  track_rtt_ = rtt_hist_ != nullptr ||
+               (trace_ != nullptr && trace_->at(obs::TraceLevel::kScan));
+}
 
 void SimChannelScanner::start() {
   if (started_) return;
@@ -98,6 +155,7 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out,
     SpecState& state = spec_state_[current_spec_];
     if (auto offset = state.iter->next()) {
       ++stats_.targets_generated;
+      bump(cells_.targets_generated);
       if (progress_ != nullptr) {
         progress_->targets_generated.fetch_add(1, std::memory_order_relaxed);
       }
@@ -120,11 +178,21 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out,
 }
 
 void SimChannelScanner::schedule_fresh() {
+  obs::ScopedStageTimer timer{profile_, obs::Stage::kGenerate};
   if (budget_exhausted()) {
     fresh_done_ = true;
     maybe_finish_sending();
     return;
   }
+
+  // Scan-level lifecycle events are stamped with the target's packet-slot
+  // time — a pure function of (seed, targets, rate, retries) — rather than
+  // the load-dependent moment this function happens to run, so the trace
+  // stays partition-invariant.
+  const auto slot_time = [this](std::uint64_t raw) {
+    return static_cast<sim::SimTime>(
+        raw * static_cast<std::uint64_t>(copies_) * gap_ns_);
+  };
 
   net::Ipv6Address target;
   std::uint64_t raw_slot = 0;
@@ -135,13 +203,33 @@ void SimChannelScanner::schedule_fresh() {
     if (config_.blocklist != nullptr &&
         !config_.blocklist->permitted(target)) {
       ++stats_.blocked;
+      bump(cells_.blocked);
       if (progress_ != nullptr) {
         progress_->blocked.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (trace_ != nullptr && trace_->at(obs::TraceLevel::kScan)) {
+        obs::TraceEvent e;
+        e.ts = slot_time(raw_slot);
+        e.name = "target_blocked";
+        e.cat = "scan";
+        e.addr1_key = "target";
+        e.addr1 = target;
+        trace_->add(e);
       }
       continue;
     }
     have = true;
     break;
+  }
+  if (have && trace_ != nullptr && trace_->at(obs::TraceLevel::kScan)) {
+    obs::TraceEvent e;
+    e.ts = slot_time(raw_slot);
+    e.name = "target_generated";
+    e.cat = "scan";
+    e.addr1_key = "target";
+    e.addr1 = target;
+    e.i0 = {"raw_slot", raw_slot};
+    trace_->add(e);
   }
   if (!have) {
     fresh_done_ = true;
@@ -192,16 +280,45 @@ void SimChannelScanner::schedule_fresh() {
 }
 
 void SimChannelScanner::send_copy(const net::Ipv6Address& target, int copy) {
+  obs::ScopedStageTimer timer{profile_, obs::Stage::kSend};
   --pending_sends_;
   if (budget_exhausted()) {
     maybe_finish_sending();
     return;
   }
-  send(iface_, module_.make_probe(config_.source, target, config_.seed));
+  pkt::Bytes probe = module_.make_probe(config_.source, target, config_.seed);
+  if (trace_ != nullptr) {
+    if (trace_->at(obs::TraceLevel::kPacket)) {
+      obs::TraceEvent e;
+      e.ts = network()->now();
+      e.name = "probe_encoded";
+      e.cat = "scan";
+      e.addr1_key = "target";
+      e.addr1 = target;
+      e.i0 = {"bytes", probe.size()};
+      trace_->add(e);
+    }
+    if (trace_->at(obs::TraceLevel::kScan)) {
+      obs::TraceEvent e;
+      e.ts = network()->now();
+      e.name = copy > 0 ? "probe_retransmit" : "probe_sent";
+      e.cat = "scan";
+      e.addr1_key = "target";
+      e.addr1 = target;
+      e.i0 = {"copy", static_cast<std::uint64_t>(copy)};
+      trace_->add(e);
+    }
+  }
+  if (track_rtt_ && copy == 0) {
+    first_send_.emplace(addr_key(target), network()->now());
+  }
+  send(iface_, std::move(probe));
   ++stats_.sent;
+  bump(cells_.sent);
   ++window_sent_;
   if (copy > 0) {
     ++stats_.retransmits;
+    bump(cells_.retransmits);
     if (progress_ != nullptr) {
       progress_->retransmits.fetch_add(1, std::memory_order_relaxed);
     }
@@ -235,19 +352,29 @@ void SimChannelScanner::adapt_rate() {
     const double base =
         config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
     const double floor = std::max(1.0, base / 64.0);
+    bool adjusted = false;
     if (best_hit_rate_ > 0 && hr < 0.5 * best_hit_rate_ &&
         current_pps_ > floor) {
       // Hit rate collapsed: suspected ICMPv6 rate limiting — back off.
       current_pps_ = std::max(floor, current_pps_ / 2.0);
+      adjusted = true;
+    } else if (hr >= 0.8 * best_hit_rate_ && current_pps_ < base) {
+      current_pps_ = std::min(base, current_pps_ * 1.25);
+      adjusted = true;
+    }
+    if (adjusted) {
       ++stats_.rate_adjustments;
+      bump(cells_.rate_adjustments);
       if (progress_ != nullptr) {
         progress_->rate_adjustments.fetch_add(1, std::memory_order_relaxed);
       }
-    } else if (hr >= 0.8 * best_hit_rate_ && current_pps_ < base) {
-      current_pps_ = std::min(base, current_pps_ * 1.25);
-      ++stats_.rate_adjustments;
-      if (progress_ != nullptr) {
-        progress_->rate_adjustments.fetch_add(1, std::memory_order_relaxed);
+      if (trace_ != nullptr && trace_->at(obs::TraceLevel::kScan)) {
+        obs::TraceEvent e;
+        e.ts = network()->now();
+        e.name = "rate_adjusted";
+        e.cat = "scan";
+        e.i0 = {"pps", static_cast<std::uint64_t>(current_pps_)};
+        trace_->add(e);
       }
     }
   }
@@ -257,41 +384,115 @@ void SimChannelScanner::adapt_rate() {
 }
 
 void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
+  obs::ScopedStageTimer timer{profile_, obs::Stage::kReceive};
+  const bool scan_trace =
+      trace_ != nullptr && trace_->at(obs::TraceLevel::kScan);
   ++stats_.received;
+  bump(cells_.received);
   if (progress_ != nullptr) {
     progress_->received.fetch_add(1, std::memory_order_relaxed);
   }
   if (sending_done_ && network()->now() > recv_deadline_) {
     ++stats_.late;
+    bump(cells_.late);
     if (progress_ != nullptr) {
       progress_->late.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (scan_trace) {
+      obs::TraceEvent e;
+      e.ts = network()->now();
+      e.name = "response_late";
+      e.cat = "scan";
+      e.i0 = {"bytes", packet.size()};
+      trace_->add(e);
     }
     return;
   }
   if (!wire_intact(packet)) {
     ++stats_.corrupted;
+    bump(cells_.corrupted);
     if (progress_ != nullptr) {
       progress_->corrupted.fetch_add(1, std::memory_order_relaxed);
     }
+    if (scan_trace) {
+      obs::TraceEvent e;
+      e.ts = network()->now();
+      e.name = "response_corrupted";
+      e.cat = "scan";
+      e.i0 = {"bytes", packet.size()};
+      trace_->add(e);
+    }
     return;
   }
-  auto response = module_.classify(packet, config_.source, config_.seed);
+  std::optional<ProbeResponse> response;
+  {
+    obs::ScopedStageTimer classify_timer{profile_, obs::Stage::kClassify};
+    response = module_.classify(packet, config_.source, config_.seed);
+  }
   if (!response) {
     ++stats_.discarded;
+    bump(cells_.discarded);
     if (progress_ != nullptr) {
       progress_->discarded.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (scan_trace) {
+      obs::TraceEvent e;
+      e.ts = network()->now();
+      e.name = "response_discarded";
+      e.cat = "scan";
+      e.i0 = {"bytes", packet.size()};
+      trace_->add(e);
     }
     return;
   }
   ++stats_.validated;
+  bump(cells_.validated);
   ++window_validated_;
   if (progress_ != nullptr) {
     progress_->validated.fetch_add(1, std::memory_order_relaxed);
   }
+  sim::SimTime rtt = 0;
+  bool have_rtt = false;
+  if (track_rtt_) {
+    const auto it = first_send_.find(addr_key(response->probe_dst));
+    if (it != first_send_.end() && network()->now() >= it->second) {
+      rtt = network()->now() - it->second;
+      have_rtt = true;
+    }
+  }
+  if (rtt_hist_ != nullptr && have_rtt) rtt_hist_->observe(rtt);
+  if (scan_trace) {
+    // Renders as a span covering first-send -> validated-response when the
+    // send time is known (the Perfetto slice for this probe's round trip).
+    obs::TraceEvent e;
+    e.ts = have_rtt ? network()->now() - rtt : network()->now();
+    e.dur = rtt;
+    e.name = "response_validated";
+    e.cat = "scan";
+    e.addr1_key = "responder";
+    e.addr1 = response->responder;
+    e.addr2_key = "target";
+    e.addr2 = response->probe_dst;
+    e.str_key = "kind";
+    e.str_val = response_kind_name(response->kind);
+    trace_->add(e);
+  }
   if (!seen_responses_.insert(response_key(*response)).second) {
     ++stats_.duplicates;
+    bump(cells_.duplicates);
     if (progress_ != nullptr) {
       progress_->duplicates.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (scan_trace) {
+      obs::TraceEvent e;
+      e.ts = network()->now();
+      e.name = "response_duplicate";
+      e.cat = "scan";
+      e.addr1_key = "responder";
+      e.addr1 = response->responder;
+      e.addr2_key = "target";
+      e.addr2 = response->probe_dst;
+      trace_->add(e);
     }
   }
   if (callback_) callback_(*response, network()->now());

@@ -13,9 +13,14 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "xmap/blocklist.h"
 #include "xmap/cyclic_group.h"
@@ -74,6 +79,16 @@ class SimChannelScanner : public sim::Node {
   // authoritative totals remain `stats()`.
   void set_progress(ScanProgress* progress) { progress_ = progress; }
 
+  // Attaches observability sinks (all caller-owned, thread-confined with
+  // the scanner; any pointer may be null). Metric cells are resolved here
+  // once, so the per-probe cost is a null check plus an increment. Call
+  // before start(). Scan-level trace events are stamped with the target's
+  // deterministic packet-slot time, keeping the trace byte-identical
+  // across thread counts (adaptive_rate waives that guarantee, as it
+  // already does for send times).
+  void set_obs(const obs::ObsConfig& config, obs::TraceBuffer* trace,
+               obs::MetricsShard* metrics, obs::StageProfile* profile);
+
   // Begins the scan at the current sim time. Call Network::run() after.
   void start();
 
@@ -131,6 +146,28 @@ class SimChannelScanner : public sim::Node {
 
   // Duplicate detection: keyed hashes of every validated response.
   std::unordered_set<std::uint64_t> seen_responses_;
+
+  // Observability (all optional; null = off, hooks cost one branch).
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::StageProfile* profile_ = nullptr;
+  obs::Histogram* rtt_hist_ = nullptr;
+  struct MetricCells {
+    std::uint64_t* targets_generated = nullptr;
+    std::uint64_t* blocked = nullptr;
+    std::uint64_t* sent = nullptr;
+    std::uint64_t* retransmits = nullptr;
+    std::uint64_t* received = nullptr;
+    std::uint64_t* validated = nullptr;
+    std::uint64_t* duplicates = nullptr;
+    std::uint64_t* discarded = nullptr;
+    std::uint64_t* corrupted = nullptr;
+    std::uint64_t* late = nullptr;
+    std::uint64_t* rate_adjustments = nullptr;
+  } cells_;
+  // First-copy send time per probed address, for the RTT histogram and
+  // response_validated spans; populated only when either consumer is on.
+  bool track_rtt_ = false;
+  std::unordered_map<std::uint64_t, sim::SimTime> first_send_;
 
   std::uint64_t pending_sends_ = 0;  // copies scheduled but not yet fired
   sim::SimTime recv_deadline_ = ~sim::SimTime{0};

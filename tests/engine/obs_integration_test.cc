@@ -1,0 +1,125 @@
+// End-to-end observability through the parallel executor: the serialized
+// trace and the deterministic Prometheus export must be byte-identical for
+// any --threads value, the stage profile must cover the pipeline, and the
+// registry counters must agree with the merged ScanStats.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "engine/executor.h"
+#include "obs/metrics.h"
+#include "topology/paper_profiles.h"
+#include "xmap/results.h"
+
+namespace xmap::engine {
+namespace {
+
+const scan::IcmpEchoProbe& shared_module() {
+  static const scan::IcmpEchoProbe module{64};
+  return module;
+}
+
+EngineConfig make_config(int threads, obs::TraceLevel level) {
+  EngineConfig cfg;
+  cfg.world_specs = topo::paper::bgp_specs(3, 11);
+  cfg.vendors = topo::paper::vendor_catalog();
+  cfg.build.window_bits = 6;
+  cfg.build.seed = 11;
+  cfg.module = &shared_module();
+  cfg.scan.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.scan.seed = 5;
+  cfg.scan.probes_per_sec = 1e6;
+  cfg.threads = threads;
+  cfg.obs.trace_level = level;
+  cfg.obs.metrics = true;
+  cfg.obs.profile = true;
+  return cfg;
+}
+
+struct ObsOutputs {
+  std::string trace_jsonl;
+  std::string prometheus;
+  EngineResult result;
+};
+
+ObsOutputs run(int threads, obs::TraceLevel level) {
+  ObsOutputs out;
+  out.result = run_parallel_scan(make_config(threads, level));
+  EXPECT_TRUE(out.result.ok) << out.result.error;
+  std::ostringstream trace;
+  obs::write_trace_jsonl(trace, out.result.trace);
+  out.trace_jsonl = trace.str();
+  out.prometheus = obs::prometheus_text(out.result.metrics_snapshot);
+  return out;
+}
+
+TEST(ExecutorObs, TraceAndMetricsByteIdenticalAcrossThreadCounts) {
+  const ObsOutputs one = run(1, obs::TraceLevel::kPacket);
+  const ObsOutputs four = run(4, obs::TraceLevel::kPacket);
+  ASSERT_FALSE(one.trace_jsonl.empty());
+  EXPECT_EQ(one.trace_jsonl, four.trace_jsonl);
+  ASSERT_FALSE(one.prometheus.empty());
+  EXPECT_EQ(one.prometheus, four.prometheus);
+}
+
+TEST(ExecutorObs, CountersAgreeWithScanStats) {
+  const ObsOutputs r = run(2, obs::TraceLevel::kScan);
+  const auto* sent = r.result.metrics_snapshot.find("probes_sent");
+  ASSERT_NE(sent, nullptr);
+  EXPECT_EQ(sent->value, r.result.stats.sent);
+  const auto* generated = r.result.metrics_snapshot.find("targets_generated");
+  ASSERT_NE(generated, nullptr);
+  EXPECT_EQ(generated->value, r.result.stats.targets_generated);
+  const auto* validated = r.result.metrics_snapshot.find("responses_validated");
+  ASSERT_NE(validated, nullptr);
+  EXPECT_EQ(validated->value, r.result.stats.validated);
+  // The RTT histogram saw every validated response (duplicates included —
+  // they are validated responses with a known first-send time too).
+  const auto* rtt = r.result.metrics_snapshot.find("icmp_rtt_sim_ns");
+  ASSERT_NE(rtt, nullptr);
+  ASSERT_TRUE(rtt->histogram.has_value());
+  EXPECT_EQ(rtt->histogram->count(), r.result.stats.validated);
+}
+
+TEST(ExecutorObs, WallClockGaugeStaysOutOfPrometheus) {
+  const ObsOutputs r = run(2, obs::TraceLevel::kOff);
+  const auto* peak = r.result.metrics_snapshot.find("engine_queue_depth_peak");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_TRUE(peak->wall_clock);
+  EXPECT_EQ(r.prometheus.find("engine_queue_depth_peak"), std::string::npos);
+}
+
+TEST(ExecutorObs, StageProfileCoversThePipeline) {
+  const ObsOutputs r = run(2, obs::TraceLevel::kOff);
+  const obs::StageProfile& p = r.result.stage_profile;
+  EXPECT_FALSE(p.empty());
+  // Two workers each built one world replica.
+  EXPECT_EQ(p.at(obs::Stage::kBuild).calls, 2u);
+  EXPECT_GT(p.at(obs::Stage::kGenerate).calls, 0u);
+  EXPECT_GT(p.at(obs::Stage::kSend).calls, 0u);
+  EXPECT_EQ(p.at(obs::Stage::kMerge).calls, 1u);
+}
+
+TEST(ExecutorObs, DisabledObsLeavesResultEmpty) {
+  EngineConfig cfg = make_config(2, obs::TraceLevel::kOff);
+  cfg.obs.metrics = false;
+  cfg.obs.profile = false;
+  const EngineResult result = run_parallel_scan(cfg);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.trace.empty());
+  EXPECT_TRUE(result.metrics_snapshot.empty());
+  EXPECT_TRUE(result.stage_profile.empty());
+}
+
+TEST(ExecutorObs, ScanLevelOmitsPacketEvents) {
+  const ObsOutputs r = run(1, obs::TraceLevel::kScan);
+  ASSERT_FALSE(r.trace_jsonl.empty());
+  EXPECT_EQ(r.trace_jsonl.find("packet_hop"), std::string::npos);
+  EXPECT_NE(r.trace_jsonl.find("probe_sent"), std::string::npos);
+  const ObsOutputs packet = run(1, obs::TraceLevel::kPacket);
+  EXPECT_NE(packet.trace_jsonl.find("packet_hop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmap::engine

@@ -1,0 +1,110 @@
+// Monitor status-line rendering (including the near-zero-elapsed edge
+// cases) and the metrics_json() document with its optional observability
+// sections.
+#include "engine/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xmap::engine {
+namespace {
+
+TEST(StatusLine, NearZeroElapsedRendersPlaceholders) {
+  scan::ScanProgress progress;
+  progress.sent.store(500);
+  progress.targets_generated.store(10);
+  Monitor monitor{progress, MonitorOptions{nullptr, 250, 100000, 4}};
+  // At elapsed ~ 0 a naive implementation divides by (almost) zero and
+  // prints absurd rates and ETAs; the line must admit ignorance instead.
+  const std::string line = monitor.status_line(false, 0.0);
+  EXPECT_NE(line.find("(-- left)"), std::string::npos) << line;
+  EXPECT_NE(line.find("(-- avg)"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+}
+
+TEST(StatusLine, NoProgressYetHasNoEta) {
+  scan::ScanProgress progress;  // zero targets generated so far
+  Monitor monitor{progress, MonitorOptions{nullptr, 250, 100000, 1}};
+  // Plenty of elapsed time but zero progress: extrapolating an ETA from
+  // frac == 0 would divide by zero.
+  const std::string line = monitor.status_line(false, 10.0);
+  EXPECT_NE(line.find("(-- left)"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+}
+
+TEST(StatusLine, SteadyStateRendersRatesAndEta) {
+  scan::ScanProgress progress;
+  progress.sent.store(5000);
+  progress.validated.store(100);
+  progress.targets_generated.store(50000);
+  Monitor monitor{progress, MonitorOptions{nullptr, 250, 100000, 2}};
+  const std::string line = monitor.status_line(false, 10.0);
+  // 50% done in 10s -> 10s left; 5000 sent / 10s = 500 p/s.
+  EXPECT_NE(line.find(" 50%"), std::string::npos) << line;
+  EXPECT_NE(line.find("(0:10 left)"), std::string::npos) << line;
+  EXPECT_NE(line.find("500.0 p/s"), std::string::npos) << line;
+  EXPECT_EQ(line.find("--"), std::string::npos) << line;
+}
+
+TEST(StatusLine, DuplicatesAppearWhenNonzero) {
+  scan::ScanProgress progress;
+  progress.sent.store(100);
+  progress.validated.store(60);
+  progress.duplicates.store(7);
+  Monitor monitor{progress, MonitorOptions{nullptr, 250, 0, 1}};
+  const std::string with = monitor.status_line(false, 5.0);
+  EXPECT_NE(with.find("7 dup"), std::string::npos) << with;
+  progress.duplicates.store(0);
+  const std::string without = monitor.status_line(false, 5.0);
+  EXPECT_EQ(without.find("dup"), std::string::npos) << without;
+}
+
+TEST(StatusLine, FinalLineSkipsEta) {
+  scan::ScanProgress progress;
+  progress.targets_generated.store(10);
+  Monitor monitor{progress, MonitorOptions{nullptr, 250, 1000, 1}};
+  const std::string line = monitor.status_line(true, 0.0);
+  EXPECT_NE(line.find("(done)"), std::string::npos) << line;
+  EXPECT_EQ(line.find("left"), std::string::npos) << line;
+}
+
+MetricsSummary base_summary() {
+  MetricsSummary summary;
+  summary.threads = 2;
+  summary.wall_seconds = 1.5;
+  summary.merged.sent = 10;
+  summary.merged.validated = 4;
+  summary.per_worker.resize(2);
+  summary.worker_errors.resize(2);
+  return summary;
+}
+
+TEST(MetricsJson, OmitsObsSectionsWhenEmpty) {
+  const std::string json = metrics_json(base_summary());
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(json.find("\"stage_profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_worker\""), std::string::npos);
+}
+
+TEST(MetricsJson, IncludesObsSectionsWhenPresent) {
+  MetricsSummary summary = base_summary();
+  obs::MetricsShard shard;
+  *shard.counter("probes_sent", {}, "help") += 10;
+  summary.obs_metrics = obs::merge_shards({&shard});
+  summary.stage_profile.at(obs::Stage::kSend).ns = 1200;
+  summary.stage_profile.at(obs::Stage::kSend).calls = 3;
+
+  const std::string json = metrics_json(summary);
+  EXPECT_NE(json.find("\"metrics\":{\"probes_sent\":10}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"stage_profile\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"send\":{\"ns\":1200,\"calls\":3}"), std::string::npos)
+      << json;
+  // The obs sections come before the per-worker array.
+  EXPECT_LT(json.find("\"metrics\":"), json.find("\"per_worker\":"));
+}
+
+}  // namespace
+}  // namespace xmap::engine

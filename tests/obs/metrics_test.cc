@@ -1,0 +1,158 @@
+// Unit tests for the labeled metrics registry: histogram le-semantics at
+// the bucket boundaries, partition-invariant shard merging, the Prometheus
+// text golden (including the wall-clock exclusion) and the JSON fragment.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace xmap::obs {
+namespace {
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  Histogram h{{10, 100, 1000}};
+  // le-semantics: v lands in the first bucket with v <= bound.
+  h.observe(0);     // -> le=10
+  h.observe(10);    // -> le=10 (boundary is inclusive)
+  h.observe(11);    // -> le=100
+  h.observe(100);   // -> le=100
+  h.observe(101);   // -> le=1000
+  h.observe(1000);  // -> le=1000
+  h.observe(1001);  // -> +Inf
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 2u);
+  EXPECT_EQ(h.counts()[3], 1u);  // +Inf
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101 + 1000 + 1001);
+}
+
+TEST(Histogram, MergeSumsBucketwise) {
+  Histogram a{{10, 100}};
+  Histogram b{{10, 100}};
+  a.observe(5);
+  b.observe(5);
+  b.observe(50);
+  b.observe(500);
+  a.merge(b);
+  EXPECT_EQ(a.counts()[0], 2u);
+  EXPECT_EQ(a.counts()[1], 1u);
+  EXPECT_EQ(a.counts()[2], 1u);
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(Histogram, MismatchedBoundsFoldIntoInf) {
+  Histogram a{{10}};
+  Histogram b{{20}};
+  b.observe(1);
+  b.observe(2);
+  a.merge(b);
+  // The foreign population lands in +Inf; nothing disappears.
+  EXPECT_EQ(a.counts().back(), 2u);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.sum(), 3u);
+}
+
+TEST(MetricsShard, CellPointersAreStableAndCumulative) {
+  MetricsShard shard;
+  std::uint64_t* c = shard.counter("probes_sent", {}, "help");
+  *c += 3;
+  // Re-resolving the same series yields the same cell.
+  EXPECT_EQ(shard.counter("probes_sent"), c);
+  *shard.counter("probes_sent") += 2;
+  const MetricsSnapshot snap = merge_shards({&shard});
+  const auto* entry = snap.find("probes_sent");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, 5u);
+  EXPECT_EQ(entry->help, "help");
+}
+
+TEST(MetricsShard, LabelOrderDoesNotSplitSeries) {
+  MetricsShard shard;
+  *shard.counter("v", {{"a", "1"}, {"b", "2"}}) += 1;
+  *shard.counter("v", {{"b", "2"}, {"a", "1"}}) += 1;
+  const MetricsSnapshot snap = merge_shards({&shard});
+  ASSERT_EQ(snap.entries.size(), 1u);
+  EXPECT_EQ(snap.entries[0].value, 2u);
+}
+
+// The determinism anchor: any partition of the same observations over N
+// shards merges to the same snapshot as a single shard.
+TEST(MergeShards, PartitionInvariant) {
+  const auto feed = [](MetricsShard& shard, int step) {
+    *shard.counter("sent", {}, "probes") += 1;
+    *shard.counter("verdicts", {{"kind", step % 2 ? "drop" : "dup"}}) += 1;
+    shard.histogram("rtt", {100, 200}, {}, "rtt")->observe(
+        static_cast<std::uint64_t>(50 * step));
+  };
+  MetricsShard single;
+  MetricsShard a, b, c;
+  MetricsShard* split[] = {&a, &b, &c};
+  for (int step = 0; step < 12; ++step) {
+    feed(single, step);
+    feed(*split[step % 3], step);
+  }
+  const std::string lhs = prometheus_text(merge_shards({&single}));
+  // Shard order must not matter either.
+  const std::string rhs = prometheus_text(merge_shards({&c, &a, &b}));
+  EXPECT_EQ(lhs, rhs);
+  EXPECT_FALSE(lhs.empty());
+}
+
+TEST(PrometheusText, GoldenOutput) {
+  MetricsShard shard;
+  *shard.counter("probes_sent", {}, "Probes handed to the wire") += 7;
+  *shard.counter("fault_verdicts", {{"kind", "iid_drop"}}) += 2;
+  *shard.gauge("depth", {}, "A gauge") = 3;
+  shard.histogram("rtt_ns", {100, 200}, {}, "RTT")->observe(150);
+  const std::string text = prometheus_text(merge_shards({&shard}));
+  // Entries render in sorted (name, labels) order.
+  EXPECT_EQ(text,
+            "# HELP xmap_depth A gauge\n"
+            "# TYPE xmap_depth gauge\n"
+            "xmap_depth 3\n"
+            "# TYPE xmap_fault_verdicts_total counter\n"
+            "xmap_fault_verdicts_total{kind=\"iid_drop\"} 2\n"
+            "# HELP xmap_probes_sent_total Probes handed to the wire\n"
+            "# TYPE xmap_probes_sent_total counter\n"
+            "xmap_probes_sent_total 7\n"
+            "# HELP xmap_rtt_ns RTT\n"
+            "# TYPE xmap_rtt_ns histogram\n"
+            "xmap_rtt_ns_bucket{le=\"100\"} 0\n"
+            "xmap_rtt_ns_bucket{le=\"200\"} 1\n"
+            "xmap_rtt_ns_bucket{le=\"+Inf\"} 1\n"
+            "xmap_rtt_ns_sum 150\n"
+            "xmap_rtt_ns_count 1\n");
+}
+
+TEST(PrometheusText, WallClockSeriesAreExcludedByDefault) {
+  MetricsShard shard;
+  *shard.counter("sent") += 1;
+  *shard.gauge("queue_depth_peak", {}, "wall-clock", /*wall_clock=*/true) = 9;
+  const MetricsSnapshot snap = merge_shards({&shard});
+  const std::string deterministic = prometheus_text(snap);
+  EXPECT_EQ(deterministic.find("queue_depth_peak"), std::string::npos);
+  const std::string full = prometheus_text(snap, /*include_wall_clock=*/true);
+  EXPECT_NE(full.find("xmap_queue_depth_peak 9"), std::string::npos);
+}
+
+TEST(MetricsJson, GoldenFragment) {
+  MetricsShard shard;
+  *shard.counter("sent") += 4;
+  *shard.counter("v", {{"kind", "dup"}}) += 1;
+  shard.histogram("rtt", {10}, {})->observe(25);
+  std::ostringstream out;
+  append_metrics_json(out, merge_shards({&shard}));
+  EXPECT_EQ(out.str(),
+            "{\"rtt\":{\"buckets\":{\"10\":0,\"+Inf\":1},"
+            "\"sum\":25,\"count\":1},"
+            "\"sent\":4,"
+            "\"v{kind=\\\"dup\\\"}\":1}");
+}
+
+}  // namespace
+}  // namespace xmap::obs

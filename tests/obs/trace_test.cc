@@ -1,0 +1,123 @@
+// Unit tests for deterministic tracing: level gating, the content
+// ordering, partition-invariant merging, and the JSONL / Chrome writers.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace xmap::obs {
+namespace {
+
+TraceEvent make_event(std::uint64_t ts, const char* name,
+                      std::uint64_t dur = 0) {
+  TraceEvent e;
+  e.ts = ts;
+  e.name = name;
+  e.cat = "scan";
+  e.dur = dur;
+  return e;
+}
+
+TEST(TraceLevelParsing, RoundTrips) {
+  TraceLevel level = TraceLevel::kPacket;
+  EXPECT_TRUE(trace_level_from_string("off", level));
+  EXPECT_EQ(level, TraceLevel::kOff);
+  EXPECT_TRUE(trace_level_from_string("scan", level));
+  EXPECT_EQ(level, TraceLevel::kScan);
+  EXPECT_TRUE(trace_level_from_string("packet", level));
+  EXPECT_EQ(level, TraceLevel::kPacket);
+  EXPECT_FALSE(trace_level_from_string("verbose", level));
+}
+
+TEST(TraceBuffer, LevelGating) {
+  TraceBuffer off{TraceLevel::kOff};
+  EXPECT_FALSE(off.at(TraceLevel::kScan));
+  EXPECT_FALSE(off.at(TraceLevel::kOff));  // kOff never records anything
+
+  TraceBuffer scan{TraceLevel::kScan};
+  EXPECT_TRUE(scan.at(TraceLevel::kScan));
+  EXPECT_FALSE(scan.at(TraceLevel::kPacket));
+
+  TraceBuffer packet{TraceLevel::kPacket};
+  EXPECT_TRUE(packet.at(TraceLevel::kScan));
+  EXPECT_TRUE(packet.at(TraceLevel::kPacket));
+}
+
+TEST(TraceEventLess, OrdersByContent) {
+  const TraceEvent a = make_event(10, "a");
+  const TraceEvent b = make_event(20, "a");
+  const TraceEvent c = make_event(10, "b");
+  EXPECT_TRUE(trace_event_less(a, b));   // ts first
+  EXPECT_TRUE(trace_event_less(a, c));   // then name
+  EXPECT_FALSE(trace_event_less(b, a));
+  // Identical content compares equal in both directions.
+  EXPECT_FALSE(trace_event_less(a, a));
+
+  // Arguments participate: same (ts, name, cat) but different int arg.
+  TraceEvent d = make_event(10, "a");
+  TraceEvent e = make_event(10, "a");
+  d.i0 = {"copy", 0};
+  e.i0 = {"copy", 1};
+  EXPECT_TRUE(trace_event_less(d, e));
+  EXPECT_FALSE(trace_event_less(e, d));
+}
+
+// The same event population, split across worker buffers in different
+// ways, merges to one identical serialized stream.
+TEST(MergeTraces, PartitionInvariant) {
+  std::vector<TraceEvent> all;
+  for (int i = 0; i < 24; ++i) {
+    TraceEvent e = make_event(static_cast<std::uint64_t>(100 - i), "ev");
+    e.i0 = {"n", static_cast<std::uint64_t>(i)};
+    all.push_back(e);
+  }
+  // Partition A: round-robin over 3 buffers; partition B: one buffer.
+  std::vector<std::vector<TraceEvent>> split(3);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    split[i % 3].push_back(all[i]);
+  }
+  std::ostringstream lhs, rhs;
+  write_trace_jsonl(lhs, merge_traces(std::move(split)));
+  write_trace_jsonl(rhs, merge_traces({all}));
+  EXPECT_EQ(lhs.str(), rhs.str());
+  EXPECT_FALSE(lhs.str().empty());
+}
+
+TEST(WriteTraceJsonl, Golden) {
+  TraceEvent instant = make_event(1500, "probe_sent");
+  instant.addr1_key = "target";
+  instant.addr1 = *net::Ipv6Address::parse("2001:db8::1");
+  instant.i0 = {"copy", 0};
+
+  TraceEvent span = make_event(2000, "response_validated", 500);
+  span.str_key = "kind";
+  span.str_val = "echo-reply";
+
+  std::ostringstream out;
+  write_trace_jsonl(out, {instant, span});
+  EXPECT_EQ(out.str(),
+            "{\"ts\":1500,\"name\":\"probe_sent\",\"cat\":\"scan\","
+            "\"ph\":\"i\",\"args\":{\"target\":\"2001:db8::1\",\"copy\":0}}\n"
+            "{\"ts\":2000,\"name\":\"response_validated\",\"cat\":\"scan\","
+            "\"ph\":\"X\",\"dur\":500,\"args\":{\"kind\":\"echo-reply\"}}\n");
+}
+
+TEST(WriteChromeTrace, Golden) {
+  const TraceEvent instant = make_event(1500, "mark");
+  const TraceEvent span = make_event(2000, "work", 1234);
+  std::ostringstream out;
+  write_chrome_trace(out, {instant, span});
+  EXPECT_EQ(out.str(),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+            "{\"name\":\"mark\",\"cat\":\"scan\",\"ph\":\"i\",\"s\":\"g\","
+            "\"ts\":1.500,\"pid\":1,\"tid\":1,\"args\":{}},\n"
+            "{\"name\":\"work\",\"cat\":\"scan\",\"ph\":\"X\",\"ts\":2.000,"
+            "\"dur\":1.234,\"pid\":1,\"tid\":1,\"args\":{}}\n"
+            "]}\n");
+}
+
+}  // namespace
+}  // namespace xmap::obs

@@ -210,5 +210,44 @@ TEST(SpecLoader, RejectsBadFaultPlans) {
   EXPECT_FALSE(bad(R"({"silent": {"fraction": 2}})").specs.has_value());
 }
 
+TEST(SpecLoader, NoObsObjectMeansNoConfig) {
+  auto result = load_specs_from_json(std::string{"{"} + kMinimalBlock + "}",
+                                     paper::vendor_catalog());
+  ASSERT_TRUE(result.specs.has_value()) << result.error;
+  EXPECT_FALSE(result.obs.has_value());
+}
+
+TEST(SpecLoader, ParsesObsSection) {
+  const std::string doc = std::string{"{"} + kMinimalBlock + R"(,
+    "obs": {"trace_level": "packet", "metrics": true, "profile": true}
+  })";
+  auto result = load_specs_from_json(doc, paper::vendor_catalog());
+  ASSERT_TRUE(result.specs.has_value()) << result.error;
+  ASSERT_TRUE(result.obs.has_value());
+  EXPECT_EQ(result.obs->trace_level, obs::TraceLevel::kPacket);
+  EXPECT_TRUE(result.obs->metrics);
+  EXPECT_TRUE(result.obs->profile);
+
+  // Partial object: unspecified fields keep their defaults.
+  const std::string partial = std::string{"{"} + kMinimalBlock + R"(,
+    "obs": {"metrics": true}
+  })";
+  auto partial_result = load_specs_from_json(partial, paper::vendor_catalog());
+  ASSERT_TRUE(partial_result.obs.has_value());
+  EXPECT_EQ(partial_result.obs->trace_level, obs::TraceLevel::kOff);
+  EXPECT_TRUE(partial_result.obs->metrics);
+  EXPECT_FALSE(partial_result.obs->profile);
+}
+
+TEST(SpecLoader, RejectsBadObsSection) {
+  auto bad = [&](const char* obs_json) {
+    const std::string doc =
+        std::string{"{"} + kMinimalBlock + ", \"obs\": " + obs_json + "}";
+    return load_specs_from_json(doc, paper::vendor_catalog());
+  };
+  EXPECT_FALSE(bad("[]").specs.has_value());
+  EXPECT_FALSE(bad(R"({"trace_level": "verbose"})").specs.has_value());
+}
+
 }  // namespace
 }  // namespace xmap::topo

@@ -271,6 +271,47 @@ TEST(Cli, UsageMentionsResilienceAndFaultFlags) {
   }
 }
 
+TEST(Cli, ObservabilityFlags) {
+  auto result = parse({"--trace-file", "/tmp/trace.jsonl", "--trace-level",
+                       "packet", "--trace-format", "chrome", "--metrics-file",
+                       "/tmp/metrics.prom", "--profile"});
+  ASSERT_TRUE(result.options.has_value()) << result.error;
+  const auto& opts = *result.options;
+  EXPECT_EQ(opts.trace_file, "/tmp/trace.jsonl");
+  ASSERT_TRUE(opts.trace_level.has_value());
+  EXPECT_EQ(*opts.trace_level, obs::TraceLevel::kPacket);
+  EXPECT_EQ(opts.trace_format, "chrome");
+  EXPECT_EQ(opts.metrics_file, "/tmp/metrics.prom");
+  EXPECT_TRUE(opts.profile);
+
+  // Defaults: everything off, level unset (so a spec file can supply it).
+  auto plain = parse({});
+  ASSERT_TRUE(plain.options.has_value());
+  EXPECT_TRUE(plain.options->trace_file.empty());
+  EXPECT_FALSE(plain.options->trace_level.has_value());
+  EXPECT_TRUE(plain.options->metrics_file.empty());
+  EXPECT_FALSE(plain.options->profile);
+}
+
+TEST(Cli, RejectsBadObservabilityFlags) {
+  EXPECT_FALSE(parse({"--trace-level", "verbose"}).options.has_value());
+  EXPECT_FALSE(parse({"--trace-format", "xml"}).options.has_value());
+  EXPECT_FALSE(parse({"--trace-file"}).options.has_value());
+  // The traceroute runner bypasses the scanner, so obs flags are rejected.
+  EXPECT_FALSE(parse({"--probe-module", "traceroute", "--metrics-file", "m"})
+                   .options.has_value());
+  EXPECT_FALSE(parse({"--probe-module", "traceroute", "--profile"})
+                   .options.has_value());
+}
+
+TEST(Cli, UsageMentionsObservabilityFlags) {
+  const std::string usage = cli_usage();
+  for (const char* flag : {"--trace-level", "--trace-file", "--trace-format",
+                           "--metrics-file", "--profile"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
 TEST(OutputWriters, JsonAliasAndUnknown) {
   std::ostringstream out;
   EXPECT_NE(make_writer("json", out), nullptr);

@@ -13,6 +13,10 @@
 
 #include "engine/executor.h"
 #include "engine/probe_factory.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "topology/paper_profiles.h"
 #include "topology/world.h"
 #include "xmap/cli.h"
@@ -71,6 +75,63 @@ void install_faults(sim::Network& net, const topo::BuiltInternet& internet,
   injector->choose_silent(candidates);
 }
 
+// Resolves the effective observability configuration: a file: world's
+// "obs" section supplies the defaults, explicit CLI flags override field
+// by field, and --trace-file / --metrics-file imply the matching pillar.
+obs::ObsConfig resolve_obs(const scan::CliOptions& opts,
+                           const std::optional<obs::ObsConfig>& world_obs) {
+  obs::ObsConfig cfg = world_obs.value_or(obs::ObsConfig{});
+  if (opts.trace_level) cfg.trace_level = *opts.trace_level;
+  if (!opts.trace_file.empty() && cfg.trace_level == obs::TraceLevel::kOff &&
+      !opts.trace_level) {
+    cfg.trace_level = obs::TraceLevel::kScan;
+  }
+  if (!opts.metrics_file.empty()) cfg.metrics = true;
+  if (opts.profile) cfg.profile = true;
+  return cfg;
+}
+
+// Writes the trace and metrics files and prints the --profile table.
+// Returns false (after a diagnostic) if an output file cannot be opened.
+bool write_obs_outputs(const scan::CliOptions& opts,
+                       const std::vector<obs::TraceEvent>& trace,
+                       const obs::MetricsSnapshot& metrics,
+                       const obs::StageProfile& profile) {
+  if (!opts.trace_file.empty()) {
+    std::ofstream out{opts.trace_file};
+    if (!out) {
+      std::fprintf(stderr, "xmap_sim: cannot open %s\n",
+                   opts.trace_file.c_str());
+      return false;
+    }
+    // --trace-format wins; otherwise a .json suffix selects the Chrome
+    // trace-event form (Perfetto / chrome://tracing), anything else JSONL.
+    const std::string& path = opts.trace_file;
+    const bool chrome =
+        opts.trace_format == "chrome" ||
+        (opts.trace_format.empty() && path.size() >= 5 &&
+         path.compare(path.size() - 5, 5, ".json") == 0);
+    if (chrome) {
+      obs::write_chrome_trace(out, trace);
+    } else {
+      obs::write_trace_jsonl(out, trace);
+    }
+  }
+  if (!opts.metrics_file.empty()) {
+    std::ofstream out{opts.metrics_file};
+    if (!out) {
+      std::fprintf(stderr, "xmap_sim: cannot open %s\n",
+                   opts.metrics_file.c_str());
+      return false;
+    }
+    out << obs::prometheus_text(metrics);
+  }
+  if (opts.profile) {
+    std::fputs(obs::stage_profile_table(profile).c_str(), stderr);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,6 +172,7 @@ int main(int argc, char** argv) {
                                         ? opts.faults
                                         : world.faults.value_or(
                                               sim::FaultPlan{});
+  const obs::ObsConfig obs_cfg = resolve_obs(opts, world.obs);
 
   // --- Output --------------------------------------------------------------
   std::ofstream file;
@@ -229,6 +291,7 @@ int main(int argc, char** argv) {
     engine_cfg.status_out = status_out;
     engine_cfg.status_interval_ms = opts.status_interval_ms;
     engine_cfg.faults = fault_plan;
+    engine_cfg.obs = obs_cfg;
     auto result = engine::run_parallel_scan(engine_cfg);
     if (!result.ok) {
       std::fprintf(stderr, "xmap_sim: %s\n", result.error.c_str());
@@ -246,6 +309,10 @@ int main(int argc, char** argv) {
       print_stats_footer(result.stats, engine_cfg.threads,
                          result.wall_seconds);
     }
+    if (!write_obs_outputs(opts, result.trace, result.metrics_snapshot,
+                           result.stage_profile)) {
+      return 2;
+    }
     if (result.failed_workers > 0) {
       std::fprintf(stderr, "xmap_sim: %d worker(s) failed; results partial\n",
                    result.failed_workers);
@@ -255,10 +322,21 @@ int main(int argc, char** argv) {
   }
 
   // --- Classic single-thread in-process path -------------------------------
+  obs::TraceBuffer trace_buf{obs_cfg.trace_level};
+  obs::MetricsShard shard;
+  obs::StageProfile stage_profile;
+  obs::TraceBuffer* trace =
+      obs_cfg.trace_level != obs::TraceLevel::kOff ? &trace_buf : nullptr;
+  obs::MetricsShard* metrics = obs_cfg.metrics ? &shard : nullptr;
+  obs::StageProfile* profile = obs_cfg.profile ? &stage_profile : nullptr;
+
   sim::Network net{opts.seed};
-  auto internet = topo::build_internet(net, specs,
-                                       topo::paper::vendor_catalog(),
-                                       build_cfg);
+  net.set_obs(trace, metrics);
+  auto internet = [&] {
+    obs::ScopedStageTimer build_timer{profile, obs::Stage::kBuild};
+    return topo::build_internet(net, specs, topo::paper::vendor_catalog(),
+                                build_cfg);
+  }();
   install_faults(net, internet, fault_plan);
   if (cfg.targets.empty()) {
     for (const auto& isp : internet.isps) {
@@ -267,6 +345,7 @@ int main(int argc, char** argv) {
     }
   }
   auto* scanner = net.make_node<scan::SimChannelScanner>(cfg, *module.module);
+  scanner->set_obs(obs_cfg, trace, metrics, profile);
   const int iface = topo::attach_vantage(
       net, internet, scanner, *net::Ipv6Prefix::parse("2001:500::/48"));
   scanner->set_iface(iface);
@@ -281,5 +360,9 @@ int main(int argc, char** argv) {
   writer->end();
 
   if (!opts.quiet) print_stats_footer(scanner->stats(), 0, 0);
+  const std::vector<obs::TraceEvent> events =
+      obs::merge_traces({trace_buf.take()});
+  const obs::MetricsSnapshot snapshot = obs::merge_shards({&shard});
+  if (!write_obs_outputs(opts, events, snapshot, stage_profile)) return 2;
   return 0;
 }
