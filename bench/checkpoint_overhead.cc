@@ -1,0 +1,119 @@
+// Checkpoint overhead: wall-clock of the parallel engine with mid-flight
+// checkpointing off versus on at several intervals, plus the cost of one
+// full state serialization (what a SIGTERM pays before exiting). The
+// interesting number is the delta column: publishing a stable cursor is one
+// mutex-guarded copy per interval per worker, and the collector assembles a
+// snapshot only when every worker has published, so the steady-state cost
+// should be noise until the interval gets small enough that serialization
+// dominates.
+//
+// XMAP_SEED overrides the world seed; XMAP_REPS the repetitions (median
+// reported, default 5).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "engine/executor.h"
+#include "recover/state.h"
+#include "topology/paper_profiles.h"
+
+namespace {
+
+using namespace xmap;
+
+struct Outcome {
+  double wall_seconds = 0;
+  int snapshots = 0;
+  std::size_t state_bytes = 0;  // serialized size of the last snapshot
+  std::uint64_t sent = 0;
+};
+
+Outcome run_once(std::uint64_t interval, int window_bits,
+                 std::uint64_t seed) {
+  static const scan::IcmpEchoProbe module{64};
+  engine::EngineConfig cfg;
+  cfg.world_specs = topo::paper::isp_specs();
+  cfg.vendors = topo::paper::vendor_catalog();
+  cfg.build.window_bits = window_bits;
+  cfg.build.seed = seed;
+  cfg.module = &module;
+  cfg.scan.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.scan.seed = seed ^ 0x5eed;
+  cfg.scan.probes_per_sec = 1e9;  // unthrottled: measure engine cost
+  cfg.threads = 4;
+
+  Outcome out;
+  if (interval != 0) {
+    cfg.checkpoint_interval_targets = interval;
+    // The sink serializes like the CLI does (fingerprint stamping is
+    // negligible next to the record section) but writes nowhere — this
+    // measures checkpointing, not the disk.
+    cfg.checkpoint_sink = [&out](recover::CheckpointState& state) {
+      out.state_bytes = recover::serialize_checkpoint(state).size();
+      ++out.snapshots;
+    };
+  }
+  auto result = engine::run_parallel_scan(cfg);
+  if (!result.ok) {
+    std::fprintf(stderr, "engine error: %s\n", result.error.c_str());
+    std::exit(1);
+  }
+  out.wall_seconds = result.wall_seconds;
+  out.sent = result.stats.sent;
+  return out;
+}
+
+Outcome run_median(std::uint64_t interval, int window_bits,
+                   std::uint64_t seed, int reps) {
+  std::vector<Outcome> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    runs.push_back(run_once(interval, window_bits, seed));
+  }
+  std::sort(runs.begin(), runs.end(), [](const Outcome& a, const Outcome& b) {
+    return a.wall_seconds < b.wall_seconds;
+  });
+  return runs[runs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  const char* seed_env = std::getenv("XMAP_SEED");
+  const std::uint64_t seed =
+      seed_env != nullptr ? static_cast<std::uint64_t>(std::atoll(seed_env))
+                          : 2020;
+  const char* reps_env = std::getenv("XMAP_REPS");
+  const int reps = reps_env != nullptr ? std::max(1, std::atoi(reps_env)) : 5;
+  constexpr int kWindowBits = 10;
+
+  const std::uint64_t intervals[] = {0, 50000, 10000, 2000, 500};
+
+  std::printf(
+      "checkpoint overhead (paper world, 4 workers, median of %d)\n", reps);
+  std::printf("hardware threads: %u, window_bits: %d\n",
+              std::thread::hardware_concurrency(), kWindowBits);
+  std::printf("%-22s %10s %10s %10s %12s\n", "interval (targets)", "wall_s",
+              "overhead", "snapshots", "state_bytes");
+
+  double baseline = 0;
+  for (const std::uint64_t interval : intervals) {
+    const Outcome o = run_median(interval, kWindowBits, seed, reps);
+    if (baseline == 0) baseline = o.wall_seconds;
+    const double overhead =
+        baseline > 0 ? 100.0 * (o.wall_seconds / baseline - 1.0) : 0.0;
+    char label[32];
+    if (interval == 0) {
+      std::snprintf(label, sizeof label, "off");
+    } else {
+      std::snprintf(label, sizeof label, "%llu",
+                    static_cast<unsigned long long>(interval));
+    }
+    std::printf("%-22s %10.3f %+9.1f%% %10d %12zu\n", label, o.wall_seconds,
+                overhead, o.snapshots, o.state_bytes);
+  }
+  return 0;
+}

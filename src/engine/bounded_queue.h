@@ -12,6 +12,7 @@
 // under ThreadSanitizer.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -54,6 +55,41 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  // Like pop(), but gives up after `timeout`: nullopt then means either
+  // "drained and closed" or "nothing arrived yet" — disambiguate with
+  // drained(). Lets the consumer interleave periodic work (checkpoint
+  // capture) with draining.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock{mu_};
+    not_empty_.wait_for(lock, timeout,
+                        [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // Non-blocking pop: nullopt when the queue is momentarily empty.
+  std::optional<T> try_pop() {
+    std::unique_lock lock{mu_};
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  // True once the queue is closed and fully drained — the consumer's
+  // termination condition when using pop_for/try_pop.
+  [[nodiscard]] bool drained() const {
+    std::lock_guard lock{mu_};
+    return closed_ && items_.empty();
   }
 
   // Idempotent. Wakes all waiters; subsequent pushes fail, pops drain the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <tuple>
 
@@ -62,6 +64,19 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
 
   scan::ScanConfig base = config.scan;
   if (base.targets.empty()) base.targets = default_targets(config);
+  base.shutdown_flag = config.shutdown_flag;
+  base.shutdown_at_raw_slot = config.shutdown_at_raw_slot;
+  if (base.max_probes != 0) {
+    // Global target budget as a slot cut, computed once on the machine
+    // shard's walk and shared by every worker: each worker stops at the
+    // same permutation index regardless of --threads, so a capped scan is
+    // byte-identical at any thread count (per-worker budget shares were
+    // not).
+    base.budget_cut_raw_slot =
+        scan::compute_budget_cut(base.targets, base.seed, base.blocklist,
+                                 base.max_probes, base.shard, base.shards);
+    base.max_probes = 0;  // fully encoded in the cut; don't recompute
+  }
 
   scan::ScanProgress progress;
   MonitorOptions monitor_options;
@@ -75,6 +90,23 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   BoundedQueue<EngineRecord> queue{config.queue_capacity};
   std::vector<WorkerReport> reports(static_cast<std::size_t>(threads));
   std::atomic<int> active{threads};
+
+  // Mid-flight checkpoint rendezvous: workers publish stable cursors here
+  // (cheap — once per checkpoint interval); the collector assembles a
+  // checkpoint once every worker has published.
+  struct PublishedCursor {
+    std::mutex mu;
+    scan::ScanCursor cursor;
+    bool valid = false;
+  };
+  const bool periodic_checkpoints =
+      config.checkpoint_interval_targets != 0 &&
+      config.checkpoint_sink != nullptr;
+  std::vector<std::unique_ptr<PublishedCursor>> published;
+  for (int w = 0; w < threads; ++w) {
+    published.push_back(std::make_unique<PublishedCursor>());
+  }
+  std::atomic<std::uint64_t> publish_epoch{0};
 
   // Per-worker observability sinks, thread-confined like everything else a
   // worker touches; merged deterministically after join. The fixed-size
@@ -123,17 +155,9 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     scan::ScanConfig wcfg = base;
     wcfg.shard = config.scan.shard * threads + w;
     wcfg.shards = config.scan.shards * threads;
-    if (base.max_probes != 0) {
-      // Distribute the global cap; shares sum exactly to the cap.
-      const std::uint64_t n = static_cast<std::uint64_t>(threads);
-      const std::uint64_t uw = static_cast<std::uint64_t>(w);
-      wcfg.max_probes = base.max_probes / n + (uw < base.max_probes % n);
-      if (wcfg.max_probes == 0) {
-        // Zero share means "send nothing", but 0 encodes "unlimited" in
-        // ScanConfig — skip the scan outright.
-        reports[static_cast<std::size_t>(w)].sim_duration = 0;
-        return;
-      }
+    if (config.resume != nullptr &&
+        static_cast<std::size_t>(w) < config.resume->cursors.size()) {
+      wcfg.resume_spec_steps = config.resume->cursors[w].spec_steps;
     }
 
     auto* scanner =
@@ -143,16 +167,32 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     scanner->set_iface(iface);
     scanner->set_progress(&progress);
     scanner->set_obs(config.obs, trace, metrics, profile);
-    scanner->on_response(
-        [&queue, w](const scan::ProbeResponse& r, sim::SimTime when) {
-          queue.push(EngineRecord{r, when, w});
+    scanner->on_response_slotted(
+        [&queue, w](const scan::ProbeResponse& r, sim::SimTime when,
+                    std::uint64_t raw_slot) {
+          queue.push(EngineRecord{r, when, w, raw_slot});
         });
+    if (periodic_checkpoints) {
+      PublishedCursor* slot = published[static_cast<std::size_t>(w)].get();
+      scanner->set_checkpoint_hook(
+          config.checkpoint_interval_targets,
+          [slot, &publish_epoch](const scan::ScanCursor& cursor) {
+            {
+              std::lock_guard lock{slot->mu};
+              slot->cursor = cursor;
+              slot->valid = true;
+            }
+            publish_epoch.fetch_add(1, std::memory_order_release);
+          });
+    }
     scanner->start();
     net.run();
 
     WorkerReport& report = reports[static_cast<std::size_t>(w)];
     report.stats = scanner->stats();
     report.sim_duration = net.now();
+    report.cursor = scanner->cursor();
+    report.interrupted = scanner->interrupted();
   };
 
   const auto worker_main = [&](int w) {
@@ -187,13 +227,97 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
   // the MPSC queue.
   EngineResult result;
   result.collector = scan::ResultCollector{config.alias_threshold};
+  if (config.resume != nullptr) {
+    // Seed the record stream with the checkpoint's collected responses;
+    // the deterministic content sort below interleaves them with this
+    // run's exactly as an uninterrupted run would have produced them.
+    result.resumed = true;
+    result.records.reserve(config.resume->records.size());
+    for (const auto& r : config.resume->records) {
+      result.records.push_back(
+          EngineRecord{r.response, r.when, r.worker, r.raw_slot});
+    }
+  }
   std::size_t queue_peak = 0;
-  while (auto record = queue.pop()) {
-    // +1 for the record just popped: peak occupancy as the consumer saw it.
-    queue_peak = std::max(queue_peak, queue.size() + 1);
-    result.records.push_back(std::move(*record));
+  if (!periodic_checkpoints) {
+    while (auto record = queue.pop()) {
+      // +1 for the record just popped: peak occupancy as the consumer saw
+      // it.
+      queue_peak = std::max(queue_peak, queue.size() + 1);
+      result.records.push_back(std::move(*record));
+    }
+  } else {
+    std::uint64_t written_epoch = 0;
+    const auto maybe_checkpoint = [&] {
+      const std::uint64_t epoch =
+          publish_epoch.load(std::memory_order_acquire);
+      if (epoch == written_epoch) return;
+      // Assemble a mid-flight checkpoint once every worker has published a
+      // stable cursor. Records below each worker's cursor belong to
+      // completed probe lifecycles (the cursor lags the send frontier by a
+      // response horizon), so "filter by slot, re-scan from the cursor"
+      // reproduces the uninterrupted output exactly.
+      std::vector<scan::ScanCursor> cursors(
+          static_cast<std::size_t>(threads));
+      bool all_published = true;
+      for (int w = 0; w < threads; ++w) {
+        PublishedCursor* slot = published[static_cast<std::size_t>(w)].get();
+        std::lock_guard lock{slot->mu};
+        if (!slot->valid) {
+          all_published = false;
+          break;
+        }
+        cursors[static_cast<std::size_t>(w)] = slot->cursor;
+      }
+      if (!all_published) return;
+      written_epoch = epoch;
+      // Cursors were published before their workers pushed any record at
+      // or above them; drain the queue to empty so every record below a
+      // cursor is in hand before filtering.
+      while (auto tail = queue.try_pop()) {
+        result.records.push_back(std::move(*tail));
+      }
+      recover::CheckpointState state;
+      state.quiescent = false;
+      state.signal = 0;
+      state.stats = progress.snapshot();
+      if (config.resume != nullptr) state.stats += config.resume->stats;
+      for (const auto& cursor : cursors) {
+        state.cursors.push_back(
+            recover::WorkerCursor{cursor.spec_steps, cursor.frontier_slot});
+      }
+      for (const auto& rec : result.records) {
+        const auto uw = static_cast<std::size_t>(rec.worker);
+        if (uw < cursors.size() &&
+            rec.raw_slot < cursors[uw].frontier_slot) {
+          state.records.push_back(recover::CheckpointRecord{
+              rec.response, rec.when, rec.worker, rec.raw_slot});
+        }
+      }
+      config.checkpoint_sink(state);
+    };
+    // Check the epoch on every iteration, not just on queue timeouts: a
+    // fast scan can stream records without ever leaving a 20ms gap, and
+    // its snapshots must still land.
+    while (true) {
+      auto record = queue.pop_for(std::chrono::milliseconds(20));
+      if (record) {
+        queue_peak = std::max(queue_peak, queue.size() + 1);
+        result.records.push_back(std::move(*record));
+        maybe_checkpoint();
+        continue;
+      }
+      if (queue.drained()) break;
+      maybe_checkpoint();
+    }
   }
   for (auto& t : workers) t.join();
+
+  for (const auto& report : reports) {
+    result.interrupted = result.interrupted || report.interrupted;
+    result.cursors.push_back(report.cursor);
+  }
+  monitor.set_interrupted(result.interrupted);
   monitor.stop();
 
   {
@@ -231,7 +355,11 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     summary.sim_duration_ns =
         std::max<std::uint64_t>(summary.sim_duration_ns, report.sim_duration);
   }
+  if (config.resume != nullptr) result.stats += config.resume->stats;
   summary.failed_workers = result.failed_workers;
+  summary.interrupted = result.interrupted;
+  summary.resumed = result.resumed;
+  summary.checkpoint_file = config.checkpoint_file;
   result.workers = std::move(reports);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -244,8 +372,13 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
 
   if (tracing) {
     std::vector<std::vector<obs::TraceEvent>> buffers;
-    buffers.reserve(traces.size());
+    buffers.reserve(traces.size() + 1);
     for (auto& t : traces) buffers.push_back(t.take());
+    if (config.resume != nullptr && config.resume->has_obs) {
+      // The checkpoint's trace is just another buffer to the content sort:
+      // the merged stream equals the uninterrupted run's.
+      buffers.push_back(config.resume->trace);
+    }
     result.trace = obs::merge_traces(std::move(buffers));
   }
   if (config.obs.metrics) {
@@ -260,6 +393,10 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     for (const auto& shard : shards) shard_ptrs.push_back(&shard);
     shard_ptrs.push_back(&main_shard);
     result.metrics_snapshot = obs::merge_shards(shard_ptrs);
+    if (config.resume != nullptr && config.resume->has_obs) {
+      result.metrics_snapshot = obs::merge_snapshots(
+          {&config.resume->metrics, &result.metrics_snapshot});
+    }
     summary.obs_metrics = result.metrics_snapshot;
   }
   if (config.obs.profile) {

@@ -17,6 +17,7 @@
 // lines from shared atomic counters (see telemetry.h).
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "engine/telemetry.h"
 #include "obs/config.h"
 #include "obs/trace.h"
+#include "recover/state.h"
 #include "topology/builder.h"
 #include "xmap/results.h"
 #include "xmap/scanner.h"
@@ -43,8 +45,10 @@ struct EngineConfig {
 
   // Base scan parameters. `scan.shard`/`scan.shards` express the
   // machine-level partition (multi-instance scanning); worker sub-shards
-  // compose underneath it. `scan.max_probes` is a global cap, distributed
-  // across workers. `scan.targets` empty = scan every block of the world.
+  // compose underneath it. `scan.max_probes` is a global target budget,
+  // enforced as a cut at a fixed permutation slot shared by all workers so
+  // capped scans stay byte-identical across --threads values.
+  // `scan.targets` empty = scan every block of the world.
   scan::ScanConfig scan;
 
   // Fault-injection plan installed into every worker's network replica
@@ -70,16 +74,45 @@ struct EngineConfig {
   // StageProfile; the engine merges them deterministically after join (see
   // EngineResult::trace / metrics_snapshot / stage_profile).
   obs::ObsConfig obs;
+
+  // Checkpoint/resume (see src/recover/). `resume` seeds the run from a
+  // loaded checkpoint: worker iterators fast-forward to their cursors, and
+  // the checkpoint's records/stats/trace/metrics merge with this run's so
+  // the final artifacts equal an uninterrupted run's. The engine trusts
+  // the caller to have validated the fingerprint (threads must match
+  // cursors.size()).
+  const recover::CheckpointState* resume = nullptr;
+  // Periodic mid-flight checkpointing: every `checkpoint_interval_targets`
+  // drawn targets each worker publishes a stable cursor; when every worker
+  // has published, the collector assembles a non-quiescent CheckpointState
+  // (cursors + records filtered to completed probe lifecycles + live
+  // stats) and hands it to `checkpoint_sink` (the CLI stamps the
+  // fingerprint and writes the file). 0 = off.
+  std::uint64_t checkpoint_interval_targets = 0;
+  std::function<void(recover::CheckpointState&)> checkpoint_sink;
+  // Graceful shutdown: polled by every worker; non-zero stops fresh sends
+  // at each worker's frontier, drains in-flight copies, and reports
+  // EngineResult::interrupted with per-worker cursors.
+  const std::atomic<int>* shutdown_flag = nullptr;
+  // Deterministic interruption test hook (see
+  // ScanConfig::shutdown_at_raw_slot).
+  std::uint64_t shutdown_at_raw_slot = scan::kNoBudgetCut;
+  // Where checkpoints are written (display only — surfaces as
+  // "checkpoint_file" in the telemetry JSON; the sink does the writing).
+  std::string checkpoint_file;
 };
 
 inline constexpr int kMaxWorkers = 64;
 
 // One validated response as it crossed the queue. `when` is the worker's
-// sim-clock arrival time (deterministic per worker).
+// sim-clock arrival time (deterministic per worker); `raw_slot` is the
+// global permutation slot of the probe that elicited it (checkpoint
+// provenance).
 struct EngineRecord {
   scan::ProbeResponse response;
   sim::SimTime when = 0;
   int worker = 0;
+  std::uint64_t raw_slot = 0;
 };
 
 struct WorkerReport {
@@ -89,6 +122,10 @@ struct WorkerReport {
   // (partial stats retained) instead of taking the process down.
   bool failed = false;
   std::string error;
+  // The worker's final permutation position and whether it stopped early
+  // on a shutdown request (quiescent by then — in-flight copies drained).
+  scan::ScanCursor cursor;
+  bool interrupted = false;
 };
 
 struct EngineResult {
@@ -115,6 +152,14 @@ struct EngineResult {
   std::vector<obs::TraceEvent> trace;
   obs::MetricsSnapshot metrics_snapshot;
   obs::StageProfile stage_profile;
+
+  // Graceful-shutdown outcome: true when any worker stopped on a shutdown
+  // request. The run is quiescent and resumable from `cursors` (one per
+  // worker; workers that finished naturally carry their end-of-walk
+  // cursor, which fast-forwards to "nothing left" on resume).
+  bool interrupted = false;
+  bool resumed = false;  // this run was seeded from a checkpoint
+  std::vector<scan::ScanCursor> cursors;
 };
 
 // Runs the scan across config.threads workers and blocks until every

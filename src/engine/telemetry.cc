@@ -105,7 +105,7 @@ std::string Monitor::status_line(bool final_line, double elapsed) const {
       }
     }
   }
-  if (final_line) line << " (done)";
+  if (final_line) line << (interrupted_ ? " (interrupted)" : " (done)");
   line << "; send: " << s.sent << " (";
   if (elapsed >= kMinElapsed) {
     line << rate_string(static_cast<double>(s.sent) / elapsed);
@@ -166,7 +166,13 @@ std::string metrics_json(const MetricsSummary& summary) {
   out << ",\"unique_responders\":" << summary.unique_responders
       << ",\"aliased_responders\":" << summary.aliased_responders
       << ",\"sim_duration_ns\":" << summary.sim_duration_ns
-      << ",\"workers_failed\":" << summary.failed_workers;
+      << ",\"workers_failed\":" << summary.failed_workers
+      << ",\"interrupted\":" << (summary.interrupted ? "true" : "false")
+      << ",\"resumed\":" << (summary.resumed ? "true" : "false");
+  if (!summary.checkpoint_file.empty()) {
+    out << ",\"checkpoint_file\":\"" << json_escape(summary.checkpoint_file)
+        << "\"";
+  }
   if (!summary.obs_metrics.empty()) {
     out << ",\"metrics\":";
     obs::append_metrics_json(out, summary.obs_metrics);

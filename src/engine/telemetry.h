@@ -44,6 +44,10 @@ class Monitor {
   // Emits the final status line and joins the monitor thread. Idempotent.
   void stop();
 
+  // Marks the run as interrupted (graceful shutdown): the final status line
+  // reads "(interrupted)" instead of "(done)". Call before stop().
+  void set_interrupted(bool interrupted) { interrupted_ = interrupted; }
+
   // One rendered status line for the current counters (exposed for tests).
   [[nodiscard]] std::string status_line(bool final_line) const;
   // Same, with the elapsed wall seconds supplied by the caller — the
@@ -64,6 +68,7 @@ class Monitor {
   std::condition_variable cv_;
   bool stopping_ = false;
   bool running_ = false;
+  bool interrupted_ = false;
   std::thread thread_;
 };
 
@@ -86,6 +91,13 @@ struct MetricsSummary {
   // profile.
   obs::MetricsSnapshot obs_metrics;
   obs::StageProfile stage_profile;
+
+  // Checkpoint/resume accounting: whether this run stopped on a shutdown
+  // request (resumable), whether it was seeded from a checkpoint, and the
+  // state file it wrote ("" = none).
+  bool interrupted = false;
+  bool resumed = false;
+  std::string checkpoint_file;
 };
 
 // Renders the summary as a single-line JSON object (no trailing newline).

@@ -91,6 +91,17 @@ void Histogram::merge(const Histogram& other) {
   count_ += other.count_;
 }
 
+Histogram Histogram::from_parts(std::vector<std::uint64_t> bounds,
+                                std::vector<std::uint64_t> counts,
+                                std::uint64_t sum, std::uint64_t count) {
+  Histogram h{std::move(bounds)};
+  counts.resize(h.bounds_.size() + 1, 0);
+  h.counts_ = std::move(counts);
+  h.sum_ = sum;
+  h.count_ = count;
+  return h;
+}
+
 MetricsShard::Series& MetricsShard::find_or_create(const std::string& name,
                                                    Labels&& labels,
                                                    MetricKind kind,
@@ -168,6 +179,36 @@ MetricsSnapshot merge_shards(const std::vector<const MetricsShard*>& shards) {
     snapshot.entries.push_back(std::move(entry));
   }
   return snapshot;
+}
+
+MetricsSnapshot merge_snapshots(
+    const std::vector<const MetricsSnapshot*>& snapshots) {
+  std::map<MetricsShard::SeriesKey, MetricsSnapshot::Entry> merged;
+  for (const MetricsSnapshot* snapshot : snapshots) {
+    if (snapshot == nullptr) continue;
+    for (const MetricsSnapshot::Entry& other : snapshot->entries) {
+      MetricsSnapshot::Entry& entry =
+          merged[MetricsShard::SeriesKey{other.name, other.labels}];
+      if (entry.name.empty()) {
+        entry.name = other.name;
+        entry.labels = other.labels;
+        entry.kind = other.kind;
+      }
+      if (other.wall_clock) entry.wall_clock = true;
+      if (entry.help.empty()) entry.help = other.help;
+      entry.value += other.value;
+      if (other.histogram.has_value()) {
+        if (!entry.histogram.has_value()) {
+          entry.histogram.emplace(other.histogram->bounds());
+        }
+        entry.histogram->merge(*other.histogram);
+      }
+    }
+  }
+  MetricsSnapshot out;
+  out.entries.reserve(merged.size());
+  for (auto& [key, entry] : merged) out.entries.push_back(std::move(entry));
+  return out;
 }
 
 std::string prometheus_text(const MetricsSnapshot& snapshot,

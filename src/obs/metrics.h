@@ -73,6 +73,14 @@ class Histogram {
   // Bucket-wise sum; bounds must match (callers register identical specs).
   void merge(const Histogram& other);
 
+  // Reconstructs a histogram from its serialized parts (checkpoint
+  // round-trip). `counts` must have bounds.size() + 1 entries; its tail is
+  // padded with zeros if short.
+  [[nodiscard]] static Histogram from_parts(std::vector<std::uint64_t> bounds,
+                                            std::vector<std::uint64_t> counts,
+                                            std::uint64_t sum,
+                                            std::uint64_t count);
+
  private:
   std::vector<std::uint64_t> bounds_;
   std::vector<std::uint64_t> counts_;
@@ -141,6 +149,12 @@ struct MetricsSnapshot {
 // histogram buckets sum per series key.
 [[nodiscard]] MetricsSnapshot merge_shards(
     const std::vector<const MetricsShard*>& shards);
+
+// Merges already-merged snapshots the same way (used on resume: the
+// checkpointed snapshot plus the resumed run's snapshot sum to the
+// uninterrupted run's). Null entries are skipped.
+[[nodiscard]] MetricsSnapshot merge_snapshots(
+    const std::vector<const MetricsSnapshot*>& snapshots);
 
 // Prometheus text exposition format. Metric names are prefixed "xmap_";
 // counters additionally get the "_total" suffix. With

@@ -1,0 +1,35 @@
+// Checkpoint file I/O: atomic artifact writes and state-file load/store.
+//
+// Every artifact the scanner produces (checkpoint, output, trace, metrics,
+// status) goes through write_file_atomic(): the content lands in
+// "<path>.tmp" first and is renamed over the destination only after a
+// successful close, so a crash at any instant leaves either the previous
+// complete file or the new complete file — never a truncated one.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "recover/state.h"
+
+namespace xmap::recover {
+
+// Writes `content` to `path` via <path>.tmp + rename. Returns false (and
+// fills *error when given) on any I/O failure; the destination is
+// untouched on failure.
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* error = nullptr);
+
+// Serializes and atomically writes `state` to `path`.
+bool write_checkpoint(const std::string& path, const CheckpointState& state,
+                      std::string* error = nullptr);
+
+struct LoadResult {
+  std::optional<CheckpointState> state;
+  std::string error;
+};
+
+// Reads and parses a checkpoint file.
+[[nodiscard]] LoadResult load_checkpoint(const std::string& path);
+
+}  // namespace xmap::recover

@@ -1,0 +1,68 @@
+#include "recover/signals.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace xmap::recover {
+namespace {
+
+// The handler has no instance argument, so the installed controller is a
+// process-global pointer — consistent with signal dispositions themselves
+// being process-global.
+std::atomic<ShutdownController*> g_controller{nullptr};
+
+}  // namespace
+
+void ShutdownController::handle_signal(int sig) {
+  ShutdownController* self = g_controller.load(std::memory_order_relaxed);
+  if (self == nullptr) return;
+  // Both operations below are async-signal-safe: a lock-free atomic store
+  // and a write(2) to a non-blocking pipe. Everything else happens on
+  // normal threads polling flag().
+  self->signal_.store(sig, std::memory_order_relaxed);
+  if (self->pipe_write_ >= 0) {
+    const char byte = 1;
+    // A full pipe means a wakeup is already pending; dropping the write is
+    // fine. (void) silences unused-result warnings.
+    const auto ignored = ::write(self->pipe_write_, &byte, 1);
+    (void)ignored;
+  }
+}
+
+void ShutdownController::install() {
+  if (installed_) return;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    pipe_read_ = fds[0];
+    pipe_write_ = fds[1];
+  }
+  g_controller.store(this, std::memory_order_relaxed);
+  struct sigaction action{};
+  action.sa_handler = &ShutdownController::handle_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocked read in the main loop should see EINTR and
+  // come around to check the flag.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  installed_ = true;
+}
+
+void ShutdownController::uninstall() {
+  if (!installed_) return;
+  struct sigaction action{};
+  action.sa_handler = SIG_DFL;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  g_controller.store(nullptr, std::memory_order_relaxed);
+  if (pipe_read_ >= 0) ::close(pipe_read_);
+  if (pipe_write_ >= 0) ::close(pipe_write_);
+  pipe_read_ = -1;
+  pipe_write_ = -1;
+  installed_ = false;
+}
+
+}  // namespace xmap::recover

@@ -1,0 +1,49 @@
+// Async-signal-safe graceful-shutdown plumbing.
+//
+// The handler does exactly two things, both async-signal-safe: store the
+// signal number into a lock-free atomic and write one byte to a self-pipe
+// (so threads blocked in poll/condvar-with-timeout style waits can be woken
+// by a file descriptor if they ever need to be). All real shutdown work —
+// draining in-flight probes, closing the cooldown window, writing the
+// checkpoint — happens on normal threads that poll the flag.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+
+namespace xmap::recover {
+
+class ShutdownController {
+ public:
+  // Installs SIGINT + SIGTERM handlers routing into this controller.
+  // At most one controller can be installed at a time (process-global
+  // signal disposition); install() is idempotent for the same instance.
+  void install();
+  // Restores the default disposition (used by tests).
+  void uninstall();
+
+  // The scanner-facing flag: non-zero = a shutdown signal arrived (value =
+  // signal number). Safe to poll from any thread.
+  [[nodiscard]] const std::atomic<int>* flag() const { return &signal_; }
+  [[nodiscard]] int signal() const {
+    return signal_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool requested() const { return signal() != 0; }
+
+  // Test hook / programmatic trigger: behaves exactly like receiving `sig`.
+  void request(int sig) { signal_.store(sig, std::memory_order_relaxed); }
+
+  // The read end of the self-pipe (-1 until install()); becomes readable
+  // once a signal arrives.
+  [[nodiscard]] int wake_fd() const { return pipe_read_; }
+
+ private:
+  static void handle_signal(int sig);
+
+  std::atomic<int> signal_{0};
+  int pipe_read_ = -1;
+  int pipe_write_ = -1;
+  bool installed_ = false;
+};
+
+}  // namespace xmap::recover

@@ -63,7 +63,10 @@ Scanning:
   --rate <pps>              probes per (simulated) second (default 25000)
   --seed <n>                permutation & validation seed (default 1)
   --shards <n> --shard <i>  partition the scan zmap-style
-  --max-probes <n>          stop after n probes (default: all)
+  --max-probes <n>          probe at most n targets (each sent 1+retries
+                            times); cut at a fixed permutation slot, so the
+                            output is identical at any --threads (default:
+                            all)
   --retries <n>             send each probe 1+n times (default 0)
   --retry-spacing-ms <ms>   target gap between copies of a probe; rounded
                             to whole pacing slots (default 100)
@@ -113,6 +116,25 @@ Observability:
   --metrics-file <path>     Prometheus text export of the labeled metrics
                             registry (deterministic series only)
   --profile                 wall-clock stage timing table on stderr at exit
+
+Recovery (see docs/recovery.md):
+  --checkpoint-file <path>  where state snapshots go (default:
+                            <output-file>.state, or xmap.state for stdout
+                            output); SIGINT/SIGTERM always writes one and
+                            exits 3 (resumable)
+  --checkpoint-interval-probes <n>
+                            additionally snapshot every n drawn targets
+                            (default 0 = only on shutdown); incompatible
+                            with --adaptive-rate
+  --resume <path>           continue an interrupted scan from its state
+                            file; the run configuration must match the
+                            checkpoint's fingerprint exactly, and the
+                            combined output is byte-identical to an
+                            uninterrupted run
+  --shutdown-after-probes <n>
+                            deterministic test hook: act as if SIGTERM
+                            arrived when the permutation frontier reaches
+                            global slot n
 
 Output:
   --output-format csv|jsonl (default csv)
@@ -209,6 +231,30 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail("bad --max-probes");
       }
       opts.max_probes = static_cast<std::uint64_t>(n);
+    } else if (arg == "--resume") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--resume needs a value");
+      opts.resume_file = value;
+    } else if (arg == "--checkpoint-file") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--checkpoint-file needs a value");
+      }
+      opts.checkpoint_file = value;
+    } else if (arg == "--checkpoint-interval-probes") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0) {
+        return fail("bad --checkpoint-interval-probes");
+      }
+      opts.checkpoint_interval = static_cast<std::uint64_t>(n);
+    } else if (arg == "--shutdown-after-probes") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0) {
+        return fail("bad --shutdown-after-probes");
+      }
+      opts.shutdown_after_probes = static_cast<std::uint64_t>(n);
     } else if (arg == "--threads") {
       std::string value;
       long long n = 0;
@@ -408,6 +454,21 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
     return fail(
         "observability flags need a bulk probe module, not the traceroute "
         "runner");
+  }
+  if (module == "traceroute" &&
+      (!opts.resume_file.empty() || !opts.checkpoint_file.empty() ||
+       opts.checkpoint_interval != 0 || opts.shutdown_after_probes != 0)) {
+    return fail(
+        "checkpoint/resume flags need a bulk probe module, not the "
+        "traceroute runner");
+  }
+  if (opts.checkpoint_interval != 0 && opts.adaptive_rate) {
+    // AIMD pacing makes the send schedule state-dependent, so there is no
+    // analytically stable mid-flight cursor; only the quiescent shutdown
+    // checkpoint is well-defined under --adaptive-rate.
+    return fail(
+        "--checkpoint-interval-probes is incompatible with --adaptive-rate "
+        "(no stable mid-flight cursor under AIMD pacing)");
   }
 
   return CliParseResult{std::move(opts), {}};

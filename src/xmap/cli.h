@@ -72,6 +72,18 @@ struct CliOptions {
   std::string world = "paper";
   int window_bits = 10;  // --window-bits
 
+  // Checkpoint/resume (src/recover). `checkpoint_file` is where snapshots
+  // go (defaults to "<output-file>.state" or "xmap.state" when output goes
+  // to stdout); a SIGINT/SIGTERM always writes one. `checkpoint_interval`
+  // additionally snapshots every n drawn targets (0 = only on shutdown).
+  // `resume` restarts from a state file after validating its fingerprint.
+  std::string resume_file;                    // --resume
+  std::string checkpoint_file;                // --checkpoint-file
+  std::uint64_t checkpoint_interval = 0;      // --checkpoint-interval-probes
+  // Deterministic interruption test hook: behave as if SIGTERM arrived when
+  // the scan frontier reaches this global permutation slot (0 = off).
+  std::uint64_t shutdown_after_probes = 0;    // --shutdown-after-probes
+
   bool help = false;
   bool list_probe_modules = false;
 };

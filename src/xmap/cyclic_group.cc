@@ -167,6 +167,15 @@ CyclicGroup::Iterator CyclicGroup::shard_iterate(int shard, int shards) const {
   return it;
 }
 
+void CyclicGroup::Iterator::fast_forward(Uint128 raw_steps) {
+  if (raw_steps > raw_remaining_) raw_steps = raw_remaining_;
+  if (raw_steps.is_zero()) return;
+  x_ = Uint128::mulmod(x_, Uint128::powmod(step_, raw_steps, group_->p_),
+                       group_->p_);
+  raw_remaining_ -= raw_steps;
+  raw_visited_ += raw_steps;
+}
+
 std::optional<Uint128> CyclicGroup::Iterator::next() {
   while (!raw_remaining_.is_zero()) {
     const Uint128 cur = x_;

@@ -53,11 +53,25 @@ class CyclicGroup {
     // Number of offsets already yielded.
     [[nodiscard]] net::Uint128 yielded() const { return yielded_; }
 
+    // Raw cycle positions this shard's walk has left to visit.
+    [[nodiscard]] net::Uint128 raw_remaining() const {
+      return raw_remaining_;
+    }
+
     // Raw cycle steps consumed so far (yielded offsets plus skipped
     // positions >= size). After a successful next(), the yielded element's
     // raw index within this shard's walk is raw_visited() - 1 — the slot
     // arithmetic the scanner's thread-invariant pacing is built on.
     [[nodiscard]] net::Uint128 raw_visited() const { return raw_visited_; }
+
+    // Advances by `raw_steps` raw cycle positions in O(log raw_steps)
+    // multiplications (x -> x * step^raw_steps) — the resume primitive:
+    // restoring a checkpointed cursor never re-walks the permutation.
+    // Steps beyond the shard's remaining raw positions are clamped.
+    // yielded() is NOT maintained across a fast-forward (counting yields
+    // would require the O(n) walk this exists to avoid); raw_visited()
+    // stays exact, which is all the scanner's slot arithmetic needs.
+    void fast_forward(net::Uint128 raw_steps);
 
    private:
     friend class CyclicGroup;

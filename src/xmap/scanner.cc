@@ -65,7 +65,45 @@ const std::vector<std::uint64_t> kRttBoundsNs = {
     250'000'000, 500'000'000, 1'000'000'000,
 };
 
+// How long after a probe's last copy every response is assumed to have
+// arrived, for the mid-flight stable cursor. Simulated round trips top out
+// in the hundreds of milliseconds (link latencies plus bounded jitter);
+// two sim-seconds is conservatively past all of them.
+constexpr sim::SimTime kStableHorizonNs = 2 * sim::kSecond;
+
 }  // namespace
+
+std::uint64_t compute_budget_cut(const std::vector<TargetSpec>& targets,
+                                 std::uint64_t seed,
+                                 const Blocklist* blocklist,
+                                 std::uint64_t max_targets, int shard,
+                                 int shards) {
+  if (max_targets == 0) return kNoBudgetCut;
+  std::uint64_t permitted = 0;
+  std::uint64_t raw_base = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::uint64_t subseed = net::hash_combine64(seed, i);
+    const CyclicGroup group{targets[i].count(), subseed};
+    CyclicGroup::Iterator iter = group.shard_iterate(shard, shards);
+    while (auto offset = iter.next()) {
+      if (blocklist != nullptr &&
+          !blocklist->permitted(targets[i].nth_address(*offset, seed))) {
+        continue;
+      }
+      if (++permitted == max_targets) {
+        const net::Uint128 visited = iter.raw_visited();
+        const std::uint64_t local =
+            (visited - net::Uint128{1}).to_u64() *
+                static_cast<std::uint64_t>(shards) +
+            static_cast<std::uint64_t>(shard);
+        return raw_base + local + 1;
+      }
+    }
+    const net::Uint128 order = group.prime() - net::Uint128{1};
+    raw_base += order.fits_u64() ? order.to_u64() : ~std::uint64_t{0};
+  }
+  return kNoBudgetCut;  // whole permitted population fits in the budget
+}
 
 void SimChannelScanner::set_obs(const obs::ObsConfig& config,
                                 obs::TraceBuffer* trace,
@@ -137,7 +175,22 @@ void SimChannelScanner::start() {
         state.group->shard_iterate(config_.shard, config_.shards));
     state.raw_base = raw_base;
     const net::Uint128 order = state.group->prime() - net::Uint128{1};
-    raw_base += order.fits_u64() ? order.to_u64() : ~std::uint64_t{0};
+    state.order = order.fits_u64() ? order.to_u64() : ~std::uint64_t{0};
+    raw_base += state.order;
+    // Resume: jump the iterator to the checkpointed cursor in O(log k)
+    // instead of re-walking (and re-sending) the permutation prefix.
+    if (i < config_.resume_spec_steps.size()) {
+      state.iter->fast_forward(net::Uint128{config_.resume_spec_steps[i]});
+    }
+  }
+
+  // Translate a target-count budget into its slot-deterministic cut unless
+  // the caller (the parallel engine) already computed it for all workers.
+  if (config_.max_probes != 0 &&
+      config_.budget_cut_raw_slot == kNoBudgetCut) {
+    config_.budget_cut_raw_slot =
+        compute_budget_cut(config_.targets, config_.seed, config_.blocklist,
+                           config_.max_probes, config_.shard, config_.shards);
   }
 
   current_pps_ = config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
@@ -153,6 +206,23 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out,
   while (current_spec_ < config_.targets.size()) {
     const TargetSpec& spec = config_.targets[current_spec_];
     SpecState& state = spec_state_[current_spec_];
+    if (!state.iter->raw_remaining().is_zero()) {
+      // Peek the next slot *before* consuming it: a stop here must leave
+      // the iterator exactly at the frontier so a resumed scan starts with
+      // this very target.
+      const std::uint64_t next_slot =
+          state.raw_base + state.iter->raw_visited().to_u64() *
+                               static_cast<std::uint64_t>(config_.shards) +
+          static_cast<std::uint64_t>(config_.shard);
+      if (next_slot >= config_.budget_cut_raw_slot) return false;
+      const bool signal_pending =
+          config_.shutdown_flag != nullptr &&
+          config_.shutdown_flag->load(std::memory_order_relaxed) != 0;
+      if (signal_pending || next_slot >= config_.shutdown_at_raw_slot) {
+        interrupted_ = true;
+        return false;
+      }
+    }
     if (auto offset = state.iter->next()) {
       ++stats_.targets_generated;
       bump(cells_.targets_generated);
@@ -179,11 +249,6 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out,
 
 void SimChannelScanner::schedule_fresh() {
   obs::ScopedStageTimer timer{profile_, obs::Stage::kGenerate};
-  if (budget_exhausted()) {
-    fresh_done_ = true;
-    maybe_finish_sending();
-    return;
-  }
 
   // Scan-level lifecycle events are stamped with the target's packet-slot
   // time — a pure function of (seed, targets, rate, retries) — rather than
@@ -236,6 +301,12 @@ void SimChannelScanner::schedule_fresh() {
     maybe_finish_sending();
     return;
   }
+  if (track_slots_) slot_by_addr_.emplace(addr_key(target), raw_slot);
+  if (checkpoint_hook_ && checkpoint_every_ != 0 && !config_.adaptive_rate &&
+      ++targets_since_checkpoint_ >= checkpoint_every_) {
+    targets_since_checkpoint_ = 0;
+    checkpoint_hook_(stable_cursor());
+  }
 
   if (config_.adaptive_rate) {
     // Load-driven pacing: fresh probes are spaced (1+retries) slots of the
@@ -279,13 +350,72 @@ void SimChannelScanner::schedule_fresh() {
   }
 }
 
+std::uint64_t SimChannelScanner::frontier_slot() const {
+  for (std::size_t i = current_spec_; i < spec_state_.size(); ++i) {
+    const SpecState& state = spec_state_[i];
+    if (!state.iter->raw_remaining().is_zero()) {
+      return state.raw_base +
+             state.iter->raw_visited().to_u64() *
+                 static_cast<std::uint64_t>(config_.shards) +
+             static_cast<std::uint64_t>(config_.shard);
+    }
+  }
+  if (spec_state_.empty()) return 0;
+  return spec_state_.back().raw_base + spec_state_.back().order;
+}
+
+ScanCursor SimChannelScanner::cursor() const {
+  ScanCursor cursor;
+  cursor.spec_steps.reserve(spec_state_.size());
+  for (const SpecState& state : spec_state_) {
+    cursor.spec_steps.push_back(state.iter->raw_visited().to_u64());
+  }
+  cursor.frontier_slot = frontier_slot();
+  return cursor;
+}
+
+ScanCursor SimChannelScanner::cursor_at_slot(std::uint64_t slot) const {
+  ScanCursor cursor;
+  cursor.spec_steps.reserve(spec_state_.size());
+  const auto shard = static_cast<std::uint64_t>(config_.shard);
+  const auto shards = static_cast<std::uint64_t>(config_.shards);
+  for (const SpecState& state : spec_state_) {
+    // Within-spec global raw index the cut falls at, clamped to the spec.
+    const std::uint64_t g =
+        slot <= state.raw_base
+            ? 0
+            : std::min(slot - state.raw_base, state.order);
+    // Shard-local steps below g: positions k*shards + shard < g.
+    cursor.spec_steps.push_back(g > shard ? (g - shard + shards - 1) / shards
+                                          : 0);
+  }
+  cursor.frontier_slot = slot;
+  return cursor;
+}
+
+ScanCursor SimChannelScanner::stable_cursor() const {
+  // The last retransmit copy of fresh slot q fires at
+  //   (q*copies + (copies-1)*(spacing_periods*copies+1)) * gap.
+  // Find the largest q whose last copy is at least a response horizon in
+  // the past; everything at or below it has completed its lifecycle.
+  const sim::SimTime now = network()->now();
+  const std::uint64_t tail_slots =
+      static_cast<std::uint64_t>(copies_ - 1) *
+      (spacing_periods_ * static_cast<std::uint64_t>(copies_) + 1);
+  const sim::SimTime tail_ns = tail_slots * gap_ns_;
+  std::uint64_t frontier = 0;
+  if (now > kStableHorizonNs + tail_ns) {
+    const sim::SimTime budget = now - kStableHorizonNs - tail_ns;
+    frontier =
+        budget / (static_cast<std::uint64_t>(copies_) * gap_ns_) + 1;
+  }
+  frontier = std::min(frontier, frontier_slot());
+  return cursor_at_slot(frontier);
+}
+
 void SimChannelScanner::send_copy(const net::Ipv6Address& target, int copy) {
   obs::ScopedStageTimer timer{profile_, obs::Stage::kSend};
   --pending_sends_;
-  if (budget_exhausted()) {
-    maybe_finish_sending();
-    return;
-  }
   pkt::Bytes probe = module_.make_probe(config_.source, target, config_.seed);
   if (trace_ != nullptr) {
     if (trace_->at(obs::TraceLevel::kPacket)) {
@@ -495,7 +625,14 @@ void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
       trace_->add(e);
     }
   }
-  if (callback_) callback_(*response, network()->now());
+  if (callback_) {
+    std::uint64_t raw_slot = kNoBudgetCut;
+    if (track_slots_) {
+      const auto it = slot_by_addr_.find(addr_key(response->probe_dst));
+      if (it != slot_by_addr_.end()) raw_slot = it->second;
+    }
+    callback_(*response, network()->now(), raw_slot);
+  }
 }
 
 }  // namespace xmap::scan

@@ -11,6 +11,7 @@
 // channel would drop in the same way on a real deployment.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +31,9 @@
 
 namespace xmap::scan {
 
+// Sentinel for "no budget cut": no raw-cycle slot is excluded.
+inline constexpr std::uint64_t kNoBudgetCut = ~std::uint64_t{0};
+
 struct ScanConfig {
   std::vector<TargetSpec> targets;
   net::Ipv6Address source;
@@ -38,7 +42,30 @@ struct ScanConfig {
   int shard = 0;
   int shards = 1;
   const Blocklist* blocklist = nullptr;  // optional, not owned
-  std::uint64_t max_probes = 0;          // 0 = unlimited (testing aid)
+  // Global target budget: stop drawing after this many *permitted* targets
+  // (each still sent 1+retries times). 0 = unlimited. Enforced as a cut at
+  // a fixed permutation slot (see budget_cut_raw_slot), so a capped scan
+  // is byte-identical at every --threads value.
+  std::uint64_t max_probes = 0;
+  // The slot-deterministic form of max_probes: fresh targets at global
+  // raw-cycle slots >= this value are never drawn. kNoBudgetCut = no cut.
+  // Left unset with max_probes != 0, start() computes it via
+  // compute_budget_cut(); the parallel engine precomputes it once and
+  // shares it across workers.
+  std::uint64_t budget_cut_raw_slot = kNoBudgetCut;
+  // Graceful shutdown: when non-null and non-zero (the signal number), the
+  // scanner stops drawing fresh targets at the next opportunity, lets
+  // in-flight copies fire, and reports interrupted(). Polled, never waited
+  // on — safe to share with a signal handler.
+  const std::atomic<int>* shutdown_flag = nullptr;
+  // Deterministic interruption test hook: behave as if a shutdown signal
+  // arrived when the next fresh target's raw slot would be >= this value.
+  // kNoBudgetCut = off.
+  std::uint64_t shutdown_at_raw_slot = kNoBudgetCut;
+  // Resume: shard-local raw-cycle steps to fast-forward each target spec's
+  // iterator by before the first draw (from a checkpoint cursor). Empty =
+  // fresh scan.
+  std::vector<std::uint64_t> resume_spec_steps;
   // Send each probe 1+retries times (XMap's --retries; copes with loss on
   // the path). Stateless validation makes duplicate responses harmless —
   // dedup happens in the ResultCollector. Every copy is charged against
@@ -59,6 +86,28 @@ struct ScanConfig {
   bool adaptive_rate = false;
 };
 
+// A worker's resumable permutation position. spec_steps[i] is the number
+// of shard-local raw-cycle steps consumed from target spec i's iterator;
+// frontier_slot is the global raw slot of the next target this worker
+// would draw (every slot below it that belongs to this worker has been
+// fully handled or is covered by the checkpoint's record set).
+struct ScanCursor {
+  std::vector<std::uint64_t> spec_steps;
+  std::uint64_t frontier_slot = 0;
+};
+
+// Computes the slot-deterministic budget cut for `max_targets`: walks the
+// (shard of shards) permutation in draw order counting blocklist-permitted
+// targets and returns the global raw slot just after the max_targets-th
+// one — the first excluded slot. Returns kNoBudgetCut when the permitted
+// population is within budget. Thread subdivision of the same shard walks
+// the same slots, so a cut computed here truncates identically at every
+// --threads value.
+[[nodiscard]] std::uint64_t compute_budget_cut(
+    const std::vector<TargetSpec>& targets, std::uint64_t seed,
+    const Blocklist* blocklist, std::uint64_t max_targets, int shard = 0,
+    int shards = 1);
+
 // A scanner attached to the simulated network as a node. start() schedules
 // the paced send loop on the network's event loop; responses arriving on the
 // node's interface are classified and handed to the callback.
@@ -66,13 +115,40 @@ class SimChannelScanner : public sim::Node {
  public:
   using ResponseCallback =
       std::function<void(const ProbeResponse&, sim::SimTime)>;
+  // Slot-aware variant: the third argument is the global raw-cycle slot of
+  // the probe the response answers (kNoBudgetCut when unknown — a response
+  // to an address this scanner never drew). Checkpointing consumers need
+  // the slot to filter records by probe provenance.
+  using SlottedResponseCallback =
+      std::function<void(const ProbeResponse&, sim::SimTime, std::uint64_t)>;
+  // Invoked with a stable resume cursor every `checkpoint_interval`
+  // targets (see set_checkpoint_hook).
+  using CheckpointHook = std::function<void(const ScanCursor&)>;
 
   SimChannelScanner(ScanConfig config, const ProbeModule& module)
       : config_(std::move(config)), module_(module) {}
 
   // The interface (from Network::connect / attach_vantage) to send on.
   void set_iface(int iface) { iface_ = iface; }
-  void on_response(ResponseCallback cb) { callback_ = std::move(cb); }
+  void on_response(ResponseCallback cb) {
+    auto inner = std::move(cb);
+    callback_ = [inner = std::move(inner)](const ProbeResponse& r,
+                                           sim::SimTime when, std::uint64_t) {
+      inner(r, when);
+    };
+  }
+  void on_response_slotted(SlottedResponseCallback cb) {
+    callback_ = std::move(cb);
+    track_slots_ = true;
+  }
+
+  // Arms periodic checkpointing: every `every_targets` drawn targets the
+  // hook receives stable_cursor(). Never invoked under adaptive_rate (no
+  // analytic send schedule to derive a stable cursor from).
+  void set_checkpoint_hook(std::uint64_t every_targets, CheckpointHook hook) {
+    checkpoint_every_ = every_targets;
+    checkpoint_hook_ = std::move(hook);
+  }
 
   // Optional live-telemetry sink (not owned; may be shared by several
   // scanners running on different threads — counters are atomic). The
@@ -94,25 +170,40 @@ class SimChannelScanner : public sim::Node {
 
   [[nodiscard]] bool sending_done() const { return sending_done_; }
   [[nodiscard]] const ScanStats& stats() const { return stats_; }
+  // True when the scan stopped early because of a shutdown request (flag
+  // or shutdown_at_raw_slot), after draining in-flight copies.
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
+
+  // The exact current permutation position (meaningful once the scanner is
+  // quiescent — after Network::run() returns — when every drawn target's
+  // lifecycle has completed).
+  [[nodiscard]] ScanCursor cursor() const;
+  // A conservative mid-flight cursor: the largest frontier R such that
+  // every fresh slot below R had its last retransmit copy sent at least a
+  // response-horizon ago — records from probes below R are complete, and a
+  // resume that re-scans from R regenerates everything above it. Only
+  // meaningful without adaptive_rate.
+  [[nodiscard]] ScanCursor stable_cursor() const;
 
   void receive(const pkt::Bytes& packet, int iface) override;
 
  private:
   // Draws the next permitted target and its global raw-cycle position;
-  // false when all specs are exhausted.
+  // false when all specs are exhausted, the budget cut is reached, or a
+  // shutdown was requested (the un-drawn frontier stays intact for
+  // cursor()).
   bool next_target(net::Ipv6Address& out, std::uint64_t& raw_slot);
   // Draws one fresh target and schedules all of its copies; re-arms itself.
   void schedule_fresh();
   void send_copy(const net::Ipv6Address& target, int copy);
   void maybe_finish_sending();
   void adapt_rate();
-  [[nodiscard]] bool budget_exhausted() const {
-    return config_.max_probes != 0 && stats_.sent >= config_.max_probes;
-  }
+  [[nodiscard]] std::uint64_t frontier_slot() const;
+  [[nodiscard]] ScanCursor cursor_at_slot(std::uint64_t slot) const;
 
   ScanConfig config_;
   const ProbeModule& module_;
-  ResponseCallback callback_;
+  SlottedResponseCallback callback_;
   int iface_ = 0;
 
   // Permutation state: one group+iterator per target spec. `raw_base` is
@@ -123,6 +214,7 @@ class SimChannelScanner : public sim::Node {
     std::unique_ptr<CyclicGroup> group;
     std::unique_ptr<CyclicGroup::Iterator> iter;
     std::uint64_t raw_base = 0;
+    std::uint64_t order = 0;  // p-1, the spec's raw-cycle length
   };
   std::vector<SpecState> spec_state_;
   std::size_t current_spec_ = 0;
@@ -172,11 +264,22 @@ class SimChannelScanner : public sim::Node {
   std::uint64_t pending_sends_ = 0;  // copies scheduled but not yet fired
   sim::SimTime recv_deadline_ = ~sim::SimTime{0};
 
+  // Probe provenance for slotted callbacks: addr-key -> raw slot of the
+  // drawn target (populated only when a slotted callback is installed).
+  bool track_slots_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> slot_by_addr_;
+
+  // Periodic checkpointing.
+  std::uint64_t checkpoint_every_ = 0;
+  std::uint64_t targets_since_checkpoint_ = 0;
+  CheckpointHook checkpoint_hook_;
+
   ScanStats stats_;
   ScanProgress* progress_ = nullptr;
   bool started_ = false;
   bool fresh_done_ = false;
   bool sending_done_ = false;
+  bool interrupted_ = false;
 };
 
 }  // namespace xmap::scan

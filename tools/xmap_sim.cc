@@ -6,10 +6,17 @@
 //   $ xmap_sim --world paper --probe-module icmp_echo --rate 100000
 //              --output-format jsonl --output-file scan.jsonl
 //   $ xmap_sim --threads 4 --status-updates-file -
+//
+// Exit codes: 0 complete, 1 worker failure (partial results), 2 bad
+// config / I/O error, 3 interrupted by SIGINT/SIGTERM (resumable — a state
+// file was written; see docs/recovery.md).
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <tuple>
 
 #include "engine/executor.h"
 #include "engine/probe_factory.h"
@@ -17,6 +24,9 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "recover/checkpoint.h"
+#include "recover/signals.h"
+#include "recover/state.h"
 #include "topology/paper_profiles.h"
 #include "topology/world.h"
 #include "xmap/cli.h"
@@ -27,6 +37,11 @@
 using namespace xmap;
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitWorkerFailure = 1;
+constexpr int kExitConfig = 2;
+constexpr int kExitInterrupted = 3;
 
 void print_stats_footer(const scan::ScanStats& stats, int threads,
                         double wall_seconds) {
@@ -91,19 +106,31 @@ obs::ObsConfig resolve_obs(const scan::CliOptions& opts,
   return cfg;
 }
 
+// Atomic artifact write (tmp + rename): a crash leaves the previous
+// complete file or the new one, never a truncation. Paths under /dev/
+// (e.g. --output-file /dev/null) are character devices a rename would
+// clobber, so those stream directly.
+bool emit_artifact(const std::string& path, const std::string& content) {
+  if (path.rfind("/dev/", 0) == 0) {
+    std::ofstream out{path};
+    out << content;
+    return static_cast<bool>(out);
+  }
+  std::string error;
+  if (!recover::write_file_atomic(path, content, &error)) {
+    std::fprintf(stderr, "xmap_sim: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
 // Writes the trace and metrics files and prints the --profile table.
-// Returns false (after a diagnostic) if an output file cannot be opened.
+// Returns false (after a diagnostic) if an output file cannot be written.
 bool write_obs_outputs(const scan::CliOptions& opts,
                        const std::vector<obs::TraceEvent>& trace,
                        const obs::MetricsSnapshot& metrics,
                        const obs::StageProfile& profile) {
   if (!opts.trace_file.empty()) {
-    std::ofstream out{opts.trace_file};
-    if (!out) {
-      std::fprintf(stderr, "xmap_sim: cannot open %s\n",
-                   opts.trace_file.c_str());
-      return false;
-    }
     // --trace-format wins; otherwise a .json suffix selects the Chrome
     // trace-event form (Perfetto / chrome://tracing), anything else JSONL.
     const std::string& path = opts.trace_file;
@@ -111,25 +138,66 @@ bool write_obs_outputs(const scan::CliOptions& opts,
         opts.trace_format == "chrome" ||
         (opts.trace_format.empty() && path.size() >= 5 &&
          path.compare(path.size() - 5, 5, ".json") == 0);
+    std::ostringstream buf;
     if (chrome) {
-      obs::write_chrome_trace(out, trace);
+      obs::write_chrome_trace(buf, trace);
     } else {
-      obs::write_trace_jsonl(out, trace);
+      obs::write_trace_jsonl(buf, trace);
     }
+    if (!emit_artifact(path, buf.str())) return false;
   }
   if (!opts.metrics_file.empty()) {
-    std::ofstream out{opts.metrics_file};
-    if (!out) {
-      std::fprintf(stderr, "xmap_sim: cannot open %s\n",
-                   opts.metrics_file.c_str());
+    if (!emit_artifact(opts.metrics_file, obs::prometheus_text(metrics))) {
       return false;
     }
-    out << obs::prometheus_text(metrics);
   }
   if (opts.profile) {
     std::fputs(obs::stage_profile_table(profile).c_str(), stderr);
   }
   return true;
+}
+
+// The scan-configuration identity a checkpoint is bound to (and validated
+// against on --resume). `targets` records the explicit --target specs;
+// world-default targets are pinned by (world, window_bits, seed) instead.
+recover::Fingerprint make_fingerprint(const scan::CliOptions& opts,
+                                      const scan::Blocklist* blocklist,
+                                      const sim::FaultPlan& faults) {
+  recover::Fingerprint fp;
+  fp.seed = opts.seed;
+  fp.world = opts.world;
+  fp.window_bits = opts.window_bits;
+  fp.probe_module = opts.probe_module;
+  fp.rate_pps = opts.rate_pps;
+  fp.shard = opts.shard;
+  fp.shards = opts.shards;
+  // The effective worker count: the engine path runs max(threads, 1)
+  // workers, the classic path records 0. Cursor counts follow from it.
+  fp.threads = (opts.threads > 0 || !opts.status_updates_file.empty())
+                   ? std::max(opts.threads, 1)
+                   : 0;
+  fp.retries = opts.retries;
+  fp.retry_spacing_ms = opts.retry_spacing_ms;
+  fp.cooldown_secs = opts.cooldown_secs;
+  fp.max_probes = opts.max_probes;
+  fp.adaptive_rate = opts.adaptive_rate;
+  fp.output_format = opts.output_format;
+  fp.blocklist_hash =
+      blocklist != nullptr ? recover::blocklist_fingerprint(*blocklist) : 0;
+  fp.fault_plan_hash = recover::fault_plan_fingerprint(faults);
+  for (const auto& target : opts.targets) {
+    fp.targets.push_back(target.to_string());
+  }
+  return fp;
+}
+
+std::string default_checkpoint_path(const scan::CliOptions& opts) {
+  if (!opts.checkpoint_file.empty()) return opts.checkpoint_file;
+  if (!opts.output_file.empty() &&
+      opts.output_file.rfind("/dev/", 0) != 0) {
+    return opts.output_file + ".state";
+  }
+  return "xmap.state";
 }
 
 }  // namespace
@@ -139,18 +207,18 @@ int main(int argc, char** argv) {
   if (!parsed.options) {
     std::fprintf(stderr, "xmap_sim: %s\n(try --help)\n",
                  parsed.error.c_str());
-    return 2;
+    return kExitConfig;
   }
   const scan::CliOptions& opts = *parsed.options;
   if (opts.help) {
     std::fputs(scan::cli_usage().c_str(), stdout);
-    return 0;
+    return kExitOk;
   }
   if (opts.list_probe_modules) {
     for (const auto& name : scan::probe_module_names()) {
       std::printf("%s\n", name.c_str());
     }
-    return 0;
+    return kExitOk;
   }
 
   // --- World ---------------------------------------------------------------
@@ -163,7 +231,7 @@ int main(int argc, char** argv) {
                                    topo::paper::vendor_catalog());
   if (!world.specs) {
     std::fprintf(stderr, "xmap_sim: %s\n", world.error.c_str());
-    return 2;
+    return kExitConfig;
   }
   const std::vector<topo::IspSpec>& specs = *world.specs;
   // CLI fault flags build a complete plan and beat a file: world's
@@ -175,17 +243,17 @@ int main(int argc, char** argv) {
   const obs::ObsConfig obs_cfg = resolve_obs(opts, world.obs);
 
   // --- Output --------------------------------------------------------------
-  std::ofstream file;
-  if (!opts.output_file.empty()) {
-    file.open(opts.output_file);
-    if (!file) {
-      std::fprintf(stderr, "xmap_sim: cannot open %s\n",
-                   opts.output_file.c_str());
-      return 2;
-    }
-  }
-  std::ostream& out = opts.output_file.empty() ? std::cout : file;
+  // File output is buffered and written atomically at exit; a resumed run
+  // rewrites the whole artifact, so the final file never mixes runs.
+  const bool buffered_output = !opts.output_file.empty();
+  std::ostringstream out_buf;
+  std::ostream& out = buffered_output ? static_cast<std::ostream&>(out_buf)
+                                      : std::cout;
   auto writer = scan::make_writer(opts.output_format, out);
+  auto flush_output = [&]() -> bool {
+    if (!buffered_output) return true;
+    return emit_artifact(opts.output_file, out_buf.str());
+  };
 
   // --- Scan configuration --------------------------------------------------
   scan::ScanConfig cfg;
@@ -250,36 +318,101 @@ int main(int argc, char** argv) {
       }
     }
     writer->end();
+    if (!flush_output()) return kExitConfig;
     if (!opts.quiet) {
       std::fprintf(stderr,
                    "xmap_sim: traced %llu targets, observed %llu hops\n",
                    static_cast<unsigned long long>(traced),
                    static_cast<unsigned long long>(hops));
     }
-    return 0;
+    return kExitOk;
   }
 
   auto module = engine::make_probe_module(opts.probe_module);
   if (!module.module) {
     std::fprintf(stderr, "xmap_sim: %s\n", module.error.c_str());
-    return 2;
+    return kExitConfig;
   }
+
+  // --- Checkpoint/resume plumbing (bulk paths) -----------------------------
+  const recover::Fingerprint fingerprint = make_fingerprint(
+      opts, opts.use_default_blocklist ? &blocklist : nullptr, fault_plan);
+  const std::string checkpoint_path = default_checkpoint_path(opts);
+
+  recover::CheckpointState resume_state;
+  bool resuming = false;
+  if (!opts.resume_file.empty()) {
+    auto loaded = recover::load_checkpoint(opts.resume_file);
+    if (!loaded.state) {
+      std::fprintf(stderr, "xmap_sim: --resume %s: %s\n",
+                   opts.resume_file.c_str(), loaded.error.c_str());
+      return kExitConfig;
+    }
+    resume_state = std::move(*loaded.state);
+    const std::string mismatch = resume_state.fingerprint.diff(fingerprint);
+    if (!mismatch.empty()) {
+      std::fprintf(stderr,
+                   "xmap_sim: --resume %s: configuration does not match the "
+                   "checkpoint (%s); rerun with the original flags\n",
+                   opts.resume_file.c_str(), mismatch.c_str());
+      return kExitConfig;
+    }
+    if (!resume_state.has_obs &&
+        (!opts.trace_file.empty() || !opts.metrics_file.empty())) {
+      std::fprintf(
+          stderr,
+          "xmap_sim: --resume %s: this is a mid-flight snapshot without "
+          "trace/metrics state, so resumed observability artifacts would be "
+          "incomplete; resume from a shutdown checkpoint or drop "
+          "--trace-file/--metrics-file\n",
+          opts.resume_file.c_str());
+      return kExitConfig;
+    }
+    resuming = true;
+  }
+
+  recover::ShutdownController shutdown;
+  shutdown.install();
+  auto write_state = [&](recover::CheckpointState& state) -> bool {
+    state.fingerprint = fingerprint;
+    std::string error;
+    if (!recover::write_checkpoint(checkpoint_path, state, &error)) {
+      std::fprintf(stderr, "xmap_sim: checkpoint write failed: %s\n",
+                   error.c_str());
+      return false;
+    }
+    return true;
+  };
 
   // --- Parallel engine path ------------------------------------------------
   if (opts.threads > 0 || !opts.status_updates_file.empty()) {
+    // Live status streams to "<path>.tmp" (tail-able mid-scan) and is
+    // renamed into place at exit, like every other artifact.
     std::ofstream status_file;
     std::ostream* status_out = nullptr;
+    std::string status_tmp;
     if (opts.status_updates_file == "-") {
       status_out = &std::clog;  // stderr, keeps result output clean
     } else if (!opts.status_updates_file.empty()) {
-      status_file.open(opts.status_updates_file);
+      status_tmp = opts.status_updates_file.rfind("/dev/", 0) == 0
+                       ? opts.status_updates_file
+                       : opts.status_updates_file + ".tmp";
+      status_file.open(status_tmp);
       if (!status_file) {
         std::fprintf(stderr, "xmap_sim: cannot open %s\n",
-                     opts.status_updates_file.c_str());
-        return 2;
+                     status_tmp.c_str());
+        return kExitConfig;
       }
       status_out = &status_file;
     }
+    auto finish_status = [&] {
+      if (!status_file.is_open()) return;
+      status_file.flush();
+      status_file.close();
+      if (status_tmp != opts.status_updates_file) {
+        std::rename(status_tmp.c_str(), opts.status_updates_file.c_str());
+      }
+    };
 
     engine::EngineConfig engine_cfg;
     engine_cfg.world_specs = specs;
@@ -292,33 +425,83 @@ int main(int argc, char** argv) {
     engine_cfg.status_interval_ms = opts.status_interval_ms;
     engine_cfg.faults = fault_plan;
     engine_cfg.obs = obs_cfg;
+    engine_cfg.shutdown_flag = shutdown.flag();
+    if (opts.shutdown_after_probes != 0) {
+      engine_cfg.shutdown_at_raw_slot = opts.shutdown_after_probes;
+    }
+    if (resuming) engine_cfg.resume = &resume_state;
+    if (opts.checkpoint_interval != 0) {
+      engine_cfg.checkpoint_interval_targets = opts.checkpoint_interval;
+      engine_cfg.checkpoint_file = checkpoint_path;
+      engine_cfg.checkpoint_sink = [&](recover::CheckpointState& state) {
+        (void)write_state(state);
+      };
+    }
     auto result = engine::run_parallel_scan(engine_cfg);
     if (!result.ok) {
       std::fprintf(stderr, "xmap_sim: %s\n", result.error.c_str());
-      return 2;
+      finish_status();
+      return kExitConfig;
     }
 
-    // Records are pre-sorted deterministically by the engine, so the
-    // output stream is byte-identical across runs for a fixed seed.
+    // Records are pre-sorted deterministically by the engine (checkpoint
+    // records included), so the output stream is byte-identical across
+    // runs — interrupted-then-resumed or not — for a fixed seed.
     writer->begin();
     for (const auto& record : result.records) {
       writer->record(record.response, record.when);
     }
     writer->end();
+    if (!flush_output()) {
+      finish_status();
+      return kExitConfig;
+    }
     if (!opts.quiet) {
       print_stats_footer(result.stats, engine_cfg.threads,
                          result.wall_seconds);
     }
     if (!write_obs_outputs(opts, result.trace, result.metrics_snapshot,
                            result.stage_profile)) {
-      return 2;
+      finish_status();
+      return kExitConfig;
     }
+    int exit_code = kExitOk;
+    if (result.interrupted) {
+      // Quiescent shutdown checkpoint: every drawn lifecycle drained, so
+      // records, trace and metrics snapshot the scan exactly.
+      recover::CheckpointState state;
+      state.quiescent = true;
+      state.signal = shutdown.signal();
+      state.stats = result.stats;
+      for (const auto& cursor : result.cursors) {
+        state.cursors.push_back(
+            recover::WorkerCursor{cursor.spec_steps, cursor.frontier_slot});
+      }
+      for (const auto& record : result.records) {
+        state.records.push_back(recover::CheckpointRecord{
+            record.response, record.when, record.worker, record.raw_slot});
+      }
+      state.has_obs = true;
+      state.trace = result.trace;
+      state.metrics = result.metrics_snapshot;
+      if (!write_state(state)) {
+        finish_status();
+        return kExitConfig;
+      }
+      if (!opts.quiet) {
+        std::fprintf(stderr,
+                     "xmap_sim: interrupted; resume with --resume %s\n",
+                     checkpoint_path.c_str());
+      }
+      exit_code = kExitInterrupted;
+    }
+    finish_status();
     if (result.failed_workers > 0) {
       std::fprintf(stderr, "xmap_sim: %d worker(s) failed; results partial\n",
                    result.failed_workers);
-      return 1;
+      return kExitWorkerFailure;
     }
-    return 0;
+    return exit_code;
   }
 
   // --- Classic single-thread in-process path -------------------------------
@@ -329,6 +512,21 @@ int main(int argc, char** argv) {
       obs_cfg.trace_level != obs::TraceLevel::kOff ? &trace_buf : nullptr;
   obs::MetricsShard* metrics = obs_cfg.metrics ? &shard : nullptr;
   obs::StageProfile* profile = obs_cfg.profile ? &stage_profile : nullptr;
+
+  cfg.shutdown_flag = shutdown.flag();
+  if (opts.shutdown_after_probes != 0) {
+    cfg.shutdown_at_raw_slot = opts.shutdown_after_probes;
+  }
+  if (resuming) {
+    if (resume_state.cursors.size() != 1) {
+      std::fprintf(stderr,
+                   "xmap_sim: --resume %s: expected 1 cursor for the "
+                   "classic path, found %zu\n",
+                   opts.resume_file.c_str(), resume_state.cursors.size());
+      return kExitConfig;
+    }
+    cfg.resume_spec_steps = resume_state.cursors[0].spec_steps;
+  }
 
   sim::Network net{opts.seed};
   net.set_obs(trace, metrics);
@@ -350,19 +548,107 @@ int main(int argc, char** argv) {
       net, internet, scanner, *net::Ipv6Prefix::parse("2001:500::/48"));
   scanner->set_iface(iface);
 
-  writer->begin();
-  scanner->on_response(
-      [&writer](const scan::ProbeResponse& r, sim::SimTime when) {
-        writer->record(r, when);
+  // Records are retained (seeded from the checkpoint when resuming) and
+  // written content-sorted at the end, the same deterministic order the
+  // engine path uses — a resumed run's output is byte-identical to an
+  // uninterrupted one.
+  struct ClassicRecord {
+    scan::ProbeResponse response;
+    sim::SimTime when = 0;
+    std::uint64_t raw_slot = 0;
+  };
+  std::vector<ClassicRecord> records;
+  if (resuming) {
+    records.reserve(resume_state.records.size());
+    for (const auto& r : resume_state.records) {
+      records.push_back(ClassicRecord{r.response, r.when, r.raw_slot});
+    }
+  }
+  scanner->on_response_slotted(
+      [&records](const scan::ProbeResponse& r, sim::SimTime when,
+                 std::uint64_t raw_slot) {
+        records.push_back(ClassicRecord{r, when, raw_slot});
       });
+  if (opts.checkpoint_interval != 0) {
+    scanner->set_checkpoint_hook(
+        opts.checkpoint_interval, [&](const scan::ScanCursor& cursor) {
+          recover::CheckpointState state;
+          state.quiescent = false;
+          state.signal = 0;
+          state.stats = scanner->stats();
+          if (resuming) state.stats += resume_state.stats;
+          state.cursors.push_back(recover::WorkerCursor{
+              cursor.spec_steps, cursor.frontier_slot});
+          for (const auto& r : records) {
+            if (r.raw_slot < cursor.frontier_slot) {
+              state.records.push_back(recover::CheckpointRecord{
+                  r.response, r.when, 0, r.raw_slot});
+            }
+          }
+          (void)write_state(state);
+        });
+  }
   scanner->start();
   net.run();
-  writer->end();
 
-  if (!opts.quiet) print_stats_footer(scanner->stats(), 0, 0);
+  scan::ScanStats total_stats = scanner->stats();
+  if (resuming) total_stats += resume_state.stats;
+
+  std::sort(records.begin(), records.end(),
+            [](const ClassicRecord& a, const ClassicRecord& b) {
+              return std::tuple(a.when, a.response.responder,
+                                a.response.probe_dst,
+                                static_cast<int>(a.response.kind),
+                                a.raw_slot) <
+                     std::tuple(b.when, b.response.responder,
+                                b.response.probe_dst,
+                                static_cast<int>(b.response.kind),
+                                b.raw_slot);
+            });
+  writer->begin();
+  for (const auto& record : records) {
+    writer->record(record.response, record.when);
+  }
+  writer->end();
+  if (!flush_output()) return kExitConfig;
+
+  if (!opts.quiet) print_stats_footer(total_stats, 0, 0);
+  std::vector<std::vector<obs::TraceEvent>> trace_parts;
+  trace_parts.push_back(trace_buf.take());
+  if (resuming && resume_state.has_obs) {
+    trace_parts.push_back(resume_state.trace);
+  }
   const std::vector<obs::TraceEvent> events =
-      obs::merge_traces({trace_buf.take()});
-  const obs::MetricsSnapshot snapshot = obs::merge_shards({&shard});
-  if (!write_obs_outputs(opts, events, snapshot, stage_profile)) return 2;
-  return 0;
+      obs::merge_traces(std::move(trace_parts));
+  obs::MetricsSnapshot snapshot = obs::merge_shards({&shard});
+  if (resuming && resume_state.has_obs) {
+    snapshot = obs::merge_snapshots({&resume_state.metrics, &snapshot});
+  }
+  if (!write_obs_outputs(opts, events, snapshot, stage_profile)) {
+    return kExitConfig;
+  }
+
+  if (scanner->interrupted()) {
+    recover::CheckpointState state;
+    state.quiescent = true;
+    state.signal = shutdown.signal();
+    state.stats = total_stats;
+    const scan::ScanCursor cursor = scanner->cursor();
+    state.cursors.push_back(
+        recover::WorkerCursor{cursor.spec_steps, cursor.frontier_slot});
+    for (const auto& r : records) {
+      state.records.push_back(
+          recover::CheckpointRecord{r.response, r.when, 0, r.raw_slot});
+    }
+    state.has_obs = true;
+    state.trace = events;
+    state.metrics = snapshot;
+    if (!write_state(state)) return kExitConfig;
+    if (!opts.quiet) {
+      std::fprintf(stderr, "xmap_sim: interrupted; resume with --resume %s\n",
+                   checkpoint_path.c_str());
+    }
+    return kExitInterrupted;
+  }
+  return kExitOk;
 }
