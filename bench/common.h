@@ -20,6 +20,74 @@
 
 namespace xmap::bench {
 
+// Machine-readable benchmark output: collects (metric, value, unit) rows
+// and writes them as BENCH_<name>.json in the working directory, stamped
+// with the git revision (GITHUB_SHA in CI, `git rev-parse` locally). The
+// perf-smoke CI job diffs these files against bench/baselines/ — see
+// tools/check_bench_regression.py for the schema contract.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  // `higher_is_better` tells the regression checker which direction is a
+  // regression (true for throughputs, false for latencies/overheads).
+  void add(const std::string& metric, double value, const std::string& unit,
+           bool higher_is_better = true) {
+    rows_.push_back({metric, unit, value, higher_is_better});
+  }
+
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+                 "  \"results\": [\n",
+                 name_.c_str(), git_sha().c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"metric\": \"%s\", \"value\": %.17g, "
+                   "\"unit\": \"%s\", \"higher_is_better\": %s}%s\n",
+                   r.metric.c_str(), r.value, r.unit.c_str(),
+                   r.higher_is_better ? "true" : "false",
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  [[nodiscard]] static std::string git_sha() {
+    if (const char* env = std::getenv("GITHUB_SHA")) return env;
+    std::string sha = "unknown";
+    if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+      char buf[64] = {};
+      if (std::fgets(buf, sizeof buf, p) != nullptr) {
+        std::string s{buf};
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+          s.pop_back();
+        }
+        if (!s.empty()) sha = s;
+      }
+      ::pclose(p);
+    }
+    return sha;
+  }
+
+  struct Row {
+    std::string metric;
+    std::string unit;
+    double value = 0;
+    bool higher_is_better = true;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
 inline int window_bits_from_env(int fallback = 12) {
   const char* env = std::getenv("XMAP_WINDOW_BITS");
   if (env == nullptr) return fallback;

@@ -4,6 +4,10 @@
 // DESIGN.md calls out.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+
+#include "bench/common.h"
 #include "netbase/checksum.h"
 #include "topology/routing_table.h"
 #include "xmap/cyclic_group.h"
@@ -81,6 +85,41 @@ void BM_BuildEchoProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildEchoProbe);
 
+// The template hot path: re-aim a cached frame per target (destination +
+// keyed fields + incremental checksum) instead of a full rebuild. The ratio
+// against BM_BuildEchoProbe is the per-probe win the scanner banks on.
+void BM_PatchEchoProbe(benchmark::State& state) {
+  const auto src = *net::Ipv6Address::parse("2001:500::1");
+  const auto spec = *scan::TargetSpec::parse("2400::/8-40");
+  scan::IcmpEchoProbe module{64};
+  scan::ProbeTemplate tmpl = module.make_template(src, 7);
+  net::Uint128 i{0};
+  for (auto _ : state) {
+    const auto target = spec.nth_address(i, 7);
+    i += net::Uint128{1};
+    module.patch_probe(tmpl, src, target, 7);
+    benchmark::DoNotOptimize(tmpl.frame().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatchEchoProbe);
+
+void BM_ChecksumUpdate(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(64, 0xa5);
+  std::uint16_t csum = net::internet_checksum(buf);
+  std::uint8_t patch[16] = {};
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    patch[0] = static_cast<std::uint8_t>(++n);
+    csum = net::checksum_update(
+        csum, std::span<const std::uint8_t>{buf.data() + 16, 16}, patch);
+    std::memcpy(buf.data() + 16, patch, 16);
+    benchmark::DoNotOptimize(csum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChecksumUpdate);
+
 void BM_ClassifyResponse(benchmark::State& state) {
   const auto src = *net::Ipv6Address::parse("2001:500::1");
   const auto dst = *net::Ipv6Address::parse("2400:1:2:3::1234");
@@ -140,6 +179,61 @@ void BM_AddressFormat(benchmark::State& state) {
 }
 BENCHMARK(BM_AddressFormat);
 
+// Hand-timed versions of the headline kernels for BENCH_micro_xmap.json:
+// independent of the benchmark library's reporter API, so the regression
+// checker sees a stable schema.
+void write_bench_json() {
+  using Clock = std::chrono::steady_clock;
+  const auto src = *net::Ipv6Address::parse("2001:500::1");
+  const auto spec = *scan::TargetSpec::parse("2400::/8-40");
+  scan::IcmpEchoProbe module{64};
+  constexpr int kIters = 400000;
+
+  auto throughput = [&](auto&& body) {
+    // One warm-up pass (pool + caches), then the timed pass.
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto t0 = Clock::now();
+      std::uint64_t sink = 0;
+      net::Uint128 i{0};
+      for (int k = 0; k < kIters; ++k) {
+        sink += body(spec.nth_address(i, 7));
+        i += net::Uint128{1};
+      }
+      benchmark::DoNotOptimize(sink);
+      if (rep == 1) {
+        return kIters / std::chrono::duration<double>(Clock::now() - t0)
+                            .count();
+      }
+    }
+    return 0.0;
+  };
+
+  xmap::bench::BenchJson json{"micro_xmap"};
+  json.add("build_echo_probe_per_sec", throughput([&](const auto& target) {
+             return module.make_probe(src, target, 7).size();
+           }),
+           "probes/s");
+  scan::ProbeTemplate tmpl = module.make_template(src, 7);
+  json.add("patch_echo_probe_per_sec", throughput([&](const auto& target) {
+             module.patch_probe(tmpl, src, target, 7);
+             return tmpl.frame().size();
+           }),
+           "probes/s");
+  std::vector<std::uint8_t> buf(1280, 0xa5);
+  json.add("checksum_1280_per_sec", throughput([&](const auto&) {
+             return static_cast<std::size_t>(net::internet_checksum(buf));
+           }),
+           "checksums/s");
+  json.write();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/common.h"
 #include "engine/executor.h"
 #include "topology/paper_profiles.h"
 
@@ -58,6 +59,7 @@ int main() {
 
   std::printf("parallel executor speedup (paper world, ICMPv6 echo)\n");
   std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+  xmap::bench::BenchJson json{"parallel_speedup"};
   for (int window_bits : {8, 10, 12}) {
     std::printf("\nwindow 2^%d per block (%d probes total)\n", window_bits,
                 15 * (1 << window_bits));
@@ -85,7 +87,19 @@ int main() {
                   best.wall_seconds, base / best.wall_seconds,
                   100.0 * base / best.wall_seconds / threads,
                   static_cast<unsigned long long>(best.sent), best.unique);
+      if (window_bits == 12) {
+        char metric[64];
+        std::snprintf(metric, sizeof metric, "scan_pps_%dt", threads);
+        json.add(metric,
+                 static_cast<double>(best.sent) / best.wall_seconds,
+                 "probes/s");
+        if (threads > 1) {
+          std::snprintf(metric, sizeof metric, "speedup_%dt", threads);
+          json.add(metric, base / best.wall_seconds, "x");
+        }
+      }
     }
   }
+  json.write();
   return 0;
 }

@@ -162,9 +162,10 @@ void ServiceGrabber::launch(std::size_t index) {
   if (!svc::is_tcp(job.kind)) {
     pkt::Bytes payload;
     if (job.kind == svc::ServiceKind::kDns) {
-      payload = svc::make_version_query(
-                    static_cast<std::uint16_t>(sport ^ 0x5aa5))
-                    .encode();
+      const auto wire = svc::make_version_query(
+                            static_cast<std::uint16_t>(sport ^ 0x5aa5))
+                            .encode();
+      payload.assign(wire.begin(), wire.end());
     } else {  // NTP client (mode 3, version 4)
       payload.assign(48, 0);
       payload[0] = (4 << 3) | 3;

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "engine/bounded_queue.h"
+#include "netbase/pool.h"
 
 namespace xmap::engine {
 namespace {
@@ -186,7 +187,36 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
           });
     }
     scanner->start();
+    const auto run_begin = std::chrono::steady_clock::now();
     net.run();
+    const auto run_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_begin)
+            .count();
+
+    if (metrics != nullptr) {
+      // Wall-clock artifacts of this machine's scheduling and allocator
+      // warm-up — flagged so the deterministic export skips them (the same
+      // treatment as engine_queue_depth_peak below).
+      const obs::Labels worker_label = {{"worker", std::to_string(w)}};
+      *metrics->gauge("xmap_packet_rate", worker_label,
+                      "Probes sent per wall-clock second by this worker",
+                      /*wall_clock=*/true) =
+          run_secs > 0 ? static_cast<std::uint64_t>(
+                             static_cast<double>(scanner->stats().sent) /
+                             run_secs)
+                       : 0;
+      const net::BytePool::Stats& pool = net::BytePool::local().stats();
+      *metrics->gauge("pool_retained_bytes", worker_label,
+                      "Arena bytes retained by this worker's BytePool",
+                      /*wall_clock=*/true) = pool.retained_bytes;
+      *metrics->gauge("pool_recycled_blocks", worker_label,
+                      "Allocations served from the worker pool free lists",
+                      /*wall_clock=*/true) = pool.recycled;
+      *metrics->gauge("pool_heap_allocs", worker_label,
+                      "Worker pool falls-through to the global heap",
+                      /*wall_clock=*/true) = pool.heap_allocs;
+    }
 
     WorkerReport& report = reports[static_cast<std::size_t>(w)];
     report.stats = scanner->stats();

@@ -48,8 +48,9 @@ ProbeModuleResult make_probe_module(const std::string& selector) {
             {}};
   }
   if (selector == "udp_dns") {
+    const auto wire = svc::make_version_query(0x4242).encode();
     return {std::make_unique<scan::UdpProbe>(
-                53, svc::make_version_query(0x4242).encode(), "udp_dns"),
+                53, pkt::Bytes(wire.begin(), wire.end()), "udp_dns"),
             {}};
   }
   if (selector == "udp_ntp") {

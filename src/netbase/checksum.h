@@ -18,6 +18,14 @@ namespace xmap::net {
 // Folds the accumulator and returns the ones-complement checksum.
 [[nodiscard]] std::uint16_t checksum_finish(std::uint32_t acc);
 
+// Folds the accumulator to 16 bits WITHOUT the final complement — the form
+// to cache when a precomputed partial sum will have more words added later
+// (e.g. a probe template's fixed bytes, re-summed with per-target fields).
+[[nodiscard]] constexpr std::uint16_t checksum_fold(std::uint32_t acc) {
+  while (acc >> 16) acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(acc);
+}
+
 // Plain RFC 1071 checksum over a buffer.
 [[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
 
@@ -28,5 +36,16 @@ namespace xmap::net {
 [[nodiscard]] std::uint16_t ipv6_upper_layer_checksum(
     const Ipv6Address& src, const Ipv6Address& dst, std::uint8_t next_header,
     std::span<const std::uint8_t> l4_data);
+
+// Incremental checksum update (RFC 1624): given the checksum of some data
+// and the old/new contents of one contiguous changed region, returns the
+// checksum of the updated data without re-reading the rest. `before` and
+// `after` must be the same even length and start at an even offset within
+// the checksummed data (which includes the pseudo-header for upper-layer
+// checksums). This is what lets a cached probe template re-aim at a new
+// destination in a handful of adds instead of a full packet walk.
+[[nodiscard]] std::uint16_t checksum_update(std::uint16_t csum,
+                                            std::span<const std::uint8_t> before,
+                                            std::span<const std::uint8_t> after);
 
 }  // namespace xmap::net

@@ -1,0 +1,38 @@
+// Portable hot-path annotations.
+//
+// Everything here is safe under -fno-exceptions and degrades to a no-op on
+// compilers without the underlying builtin. Used by the packet hot path
+// (checksum, template patching, pool allocator, LC-trie lookups) to keep
+// branch layout and alias information explicit without sprinkling raw
+// builtins through the code.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define XMAP_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define XMAP_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#define XMAP_ALWAYS_INLINE inline __attribute__((always_inline))
+#define XMAP_NOINLINE __attribute__((noinline))
+#else
+#define XMAP_LIKELY(x) (x)
+#define XMAP_UNLIKELY(x) (x)
+#define XMAP_ALWAYS_INLINE inline
+#define XMAP_NOINLINE
+#endif
+
+namespace xmap::net {
+
+// Tells the optimizer `p` is aligned to `Align` bytes. Unlike a raw
+// __builtin_assume_aligned chain this keeps the pointer type, and unlike
+// std::assume_aligned it is available regardless of library support level.
+template <std::size_t Align, typename T>
+[[nodiscard]] XMAP_ALWAYS_INLINE T* assume_aligned(T* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<T*>(__builtin_assume_aligned(p, Align));
+#else
+  return p;
+#endif
+}
+
+}  // namespace xmap::net

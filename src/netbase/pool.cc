@@ -1,0 +1,83 @@
+#include "netbase/pool.h"
+
+#include <atomic>
+
+namespace xmap::net {
+namespace {
+
+// Process-lifetime graveyard: memory handed back by exiting threads and
+// adopted by later pools. Allocated once and never destroyed — keeps the
+// memory valid for any block that outlives its allocating thread, keeps it
+// reachable for leak checkers, and dodges static-destruction-order races
+// with main-thread thread_locals.
+struct Graveyard {
+  std::mutex mu;
+  void* free_lists[32] = {};          // per size class, Block-layout
+  void* chunks = nullptr;             // retained arena chunks (never reused)
+  std::atomic<std::uint32_t> nonempty{0};  // bit c: free_lists[c] non-null
+};
+
+Graveyard& graveyard() {
+  static Graveyard* g = new Graveyard;
+  return *g;
+}
+
+}  // namespace
+
+void BytePool::grab_chunk() {
+  // Adopt nothing here — chunks in the graveyard may contain live blocks
+  // from their previous owner and cannot be re-carved; fresh bump space
+  // always comes from the heap.
+  void* p = ::operator new(kChunkBytes);
+  ++stats_.heap_allocs;
+  stats_.retained_bytes += kChunkBytes;
+  Chunk* ch = static_cast<Chunk*>(p);
+  ch->next = chunks_;
+  chunks_ = ch;
+  bump_ = static_cast<std::uint8_t*>(p) + 16;  // skip the chunk header
+  bump_left_ = kChunkBytes - 16;
+}
+
+void* BytePool::grab_large(int /*c*/, std::size_t csize) {
+  void* p = ::operator new(csize);
+  ++stats_.heap_allocs;
+  stats_.retained_bytes += csize;
+  return p;
+}
+
+bool BytePool::adopt(int c) {
+  Graveyard& g = graveyard();
+  if ((g.nonempty.load(std::memory_order_relaxed) & (1u << c)) == 0) {
+    return false;
+  }
+  std::lock_guard lock{g.mu};
+  if (g.free_lists[c] == nullptr) return false;
+  free_[c] = static_cast<Block*>(g.free_lists[c]);
+  g.free_lists[c] = nullptr;
+  g.nonempty.fetch_and(~(1u << c), std::memory_order_relaxed);
+  return true;
+}
+
+BytePool::~BytePool() {
+  Graveyard& g = graveyard();
+  std::lock_guard lock{g.mu};
+  std::uint32_t mask = g.nonempty.load(std::memory_order_relaxed);
+  for (int c = 0; c < kClasses; ++c) {
+    while (free_[c] != nullptr) {
+      Block* b = free_[c];
+      free_[c] = b->next;
+      b->next = static_cast<Block*>(g.free_lists[c]);
+      g.free_lists[c] = b;
+      mask |= 1u << c;
+    }
+  }
+  while (chunks_ != nullptr) {
+    Chunk* ch = chunks_;
+    chunks_ = ch->next;
+    ch->next = static_cast<Chunk*>(g.chunks);
+    g.chunks = ch;
+  }
+  g.nonempty.store(mask, std::memory_order_relaxed);
+}
+
+}  // namespace xmap::net

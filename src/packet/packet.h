@@ -16,10 +16,14 @@
 #include <vector>
 
 #include "netbase/ipv6.h"
+#include "netbase/pool.h"
 
 namespace xmap::pkt {
 
-using Bytes = std::vector<std::uint8_t>;
+// Packet buffers ride the thread-local BytePool: probe sends, hop-by-hop
+// forwarding copies and fault-injected duplicates all recycle fixed-size
+// blocks instead of hitting the global heap mid-scan (see netbase/pool.h).
+using Bytes = net::PoolVector<std::uint8_t>;
 
 inline constexpr std::size_t kIpv6HeaderSize = 40;
 inline constexpr std::size_t kIpv6MinMtu = 1280;  // RFC 8200 §5

@@ -87,7 +87,8 @@ class DnsService final : public EndpointBase {
     } else {
       resp.rcode = DnsRcode::kNotImp;
     }
-    return resp.encode();
+    const auto wire = resp.encode();
+    return Bytes(wire.begin(), wire.end());
   }
 };
 

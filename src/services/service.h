@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "netbase/pool.h"
+
 namespace xmap::svc {
 
 // Order matters: this is the column order of Tables VI and VII.
@@ -78,7 +80,9 @@ struct SoftwareInfo {
   friend bool operator==(const SoftwareInfo&, const SoftwareInfo&) = default;
 };
 
-using Bytes = std::vector<std::uint8_t>;
+// Shares the packet layer's pool-backed buffer type: service responses are
+// handed straight to pkt builders / Node::send on the scan hot path.
+using Bytes = net::PoolVector<std::uint8_t>;
 
 // One application-layer responder bound to a port on a device.
 //

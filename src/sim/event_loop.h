@@ -7,9 +7,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "netbase/pool.h"
 
 namespace xmap::sim {
 
@@ -21,6 +25,76 @@ inline constexpr SimTime kMicrosecond = 1000;
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
+// Move-only callable with fixed inline storage — the event loop's closure
+// type. std::function heap-allocates any capture beyond its tiny SBO
+// (libstdc++: 16 bytes), which on the scan hot path means one allocation
+// per scheduled send and one per simulated hop delivery. Every closure the
+// substrate schedules fits in kInlineFunctionCapacity bytes; captures that
+// can't (cold paths only) should wrap themselves in a std::function, which
+// fits by definition.
+inline constexpr std::size_t kInlineFunctionCapacity = 88;
+
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT(runtime/explicit)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineFunctionCapacity,
+                  "capture too large for InlineFunction — trim the capture "
+                  "or box it in a std::function");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    relocate_ = [](void* dst, void* src) {
+      Fn* s = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*s));
+      s->~Fn();
+    };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()() { invoke_(buf_); }
+
+ private:
+  void move_from(InlineFunction& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    if (relocate_ != nullptr) relocate_(buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+  void reset() {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineFunctionCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
 class EventLoop {
  public:
   EventLoop() = default;
@@ -31,22 +105,25 @@ class EventLoop {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
-  void schedule_at(SimTime when, std::function<void()> fn) {
+  void schedule_at(SimTime when, InlineFunction fn) {
     queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn)});
   }
-  void schedule_after(SimTime delay, std::function<void()> fn) {
+  void schedule_after(SimTime delay, InlineFunction fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
 
   // Runs one event; returns false when the queue is empty.
   bool step() {
     if (queue_.empty()) return false;
-    // The queue stores const refs; move the callable out before popping.
-    Event ev = queue_.top();
-    queue_.pop();
+    // top() is const-ref by contract, but moving the closure out before
+    // pop() is safe: the heap rebalance only relocates the hollowed-out
+    // event. Saves a full Event copy (and its captured packet) per event.
+    Event& ev = const_cast<Event&>(queue_.top());
     now_ = ev.when;
+    InlineFunction fn = std::move(ev.fn);
+    queue_.pop();
     ++processed_;
-    ev.fn();
+    fn();
     return true;
   }
 
@@ -68,7 +145,7 @@ class EventLoop {
   struct Event {
     SimTime when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    std::function<void()> fn;
+    InlineFunction fn;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -77,7 +154,10 @@ class EventLoop {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Pool-backed storage: the queue's backing vector grows through the
+  // thread-local BytePool, so a warmed-up thread schedules events without
+  // touching the global heap.
+  std::priority_queue<Event, net::PoolVector<Event>, Later> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -21,6 +21,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "netbase/pool.h"
 #include "packet/packet.h"
 #include "sim/event_loop.h"
 
@@ -172,7 +173,7 @@ class FaultInjector {
   // byte-identical, so the attempt index is what differentiates their fault
   // draws. Counts depend only on this replica's own traffic per packet, so
   // they are identical across thread counts.
-  std::unordered_map<std::uint64_t, std::uint32_t> attempts_;
+  net::PoolMap<std::uint64_t, std::uint32_t> attempts_;
   // Nodes selected for a silent window: node -> [start, end) in sim time
   // (end == ~0 for "forever").
   std::unordered_map<NodeId, std::pair<SimTime, SimTime>> silent_;

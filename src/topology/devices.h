@@ -19,6 +19,7 @@
 #include <unordered_set>
 
 #include "netbase/iid.h"
+#include "netbase/pool.h"
 #include "services/service_host.h"
 #include "sim/network.h"
 #include "topology/provisioning.h"
@@ -214,7 +215,7 @@ class CpeRouter : public sim::Node {
   int lan_iface_ = -1;
   bool icmp_filtered_ = false;
   // Loop-cap bookkeeping: forwards per flow key (hash of src/dst).
-  std::unordered_map<std::uint64_t, int> loop_counts_;
+  net::PoolMap<std::uint64_t, int> loop_counts_;
 
   // Provisioning-client state.
   [[nodiscard]] bool handle_provisioning(const pkt::Bytes& packet);

@@ -51,6 +51,10 @@ class RoutingTable {
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 
+  // Precompiles the LC-trie lookup index (otherwise built on first lookup);
+  // required before sharing the table read-only across threads.
+  void compile() const { map_.compile(); }
+
   [[nodiscard]] std::vector<Route> routes() const {
     std::vector<Route> out;
     out.reserve(size());

@@ -1,16 +1,27 @@
 #include "xmap/probe_module.h"
 
+#include <algorithm>
+#include <cassert>
+
+#include "netbase/checksum.h"
 #include "netbase/random.h"
 
 namespace xmap::scan {
 namespace {
 
+// Salt-independent prefix of the tag hash. patch_probe derives several
+// keyed fields per target and only the final salted mix differs between
+// them, so the hot path computes this once and salts it per field.
+std::uint64_t addr_hash_base(const net::Ipv6Address& dst,
+                             std::uint64_t seed) {
+  const net::Uint128 v = dst.value();
+  return net::hash_combine64(net::hash_combine64(seed, v.hi()), v.lo());
+}
+
 std::uint64_t addr_hash(const net::Ipv6Address& dst, std::uint64_t seed,
                         int salt) {
-  const net::Uint128 v = dst.value();
-  std::uint64_t h = net::hash_combine64(seed, v.hi());
-  h = net::hash_combine64(h, v.lo());
-  return net::hash_combine64(h, static_cast<std::uint64_t>(salt));
+  return net::hash_combine64(addr_hash_base(dst, seed),
+                             static_cast<std::uint64_t>(salt));
 }
 
 // Recovers the original probe header from an ICMPv6 error's quoted packet.
@@ -24,7 +35,68 @@ std::optional<pkt::Ipv6View> quoted_packet(const pkt::Icmpv6View& icmp) {
   return view;
 }
 
+void write_be16(pkt::Bytes& f, std::size_t off, std::uint16_t v) {
+  f[off] = static_cast<std::uint8_t>(v >> 8);
+  f[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+void write_be32(pkt::Bytes& f, std::size_t off, std::uint32_t v) {
+  f[off] = static_cast<std::uint8_t>(v >> 24);
+  f[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  f[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  f[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+// Writes the target address into the frame's destination field (bytes
+// 24..40) and returns the ones-complement sum of its eight words, ready to
+// add onto the template's precomputed base accumulator.
+std::uint32_t patch_dst(pkt::Bytes& f, const net::Ipv6Address& target) {
+  const auto& nb = target.bytes();
+  std::copy(nb.begin(), nb.end(), f.begin() + 24);
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < nb.size(); i += 2) {  // eight wire words
+    sum += static_cast<std::uint32_t>(nb[i]) << 8 | nb[i + 1];
+  }
+  return sum;
+}
+
+// The template's checksum base: zeroes the given frame ranges (the keyed
+// fields plus the checksum field; the destination is already the all-zero
+// placeholder) and returns the folded ones-complement sum of the remaining
+// pseudo-header + L4 coverage. Once per scan, so a full walk is fine.
+std::uint16_t l4_base_acc(
+    pkt::Bytes& f,
+    std::initializer_list<std::pair<std::size_t, std::size_t>> zeroed) {
+  for (const auto& [off, len] : zeroed) {
+    std::fill(f.begin() + static_cast<std::ptrdiff_t>(off),
+              f.begin() + static_cast<std::ptrdiff_t>(off + len), 0);
+  }
+  pkt::Ipv6View ip{f};
+  assert(ip.dst() == net::Ipv6Address{});  // template frame targets ::
+  const auto l4 = std::span<const std::uint8_t>(f).subspan(
+      pkt::kIpv6HeaderSize);
+  std::uint32_t acc = net::checksum_accumulate(std::span{ip.src().bytes()});
+  acc = net::checksum_accumulate(l4, acc);
+  const auto len32 = static_cast<std::uint32_t>(l4.size());
+  return static_cast<std::uint16_t>(net::checksum_fold(
+      static_cast<std::uint32_t>(net::checksum_fold(acc)) + (len32 >> 16) +
+      (len32 & 0xffff) + ip.next_header()));
+}
+
 }  // namespace
+
+ProbeTemplate ProbeModule::make_template(const net::Ipv6Address& /*src*/,
+                                         std::uint64_t /*seed*/) const {
+  // Default: no cached frame; patch_probe's fallback rebuilds from scratch,
+  // so modules that don't opt in stay correct (just not fast).
+  return ProbeTemplate{};
+}
+
+void ProbeModule::patch_probe(ProbeTemplate& tmpl, const net::Ipv6Address& src,
+                              const net::Ipv6Address& target,
+                              std::uint64_t seed) const {
+  tmpl.frame_ = make_probe(src, target, seed);
+}
 
 std::uint16_t probe_tag16(const net::Ipv6Address& dst, std::uint64_t seed,
                           int salt) {
@@ -46,6 +118,35 @@ pkt::Bytes IcmpEchoProbe::make_probe(const net::Ipv6Address& src,
   return pkt::build_echo_request(src, target, hop_limit_,
                                  probe_tag16(target, seed, 1),
                                  probe_tag16(target, seed, 2));
+}
+
+ProbeTemplate IcmpEchoProbe::make_template(const net::Ipv6Address& src,
+                                           std::uint64_t seed) const {
+  ProbeTemplate t;
+  t.frame_ = make_probe(src, net::Ipv6Address{}, seed);
+  // Mutable words: checksum (42), ident (44), seq (46).
+  t.l4_acc_ = l4_base_acc(t.frame_, {{42, 6}});
+  return t;
+}
+
+void IcmpEchoProbe::patch_probe(ProbeTemplate& tmpl,
+                                const net::Ipv6Address& src,
+                                const net::Ipv6Address& target,
+                                std::uint64_t seed) const {
+  if (!tmpl.valid()) tmpl = make_template(src, seed);
+  pkt::Bytes& f = tmpl.frame_;
+  const std::uint64_t base = addr_hash_base(target, seed);
+  const auto ident =
+      static_cast<std::uint16_t>(net::hash_combine64(base, 1));
+  const auto seq = static_cast<std::uint16_t>(net::hash_combine64(base, 2));
+  write_be16(f, 44, ident);
+  write_be16(f, 46, seq);
+  // Base (fixed words) + destination + keyed words; every term sits at an
+  // even offset of the checksum coverage, so plain word adds are exact.
+  const std::uint32_t acc = net::checksum_fold(patch_dst(f, target) +
+                                               tmpl.l4_acc_) +
+                            ident + seq;
+  write_be16(f, 42, net::checksum_finish(acc));  // ICMPv6: no zero-mapping
 }
 
 std::optional<ProbeResponse> IcmpEchoProbe::classify(
@@ -118,6 +219,33 @@ pkt::Bytes TcpSynProbe::make_probe(const net::Ipv6Address& src,
                         probe_tag32(target, seed, 4), 0, pkt::kTcpSyn, 65535);
 }
 
+ProbeTemplate TcpSynProbe::make_template(const net::Ipv6Address& src,
+                                         std::uint64_t seed) const {
+  ProbeTemplate t;
+  t.frame_ = make_probe(src, net::Ipv6Address{}, seed);
+  // Mutable words: source port (40), sequence (44..48), checksum (56).
+  t.l4_acc_ = l4_base_acc(t.frame_, {{40, 2}, {44, 4}, {56, 2}});
+  return t;
+}
+
+void TcpSynProbe::patch_probe(ProbeTemplate& tmpl,
+                              const net::Ipv6Address& src,
+                              const net::Ipv6Address& target,
+                              std::uint64_t seed) const {
+  if (!tmpl.valid()) tmpl = make_template(src, seed);
+  pkt::Bytes& f = tmpl.frame_;
+  const std::uint64_t base = addr_hash_base(target, seed);
+  const auto sport = static_cast<std::uint16_t>(
+      0xc000 | (net::hash_combine64(base, 3) & 0x3fff));
+  const auto seq = static_cast<std::uint32_t>(net::hash_combine64(base, 4));
+  write_be16(f, 40, sport);
+  write_be32(f, 44, seq);
+  const std::uint32_t acc = net::checksum_fold(patch_dst(f, target) +
+                                               tmpl.l4_acc_) +
+                            sport + (seq >> 16) + (seq & 0xffff);
+  write_be16(f, 56, net::checksum_finish(acc));
+}
+
 std::optional<ProbeResponse> TcpSynProbe::classify(
     const pkt::Bytes& packet, const net::Ipv6Address& src,
     std::uint64_t seed) const {
@@ -160,6 +288,31 @@ pkt::Bytes UdpProbe::make_probe(const net::Ipv6Address& src,
   const std::uint16_t sport =
       static_cast<std::uint16_t>(0xc000 | (probe_tag16(target, seed, 5) & 0x3fff));
   return pkt::build_udp(src, target, sport, port_, payload_);
+}
+
+ProbeTemplate UdpProbe::make_template(const net::Ipv6Address& src,
+                                      std::uint64_t seed) const {
+  ProbeTemplate t;
+  t.frame_ = make_probe(src, net::Ipv6Address{}, seed);
+  // Mutable words: source port (40), checksum (46).
+  t.l4_acc_ = l4_base_acc(t.frame_, {{40, 2}, {46, 2}});
+  return t;
+}
+
+void UdpProbe::patch_probe(ProbeTemplate& tmpl, const net::Ipv6Address& src,
+                           const net::Ipv6Address& target,
+                           std::uint64_t seed) const {
+  if (!tmpl.valid()) tmpl = make_template(src, seed);
+  pkt::Bytes& f = tmpl.frame_;
+  const std::uint16_t sport = static_cast<std::uint16_t>(
+      0xc000 | (probe_tag16(target, seed, 5) & 0x3fff));
+  write_be16(f, 40, sport);
+  const std::uint32_t acc = net::checksum_fold(patch_dst(f, target) +
+                                               tmpl.l4_acc_) +
+                            sport;
+  const std::uint16_t csum = net::checksum_finish(acc);
+  // RFC 8200 §8.1: a computed zero is transmitted as all-ones.
+  write_be16(f, 46, csum == 0 ? 0xffff : csum);
 }
 
 std::optional<ProbeResponse> UdpProbe::classify(const pkt::Bytes& packet,

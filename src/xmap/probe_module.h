@@ -50,6 +50,38 @@ struct ProbeResponse {
   std::uint8_t hop_limit = 0;  // received hop limit (distance signal)
 };
 
+// A worker-cached probe frame: built once per scan via make_template(),
+// then re-aimed per target by patch_probe(), which rewrites only the
+// destination address and the keyed validation fields (ident/seq, ports,
+// TCP sequence — XMap's flow-label/payload-cookie analogues) and rebuilds
+// the upper-layer checksum incrementally from a precomputed partial sum.
+// The patched frame is byte-identical to what make_probe() would build
+// from scratch.
+class ProbeTemplate {
+ public:
+  ProbeTemplate() = default;
+
+  [[nodiscard]] const pkt::Bytes& frame() const { return frame_; }
+  [[nodiscard]] bool valid() const { return !frame_.empty(); }
+
+ private:
+  friend class ProbeModule;
+  friend class IcmpEchoProbe;
+  friend class TcpSynProbe;
+  friend class UdpProbe;
+
+  pkt::Bytes frame_;
+  // Folded ones-complement sum of the checksum coverage (pseudo-header +
+  // L4) with every per-target word — destination address, keyed fields,
+  // checksum itself — taken as zero. The ones-complement sum is
+  // order-independent, so a patch only adds the new destination and keyed
+  // words to this base; the old values never need to be read back. Kept
+  // pre-complement and unmapped (UDP transmits a computed 0 as 0xffff,
+  // RFC 8200 §8.1), the per-patch cost is one 16-byte accumulate plus a
+  // handful of word adds.
+  std::uint32_t l4_acc_ = 0;
+};
+
 class ProbeModule {
  public:
   virtual ~ProbeModule() = default;
@@ -60,6 +92,20 @@ class ProbeModule {
   [[nodiscard]] virtual pkt::Bytes make_probe(const net::Ipv6Address& src,
                                               const net::Ipv6Address& target,
                                               std::uint64_t seed) const = 0;
+
+  // Builds the reusable frame for the scan hot path. The default
+  // implementation (and any custom module that doesn't override
+  // patch_probe) falls back to a full rebuild per target, so modules stay
+  // correct without opting in.
+  [[nodiscard]] virtual ProbeTemplate make_template(
+      const net::Ipv6Address& src, std::uint64_t seed) const;
+
+  // Re-aims `tmpl` at `target` in place. Postcondition: tmpl.frame() ==
+  // make_probe(src, target, seed) for the src/seed the template was built
+  // with (asserted by tests/xmap/probe_template_test.cc).
+  virtual void patch_probe(ProbeTemplate& tmpl, const net::Ipv6Address& src,
+                           const net::Ipv6Address& target,
+                           std::uint64_t seed) const;
 
   // Validates and classifies an inbound packet. nullopt = not a response to
   // this scan (wrong protocol, failed validation, stray traffic).
@@ -80,6 +126,11 @@ class IcmpEchoProbe final : public ProbeModule {
   [[nodiscard]] pkt::Bytes make_probe(const net::Ipv6Address& src,
                                       const net::Ipv6Address& target,
                                       std::uint64_t seed) const override;
+  [[nodiscard]] ProbeTemplate make_template(const net::Ipv6Address& src,
+                                            std::uint64_t seed) const override;
+  void patch_probe(ProbeTemplate& tmpl, const net::Ipv6Address& src,
+                   const net::Ipv6Address& target,
+                   std::uint64_t seed) const override;
   [[nodiscard]] std::optional<ProbeResponse> classify(
       const pkt::Bytes& packet, const net::Ipv6Address& src,
       std::uint64_t seed) const override;
@@ -99,6 +150,11 @@ class TcpSynProbe final : public ProbeModule {
   [[nodiscard]] pkt::Bytes make_probe(const net::Ipv6Address& src,
                                       const net::Ipv6Address& target,
                                       std::uint64_t seed) const override;
+  [[nodiscard]] ProbeTemplate make_template(const net::Ipv6Address& src,
+                                            std::uint64_t seed) const override;
+  void patch_probe(ProbeTemplate& tmpl, const net::Ipv6Address& src,
+                   const net::Ipv6Address& target,
+                   std::uint64_t seed) const override;
   [[nodiscard]] std::optional<ProbeResponse> classify(
       const pkt::Bytes& packet, const net::Ipv6Address& src,
       std::uint64_t seed) const override;
@@ -119,6 +175,11 @@ class UdpProbe final : public ProbeModule {
   [[nodiscard]] pkt::Bytes make_probe(const net::Ipv6Address& src,
                                       const net::Ipv6Address& target,
                                       std::uint64_t seed) const override;
+  [[nodiscard]] ProbeTemplate make_template(const net::Ipv6Address& src,
+                                            std::uint64_t seed) const override;
+  void patch_probe(ProbeTemplate& tmpl, const net::Ipv6Address& src,
+                   const net::Ipv6Address& target,
+                   std::uint64_t seed) const override;
   [[nodiscard]] std::optional<ProbeResponse> classify(
       const pkt::Bytes& packet, const net::Ipv6Address& src,
       std::uint64_t seed) const override;

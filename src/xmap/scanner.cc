@@ -71,6 +71,12 @@ const std::vector<std::uint64_t> kRttBoundsNs = {
 // two sim-seconds is conservatively past all of them.
 constexpr sim::SimTime kStableHorizonNs = 2 * sim::kSecond;
 
+// Fresh targets drawn per schedule_fresh() dispatch on the deterministic
+// path. Send times are pure slot functions, so pulling permutation draws in
+// blocks changes only how often the generate stage runs — not one wire
+// byte. Budget/shutdown checks stay per-draw inside next_target().
+constexpr std::uint64_t kFreshBatch = 256;
+
 }  // namespace
 
 std::uint64_t compute_budget_cut(const std::vector<TargetSpec>& targets,
@@ -197,6 +203,11 @@ void SimChannelScanner::start() {
   window_end_ = network()->now() + sim::kSecond / 2;
   next_fresh_at_ = network()->now();
 
+  // One frame build per scan; send_copy re-aims it per target.
+  if (!config_.legacy_hot_path) {
+    template_ = module_.make_template(config_.source, config_.seed);
+  }
+
   stats_.first_send = network()->now();
   network()->loop().schedule_after(0, [this] { schedule_fresh(); });
 }
@@ -247,9 +258,8 @@ bool SimChannelScanner::next_target(net::Ipv6Address& out,
   return false;
 }
 
-void SimChannelScanner::schedule_fresh() {
-  obs::ScopedStageTimer timer{profile_, obs::Stage::kGenerate};
-
+bool SimChannelScanner::draw_fresh(net::Ipv6Address& out,
+                                   std::uint64_t& raw_slot) {
   // Scan-level lifecycle events are stamped with the target's packet-slot
   // time — a pure function of (seed, targets, rate, retries) — rather than
   // the load-dependent moment this function happens to run, so the trace
@@ -259,14 +269,11 @@ void SimChannelScanner::schedule_fresh() {
         raw * static_cast<std::uint64_t>(copies_) * gap_ns_);
   };
 
-  net::Ipv6Address target;
-  std::uint64_t raw_slot = 0;
   bool have = false;
   // Skip blocklisted targets; their slots stay empty (the schedule is a
   // pure function of the permutation, not of the blocklist).
-  while (next_target(target, raw_slot)) {
-    if (config_.blocklist != nullptr &&
-        !config_.blocklist->permitted(target)) {
+  while (next_target(out, raw_slot)) {
+    if (config_.blocklist != nullptr && !config_.blocklist->permitted(out)) {
       ++stats_.blocked;
       bump(cells_.blocked);
       if (progress_ != nullptr) {
@@ -278,7 +285,7 @@ void SimChannelScanner::schedule_fresh() {
         e.name = "target_blocked";
         e.cat = "scan";
         e.addr1_key = "target";
-        e.addr1 = target;
+        e.addr1 = out;
         trace_->add(e);
       }
       continue;
@@ -286,29 +293,38 @@ void SimChannelScanner::schedule_fresh() {
     have = true;
     break;
   }
-  if (have && trace_ != nullptr && trace_->at(obs::TraceLevel::kScan)) {
+  if (!have) return false;
+  if (trace_ != nullptr && trace_->at(obs::TraceLevel::kScan)) {
     obs::TraceEvent e;
     e.ts = slot_time(raw_slot);
     e.name = "target_generated";
     e.cat = "scan";
     e.addr1_key = "target";
-    e.addr1 = target;
+    e.addr1 = out;
     e.i0 = {"raw_slot", raw_slot};
     trace_->add(e);
   }
-  if (!have) {
-    fresh_done_ = true;
-    maybe_finish_sending();
-    return;
-  }
-  if (track_slots_) slot_by_addr_.emplace(addr_key(target), raw_slot);
+  if (track_slots_) slot_by_addr_.emplace(addr_key(out), raw_slot);
   if (checkpoint_hook_ && checkpoint_every_ != 0 && !config_.adaptive_rate &&
       ++targets_since_checkpoint_ >= checkpoint_every_) {
     targets_since_checkpoint_ = 0;
     checkpoint_hook_(stable_cursor());
   }
+  return true;
+}
+
+void SimChannelScanner::schedule_fresh() {
+  obs::ScopedStageTimer timer{profile_, obs::Stage::kGenerate};
+
+  net::Ipv6Address target;
+  std::uint64_t raw_slot = 0;
 
   if (config_.adaptive_rate) {
+    if (!draw_fresh(target, raw_slot)) {
+      fresh_done_ = true;
+      maybe_finish_sending();
+      return;
+    }
     // Load-driven pacing: fresh probes are spaced (1+retries) slots of the
     // *current* rate apart; retransmits ride at fixed offsets after their
     // fresh copy. Aggregate stays below current_pps_.
@@ -334,19 +350,32 @@ void SimChannelScanner::schedule_fresh() {
 
   // Deterministic slot pacing: every copy owns one global packet slot, so
   // send times depend only on (seed, targets, rate, retries) — never on
-  // shard count or thread count.
-  const std::uint64_t period = raw_slot * static_cast<std::uint64_t>(copies_);
-  for (int c = 0; c < copies_; ++c) {
-    ++pending_sends_;
-    const std::uint64_t slot =
-        period + static_cast<std::uint64_t>(c) *
-                     (spacing_periods_ * static_cast<std::uint64_t>(copies_) +
-                      1);
-    const sim::SimTime tc = slot * gap_ns_;
-    network()->loop().schedule_at(tc, [this, target, c] {
-      send_copy(target, c);
-      if (c == 0) schedule_fresh();
-    });
+  // shard count or thread count. Draws come in blocks; the next block is
+  // armed on the last target's copy-0 send.
+  const std::uint64_t batch = config_.legacy_hot_path ? 1 : kFreshBatch;
+  for (std::uint64_t b = 0; b < batch; ++b) {
+    if (!draw_fresh(target, raw_slot)) {
+      fresh_done_ = true;
+      maybe_finish_sending();
+      return;
+    }
+    const bool last = b == batch - 1;
+    const std::uint64_t period =
+        raw_slot * static_cast<std::uint64_t>(copies_);
+    for (int c = 0; c < copies_; ++c) {
+      ++pending_sends_;
+      const std::uint64_t slot =
+          period + static_cast<std::uint64_t>(c) *
+                       (spacing_periods_ *
+                            static_cast<std::uint64_t>(copies_) +
+                        1);
+      const sim::SimTime tc = slot * gap_ns_;
+      const bool rearm = last && c == 0;
+      network()->loop().schedule_at(tc, [this, target, c, rearm] {
+        send_copy(target, c);
+        if (rearm) schedule_fresh();
+      });
+    }
   }
 }
 
@@ -416,7 +445,15 @@ ScanCursor SimChannelScanner::stable_cursor() const {
 void SimChannelScanner::send_copy(const net::Ipv6Address& target, int copy) {
   obs::ScopedStageTimer timer{profile_, obs::Stage::kSend};
   --pending_sends_;
-  pkt::Bytes probe = module_.make_probe(config_.source, target, config_.seed);
+  pkt::Bytes probe;
+  if (config_.legacy_hot_path) {
+    probe = module_.make_probe(config_.source, target, config_.seed);
+  } else {
+    // Re-aim the cached frame: patch dst + keyed fields, incremental
+    // checksum. The copy below recycles a pool block.
+    module_.patch_probe(template_, config_.source, target, config_.seed);
+    probe = template_.frame();
+  }
   if (trace_ != nullptr) {
     if (trace_->at(obs::TraceLevel::kPacket)) {
       obs::TraceEvent e;

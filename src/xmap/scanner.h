@@ -84,6 +84,11 @@ struct ScanConfig {
   // Send times become load-dependent, so this intentionally trades the
   // cross-thread-count byte-identical guarantee for resilience.
   bool adaptive_rate = false;
+  // Escape hatch (and benchmark baseline): rebuild every probe from
+  // scratch with make_probe() and draw fresh targets one at a time,
+  // instead of the template-patching, block-batched hot path. Output is
+  // byte-identical either way.
+  bool legacy_hot_path = false;
 };
 
 // A worker's resumable permutation position. spec_steps[i] is the number
@@ -193,7 +198,14 @@ class SimChannelScanner : public sim::Node {
   // shutdown was requested (the un-drawn frontier stays intact for
   // cursor()).
   bool next_target(net::Ipv6Address& out, std::uint64_t& raw_slot);
-  // Draws one fresh target and schedules all of its copies; re-arms itself.
+  // Draws the next permitted (non-blocklisted) target, emitting the
+  // generate/blocked bookkeeping; false when the scan is out of fresh
+  // targets.
+  bool draw_fresh(net::Ipv6Address& out, std::uint64_t& raw_slot);
+  // Draws fresh targets and schedules all of their copies; re-arms itself.
+  // The deterministic-pacing path pulls a block of kFreshBatch permutation
+  // draws per invocation (send times are pure slot functions, so batching
+  // is invisible on the wire); adaptive_rate draws one at a time.
   void schedule_fresh();
   void send_copy(const net::Ipv6Address& target, int copy);
   void maybe_finish_sending();
@@ -205,6 +217,10 @@ class SimChannelScanner : public sim::Node {
   const ProbeModule& module_;
   SlottedResponseCallback callback_;
   int iface_ = 0;
+
+  // Cached probe frame, re-aimed per target by ProbeModule::patch_probe
+  // (built in start() unless legacy_hot_path).
+  ProbeTemplate template_;
 
   // Permutation state: one group+iterator per target spec. `raw_base` is
   // the spec's first global raw-cycle slot: the sum of (p-1) over all
@@ -237,7 +253,9 @@ class SimChannelScanner : public sim::Node {
   sim::SimTime next_fresh_at_ = 0;
 
   // Duplicate detection: keyed hashes of every validated response.
-  std::unordered_set<std::uint64_t> seen_responses_;
+  // Pool-backed (like the maps below): node and bucket allocations recycle
+  // through the thread-local BytePool instead of the global heap.
+  net::PoolSet<std::uint64_t> seen_responses_;
 
   // Observability (all optional; null = off, hooks cost one branch).
   obs::TraceBuffer* trace_ = nullptr;
@@ -259,7 +277,7 @@ class SimChannelScanner : public sim::Node {
   // First-copy send time per probed address, for the RTT histogram and
   // response_validated spans; populated only when either consumer is on.
   bool track_rtt_ = false;
-  std::unordered_map<std::uint64_t, sim::SimTime> first_send_;
+  net::PoolMap<std::uint64_t, sim::SimTime> first_send_;
 
   std::uint64_t pending_sends_ = 0;  // copies scheduled but not yet fired
   sim::SimTime recv_deadline_ = ~sim::SimTime{0};
@@ -267,7 +285,7 @@ class SimChannelScanner : public sim::Node {
   // Probe provenance for slotted callbacks: addr-key -> raw slot of the
   // drawn target (populated only when a slotted callback is installed).
   bool track_slots_ = false;
-  std::unordered_map<std::uint64_t, std::uint64_t> slot_by_addr_;
+  net::PoolMap<std::uint64_t, std::uint64_t> slot_by_addr_;
 
   // Periodic checkpointing.
   std::uint64_t checkpoint_every_ = 0;

@@ -15,8 +15,8 @@
 namespace xmap {
 namespace {
 
-std::vector<std::uint8_t> random_bytes(net::Rng& rng, std::size_t max_len) {
-  std::vector<std::uint8_t> out(rng.uniform(max_len + 1));
+pkt::Bytes random_bytes(net::Rng& rng, std::size_t max_len) {
+  pkt::Bytes out(rng.uniform(max_len + 1));
   for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
   return out;
 }

@@ -1,0 +1,91 @@
+// The probe-template contract: for every module, a frame re-aimed with
+// patch_probe() must be byte-identical to a from-scratch make_probe()
+// build — destination, keyed validation fields and incrementally updated
+// checksums included. This is what licenses the scanner to skip the full
+// packet build per send.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "netbase/random.h"
+#include "xmap/probe_module.h"
+
+namespace xmap::scan {
+namespace {
+
+using net::Ipv6Address;
+
+const Ipv6Address kSrc = *Ipv6Address::parse("2001:500::1");
+constexpr std::uint64_t kSeed = 0x5eed'f00d;
+
+Ipv6Address random_addr(net::Rng& rng) {
+  return Ipv6Address::from_value(net::Uint128{rng.next(), rng.next()});
+}
+
+void expect_patched_equals_built(const ProbeModule& module) {
+  net::Rng rng{0xabcd};
+  ProbeTemplate tmpl = module.make_template(kSrc, kSeed);
+  for (int i = 0; i < 512; ++i) {
+    const Ipv6Address target = random_addr(rng);
+    module.patch_probe(tmpl, kSrc, target, kSeed);
+    const pkt::Bytes built = module.make_probe(kSrc, target, kSeed);
+    ASSERT_EQ(tmpl.frame(), built)
+        << module.name() << " diverged at iteration " << i;
+  }
+}
+
+TEST(ProbeTemplate, IcmpEchoPatchMatchesFullBuild) {
+  expect_patched_equals_built(IcmpEchoProbe{64});
+  expect_patched_equals_built(IcmpEchoProbe{255});
+}
+
+TEST(ProbeTemplate, TcpSynPatchMatchesFullBuild) {
+  expect_patched_equals_built(TcpSynProbe{80});
+  expect_patched_equals_built(TcpSynProbe{443});
+}
+
+TEST(ProbeTemplate, UdpPatchMatchesFullBuild) {
+  expect_patched_equals_built(UdpProbe{53, {0x12, 0x34, 0x00, 0xff}, "udp_t"});
+  // Empty payload: the UDP datagram is header-only and the checksum skews
+  // towards the 0x0000/0xffff wire-mapping edge.
+  expect_patched_equals_built(UdpProbe{123, {}, "udp_empty"});
+}
+
+TEST(ProbeTemplate, RepatchingTheSameTargetIsStable) {
+  IcmpEchoProbe module{64};
+  net::Rng rng{99};
+  ProbeTemplate tmpl = module.make_template(kSrc, kSeed);
+  const Ipv6Address a = random_addr(rng);
+  const Ipv6Address b = random_addr(rng);
+  module.patch_probe(tmpl, kSrc, a, kSeed);
+  const pkt::Bytes first = tmpl.frame();
+  module.patch_probe(tmpl, kSrc, b, kSeed);
+  module.patch_probe(tmpl, kSrc, a, kSeed);
+  EXPECT_EQ(tmpl.frame(), first);
+}
+
+// A module that does not override the template hooks must still produce
+// correct frames through the default full-rebuild fallback.
+class MinimalModule final : public ProbeModule {
+ public:
+  [[nodiscard]] std::string name() const override { return "minimal"; }
+  [[nodiscard]] pkt::Bytes make_probe(const Ipv6Address& src,
+                                      const Ipv6Address& target,
+                                      std::uint64_t seed) const override {
+    return pkt::build_echo_request(src, target, 32,
+                                   probe_tag16(target, seed, 1),
+                                   probe_tag16(target, seed, 2));
+  }
+  [[nodiscard]] std::optional<ProbeResponse> classify(
+      const pkt::Bytes&, const Ipv6Address&,
+      std::uint64_t) const override {
+    return std::nullopt;
+  }
+};
+
+TEST(ProbeTemplate, DefaultFallbackRebuildsPerTarget) {
+  expect_patched_equals_built(MinimalModule{});
+}
+
+}  // namespace
+}  // namespace xmap::scan
