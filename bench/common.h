@@ -50,8 +50,10 @@ class BenchJson {
       const Row& r = rows_[i];
       std::fprintf(f,
                    "    {\"metric\": \"%s\", \"value\": %.17g, "
-                   "\"unit\": \"%s\", \"higher_is_better\": %s}%s\n",
+                   "\"unit\": \"%s\", \"direction\": \"%s\", "
+                   "\"higher_is_better\": %s}%s\n",
                    r.metric.c_str(), r.value, r.unit.c_str(),
+                   r.higher_is_better ? "higher" : "lower",
                    r.higher_is_better ? "true" : "false",
                    i + 1 < rows_.size() ? "," : "");
     }

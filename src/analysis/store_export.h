@@ -1,0 +1,46 @@
+// Bridges scan output into the results store (src/store).
+//
+// Two producers feed store files:
+//  * xmap_sim --store-file: the raw merged record stream (one ProbeResponse
+//    per response) plus the world's geo/vendor attribution — add_response()
+//    per record, geo via fill_geo(). StoreBuilder's order-independent merge
+//    makes the file byte-identical across --threads values.
+//  * analysis pipelines: export_store() folds a DiscoveryResult (and
+//    optionally the loop scan and service grabs) into one snapshot, so the
+//    paper's tables can be computed as store queries (store::aggregate)
+//    instead of bespoke passes over flat records.
+#pragma once
+
+#include <span>
+
+#include "analysis/pipeline.h"
+#include "recover/state.h"
+#include "store/writer.h"
+
+namespace xmap::ana {
+
+// Copies the world's GeoDb into the builder's attribution section.
+void fill_geo(store::StoreBuilder& builder, const topo::GeoDb& geo);
+
+// Adds one response-stream record: responses = 1 (duplicates merge), loop
+// candidacy from a Time Exceeded kind, vendor from the EUI-64 OUI.
+void add_response(store::StoreBuilder& builder, const scan::ProbeResponse& r,
+                  std::uint64_t when_us, const topo::OuiDb& oui);
+
+// The identity stamped into FileHeader::config_fingerprint: a content hash
+// of every Fingerprint field that changes which packets go on the wire.
+// Thread count and output format are deliberately excluded — the same scan
+// at --threads 1 and 8 is the same scan (and must produce identical
+// bytes).
+[[nodiscard]] std::uint64_t scan_config_fingerprint(
+    const recover::Fingerprint& fp);
+
+// Folds analysis results into a ready-to-serialize builder: discovery last
+// hops (aliased responders flagged), loop-scan candidates/confirmations,
+// alive services from the grab pass, geo + vendor attribution from the
+// world.
+[[nodiscard]] store::StoreBuilder export_store(
+    const DiscoveryResult& discovery, const LoopScanResult* loops,
+    std::span<const GrabResult> grabs, const topo::BuiltInternet& internet);
+
+}  // namespace xmap::ana

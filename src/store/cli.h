@@ -1,0 +1,25 @@
+// Command surface of the xmap_store tool, exposed as a function so tests
+// can drive it in-process (tools/xmap_store.cc is a two-line wrapper).
+//
+// Commands:
+//   info FILE                      header / section summary
+//   verify FILE                    full validation (load already validates;
+//                                  this just reports the verdict)
+//   query FILE ADDR|PREFIX         point lookup or in-order prefix listing
+//   agg FILE asn|country|vendor|service [PREFIX]   grouped counts
+//   summary FILE                   paper-style periphery summary
+//   diff BEFORE AFTER              added/removed/changed between snapshots
+//   bench FILE [--threads N] [--lookups M] [--seed S]   query-load run
+//
+// Exit codes follow the repo convention: 0 ok, 2 config/IO error (bad
+// usage, unloadable store).
+#pragma once
+
+#include <ostream>
+
+namespace xmap::store {
+
+[[nodiscard]] int store_cli_main(int argc, const char* const* argv,
+                                 std::ostream& out, std::ostream& err);
+
+}  // namespace xmap::store

@@ -1,0 +1,53 @@
+#include "store/diff.h"
+
+namespace xmap::store {
+
+DiffStats diff(const Snapshot& before, const Snapshot& after,
+               const std::function<void(const DiffEntry&)>& sink) {
+  DiffStats stats;
+  Snapshot::Cursor ca{before};
+  Snapshot::Cursor cb{after};
+  Record a, b;
+  bool have_a = ca.next(&a);
+  bool have_b = cb.next(&b);
+  auto emit = [&](DiffKind kind, const Record& bef, const Record& aft) {
+    if (sink) {
+      DiffEntry e;
+      e.kind = kind;
+      e.before = bef;
+      e.after = aft;
+      sink(e);
+    }
+  };
+  while (have_a || have_b) {
+    if (!have_b || (have_a && a.key < b.key)) {
+      ++stats.removed;
+      emit(DiffKind::kRemoved, a, Record{});
+      have_a = ca.next(&a);
+    } else if (!have_a || b.key < a.key) {
+      ++stats.added;
+      emit(DiffKind::kAdded, Record{}, b);
+      have_b = cb.next(&b);
+    } else {
+      // Same key: compare payloads. Vendor ids index per-file tables, so
+      // equality must go through the names, not the raw ids.
+      Record an = a, bn = b;
+      an.vendor = 0;
+      bn.vendor = 0;
+      const bool same =
+          an == bn &&
+          before.vendor_name(a.vendor) == after.vendor_name(b.vendor);
+      if (same) {
+        ++stats.unchanged;
+      } else {
+        ++stats.changed;
+        emit(DiffKind::kChanged, a, b);
+      }
+      have_a = ca.next(&a);
+      have_b = cb.next(&b);
+    }
+  }
+  return stats;
+}
+
+}  // namespace xmap::store

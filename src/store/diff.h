@@ -1,0 +1,49 @@
+// Snapshot diff: what changed between two scans of the same space.
+//
+// A single merge walk over both stores' sorted record streams (Cursors, no
+// materialisation) classifies every key as added (only in B), removed
+// (only in A), changed (both, unequal payload) or unchanged. This is the
+// longitudinal primitive the paper's periphery study implies — churn
+// between scan rounds — exposed as `xmap_store diff A B`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "store/snapshot.h"
+
+namespace xmap::store {
+
+enum class DiffKind : std::uint8_t { kAdded, kRemoved, kChanged };
+
+[[nodiscard]] constexpr const char* to_string(DiffKind k) {
+  switch (k) {
+    case DiffKind::kAdded: return "added";
+    case DiffKind::kRemoved: return "removed";
+    case DiffKind::kChanged: return "changed";
+  }
+  return "?";
+}
+
+struct DiffEntry {
+  DiffKind kind = DiffKind::kAdded;
+  Record before;  // valid for kRemoved / kChanged
+  Record after;   // valid for kAdded / kChanged
+};
+
+struct DiffStats {
+  std::uint64_t added = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t changed = 0;
+  std::uint64_t unchanged = 0;
+
+  friend bool operator==(const DiffStats&, const DiffStats&) = default;
+};
+
+// Walks A (before) and B (after) in key order; calls `sink` for every
+// non-identical key when non-null. Entries arrive in ascending key order.
+[[nodiscard]] DiffStats diff(
+    const Snapshot& before, const Snapshot& after,
+    const std::function<void(const DiffEntry&)>& sink = nullptr);
+
+}  // namespace xmap::store

@@ -1,0 +1,113 @@
+#include "store/query.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "services/service.h"
+
+namespace xmap::store {
+
+namespace {
+
+[[nodiscard]] std::string asn_key(const GeoEntry* geo) {
+  if (geo == nullptr) return "unattributed";
+  std::string key = "AS" + std::to_string(geo->asn);
+  if (!geo->as_name.empty()) key += " " + geo->as_name;
+  return key;
+}
+
+[[nodiscard]] std::string country_key(const GeoEntry* geo) {
+  if (geo == nullptr) return "--";
+  return std::string{geo->country[0]} + geo->country[1];
+}
+
+void accumulate(AggRow& row, const Record& r) {
+  ++row.records;
+  row.responses += r.responses;
+  if ((r.flags & kFlagLoopCandidate) != 0) ++row.loop_candidates;
+  if ((r.flags & kFlagLoopConfirmed) != 0) ++row.loop_confirmed;
+}
+
+template <typename Visit>
+[[nodiscard]] std::vector<AggRow> aggregate_impl(const Snapshot& snap,
+                                                 GroupBy by, Visit&& visit) {
+  std::map<std::string, AggRow> groups;
+  auto bump = [&](std::string key, const Record& r) {
+    AggRow& row = groups[key];
+    if (row.key.empty()) row.key = std::move(key);
+    accumulate(row, r);
+  };
+  visit([&](const Record& r) {
+    switch (by) {
+      case GroupBy::kAsn:
+        bump(asn_key(snap.attribute(r.key)), r);
+        break;
+      case GroupBy::kCountry:
+        bump(country_key(snap.attribute(r.key)), r);
+        break;
+      case GroupBy::kVendor: {
+        const std::string_view name = snap.vendor_name(r.vendor);
+        bump(name.empty() ? std::string{"unknown"} : std::string{name}, r);
+        break;
+      }
+      case GroupBy::kService:
+        for (int bit = 0; bit < svc::kServiceCount; ++bit) {
+          if ((r.services >> bit) & 1) {
+            bump(svc::service_name(static_cast<svc::ServiceKind>(bit)), r);
+          }
+        }
+        break;
+    }
+  });
+  std::vector<AggRow> rows;
+  rows.reserve(groups.size());
+  for (auto& [key, row] : groups) rows.push_back(std::move(row));
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const AggRow& a, const AggRow& b) {
+                     if (a.records != b.records) return a.records > b.records;
+                     return a.key < b.key;
+                   });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<AggRow> aggregate(const Snapshot& snap, GroupBy by) {
+  return aggregate_impl(snap, by,
+                        [&](auto&& fn) { snap.for_each(fn); });
+}
+
+std::vector<AggRow> aggregate_prefix(const Snapshot& snap,
+                                     const net::Ipv6Prefix& prefix,
+                                     GroupBy by) {
+  return aggregate_impl(snap, by,
+                        [&](auto&& fn) { snap.scan_prefix(prefix, fn); });
+}
+
+PeripherySummary summarize(const Snapshot& snap) {
+  PeripherySummary s;
+  std::set<std::uint32_t> asns, loop_asns;
+  std::set<std::string> countries, loop_countries;
+  snap.for_each([&](const Record& r) {
+    ++s.records;
+    const bool loop = (r.flags & kFlagLoopCandidate) != 0;
+    if (loop) ++s.loop_candidates;
+    if ((r.flags & kFlagLoopConfirmed) != 0) ++s.loop_confirmed;
+    if (const GeoEntry* geo = snap.attribute(r.key)) {
+      asns.insert(geo->asn);
+      countries.insert(country_key(geo));
+      if (loop) {
+        loop_asns.insert(geo->asn);
+        loop_countries.insert(country_key(geo));
+      }
+    }
+  });
+  s.asns = asns.size();
+  s.countries = countries.size();
+  s.loop_asns = loop_asns.size();
+  s.loop_countries = loop_countries.size();
+  return s;
+}
+
+}  // namespace xmap::store

@@ -1,0 +1,73 @@
+// Aggregation queries over a loaded snapshot.
+//
+// These are the store-backed forms of the paper's periphery breakdowns:
+// group the record set by ASN, country, vendor or alive service and count
+// peripheries / loop candidates / confirmed loops per group (Tables IX-XII
+// become one aggregate() call each). ASN and country come from the
+// snapshot's compiled LC-trie (one longest-prefix match per record);
+// vendor and service come from the record itself. Row order is
+// deterministic: descending record count, then key — independent of how
+// the store was produced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+
+namespace xmap::store {
+
+enum class GroupBy : std::uint8_t { kAsn, kCountry, kVendor, kService };
+
+[[nodiscard]] constexpr const char* to_string(GroupBy g) {
+  switch (g) {
+    case GroupBy::kAsn: return "asn";
+    case GroupBy::kCountry: return "country";
+    case GroupBy::kVendor: return "vendor";
+    case GroupBy::kService: return "service";
+  }
+  return "?";
+}
+
+// One output row. `key` is the group label: "AS<n>"/AS name for kAsn, the
+// two-letter code for kCountry, the vendor-table name for kVendor (""
+// renders as "unknown"), the svc::service_name for kService.
+struct AggRow {
+  std::string key;
+  std::uint64_t records = 0;          // peripheries in the group
+  std::uint64_t loop_candidates = 0;  // kFlagLoopCandidate set
+  std::uint64_t loop_confirmed = 0;   // kFlagLoopConfirmed set
+  std::uint64_t responses = 0;        // summed response counts
+
+  friend bool operator==(const AggRow&, const AggRow&) = default;
+};
+
+// Full-store aggregation. Under kService a record with k service bits set
+// contributes to k rows; under the other groupings each record lands in
+// exactly one row ("unattributed"/"unknown" when the trie or vendor table
+// has nothing for it).
+[[nodiscard]] std::vector<AggRow> aggregate(const Snapshot& snap, GroupBy by);
+
+// Same aggregation restricted to keys inside `prefix`.
+[[nodiscard]] std::vector<AggRow> aggregate_prefix(
+    const Snapshot& snap, const net::Ipv6Prefix& prefix, GroupBy by);
+
+// The headline numbers of the paper's periphery table: totals and the
+// distinct-ASN / distinct-country footprint, overall and loop-only.
+struct PeripherySummary {
+  std::uint64_t records = 0;
+  std::uint64_t loop_candidates = 0;
+  std::uint64_t loop_confirmed = 0;
+  std::uint64_t asns = 0;
+  std::uint64_t countries = 0;
+  std::uint64_t loop_asns = 0;       // ASNs with >= 1 loop candidate
+  std::uint64_t loop_countries = 0;  // countries with >= 1 loop candidate
+
+  friend bool operator==(const PeripherySummary&,
+                         const PeripherySummary&) = default;
+};
+
+[[nodiscard]] PeripherySummary summarize(const Snapshot& snap);
+
+}  // namespace xmap::store

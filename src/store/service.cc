@@ -1,0 +1,131 @@
+#include "store/service.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace xmap::store {
+
+namespace {
+
+// splitmix64: deterministic, seedable, no <random> machinery.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Latency buckets for one 256-lookup batch, in nanoseconds.
+[[nodiscard]] std::vector<std::uint64_t> latency_bounds() {
+  return {1'000,     4'000,      16'000,     64'000,
+          256'000,   1'000'000,  4'000'000,  16'000'000};
+}
+
+}  // namespace
+
+QueryLoadResult run_query_load(const Snapshot& snap,
+                               const QueryLoadOptions& options) {
+  const int threads = options.threads < 1 ? 1 : options.threads;
+  const std::uint64_t per_thread =
+      options.lookups_per_thread < 1 ? 1 : options.lookups_per_thread;
+
+  // Pool of present keys, sampled by stride so it spans the whole file.
+  std::vector<net::Ipv6Address> present;
+  {
+    const std::uint64_t want = 65'536;
+    const std::uint64_t stride =
+        snap.record_count() > want ? snap.record_count() / want : 1;
+    std::uint64_t i = 0;
+    snap.for_each([&](const Record& r) {
+      if (i++ % stride == 0) present.push_back(r.key);
+    });
+  }
+
+  // Per-thread key streams, fully materialised before the clock starts so
+  // the measured loop touches nothing but the snapshot and the stream.
+  std::vector<std::vector<net::Ipv6Address>> streams(
+      static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    std::uint64_t rng = options.seed * 0x9e3779b97f4a7c15ULL +
+                        static_cast<std::uint64_t>(t) + 1;
+    auto& stream = streams[static_cast<std::size_t>(t)];
+    stream.reserve(per_thread);
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      const std::uint64_t r = mix64(rng);
+      if (!present.empty() &&
+          static_cast<int>(r & 0xff) < options.hit_mix) {
+        stream.push_back(present[(r >> 8) % present.size()]);
+      } else {
+        stream.push_back(net::Ipv6Address::from_value(
+            net::Uint128{mix64(rng), mix64(rng)}));
+      }
+    }
+  }
+
+  std::vector<obs::MetricsShard> shards(static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> hit_counts(static_cast<std::size_t>(threads), 0);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto ti = static_cast<std::size_t>(t);
+      obs::MetricsShard& shard = shards[ti];
+      // Resolve metric cells before the barrier: the measured loop is a
+      // plain pointer increment, no map lookups, no allocation. Series are
+      // unlabeled so the merged snapshot is the same no matter how many
+      // worker shards produced it (the obs sharding convention).
+      std::uint64_t* queries = shard.counter(
+          "store_queries_total", {},
+          "point lookups issued by the query-load harness");
+      std::uint64_t* hits = shard.counter(
+          "store_query_hits_total", {},
+          "point lookups that found a record");
+      obs::Histogram* batch_ns = shard.histogram(
+          "store_query_batch_ns", latency_bounds(), {},
+          "wall latency of each 256-lookup batch");
+      const std::vector<net::Ipv6Address>& stream = streams[ti];
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      Record rec;
+      std::size_t i = 0;
+      const std::size_t n = stream.size();
+      while (i < n) {
+        const std::size_t batch_end = i + 256 < n ? i + 256 : n;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (; i < batch_end; ++i) {
+          ++*queries;
+          if (snap.lookup(stream[i], &rec)) ++*hits;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        batch_ns->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      }
+      hit_counts[ti] = *hits;
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& w : workers) w.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  QueryLoadResult result;
+  result.lookups = per_thread * static_cast<std::uint64_t>(threads);
+  for (std::uint64_t h : hit_counts) result.hits += h;
+  result.seconds =
+      std::chrono::duration<double>(stop - start).count();
+  result.lookups_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.lookups) / result.seconds
+                         : 0.0;
+  std::vector<const obs::MetricsShard*> shard_ptrs;
+  shard_ptrs.reserve(shards.size());
+  for (const obs::MetricsShard& s : shards) shard_ptrs.push_back(&s);
+  result.metrics = obs::merge_shards(shard_ptrs);
+  return result;
+}
+
+}  // namespace xmap::store

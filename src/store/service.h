@@ -1,0 +1,44 @@
+// Concurrent query service harness: N reader threads hammering one shared
+// Snapshot.
+//
+// This is the serving half of the store's design claim — one immutable,
+// checksummed snapshot, LC-trie compiled once at load, then any number of
+// lock-free readers. The harness pre-samples a deterministic key stream
+// per thread (seeded splitmix64 over a pool of present keys plus synthetic
+// misses) outside the measured window, releases all threads on one
+// barrier, and runs point lookups until each thread's quota is done. Each
+// worker owns a thread-confined obs::MetricsShard (counters
+// store_queries_total / store_query_hits_total, a per-batch latency
+// histogram); shards merge deterministically after the join. The
+// steady-state loop performs zero global-heap allocations — proven by
+// tests/store/alloc_free_query_test.cc with a counting operator new.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "store/snapshot.h"
+
+namespace xmap::store {
+
+struct QueryLoadOptions {
+  int threads = 8;
+  std::uint64_t lookups_per_thread = 1'000'000;
+  std::uint64_t seed = 1;
+  // Out of 256: how often a sampled key is drawn from the store (hit) vs
+  // synthesized from raw PRNG bits (a near-certain miss).
+  int hit_mix = 192;
+};
+
+struct QueryLoadResult {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  double seconds = 0.0;           // wall time of the measured window
+  double lookups_per_sec = 0.0;   // aggregate across threads
+  obs::MetricsSnapshot metrics;   // merged worker shards
+};
+
+[[nodiscard]] QueryLoadResult run_query_load(const Snapshot& snap,
+                                             const QueryLoadOptions& options);
+
+}  // namespace xmap::store

@@ -1,0 +1,342 @@
+#include "store/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace xmap::store {
+
+namespace {
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Snapshot::~Snapshot() {
+  if (map_ != nullptr) ::munmap(map_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Snapshot::LoadResult Snapshot::load(const std::string& path) {
+  std::unique_ptr<Snapshot> snap{new Snapshot};
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return {nullptr, path + ": " + std::strerror(errno)};
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return {nullptr, path + ": fstat: " + std::strerror(err)};
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* map = size == 0
+                  ? MAP_FAILED
+                  : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    snap->fd_ = fd;
+    snap->map_ = map;
+    snap->data_ = static_cast<const char*>(map);
+    snap->size_ = size;
+  } else {
+    // mmap unavailable (exotic filesystem, zero-length file): plain read.
+    std::string bytes(size, '\0');
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::read(fd, bytes.data() + off, size - off);
+      if (n <= 0) {
+        ::close(fd);
+        return {nullptr, path + ": short read at byte " + std::to_string(off)};
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    snap->owned_ = std::move(bytes);
+    snap->data_ = snap->owned_.data();
+    snap->size_ = snap->owned_.size();
+  }
+  if (std::string err = snap->validate_and_index(); !err.empty()) {
+    return {nullptr, path + ": " + err};
+  }
+  return {std::move(snap), {}};
+}
+
+Snapshot::LoadResult Snapshot::from_buffer(std::string bytes) {
+  std::unique_ptr<Snapshot> snap{new Snapshot};
+  snap->owned_ = std::move(bytes);
+  snap->data_ = snap->owned_.data();
+  snap->size_ = snap->owned_.size();
+  if (std::string err = snap->validate_and_index(); !err.empty()) {
+    return {nullptr, "store buffer: " + err};
+  }
+  return {std::move(snap), {}};
+}
+
+std::string Snapshot::validate_and_index() {
+  // Header + version.
+  std::string err;
+  if (!parse_header(data_, size_, &header_, &err)) return err;
+  if (header_.version != kFormatVersion) {
+    return "store format version: file " + std::to_string(header_.version) +
+           ", reader supports " + std::to_string(kFormatVersion) +
+           " (rebuild the store or upgrade the reader)";
+  }
+  if (header_.block_bytes < 256) {
+    return "header block_bytes " + std::to_string(header_.block_bytes) +
+           " below the 256-byte minimum";
+  }
+
+  // Trailer first: it is the truncation sentinel, so every later check can
+  // assume the byte range [0, trailer_offset) is fully present.
+  if (size_ < kHeaderBytes + kTrailerBytes) {
+    return "truncated: file is " + std::to_string(size_) +
+           " bytes, smaller than an empty store (" +
+           std::to_string(kHeaderBytes + kTrailerBytes) + ")";
+  }
+  const char* trailer = data_ + size_ - kTrailerBytes;
+  if (std::memcmp(trailer + 16, kEndMagic, sizeof kEndMagic) != 0) {
+    return "truncated: end marker missing (file cut short or still being "
+           "written)";
+  }
+  const std::uint64_t stored_hash = get_u64(trailer);
+  const std::uint64_t stored_len = get_u64(trailer + 8);
+  if (stored_len != size_ - kTrailerBytes) {
+    return "truncated: trailer says the payload is " +
+           std::to_string(stored_len) + " bytes but the file holds " +
+           std::to_string(size_ - kTrailerBytes);
+  }
+  if (header_.trailer_offset != stored_len) {
+    return "header/trailer disagree on payload length: header " +
+           std::to_string(header_.trailer_offset) + ", trailer " +
+           std::to_string(stored_len);
+  }
+  const std::uint64_t computed_hash = fnv1a(data_, size_ - kTrailerBytes);
+  if (computed_hash != stored_hash) {
+    return "whole-file checksum mismatch: stored " + hex64(stored_hash) +
+           ", computed " + hex64(computed_hash) + " (corrupted store)";
+  }
+
+  // Section offsets must tile [header, trailer) in order.
+  const std::uint64_t want_index =
+      kHeaderBytes +
+      header_.block_count * static_cast<std::uint64_t>(header_.block_bytes);
+  if (header_.index_offset != want_index ||
+      header_.geo_offset !=
+          header_.index_offset + header_.block_count * kIndexEntryBytes ||
+      header_.geo_offset > header_.vendor_offset ||
+      header_.vendor_offset > header_.trailer_offset) {
+    return "header section offsets are inconsistent (corrupted header)";
+  }
+
+  // Block index: per-block checksums, monotone keys, count agreement.
+  index_.clear();
+  index_.reserve(header_.block_count);
+  std::uint64_t records_seen = 0;
+  for (std::uint64_t b = 0; b < header_.block_count; ++b) {
+    const BlockInfo info =
+        parse_index_entry(data_ + header_.index_offset + b * kIndexEntryBytes);
+    if (info.used_bytes > header_.block_bytes || info.record_count == 0) {
+      return "block " + std::to_string(b) + " index entry is malformed (" +
+             std::to_string(info.used_bytes) + " used bytes, " +
+             std::to_string(info.record_count) + " records)";
+    }
+    const char* block =
+        data_ + kHeaderBytes + b * static_cast<std::size_t>(header_.block_bytes);
+    const std::uint64_t sum = fnv1a(block, header_.block_bytes);
+    if (sum != info.checksum) {
+      return "block " + std::to_string(b) + " checksum mismatch: stored " +
+             hex64(info.checksum) + ", computed " + hex64(sum) +
+             " (corrupted store)";
+    }
+    if (!index_.empty() && !(index_.back().first_key < info.first_key)) {
+      return "block " + std::to_string(b) +
+             " first key is not greater than its predecessor's (store is "
+             "not sorted)";
+    }
+    records_seen += info.record_count;
+    index_.push_back(info);
+  }
+  if (records_seen != header_.record_count) {
+    return "record count mismatch: header says " +
+           std::to_string(header_.record_count) + ", block index sums to " +
+           std::to_string(records_seen);
+  }
+
+  // Full structural decode: proves every record parses and keys are strictly
+  // increasing across the whole file, so the query path never sees a decode
+  // failure. Blocks already passed their checksums, so any failure here is a
+  // writer bug rather than bit rot — still refuse to load.
+  net::Ipv6Address last_key;
+  bool have_last = false;
+  for (std::size_t b = 0; b < index_.size(); ++b) {
+    const BlockInfo& info = index_[b];
+    const char* block = block_data(b);
+    std::size_t pos = 0;
+    net::Ipv6Address prev;
+    Record r;
+    for (std::uint32_t i = 0; i < info.record_count; ++i) {
+      if (!decode_record(block, info.used_bytes, &pos, i == 0, &prev, &r)) {
+        return "block " + std::to_string(b) + " record " + std::to_string(i) +
+               " does not decode (inconsistent store)";
+      }
+      if (i == 0 && r.key != info.first_key) {
+        return "block " + std::to_string(b) +
+               " first record disagrees with the index entry";
+      }
+      if (have_last && !(last_key < r.key)) {
+        return "block " + std::to_string(b) + " record " + std::to_string(i) +
+               " is out of order (store keys must be strictly increasing)";
+      }
+      last_key = r.key;
+      have_last = true;
+      max_key_ = r.key.value();
+    }
+    if (pos != info.used_bytes) {
+      return "block " + std::to_string(b) + " has " +
+             std::to_string(info.used_bytes - pos) +
+             " trailing bytes after the last record";
+    }
+  }
+
+  // Geo section -> entries + compiled LC-trie.
+  {
+    const char* geo = data_ + header_.geo_offset;
+    const std::size_t geo_len = header_.vendor_offset - header_.geo_offset;
+    if (geo_len < 8) return "geo section is too small for its entry count";
+    const std::uint64_t count = get_u64(geo);
+    std::size_t pos = 8;
+    geo_.clear();
+    geo_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (pos + 17 > geo_len) {
+        return "geo entry " + std::to_string(i) + " overruns its section";
+      }
+      GeoEntry g;
+      std::array<std::uint8_t, 16> addr{};
+      std::memcpy(addr.data(), geo + pos, 16);
+      pos += 16;
+      const int len = static_cast<unsigned char>(geo[pos++]);
+      if (len > 128) {
+        return "geo entry " + std::to_string(i) + " has prefix length " +
+               std::to_string(len);
+      }
+      g.prefix = net::Ipv6Prefix{net::Ipv6Address{addr}, len};
+      std::uint64_t asn = 0;
+      if (!get_varint64(geo, geo_len, &pos, &asn) || asn > 0xffffffffULL) {
+        return "geo entry " + std::to_string(i) + " has a malformed ASN";
+      }
+      g.asn = static_cast<std::uint32_t>(asn);
+      if (pos + 2 > geo_len) {
+        return "geo entry " + std::to_string(i) + " overruns its section";
+      }
+      g.country = {geo[pos], geo[pos + 1]};
+      pos += 2;
+      std::uint64_t name_len = 0;
+      if (!get_varint64(geo, geo_len, &pos, &name_len) ||
+          pos + name_len > geo_len) {
+        return "geo entry " + std::to_string(i) + " has a malformed AS name";
+      }
+      g.as_name.assign(geo + pos, name_len);
+      pos += name_len;
+      geo_.push_back(std::move(g));
+    }
+    if (pos != geo_len) {
+      return "geo section has " + std::to_string(geo_len - pos) +
+             " trailing bytes";
+    }
+    for (std::size_t i = 0; i < geo_.size(); ++i) {
+      geo_trie_.insert(geo_[i].prefix, static_cast<std::uint32_t>(i));
+    }
+    // Compile now: the lazy path mutates shared state on first lookup, and
+    // snapshots are handed to concurrent readers.
+    geo_trie_.compile();
+  }
+
+  // Vendor table.
+  {
+    const char* ven = data_ + header_.vendor_offset;
+    const std::size_t ven_len = header_.trailer_offset - header_.vendor_offset;
+    if (ven_len < 4) return "vendor table is too small for its entry count";
+    const std::uint32_t count = get_u32(ven);
+    if (count > 0xffff) {
+      return "vendor table declares " + std::to_string(count) +
+             " names (limit 65535)";
+    }
+    std::size_t pos = 4;
+    vendors_.clear();
+    vendors_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint64_t len = 0;
+      if (!get_varint64(ven, ven_len, &pos, &len) || pos + len > ven_len) {
+        return "vendor name " + std::to_string(i) + " overruns its table";
+      }
+      vendors_.emplace_back(ven + pos, len);
+      pos += len;
+    }
+    if (pos != ven_len) {
+      return "vendor table has " + std::to_string(ven_len - pos) +
+             " trailing bytes";
+    }
+  }
+  return {};
+}
+
+std::string Snapshot::git_sha() const {
+  const auto& sha = header_.git_sha;
+  std::size_t n = 0;
+  while (n < sha.size() && sha[n] != '\0') ++n;
+  return std::string{sha.data(), n};
+}
+
+std::size_t Snapshot::block_floor(const net::Ipv6Address& addr) const {
+  // First block whose first_key > addr, minus one.
+  const auto it = std::upper_bound(
+      index_.begin(), index_.end(), addr,
+      [](const net::Ipv6Address& a, const BlockInfo& b) {
+        return a < b.first_key;
+      });
+  if (it == index_.begin()) return 0;
+  return static_cast<std::size_t>(it - index_.begin()) - 1;
+}
+
+bool Snapshot::lookup(const net::Ipv6Address& key, Record* out) const {
+  if (index_.empty()) return false;
+  const net::Uint128 target = key.value();
+  if (target > max_key_ || key < index_.front().first_key) return false;
+  const std::size_t b = block_floor(key);
+  const BlockInfo& info = index_[b];
+  const char* data = block_data(b);
+  // Key-only scan: decode each key, skip field bodies, and materialize the
+  // full record only on a match (load-time validation proved the block
+  // decodes, so failures here are unreachable but still bail out).
+  std::size_t pos = 0;
+  net::Uint128 k{};
+  for (std::uint32_t i = 0; i < info.record_count; ++i) {
+    if (XMAP_UNLIKELY(!decode_key(data, info.used_bytes, &pos, i == 0, &k))) {
+      return false;
+    }
+    if (k == target) {
+      out->key = key;
+      return decode_fields(data, info.used_bytes, &pos, out);
+    }
+    if (k > target) return false;  // keys are sorted: past the target
+    if (XMAP_UNLIKELY(!skip_fields(data, info.used_bytes, &pos))) {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace xmap::store

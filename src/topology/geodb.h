@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "topology/prefix_map.h"
 
@@ -30,6 +31,13 @@ class GeoDb {
   }
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  // Visits every (prefix, GeoInfo) pair in trie (prefix) order — the
+  // results store embeds the mapping as its attribution section.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each(std::forward<Fn>(fn));
+  }
 
  private:
   PrefixMap<GeoInfo> map_;

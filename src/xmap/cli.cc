@@ -139,6 +139,9 @@ Recovery (see docs/recovery.md):
 Output:
   --output-format csv|jsonl (default csv)
   --output-file <path>      default: stdout
+  --store-file <path>       also write a queryable results-store snapshot
+                            (xmap_store info/query/agg/diff); byte-identical
+                            across --threads for a fixed config
   --quiet                   suppress the stats footer
   --list-probe-modules      print module names and exit
   --help                    this text
@@ -295,6 +298,10 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       std::string value;
       if (!next_value(arg, value)) return fail("--output-file needs a value");
       opts.output_file = value;
+    } else if (arg == "--store-file") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--store-file needs a value");
+      opts.store_file = value;
     } else if (arg == "--trace-file") {
       std::string value;
       if (!next_value(arg, value)) return fail("--trace-file needs a value");

@@ -47,6 +47,10 @@ struct CliOptions {
 
   std::string output_format = "csv";  // --output-format csv|jsonl
   std::string output_file;            // --output-file (empty = stdout)
+  // Results-store snapshot (src/store): the sorted, checksummed, queryable
+  // form of the scan's records, written atomically alongside the flat
+  // output. Byte-identical for a fixed config across --threads values.
+  std::string store_file;             // --store-file (empty = off)
   bool quiet = false;                 // --quiet (suppress the stats footer)
 
   // Observability (src/obs). CLI flags override any "obs" section of a

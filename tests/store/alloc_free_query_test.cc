@@ -1,0 +1,151 @@
+// The zero-allocation contract for the store's steady-state query path:
+// once a snapshot is loaded and validated, point lookups, prefix scans and
+// trie attribution perform no global heap allocation — the serving loop
+// can run at full rate without touching the allocator. Verified by
+// replacing ::operator new with a counting shim (same method as
+// tests/sim/alloc_free_scan_test.cc) and asserting a zero delta across the
+// measured query loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "store/snapshot.h"
+#include "store/writer.h"
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  const auto a = static_cast<std::size_t>(align);
+  if (posix_memalign(&p, a < sizeof(void*) ? sizeof(void*) : a,
+                     size != 0 ? size : 1) != 0) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+}  // namespace
+
+// Replaceable global allocation functions (all throwing/nothrow/aligned
+// variants, so nothing in the binary slips past the counter).
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace xmap::store {
+namespace {
+
+using net::Ipv6Address;
+using net::Uint128;
+
+constexpr std::uint64_t kRecords = 50000;
+constexpr std::uint64_t kMultiplier = 0x9e3779b97f4a7c15ULL;
+
+Ipv6Address nth_key(std::uint64_t i) {
+  return Ipv6Address::from_value(
+      Uint128{0x2600000000000000ULL | ((i % 128) << 16), i * kMultiplier});
+}
+
+TEST(StoreAllocFreeQuery, SteadyStateQueriesNeverTouchTheHeap) {
+  // Build + load entirely outside the measured window.
+  StoreBuilder builder{1024};
+  for (std::uint64_t g = 0; g < 128; ++g) {
+    GeoEntry geo;
+    geo.prefix = net::Ipv6Prefix{
+        Ipv6Address::from_value(Uint128{0x2600000000000000ULL | (g << 16), 0}),
+        48};
+    geo.asn = static_cast<std::uint32_t>(g + 1);
+    geo.country = {'A', 'F'};
+    geo.as_name = "ALLOC-" + std::to_string(g);
+    builder.add_geo(geo);
+  }
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    Record r;
+    r.key = nth_key(i);
+    r.probe_dst = r.key;
+    r.responses = 1;
+    r.first_us = i;
+    builder.add(r);
+  }
+  auto loaded = Snapshot::from_buffer(builder.serialize());
+  ASSERT_TRUE(loaded.snapshot) << loaded.error;
+  const Snapshot& snap = *loaded.snapshot;
+
+  // Warm-up pass: exercise every query style once so any lazily-created
+  // state (there should be none — the trie compiles at load) exists
+  // before counting starts.
+  Record out;
+  ASSERT_TRUE(snap.lookup(nth_key(0), &out));
+  ASSERT_NE(snap.attribute(nth_key(0)), nullptr);
+  const net::Ipv6Prefix slice{
+      Ipv6Address::from_value(Uint128{0x2600000000000000ULL, 0}), 48};
+  (void)snap.scan_prefix(slice, [](const Record&) {});
+
+  const std::uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  std::uint64_t hits = 0, misses = 0, attributed = 0, scanned = 0;
+  for (std::uint64_t i = 0; i < kRecords; i += 3) {
+    if (snap.lookup(nth_key(i), &out)) ++hits;
+    if (!snap.lookup(
+            Ipv6Address::from_value(Uint128{0x2600000000000000ULL,
+                                            i * kMultiplier + 1}),
+            &out)) {
+      ++misses;
+    }
+    if (snap.attribute(nth_key(i)) != nullptr) ++attributed;
+  }
+  scanned = snap.scan_prefix(slice, [](const Record&) {});
+  scanned += snap.for_each([](const Record&) {});
+  const std::uint64_t after = g_new_calls.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state query path allocated " << after - before << " times";
+  EXPECT_EQ(hits, (kRecords + 2) / 3);
+  EXPECT_EQ(misses, (kRecords + 2) / 3);
+  EXPECT_EQ(attributed, (kRecords + 2) / 3);
+  EXPECT_GT(scanned, kRecords);
+}
+
+}  // namespace
+}  // namespace xmap::store

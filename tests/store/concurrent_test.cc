@@ -1,0 +1,129 @@
+// Concurrent readers over one shared snapshot.
+//
+// The store's serving model is "validate once, then share read-only":
+// after load there is no mutation anywhere on the query path (the LC-trie
+// is compiled eagerly at load precisely so no reader triggers a lazy
+// compile). This test hammers one Snapshot from many threads mixing every
+// query style and checks the answers; it runs under the TSan CI job, where
+// any data race in the snapshot, trie or decode path is fatal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "store/query.h"
+#include "store/service.h"
+#include "store/snapshot.h"
+#include "store/writer.h"
+
+namespace xmap::store {
+namespace {
+
+using net::Ipv6Address;
+using net::Uint128;
+
+constexpr std::uint64_t kRecords = 20000;
+constexpr std::uint64_t kMultiplier = 0x9e3779b97f4a7c15ULL;  // odd: bijective
+
+std::unique_ptr<Snapshot> build_shared_snapshot() {
+  StoreBuilder builder{1024};
+  const std::uint16_t cisco = builder.vendor_id("cisco");
+  for (std::uint64_t g = 0; g < 64; ++g) {
+    GeoEntry geo;
+    geo.prefix = net::Ipv6Prefix{
+        Ipv6Address::from_value(Uint128{0x2400000000000000ULL | (g << 24), 0}),
+        40};
+    geo.asn = static_cast<std::uint32_t>(g + 1);
+    geo.country = {'C', static_cast<char>('A' + g % 26)};
+    geo.as_name = "CONC-" + std::to_string(g);
+    builder.add_geo(geo);
+  }
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    Record r;
+    r.key = Ipv6Address::from_value(
+        Uint128{0x2400000000000000ULL | ((i % 64) << 24), i * kMultiplier});
+    r.probe_dst = r.key;
+    r.vendor = i % 2 == 0 ? cisco : std::uint16_t{0};
+    r.flags = i % 16 == 0 ? kFlagLoopCandidate : std::uint8_t{0};
+    r.responses = 1;
+    r.first_us = i;
+    builder.add(r);
+  }
+  auto loaded = Snapshot::from_buffer(builder.serialize());
+  EXPECT_TRUE(loaded.snapshot) << loaded.error;
+  return std::move(loaded.snapshot);
+}
+
+TEST(StoreConcurrent, ManyReadersMixedQueriesRaceFree) {
+  auto snap = build_shared_snapshot();
+  ASSERT_EQ(snap->record_count(), kRecords);
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> start{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      // Point lookups over a thread-specific slice (hits and misses).
+      Record out;
+      for (std::uint64_t i = static_cast<std::uint64_t>(t); i < kRecords;
+           i += kThreads) {
+        const Ipv6Address key = Ipv6Address::from_value(Uint128{
+            0x2400000000000000ULL | ((i % 64) << 24), i * kMultiplier});
+        if (!snap->lookup(key, &out) || out.first_us != i) ++failures;
+        const Ipv6Address miss = Ipv6Address::from_value(
+            Uint128{0x2400000000000000ULL, i * kMultiplier + 1});
+        if (snap->lookup(miss, &out)) ++failures;
+        if (snap->attribute(key) == nullptr) ++failures;
+      }
+      // Aggregation + summary walk the whole store through the trie.
+      if (aggregate(*snap, t % 2 == 0 ? GroupBy::kAsn : GroupBy::kVendor)
+              .empty()) {
+        ++failures;
+      }
+      if (summarize(*snap).records != kRecords) ++failures;
+      // Prefix scans over one geo slice each.
+      const net::Ipv6Prefix slice{
+          Ipv6Address::from_value(Uint128{
+              0x2400000000000000ULL |
+                  ((static_cast<std::uint64_t>(t) % 64) << 24),
+              0}),
+          40};
+      if (snap->scan_prefix(slice, [](const Record&) {}) == 0) ++failures;
+    });
+  }
+  start.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(StoreConcurrent, QueryLoadHarnessCountsAreExact) {
+  auto snap = build_shared_snapshot();
+  QueryLoadOptions options;
+  options.threads = 4;
+  options.lookups_per_thread = 5000;
+  options.seed = 7;
+  const QueryLoadResult result = run_query_load(*snap, options);
+  EXPECT_EQ(result.lookups, 4u * 5000u);
+  EXPECT_GT(result.hits, 0u);
+  EXPECT_LT(result.hits, result.lookups);
+  EXPECT_GT(result.lookups_per_sec, 0.0);
+  // The merged obs counters agree with the harness's own totals.
+  const auto* queries = result.metrics.find("store_queries_total", {});
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->value, result.lookups);
+  const auto* hits = result.metrics.find("store_query_hits_total", {});
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, result.hits);
+  // Deterministic across runs: same options, same hit count.
+  const QueryLoadResult again = run_query_load(*snap, options);
+  EXPECT_EQ(again.hits, result.hits);
+}
+
+}  // namespace
+}  // namespace xmap::store

@@ -8,8 +8,11 @@ BASELINE and CURRENT are either two JSON files (as written by
 bench::BenchJson) or two directories, in which case every BENCH_*.json in
 BASELINE is matched by filename in CURRENT.
 
-A metric regresses when it moves against its `higher_is_better` direction
-by more than the threshold (relative to the baseline value). The default
+A metric regresses when it moves against its direction by more than the
+threshold (relative to the baseline value). The direction comes from the
+entry's `direction` field ("higher" = bigger is better, "lower" = smaller
+is better, e.g. latencies and overheads); older files carry only the
+boolean `higher_is_better`, which is honoured as a fallback. The default
 threshold is deliberately loose (40%): CI runners are noisy and share
 hardware, so this is a smoke test for step-change regressions — a probe
 path that stops using its template, a checksum gone quadratic — not a
@@ -31,10 +34,16 @@ def load_results(path):
         doc = json.load(f)
     out = {}
     for entry in doc.get("results", []):
-        out[entry["metric"]] = (
-            float(entry["value"]),
-            bool(entry.get("higher_is_better", True)),
-        )
+        direction = entry.get("direction")
+        if direction is not None:
+            if direction not in ("higher", "lower"):
+                raise ValueError(
+                    f"metric {entry['metric']!r}: direction must be "
+                    f"'higher' or 'lower', got {direction!r}")
+            higher_is_better = direction == "higher"
+        else:
+            higher_is_better = bool(entry.get("higher_is_better", True))
+        out[entry["metric"]] = (float(entry["value"]), higher_is_better)
     return out
 
 

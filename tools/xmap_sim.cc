@@ -18,8 +18,10 @@
 #include <sstream>
 #include <tuple>
 
+#include "analysis/store_export.h"
 #include "engine/executor.h"
 #include "engine/probe_factory.h"
+#include "store/writer.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -191,6 +193,31 @@ recover::Fingerprint make_fingerprint(const scan::CliOptions& opts,
   return fp;
 }
 
+// Builds and atomically writes the --store-file snapshot from the merged
+// record stream. StoreBuilder's order-independent duplicate merge plus the
+// deterministic geo/vendor sections make the written bytes a pure function
+// of (config, seed) — identical across --threads values. Works over both
+// paths' record types (each exposes .response and .when).
+template <typename Records>
+bool write_store_file(const scan::CliOptions& opts,
+                      const recover::Fingerprint& fingerprint,
+                      const topo::BuiltInternet& internet,
+                      const Records& records) {
+  store::StoreBuilder builder;
+  ana::fill_geo(builder, internet.geo);
+  builder.set_config_fingerprint(ana::scan_config_fingerprint(fingerprint));
+  for (const auto& record : records) {
+    ana::add_response(builder, record.response,
+                      record.when / sim::kMicrosecond, internet.oui);
+  }
+  std::string error;
+  if (!builder.write(opts.store_file, &error)) {
+    std::fprintf(stderr, "xmap_sim: --store-file: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
 std::string default_checkpoint_path(const scan::CliOptions& opts) {
   if (!opts.checkpoint_file.empty()) return opts.checkpoint_file;
   if (!opts.output_file.empty() &&
@@ -270,6 +297,15 @@ int main(int argc, char** argv) {
   cfg.adaptive_rate = opts.adaptive_rate;
   const scan::Blocklist blocklist = scan::Blocklist::well_behaved_defaults();
   if (opts.use_default_blocklist) cfg.blocklist = &blocklist;
+
+  if (opts.probe_module == "traceroute" && !opts.store_file.empty()) {
+    // Traceroute records are per-hop path samples, not unique-responder
+    // periphery results; the store's one-record-per-key model does not fit.
+    std::fprintf(stderr,
+                 "xmap_sim: --store-file is not supported with the "
+                 "traceroute module\n");
+    return kExitConfig;
+  }
 
   if (opts.probe_module == "traceroute") {
     // Traceroute mode: hop-walk one address per delegation slot (bounded by
@@ -456,6 +492,18 @@ int main(int argc, char** argv) {
       finish_status();
       return kExitConfig;
     }
+    if (!opts.store_file.empty()) {
+      // The engine builds its worlds inside the workers; rebuild one on a
+      // scratch network to recover the deterministic geo/vendor attribution.
+      sim::Network store_net{opts.seed};
+      const auto store_internet = topo::build_internet(
+          store_net, specs, topo::paper::vendor_catalog(), build_cfg);
+      if (!write_store_file(opts, fingerprint, store_internet,
+                            result.records)) {
+        finish_status();
+        return kExitConfig;
+      }
+    }
     if (!opts.quiet) {
       print_stats_footer(result.stats, engine_cfg.threads,
                          result.wall_seconds);
@@ -611,6 +659,10 @@ int main(int argc, char** argv) {
   }
   writer->end();
   if (!flush_output()) return kExitConfig;
+  if (!opts.store_file.empty() &&
+      !write_store_file(opts, fingerprint, internet, records)) {
+    return kExitConfig;
+  }
 
   if (!opts.quiet) print_stats_footer(total_stats, 0, 0);
   std::vector<std::vector<obs::TraceEvent>> trace_parts;

@@ -1,0 +1,8 @@
+// xmap_store: inspect and query periphery results store files.
+#include <iostream>
+
+#include "store/cli.h"
+
+int main(int argc, char** argv) {
+  return xmap::store::store_cli_main(argc, argv, std::cout, std::cerr);
+}
