@@ -1,0 +1,76 @@
+#include "fabric/channel.h"
+
+#include <algorithm>
+
+#include "netbase/random.h"
+
+namespace xmap::fabric {
+
+double BackoffPolicy::delay_ms(std::uint64_t seq, int attempt) const {
+  double backoff = base_ms;
+  for (int i = 0; i < attempt && backoff < max_ms; ++i) backoff *= 2.0;
+  backoff = std::min(backoff, max_ms);
+  // Keyed jitter, not an RNG stream: the draw depends only on (seed, seq,
+  // attempt), so a replayed scenario retransmits on an identical schedule.
+  const std::uint64_t key = net::hash_combine64(
+      net::hash_combine64(seed, seq),
+      static_cast<std::uint64_t>(attempt) + 0x6a69747465726afbULL);
+  const double unit =
+      static_cast<double>(net::mix64(key) >> 11) * 0x1.0p-53;
+  return backoff + unit * jitter_ms;
+}
+
+void ReliableLink::enqueue(Message msg) {
+  Pending p;
+  msg.seq = next_seq_++;
+  p.frame = encode_frame(msg);
+  p.msg = std::move(msg);
+  pending_.push_back(std::move(p));
+}
+
+ReliableLink::Wire ReliableLink::poll(Clock::time_point now) {
+  Wire wire;
+  if (dead_ || pending_.empty()) return wire;
+  Pending& head = pending_.front();
+  if (head.attempts == 0 || now >= head.next_at) {
+    if (head.attempts >= policy_.max_attempts) {
+      dead_ = true;
+      return wire;
+    }
+    if (head.attempts > 0) ++retransmits_;
+    const double delay = policy_.delay_ms(head.msg.seq, head.attempts);
+    ++head.attempts;
+    head.next_at = now + std::chrono::microseconds(
+                             static_cast<std::int64_t>(delay * 1000.0));
+    wire.frames.push_back(head.frame);
+  }
+  wire.next_deadline = head.next_at;
+  return wire;
+}
+
+void ReliableLink::on_ack(std::uint64_t seq) {
+  // Stop-and-wait: only the in-flight frame can be acknowledged. Stale
+  // acks (duplicated frames, re-acks of already-completed sequences) fall
+  // through harmlessly.
+  if (!pending_.empty() && pending_.front().msg.seq == seq) {
+    pending_.pop_front();
+  }
+}
+
+ReliableLink::Inbound ReliableLink::on_reliable(const Message& msg) {
+  Inbound in;
+  if (msg.seq > expected_) return in;  // ahead: peer bug, drop un-acked
+  Message ack;
+  ack.type = MsgType::kAck;
+  ack.ack_seq = msg.seq;
+  in.ack = encode_frame(ack);
+  if (msg.seq == expected_) {
+    ++expected_;
+    in.deliver = true;
+  }
+  // Below expected_: a duplicate whose ack was lost — re-ack, don't
+  // re-deliver.
+  return in;
+}
+
+}  // namespace xmap::fabric

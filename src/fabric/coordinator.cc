@@ -1,0 +1,496 @@
+#include "fabric/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <tuple>
+
+#include "fabric/transport.h"
+#include "fabric/worker.h"
+#include "netbase/random.h"
+
+namespace xmap::fabric {
+namespace {
+
+using Clock = ReliableLink::Clock;
+
+FabricResult fail(std::string message) {
+  FabricResult result;
+  result.ok = false;
+  result.error = std::move(message);
+  return result;
+}
+
+// Default targets (every block of the world) — the engine's recipe: window
+// placement is a pure function of the spec, no throwaway world build.
+std::vector<scan::TargetSpec> default_targets(const FabricConfig& config) {
+  std::vector<scan::TargetSpec> targets;
+  targets.reserve(config.world_specs.size());
+  for (const auto& spec : config.world_specs) {
+    const topo::ScanWindow window =
+        topo::scan_window(spec, config.build.window_bits);
+    targets.push_back(scan::TargetSpec{window.scan_base, window.window_lo,
+                                       window.window_hi});
+  }
+  return targets;
+}
+
+enum class WorkerPhase { kJoining, kIdle, kBusy, kDead };
+enum class ShardPhase { kPending, kAssigned, kDone, kFailed };
+
+struct WorkerState {
+  WorkerPhase phase = WorkerPhase::kJoining;
+  std::unique_ptr<ReliableLink> link;
+  int shard = -1;  // the lease this worker holds (kBusy only)
+  Clock::time_point last_seen;
+  std::uint64_t misses_counted = 0;
+};
+
+struct ShardState {
+  ShardPhase phase = ShardPhase::kPending;
+  std::uint32_t epoch = 0;  // assignment generation, fences stale frames
+  int worker = -1;
+  // The last streamed checkpoint: the failover handoff point. cursor_stats
+  // is the live stats at that checkpoint, zeroed once committed so a
+  // double failover cannot double-count.
+  bool has_cursor = false;
+  scan::ScanCursor cursor;
+  scan::ScanStats cursor_stats;
+  scan::ScanStats stats;               // committed contributions
+  std::vector<FabricRecord> buffer;    // current epoch, uncommitted
+  std::vector<FabricRecord> accepted;  // committed (survives failover)
+  ShardOutcome outcome;
+};
+
+}  // namespace
+
+FabricResult run_fabric_scan(const FabricConfig& config) {
+  if (config.module == nullptr) return fail("fabric: no probe module");
+  if (config.nodes < 1 || config.nodes > kMaxNodes) {
+    return fail("fabric: nodes must be in 1.." + std::to_string(kMaxNodes));
+  }
+  if (config.shards < 1 || config.shards > 1024) {
+    return fail("fabric: shards must be in 1..1024");
+  }
+  if (config.scan.shards < 1 || config.scan.shard < 0 ||
+      config.scan.shard >= config.scan.shards) {
+    return fail("fabric: invalid machine shard configuration");
+  }
+  if (config.world_specs.empty()) return fail("fabric: empty world spec");
+  if (config.scan.adaptive_rate) {
+    return fail(
+        "fabric: adaptive rate is not supported — without an analytic send "
+        "schedule there is no stable cursor to hand over on failover");
+  }
+  if (config.heartbeat_interval_ms < 1 ||
+      config.heartbeat_timeout_ms <= config.heartbeat_interval_ms) {
+    return fail("fabric: heartbeat timeout must exceed the interval");
+  }
+  for (const auto& kill : config.fabric_faults.kills) {
+    if (kill.node < 0 || kill.node >= config.nodes) {
+      return fail("fabric: kill plan names node " +
+                  std::to_string(kill.node) + " of " +
+                  std::to_string(config.nodes));
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  scan::ScanConfig base = config.scan;
+  if (base.targets.empty()) base.targets = default_targets(config);
+  // The fabric owns interruption semantics (kills, failover); engine-style
+  // shutdown plumbing does not cross the wire.
+  base.shutdown_flag = nullptr;
+  base.shutdown_at_raw_slot = scan::kNoBudgetCut;
+  if (base.max_probes != 0) {
+    // One budget cut, computed here and shipped in every lease: all
+    // workers truncate at the same permutation slot regardless of node
+    // count (the engine's --threads argument, distributed).
+    base.budget_cut_raw_slot =
+        scan::compute_budget_cut(base.targets, base.seed, base.blocklist,
+                                 base.max_probes, base.shard, base.shards);
+    base.max_probes = 0;
+  }
+  const std::uint64_t fp_hash = recover::fingerprint_hash(config.fingerprint);
+
+  LoopbackFabric fabric{config.nodes, &config.fabric_faults};
+
+  std::vector<std::unique_ptr<FabricWorker>> workers;
+  workers.reserve(static_cast<std::size_t>(config.nodes));
+  for (int w = 0; w < config.nodes; ++w) {
+    WorkerConfig wcfg;
+    wcfg.id = w;
+    wcfg.world_specs = &config.world_specs;
+    wcfg.vendors = &config.vendors;
+    wcfg.build = config.build;
+    wcfg.vantage = config.vantage;
+    wcfg.module = config.module;
+    wcfg.base = base;
+    wcfg.faults = config.faults;
+    wcfg.fingerprint = fp_hash;
+    wcfg.checkpoint_interval_targets = config.checkpoint_interval_targets;
+    wcfg.heartbeat_interval_ms = config.heartbeat_interval_ms;
+    wcfg.record_batch = config.record_batch;
+    wcfg.backoff = config.backoff;
+    for (const auto& kill : config.fabric_faults.kills) {
+      if (kill.node == w) wcfg.kill = kill;
+    }
+    workers.push_back(std::make_unique<FabricWorker>(
+        std::move(wcfg), fabric.worker_endpoint(w)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (auto& worker : workers) {
+    threads.emplace_back([w = worker.get()] { w->run(); });
+  }
+
+  FabricResult result;
+  const auto start_seen = Clock::now();
+  std::vector<WorkerState> wstate(static_cast<std::size_t>(config.nodes));
+  for (int w = 0; w < config.nodes; ++w) {
+    // The coordinator's half of each link jitters independently of the
+    // worker's half, still purely seed-derived.
+    BackoffPolicy policy = config.backoff;
+    policy.seed = net::hash_combine64(
+        net::hash_combine64(policy.seed, 0x636f6f7264ULL),  // "coord"
+        static_cast<std::uint64_t>(w));
+    wstate[static_cast<std::size_t>(w)].link =
+        std::make_unique<ReliableLink>(policy);
+    wstate[static_cast<std::size_t>(w)].last_seen = start_seen;
+  }
+  std::vector<ShardState> sstate(static_cast<std::size_t>(config.shards));
+  for (int s = 0; s < config.shards; ++s) {
+    sstate[static_cast<std::size_t>(s)].outcome.shard = s;
+  }
+  int shards_done = 0;
+  int shards_failed = 0;
+
+  const auto log_line = [&](const std::string& line) {
+    if (config.log != nullptr) *config.log << "fabric: " << line << '\n';
+  };
+
+  const auto send_assign = [&](int w, int s) {
+    WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+    ShardState& ss = sstate[static_cast<std::size_t>(s)];
+    Message assign;
+    assign.type = MsgType::kAssign;
+    assign.shard = static_cast<std::uint32_t>(s);
+    assign.epoch = ss.epoch;
+    assign.shards_total = static_cast<std::uint32_t>(config.shards);
+    assign.budget_cut = base.budget_cut_raw_slot;
+    assign.fingerprint = fp_hash;
+    if (ss.has_cursor) {
+      assign.has_resume = true;
+      assign.cursor = ss.cursor;
+    }
+    ws.link->enqueue(std::move(assign));
+    ws.phase = WorkerPhase::kBusy;
+    ws.shard = s;
+    ss.phase = ShardPhase::kAssigned;
+    ss.worker = w;
+    ss.outcome.workers.push_back(w);
+    log_line("assign shard " + std::to_string(s) + " epoch " +
+             std::to_string(ss.epoch) + " -> node " + std::to_string(w) +
+             (ss.has_cursor
+                  ? " (resume from slot " +
+                        std::to_string(ss.cursor.frontier_slot) + ")"
+                  : ""));
+  };
+
+  const auto try_assign = [&] {
+    for (int s = 0; s < config.shards; ++s) {
+      if (sstate[static_cast<std::size_t>(s)].phase != ShardPhase::kPending) {
+        continue;
+      }
+      int idle = -1;
+      for (int w = 0; w < config.nodes; ++w) {
+        if (wstate[static_cast<std::size_t>(w)].phase == WorkerPhase::kIdle) {
+          idle = w;
+          break;
+        }
+      }
+      if (idle < 0) return;
+      send_assign(idle, s);
+    }
+  };
+
+  // Re-queues an assigned shard after its worker died: commit exactly the
+  // records below the last streamed checkpoint cursor (the FIFO channel
+  // guarantees they are all in hand), discard the rest — the resumed epoch
+  // regenerates them from the cursor onward and never re-probes below it.
+  const auto failover = [&](int s) {
+    ShardState& ss = sstate[static_cast<std::size_t>(s)];
+    if (ss.phase != ShardPhase::kAssigned) return;
+    ++result.reassignments;
+    std::size_t kept = 0;
+    if (ss.has_cursor) {
+      for (auto& rec : ss.buffer) {
+        if (rec.raw_slot < ss.cursor.frontier_slot) {
+          ss.accepted.push_back(std::move(rec));
+          ++kept;
+        }
+      }
+      ss.stats += ss.cursor_stats;
+      ss.cursor_stats = scan::ScanStats{};
+      result.resumed_slots += ss.cursor.frontier_slot;
+      ss.outcome.resumed_from_slot = ss.cursor.frontier_slot;
+    }
+    const std::size_t dropped = ss.buffer.size() - kept;
+    ss.buffer.clear();
+    ++ss.epoch;
+    ss.phase = ShardPhase::kPending;
+    ss.worker = -1;
+    ++ss.outcome.epochs;
+    log_line("failover shard " + std::to_string(s) + ": kept " +
+             std::to_string(kept) + " records below " +
+             (ss.has_cursor
+                  ? "cursor slot " + std::to_string(ss.cursor.frontier_slot)
+                  : std::string("no checkpoint (full rescan)")) +
+             ", dropped " + std::to_string(dropped));
+  };
+
+  const auto fail_worker = [&](int w, const std::string& reason) {
+    WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+    if (ws.phase == WorkerPhase::kDead) return;
+    ws.phase = WorkerPhase::kDead;
+    ++result.dead_workers;
+    if (!reason.empty()) {
+      result.worker_errors.push_back("node " + std::to_string(w) + ": " +
+                                     reason);
+    }
+    log_line("node " + std::to_string(w) + " dead (" +
+             (reason.empty() ? "released" : reason) + ")");
+    const int s = ws.shard;
+    ws.shard = -1;
+    if (s >= 0) failover(s);
+  };
+
+  // True when `msg` addresses the current assignment of (shard, worker):
+  // the epoch fence that makes zombie workers harmless.
+  const auto fenced = [&](int w, const Message& msg) -> ShardState* {
+    if (msg.shard >= static_cast<std::uint32_t>(config.shards)) {
+      return nullptr;
+    }
+    ShardState& ss = sstate[msg.shard];
+    if (ss.phase != ShardPhase::kAssigned || ss.worker != w ||
+        ss.epoch != msg.epoch) {
+      return nullptr;
+    }
+    return &ss;
+  };
+
+  const auto handle_delivery = [&](int w, Message&& msg) {
+    WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+    switch (msg.type) {
+      case MsgType::kHello:
+        if (ws.phase == WorkerPhase::kJoining) ws.phase = WorkerPhase::kIdle;
+        break;
+      case MsgType::kRefuse:
+        if (ShardState* ss = fenced(w, msg)) {
+          // A refusal is deterministic — this worker would refuse the
+          // lease again. Quarantine the worker; the shard goes back in the
+          // queue for a survivor (possibly to fail the whole fabric if
+          // every node refuses).
+          (void)ss;
+          fail_worker(w, "refused shard " + std::to_string(msg.shard) +
+                             ": " + msg.diagnostic);
+        }
+        break;
+      case MsgType::kRecords:
+        if (ShardState* ss = fenced(w, msg)) {
+          ss->buffer.reserve(ss->buffer.size() + msg.records.size());
+          for (const auto& rec : msg.records) {
+            ss->buffer.push_back(FabricRecord{
+                rec.response, rec.when, static_cast<int>(msg.shard),
+                rec.raw_slot});
+          }
+        }
+        break;
+      case MsgType::kCheckpoint:
+        if (ShardState* ss = fenced(w, msg)) {
+          ss->cursor = std::move(msg.cursor);
+          ss->has_cursor = true;
+          ss->cursor_stats = msg.stats;
+        }
+        break;
+      case MsgType::kShardDone:
+        if (ShardState* ss = fenced(w, msg)) {
+          for (auto& rec : ss->buffer) ss->accepted.push_back(std::move(rec));
+          ss->buffer.clear();
+          ss->stats += msg.stats;
+          ss->cursor_stats = scan::ScanStats{};
+          ss->phase = ShardPhase::kDone;
+          ss->outcome.completed = true;
+          ++shards_done;
+          ws.phase = WorkerPhase::kIdle;
+          ws.shard = -1;
+          log_line("shard " + std::to_string(msg.shard) + " done by node " +
+                   std::to_string(w) + " (epoch " +
+                   std::to_string(msg.epoch) + ")");
+        }
+        break;
+      default:
+        break;
+    }
+  };
+
+  while (shards_done + shards_failed < config.shards) {
+    bool any_live = false;
+    for (const auto& ws : wstate) {
+      if (ws.phase != WorkerPhase::kDead) {
+        any_live = true;
+        break;
+      }
+    }
+    if (!any_live) break;
+
+    const auto now = Clock::now();
+    for (int w = 0; w < config.nodes; ++w) {
+      WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+      if (ws.phase == WorkerPhase::kDead) continue;
+      auto wire = ws.link->poll(now);
+      for (auto& frame : wire.frames) fabric.send_to(w, std::move(frame));
+      if (ws.link->dead()) {
+        fail_worker(w, "unreachable (retransmission budget exhausted)");
+        try_assign();
+        continue;
+      }
+      const auto silence_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              now - ws.last_seen)
+              .count();
+      const auto interval =
+          static_cast<long long>(config.heartbeat_interval_ms);
+      const std::uint64_t missed =
+          silence_ms > interval
+              ? static_cast<std::uint64_t>(silence_ms / interval - 1)
+              : 0;
+      if (missed > ws.misses_counted) {
+        result.missed_heartbeats += missed - ws.misses_counted;
+        ws.misses_counted = missed;
+      }
+      if (silence_ms > config.heartbeat_timeout_ms) {
+        fail_worker(w, "heartbeat timeout (" + std::to_string(silence_ms) +
+                           "ms silent)");
+        try_assign();
+      }
+    }
+
+    auto rx = fabric.recv_any(5);
+    if (rx.status == RecvStatus::kTimeout) continue;
+    if (rx.worker < 0 || rx.worker >= config.nodes) continue;
+    WorkerState& ws = wstate[static_cast<std::size_t>(rx.worker)];
+    if (rx.status == RecvStatus::kClosed) {
+      fail_worker(rx.worker, "connection closed");
+      try_assign();
+      continue;
+    }
+    // Frames from dead workers are ignored wholesale — no acks, so a
+    // zombie's reliable sends starve and it shuts itself down.
+    if (ws.phase == WorkerPhase::kDead) continue;
+    ws.last_seen = Clock::now();
+    ws.misses_counted = 0;
+    auto decoded = decode_frame(rx.frame);
+    if (!decoded.message) {
+      ++result.frames_rejected;
+      continue;
+    }
+    Message& msg = *decoded.message;
+    if (msg.type == MsgType::kAck) {
+      ws.link->on_ack(msg.ack_seq);
+    } else if (msg.type == MsgType::kHeartbeat) {
+      // last_seen already refreshed — that is the heartbeat's whole job.
+    } else {
+      auto inbound = ws.link->on_reliable(msg);
+      if (!inbound.ack.empty()) {
+        fabric.send_to(rx.worker, std::move(inbound.ack));
+      }
+      if (inbound.deliver) {
+        handle_delivery(rx.worker, std::move(msg));
+        try_assign();
+      }
+    }
+  }
+
+  // Release the survivors: best-effort Bye, then hang up. Workers exit on
+  // whichever arrives first.
+  Message bye;
+  bye.type = MsgType::kBye;
+  const std::string bye_frame = encode_frame(bye);
+  for (int w = 0; w < config.nodes; ++w) {
+    if (wstate[static_cast<std::size_t>(w)].phase != WorkerPhase::kDead) {
+      fabric.send_to(w, bye_frame);
+    }
+  }
+  fabric.close_all();
+  for (auto& thread : threads) thread.join();
+
+  for (int w = 0; w < config.nodes; ++w) {
+    const FabricWorker& worker = *workers[static_cast<std::size_t>(w)];
+    if (!worker.error().empty()) {
+      result.worker_errors.push_back("node " + std::to_string(w) + ": " +
+                                     worker.error());
+    }
+    result.retransmits += worker.retransmits();
+    result.retransmits += wstate[static_cast<std::size_t>(w)].link
+                              ->retransmits();
+  }
+
+  // Deterministic merge: shard record streams are partition-invariant, and
+  // the content sort puts them in one byte-stable order. The shard index
+  // tiebreaks exactly like the engine's worker index (they coincide for a
+  // fabric of S shards vs an engine of S threads).
+  result.collector = scan::ResultCollector{config.alias_threshold};
+  for (auto& ss : sstate) {
+    if (ss.phase != ShardPhase::kDone) result.failed = true;
+    for (auto& rec : ss.accepted) result.records.push_back(std::move(rec));
+    result.stats += ss.stats;
+    result.shards.push_back(ss.outcome);
+  }
+  std::sort(result.records.begin(), result.records.end(),
+            [](const FabricRecord& a, const FabricRecord& b) {
+              return std::tuple(a.when, a.response.responder,
+                                a.response.probe_dst,
+                                static_cast<int>(a.response.kind), a.shard) <
+                     std::tuple(b.when, b.response.responder,
+                                b.response.probe_dst,
+                                static_cast<int>(b.response.kind), b.shard);
+            });
+  for (const auto& rec : result.records) {
+    result.collector.add(rec.response);
+  }
+
+  obs::MetricsShard metrics;
+  *metrics.counter("fabric_reassignments_total", {},
+                   "Shard leases re-assigned after a worker death") =
+      result.reassignments;
+  *metrics.counter("fabric_missed_heartbeats_total", {},
+                   "Heartbeat intervals a live worker went silent") =
+      result.missed_heartbeats;
+  *metrics.counter("fabric_resumed_slots_total", {},
+                   "Sum of failover handoff cursor frontiers") =
+      result.resumed_slots;
+  *metrics.counter("fabric_frames_rejected_total", {},
+                   "Undecodable protocol frames dropped") =
+      result.frames_rejected;
+  *metrics.counter("fabric_retransmits_total", {},
+                   "Reliable-channel retransmissions, both directions") =
+      result.retransmits;
+  *metrics.counter("fabric_workers_dead_total", {},
+                   "Worker nodes declared dead") =
+      static_cast<std::uint64_t>(result.dead_workers);
+  *metrics.counter("fabric_shards_completed_total", {},
+                   "Fabric shards scanned to completion") =
+      static_cast<std::uint64_t>(shards_done);
+  result.metrics = obs::merge_shards({&metrics});
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace xmap::fabric

@@ -1,0 +1,144 @@
+// The fabric coordinator: fault-tolerant distributed scan orchestration.
+//
+// run_fabric_scan splits the machine's permutation shard into
+// `shards` fabric shards and leases them to `nodes` worker engines over the
+// frame protocol (protocol.h) on an in-process loopback transport
+// (transport.h) — the same state machines would drive a socket transport.
+// Each shard is one lease: Assign carries the shard index, the shared
+// budget cut, the scan's fingerprint hash, and (after a failover) the dead
+// worker's last streamed checkpoint cursor.
+//
+// Fail-over, and why the merged output is byte-identical to a run with no
+// failures at any node count:
+//
+//   * A shard's record stream is a pure function of (scan config, shard
+//     index) — workers scan deterministic world replicas, so which node
+//     runs a shard, and when, is invisible in the bytes.
+//   * Workers stream reliable, FIFO Records batches and periodically a
+//     Checkpoint carrying a *stable* cursor C: every record below C has a
+//     completed lifecycle and was flushed before the Checkpoint frame.
+//   * When a worker dies (connection drop, heartbeat timeout, or reliable
+//     retransmission budget exhausted), the coordinator keeps exactly the
+//     dead epoch's records with raw_slot < C, discards the rest, bumps the
+//     shard's assignment epoch, and re-leases the shard with resume
+//     cursor C. The survivor fast-forwards its permutation iterator to C
+//     (CyclicGroup::Iterator::fast_forward under the hood) and probes only
+//     slots >= C — no permutation slot below the cursor is ever re-probed,
+//     and the regenerated records >= C are exactly the discarded ones.
+//   * Frames from a stale epoch (a worker wrongly declared dead keeps
+//     streaming) are fenced by the epoch check and ignored.
+//
+// Shard-count note: `shards` (S), not the node count, is the unit of
+// determinism. Fabric shard s of S on machine shard m of M scans
+// permutation shard m*S+s of M*S — the same composition as the engine's
+// thread sub-sharding, so a fabric run at S shards produces record content
+// identical to `run_parallel_scan` at S threads, for any node count.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fabric/channel.h"
+#include "obs/metrics.h"
+#include "recover/state.h"
+#include "sim/faults.h"
+#include "topology/builder.h"
+#include "xmap/results.h"
+#include "xmap/scanner.h"
+
+namespace xmap::fabric {
+
+inline constexpr int kMaxNodes = 32;
+
+struct FabricConfig {
+  // The world every worker replicates.
+  std::vector<topo::IspSpec> world_specs;
+  std::vector<topo::VendorProfile> vendors;
+  topo::BuildConfig build;
+  net::Ipv6Prefix vantage = *net::Ipv6Prefix::parse("2001:500::/48");
+  const scan::ProbeModule* module = nullptr;
+
+  // Base scan parameters; scan.shard/scan.shards is the machine-level
+  // partition, fabric shards compose underneath. adaptive_rate is refused:
+  // without an analytic send schedule there is no stable cursor to hand
+  // over, and determinism is the whole point of the fabric.
+  scan::ScanConfig scan;
+  sim::FaultPlan faults;
+  sim::FabricFaultPlan fabric_faults;
+
+  int nodes = 1;    // worker engines (1..kMaxNodes)
+  int shards = 8;   // fabric shard count S — the determinism unit
+
+  // Worker checkpoint cadence (targets between streamed cursors). The only
+  // failover granularity: a dead shard resumes from its last checkpoint.
+  std::uint64_t checkpoint_interval_targets = 256;
+  int heartbeat_interval_ms = 25;
+  int heartbeat_timeout_ms = 250;
+  BackoffPolicy backoff;        // reliable-channel retransmission schedule
+  std::size_t record_batch = 128;
+  std::uint64_t alias_threshold = 16;
+
+  // The scan identity; its hash is stamped into every lease and workers
+  // refuse mismatches (see recover::fingerprint_hash).
+  recover::Fingerprint fingerprint;
+
+  // Coordinator event log (assignment/failover lines); null = silent.
+  std::ostream* log = nullptr;
+};
+
+// One merged record. `shard` is the fabric shard that produced it — the
+// sort tiebreak, equal for any node count by construction.
+struct FabricRecord {
+  scan::ProbeResponse response;
+  sim::SimTime when = 0;
+  int shard = 0;
+  std::uint64_t raw_slot = 0;
+};
+
+struct ShardOutcome {
+  int shard = 0;
+  bool completed = false;
+  int epochs = 1;            // assignment generations (1 = no failover)
+  std::vector<int> workers;  // every node that held the lease, in order
+  std::uint64_t resumed_from_slot = 0;  // last failover handoff cursor
+};
+
+struct FabricResult {
+  bool ok = false;     // false = invalid config (error says why)
+  std::string error;
+  // Some shard could never be completed (lease refused, or every node
+  // died); records/stats are the partial union.
+  bool failed = false;
+
+  // All validated responses in the deterministic content order
+  // (when, responder, probe_dst, kind, shard) — byte-stable across runs,
+  // node counts, and failovers.
+  std::vector<FabricRecord> records;
+  scan::ResultCollector collector;
+  // Summed per-shard stats. Exact for failover-free runs; after a failover
+  // the dead epoch contributes its last checkpoint's live stats, which
+  // overlap the resumed tail by up to one response horizon — the footer is
+  // approximate, records and store artifacts stay exact (the same caveat
+  // mid-flight checkpoint resume already carries).
+  scan::ScanStats stats;
+
+  std::vector<ShardOutcome> shards;
+  std::vector<std::string> worker_errors;  // refusals, link failures
+  int dead_workers = 0;
+
+  // Fabric counters (also exported as fabric_* metrics series).
+  std::uint64_t reassignments = 0;      // failover re-leases
+  std::uint64_t missed_heartbeats = 0;  // intervals a live worker was silent
+  std::uint64_t resumed_slots = 0;      // sum of failover handoff frontiers
+  std::uint64_t frames_rejected = 0;    // undecodable frames dropped
+  std::uint64_t retransmits = 0;        // reliable re-sends, both directions
+  obs::MetricsSnapshot metrics;
+
+  double wall_seconds = 0;
+};
+
+[[nodiscard]] FabricResult run_fabric_scan(const FabricConfig& config);
+
+}  // namespace xmap::fabric

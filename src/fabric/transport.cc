@@ -1,0 +1,263 @@
+#include "fabric/transport.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+
+#include "fabric/protocol.h"
+#include "netbase/random.h"
+
+namespace xmap::fabric {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Entry {
+  int worker = -1;
+  std::string frame;
+  bool closed = false;  // close sentinel, delivered after pending frames
+  Clock::time_point deliver_at;
+};
+
+// An unbounded delay-aware FIFO: entries become visible at their
+// deliver_at, so a delayed frame lets later frames overtake it — exactly
+// the reordering the fault plan's delay dial is meant to produce.
+class Mailbox {
+ public:
+  void push(Entry entry) {
+    {
+      std::lock_guard lock{mu_};
+      queue_.push_back(std::move(entry));
+    }
+    cv_.notify_all();
+  }
+
+  void close() {
+    {
+      std::lock_guard lock{mu_};
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  struct PopResult {
+    RecvStatus status = RecvStatus::kTimeout;
+    Entry entry;
+  };
+
+  PopResult pop(int timeout_ms) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::unique_lock lock{mu_};
+    for (;;) {
+      const auto now = Clock::now();
+      const auto ready =
+          std::find_if(queue_.begin(), queue_.end(), [&](const Entry& e) {
+            return e.deliver_at <= now;
+          });
+      if (ready != queue_.end()) {
+        PopResult out;
+        out.status = ready->closed ? RecvStatus::kClosed : RecvStatus::kFrame;
+        out.entry = std::move(*ready);
+        queue_.erase(ready);
+        return out;
+      }
+      if (queue_.empty() && closed_) return {RecvStatus::kClosed, {}};
+      auto wait_until = deadline;
+      for (const Entry& e : queue_) {
+        wait_until = std::min(wait_until, e.deliver_at);
+      }
+      if (now >= wait_until && now >= deadline) return {};
+      cv_.wait_until(lock, wait_until);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+};
+
+bool is_heartbeat(const std::string& frame) {
+  return frame.size() > 8 &&
+         static_cast<std::uint8_t>(frame[8]) ==
+             static_cast<std::uint8_t>(MsgType::kHeartbeat);
+}
+
+}  // namespace
+
+struct LoopbackFabric::Impl {
+  struct Channel;
+
+  // Applies the fault plan to one transmission and pushes the surviving
+  // deliveries. `endpoint` is the channel's worker index in both
+  // directions; `to_coordinator` disambiguates. Returns nothing — a drop
+  // is a successful send from the sender's point of view.
+  void deliver(Mailbox& box, Channel& channel, int worker, std::string frame,
+               bool to_coordinator);
+
+  struct Channel {
+    Mailbox to_worker;
+    std::atomic<bool> worker_closed{false};
+    std::atomic<bool> coord_closed{false};
+    // Per-direction retransmission counters: the fault verdict is keyed by
+    // (frame bytes, attempt), so the Nth retransmission of an identical
+    // frame gets a fresh draw. Guarded — the worker's heartbeat thread
+    // sends concurrently with its main thread.
+    std::mutex attempts_mu;
+    std::unordered_map<std::uint64_t, std::uint32_t> attempts_up;
+    std::unordered_map<std::uint64_t, std::uint32_t> attempts_down;
+    std::unique_ptr<Transport> endpoint;
+  };
+
+  const sim::FabricFaultPlan* faults = nullptr;
+  int workers = 0;
+  Mailbox coord_inbox;
+  std::vector<std::unique_ptr<Channel>> channels;
+};
+
+namespace {
+
+// The worker-thread side of one channel.
+class WorkerEndpoint final : public Transport {
+ public:
+  WorkerEndpoint(LoopbackFabric::Impl* fabric, int worker)
+      : fabric_(fabric), worker_(worker) {}
+
+  bool send(std::string frame) override {
+    auto& channel = *fabric_->channels[static_cast<std::size_t>(worker_)];
+    if (channel.worker_closed.load(std::memory_order_acquire) ||
+        channel.coord_closed.load(std::memory_order_acquire)) {
+      return false;
+    }
+    fabric_->deliver(fabric_->coord_inbox, channel, worker_,
+                     std::move(frame), /*to_coordinator=*/true);
+    return true;
+  }
+
+  RecvResult recv(int timeout_ms) override {
+    auto& channel = *fabric_->channels[static_cast<std::size_t>(worker_)];
+    auto popped = channel.to_worker.pop(timeout_ms);
+    RecvResult out;
+    out.status = popped.status;
+    out.frame = std::move(popped.entry.frame);
+    return out;
+  }
+
+  void close() override {
+    auto& channel = *fabric_->channels[static_cast<std::size_t>(worker_)];
+    if (channel.worker_closed.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    // The coordinator sees the hangup after this worker's already-queued
+    // frames (a TCP FIN behind buffered data); the worker's own inbox
+    // unblocks immediately.
+    Entry sentinel;
+    sentinel.worker = worker_;
+    sentinel.closed = true;
+    sentinel.deliver_at = Clock::now();
+    fabric_->coord_inbox.push(std::move(sentinel));
+    channel.to_worker.close();
+  }
+
+ private:
+  LoopbackFabric::Impl* fabric_;
+  int worker_;
+};
+
+}  // namespace
+
+void LoopbackFabric::Impl::deliver(Mailbox& box, Channel& channel,
+                                   int worker, std::string frame,
+                                   bool to_coordinator) {
+  auto now = Clock::now();
+  if (faults == nullptr || !faults->messages.any()) {
+    Entry entry;
+    entry.worker = worker;
+    entry.frame = std::move(frame);
+    entry.deliver_at = now;
+    box.push(std::move(entry));
+    return;
+  }
+  std::uint32_t attempt = 0;
+  {
+    const std::uint64_t key = frame_checksum(frame);
+    std::lock_guard lock{channel.attempts_mu};
+    auto& attempts =
+        to_coordinator ? channel.attempts_up : channel.attempts_down;
+    attempt = attempts[key]++;
+  }
+  const sim::FabricMessageVerdict verdict = sim::fabric_message_verdict(
+      *faults, static_cast<std::uint32_t>(worker), to_coordinator,
+      is_heartbeat(frame), frame.data(), frame.size(), attempt);
+  if (verdict.drop) return;
+  if (verdict.truncate_to != 0 && verdict.truncate_to < frame.size()) {
+    frame.resize(verdict.truncate_to);
+  }
+  Entry entry;
+  entry.worker = worker;
+  entry.frame = frame;
+  entry.deliver_at =
+      now + std::chrono::microseconds(
+                static_cast<std::int64_t>(verdict.extra_delay_ms * 1000.0));
+  if (verdict.duplicate) {
+    Entry copy;
+    copy.worker = worker;
+    copy.frame = std::move(frame);
+    copy.deliver_at = now;  // the duplicate races ahead of the original
+    box.push(std::move(copy));
+  }
+  box.push(std::move(entry));
+}
+
+LoopbackFabric::LoopbackFabric(int workers,
+                               const sim::FabricFaultPlan* faults)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->faults = faults;
+  impl_->workers = workers;
+  impl_->channels.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    auto channel = std::make_unique<Impl::Channel>();
+    channel->endpoint = std::make_unique<WorkerEndpoint>(impl_.get(), w);
+    impl_->channels.push_back(std::move(channel));
+  }
+}
+
+LoopbackFabric::~LoopbackFabric() = default;
+
+int LoopbackFabric::workers() const { return impl_->workers; }
+
+Transport* LoopbackFabric::worker_endpoint(int worker) {
+  return impl_->channels[static_cast<std::size_t>(worker)]->endpoint.get();
+}
+
+LoopbackFabric::CoordRecv LoopbackFabric::recv_any(int timeout_ms) {
+  auto popped = impl_->coord_inbox.pop(timeout_ms);
+  CoordRecv out;
+  out.status = popped.status;
+  out.worker = popped.entry.worker;
+  out.frame = std::move(popped.entry.frame);
+  return out;
+}
+
+bool LoopbackFabric::send_to(int worker, std::string frame) {
+  auto& channel = *impl_->channels[static_cast<std::size_t>(worker)];
+  if (channel.worker_closed.load(std::memory_order_acquire) ||
+      channel.coord_closed.load(std::memory_order_acquire)) {
+    return false;
+  }
+  impl_->deliver(channel.to_worker, channel, worker, std::move(frame),
+                 /*to_coordinator=*/false);
+  return true;
+}
+
+void LoopbackFabric::close_all() {
+  for (auto& channel : impl_->channels) {
+    if (!channel->coord_closed.exchange(true, std::memory_order_acq_rel)) {
+      channel->to_worker.close();
+    }
+  }
+}
+
+}  // namespace xmap::fabric

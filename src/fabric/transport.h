@@ -1,0 +1,100 @@
+// Message transports for the scan fabric.
+//
+// The coordinator and its workers exchange whole frames over a Transport —
+// an abstract, bidirectional, FIFO-per-direction byte-message channel with
+// TCP-like close semantics (pending frames drain, then the peer observes
+// the close). The fabric's state machines depend only on this interface, so
+// a socket transport slots in behind the same API; the in-process
+// LoopbackFabric below is the reproduction substrate.
+//
+// The loopback applies sim::fabric_message_verdict to every send: seeded,
+// keyed per-frame faults (heartbeat drops, duplication, truncation,
+// delivery delay that reorders) — the transport is where the hostile
+// network lives, and the protocol/channel layers above must survive it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/faults.h"
+
+namespace xmap::fabric {
+
+enum class RecvStatus : std::uint8_t {
+  kFrame,    // a frame was delivered
+  kTimeout,  // nothing arrived within the deadline
+  kClosed,   // peer closed; all pending frames already drained
+};
+
+// One endpoint of a bidirectional frame channel. send() never blocks on the
+// peer (the loopback queues are unbounded; a socket transport would write
+// to a kernel buffer); recv() blocks up to `timeout_ms`. Thread-safety:
+// send() and close() may be called from any thread concurrently with one
+// recv()er — the worker's heartbeat thread sends while its main thread
+// receives.
+class Transport {
+ public:
+  struct RecvResult {
+    RecvStatus status = RecvStatus::kTimeout;
+    std::string frame;
+  };
+
+  virtual ~Transport() = default;
+  // False when the channel is already closed (frame dropped).
+  virtual bool send(std::string frame) = 0;
+  virtual RecvResult recv(int timeout_ms) = 0;
+  // Closes both directions; the peer drains pending frames, then sees
+  // kClosed. Idempotent.
+  virtual void close() = 0;
+};
+
+// The coordinator's side of an N-worker loopback fabric: one shared inbox
+// fed by every worker (frames tagged with the sender), plus per-worker
+// outboxes. Worker threads obtain their Transport via worker_endpoint().
+class LoopbackFabric {
+ public:
+  struct CoordRecv {
+    RecvStatus status = RecvStatus::kTimeout;
+    int worker = -1;       // sender (kFrame) or closer (kClosed)
+    std::string frame;
+  };
+
+  // `faults` may be null (pristine transport); not owned, must outlive the
+  // fabric. Faults are applied on send, in both directions.
+  LoopbackFabric(int workers, const sim::FabricFaultPlan* faults);
+  ~LoopbackFabric();
+
+  LoopbackFabric(const LoopbackFabric&) = delete;
+  LoopbackFabric& operator=(const LoopbackFabric&) = delete;
+
+  [[nodiscard]] int workers() const;
+
+  // The worker-side endpoint (valid for the fabric's lifetime).
+  [[nodiscard]] Transport* worker_endpoint(int worker);
+
+  // Receives the next frame from any worker; kClosed results identify
+  // which worker hung up (each delivered exactly once, after its pending
+  // frames).
+  [[nodiscard]] CoordRecv recv_any(int timeout_ms);
+
+  // Sends to one worker; false when that worker's channel is closed.
+  bool send_to(int worker, std::string frame);
+
+  // Closes the coordinator->worker direction of every channel (workers
+  // drain and then see kClosed).
+  void close_all();
+
+  struct Impl;  // opaque; public so the .cc's endpoint class can name it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xmap::fabric

@@ -1,0 +1,303 @@
+#include "fabric/worker.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "netbase/random.h"
+
+namespace xmap::fabric {
+namespace {
+
+using Clock = ReliableLink::Clock;
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+BackoffPolicy worker_policy(const WorkerConfig& config) {
+  // Decorrelate this worker's retransmission jitter from every other
+  // link's without giving up determinism: the seed is still a pure
+  // function of (fabric seed, worker id).
+  BackoffPolicy policy = config.backoff;
+  policy.seed = net::hash_combine64(policy.seed,
+                                    static_cast<std::uint64_t>(config.id));
+  return policy;
+}
+
+}  // namespace
+
+FabricWorker::FabricWorker(WorkerConfig config, Transport* transport)
+    : config_(std::move(config)),
+      transport_(transport),
+      link_(worker_policy(config_)) {}
+
+bool FabricWorker::pump(bool until_idle) {
+  do {
+    auto wire = link_.poll(Clock::now());
+    for (auto& frame : wire.frames) {
+      if (!transport_->send(std::move(frame))) {
+        peer_gone_ = true;
+        return false;
+      }
+    }
+    if (link_.dead()) {
+      peer_gone_ = true;
+      error_ = "reliable link: retransmission budget exhausted";
+      return false;
+    }
+    if (!link_.busy()) return true;
+    int timeout_ms = 20;
+    if (wire.next_deadline) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             *wire.next_deadline - Clock::now())
+                             .count();
+      timeout_ms = static_cast<int>(std::min<long long>(
+          std::max<long long>(until, 1), 50));
+    }
+    const auto received = transport_->recv(timeout_ms);
+    if (received.status == RecvStatus::kClosed) {
+      peer_gone_ = true;
+      return false;
+    }
+    if (received.status != RecvStatus::kFrame) continue;
+    auto decoded = decode_frame(received.frame);
+    // A corrupt (truncated) frame vanishes here; the sender's
+    // retransmission schedule recovers it.
+    if (!decoded.message) continue;
+    Message& msg = *decoded.message;
+    if (msg.type == MsgType::kAck) {
+      link_.on_ack(msg.ack_seq);
+    } else if (msg.type == MsgType::kAssign) {
+      auto inbound = link_.on_reliable(msg);
+      if (!inbound.ack.empty()) transport_->send(std::move(inbound.ack));
+      if (inbound.deliver) deferred_.push_back(std::move(msg));
+    } else if (msg.type == MsgType::kBye) {
+      // Bye is unreliable and terminal: no ack, no ordering to protect.
+      deferred_.push_back(std::move(msg));
+    }
+  } while (until_idle && link_.busy());
+  return true;
+}
+
+bool FabricWorker::send_reliable(Message msg) {
+  link_.enqueue(std::move(msg));
+  return pump(/*until_idle=*/true);
+}
+
+void FabricWorker::start_heartbeats() {
+  heartbeat_stop_ = false;
+  heartbeat_ = std::thread([this] {
+    Message beat;
+    beat.type = MsgType::kHeartbeat;
+    beat.worker = static_cast<std::uint32_t>(config_.id);
+    const std::string frame = encode_frame(beat);
+    std::unique_lock lock{heartbeat_mu_};
+    while (!heartbeat_stop_) {
+      lock.unlock();
+      transport_->send(frame);
+      lock.lock();
+      heartbeat_cv_.wait_for(
+          lock, std::chrono::milliseconds(config_.heartbeat_interval_ms),
+          [this] { return heartbeat_stop_; });
+    }
+  });
+}
+
+void FabricWorker::stop_heartbeats() {
+  if (!heartbeat_.joinable()) return;
+  {
+    std::lock_guard lock{heartbeat_mu_};
+    heartbeat_stop_ = true;
+  }
+  heartbeat_cv_.notify_all();
+  heartbeat_.join();
+}
+
+void FabricWorker::run() {
+  try {
+    Message hello;
+    hello.type = MsgType::kHello;
+    hello.worker = static_cast<std::uint32_t>(config_.id);
+    if (!send_reliable(std::move(hello))) return;
+    start_heartbeats();
+    while (!done_ && !peer_gone_ && !crashed_) {
+      if (!deferred_.empty()) {
+        Message msg = std::move(deferred_.front());
+        deferred_.erase(deferred_.begin());
+        if (msg.type == MsgType::kBye) {
+          done_ = true;
+        } else if (msg.type == MsgType::kAssign) {
+          handle_assign(msg);
+        }
+        continue;
+      }
+      const auto received = transport_->recv(20);
+      if (received.status == RecvStatus::kClosed) break;
+      if (received.status != RecvStatus::kFrame) continue;
+      auto decoded = decode_frame(received.frame);
+      if (!decoded.message) continue;
+      Message& msg = *decoded.message;
+      if (msg.type == MsgType::kAck) {
+        link_.on_ack(msg.ack_seq);
+      } else if (msg.type == MsgType::kAssign) {
+        auto inbound = link_.on_reliable(msg);
+        if (!inbound.ack.empty()) transport_->send(std::move(inbound.ack));
+        if (inbound.deliver) deferred_.push_back(std::move(msg));
+      } else if (msg.type == MsgType::kBye) {
+        done_ = true;
+      }
+    }
+  } catch (const std::exception& e) {
+    // Failure containment mirrors the engine's: a throwing worker reports
+    // and hangs up; the coordinator's failover path treats it like any
+    // other dead node.
+    error_ = e.what();
+  } catch (...) {
+    error_ = "unknown exception";
+  }
+  stop_heartbeats();
+  // A silent crash (kill without close_transport) must leave the
+  // connection dangling so the coordinator's only death signal is the
+  // heartbeat timeout; every other exit hangs up explicitly.
+  if (crashed_) {
+    if (config_.kill && config_.kill->close_transport) transport_->close();
+  } else {
+    transport_->close();
+  }
+}
+
+void FabricWorker::handle_assign(const Message& assign) {
+  if (assign.fingerprint != config_.fingerprint) {
+    Message refuse;
+    refuse.type = MsgType::kRefuse;
+    refuse.shard = assign.shard;
+    refuse.epoch = assign.epoch;
+    refuse.diagnostic =
+        "shard " + std::to_string(assign.shard) +
+        ": scan fingerprint mismatch (stored " + hex_u64(assign.fingerprint) +
+        ", computed " + hex_u64(config_.fingerprint) +
+        ") — refusing a checkpoint handoff from a different scan";
+    send_reliable(std::move(refuse));
+    return;
+  }
+  if (assign.has_resume &&
+      assign.cursor.spec_steps.size() != config_.base.targets.size()) {
+    Message refuse;
+    refuse.type = MsgType::kRefuse;
+    refuse.shard = assign.shard;
+    refuse.epoch = assign.epoch;
+    refuse.diagnostic =
+        "shard " + std::to_string(assign.shard) +
+        ": torn checkpoint cursor (stored " +
+        std::to_string(assign.cursor.spec_steps.size()) +
+        " spec steps, computed " +
+        std::to_string(config_.base.targets.size()) +
+        " target specs) — refusing to resume";
+    send_reliable(std::move(refuse));
+    return;
+  }
+  run_shard(assign);
+}
+
+void FabricWorker::run_shard(const Message& assign) {
+  // The lease composes under the machine shard exactly like the engine's
+  // thread sub-sharding: fabric shard s of S on machine shard m of M walks
+  // shard m*S+s of M*S. The shard's record stream is therefore a pure
+  // function of (scan config, shard index) — whichever worker runs it, at
+  // whatever node count, produces identical bytes.
+  scan::ScanConfig wcfg = config_.base;
+  wcfg.shard = config_.base.shard * static_cast<int>(assign.shards_total) +
+               static_cast<int>(assign.shard);
+  wcfg.shards =
+      config_.base.shards * static_cast<int>(assign.shards_total);
+  wcfg.budget_cut_raw_slot = assign.budget_cut;
+  wcfg.max_probes = 0;  // fully encoded in the cut by the coordinator
+  if (assign.has_resume) wcfg.resume_spec_steps = assign.cursor.spec_steps;
+  if (config_.kill) wcfg.shutdown_at_raw_slot = config_.kill->at_slot;
+
+  // Thread-confined deterministic replica, the parallel engine's recipe.
+  sim::Network net{config_.build.seed};
+  auto internet = topo::build_internet(net, *config_.world_specs,
+                                       *config_.vendors, config_.build);
+  if (config_.faults.any()) {
+    sim::FaultInjector* injector = net.install_faults(config_.faults);
+    std::vector<sim::NodeId> candidates;
+    for (const auto& isp : internet.isps) {
+      for (const auto& device : isp.devices) {
+        candidates.push_back(device.node);
+      }
+    }
+    injector->choose_silent(candidates);
+  }
+  auto* scanner =
+      net.make_node<scan::SimChannelScanner>(wcfg, *config_.module);
+  const int iface =
+      topo::attach_vantage(net, internet, scanner, config_.vantage);
+  scanner->set_iface(iface);
+
+  std::vector<WireRecord> buffer;
+  // Set when the coordinator is unreachable mid-scan: the replica runs to
+  // completion (cheap, deterministic) but nothing more goes on the wire.
+  bool abandoned = false;
+  const auto crash_armed = [&] {
+    return config_.kill.has_value() && scanner->interrupted();
+  };
+  const auto flush = [&]() -> bool {
+    if (buffer.empty()) return true;
+    Message batch;
+    batch.type = MsgType::kRecords;
+    batch.shard = assign.shard;
+    batch.epoch = assign.epoch;
+    batch.records = std::move(buffer);
+    buffer.clear();
+    return send_reliable(std::move(batch));
+  };
+  scanner->on_response_slotted([&](const scan::ProbeResponse& response,
+                                   sim::SimTime when,
+                                   std::uint64_t raw_slot) {
+    buffer.push_back(WireRecord{response, when, raw_slot});
+    if (abandoned || crash_armed()) return;
+    if (buffer.size() >= config_.record_batch && !flush()) abandoned = true;
+  });
+  scanner->set_checkpoint_hook(
+      config_.checkpoint_interval_targets,
+      [&](const scan::ScanCursor& cursor) {
+        if (abandoned || crash_armed()) return;
+        // Flush first: the FIFO channel then guarantees every record below
+        // the cursor reaches the coordinator before the checkpoint does —
+        // the invariant the failover filter stands on.
+        if (!flush()) {
+          abandoned = true;
+          return;
+        }
+        Message ckpt;
+        ckpt.type = MsgType::kCheckpoint;
+        ckpt.shard = assign.shard;
+        ckpt.epoch = assign.epoch;
+        ckpt.cursor = cursor;
+        ckpt.stats = scanner->stats();
+        if (!send_reliable(std::move(ckpt))) abandoned = true;
+      });
+
+  scanner->start();
+  net.run();
+
+  if (crash_armed()) {
+    // The seeded kill point: everything unflushed dies with the worker.
+    crashed_ = true;
+    return;
+  }
+  if (abandoned || peer_gone_) return;
+  if (!flush()) return;
+  Message done;
+  done.type = MsgType::kShardDone;
+  done.shard = assign.shard;
+  done.epoch = assign.epoch;
+  done.stats = scanner->stats();
+  send_reliable(std::move(done));
+}
+
+}  // namespace xmap::fabric

@@ -1,0 +1,30 @@
+// The process exit-code taxonomy shared by every tool in the repo
+// (xmap_sim, xmap_store, the fabric coordinator). Scripts and CI steps
+// branch on these values, so they are part of the public contract and
+// documented in README.md — add new codes here, never ad hoc in a tool.
+#pragma once
+
+namespace xmap {
+
+// Scan/query completed; artifacts are whole.
+inline constexpr int kExitOk = 0;
+// One or more workers (threads or fabric nodes) failed unrecoverably;
+// results, if written, are partial.
+inline constexpr int kExitWorkerFailure = 1;
+// Bad configuration or an I/O error before/while writing artifacts.
+inline constexpr int kExitConfig = 2;
+// Interrupted by SIGINT/SIGTERM after a graceful drain; a resumable state
+// file was written (see docs/recovery.md).
+inline constexpr int kExitInterrupted = 3;
+
+[[nodiscard]] constexpr const char* exit_code_name(int code) {
+  switch (code) {
+    case kExitOk: return "ok";
+    case kExitWorkerFailure: return "worker-failure";
+    case kExitConfig: return "config-or-io-error";
+    case kExitInterrupted: return "interrupted-resumable";
+    default: return "unknown";
+  }
+}
+
+}  // namespace xmap

@@ -218,6 +218,28 @@ std::string Fingerprint::diff(const Fingerprint& run) const {
   return out;
 }
 
+std::uint64_t fingerprint_hash(const Fingerprint& fp) {
+  std::uint64_t h = 0x5846414250524f54ULL;  // "XFABPROT"
+  h = net::hash_combine64(h, fp.seed);
+  h = hash_string(h, fp.world);
+  h = net::hash_combine64(h, static_cast<std::uint64_t>(fp.window_bits));
+  h = hash_string(h, fp.probe_module);
+  h = hash_double(h, fp.rate_pps);
+  h = net::hash_combine64(h, static_cast<std::uint64_t>(fp.shard));
+  h = net::hash_combine64(h, static_cast<std::uint64_t>(fp.shards));
+  h = net::hash_combine64(h, static_cast<std::uint64_t>(fp.threads));
+  h = net::hash_combine64(h, static_cast<std::uint64_t>(fp.retries));
+  h = hash_double(h, fp.retry_spacing_ms);
+  h = hash_double(h, fp.cooldown_secs);
+  h = net::hash_combine64(h, fp.max_probes);
+  h = net::hash_combine64(h, fp.adaptive_rate ? 1 : 0);
+  h = hash_string(h, fp.output_format);
+  h = net::hash_combine64(h, fp.blocklist_hash);
+  h = net::hash_combine64(h, fp.fault_plan_hash);
+  for (const auto& target : fp.targets) h = hash_string(h, target);
+  return net::hash_combine64(h, fp.targets.size());
+}
+
 std::uint64_t blocklist_fingerprint(const scan::Blocklist& blocklist) {
   return blocklist.fingerprint();
 }

@@ -70,6 +70,12 @@ struct Fingerprint {
 [[nodiscard]] std::uint64_t blocklist_fingerprint(const scan::Blocklist&);
 [[nodiscard]] std::uint64_t fault_plan_fingerprint(const sim::FaultPlan&);
 
+// One-word identity of the whole fingerprint (every field, including the
+// blocklist/fault-plan hashes). The fabric layer stamps this into shard
+// assignments so a worker can refuse a checkpoint handoff from a different
+// scan configuration with a "stored …, computed …" diagnostic.
+[[nodiscard]] std::uint64_t fingerprint_hash(const Fingerprint&);
+
 // One worker's permutation position: shard-local raw-cycle steps consumed
 // per target spec (the fast-forward argument), plus the global raw slot of
 // the first target the resumed worker will draw (used to filter records in

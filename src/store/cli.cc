@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "netbase/exit_codes.h"
 #include "store/diff.h"
 #include "store/query.h"
 #include "store/service.h"
@@ -64,7 +65,7 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
       << "config fingerprint: " << h.config_fingerprint << "\n"
       << "git sha: " << snap.git_sha() << "\n"
       << "file bytes: " << snap.file_bytes() << "\n";
-  return 0;
+  return kExitOk;
 }
 
 [[nodiscard]] int cmd_query(const Snapshot& snap, const std::string& target,
@@ -74,7 +75,7 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
     const auto prefix = net::Ipv6Prefix::parse(target);
     if (!prefix) {
       err << "xmap_store: bad prefix: " << target << "\n";
-      return 2;
+      return kExitConfig;
     }
     std::uint64_t printed = 0;
     const std::uint64_t total = snap.scan_prefix(*prefix, [&](const Record& r) {
@@ -84,20 +85,20 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
       out << "... " << (total - limit) << " more (raise --limit)\n";
     }
     out << total << " records in " << prefix->to_string() << "\n";
-    return 0;
+    return kExitOk;
   }
   const auto addr = net::Ipv6Address::parse(target);
   if (!addr) {
     err << "xmap_store: bad address: " << target << "\n";
-    return 2;
+    return kExitConfig;
   }
   Record r;
   if (!snap.lookup(*addr, &r)) {
     out << target << ": not found\n";
-    return 0;
+    return kExitOk;
   }
   print_record(out, snap, r);
-  return 0;
+  return kExitOk;
 }
 
 [[nodiscard]] int cmd_agg(const Snapshot& snap, const std::string& group,
@@ -115,7 +116,7 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
   } else {
     err << "xmap_store: unknown grouping: " << group
         << " (want asn|country|vendor|service)\n";
-    return 2;
+    return kExitConfig;
   }
   std::vector<AggRow> rows;
   if (prefix_text.empty()) {
@@ -124,7 +125,7 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
     const auto prefix = net::Ipv6Prefix::parse(prefix_text);
     if (!prefix) {
       err << "xmap_store: bad prefix: " << prefix_text << "\n";
-      return 2;
+      return kExitConfig;
     }
     rows = aggregate_prefix(snap, *prefix, by);
   }
@@ -133,7 +134,7 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
     out << row.key << "  " << row.records << "  " << row.loop_candidates
         << "  " << row.loop_confirmed << "  " << row.responses << "\n";
   }
-  return 0;
+  return kExitOk;
 }
 
 [[nodiscard]] int cmd_summary(const Snapshot& snap, std::ostream& out) {
@@ -144,7 +145,7 @@ void print_record(std::ostream& out, const Snapshot& snap, const Record& r) {
       << "ASNs: " << s.asns << " (" << s.loop_asns << " with loops)\n"
       << "countries: " << s.countries << " (" << s.loop_countries
       << " with loops)\n";
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -155,7 +156,7 @@ int store_cli_main(int argc, const char* const* argv, std::ostream& out,
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
   if (args.empty()) {
     err << kUsage;
-    return 2;
+    return kExitConfig;
   }
   const std::string& cmd = args[0];
 
@@ -186,17 +187,17 @@ int store_cli_main(int argc, const char* const* argv, std::ostream& out,
     };
     std::uint64_t threads_u64 = 0;
     if (flag_value("--limit", &limit)) {
-      if (limit == ~std::uint64_t{0}) return 2;
+      if (limit == ~std::uint64_t{0}) return kExitConfig;
     } else if (flag_value("--threads", &threads_u64)) {
-      if (threads_u64 == ~std::uint64_t{0}) return 2;
+      if (threads_u64 == ~std::uint64_t{0}) return kExitConfig;
       threads = static_cast<int>(threads_u64);
     } else if (flag_value("--lookups", &lookups)) {
-      if (lookups == ~std::uint64_t{0}) return 2;
+      if (lookups == ~std::uint64_t{0}) return kExitConfig;
     } else if (flag_value("--seed", &seed)) {
-      if (seed == ~std::uint64_t{0}) return 2;
+      if (seed == ~std::uint64_t{0}) return kExitConfig;
     } else if (args[i].rfind("--", 0) == 0) {
       err << "xmap_store: unknown flag: " << args[i] << "\n";
-      return 2;
+      return kExitConfig;
     } else {
       pos.push_back(args[i]);
     }
@@ -205,11 +206,11 @@ int store_cli_main(int argc, const char* const* argv, std::ostream& out,
   if (cmd == "diff") {
     if (pos.size() != 2) {
       err << kUsage;
-      return 2;
+      return kExitConfig;
     }
     auto before = open_or_report(pos[0], err);
     auto after = open_or_report(pos[1], err);
-    if (!before || !after) return 2;
+    if (!before || !after) return kExitConfig;
     std::uint64_t printed = 0;
     const DiffStats stats =
         diff(*before, *after, [&](const DiffEntry& e) {
@@ -224,39 +225,39 @@ int store_cli_main(int argc, const char* const* argv, std::ostream& out,
     out << "added " << stats.added << ", removed " << stats.removed
         << ", changed " << stats.changed << ", unchanged " << stats.unchanged
         << "\n";
-    return 0;
+    return kExitOk;
   }
 
   if (pos.empty()) {
     err << kUsage;
-    return 2;
+    return kExitConfig;
   }
   if (cmd == "verify") {
     auto result = Snapshot::load(pos[0]);
     if (!result.snapshot) {
       err << "xmap_store: " << result.error << "\n";
-      return 2;
+      return kExitConfig;
     }
     out << pos[0] << ": ok (" << result.snapshot->record_count()
         << " records, " << result.snapshot->block_count() << " blocks)\n";
-    return 0;
+    return kExitOk;
   }
   auto snap = open_or_report(pos[0], err);
-  if (!snap) return 2;
+  if (!snap) return kExitConfig;
 
   if (cmd == "info") return cmd_info(*snap, out);
   if (cmd == "summary") return cmd_summary(*snap, out);
   if (cmd == "query") {
     if (pos.size() != 2) {
       err << kUsage;
-      return 2;
+      return kExitConfig;
     }
     return cmd_query(*snap, pos[1], limit, out, err);
   }
   if (cmd == "agg") {
     if (pos.size() != 2 && pos.size() != 3) {
       err << kUsage;
-      return 2;
+      return kExitConfig;
     }
     return cmd_agg(*snap, pos[1], pos.size() == 3 ? pos[2] : "", out, err);
   }
@@ -269,10 +270,10 @@ int store_cli_main(int argc, const char* const* argv, std::ostream& out,
     out << r.lookups << " lookups, " << r.hits << " hits, "
         << r.seconds << " s, "
         << static_cast<std::uint64_t>(r.lookups_per_sec) << " lookups/s\n";
-    return 0;
+    return kExitOk;
   }
   err << kUsage;
-  return 2;
+  return kExitConfig;
 }
 
 }  // namespace xmap::store

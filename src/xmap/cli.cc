@@ -104,6 +104,31 @@ Parallel engine:
                             final JSON metrics summary ('-' = stderr)
   --status-interval-ms <n>  monitor cadence (default 250)
 
+Distributed fabric (src/fabric; see docs/distributed.md):
+  --fabric-nodes <n>        scan through the coordinator/worker fabric with
+                            n worker engines over the loopback transport
+                            (1..32); exits 1 when any shard could not be
+                            completed
+  --fabric-shards <n>       fabric shard count — the determinism unit: the
+                            records equal an engine run at --threads n for
+                            any node count (default 8)
+  --fabric-heartbeat-ms <n> worker heartbeat cadence (default 25)
+  --fabric-heartbeat-timeout-ms <n>
+                            silence after which a worker is declared dead
+                            and its shard fails over (default 250)
+  --kill-node-at <node>:<slot>[:close]
+                            seeded crash: worker <node> dies when its scan
+                            frontier reaches permutation slot <slot>
+                            (repeatable); with :close its connection drops
+                            immediately, otherwise death is detected by
+                            heartbeat timeout
+  --fabric-drop-heartbeat <p>
+                            P(drop a heartbeat frame) (0..1)
+  --fabric-duplicate <p>    P(deliver a fabric frame twice) (0..1)
+  --fabric-truncate <p>     P(truncate a fabric frame; the checksum rejects
+                            it and retransmission recovers) (0..1)
+  --fabric-delay-ms <ms>    max extra fabric frame delay (reorders)
+
 Observability:
   --trace-level off|scan|packet
                             deterministic sim-clock event trace: per-target
@@ -409,6 +434,86 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
       opts.faults.silent.start_ms = f[1];
       opts.faults.silent.duration_ms = f[2];
       opts.faults_given = true;
+    } else if (arg == "--fabric-nodes") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 1 ||
+          n > 32) {
+        return fail("bad --fabric-nodes (1..32)");
+      }
+      opts.fabric_nodes = static_cast<int>(n);
+    } else if (arg == "--fabric-shards") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 1 ||
+          n > 1024) {
+        return fail("bad --fabric-shards (1..1024)");
+      }
+      opts.fabric_shards = static_cast<int>(n);
+    } else if (arg == "--fabric-heartbeat-ms") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 1 ||
+          n > 10000) {
+        return fail("bad --fabric-heartbeat-ms (1..10000)");
+      }
+      opts.fabric_heartbeat_ms = static_cast<int>(n);
+    } else if (arg == "--fabric-heartbeat-timeout-ms") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 2 ||
+          n > 60000) {
+        return fail("bad --fabric-heartbeat-timeout-ms (2..60000)");
+      }
+      opts.fabric_heartbeat_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--kill-node-at") {
+      std::string value;
+      if (!next_value(arg, value)) return fail("--kill-node-at needs a value");
+      sim::FabricFaultPlan::Kill kill;
+      std::string_view text = value;
+      bool ok = true;
+      const std::size_t first = text.find(':');
+      long long node = 0;
+      long long slot = 0;
+      if (first == std::string_view::npos ||
+          !parse_int(text.substr(0, first), node) || node < 0) {
+        ok = false;
+      } else {
+        text.remove_prefix(first + 1);
+        const std::size_t second = text.find(':');
+        if (!parse_int(text.substr(0, second), slot) || slot < 1) {
+          ok = false;
+        } else if (second != std::string_view::npos) {
+          if (text.substr(second + 1) != "close") ok = false;
+          kill.close_transport = true;
+        }
+      }
+      if (!ok) return fail("bad --kill-node-at (<node>:<slot>[:close])");
+      kill.node = static_cast<int>(node);
+      kill.at_slot = static_cast<std::uint64_t>(slot);
+      opts.fabric_faults.kills.push_back(kill);
+    } else if (arg == "--fabric-drop-heartbeat" ||
+               arg == "--fabric-duplicate" || arg == "--fabric-truncate") {
+      std::string value;
+      double p = 0;
+      if (!next_value(arg, value) || !parse_double(value, p) ||
+          !unit_range(p)) {
+        return fail("bad " + std::string{arg} + " (probability in 0..1)");
+      }
+      if (arg == "--fabric-drop-heartbeat") {
+        opts.fabric_faults.messages.drop_heartbeat = p;
+      }
+      if (arg == "--fabric-duplicate") {
+        opts.fabric_faults.messages.duplicate = p;
+      }
+      if (arg == "--fabric-truncate") opts.fabric_faults.messages.truncate = p;
+    } else if (arg == "--fabric-delay-ms") {
+      std::string value;
+      if (!next_value(arg, value) ||
+          !parse_double(value, opts.fabric_faults.messages.delay_ms) ||
+          opts.fabric_faults.messages.delay_ms < 0) {
+        return fail("bad --fabric-delay-ms");
+      }
     } else if (arg == "--device-icmp-rate" || arg == "--router-icmp-rate") {
       std::string value;
       long long n = 0;
@@ -468,6 +573,46 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
     return fail(
         "checkpoint/resume flags need a bulk probe module, not the "
         "traceroute runner");
+  }
+  if (opts.fabric_nodes == 0 && opts.fabric_faults.any()) {
+    return fail("fabric fault flags need --fabric-nodes");
+  }
+  if (opts.fabric_nodes > 0) {
+    if (opts.threads > 0 || !opts.status_updates_file.empty()) {
+      return fail(
+          "--fabric-nodes and --threads are different executors; fabric "
+          "parallelism is --fabric-shards");
+    }
+    if (module == "traceroute") {
+      return fail("--fabric-nodes needs a bulk probe module, not the "
+                  "traceroute runner");
+    }
+    if (opts.adaptive_rate) {
+      return fail(
+          "--fabric-nodes is incompatible with --adaptive-rate (no stable "
+          "cursor to hand over on failover under AIMD pacing)");
+    }
+    if (!opts.resume_file.empty() || !opts.checkpoint_file.empty() ||
+        opts.shutdown_after_probes != 0) {
+      return fail(
+          "--resume/--checkpoint-file/--shutdown-after-probes are "
+          "single-machine recovery flags; the fabric checkpoints shard "
+          "leases internally (--checkpoint-interval-probes sets the "
+          "cadence)");
+    }
+    if (!opts.trace_file.empty() || !opts.metrics_file.empty() ||
+        opts.trace_level.has_value() || opts.profile) {
+      return fail(
+          "observability flags are not wired through the fabric path yet; "
+          "drop --trace-file/--metrics-file/--trace-level/--profile");
+    }
+    for (const auto& kill : opts.fabric_faults.kills) {
+      if (kill.node >= opts.fabric_nodes) {
+        return fail("--kill-node-at names node " + std::to_string(kill.node) +
+                    " but there are only " +
+                    std::to_string(opts.fabric_nodes) + " fabric nodes");
+      }
+    }
   }
   if (opts.checkpoint_interval != 0 && opts.adaptive_rate) {
     // AIMD pacing makes the send schedule state-dependent, so there is no

@@ -70,6 +70,18 @@ struct CliOptions {
   std::string status_updates_file;  // --status-updates-file
   int status_interval_ms = 250;     // --status-interval-ms
 
+  // Distributed scan fabric (src/fabric): --fabric-nodes routes the scan
+  // through the coordinator/worker fabric over the loopback transport.
+  // 0 = flag absent. The fabric shard count — not the node count — is the
+  // determinism unit: records match an engine run at that --threads value.
+  int fabric_nodes = 0;                  // --fabric-nodes (1..32)
+  int fabric_shards = 8;                 // --fabric-shards (default 8)
+  int fabric_heartbeat_ms = 25;          // --fabric-heartbeat-ms
+  int fabric_heartbeat_timeout_ms = 250;  // --fabric-heartbeat-timeout-ms
+  // Fabric-layer faults: seeded worker kills (--kill-node-at) and message
+  // faults (--fabric-drop-heartbeat/-duplicate/-truncate/-delay-ms).
+  sim::FabricFaultPlan fabric_faults;
+
   // Simulation substrate: "paper" (the 15 calibrated blocks),
   // "bgp:<n_ases>", or "file:<path>" (a JSON spec document; see
   // topology/spec_loader.h for the schema).

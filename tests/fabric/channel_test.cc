@@ -1,0 +1,205 @@
+// ReliableLink state-machine tests: stop-and-wait sequencing, bounded
+// exponential backoff with deterministic seeded jitter, retransmission
+// budget death, and exactly-once in-order receiver delivery.
+#include "fabric/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace xmap::fabric {
+namespace {
+
+using Clock = ReliableLink::Clock;
+using std::chrono::milliseconds;
+
+Message heartbeat_msg(std::uint32_t worker) {
+  Message msg;
+  msg.type = MsgType::kHeartbeat;
+  msg.worker = worker;
+  return msg;
+}
+
+Message with_seq(MsgType type, std::uint64_t seq) {
+  Message msg;
+  msg.type = type;
+  msg.seq = seq;
+  return msg;
+}
+
+TEST(BackoffPolicy, DoublesAndCaps) {
+  BackoffPolicy policy;
+  policy.base_ms = 10;
+  policy.max_ms = 500;
+  policy.jitter_ms = 0;  // isolate the deterministic schedule
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, 0), 10);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, 1), 20);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, 2), 40);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, 5), 320);
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, 6), 500);   // capped
+  EXPECT_DOUBLE_EQ(policy.delay_ms(1, 11), 500);  // stays capped
+}
+
+TEST(BackoffPolicy, JitterIsSeededAndBounded) {
+  BackoffPolicy policy;
+  policy.base_ms = 10;
+  policy.jitter_ms = 5;
+  policy.seed = 99;
+  BackoffPolicy same = policy;
+  BackoffPolicy other = policy;
+  other.seed = 100;
+  bool any_differs = false;
+  for (std::uint64_t seq = 1; seq <= 8; ++seq) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const double d = policy.delay_ms(seq, attempt);
+      // Same seed, same key -> same delay; jitter within [0, jitter_ms).
+      EXPECT_DOUBLE_EQ(d, same.delay_ms(seq, attempt));
+      const double base = std::min(policy.base_ms * (1 << attempt),
+                                   policy.max_ms);
+      EXPECT_GE(d, base);
+      EXPECT_LT(d, base + policy.jitter_ms);
+      if (d != other.delay_ms(seq, attempt)) any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);  // a different seed decorrelates the schedule
+}
+
+TEST(ReliableLink, StampsSequenceNumbersFromOne) {
+  ReliableLink link{BackoffPolicy{}};
+  link.enqueue(heartbeat_msg(0));
+  link.enqueue(heartbeat_msg(0));
+  const auto t0 = Clock::now();
+  auto wire = link.poll(t0);
+  ASSERT_EQ(wire.frames.size(), 1u);  // stop-and-wait: one in flight
+  auto first = decode_frame(wire.frames[0]);
+  ASSERT_TRUE(first.message.has_value());
+  EXPECT_EQ(first.message->seq, 1u);
+
+  link.on_ack(1);
+  wire = link.poll(t0);
+  ASSERT_EQ(wire.frames.size(), 1u);
+  auto second = decode_frame(wire.frames[0]);
+  ASSERT_TRUE(second.message.has_value());
+  EXPECT_EQ(second.message->seq, 2u);
+
+  link.on_ack(2);
+  EXPECT_FALSE(link.busy());
+  EXPECT_TRUE(link.poll(t0).frames.empty());
+}
+
+TEST(ReliableLink, RetransmitsAfterDeadlineVerbatim) {
+  BackoffPolicy policy;
+  policy.base_ms = 10;
+  policy.jitter_ms = 0;
+  ReliableLink link{policy};
+  link.enqueue(heartbeat_msg(0));
+  const auto t0 = Clock::now();
+  auto wire = link.poll(t0);
+  ASSERT_EQ(wire.frames.size(), 1u);
+  const std::string original = wire.frames[0];
+  ASSERT_TRUE(wire.next_deadline.has_value());
+
+  // Before the deadline: silence.
+  EXPECT_TRUE(link.poll(t0 + milliseconds(5)).frames.empty());
+  // After it: the identical frame again, and the counter ticks.
+  wire = link.poll(t0 + milliseconds(11));
+  ASSERT_EQ(wire.frames.size(), 1u);
+  EXPECT_EQ(wire.frames[0], original);
+  EXPECT_EQ(link.retransmits(), 1u);
+  EXPECT_FALSE(link.dead());
+}
+
+TEST(ReliableLink, DiesAfterRetransmissionBudget) {
+  BackoffPolicy policy;
+  policy.base_ms = 1;
+  policy.max_ms = 1;
+  policy.jitter_ms = 0;
+  policy.max_attempts = 4;
+  ReliableLink link{policy};
+  link.enqueue(heartbeat_msg(0));
+  auto now = Clock::now();
+  int transmissions = 0;
+  for (int i = 0; i < 20 && !link.dead(); ++i) {
+    transmissions += static_cast<int>(link.poll(now).frames.size());
+    now += milliseconds(2);
+  }
+  EXPECT_TRUE(link.dead());
+  EXPECT_EQ(transmissions, 4);
+  EXPECT_EQ(link.retransmits(), 3u);
+  // Dead is latched; nothing further goes on the wire.
+  EXPECT_TRUE(link.poll(now).frames.empty());
+}
+
+TEST(ReliableLink, IgnoresAcksForUnknownSequences) {
+  ReliableLink link{BackoffPolicy{}};
+  link.enqueue(heartbeat_msg(0));
+  (void)link.poll(Clock::now());
+  link.on_ack(99);  // not the in-flight frame
+  EXPECT_TRUE(link.busy());
+  link.on_ack(1);
+  EXPECT_FALSE(link.busy());
+}
+
+TEST(ReliableLink, ReceiverDeliversExactlyOnceInOrder) {
+  ReliableLink link{BackoffPolicy{}};
+
+  auto in1 = link.on_reliable(with_seq(MsgType::kRecords, 1));
+  EXPECT_TRUE(in1.deliver);
+  ASSERT_FALSE(in1.ack.empty());
+  auto ack1 = decode_frame(in1.ack);
+  ASSERT_TRUE(ack1.message.has_value());
+  EXPECT_EQ(ack1.message->type, MsgType::kAck);
+  EXPECT_EQ(ack1.message->ack_seq, 1u);
+
+  // A duplicate (retransmission after a lost ack) is re-acked, not
+  // re-delivered.
+  auto dup = link.on_reliable(with_seq(MsgType::kRecords, 1));
+  EXPECT_FALSE(dup.deliver);
+  ASSERT_FALSE(dup.ack.empty());
+  auto ack_dup = decode_frame(dup.ack);
+  ASSERT_TRUE(ack_dup.message.has_value());
+  EXPECT_EQ(ack_dup.message->ack_seq, 1u);
+
+  // Ahead-of-sequence frames (a misbehaving peer under stop-and-wait) are
+  // dropped without an ack, so the peer keeps retransmitting.
+  auto ahead = link.on_reliable(with_seq(MsgType::kRecords, 5));
+  EXPECT_FALSE(ahead.deliver);
+  EXPECT_TRUE(ahead.ack.empty());
+
+  auto in2 = link.on_reliable(with_seq(MsgType::kCheckpoint, 2));
+  EXPECT_TRUE(in2.deliver);
+}
+
+TEST(ReliableLink, FifoAcrossManyFrames) {
+  ReliableLink sender{BackoffPolicy{}};
+  ReliableLink receiver{BackoffPolicy{}};
+  for (int i = 0; i < 10; ++i) {
+    Message msg;
+    msg.type = MsgType::kRecords;
+    msg.shard = static_cast<std::uint32_t>(i);
+    sender.enqueue(msg);
+  }
+  std::vector<std::uint32_t> delivered;
+  auto now = Clock::now();
+  while (sender.busy()) {
+    auto wire = sender.poll(now);
+    for (const auto& frame : wire.frames) {
+      auto decoded = decode_frame(frame);
+      ASSERT_TRUE(decoded.message.has_value());
+      auto inbound = receiver.on_reliable(*decoded.message);
+      if (inbound.deliver) delivered.push_back(decoded.message->shard);
+      auto ack = decode_frame(inbound.ack);
+      ASSERT_TRUE(ack.message.has_value());
+      sender.on_ack(ack.message->ack_seq);
+    }
+  }
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(delivered[i], i);
+  EXPECT_EQ(sender.retransmits(), 0u);
+}
+
+}  // namespace
+}  // namespace xmap::fabric

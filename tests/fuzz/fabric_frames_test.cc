@@ -1,0 +1,211 @@
+// Fuzz harness for the fabric frame decoder (satellite requirement):
+// every truncation and every single-bit flip of a valid frame must be
+// rejected — never crash, never mis-parse into an accepted message — plus
+// seeded random multi-byte mutations and hostile hand-built frames.
+//
+// Why every bit flip is detectable: a flip inside the payload always
+// changes the FNV-1a checksum (each step h = (h ^ byte) * prime is
+// injective in h, so two states differing at any step stay different
+// through the tail), a flip in the stored checksum mismatches the computed
+// one, and flips in the magic or length prefix are caught by their own
+// checks before the checksum is even consulted.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fabric/protocol.h"
+
+namespace xmap::fabric {
+namespace {
+
+std::vector<std::string> corpus() {
+  std::vector<std::string> frames;
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.seq = 1;
+  hello.worker = 3;
+  frames.push_back(encode_frame(hello));
+
+  Message assign;
+  assign.type = MsgType::kAssign;
+  assign.seq = 2;
+  assign.shard = 5;
+  assign.epoch = 1;
+  assign.shards_total = 8;
+  assign.budget_cut = 99999;
+  assign.fingerprint = 0x0123456789abcdefULL;
+  assign.has_resume = true;
+  assign.cursor.frontier_slot = 4242;
+  assign.cursor.spec_steps = {1, 2, 3, 4, 5};
+  frames.push_back(encode_frame(assign));
+
+  Message records;
+  records.type = MsgType::kRecords;
+  records.seq = 7;
+  records.shard = 2;
+  records.epoch = 0;
+  for (int i = 0; i < 5; ++i) {
+    WireRecord rec;
+    rec.response.kind = scan::ResponseKind::kEchoReply;
+    rec.response.responder = *net::Ipv6Address::parse("2001:db8::1");
+    rec.response.probe_dst = *net::Ipv6Address::parse("2001:db8::2");
+    rec.response.hop_limit = 62;
+    rec.when = 1000 + static_cast<std::uint64_t>(i);
+    rec.raw_slot = 512 + static_cast<std::uint64_t>(i);
+    records.records.push_back(rec);
+  }
+  frames.push_back(encode_frame(records));
+
+  Message ckpt;
+  ckpt.type = MsgType::kCheckpoint;
+  ckpt.seq = 8;
+  ckpt.shard = 2;
+  ckpt.cursor.frontier_slot = 300;
+  ckpt.cursor.spec_steps = {9, 9};
+  ckpt.stats.sent = 300;
+  ckpt.stats.validated = 250;
+  frames.push_back(encode_frame(ckpt));
+
+  Message refuse;
+  refuse.type = MsgType::kRefuse;
+  refuse.seq = 3;
+  refuse.diagnostic = "shard 5: scan fingerprint mismatch";
+  frames.push_back(encode_frame(refuse));
+
+  Message ack;
+  ack.type = MsgType::kAck;
+  ack.ack_seq = 17;
+  frames.push_back(encode_frame(ack));
+
+  return frames;
+}
+
+// The baseline: every corpus frame decodes cleanly.
+TEST(FabricFramesFuzz, CorpusDecodes) {
+  for (const auto& frame : corpus()) {
+    auto decoded = decode_frame(frame);
+    EXPECT_TRUE(decoded.message.has_value()) << decoded.error;
+  }
+}
+
+// Every proper prefix of every valid frame is rejected with a diagnostic.
+TEST(FabricFramesFuzz, EveryTruncationRejected) {
+  for (const auto& frame : corpus()) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      auto decoded = decode_frame(frame.substr(0, len));
+      ASSERT_FALSE(decoded.message.has_value())
+          << "truncation to " << len << " of " << frame.size()
+          << " bytes was accepted";
+      ASSERT_FALSE(decoded.error.empty());
+    }
+  }
+}
+
+// Every single-bit flip of every valid frame is rejected: the checksum (or
+// an earlier structural check) catches all of them, and none crashes.
+TEST(FabricFramesFuzz, EveryBitFlipRejected) {
+  for (const auto& frame : corpus()) {
+    for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = frame;
+        mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+        auto decoded = decode_frame(mutated);
+        ASSERT_FALSE(decoded.message.has_value())
+            << "bit " << bit << " of byte " << byte << " flipped in a "
+            << frame.size() << "-byte frame was accepted";
+        ASSERT_FALSE(decoded.error.empty());
+      }
+    }
+  }
+}
+
+// Seeded random multi-byte mutations: never a crash; anything accepted must
+// be byte-identical to the original (i.e. the mutation round-tripped to the
+// same frame, which random multi-flips practically never do — but the
+// invariant is "no mis-parse", not "always rejected").
+TEST(FabricFramesFuzz, RandomMutationsNeverMisparse) {
+  std::mt19937_64 rng{20260808};
+  const auto frames = corpus();
+  for (int round = 0; round < 2000; ++round) {
+    std::string mutated = frames[round % frames.size()];
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < flips; ++i) {
+      mutated[rng() % mutated.size()] ^= static_cast<char>(1 + rng() % 255);
+    }
+    // Occasionally also chop the tail.
+    if (rng() % 4 == 0 && mutated.size() > 1) {
+      mutated.resize(rng() % mutated.size());
+    }
+    auto decoded = decode_frame(mutated);
+    if (decoded.message.has_value()) {
+      EXPECT_EQ(mutated, frames[round % frames.size()])
+          << "a mutated frame was accepted";
+    } else {
+      EXPECT_FALSE(decoded.error.empty());
+    }
+  }
+}
+
+// Purely random byte strings (with and without a valid-looking header).
+TEST(FabricFramesFuzz, RandomGarbageRejected) {
+  std::mt19937_64 rng{42};
+  for (int round = 0; round < 2000; ++round) {
+    std::string garbage(rng() % 128, '\0');
+    for (auto& c : garbage) c = static_cast<char>(rng());
+    auto decoded = decode_frame(garbage);
+    if (decoded.message.has_value()) {
+      // Only conceivable if the garbage happens to be a valid frame —
+      // with a 32-bit magic + 64-bit checksum this does not occur for
+      // these seeds; flag it if the protocol ever weakens.
+      ADD_FAILURE() << "random garbage of size " << garbage.size()
+                    << " decoded as " << msg_type_name(decoded.message->type);
+    }
+  }
+}
+
+// Hostile count prefixes must be rejected by the bound check before any
+// allocation: a frame claiming 500 million records in a 100-byte body.
+TEST(FabricFramesFuzz, HostileCountPrefixRejectedWithoutAllocation) {
+  Message msg;
+  msg.type = MsgType::kRecords;
+  msg.seq = 1;
+  std::string frame = encode_frame(msg);
+  const std::size_t payload_len = frame.size() - kFrameOverhead;
+  const std::uint32_t huge = 500'000'000;
+  std::memcpy(frame.data() + 8 + payload_len - 4, &huge, 4);
+  const std::uint64_t sum =
+      frame_checksum(std::string_view(frame).substr(8, payload_len));
+  std::memcpy(frame.data() + 8 + payload_len, &sum, 8);
+  auto decoded = decode_frame(frame);
+  ASSERT_FALSE(decoded.message.has_value());
+  EXPECT_NE(decoded.error.find("exceeds remaining"), std::string::npos)
+      << decoded.error;
+}
+
+// A length prefix lying upward past the buffer, and one lying downward
+// (shorter than the actual payload), are both structural rejections.
+TEST(FabricFramesFuzz, LyingLengthPrefixRejected) {
+  Message msg;
+  msg.type = MsgType::kHeartbeat;
+  msg.worker = 1;
+  const std::string frame = encode_frame(msg);
+
+  std::string up = frame;
+  std::uint32_t len;
+  std::memcpy(&len, up.data() + 4, 4);
+  const std::uint32_t bigger = len + 8;
+  std::memcpy(up.data() + 4, &bigger, 4);
+  EXPECT_FALSE(decode_frame(up).message.has_value());
+
+  std::string down = frame;
+  const std::uint32_t smaller = len - 4;
+  std::memcpy(down.data() + 4, &smaller, 4);
+  EXPECT_FALSE(decode_frame(down).message.has_value());
+}
+
+}  // namespace
+}  // namespace xmap::fabric

@@ -21,6 +21,8 @@
 #include "analysis/store_export.h"
 #include "engine/executor.h"
 #include "engine/probe_factory.h"
+#include "fabric/coordinator.h"
+#include "netbase/exit_codes.h"
 #include "store/writer.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
@@ -40,10 +42,8 @@ using namespace xmap;
 
 namespace {
 
-constexpr int kExitOk = 0;
-constexpr int kExitWorkerFailure = 1;
-constexpr int kExitConfig = 2;
-constexpr int kExitInterrupted = 3;
+// Exit codes come from the shared taxonomy (netbase/exit_codes.h):
+// kExitOk, kExitWorkerFailure, kExitConfig, kExitInterrupted.
 
 void print_stats_footer(const scan::ScanStats& stats, int threads,
                         double wall_seconds) {
@@ -419,6 +419,75 @@ int main(int argc, char** argv) {
     }
     return true;
   };
+
+  // --- Distributed fabric path ---------------------------------------------
+  if (opts.fabric_nodes > 0) {
+    fabric::FabricConfig fcfg;
+    fcfg.world_specs = specs;
+    fcfg.vendors = topo::paper::vendor_catalog();
+    fcfg.build = build_cfg;
+    fcfg.module = module.module.get();
+    fcfg.scan = cfg;
+    fcfg.faults = fault_plan;
+    fcfg.fabric_faults = opts.fabric_faults;
+    fcfg.nodes = opts.fabric_nodes;
+    fcfg.shards = opts.fabric_shards;
+    if (opts.checkpoint_interval != 0) {
+      fcfg.checkpoint_interval_targets = opts.checkpoint_interval;
+    }
+    fcfg.heartbeat_interval_ms = opts.fabric_heartbeat_ms;
+    fcfg.heartbeat_timeout_ms = opts.fabric_heartbeat_timeout_ms;
+    fcfg.backoff.seed = opts.seed;
+    fcfg.fingerprint = fingerprint;
+    if (!opts.quiet) fcfg.log = &std::clog;
+    auto result = fabric::run_fabric_scan(fcfg);
+    if (!result.ok) {
+      std::fprintf(stderr, "xmap_sim: %s\n", result.error.c_str());
+      return kExitConfig;
+    }
+
+    writer->begin();
+    for (const auto& record : result.records) {
+      writer->record(record.response, record.when);
+    }
+    writer->end();
+    if (!flush_output()) return kExitConfig;
+    if (!opts.store_file.empty()) {
+      // Workers build their worlds in their own threads; rebuild one on a
+      // scratch network for the deterministic geo/vendor attribution.
+      sim::Network store_net{opts.seed};
+      const auto store_internet = topo::build_internet(
+          store_net, specs, topo::paper::vendor_catalog(), build_cfg);
+      if (!write_store_file(opts, fingerprint, store_internet,
+                            result.records)) {
+        return kExitConfig;
+      }
+    }
+    for (const auto& error : result.worker_errors) {
+      std::fprintf(stderr, "xmap_sim: fabric: %s\n", error.c_str());
+    }
+    if (!opts.quiet) {
+      print_stats_footer(result.stats, opts.fabric_nodes,
+                         result.wall_seconds);
+      std::fprintf(
+          stderr,
+          "xmap_sim: fabric: %d node(s), %d shard(s), %llu reassignment(s), "
+          "%d dead worker(s), %llu missed heartbeat(s), %llu retransmit(s), "
+          "%llu rejected frame(s)\n",
+          opts.fabric_nodes, opts.fabric_shards,
+          static_cast<unsigned long long>(result.reassignments),
+          result.dead_workers,
+          static_cast<unsigned long long>(result.missed_heartbeats),
+          static_cast<unsigned long long>(result.retransmits),
+          static_cast<unsigned long long>(result.frames_rejected));
+    }
+    if (result.failed) {
+      std::fprintf(stderr,
+                   "xmap_sim: fabric: incomplete shards; results partial\n");
+      return kExitWorkerFailure;
+    }
+    return kExitOk;
+  }
 
   // --- Parallel engine path ------------------------------------------------
   if (opts.threads > 0 || !opts.status_updates_file.empty()) {
