@@ -1,21 +1,50 @@
-// Observability overhead: wall-clock of the parallel engine with the obs
-// subsystem off, with metrics only, with scan-level tracing, and with
-// packet-level tracing. The acceptance target is "--trace-level off" costs
-// < 2% over the no-obs baseline — disabled sinks reduce to a null-pointer
-// test per would-be event, so the off column measures exactly that. The
-// trace columns also report event volume, the knob that actually drives
-// their cost.
+// Observability overhead: cost of the parallel engine and of the
+// distributed fabric with the obs subsystem off, with metrics only, and
+// with tracing. The acceptance target is that metrics-on costs < 2% over
+// the no-obs baseline — disabled sinks reduce to a null-pointer test per
+// would-be event, the metrics hot path is a pre-resolved uint64 increment,
+// and the RTT send-time bookkeeping it enables sits in an open-addressed
+// flat table (netbase/flat_hash64.h). The fabric section additionally pays
+// obs-chunk shipping (trace/metrics frames ride the reliable channel
+// before ShardDone) and, in the deployment-trace mode, a mutex-guarded
+// span per protocol event — both off the packet hot path, so the same bar
+// applies.
 //
-// XMAP_SEED overrides the world seed; XMAP_REPS the repetitions (median
-// reported, default 5).
+// Measurement: shared machines drift (thermal, neighbors), so a raw
+// wall-clock A/B cannot resolve 2%. The bar is therefore enforced on
+// process-CPU time with an ABBA design: each rep runs the modes in
+// alternating order (forward on even reps, reversed on odd), and
+// consecutive reps' no-obs/metrics CPU ratios are combined geometrically,
+// which cancels both slow drift and the run-position effect (a null
+// experiment pairing two identical modes showed the second run of a cycle
+// costing ~4% more CPU — allocator and page-cache heat). The median of the
+// combined ratios shrugs off spikes. Wall-clock is still reported for the
+// human-readable table and the regression-checker JSON.
+//
+// The trace columns also report event volume, the knob that actually
+// drives their cost.
+//
+// Emits BENCH_observability_overhead.json for
+// tools/check_bench_regression.py. With XMAP_ENFORCE_OBS_BAR=1 (the
+// perf-smoke CI job) the bar is enforced: exit 1 when either engine or
+// fabric metrics-on exceeds XMAP_OBS_BAR_PCT (default 2%) over its no-obs
+// baseline.
+//
+// XMAP_SEED overrides the world seed; XMAP_REPS the repetitions (default 5);
+// XMAP_WINDOW_BITS the world size (default: engine 10, fabric 8 — the 2%
+// bar wants 12+, long enough to amortize the scheduler quantum).
 #include <algorithm>
+#include <cmath>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "engine/executor.h"
+#include "fabric/coordinator.h"
 #include "topology/paper_profiles.h"
 
 namespace {
@@ -26,15 +55,21 @@ struct Mode {
   const char* name;
   obs::TraceLevel level;
   bool metrics;
+  bool fabric_trace = false;  // fabric section: deployment span tree too
 };
 
 struct Outcome {
   double wall_seconds = 0;
+  double cpu_seconds = 0;  // process CPU, all threads — the paired measure
   std::size_t events = 0;
-  std::uint64_t sent = 0;
 };
 
-Outcome run_once(const Mode& mode, int window_bits, std::uint64_t seed) {
+double cpu_now() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+Outcome run_engine_once(const Mode& mode, int window_bits,
+                        std::uint64_t seed) {
   static const scan::IcmpEchoProbe module{64};
   engine::EngineConfig cfg;
   cfg.world_specs = topo::paper::isp_specs();
@@ -48,61 +83,187 @@ Outcome run_once(const Mode& mode, int window_bits, std::uint64_t seed) {
   cfg.threads = 4;
   cfg.obs.trace_level = mode.level;
   cfg.obs.metrics = mode.metrics;
+  const double cpu0 = cpu_now();
   auto result = engine::run_parallel_scan(cfg);
   if (!result.ok) {
     std::fprintf(stderr, "engine error: %s\n", result.error.c_str());
     std::exit(1);
   }
-  return {result.wall_seconds, result.trace.size(), result.stats.sent};
+  return {result.wall_seconds, cpu_now() - cpu0, result.trace.size()};
 }
 
-Outcome run_median(const Mode& mode, int window_bits, std::uint64_t seed,
-                   int reps) {
-  std::vector<Outcome> runs;
-  runs.reserve(static_cast<std::size_t>(reps));
-  for (int r = 0; r < reps; ++r) {
-    runs.push_back(run_once(mode, window_bits, seed));
+Outcome run_fabric_once(const Mode& mode, int window_bits,
+                        std::uint64_t seed) {
+  static const scan::IcmpEchoProbe module{64};
+  fabric::FabricConfig cfg;
+  cfg.world_specs = topo::paper::isp_specs();
+  cfg.vendors = topo::paper::vendor_catalog();
+  cfg.build.window_bits = window_bits;
+  cfg.build.seed = seed;
+  cfg.module = &module;
+  cfg.scan.source = *net::Ipv6Address::parse("2001:500::1");
+  cfg.scan.seed = seed ^ 0x5eed;
+  cfg.scan.probes_per_sec = 1e9;  // unthrottled: measure fabric cost
+  cfg.nodes = 4;
+  cfg.shards = 8;
+  cfg.obs.trace_level = mode.level;
+  cfg.obs.metrics = mode.metrics;
+  cfg.fabric_trace = mode.fabric_trace;
+  const double cpu0 = cpu_now();
+  auto result = fabric::run_fabric_scan(cfg);
+  if (!result.ok || result.failed) {
+    std::fprintf(stderr, "fabric error: %s\n", result.error.c_str());
+    std::exit(1);
   }
-  std::sort(runs.begin(), runs.end(), [](const Outcome& a, const Outcome& b) {
-    return a.wall_seconds < b.wall_seconds;
-  });
-  return runs[runs.size() / 2];
+  return {result.wall_seconds, cpu_now() - cpu0,
+          result.trace.size() + result.fabric_spans.size()};
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+struct Section {
+  double off_wall_min = 0;      // no-obs baseline, min of reps
+  double metrics_wall_min = 0;  // metrics-on, min of reps
+  double metrics_overhead_pct = 0;  // median paired CPU ratio - 1
+};
+
+// Runs every mode `reps` times, interleaved so machine drift lands on all
+// modes alike: forward mode order on even reps, reversed on odd (the ABBA
+// counterbalance). modes[0] must be the no-obs baseline and modes[1] the
+// metrics-on variant; consecutive reps then give one drift- and
+// position-cancelled CPU overhead ratio each. The table shows wall-clock
+// min-of-reps, the noise-floor estimator.
+template <typename RunOnce>
+Section run_section(const char* title, RunOnce&& run_once,
+                    const std::vector<Mode>& modes, int window_bits,
+                    std::uint64_t seed, int reps) {
+  std::vector<std::vector<Outcome>> runs{modes.size()};
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    runs[m].resize(static_cast<std::size_t>(reps));
+  }
+  for (int r = 0; r < reps; ++r) {
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const std::size_t m = r % 2 == 0 ? i : modes.size() - 1 - i;
+      runs[m][static_cast<std::size_t>(r)] =
+          run_once(modes[m], window_bits, seed);
+    }
+  }
+  std::printf("\n%s (window_bits %d, wall min of %d interleaved reps)\n",
+              title, window_bits, reps);
+  std::printf("%-24s %10s %10s %12s\n", "mode", "wall_s", "overhead",
+              "trace_events");
+  Section section;
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    double wall_min = runs[m].front().wall_seconds;
+    for (const Outcome& o : runs[m]) {
+      wall_min = std::min(wall_min, o.wall_seconds);
+    }
+    if (m == 0) section.off_wall_min = wall_min;
+    if (m == 1) section.metrics_wall_min = wall_min;
+    const double overhead =
+        section.off_wall_min > 0
+            ? 100.0 * (wall_min / section.off_wall_min - 1.0)
+            : 0.0;
+    std::printf("%-24s %10.3f %+9.1f%% %12zu\n", modes[m].name, wall_min,
+                overhead, runs[m].front().events);
+  }
+  // One combined ratio per (even, odd) rep pair: the even rep ran
+  // off-before-metrics, the odd rep metrics-before-off, so the geometric
+  // mean of the two per-rep ratios cancels the run-position bias.
+  std::vector<double> ratios;
+  for (int r = 0; r + 1 < reps; r += 2) {
+    const auto ratio_at = [&](int rep) {
+      const double off = runs[0][static_cast<std::size_t>(rep)].cpu_seconds;
+      const double met = runs[1][static_cast<std::size_t>(rep)].cpu_seconds;
+      return off > 0 ? met / off : 1.0;
+    };
+    ratios.push_back(std::sqrt(ratio_at(r) * ratio_at(r + 1)));
+  }
+  if (ratios.empty() && reps > 0) {  // single rep: position-biased fallback
+    const double off = runs[0][0].cpu_seconds;
+    if (off > 0) ratios.push_back(runs[1][0].cpu_seconds / off);
+  }
+  if (!ratios.empty()) {
+    section.metrics_overhead_pct = 100.0 * (median(ratios) - 1.0);
+  }
+  return section;
 }
 
 }  // namespace
 
 int main() {
-  const char* seed_env = std::getenv("XMAP_SEED");
-  const std::uint64_t seed =
-      seed_env != nullptr ? static_cast<std::uint64_t>(std::atoll(seed_env))
-                          : 2020;
+  const std::uint64_t seed = bench::seed_from_env();
   const char* reps_env = std::getenv("XMAP_REPS");
   const int reps = reps_env != nullptr ? std::max(1, std::atoi(reps_env)) : 5;
-  constexpr int kWindowBits = 10;
+  const int engine_bits = bench::window_bits_from_env(10);
+  const int fabric_bits = bench::window_bits_from_env(8);
 
-  const Mode modes[] = {
+  std::printf("observability overhead (paper world, 4 workers/nodes)\n");
+  std::printf("hardware threads: %u\n", std::thread::hardware_concurrency());
+
+  const std::vector<Mode> engine_modes = {
       {"no obs", obs::TraceLevel::kOff, false},
       {"level off + metrics", obs::TraceLevel::kOff, true},
       {"level scan + metrics", obs::TraceLevel::kScan, true},
       {"level packet + metrics", obs::TraceLevel::kPacket, true},
   };
+  const Section engine = run_section("engine", run_engine_once, engine_modes,
+                                     engine_bits, seed, reps);
 
-  std::printf("observability overhead (paper world, 4 workers, median of "
-              "%d)\n",
-              reps);
-  std::printf("hardware threads: %u, window_bits: %d\n",
-              std::thread::hardware_concurrency(), kWindowBits);
-  std::printf("%-24s %10s %10s %12s\n", "mode", "wall_s", "overhead",
-              "trace_events");
+  // Fabric: the same scan through the coordinator/worker protocol. The
+  // trace rows pay obs-chunk shipping; the last row adds the deployment
+  // span tree (fabric_trace) on top.
+  const std::vector<Mode> fabric_modes = {
+      {"no obs", obs::TraceLevel::kOff, false},
+      {"level off + metrics", obs::TraceLevel::kOff, true},
+      {"level scan + metrics", obs::TraceLevel::kScan, true},
+      {"scan + fabric trace", obs::TraceLevel::kScan, true,
+       /*fabric_trace=*/true},
+  };
+  const Section fabric = run_section("fabric (4 nodes, 8 shards)",
+                                     run_fabric_once, fabric_modes,
+                                     fabric_bits, seed, reps);
 
-  double baseline = 0;
-  for (const Mode& mode : modes) {
-    const Outcome o = run_median(mode, kWindowBits, seed, reps);
-    if (baseline == 0) baseline = o.wall_seconds;
-    const double overhead =
-        baseline > 0 ? 100.0 * (o.wall_seconds / baseline - 1.0) : 0.0;
-    std::printf("%-24s %10.3f %+9.1f%% %12zu\n", mode.name, o.wall_seconds,
-                overhead, o.events);
+  bench::BenchJson json("observability_overhead");
+  json.add("engine_off_wall_seconds", engine.off_wall_min, "s",
+           /*higher_is_better=*/false);
+  json.add("engine_metrics_wall_seconds", engine.metrics_wall_min, "s",
+           /*higher_is_better=*/false);
+  json.add("fabric_off_wall_seconds", fabric.off_wall_min, "s",
+           /*higher_is_better=*/false);
+  json.add("fabric_metrics_wall_seconds", fabric.metrics_wall_min, "s",
+           /*higher_is_better=*/false);
+  json.write();
+
+  std::printf("\nmetrics-on overhead (median paired CPU): engine %+.2f%%, "
+              "fabric %+.2f%%\n",
+              engine.metrics_overhead_pct, fabric.metrics_overhead_pct);
+
+  const char* enforce = std::getenv("XMAP_ENFORCE_OBS_BAR");
+  if (enforce != nullptr && enforce[0] == '1') {
+    double bar_pct = 2.0;
+    if (const char* bar = std::getenv("XMAP_OBS_BAR_PCT")) {
+      bar_pct = std::atof(bar);
+    }
+    bool failed = false;
+    for (const auto& [name, pct] :
+         {std::pair<const char*, double>{"engine",
+                                         engine.metrics_overhead_pct},
+          std::pair<const char*, double>{"fabric",
+                                         fabric.metrics_overhead_pct}}) {
+      if (pct > bar_pct) {
+        std::fprintf(stderr,
+                     "OBS OVERHEAD BAR EXCEEDED: %s metrics-on %+.2f%% > "
+                     "%.2f%% over the no-obs baseline\n",
+                     name, pct, bar_pct);
+        failed = true;
+      }
+    }
+    if (failed) return 1;
+    std::printf("obs overhead bar: OK (< %.2f%%)\n", bar_pct);
   }
   return 0;
 }

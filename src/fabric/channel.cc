@@ -35,10 +35,16 @@ ReliableLink::Wire ReliableLink::poll(Clock::time_point now) {
   if (head.attempts == 0 || now >= head.next_at) {
     if (head.attempts >= policy_.max_attempts) {
       dead_ = true;
+      if (observer_ != nullptr) {
+        observer_->on_link_dead(head.msg, head.attempts);
+      }
       return wire;
     }
     if (head.attempts > 0) ++retransmits_;
     const double delay = policy_.delay_ms(head.msg.seq, head.attempts);
+    if (observer_ != nullptr) {
+      observer_->on_frame_send(head.msg, head.attempts, delay);
+    }
     ++head.attempts;
     head.next_at = now + std::chrono::microseconds(
                              static_cast<std::int64_t>(delay * 1000.0));
@@ -53,6 +59,10 @@ void ReliableLink::on_ack(std::uint64_t seq) {
   // acks (duplicated frames, re-acks of already-completed sequences) fall
   // through harmlessly.
   if (!pending_.empty() && pending_.front().msg.seq == seq) {
+    if (observer_ != nullptr) {
+      observer_->on_frame_acked(pending_.front().msg,
+                                pending_.front().attempts);
+    }
     pending_.pop_front();
   }
 }

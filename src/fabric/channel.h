@@ -46,11 +46,37 @@ struct BackoffPolicy {
   [[nodiscard]] double delay_ms(std::uint64_t seq, int attempt) const;
 };
 
+// Optional protocol-event observer, the tap that feeds the fabric tracer
+// and the flight recorder. Callbacks run synchronously on the thread that
+// pumps the link; a null observer costs one pointer test per event. The
+// `attempt` argument is 0-based (0 = first transmission).
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  // A frame is going on the wire now; `backoff_ms` is the delay before the
+  // *next* retransmission would fire.
+  virtual void on_frame_send(const Message& msg, int attempt,
+                             double backoff_ms) {
+    (void)msg; (void)attempt; (void)backoff_ms;
+  }
+  // The in-flight frame was acknowledged after `attempts` transmissions.
+  virtual void on_frame_acked(const Message& msg, int attempts) {
+    (void)msg; (void)attempts;
+  }
+  // The link exhausted max_attempts on `msg` and latched dead.
+  virtual void on_link_dead(const Message& msg, int attempts) {
+    (void)msg; (void)attempts;
+  }
+};
+
 class ReliableLink {
  public:
   using Clock = std::chrono::steady_clock;
 
   explicit ReliableLink(BackoffPolicy policy) : policy_(policy) {}
+
+  // Observer outlives the link; null disables the tap.
+  void set_observer(LinkObserver* observer) { observer_ = observer; }
 
   // ---- sender half ---------------------------------------------------------
 
@@ -97,6 +123,7 @@ class ReliableLink {
   };
 
   BackoffPolicy policy_;
+  LinkObserver* observer_ = nullptr;
   std::deque<Pending> pending_;  // front is the in-flight frame
   std::uint64_t next_seq_ = 1;
   std::uint64_t expected_ = 1;  // receiver: next sequence to deliver

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <thread>
 #include <tuple>
 
+#include "fabric/obs_tap.h"
 #include "fabric/transport.h"
 #include "fabric/worker.h"
 #include "netbase/random.h"
@@ -61,6 +63,18 @@ struct ShardState {
   std::vector<FabricRecord> buffer;    // current epoch, uncommitted
   std::vector<FabricRecord> accepted;  // committed (survives failover)
   ShardOutcome outcome;
+
+  // Deployment spans: the whole-shard span and the current epoch's lease.
+  std::uint64_t span = 0;
+  std::uint64_t lease_span = 0;
+
+  // Scan-content observability shipped by the current epoch (buffered
+  // until its ShardDone commits it; a failover discards it — the resumed
+  // lease replays the shard and re-ships the full-shard trace/metrics).
+  std::vector<obs::TraceEvent> pending_trace;
+  obs::MetricsSnapshot pending_metrics;
+  std::vector<obs::TraceEvent> trace;        // committed
+  obs::MetricsSnapshot scan_metrics;         // committed
 };
 
 }  // namespace
@@ -114,6 +128,39 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
   }
   const std::uint64_t fp_hash = recover::fingerprint_hash(config.fingerprint);
 
+  // Deployment tracing: one tracer shared by the coordinator and every
+  // worker thread (FabricTracer is thread-safe). The trace id is derived
+  // from the scan identity so correlated artifacts carry the same id.
+  const std::uint64_t trace_id = net::hash_combine64(fp_hash, base.seed);
+  std::unique_ptr<obs::FabricTracer> tracer_owned;
+  obs::FabricTracer* tracer = nullptr;
+  std::uint64_t root_span = 0;
+  if (config.fabric_trace) {
+    tracer_owned = std::make_unique<obs::FabricTracer>(trace_id);
+    tracer = tracer_owned.get();
+    root_span = tracer->begin(obs::kCoordinatorNode, "fabric_run", 0,
+                              {{"shards", std::to_string(config.shards)},
+                               {"nodes", std::to_string(config.nodes)}});
+  }
+
+  // Flight recorders: one ring per worker plus the coordinator's own.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders;
+  obs::FlightRecorder* coord_recorder = nullptr;
+  if (config.flight_recorder_events > 0) {
+    recorders.reserve(static_cast<std::size_t>(config.nodes) + 1);
+    for (int w = 0; w <= config.nodes; ++w) {
+      recorders.push_back(
+          std::make_unique<obs::FlightRecorder>(config.flight_recorder_events));
+    }
+    coord_recorder = recorders.back().get();
+  }
+
+  // Coordinator-side stage profile (lease / decode / merge); null unless
+  // --profile so the timers cost a pointer test each.
+  obs::StageProfile coord_profile;
+  obs::StageProfile* const profile =
+      config.obs.profile ? &coord_profile : nullptr;
+
   LoopbackFabric fabric{config.nodes, &config.fabric_faults};
 
   std::vector<std::unique_ptr<FabricWorker>> workers;
@@ -133,6 +180,12 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     wcfg.heartbeat_interval_ms = config.heartbeat_interval_ms;
     wcfg.record_batch = config.record_batch;
     wcfg.backoff = config.backoff;
+    wcfg.obs = config.obs;
+    wcfg.tracer = tracer;
+    wcfg.trace_root = root_span;
+    wcfg.recorder =
+        recorders.empty() ? nullptr : recorders[static_cast<std::size_t>(w)]
+                                          .get();
     for (const auto& kill : config.fabric_faults.kills) {
       if (kill.node == w) wcfg.kill = kill;
     }
@@ -159,6 +212,21 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
         std::make_unique<ReliableLink>(policy);
     wstate[static_cast<std::size_t>(w)].last_seen = start_seen;
   }
+  // Tee the coordinator's halves of every link into the tracer and the
+  // coordinator's flight recorder.
+  std::vector<std::unique_ptr<LinkTap>> taps;
+  if (tracer != nullptr || coord_recorder != nullptr) {
+    taps.reserve(static_cast<std::size_t>(config.nodes));
+    for (int w = 0; w < config.nodes; ++w) {
+      taps.push_back(std::make_unique<LinkTap>(obs::kCoordinatorNode, tracer,
+                                               coord_recorder));
+      wstate[static_cast<std::size_t>(w)].link->set_observer(taps.back().get());
+    }
+  }
+  std::vector<std::uint64_t> missed_per_node(
+      static_cast<std::size_t>(config.nodes), 0);
+  std::vector<std::uint64_t> completed_per_node(
+      static_cast<std::size_t>(config.nodes), 0);
   std::vector<ShardState> sstate(static_cast<std::size_t>(config.shards));
   for (int s = 0; s < config.shards; ++s) {
     sstate[static_cast<std::size_t>(s)].outcome.shard = s;
@@ -171,6 +239,7 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
   };
 
   const auto send_assign = [&](int w, int s) {
+    obs::ScopedStageTimer lease_timer{profile, obs::Stage::kLease};
     WorkerState& ws = wstate[static_cast<std::size_t>(w)];
     ShardState& ss = sstate[static_cast<std::size_t>(s)];
     Message assign;
@@ -183,6 +252,29 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     if (ss.has_cursor) {
       assign.has_resume = true;
       assign.cursor = ss.cursor;
+    }
+    if (tracer != nullptr) {
+      if (ss.span == 0) {
+        ss.span = tracer->begin(obs::kCoordinatorNode,
+                                "shard:" + std::to_string(s), root_span,
+                                {{"shard", std::to_string(s)}});
+      }
+      ss.lease_span = tracer->begin(
+          obs::kCoordinatorNode, "lease", ss.span,
+          {{"epoch", std::to_string(ss.epoch)},
+           {"node", std::to_string(w)},
+           {"resume",
+            ss.has_cursor ? std::to_string(ss.cursor.frontier_slot)
+                          : std::string("none")}});
+      // The Assign frame gets its own span under the lease; its id travels
+      // in the frame's trace context so the worker parents shard_run (and
+      // retransmits / the ack) to this exact send.
+      assign.ctx_ver = kTraceCtxV1;
+      assign.trace_id = tracer->trace_id();
+      assign.parent_span = tracer->begin(
+          obs::kCoordinatorNode,
+          std::string("frame:") + msg_type_name(MsgType::kAssign),
+          ss.lease_span);
     }
     ws.link->enqueue(std::move(assign));
     ws.phase = WorkerPhase::kBusy;
@@ -231,10 +323,35 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
           ++kept;
         }
       }
-      ss.stats += ss.cursor_stats;
+      if (!config.obs.any()) {
+        // The resumed epoch fast-forwards and reports only its own tail,
+        // so the dead epoch's checkpointed stats are the committed head.
+        // With observability on the resumed lease replays the whole shard
+        // and its ShardDone stats cover the full shard — adding the
+        // checkpoint's here would double-count the head.
+        ss.stats += ss.cursor_stats;
+      }
       ss.cursor_stats = scan::ScanStats{};
       result.resumed_slots += ss.cursor.frontier_slot;
       ss.outcome.resumed_from_slot = ss.cursor.frontier_slot;
+    }
+    // The dead epoch's shipped observability dies with it: the resumed
+    // lease re-ships the full shard, committed atomically at ShardDone.
+    ss.pending_trace.clear();
+    ss.pending_metrics = obs::MetricsSnapshot{};
+    if (tracer != nullptr) {
+      tracer->instant(
+          obs::kCoordinatorNode, "lease_migration",
+          ss.span != 0 ? ss.span : root_span,
+          {{"shard", std::to_string(s)},
+           {"from_epoch", std::to_string(ss.epoch)},
+           {"resume_slot",
+            ss.has_cursor ? std::to_string(ss.cursor.frontier_slot)
+                          : std::string("none")}});
+      if (ss.lease_span != 0) {
+        tracer->end(ss.lease_span);
+        ss.lease_span = 0;
+      }
     }
     const std::size_t dropped = ss.buffer.size() - kept;
     ss.buffer.clear();
@@ -261,6 +378,23 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     }
     log_line("node " + std::to_string(w) + " dead (" +
              (reason.empty() ? "released" : reason) + ")");
+    if (tracer != nullptr) {
+      std::uint64_t parent = root_span;
+      if (ws.shard >= 0) {
+        const ShardState& hs = sstate[static_cast<std::size_t>(ws.shard)];
+        parent = hs.lease_span != 0 ? hs.lease_span
+                                    : (hs.span != 0 ? hs.span : root_span);
+      }
+      tracer->instant(obs::kCoordinatorNode, "death_verdict", parent,
+                      {{"node", std::to_string(w)},
+                       {"reason", reason.empty() ? std::string("released")
+                                                 : reason}});
+    }
+    if (coord_recorder != nullptr) {
+      coord_recorder->record("link_dead",
+                             "node " + std::to_string(w) + ": " +
+                                 (reason.empty() ? "released" : reason));
+    }
     const int s = ws.shard;
     ws.shard = -1;
     if (s >= 0) failover(s);
@@ -309,9 +443,43 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
         break;
       case MsgType::kCheckpoint:
         if (ShardState* ss = fenced(w, msg)) {
+          // Never let the committed frontier regress. A replayed lease
+          // (obs-on resume) already suppresses checkpoints below its
+          // handoff cursor worker-side; this guard keeps the invariant
+          // even against a buggy or hostile peer — a regressed cursor
+          // would re-commit already-committed slots on the next failover.
+          if (ss->has_cursor &&
+              msg.cursor.frontier_slot < ss->cursor.frontier_slot) {
+            break;
+          }
+          if (tracer != nullptr && msg.ctx_ver == kTraceCtxV1) {
+            tracer->instant(
+                obs::kCoordinatorNode, "checkpoint_commit", msg.parent_span,
+                {{"slot", std::to_string(msg.cursor.frontier_slot)}});
+          }
           ss->cursor = std::move(msg.cursor);
           ss->has_cursor = true;
           ss->cursor_stats = msg.stats;
+        }
+        break;
+      case MsgType::kObsTrace:
+        if (ShardState* ss = fenced(w, msg)) {
+          ss->pending_trace.reserve(ss->pending_trace.size() +
+                                    msg.trace_events.size());
+          for (auto& ev : msg.trace_events) {
+            ss->pending_trace.push_back(std::move(ev));
+          }
+        }
+        break;
+      case MsgType::kObsMetrics:
+        if (ShardState* ss = fenced(w, msg)) {
+          // Chunks arrive in snapshot order over the FIFO channel, so
+          // concatenation reassembles the worker's sorted snapshot.
+          ss->pending_metrics.entries.reserve(
+              ss->pending_metrics.entries.size() + msg.metrics.entries.size());
+          for (auto& entry : msg.metrics.entries) {
+            ss->pending_metrics.entries.push_back(std::move(entry));
+          }
         }
         break;
       case MsgType::kShardDone:
@@ -320,9 +488,26 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
           ss->buffer.clear();
           ss->stats += msg.stats;
           ss->cursor_stats = scan::ScanStats{};
+          // FIFO: ShardDone in hand implies every ObsTrace/ObsMetrics
+          // chunk this epoch shipped is in hand — commit atomically.
+          ss->trace = std::move(ss->pending_trace);
+          ss->scan_metrics = std::move(ss->pending_metrics);
+          ss->pending_trace = std::vector<obs::TraceEvent>{};
+          ss->pending_metrics = obs::MetricsSnapshot{};
+          if (tracer != nullptr) {
+            if (ss->lease_span != 0) {
+              tracer->end(ss->lease_span);
+              ss->lease_span = 0;
+            }
+            if (ss->span != 0) {
+              tracer->end(ss->span);
+              ss->span = 0;
+            }
+          }
           ss->phase = ShardPhase::kDone;
           ss->outcome.completed = true;
           ++shards_done;
+          ++completed_per_node[static_cast<std::size_t>(w)];
           ws.phase = WorkerPhase::kIdle;
           ws.shard = -1;
           log_line("shard " + std::to_string(msg.shard) + " done by node " +
@@ -335,7 +520,51 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     }
   };
 
+  // Health timeline: one JSONL snapshot of fabric state per interval while
+  // the run is live (wall clock — quarantined from deterministic outputs).
+  auto next_timeline = std::chrono::steady_clock::now();
+  const auto emit_timeline = [&](bool force) {
+    if (config.timeline == nullptr) return;
+    const auto tnow = std::chrono::steady_clock::now();
+    if (!force && tnow < next_timeline) return;
+    next_timeline =
+        tnow + std::chrono::milliseconds(
+                   config.timeline_interval_ms > 1 ? config.timeline_interval_ms
+                                                   : 1);
+    int live = 0;
+    int busy = 0;
+    for (const auto& ws : wstate) {
+      if (ws.phase != WorkerPhase::kDead) ++live;
+      if (ws.phase == WorkerPhase::kBusy) ++busy;
+    }
+    int pending = 0;
+    int assigned = 0;
+    for (const auto& ss : sstate) {
+      if (ss.phase == ShardPhase::kPending) ++pending;
+      if (ss.phase == ShardPhase::kAssigned) ++assigned;
+    }
+    std::uint64_t downlink_retx = 0;
+    for (const auto& ws : wstate) downlink_retx += ws.link->retransmits();
+    char line[512];
+    std::snprintf(
+        line, sizeof line,
+        "{\"t_ms\":%.3f,\"workers_live\":%d,\"workers_busy\":%d,"
+        "\"workers_dead\":%d,\"shards_pending\":%d,\"shards_assigned\":%d,"
+        "\"shards_done\":%d,\"shards_failed\":%d,\"reassignments\":%llu,"
+        "\"missed_heartbeats\":%llu,\"frames_rejected\":%llu,"
+        "\"downlink_retransmits\":%llu}",
+        std::chrono::duration<double, std::milli>(tnow - wall_start).count(),
+        live, busy, result.dead_workers, pending, assigned, shards_done,
+        shards_failed,
+        static_cast<unsigned long long>(result.reassignments),
+        static_cast<unsigned long long>(result.missed_heartbeats),
+        static_cast<unsigned long long>(result.frames_rejected),
+        static_cast<unsigned long long>(downlink_retx));
+    *config.timeline << line << '\n';
+  };
+
   while (shards_done + shards_failed < config.shards) {
+    emit_timeline(false);
     bool any_live = false;
     for (const auto& ws : wstate) {
       if (ws.phase != WorkerPhase::kDead) {
@@ -368,6 +597,8 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
               : 0;
       if (missed > ws.misses_counted) {
         result.missed_heartbeats += missed - ws.misses_counted;
+        missed_per_node[static_cast<std::size_t>(w)] +=
+            missed - ws.misses_counted;
         ws.misses_counted = missed;
       }
       if (silence_ms > config.heartbeat_timeout_ms) {
@@ -391,12 +622,25 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     if (ws.phase == WorkerPhase::kDead) continue;
     ws.last_seen = Clock::now();
     ws.misses_counted = 0;
+    obs::ScopedStageTimer decode_timer{profile, obs::Stage::kDecode};
     auto decoded = decode_frame(rx.frame);
     if (!decoded.message) {
       ++result.frames_rejected;
+      if (coord_recorder != nullptr) {
+        coord_recorder->record("rx", "undecodable frame from node " +
+                                         std::to_string(rx.worker) + ": " +
+                                         decoded.error);
+      }
       continue;
     }
     Message& msg = *decoded.message;
+    if (coord_recorder != nullptr && msg.type != MsgType::kAck) {
+      coord_recorder->record(
+          msg.type == MsgType::kHeartbeat ? "heartbeat" : "rx",
+          std::string(msg_type_name(msg.type)) + " node=" +
+              std::to_string(rx.worker),
+          msg.seq);
+    }
     if (msg.type == MsgType::kAck) {
       ws.link->on_ack(msg.ack_seq);
     } else if (msg.type == MsgType::kHeartbeat) {
@@ -425,6 +669,7 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
   }
   fabric.close_all();
   for (auto& thread : threads) thread.join();
+  emit_timeline(true);  // final snapshot: terminal state of the run
 
   for (int w = 0; w < config.nodes; ++w) {
     const FabricWorker& worker = *workers[static_cast<std::size_t>(w)];
@@ -441,49 +686,141 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
   // the content sort puts them in one byte-stable order. The shard index
   // tiebreaks exactly like the engine's worker index (they coincide for a
   // fabric of S shards vs an engine of S threads).
-  result.collector = scan::ResultCollector{config.alias_threshold};
-  for (auto& ss : sstate) {
-    if (ss.phase != ShardPhase::kDone) result.failed = true;
-    for (auto& rec : ss.accepted) result.records.push_back(std::move(rec));
-    result.stats += ss.stats;
-    result.shards.push_back(ss.outcome);
-  }
-  std::sort(result.records.begin(), result.records.end(),
-            [](const FabricRecord& a, const FabricRecord& b) {
-              return std::tuple(a.when, a.response.responder,
-                                a.response.probe_dst,
-                                static_cast<int>(a.response.kind), a.shard) <
-                     std::tuple(b.when, b.response.responder,
-                                b.response.probe_dst,
-                                static_cast<int>(b.response.kind), b.shard);
-            });
-  for (const auto& rec : result.records) {
-    result.collector.add(rec.response);
+  {
+    obs::ScopedStageTimer merge_timer{profile, obs::Stage::kMerge};
+    result.collector = scan::ResultCollector{config.alias_threshold};
+    for (auto& ss : sstate) {
+      if (ss.phase != ShardPhase::kDone) result.failed = true;
+      for (auto& rec : ss.accepted) result.records.push_back(std::move(rec));
+      result.stats += ss.stats;
+      result.shards.push_back(ss.outcome);
+    }
+    std::sort(result.records.begin(), result.records.end(),
+              [](const FabricRecord& a, const FabricRecord& b) {
+                return std::tuple(a.when, a.response.responder,
+                                  a.response.probe_dst,
+                                  static_cast<int>(a.response.kind), a.shard) <
+                       std::tuple(b.when, b.response.responder,
+                                  b.response.probe_dst,
+                                  static_cast<int>(b.response.kind), b.shard);
+              });
+    for (const auto& rec : result.records) {
+      result.collector.add(rec.response);
+    }
+
+    // Scan-content observability: exactly the engine's merge over the same
+    // per-shard values, in the same shard order — byte-identical output.
+    if (config.obs.trace_level != obs::TraceLevel::kOff) {
+      std::vector<std::vector<obs::TraceEvent>> buffers;
+      buffers.reserve(sstate.size());
+      for (auto& ss : sstate) buffers.push_back(std::move(ss.trace));
+      result.trace = obs::merge_traces(std::move(buffers));
+    }
+    if (config.obs.metrics) {
+      std::vector<const obs::MetricsSnapshot*> snaps;
+      snaps.reserve(sstate.size());
+      for (const auto& ss : sstate) snaps.push_back(&ss.scan_metrics);
+      result.scan_metrics = obs::merge_snapshots(snaps);
+    }
   }
 
+  // Stage profile: every worker's lease stages plus the coordinator's own
+  // (lease / decode / merge) — wall clock, reported but never exported
+  // into the deterministic artifacts.
+  result.stage_profile = coord_profile;
+  for (const auto& worker : workers) {
+    result.stage_profile.merge(worker->profile());
+  }
+
+  // Every fabric_* series is wall_clock: they describe the deployment, not
+  // the scan, so the deterministic Prometheus export (the one compared
+  // byte-for-byte against the engine's) omits them. Unlabeled totals keep
+  // their original names; per-node breakdowns add node="worker-N" (and
+  // link_class for retransmits) so dashboards can attribute without
+  // breaking existing queries.
   obs::MetricsShard metrics;
   *metrics.counter("fabric_reassignments_total", {},
-                   "Shard leases re-assigned after a worker death") =
+                   "Shard leases re-assigned after a worker death", true) =
       result.reassignments;
   *metrics.counter("fabric_missed_heartbeats_total", {},
-                   "Heartbeat intervals a live worker went silent") =
+                   "Heartbeat intervals a live worker went silent", true) =
       result.missed_heartbeats;
   *metrics.counter("fabric_resumed_slots_total", {},
-                   "Sum of failover handoff cursor frontiers") =
+                   "Sum of failover handoff cursor frontiers", true) =
       result.resumed_slots;
   *metrics.counter("fabric_frames_rejected_total", {},
-                   "Undecodable protocol frames dropped") =
+                   "Undecodable protocol frames dropped", true) =
       result.frames_rejected;
   *metrics.counter("fabric_retransmits_total", {},
-                   "Reliable-channel retransmissions, both directions") =
+                   "Reliable-channel retransmissions, both directions", true) =
       result.retransmits;
   *metrics.counter("fabric_workers_dead_total", {},
-                   "Worker nodes declared dead") =
+                   "Worker nodes declared dead", true) =
       static_cast<std::uint64_t>(result.dead_workers);
   *metrics.counter("fabric_shards_completed_total", {},
-                   "Fabric shards scanned to completion") =
+                   "Fabric shards scanned to completion", true) =
       static_cast<std::uint64_t>(shards_done);
+  for (int w = 0; w < config.nodes; ++w) {
+    const std::string node = "worker-" + std::to_string(w);
+    const FabricWorker& worker = *workers[static_cast<std::size_t>(w)];
+    if (wstate[static_cast<std::size_t>(w)].phase == WorkerPhase::kDead) {
+      *metrics.counter("fabric_workers_dead_total", {{"node", node}},
+                       "Worker nodes declared dead", true) = 1;
+    }
+    if (missed_per_node[static_cast<std::size_t>(w)] > 0) {
+      *metrics.counter("fabric_missed_heartbeats_total", {{"node", node}},
+                       "Heartbeat intervals a live worker went silent",
+                       true) = missed_per_node[static_cast<std::size_t>(w)];
+    }
+    if (worker.retransmits() > 0) {
+      *metrics.counter("fabric_retransmits_total",
+                       {{"link_class", "uplink"}, {"node", node}},
+                       "Reliable-channel retransmissions, both directions",
+                       true) = worker.retransmits();
+    }
+    const std::uint64_t down =
+        wstate[static_cast<std::size_t>(w)].link->retransmits();
+    if (down > 0) {
+      *metrics.counter("fabric_retransmits_total",
+                       {{"link_class", "downlink"}, {"node", node}},
+                       "Reliable-channel retransmissions, both directions",
+                       true) = down;
+    }
+    if (completed_per_node[static_cast<std::size_t>(w)] > 0) {
+      *metrics.counter("fabric_shards_completed_total", {{"node", node}},
+                       "Fabric shards scanned to completion", true) =
+          completed_per_node[static_cast<std::size_t>(w)];
+    }
+  }
   result.metrics = obs::merge_shards({&metrics});
+
+  // Deployment trace: close the root (finish() closes anything a failed
+  // run left open) and hand the span tree over.
+  if (tracer != nullptr) {
+    tracer->end(root_span);
+    result.fabric_spans = tracer->finish();
+    result.fabric_trace_id = trace_id;
+  }
+
+  // Flight recorders: dump every node's ring on the failure paths — a
+  // worker death (covers refusals, which quarantine the refusing node) or
+  // an incomplete fabric.
+  if (!recorders.empty() && !config.flight_recorder_prefix.empty() &&
+      (result.dead_workers > 0 || result.failed)) {
+    for (int w = 0; w < config.nodes; ++w) {
+      const std::string path = config.flight_recorder_prefix + ".node" +
+                               std::to_string(w) + ".jsonl";
+      if (recorders[static_cast<std::size_t>(w)]->dump_to_file(
+              path, "worker-" + std::to_string(w))) {
+        result.recorder_dumps.push_back(path);
+      }
+    }
+    const std::string path =
+        config.flight_recorder_prefix + ".coordinator.jsonl";
+    if (coord_recorder->dump_to_file(path, "coordinator")) {
+      result.recorder_dumps.push_back(path);
+    }
+  }
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -41,7 +41,12 @@
 #include <vector>
 
 #include "fabric/channel.h"
+#include "obs/config.h"
+#include "obs/fabric_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "recover/state.h"
 #include "sim/faults.h"
 #include "topology/builder.h"
@@ -86,6 +91,31 @@ struct FabricConfig {
 
   // Coordinator event log (assignment/failover lines); null = silent.
   std::ostream* log = nullptr;
+
+  // Scan-content observability. Workers attach the engine's per-worker
+  // sinks to their replicas and ship each shard's trace/metrics back over
+  // ObsTrace/ObsMetrics frames; the merged FabricResult::trace /
+  // scan_metrics are byte-identical to run_parallel_scan at `shards`
+  // threads — including across failovers (a resumed lease replays its
+  // shard locally and re-ships the full-shard observability).
+  obs::ObsConfig obs;
+
+  // Deployment tracing (wall clock, quarantined from the deterministic
+  // outputs): record causal spans across the coordinator and every worker
+  // into FabricResult::fabric_spans.
+  bool fabric_trace = false;
+
+  // Per-node flight recorders: > 0 sets the ring capacity (protocol events
+  // kept per node). On worker death, lease refusal, or a failed fabric the
+  // rings are dumped to "<flight_recorder_prefix>.<node>.jsonl" (paths in
+  // FabricResult::recorder_dumps); an empty prefix keeps them in memory.
+  std::size_t flight_recorder_events = 0;
+  std::string flight_recorder_prefix;
+
+  // Health timeline: interval JSONL snapshots of fabric state streamed to
+  // this sink while the run is live (null = off).
+  std::ostream* timeline = nullptr;
+  int timeline_interval_ms = 50;
 };
 
 // One merged record. `shard` is the fabric shard that produced it — the
@@ -128,13 +158,28 @@ struct FabricResult {
   std::vector<std::string> worker_errors;  // refusals, link failures
   int dead_workers = 0;
 
-  // Fabric counters (also exported as fabric_* metrics series).
+  // Fabric counters (also exported as fabric_* metrics series — all
+  // registered wall_clock: they describe the deployment, not the scan, so
+  // the deterministic Prometheus export omits them).
   std::uint64_t reassignments = 0;      // failover re-leases
   std::uint64_t missed_heartbeats = 0;  // intervals a live worker was silent
   std::uint64_t resumed_slots = 0;      // sum of failover handoff frontiers
   std::uint64_t frames_rejected = 0;    // undecodable frames dropped
   std::uint64_t retransmits = 0;        // reliable re-sends, both directions
   obs::MetricsSnapshot metrics;
+
+  // Scan-content observability (when FabricConfig::obs asks for it):
+  // byte-identical to the engine at `shards` threads.
+  std::vector<obs::TraceEvent> trace;
+  obs::MetricsSnapshot scan_metrics;
+  obs::StageProfile stage_profile;  // wall clock: workers + coordinator
+
+  // Deployment spans (when fabric_trace): the causal cross-node tree.
+  std::vector<obs::FabricSpan> fabric_spans;
+  std::uint64_t fabric_trace_id = 0;
+
+  // Flight-recorder dumps written on this run's failure paths.
+  std::vector<std::string> recorder_dumps;
 
   double wall_seconds = 0;
 };

@@ -1,0 +1,90 @@
+// The LinkObserver implementation both fabric ends share: it tees reliable
+// channel events into the fabric tracer (retransmits become child spans of
+// the frame they retry, acks close the frame span) and the node's flight
+// recorder. Either sink may be null; a fully-null tap is never installed.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "fabric/channel.h"
+#include "fabric/protocol.h"
+#include "obs/fabric_trace.h"
+#include "obs/flight_recorder.h"
+
+namespace xmap::fabric {
+
+class LinkTap : public LinkObserver {
+ public:
+  LinkTap(int node, obs::FabricTracer* tracer, obs::FlightRecorder* recorder)
+      : node_(node), tracer_(tracer), recorder_(recorder) {}
+
+  void on_frame_send(const Message& msg, int attempt,
+                     double backoff_ms) override {
+    if (recorder_ != nullptr) {
+      recorder_->record(attempt == 0 ? "tx" : "retx",
+                        frame_detail(msg, backoff_ms), msg.seq,
+                        static_cast<std::uint64_t>(attempt));
+    }
+    // A retransmission is causally a child of the frame it retries; the
+    // frame's span id travels in the message's own trace context.
+    if (tracer_ != nullptr && attempt > 0 &&
+        msg.ctx_ver == kTraceCtxV1) {
+      char ms[32];
+      std::snprintf(ms, sizeof ms, "%.3f", backoff_ms);
+      tracer_->instant(node_, "retransmit", msg.parent_span,
+                       {{"attempt", std::to_string(attempt)},
+                        {"next_backoff_ms", ms}});
+    }
+  }
+
+  void on_frame_acked(const Message& msg, int attempts) override {
+    if (recorder_ != nullptr) {
+      recorder_->record("ack", msg_type_name(msg.type), msg.seq,
+                        static_cast<std::uint64_t>(attempts));
+    }
+    if (tracer_ != nullptr && msg.ctx_ver == kTraceCtxV1) {
+      tracer_->end(msg.parent_span);
+    }
+  }
+
+  void on_link_dead(const Message& msg, int attempts) override {
+    if (recorder_ != nullptr) {
+      recorder_->record("link_dead", msg_type_name(msg.type), msg.seq,
+                        static_cast<std::uint64_t>(attempts));
+    }
+    if (tracer_ != nullptr && msg.ctx_ver == kTraceCtxV1) {
+      tracer_->add_args(msg.parent_span, {{"link_dead", "true"}});
+      tracer_->end(msg.parent_span);
+    }
+  }
+
+ private:
+  static std::string frame_detail(const Message& msg, double backoff_ms) {
+    std::string detail = msg_type_name(msg.type);
+    switch (msg.type) {
+      case MsgType::kAssign:
+      case MsgType::kRefuse:
+      case MsgType::kRecords:
+      case MsgType::kCheckpoint:
+      case MsgType::kShardDone:
+      case MsgType::kObsTrace:
+      case MsgType::kObsMetrics:
+        detail += " shard=" + std::to_string(msg.shard) + " epoch=" +
+                  std::to_string(msg.epoch);
+        break;
+      default:
+        break;
+    }
+    char ms[40];
+    std::snprintf(ms, sizeof ms, " backoff_ms=%.3f", backoff_ms);
+    detail += ms;
+    return detail;
+  }
+
+  const int node_;
+  obs::FabricTracer* const tracer_;
+  obs::FlightRecorder* const recorder_;
+};
+
+}  // namespace xmap::fabric

@@ -1,5 +1,8 @@
 #include "fabric/protocol.h"
 
+#include <mutex>
+#include <unordered_set>
+
 namespace xmap::fabric {
 namespace {
 
@@ -50,6 +53,59 @@ void put_stats(std::string& out, const scan::ScanStats& s) {
   put_u64(out, s.rate_adjustments);
   put_u64(out, s.first_send);
   put_u64(out, s.last_send);
+}
+
+// A TraceEvent string: presence flag, then length-prefixed bytes. The flag
+// preserves null-vs-empty across the wire — a null key means "argument
+// unused" and must decode back to null, not to "".
+void put_trace_string(std::string& out, const char* s) {
+  if (s == nullptr) {
+    put_u8(out, 0);
+    return;
+  }
+  put_u8(out, 1);
+  put_string(out, std::string(s));
+}
+
+void put_trace_event(std::string& out, const obs::TraceEvent& e) {
+  put_u64(out, e.ts);
+  put_u64(out, e.dur);
+  put_trace_string(out, e.name);
+  put_trace_string(out, e.cat);
+  put_trace_string(out, e.addr1_key);
+  put_addr(out, e.addr1);
+  put_trace_string(out, e.addr2_key);
+  put_addr(out, e.addr2);
+  put_trace_string(out, e.str_key);
+  put_trace_string(out, e.str_val);
+  for (const auto* arg : {&e.i0, &e.i1, &e.i2}) {
+    put_trace_string(out, arg->key);
+    put_u64(out, arg->value);
+  }
+}
+
+void put_metrics_entry(std::string& out,
+                       const obs::MetricsSnapshot::Entry& e) {
+  put_string(out, e.name);
+  put_u32(out, static_cast<std::uint32_t>(e.labels.size()));
+  for (const auto& [k, v] : e.labels) {
+    put_string(out, k);
+    put_string(out, v);
+  }
+  put_u8(out, static_cast<std::uint8_t>(e.kind));
+  put_u8(out, e.wall_clock ? 1 : 0);
+  put_u64(out, e.value);
+  put_u8(out, e.histogram.has_value() ? 1 : 0);
+  if (e.histogram.has_value()) {
+    const auto& h = *e.histogram;
+    put_u32(out, static_cast<std::uint32_t>(h.bounds().size()));
+    for (std::uint64_t b : h.bounds()) put_u64(out, b);
+    put_u32(out, static_cast<std::uint32_t>(h.counts().size()));
+    for (std::uint64_t c : h.counts()) put_u64(out, c);
+    put_u64(out, h.sum());
+    put_u64(out, h.count());
+  }
+  put_string(out, e.help);
 }
 
 void put_record(std::string& out, const WireRecord& r) {
@@ -189,7 +245,126 @@ bool read_record(Reader& in, WireRecord& r, std::string& error) {
          in.read_u64(r.raw_slot, "record raw_slot");
 }
 
+bool read_trace_string(Reader& in, const char*& out, const char* field,
+                       std::string& error) {
+  std::uint8_t flag = 0;
+  if (!in.read_u8(flag, field)) return false;
+  if (flag > 1) {
+    error = std::string("fabric frame: ") + field + " presence flag " +
+            std::to_string(flag) + " is not boolean";
+    return false;
+  }
+  if (flag == 0) {
+    out = nullptr;
+    return true;
+  }
+  std::string s;
+  if (!in.read_string(s, field)) return false;
+  out = intern_trace_string(s);
+  return true;
+}
+
+bool read_trace_event(Reader& in, obs::TraceEvent& e, std::string& error) {
+  if (!(in.read_u64(e.ts, "trace ts") && in.read_u64(e.dur, "trace dur") &&
+        read_trace_string(in, e.name, "trace name", error) &&
+        read_trace_string(in, e.cat, "trace cat", error) &&
+        read_trace_string(in, e.addr1_key, "trace addr1_key", error) &&
+        in.read_addr(e.addr1, "trace addr1") &&
+        read_trace_string(in, e.addr2_key, "trace addr2_key", error) &&
+        in.read_addr(e.addr2, "trace addr2") &&
+        read_trace_string(in, e.str_key, "trace str_key", error) &&
+        read_trace_string(in, e.str_val, "trace str_val", error))) {
+    return false;
+  }
+  // Serialized name/cat may legitimately be null-flagged only if the
+  // emitter stored null; TraceEvent's defaults are "" — keep whatever came.
+  if (e.name == nullptr) e.name = "";
+  if (e.cat == nullptr) e.cat = "";
+  for (auto* arg : {&e.i0, &e.i1, &e.i2}) {
+    if (!read_trace_string(in, arg->key, "trace int key", error) ||
+        !in.read_u64(arg->value, "trace int value")) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool read_metrics_entry(Reader& in, obs::MetricsSnapshot::Entry& e,
+                        std::string& error) {
+  if (!in.read_string(e.name, "metrics name")) return false;
+  std::uint32_t labels = 0;
+  if (!in.read_count(labels, 8, "metrics labels")) return false;
+  e.labels.resize(labels);
+  for (auto& [k, v] : e.labels) {
+    if (!in.read_string(k, "metrics label key") ||
+        !in.read_string(v, "metrics label value")) {
+      return false;
+    }
+  }
+  std::uint8_t kind = 0;
+  if (!in.read_u8(kind, "metrics kind")) return false;
+  if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
+    error =
+        "fabric frame: metrics kind " + std::to_string(kind) + " out of range";
+    return false;
+  }
+  e.kind = static_cast<obs::MetricKind>(kind);
+  std::uint8_t wall_clock = 0;
+  if (!in.read_u8(wall_clock, "metrics wall_clock")) return false;
+  if (wall_clock > 1) {
+    error = "fabric frame: metrics wall_clock flag " +
+            std::to_string(wall_clock) + " is not boolean";
+    return false;
+  }
+  e.wall_clock = wall_clock == 1;
+  if (!in.read_u64(e.value, "metrics value")) return false;
+  std::uint8_t has_hist = 0;
+  if (!in.read_u8(has_hist, "metrics histogram flag")) return false;
+  if (has_hist > 1) {
+    error = "fabric frame: metrics histogram flag " +
+            std::to_string(has_hist) + " is not boolean";
+    return false;
+  }
+  if (has_hist == 1) {
+    std::uint32_t nbounds = 0;
+    if (!in.read_count(nbounds, 8, "metrics histogram bounds")) return false;
+    std::vector<std::uint64_t> bounds(nbounds);
+    for (auto& b : bounds) {
+      if (!in.read_u64(b, "metrics histogram bound")) return false;
+    }
+    std::uint32_t ncounts = 0;
+    if (!in.read_count(ncounts, 8, "metrics histogram counts")) return false;
+    if (ncounts != nbounds + 1) {
+      error = "fabric frame: metrics histogram has " +
+              std::to_string(ncounts) + " counts for " +
+              std::to_string(nbounds) + " bounds";
+      return false;
+    }
+    std::vector<std::uint64_t> counts(ncounts);
+    for (auto& c : counts) {
+      if (!in.read_u64(c, "metrics histogram count")) return false;
+    }
+    std::uint64_t sum = 0;
+    std::uint64_t count = 0;
+    if (!in.read_u64(sum, "metrics histogram sum") ||
+        !in.read_u64(count, "metrics histogram total")) {
+      return false;
+    }
+    e.histogram = obs::Histogram::from_parts(std::move(bounds),
+                                             std::move(counts), sum, count);
+  }
+  return in.read_string(e.help, "metrics help");
+}
+
 }  // namespace
+
+const char* intern_trace_string(std::string_view s) {
+  static std::mutex mu;
+  static std::unordered_set<std::string>* pool =
+      new std::unordered_set<std::string>;  // leaked: process lifetime
+  std::lock_guard<std::mutex> lock(mu);
+  return pool->emplace(s).first->c_str();
+}
 
 std::uint64_t frame_checksum(std::string_view payload) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -204,6 +379,11 @@ std::string encode_frame(const Message& msg) {
   std::string payload;
   put_u8(payload, static_cast<std::uint8_t>(msg.type));
   put_u64(payload, msg.seq);
+  put_u8(payload, msg.ctx_ver);
+  if (msg.ctx_ver == kTraceCtxV1) {
+    put_u64(payload, msg.trace_id);
+    put_u64(payload, msg.parent_span);
+  }
   switch (msg.type) {
     case MsgType::kHello:
     case MsgType::kHeartbeat:
@@ -244,6 +424,18 @@ std::string encode_frame(const Message& msg) {
       put_stats(payload, msg.stats);
       break;
     case MsgType::kBye:
+      break;
+    case MsgType::kObsTrace:
+      put_u32(payload, msg.shard);
+      put_u32(payload, msg.epoch);
+      put_u32(payload, static_cast<std::uint32_t>(msg.trace_events.size()));
+      for (const auto& e : msg.trace_events) put_trace_event(payload, e);
+      break;
+    case MsgType::kObsMetrics:
+      put_u32(payload, msg.shard);
+      put_u32(payload, msg.epoch);
+      put_u32(payload, static_cast<std::uint32_t>(msg.metrics.entries.size()));
+      for (const auto& e : msg.metrics.entries) put_metrics_entry(payload, e);
       break;
   }
 
@@ -301,12 +493,24 @@ DecodeResult decode_frame(std::string_view frame) {
   Reader in{payload, error};
   Message msg;
   std::uint8_t type = 0;
-  if (!in.read_u8(type, "type") || !in.read_u64(msg.seq, "seq")) {
+  if (!in.read_u8(type, "type") || !in.read_u64(msg.seq, "seq") ||
+      !in.read_u8(msg.ctx_ver, "trace-context version")) {
+    out.error = std::move(error);
+    return out;
+  }
+  if (msg.ctx_ver > kTraceCtxV1) {
+    out.error = "fabric frame: unsupported trace-context version " +
+                std::to_string(msg.ctx_ver);
+    return out;
+  }
+  if (msg.ctx_ver == kTraceCtxV1 &&
+      (!in.read_u64(msg.trace_id, "trace_id") ||
+       !in.read_u64(msg.parent_span, "parent_span"))) {
     out.error = std::move(error);
     return out;
   }
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kBye)) {
+      type > static_cast<std::uint8_t>(MsgType::kObsMetrics)) {
     out.error = "fabric frame: unknown message type " + std::to_string(type);
     return out;
   }
@@ -371,6 +575,38 @@ DecodeResult decode_frame(std::string_view frame) {
       break;
     case MsgType::kBye:
       break;
+    case MsgType::kObsTrace: {
+      std::uint32_t count = 0;
+      ok = in.read_u32(msg.shard, "shard") &&
+           in.read_u32(msg.epoch, "epoch") &&
+           in.read_count(count, kWireTraceEventMinBytes, "trace events");
+      if (ok) {
+        msg.trace_events.resize(count);
+        for (auto& e : msg.trace_events) {
+          if (!read_trace_event(in, e, error)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case MsgType::kObsMetrics: {
+      std::uint32_t count = 0;
+      ok = in.read_u32(msg.shard, "shard") &&
+           in.read_u32(msg.epoch, "epoch") &&
+           in.read_count(count, kWireMetricsEntryMinBytes, "metrics entries");
+      if (ok) {
+        msg.metrics.entries.resize(count);
+        for (auto& e : msg.metrics.entries) {
+          if (!read_metrics_entry(in, e, error)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      break;
+    }
   }
   if (!ok) {
     out.error = error.empty() ? "fabric frame: truncated body"

@@ -6,8 +6,13 @@
 //
 //   u32 magic 'XFB1' | u32 payload_len | payload | u64 FNV-1a(payload)
 //
-// and a payload is `u8 type | u64 seq | type-specific body`, all integers
-// little-endian. The decoder trusts nothing: magic, length bound, exact
+// and a payload is `u8 type | u64 seq | u8 ctx_ver [| u64 trace_id |
+// u64 parent_span] | type-specific body`, all integers little-endian.
+// `ctx_ver` is the versioned trace context: 0 means no context follows,
+// 1 means an 8-byte trace id and an 8-byte parent span id follow — the
+// causal link that lets a receiver parent its handling span under the
+// sender's span (docs/observability.md). Unknown versions are rejected.
+// The decoder trusts nothing: magic, length bound, exact
 // frame size, checksum, message type, and per-field bounds are all checked,
 // and every rejection carries a diagnostic naming what was wrong — the fuzz
 // harness (tests/fuzz/fabric_frames_test.cc) drives every truncation and
@@ -25,6 +30,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xmap/probe_module.h"
 #include "xmap/scanner.h"
 #include "xmap/stats.h"
@@ -47,6 +54,8 @@ enum class MsgType : std::uint8_t {
   kCheckpoint = 7, // worker -> coordinator: stable cursor + live stats
   kShardDone = 8,  // worker -> coordinator: shard complete, final stats
   kBye = 9,        // coordinator -> worker: fabric is done, exit
+  kObsTrace = 10,  // worker -> coordinator: chunk of scan-content trace events
+  kObsMetrics = 11,// worker -> coordinator: chunk of the scan metrics snapshot
 };
 
 [[nodiscard]] constexpr const char* msg_type_name(MsgType t) {
@@ -60,9 +69,16 @@ enum class MsgType : std::uint8_t {
     case MsgType::kCheckpoint: return "checkpoint";
     case MsgType::kShardDone: return "shard-done";
     case MsgType::kBye: return "bye";
+    case MsgType::kObsTrace: return "obs-trace";
+    case MsgType::kObsMetrics: return "obs-metrics";
   }
   return "?";
 }
+
+// Trace-context versions the decoder understands. Version 0 carries no
+// context bytes; version 1 carries `u64 trace_id | u64 parent_span`.
+inline constexpr std::uint8_t kTraceCtxNone = 0;
+inline constexpr std::uint8_t kTraceCtxV1 = 1;
 
 // One validated response in flight from a worker. `when` is the worker's
 // sim-clock arrival (deterministic), `raw_slot` the global permutation slot
@@ -86,6 +102,12 @@ struct Message {
   MsgType type = MsgType::kHeartbeat;
   std::uint64_t seq = 0;  // reliable-channel sequence; 0 on unreliable frames
 
+  // Versioned trace context (see file comment). ctx_ver kTraceCtxNone means
+  // trace_id/parent_span are absent from the wire and meaningless here.
+  std::uint8_t ctx_ver = kTraceCtxNone;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
   std::uint32_t worker = 0;  // Hello, Heartbeat: sender's worker index
   std::uint64_t ack_seq = 0;  // Ack: sequence being acknowledged
 
@@ -106,7 +128,23 @@ struct Message {
   scan::ScanStats stats;           // Checkpoint (live) / ShardDone (final)
   std::vector<WireRecord> records; // Records
   std::string diagnostic;          // Refuse: why the lease was rejected
+
+  // ObsTrace: a chunk of the shard's deterministic scan-content trace.
+  // Decoded string pointers come from a process-lifetime intern pool, so
+  // they satisfy TraceEvent's static-storage contract; null-vs-empty is
+  // preserved on the wire (a presence flag precedes each string).
+  std::vector<obs::TraceEvent> trace_events;
+  // ObsMetrics: a chunk of the shard's deterministic metrics snapshot.
+  obs::MetricsSnapshot metrics;
 };
+
+// Minimum serialized TraceEvent size (every string null): the decoder
+// validates ObsTrace count prefixes against this before any allocation.
+inline constexpr std::size_t kWireTraceEventMinBytes =
+    8 + 8 + 2 * 1 + 2 * (1 + 16) + 2 * 1 + 3 * (1 + 8);
+// Minimum serialized MetricsSnapshot entry (empty name/labels/help, no
+// histogram): same pre-allocation guard for ObsMetrics count prefixes.
+inline constexpr std::size_t kWireMetricsEntryMinBytes = 4 + 4 + 1 + 1 + 8 + 1 + 4;
 
 // Serializes `msg` into one complete frame.
 [[nodiscard]] std::string encode_frame(const Message& msg);
@@ -124,5 +162,10 @@ struct DecodeResult {
 // FNV-1a 64 over the payload (exposed for the fuzz harness, which must
 // construct frames whose only defect is the bit under test).
 [[nodiscard]] std::uint64_t frame_checksum(std::string_view payload);
+
+// Interns `s` in a process-lifetime pool and returns a stable pointer —
+// decoded TraceEvent strings must satisfy the static-storage contract of
+// obs::TraceEvent. Identical contents intern to the same pointer.
+[[nodiscard]] const char* intern_trace_string(std::string_view s);
 
 }  // namespace xmap::fabric

@@ -1,5 +1,6 @@
 #include "fabric/worker.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -32,7 +33,13 @@ BackoffPolicy worker_policy(const WorkerConfig& config) {
 FabricWorker::FabricWorker(WorkerConfig config, Transport* transport)
     : config_(std::move(config)),
       transport_(transport),
-      link_(worker_policy(config_)) {}
+      link_(worker_policy(config_)),
+      tap_(config_.id, config_.tracer, config_.recorder),
+      span_parent_(config_.trace_root) {
+  if (config_.tracer != nullptr || config_.recorder != nullptr) {
+    link_.set_observer(&tap_);
+  }
+}
 
 bool FabricWorker::pump(bool until_idle) {
   do {
@@ -68,6 +75,9 @@ bool FabricWorker::pump(bool until_idle) {
     // retransmission schedule recovers it.
     if (!decoded.message) continue;
     Message& msg = *decoded.message;
+    if (config_.recorder != nullptr) {
+      config_.recorder->record("rx", msg_type_name(msg.type), msg.seq);
+    }
     if (msg.type == MsgType::kAck) {
       link_.on_ack(msg.ack_seq);
     } else if (msg.type == MsgType::kAssign) {
@@ -83,6 +93,16 @@ bool FabricWorker::pump(bool until_idle) {
 }
 
 bool FabricWorker::send_reliable(Message msg) {
+  if (config_.tracer != nullptr) {
+    // Open a span for the frame itself and ship its id as the context's
+    // parent: the coordinator's handling (and every retransmission) parents
+    // under it, which is what stitches the cross-node tree together.
+    msg.ctx_ver = kTraceCtxV1;
+    msg.trace_id = config_.tracer->trace_id();
+    msg.parent_span = config_.tracer->begin(
+        config_.id, std::string("frame:") + msg_type_name(msg.type),
+        span_parent_);
+  }
   link_.enqueue(std::move(msg));
   return pump(/*until_idle=*/true);
 }
@@ -97,6 +117,9 @@ void FabricWorker::start_heartbeats() {
     std::unique_lock lock{heartbeat_mu_};
     while (!heartbeat_stop_) {
       lock.unlock();
+      if (config_.recorder != nullptr) {
+        config_.recorder->record("heartbeat", "beat");
+      }
       transport_->send(frame);
       lock.lock();
       heartbeat_cv_.wait_for(
@@ -140,6 +163,9 @@ void FabricWorker::run() {
       auto decoded = decode_frame(received.frame);
       if (!decoded.message) continue;
       Message& msg = *decoded.message;
+      if (config_.recorder != nullptr) {
+        config_.recorder->record("rx", msg_type_name(msg.type), msg.seq);
+      }
       if (msg.type == MsgType::kAck) {
         link_.on_ack(msg.ack_seq);
       } else if (msg.type == MsgType::kAssign) {
@@ -170,33 +196,38 @@ void FabricWorker::run() {
 }
 
 void FabricWorker::handle_assign(const Message& assign) {
-  if (assign.fingerprint != config_.fingerprint) {
+  const auto refuse_with = [&](std::string diagnostic) {
+    if (config_.recorder != nullptr) {
+      config_.recorder->record("refusal", diagnostic);
+    }
+    if (config_.tracer != nullptr) {
+      config_.tracer->instant(config_.id, "refuse", assign.parent_span,
+                              {{"shard", std::to_string(assign.shard)},
+                               {"diagnostic", diagnostic}});
+    }
     Message refuse;
     refuse.type = MsgType::kRefuse;
     refuse.shard = assign.shard;
     refuse.epoch = assign.epoch;
-    refuse.diagnostic =
+    refuse.diagnostic = std::move(diagnostic);
+    send_reliable(std::move(refuse));
+  };
+  if (assign.fingerprint != config_.fingerprint) {
+    refuse_with(
         "shard " + std::to_string(assign.shard) +
         ": scan fingerprint mismatch (stored " + hex_u64(assign.fingerprint) +
         ", computed " + hex_u64(config_.fingerprint) +
-        ") — refusing a checkpoint handoff from a different scan";
-    send_reliable(std::move(refuse));
+        ") — refusing a checkpoint handoff from a different scan");
     return;
   }
   if (assign.has_resume &&
       assign.cursor.spec_steps.size() != config_.base.targets.size()) {
-    Message refuse;
-    refuse.type = MsgType::kRefuse;
-    refuse.shard = assign.shard;
-    refuse.epoch = assign.epoch;
-    refuse.diagnostic =
-        "shard " + std::to_string(assign.shard) +
-        ": torn checkpoint cursor (stored " +
-        std::to_string(assign.cursor.spec_steps.size()) +
-        " spec steps, computed " +
-        std::to_string(config_.base.targets.size()) +
-        " target specs) — refusing to resume";
-    send_reliable(std::move(refuse));
+    refuse_with("shard " + std::to_string(assign.shard) +
+                ": torn checkpoint cursor (stored " +
+                std::to_string(assign.cursor.spec_steps.size()) +
+                " spec steps, computed " +
+                std::to_string(config_.base.targets.size()) +
+                " target specs) — refusing to resume");
     return;
   }
   run_shard(assign);
@@ -215,13 +246,66 @@ void FabricWorker::run_shard(const Message& assign) {
       config_.base.shards * static_cast<int>(assign.shards_total);
   wcfg.budget_cut_raw_slot = assign.budget_cut;
   wcfg.max_probes = 0;  // fully encoded in the cut by the coordinator
-  if (assign.has_resume) wcfg.resume_spec_steps = assign.cursor.spec_steps;
+  // With observability on, a resume replays the whole shard in the local
+  // replica instead of fast-forwarding: the record filter below keeps the
+  // wire bytes identical (only slots >= the handoff cursor go out), while
+  // the regenerated trace/metrics/stats cover the full shard — exactly the
+  // engine's per-shard values, which is what makes the fabric's obs
+  // outputs byte-identical to the engine's. Obs off keeps the O(log n)
+  // fast-forward.
+  const bool full_replay = assign.has_resume && config_.obs.any();
+  const std::uint64_t resume_floor =
+      full_replay ? assign.cursor.frontier_slot : 0;
+  if (assign.has_resume && !full_replay) {
+    wcfg.resume_spec_steps = assign.cursor.spec_steps;
+  }
   if (config_.kill) wcfg.shutdown_at_raw_slot = config_.kill->at_slot;
+
+  std::uint64_t shard_span = 0;
+  if (config_.tracer != nullptr) {
+    shard_span = config_.tracer->begin(
+        config_.id, "shard_run", assign.parent_span,
+        {{"shard", std::to_string(assign.shard)},
+         {"epoch", std::to_string(assign.epoch)}});
+    span_parent_ = shard_span;
+    if (assign.has_resume) {
+      config_.tracer->instant(
+          config_.id, "cursor_resume", shard_span,
+          {{"from_slot", std::to_string(assign.cursor.frontier_slot)},
+           {"mode", full_replay ? "full_replay" : "fast_forward"}});
+    }
+  }
+  // Thread-confined scan-content sinks, the engine's per-worker recipe.
+  obs::TraceBuffer trace_buffer{config_.obs.trace_level};
+  obs::MetricsShard metrics_shard;
+  obs::StageProfile shard_profile;
+
+  const auto finish_span = [&](const char* note) {
+    if (config_.obs.profile) profile_.merge(shard_profile);
+    if (config_.tracer != nullptr) {
+      if (note != nullptr) {
+        config_.tracer->add_args(shard_span, {{"outcome", note}});
+      }
+      config_.tracer->end(shard_span);
+      span_parent_ = config_.trace_root;
+    }
+  };
+  obs::TraceBuffer* trace =
+      config_.obs.trace_level != obs::TraceLevel::kOff ? &trace_buffer
+                                                       : nullptr;
+  obs::MetricsShard* metrics =
+      config_.obs.metrics ? &metrics_shard : nullptr;
+  obs::StageProfile* profile =
+      config_.obs.profile ? &shard_profile : nullptr;
 
   // Thread-confined deterministic replica, the parallel engine's recipe.
   sim::Network net{config_.build.seed};
-  auto internet = topo::build_internet(net, *config_.world_specs,
-                                       *config_.vendors, config_.build);
+  net.set_obs(trace, metrics);
+  auto internet = [&] {
+    obs::ScopedStageTimer build_timer{profile, obs::Stage::kBuild};
+    return topo::build_internet(net, *config_.world_specs, *config_.vendors,
+                                config_.build);
+  }();
   if (config_.faults.any()) {
     sim::FaultInjector* injector = net.install_faults(config_.faults);
     std::vector<sim::NodeId> candidates;
@@ -237,6 +321,7 @@ void FabricWorker::run_shard(const Message& assign) {
   const int iface =
       topo::attach_vantage(net, internet, scanner, config_.vantage);
   scanner->set_iface(iface);
+  scanner->set_obs(config_.obs, trace, metrics, profile);
 
   std::vector<WireRecord> buffer;
   // Set when the coordinator is unreachable mid-scan: the replica runs to
@@ -258,6 +343,10 @@ void FabricWorker::run_shard(const Message& assign) {
   scanner->on_response_slotted([&](const scan::ProbeResponse& response,
                                    sim::SimTime when,
                                    std::uint64_t raw_slot) {
+    // Full-replay resume: slots below the handoff cursor were committed by
+    // the coordinator from the dead epoch — regenerate them locally (they
+    // feed the shard's trace/metrics/stats) but keep them off the wire.
+    if (raw_slot < resume_floor) return;
     buffer.push_back(WireRecord{response, when, raw_slot});
     if (abandoned || crash_armed()) return;
     if (buffer.size() >= config_.record_batch && !flush()) abandoned = true;
@@ -265,6 +354,10 @@ void FabricWorker::run_shard(const Message& assign) {
   scanner->set_checkpoint_hook(
       config_.checkpoint_interval_targets,
       [&](const scan::ScanCursor& cursor) {
+        // A replayed prefix must not regress the shard's streamed cursor:
+        // a checkpoint below the handoff would let a second failover
+        // re-transmit slots the coordinator already committed.
+        if (cursor.frontier_slot < resume_floor) return;
         if (abandoned || crash_armed()) return;
         // Flush first: the FIFO channel then guarantees every record below
         // the cursor reaches the coordinator before the checkpoint does —
@@ -272,6 +365,11 @@ void FabricWorker::run_shard(const Message& assign) {
         if (!flush()) {
           abandoned = true;
           return;
+        }
+        if (config_.tracer != nullptr) {
+          config_.tracer->instant(
+              config_.id, "checkpoint", shard_span,
+              {{"slot", std::to_string(cursor.frontier_slot)}});
         }
         Message ckpt;
         ckpt.type = MsgType::kCheckpoint;
@@ -288,16 +386,68 @@ void FabricWorker::run_shard(const Message& assign) {
   if (crash_armed()) {
     // The seeded kill point: everything unflushed dies with the worker.
     crashed_ = true;
+    finish_span("crashed");
     return;
   }
-  if (abandoned || peer_gone_) return;
-  if (!flush()) return;
+  if (abandoned || peer_gone_) {
+    finish_span("abandoned");
+    return;
+  }
+  if (!flush()) {
+    finish_span("abandoned");
+    return;
+  }
+  // Ship the shard's deterministic observability ahead of ShardDone on the
+  // same FIFO channel: a ShardDone in hand implies every obs chunk of its
+  // epoch is in hand, so the coordinator commits them together.
+  if (trace != nullptr) {
+    auto events = trace_buffer.take();
+    // Bounded chunks: the frame cap is 1 MiB and trace events are ~100
+    // bytes serialized, so 2000 events sit comfortably under it.
+    constexpr std::size_t kChunk = 2000;
+    for (std::size_t i = 0; i < events.size(); i += kChunk) {
+      const std::size_t n = std::min(kChunk, events.size() - i);
+      Message chunk;
+      chunk.type = MsgType::kObsTrace;
+      chunk.shard = assign.shard;
+      chunk.epoch = assign.epoch;
+      chunk.trace_events.assign(
+          events.begin() + static_cast<std::ptrdiff_t>(i),
+          events.begin() + static_cast<std::ptrdiff_t>(i + n));
+      if (!send_reliable(std::move(chunk))) {
+        finish_span("abandoned");
+        return;
+      }
+    }
+  }
+  if (metrics != nullptr) {
+    auto snapshot = obs::merge_shards({&metrics_shard});
+    constexpr std::size_t kChunk = 500;
+    for (std::size_t i = 0; i < snapshot.entries.size(); i += kChunk) {
+      const std::size_t n = std::min(kChunk, snapshot.entries.size() - i);
+      Message chunk;
+      chunk.type = MsgType::kObsMetrics;
+      chunk.shard = assign.shard;
+      chunk.epoch = assign.epoch;
+      chunk.metrics.entries.assign(
+          snapshot.entries.begin() + static_cast<std::ptrdiff_t>(i),
+          snapshot.entries.begin() + static_cast<std::ptrdiff_t>(i + n));
+      if (!send_reliable(std::move(chunk))) {
+        finish_span("abandoned");
+        return;
+      }
+    }
+  }
   Message done;
   done.type = MsgType::kShardDone;
   done.shard = assign.shard;
   done.epoch = assign.epoch;
   done.stats = scanner->stats();
-  send_reliable(std::move(done));
+  if (send_reliable(std::move(done))) {
+    finish_span("completed");
+  } else {
+    finish_span("abandoned");
+  }
 }
 
 }  // namespace xmap::fabric

@@ -33,7 +33,12 @@
 #include <vector>
 
 #include "fabric/channel.h"
+#include "fabric/obs_tap.h"
 #include "fabric/transport.h"
+#include "obs/config.h"
+#include "obs/fabric_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "sim/faults.h"
 #include "topology/builder.h"
 #include "xmap/scanner.h"
@@ -67,6 +72,21 @@ struct WorkerConfig {
 
   // Seeded crash, resolved from the fabric fault plan for this worker.
   std::optional<sim::FabricFaultPlan::Kill> kill;
+
+  // Scan-content observability (deterministic: trace buffers and metrics
+  // shards are shipped back per shard over ObsTrace/ObsMetrics frames).
+  // When any() and a lease resumes from a cursor, the worker replays the
+  // whole shard locally and filters transmitted records to slots >= the
+  // cursor — record bytes stay identical and the shipped trace/metrics
+  // cover the full shard, exactly the engine's per-shard values.
+  obs::ObsConfig obs;
+
+  // Deployment observability (wall clock, not owned, may be null): the
+  // shared fabric tracer, the span to parent pre-lease frames under, and
+  // this node's flight recorder.
+  obs::FabricTracer* tracer = nullptr;
+  std::uint64_t trace_root = 0;
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 class FabricWorker {
@@ -83,6 +103,9 @@ class FabricWorker {
   [[nodiscard]] std::uint64_t retransmits() const {
     return link_.retransmits();
   }
+  // Wall-clock stage profile summed over every lease this worker ran
+  // (read after run() returns; empty unless obs.profile).
+  [[nodiscard]] const obs::StageProfile& profile() const { return profile_; }
 
  private:
   void handle_assign(const Message& assign);
@@ -97,6 +120,9 @@ class FabricWorker {
   WorkerConfig config_;
   Transport* transport_;
   ReliableLink link_;
+  LinkTap tap_;
+  obs::StageProfile profile_;
+  std::uint64_t span_parent_ = 0;  // current parent for outbound frame spans
   std::vector<Message> deferred_;  // delivered while pumping a send
   bool peer_gone_ = false;
   bool done_ = false;

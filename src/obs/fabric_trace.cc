@@ -1,0 +1,203 @@
+#include "obs/fabric_trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace xmap::obs {
+namespace {
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string hex_id(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Microseconds with nanosecond decimals, matching write_chrome_trace.
+std::string us(std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t FabricTracer::steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t FabricTracer::now_ns() const {
+  const std::uint64_t now = steady_now_ns();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+std::uint64_t FabricTracer::next_id_locked(int node) {
+  // Node index in the high 16 bits (coordinator = 1, worker w = w + 2), a
+  // per-node counter below: ids are unique across nodes with no handshake.
+  const std::uint64_t track = static_cast<std::uint64_t>(node + 2);
+  return (track << 48) | ++counters_[node];
+}
+
+std::uint64_t FabricTracer::begin(int node, std::string name,
+                                  std::uint64_t parent, Args args) {
+  const std::uint64_t start = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_locked(node);
+  FabricSpan span;
+  span.trace_id = trace_id_;
+  span.span_id = id;
+  span.parent_id = parent;
+  span.node = node;
+  span.name = std::move(name);
+  span.start_ns = start;
+  span.args = std::move(args);
+  index_[id] = spans_.size();
+  open_.push_back(id);
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void FabricTracer::end(std::uint64_t span_id) {
+  const std::uint64_t now = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(span_id);
+  if (it == index_.end()) return;
+  FabricSpan& span = spans_[it->second];
+  span.dur_ns = now > span.start_ns ? now - span.start_ns : 1;
+  open_.erase(std::remove(open_.begin(), open_.end(), span_id), open_.end());
+}
+
+std::uint64_t FabricTracer::instant(int node, std::string name,
+                                    std::uint64_t parent, Args args) {
+  const std::uint64_t start = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_locked(node);
+  FabricSpan span;
+  span.trace_id = trace_id_;
+  span.span_id = id;
+  span.parent_id = parent;
+  span.node = node;
+  span.name = std::move(name);
+  span.start_ns = start;
+  span.args = std::move(args);
+  index_[id] = spans_.size();
+  spans_.push_back(std::move(span));
+  return id;
+}
+
+void FabricTracer::add_args(std::uint64_t span_id, Args args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(span_id);
+  if (it == index_.end()) return;
+  auto& dst = spans_[it->second].args;
+  for (auto& kv : args) dst.push_back(std::move(kv));
+}
+
+std::vector<FabricSpan> FabricTracer::finish() {
+  const std::uint64_t now = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::uint64_t id : open_) {
+    FabricSpan& span = spans_[index_[id]];
+    span.dur_ns = now > span.start_ns ? now - span.start_ns : 1;
+  }
+  open_.clear();
+  std::vector<FabricSpan> out = std::move(spans_);
+  spans_.clear();
+  index_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const FabricSpan& a, const FabricSpan& b) {
+              if (a.node != b.node) return a.node < b.node;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+void write_fabric_chrome_trace(std::ostream& out,
+                               const std::vector<FabricSpan>& spans) {
+  std::string buf;
+  buf += "{\"traceEvents\":[";
+  bool first = true;
+  // One metadata record per track present, so Perfetto names the lanes.
+  int max_node = kCoordinatorNode;
+  bool any_coord = false;
+  for (const FabricSpan& s : spans) {
+    if (s.node == kCoordinatorNode) any_coord = true;
+    if (s.node > max_node) max_node = s.node;
+  }
+  auto track_meta = [&](int node, const std::string& label) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    buf += std::to_string(node + 2);
+    buf += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape_into(buf, label);
+    buf += "\"}}";
+  };
+  if (any_coord) track_meta(kCoordinatorNode, "coordinator");
+  for (int n = 0; n <= max_node; ++n) {
+    track_meta(n, "worker-" + std::to_string(n));
+  }
+  for (const FabricSpan& s : spans) {
+    if (!first) buf += ',';
+    first = false;
+    buf += "{\"name\":\"";
+    json_escape_into(buf, s.name);
+    buf += "\",\"cat\":\"fabric\",\"ph\":\"";
+    buf += s.dur_ns == 0 ? 'i' : 'X';
+    buf += "\",\"pid\":1,\"tid\":";
+    buf += std::to_string(s.node + 2);
+    buf += ",\"ts\":";
+    buf += us(s.start_ns);
+    if (s.dur_ns != 0) {
+      buf += ",\"dur\":";
+      buf += us(s.dur_ns);
+    } else {
+      buf += ",\"s\":\"t\"";
+    }
+    buf += ",\"args\":{\"trace_id\":\"";
+    buf += hex_id(s.trace_id);
+    buf += "\",\"span_id\":\"";
+    buf += hex_id(s.span_id);
+    buf += "\",\"parent_id\":\"";
+    buf += hex_id(s.parent_id);
+    buf += "\"";
+    for (const auto& [k, v] : s.args) {
+      buf += ",\"";
+      json_escape_into(buf, k);
+      buf += "\":\"";
+      json_escape_into(buf, v);
+      buf += "\"";
+    }
+    buf += "}}";
+  }
+  buf += "]}\n";
+  out << buf;
+}
+
+}  // namespace xmap::obs

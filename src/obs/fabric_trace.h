@@ -1,0 +1,103 @@
+// Causal cross-node tracing for the distributed scan fabric.
+//
+// This is the *deployment* half of the observability split: spans are
+// stamped with wall-clock nanoseconds and carry node identities — exactly
+// the data the deterministic scan trace (trace.h) must never contain. A
+// fabric trace therefore differs between two runs whose scan records are
+// byte-identical; it is quarantined the same way wall_clock metrics series
+// are (docs/observability.md, "determinism taxonomy").
+//
+// The model is a single trace per fabric run: every span carries the run's
+// trace id, a span id unique across nodes (the node index is folded into
+// the id's high bits, so nodes allocate ids without coordination), and a
+// parent span id (0 = root). Frames propagate (trace_id, span_id) in the
+// versioned protocol header, so a receiver parents its handling span under
+// the sender's span and a shard's life — lease grant, probe stream,
+// checkpoints, death verdict, migration, resume — renders as one connected
+// tree spanning the coordinator track and each worker track in Perfetto.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace xmap::obs {
+
+// Track index for coordinator spans; workers use their worker index >= 0.
+inline constexpr int kCoordinatorNode = -1;
+
+struct FabricSpan {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  // 0 = root
+  int node = kCoordinatorNode;  // Perfetto track: coordinator or worker index
+  std::string name;
+  std::uint64_t start_ns = 0;  // wall clock, ns since tracer construction
+  std::uint64_t dur_ns = 0;    // 0 renders as an instant event
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+// Shared, mutex-guarded span sink for one fabric run. The loopback fabric
+// runs every node in-process, so one tracer serves them all; contention is
+// per-protocol-event, far off any packet hot path. All methods are
+// thread-safe.
+class FabricTracer {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  explicit FabricTracer(std::uint64_t trace_id) : trace_id_(trace_id) {}
+  FabricTracer(const FabricTracer&) = delete;
+  FabricTracer& operator=(const FabricTracer&) = delete;
+
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
+  // Monotonic nanoseconds since tracer construction.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  // Opens a span on `node`'s track under `parent` (0 = root); returns its
+  // span id. Close with end(); spans still open at finish() are closed
+  // there.
+  std::uint64_t begin(int node, std::string name, std::uint64_t parent,
+                      Args args = {});
+  void end(std::uint64_t span_id);
+
+  // A zero-duration span (rendered as an instant mark).
+  std::uint64_t instant(int node, std::string name, std::uint64_t parent,
+                        Args args = {});
+
+  // Appends arguments to a span recorded earlier (e.g. a death verdict
+  // added to the shard's lease span).
+  void add_args(std::uint64_t span_id, Args args);
+
+  // Closes any still-open spans and returns all spans ordered by
+  // (node, start_ns, span_id). The tracer is spent afterwards.
+  [[nodiscard]] std::vector<FabricSpan> finish();
+
+ private:
+  std::uint64_t next_id_locked(int node);
+
+  const std::uint64_t trace_id_;
+  const std::uint64_t epoch_ns_ = steady_now_ns();
+  mutable std::mutex mu_;
+  std::vector<FabricSpan> spans_;
+  // span id -> index into spans_; open spans carry end sentinel 0.
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<std::uint64_t> open_;
+  std::unordered_map<int, std::uint64_t> counters_;
+
+  [[nodiscard]] static std::uint64_t steady_now_ns();
+};
+
+// Chrome trace-event JSON with one track per node: coordinator and each
+// worker get a tid of their own plus a thread_name metadata record, so
+// Perfetto renders the fabric as parallel swimlanes. Span/parent/trace ids
+// are emitted as hex strings in each event's args — that is what
+// tools/xmap_trace walks to rebuild the causal tree.
+void write_fabric_chrome_trace(std::ostream& out,
+                               const std::vector<FabricSpan>& spans);
+
+}  // namespace xmap::obs

@@ -1,0 +1,115 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace xmap::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_ns_(steady_ns()) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t FlightRecorder::now_ns() const {
+  const std::uint64_t now = steady_ns();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+void FlightRecorder::record(const char* kind, std::string detail,
+                            std::uint64_t seq, std::uint64_t attempt) {
+  Event e;
+  e.t_ns = now_ns();
+  e.kind = kind;
+  e.detail = std::move(detail);
+  e.seq = seq;
+  e.attempt = attempt;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& out,
+                                const std::string& node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string buf;
+  buf += "{\"node\":\"";
+  json_escape_into(buf, node);
+  buf += "\",\"recorded\":";
+  buf += std::to_string(recorded_);
+  buf += ",\"dropped\":";
+  buf += std::to_string(recorded_ - ring_.size());
+  buf += "}\n";
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // head_ is the oldest entry once the ring has wrapped.
+    const Event& e = ring_[(head_ + i) % n];
+    buf += "{\"t_ns\":";
+    buf += std::to_string(e.t_ns);
+    buf += ",\"kind\":\"";
+    json_escape_into(buf, e.kind);
+    buf += "\",\"detail\":\"";
+    json_escape_into(buf, e.detail);
+    buf += "\",\"seq\":";
+    buf += std::to_string(e.seq);
+    buf += ",\"attempt\":";
+    buf += std::to_string(e.attempt);
+    buf += "}\n";
+  }
+  out << buf;
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  const std::string& node) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  dump_jsonl(out, node);
+  return out.good();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+}  // namespace xmap::obs

@@ -1,0 +1,65 @@
+// Per-node protocol flight recorder: the last N protocol events in a
+// bounded ring, dumped to JSONL only when something goes wrong.
+//
+// Every fabric node (coordinator and each worker) keeps one of these and
+// records frames sent and received, acks, backoff sleeps, heartbeats and
+// refusal diagnostics. In the steady state the ring just rotates — nothing
+// is written anywhere. On a failure path (worker declared dead, a
+// fingerprint or torn-cursor refusal, nonzero fabric exit) each node's ring
+// is dumped to `<prefix>.<node>.jsonl`, so a failover post-mortem has both
+// sides' last moments without re-running the scan.
+//
+// Timestamps are wall-clock nanoseconds since recorder construction —
+// deployment data, never part of the deterministic scan outputs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xmap::obs {
+
+class FlightRecorder {
+ public:
+  struct Event {
+    std::uint64_t t_ns = 0;
+    const char* kind = "";   // "tx" | "rx" | "ack" | "backoff" | "drop" | ...
+    std::string detail;      // e.g. "records seq=5 shard=2"
+    std::uint64_t seq = 0;
+    std::uint64_t attempt = 0;
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Thread-safe: worker loop and its heartbeat thread both record.
+  void record(const char* kind, std::string detail, std::uint64_t seq = 0,
+              std::uint64_t attempt = 0);
+
+  // Oldest-first JSONL: a meta line ({"node":...,"recorded":..,"dropped":..})
+  // then one event object per line.
+  void dump_jsonl(std::ostream& out, const std::string& node) const;
+  // Convenience: atomically-ish write to `path` (truncate + write); returns
+  // false when the file cannot be opened.
+  bool dump_to_file(const std::string& path, const std::string& node) const;
+
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+ private:
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  const std::size_t capacity_;
+  const std::uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  std::size_t head_ = 0;       // next write position once the ring is full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace xmap::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string_view>
 
 namespace xmap::obs {
 namespace {
@@ -115,9 +116,9 @@ MetricsShard::Series& MetricsShard::find_or_create(const std::string& name,
 }
 
 std::uint64_t* MetricsShard::counter(const std::string& name, Labels labels,
-                                     const char* help) {
+                                     const char* help, bool wall_clock) {
   return &find_or_create(name, sorted(std::move(labels)),
-                         MetricKind::kCounter, help, false)
+                         MetricKind::kCounter, help, wall_clock)
               .value;
 }
 
@@ -218,7 +219,15 @@ std::string prometheus_text(const MetricsSnapshot& snapshot,
   for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
     if (entry.wall_clock && !include_wall_clock) continue;
     std::string family = "xmap_" + entry.name;
-    if (entry.kind == MetricKind::kCounter) family += "_total";
+    // Counters carry the conventional _total suffix — unless the registered
+    // name already ends with it (the fabric_* series do).
+    constexpr std::string_view kTotal = "_total";
+    if (entry.kind == MetricKind::kCounter &&
+        (family.size() < kTotal.size() ||
+         family.compare(family.size() - kTotal.size(), kTotal.size(),
+                        kTotal.data()) != 0)) {
+      family += "_total";
+    }
     if (family != last_family) {
       if (!entry.help.empty()) {
         out << "# HELP " << family << ' ' << entry.help << '\n';

@@ -99,7 +99,7 @@ class MetricsShard {
   // lifetime — resolve once, increment freely. `help` is kept from the
   // first registration that supplies one.
   std::uint64_t* counter(const std::string& name, Labels labels = {},
-                         const char* help = "");
+                         const char* help = "", bool wall_clock = false);
   std::uint64_t* gauge(const std::string& name, Labels labels = {},
                        const char* help = "", bool wall_clock = false);
   Histogram* histogram(const std::string& name,

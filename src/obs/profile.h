@@ -25,6 +25,8 @@ enum class Stage : std::uint8_t {
   kReceive,      // receive path, wire gate + bookkeeping (includes classify)
   kClassify,     // probe-module classification (subset of kReceive)
   kMerge,        // main-thread record sort + collector union
+  kLease,        // fabric coordinator: shard lease assignment (Assign send)
+  kDecode,       // fabric coordinator: inbound frame decode + dispatch
   kCount_,
 };
 
@@ -44,6 +46,10 @@ inline constexpr int kStageCount = static_cast<int>(Stage::kCount_);
       return "classify";
     case Stage::kMerge:
       return "merge";
+    case Stage::kLease:
+      return "lease";
+    case Stage::kDecode:
+      return "decode";
     case Stage::kCount_:
       break;
   }

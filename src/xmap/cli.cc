@@ -128,6 +128,28 @@ Distributed fabric (src/fabric; see docs/distributed.md):
   --fabric-truncate <p>     P(truncate a fabric frame; the checksum rejects
                             it and retransmission recovers) (0..1)
   --fabric-delay-ms <ms>    max extra fabric frame delay (reorders)
+  --fabric-trace-file <path>
+                            causal cross-node deployment trace (Perfetto /
+                            chrome://tracing JSON): lease grants, probe
+                            streams, checkpoints, heartbeat loss, death
+                            verdicts, lease migrations, retransmits — wall
+                            clock, separate from the deterministic
+                            --trace-file
+  --fabric-metrics-file <path>
+                            Prometheus text export including the wall-clock
+                            fabric_* deployment series (per-node labels)
+  --fabric-timeline-file <path>
+                            health timeline: interval JSONL snapshots of
+                            fabric state (live/busy/dead workers, shard
+                            phases, retransmits)
+  --flight-recorder-events <n>
+                            per-node protocol flight recorder ring size
+                            (0 = off); rings dump to JSONL on worker death,
+                            lease refusal, or a failed fabric
+  --flight-recorder-prefix <path>
+                            where flight-recorder dumps go (default:
+                            <output-file>.flightrec, or fabric.flightrec
+                            for stdout output)
 
 Observability:
   --trace-level off|scan|packet
@@ -466,6 +488,38 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail("bad --fabric-heartbeat-timeout-ms (2..60000)");
       }
       opts.fabric_heartbeat_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--fabric-trace-file") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--fabric-trace-file needs a value");
+      }
+      opts.fabric_trace_file = value;
+    } else if (arg == "--fabric-metrics-file") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--fabric-metrics-file needs a value");
+      }
+      opts.fabric_metrics_file = value;
+    } else if (arg == "--fabric-timeline-file") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--fabric-timeline-file needs a value");
+      }
+      opts.fabric_timeline_file = value;
+    } else if (arg == "--flight-recorder-events") {
+      std::string value;
+      long long n = 0;
+      if (!next_value(arg, value) || !parse_int(value, n) || n < 0 ||
+          n > 1000000) {
+        return fail("bad --flight-recorder-events (0..1000000)");
+      }
+      opts.flight_recorder_events = static_cast<std::size_t>(n);
+    } else if (arg == "--flight-recorder-prefix") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--flight-recorder-prefix needs a value");
+      }
+      opts.flight_recorder_prefix = value;
     } else if (arg == "--kill-node-at") {
       std::string value;
       if (!next_value(arg, value)) return fail("--kill-node-at needs a value");
@@ -577,6 +631,14 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
   if (opts.fabric_nodes == 0 && opts.fabric_faults.any()) {
     return fail("fabric fault flags need --fabric-nodes");
   }
+  if (opts.fabric_nodes == 0 &&
+      (!opts.fabric_trace_file.empty() || !opts.fabric_metrics_file.empty() ||
+       !opts.fabric_timeline_file.empty() || opts.flight_recorder_events > 0 ||
+       !opts.flight_recorder_prefix.empty())) {
+    return fail(
+        "--fabric-trace-file/--fabric-metrics-file/--fabric-timeline-file/"
+        "--flight-recorder-* need --fabric-nodes");
+  }
   if (opts.fabric_nodes > 0) {
     if (opts.threads > 0 || !opts.status_updates_file.empty()) {
       return fail(
@@ -599,12 +661,6 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
           "single-machine recovery flags; the fabric checkpoints shard "
           "leases internally (--checkpoint-interval-probes sets the "
           "cadence)");
-    }
-    if (!opts.trace_file.empty() || !opts.metrics_file.empty() ||
-        opts.trace_level.has_value() || opts.profile) {
-      return fail(
-          "observability flags are not wired through the fabric path yet; "
-          "drop --trace-file/--metrics-file/--trace-level/--profile");
     }
     for (const auto& kill : opts.fabric_faults.kills) {
       if (kill.node >= opts.fabric_nodes) {

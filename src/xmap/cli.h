@@ -81,6 +81,16 @@ struct CliOptions {
   // Fabric-layer faults: seeded worker kills (--kill-node-at) and message
   // faults (--fabric-drop-heartbeat/-duplicate/-truncate/-delay-ms).
   sim::FabricFaultPlan fabric_faults;
+  // Fabric-deployment observability (wall clock, quarantined from the
+  // deterministic scan artifacts; the plain --trace-file/--metrics-file
+  // flags stay byte-identical to an engine run at --fabric-shards threads).
+  std::string fabric_trace_file;     // --fabric-trace-file (Perfetto JSON)
+  std::string fabric_metrics_file;   // --fabric-metrics-file (incl. fabric_*)
+  std::string fabric_timeline_file;  // --fabric-timeline-file (JSONL)
+  // Flight recorders: ring capacity (0 = off) and the dump-path prefix
+  // (defaults next to --output-file when recorders are on).
+  std::size_t flight_recorder_events = 0;  // --flight-recorder-events
+  std::string flight_recorder_prefix;      // --flight-recorder-prefix
 
   // Simulation substrate: "paper" (the 15 calibrated blocks),
   // "bgp:<n_ases>", or "file:<path>" (a JSON spec document; see

@@ -149,6 +149,10 @@ void SimChannelScanner::set_obs(const obs::ObsConfig& config,
   }
   track_rtt_ = rtt_hist_ != nullptr ||
                (trace_ != nullptr && trace_->at(obs::TraceLevel::kScan));
+  // Deterministic pacing: send times are analytic, so RTT rides on the
+  // slot map instead of a dedicated send-time map.
+  rtt_from_slots_ = track_rtt_ && !config_.adaptive_rate;
+  if (rtt_from_slots_) track_slots_ = true;
 }
 
 void SimChannelScanner::start() {
@@ -197,6 +201,27 @@ void SimChannelScanner::start() {
     config_.budget_cut_raw_slot =
         compute_budget_cut(config_.targets, config_.seed, config_.blocklist,
                            config_.max_probes, config_.shard, config_.shards);
+  }
+
+  // Pre-size the per-probe flat tables: this shard draws at most
+  // span/shards targets (raw-cycle span capped by the budget cut), so
+  // sizing them here keeps the steady-state scan path heap-free — growth
+  // would allocate mid-run. Capped so a huge address window cannot demand
+  // a huge up-front table; past the cap the tables grow like any hash map.
+  {
+    const std::uint64_t span =
+        std::min(raw_base, config_.budget_cut_raw_slot);
+    const std::uint64_t shards = config_.shards > 0
+                                     ? static_cast<std::uint64_t>(config_.shards)
+                                     : 1;
+    constexpr std::uint64_t kReserveCap = std::uint64_t{1} << 20;
+    const std::size_t per_shard =
+        static_cast<std::size_t>(std::min(span / shards + 1, kReserveCap));
+    // Responses can outnumber targets (routers answer for silent hosts),
+    // so the dedup set gets double headroom.
+    seen_responses_.reserve(2 * per_shard);
+    if (track_slots_) slot_by_addr_.reserve(per_shard);
+    if (track_rtt_ && !rtt_from_slots_) first_send_.reserve(per_shard);
   }
 
   current_pps_ = config_.probes_per_sec > 0 ? config_.probes_per_sec : 1e9;
@@ -304,7 +329,7 @@ bool SimChannelScanner::draw_fresh(net::Ipv6Address& out,
     e.i0 = {"raw_slot", raw_slot};
     trace_->add(e);
   }
-  if (track_slots_) slot_by_addr_.emplace(addr_key(out), raw_slot);
+  if (track_slots_) slot_by_addr_.insert(addr_key(out), raw_slot);
   if (checkpoint_hook_ && checkpoint_every_ != 0 && !config_.adaptive_rate &&
       ++targets_since_checkpoint_ >= checkpoint_every_) {
     targets_since_checkpoint_ = 0;
@@ -476,8 +501,8 @@ void SimChannelScanner::send_copy(const net::Ipv6Address& target, int copy) {
       trace_->add(e);
     }
   }
-  if (track_rtt_ && copy == 0) {
-    first_send_.emplace(addr_key(target), network()->now());
+  if (track_rtt_ && copy == 0 && !rtt_from_slots_) {
+    first_send_.insert(addr_key(target), network()->now());
   }
   send(iface_, std::move(probe));
   ++stats_.sent;
@@ -618,12 +643,35 @@ void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
   if (progress_ != nullptr) {
     progress_->validated.fetch_add(1, std::memory_order_relaxed);
   }
+  std::uint64_t raw_slot = kNoBudgetCut;
+  if (track_slots_) {
+    const std::uint64_t* slot =
+        slot_by_addr_.find(addr_key(response->probe_dst));
+    if (slot != nullptr) raw_slot = *slot;
+  }
   sim::SimTime rtt = 0;
   bool have_rtt = false;
   if (track_rtt_) {
-    const auto it = first_send_.find(addr_key(response->probe_dst));
-    if (it != first_send_.end() && network()->now() >= it->second) {
-      rtt = network()->now() - it->second;
+    sim::SimTime sent = 0;
+    bool have_sent = false;
+    if (rtt_from_slots_) {
+      if (raw_slot != kNoBudgetCut) {
+        // Copy 0 owns packet slot raw_slot * copies; its send fired at
+        // exactly that slot's boundary (see schedule_fresh).
+        sent = static_cast<sim::SimTime>(
+            raw_slot * static_cast<std::uint64_t>(copies_) * gap_ns_);
+        have_sent = true;
+      }
+    } else {
+      const sim::SimTime* p =
+          first_send_.find(addr_key(response->probe_dst));
+      if (p != nullptr) {
+        sent = *p;
+        have_sent = true;
+      }
+    }
+    if (have_sent && network()->now() >= sent) {
+      rtt = network()->now() - sent;
       have_rtt = true;
     }
   }
@@ -644,7 +692,7 @@ void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
     e.str_val = response_kind_name(response->kind);
     trace_->add(e);
   }
-  if (!seen_responses_.insert(response_key(*response)).second) {
+  if (!seen_responses_.insert(response_key(*response))) {
     ++stats_.duplicates;
     bump(cells_.duplicates);
     if (progress_ != nullptr) {
@@ -663,11 +711,6 @@ void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
     }
   }
   if (callback_) {
-    std::uint64_t raw_slot = kNoBudgetCut;
-    if (track_slots_) {
-      const auto it = slot_by_addr_.find(addr_key(response->probe_dst));
-      if (it != slot_by_addr_.end()) raw_slot = it->second;
-    }
     callback_(*response, network()->now(), raw_slot);
   }
 }

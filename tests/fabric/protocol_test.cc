@@ -218,7 +218,8 @@ TEST(FabricProtocol, RejectsUnknownType) {
   msg.worker = 1;
   std::string frame = encode_frame(msg);
   const std::size_t payload_len = frame.size() - kFrameOverhead;
-  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{10},
+  // 12 is the first value past kObsMetrics — the smallest out-of-range type.
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{12},
                            std::uint8_t{255}}) {
     std::string doctored = frame;
     doctored[8] = static_cast<char>(bad);

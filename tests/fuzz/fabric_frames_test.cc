@@ -81,6 +81,83 @@ std::vector<std::string> corpus() {
   ack.ack_seq = 17;
   frames.push_back(encode_frame(ack));
 
+  // Trace-context-bearing variants: the same Assign and Checkpoint with a
+  // v1 context (trace id + parent span) in the versioned header. Bit flips
+  // inside the context bytes must be rejected like any other payload flip —
+  // a corrupted causal link must never attach a span to the wrong parent.
+  Message ctx_assign = assign;
+  ctx_assign.ctx_ver = kTraceCtxV1;
+  ctx_assign.trace_id = 0xfeedfacecafebeefULL;
+  ctx_assign.parent_span = 0x0002000000000007ULL;
+  frames.push_back(encode_frame(ctx_assign));
+
+  Message ctx_ckpt = ckpt;
+  ctx_ckpt.ctx_ver = kTraceCtxV1;
+  ctx_ckpt.trace_id = 0xfeedfacecafebeefULL;
+  ctx_ckpt.parent_span = 0x0003000000000001ULL;
+  frames.push_back(encode_frame(ctx_ckpt));
+
+  // Obs chunks: a scan-content trace chunk (strings exercise the intern
+  // pool and the null-vs-empty presence flags) and a metrics chunk (counter,
+  // wall-clock gauge, histogram).
+  Message obs_trace;
+  obs_trace.type = MsgType::kObsTrace;
+  obs_trace.seq = 9;
+  obs_trace.shard = 1;
+  obs_trace.epoch = 0;
+  obs_trace.ctx_ver = kTraceCtxV1;
+  obs_trace.trace_id = 0xfeedfacecafebeefULL;
+  obs_trace.parent_span = 0x0002000000000009ULL;
+  {
+    obs::TraceEvent probe;
+    probe.ts = 12345;
+    probe.name = "probe_sent";
+    probe.cat = "scan";
+    probe.addr1_key = "dst";
+    probe.addr1 = *net::Ipv6Address::parse("2001:db8::42");
+    probe.i0 = {"slot", 777};
+    obs_trace.trace_events.push_back(probe);
+    obs::TraceEvent span;
+    span.ts = 12000;
+    span.dur = 900;
+    span.name = "probe_lifecycle";
+    span.cat = "scan";
+    span.str_key = "outcome";
+    span.str_val = "validated";
+    obs_trace.trace_events.push_back(span);
+  }
+  frames.push_back(encode_frame(obs_trace));
+
+  Message obs_metrics;
+  obs_metrics.type = MsgType::kObsMetrics;
+  obs_metrics.seq = 10;
+  obs_metrics.shard = 1;
+  obs_metrics.epoch = 0;
+  {
+    obs::MetricsSnapshot::Entry counter;
+    counter.name = "targets_generated";
+    counter.kind = obs::MetricKind::kCounter;
+    counter.value = 4242;
+    counter.help = "Targets drawn from the permutation";
+    obs_metrics.metrics.entries.push_back(counter);
+    obs::MetricsSnapshot::Entry gauge;
+    gauge.name = "queue_depth";
+    gauge.labels = {{"stage", "send"}};
+    gauge.kind = obs::MetricKind::kGauge;
+    gauge.wall_clock = true;
+    gauge.value = 17;
+    obs_metrics.metrics.entries.push_back(gauge);
+    obs::MetricsSnapshot::Entry histo;
+    histo.name = "rtt_ns";
+    histo.kind = obs::MetricKind::kHistogram;
+    histo.histogram = obs::Histogram{{1000, 10000, 100000}};
+    histo.histogram->observe(500);
+    histo.histogram->observe(50000);
+    histo.histogram->observe(999999999);
+    obs_metrics.metrics.entries.push_back(histo);
+  }
+  frames.push_back(encode_frame(obs_metrics));
+
   return frames;
 }
 
@@ -90,6 +167,100 @@ TEST(FabricFramesFuzz, CorpusDecodes) {
     auto decoded = decode_frame(frame);
     EXPECT_TRUE(decoded.message.has_value()) << decoded.error;
   }
+}
+
+// Trace context round-trips exactly: version, trace id and parent span come
+// back bit-for-bit, and a ctx-free frame stays ctx-free.
+TEST(FabricFramesFuzz, TraceContextRoundTrips) {
+  Message msg;
+  msg.type = MsgType::kCheckpoint;
+  msg.seq = 4;
+  msg.shard = 6;
+  msg.cursor.frontier_slot = 100;
+  msg.cursor.spec_steps = {5};
+  msg.ctx_ver = kTraceCtxV1;
+  msg.trace_id = 0x1122334455667788ULL;
+  msg.parent_span = 0x0004000000000042ULL;
+  auto decoded = decode_frame(encode_frame(msg));
+  ASSERT_TRUE(decoded.message.has_value()) << decoded.error;
+  EXPECT_EQ(decoded.message->ctx_ver, kTraceCtxV1);
+  EXPECT_EQ(decoded.message->trace_id, 0x1122334455667788ULL);
+  EXPECT_EQ(decoded.message->parent_span, 0x0004000000000042ULL);
+
+  msg.ctx_ver = kTraceCtxNone;
+  decoded = decode_frame(encode_frame(msg));
+  ASSERT_TRUE(decoded.message.has_value()) << decoded.error;
+  EXPECT_EQ(decoded.message->ctx_ver, kTraceCtxNone);
+  EXPECT_EQ(decoded.message->trace_id, 0u);
+  EXPECT_EQ(decoded.message->parent_span, 0u);
+}
+
+// Unknown trace-context versions are rejected with a diagnostic — a newer
+// peer must never have its context bytes misread as body fields.
+TEST(FabricFramesFuzz, UnsupportedTraceContextVersionRejected) {
+  Message msg;
+  msg.type = MsgType::kHello;
+  msg.seq = 1;
+  msg.worker = 0;
+  std::string frame = encode_frame(msg);
+  // The ctx_ver byte sits right after `u8 type | u64 seq` in the payload,
+  // which starts at offset 8 (after magic + length prefix).
+  const std::size_t ctx_off = 8 + 1 + 8;
+  for (std::uint8_t ver : {std::uint8_t{2}, std::uint8_t{7},
+                           std::uint8_t{255}}) {
+    std::string doctored = frame;
+    doctored[ctx_off] = static_cast<char>(ver);
+    const std::size_t payload_len = doctored.size() - kFrameOverhead;
+    const std::uint64_t sum =
+        frame_checksum(std::string_view(doctored).substr(8, payload_len));
+    std::memcpy(doctored.data() + 8 + payload_len, &sum, 8);
+    auto decoded = decode_frame(doctored);
+    ASSERT_FALSE(decoded.message.has_value())
+        << "ctx version " << int(ver) << " was accepted";
+    EXPECT_NE(decoded.error.find("trace-context"), std::string::npos)
+        << decoded.error;
+  }
+}
+
+// Obs chunks survive the wire byte-exactly: trace events (including interned
+// strings and null-vs-empty arg keys) and metrics entries (labels,
+// wall-clock flag, histogram buckets) decode equal to what was encoded.
+TEST(FabricFramesFuzz, ObsChunksRoundTrip) {
+  const auto frames = corpus();
+  // The last two corpus frames are the obs chunks built above.
+  auto trace_chunk = decode_frame(frames[frames.size() - 2]);
+  ASSERT_TRUE(trace_chunk.message.has_value()) << trace_chunk.error;
+  ASSERT_EQ(trace_chunk.message->type, MsgType::kObsTrace);
+  ASSERT_EQ(trace_chunk.message->trace_events.size(), 2u);
+  const auto& ev = trace_chunk.message->trace_events[0];
+  EXPECT_EQ(ev.ts, 12345u);
+  EXPECT_STREQ(ev.name, "probe_sent");
+  EXPECT_STREQ(ev.addr1_key, "dst");
+  EXPECT_EQ(ev.addr1, *net::Ipv6Address::parse("2001:db8::42"));
+  EXPECT_STREQ(ev.i0.key, "slot");
+  EXPECT_EQ(ev.i0.value, 777u);
+  EXPECT_EQ(ev.addr2_key, nullptr);  // null (not empty) survived the wire
+  const auto& span = trace_chunk.message->trace_events[1];
+  EXPECT_EQ(span.dur, 900u);
+  EXPECT_STREQ(span.str_val, "validated");
+
+  auto metrics_chunk = decode_frame(frames[frames.size() - 1]);
+  ASSERT_TRUE(metrics_chunk.message.has_value()) << metrics_chunk.error;
+  ASSERT_EQ(metrics_chunk.message->type, MsgType::kObsMetrics);
+  const auto& snap = metrics_chunk.message->metrics;
+  ASSERT_EQ(snap.entries.size(), 3u);
+  const auto* counter = snap.find("targets_generated");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 4242u);
+  EXPECT_EQ(counter->help, "Targets drawn from the permutation");
+  const auto* gauge = snap.find("queue_depth", {{"stage", "send"}});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_TRUE(gauge->wall_clock);
+  const auto* histo = snap.find("rtt_ns");
+  ASSERT_NE(histo, nullptr);
+  ASSERT_TRUE(histo->histogram.has_value());
+  EXPECT_EQ(histo->histogram->count(), 3u);
+  EXPECT_EQ(histo->histogram->counts().back(), 1u);  // the +Inf observation
 }
 
 // Every proper prefix of every valid frame is rejected with a diagnostic.

@@ -25,6 +25,8 @@
 #include "netbase/exit_codes.h"
 #include "store/writer.h"
 #include "obs/config.h"
+#include "obs/fabric_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -440,11 +442,41 @@ int main(int argc, char** argv) {
     fcfg.backoff.seed = opts.seed;
     fcfg.fingerprint = fingerprint;
     if (!opts.quiet) fcfg.log = &std::clog;
+    // Scan-content observability rides the protocol: --trace-file /
+    // --metrics-file / --profile come back byte-identical to an engine run
+    // at --fabric-shards threads. The fabric-specific artifacts are wall
+    // clock and live in their own files.
+    fcfg.obs = obs_cfg;
+    fcfg.fabric_trace = !opts.fabric_trace_file.empty();
+    fcfg.flight_recorder_events = opts.flight_recorder_events;
+    fcfg.flight_recorder_prefix = opts.flight_recorder_prefix;
+    if (fcfg.flight_recorder_events > 0 &&
+        fcfg.flight_recorder_prefix.empty()) {
+      fcfg.flight_recorder_prefix =
+          (!opts.output_file.empty() && opts.output_file != "-" &&
+           opts.output_file.rfind("/dev/", 0) != 0)
+              ? opts.output_file + ".flightrec"
+              : "fabric.flightrec";
+    } else if (fcfg.flight_recorder_events == 0 &&
+               !fcfg.flight_recorder_prefix.empty()) {
+      fcfg.flight_recorder_events = obs::FlightRecorder::kDefaultCapacity;
+    }
+    std::ofstream timeline_file;
+    if (!opts.fabric_timeline_file.empty()) {
+      timeline_file.open(opts.fabric_timeline_file);
+      if (!timeline_file) {
+        std::fprintf(stderr, "xmap_sim: cannot open %s\n",
+                     opts.fabric_timeline_file.c_str());
+        return kExitConfig;
+      }
+      fcfg.timeline = &timeline_file;
+    }
     auto result = fabric::run_fabric_scan(fcfg);
     if (!result.ok) {
       std::fprintf(stderr, "xmap_sim: %s\n", result.error.c_str());
       return kExitConfig;
     }
+    if (timeline_file.is_open()) timeline_file.close();
 
     writer->begin();
     for (const auto& record : result.records) {
@@ -465,6 +497,33 @@ int main(int argc, char** argv) {
     }
     for (const auto& error : result.worker_errors) {
       std::fprintf(stderr, "xmap_sim: fabric: %s\n", error.c_str());
+    }
+    // Deterministic scan observability first (identical bytes to the
+    // engine), then the wall-clock fabric artifacts.
+    if (!write_obs_outputs(opts, result.trace, result.scan_metrics,
+                           result.stage_profile)) {
+      return kExitConfig;
+    }
+    if (!opts.fabric_trace_file.empty()) {
+      std::ostringstream buf;
+      obs::write_fabric_chrome_trace(buf, result.fabric_spans);
+      if (!emit_artifact(opts.fabric_trace_file, buf.str())) {
+        return kExitConfig;
+      }
+    }
+    if (!opts.fabric_metrics_file.empty()) {
+      // Everything, deployment series included: the scan registry plus the
+      // wall-clock fabric_* counters (per-node labels and all).
+      const obs::MetricsSnapshot full = obs::merge_snapshots(
+          {&result.scan_metrics, &result.metrics});
+      if (!emit_artifact(opts.fabric_metrics_file,
+                         obs::prometheus_text(full, true))) {
+        return kExitConfig;
+      }
+    }
+    for (const auto& dump : result.recorder_dumps) {
+      std::fprintf(stderr, "xmap_sim: fabric: flight recorder dumped to %s\n",
+                   dump.c_str());
     }
     if (!opts.quiet) {
       print_stats_footer(result.stats, opts.fabric_nodes,

@@ -1,0 +1,315 @@
+// xmap_trace — post-mortem analysis of a fabric deployment trace.
+//
+// Reads the Perfetto/chrome JSON written by --fabric-trace-file and prints
+// what an operator actually asks after a failover drill:
+//
+//   * failover latency breakdown per lease migration: death verdict ->
+//     migration decision -> re-lease -> worker cursor resume
+//   * per-link retransmission histograms (uplink per worker, coordinator
+//     downlink), bucketed by attempt number
+//   * per-shard timelines: every lease epoch with its node, duration and
+//     resume cursor
+//
+//   $ xmap_trace fabric-trace.json
+//   $ xmap_trace --failover fabric-trace.json
+//
+// Exit codes: 0 ok, 2 unreadable or malformed trace.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netbase/json.h"
+
+namespace {
+
+struct Ev {
+  std::string name;
+  int node = 0;  // tid - 2: coordinator = -1, worker w = w
+  double ts_us = 0;
+  double dur_us = 0;
+  bool has_dur = false;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::map<std::string, std::string> args;
+
+  [[nodiscard]] std::string arg(const std::string& key) const {
+    auto it = args.find(key);
+    return it == args.end() ? std::string{} : it->second;
+  }
+};
+
+std::uint64_t parse_hex_id(const std::string& text) {
+  return std::strtoull(text.c_str(), nullptr, 0);
+}
+
+std::string node_label(int node) {
+  return node == -1 ? std::string("coordinator")
+                    : "worker-" + std::to_string(node);
+}
+
+std::string fmt_us(double us) {
+  char buf[48];
+  if (us >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", us / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", us);
+  }
+  return buf;
+}
+
+// Loads the traceEvents array, skipping metadata records.
+bool load_trace(const std::string& path, std::vector<Ev>& out,
+                std::string& error) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = xmap::net::json_parse(buf.str());
+  if (!parsed.value) {
+    error = path + ": " + parsed.error.to_string();
+    return false;
+  }
+  const xmap::net::JsonValue* events = parsed.value->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    error = path + ": no traceEvents array (not a fabric trace?)";
+    return false;
+  }
+  for (const auto& ev : events->as_array()) {
+    if (!ev.is_object()) continue;
+    if (ev.string_or("ph", "") == "M") continue;
+    Ev e;
+    e.name = ev.string_or("name", "");
+    e.node = static_cast<int>(ev.number_or("tid", 2)) - 2;
+    e.ts_us = ev.number_or("ts", 0);
+    if (const xmap::net::JsonValue* dur = ev.find("dur");
+        dur != nullptr && dur->is_number()) {
+      e.dur_us = dur->as_number();
+      e.has_dur = true;
+    }
+    if (const xmap::net::JsonValue* args = ev.find("args");
+        args != nullptr && args->is_object()) {
+      for (const auto& [k, v] : args->as_object()) {
+        if (v.is_string()) e.args[k] = v.as_string();
+      }
+    }
+    e.span_id = parse_hex_id(e.arg("span_id"));
+    e.parent_id = parse_hex_id(e.arg("parent_id"));
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Ev& a, const Ev& b) { return a.ts_us < b.ts_us; });
+  return true;
+}
+
+const Ev* find_span(const std::vector<Ev>& evs, std::uint64_t span_id) {
+  for (const Ev& e : evs) {
+    if (e.span_id == span_id) return &e;
+  }
+  return nullptr;
+}
+
+// The lease span of (shard, epoch): child of the shard:<s> coordinator
+// span, distinguished by its "epoch" arg.
+const Ev* find_lease(const std::vector<Ev>& evs, const std::string& shard,
+                     const std::string& epoch) {
+  for (const Ev& e : evs) {
+    if (e.name != "lease" || e.arg("epoch") != epoch) continue;
+    const Ev* parent = find_span(evs, e.parent_id);
+    if (parent != nullptr && parent->arg("shard") == shard) return &e;
+  }
+  return nullptr;
+}
+
+// The shard_run worker span of (shard, epoch).
+const Ev* find_shard_run(const std::vector<Ev>& evs, const std::string& shard,
+                         const std::string& epoch) {
+  for (const Ev& e : evs) {
+    if (e.name == "shard_run" && e.arg("shard") == shard &&
+        e.arg("epoch") == epoch) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void print_failover(const std::vector<Ev>& evs) {
+  std::printf("== failover latency ==\n");
+  int migrations = 0;
+  for (const Ev& mig : evs) {
+    if (mig.name != "lease_migration") continue;
+    ++migrations;
+    const std::string shard = mig.arg("shard");
+    const std::string from_epoch = mig.arg("from_epoch");
+    const std::string to_epoch =
+        std::to_string(std::atoi(from_epoch.c_str()) + 1);
+    std::printf("shard %s  epoch %s -> %s  resume slot %s\n", shard.c_str(),
+                from_epoch.c_str(), to_epoch.c_str(),
+                mig.arg("resume_slot").c_str());
+
+    // The verdict instant lives under the dead epoch's lease span.
+    const Ev* lease = find_lease(evs, shard, from_epoch);
+    const Ev* verdict = nullptr;
+    if (lease != nullptr) {
+      for (const Ev& e : evs) {
+        if (e.name == "death_verdict" && e.parent_id == lease->span_id) {
+          verdict = &e;
+          break;
+        }
+      }
+    }
+    const Ev* release = find_lease(evs, shard, to_epoch);
+    const Ev* run = find_shard_run(evs, shard, to_epoch);
+    const Ev* resume = nullptr;
+    if (run != nullptr) {
+      for (const Ev& e : evs) {
+        if (e.name == "cursor_resume" && e.parent_id == run->span_id) {
+          resume = &e;
+          break;
+        }
+      }
+    }
+    if (verdict != nullptr) {
+      std::printf("  death verdict   @ %-14s (%s)\n",
+                  fmt_us(verdict->ts_us).c_str(),
+                  verdict->arg("reason").c_str());
+      std::printf("  verdict -> migration decision  %s\n",
+                  fmt_us(mig.ts_us - verdict->ts_us).c_str());
+    }
+    if (release != nullptr) {
+      std::printf("  migration -> re-lease          %s (node %s)\n",
+                  fmt_us(release->ts_us - mig.ts_us).c_str(),
+                  release->arg("node").c_str());
+    }
+    if (resume != nullptr && release != nullptr) {
+      std::printf("  re-lease -> cursor resume      %s (%s)\n",
+                  fmt_us(resume->ts_us - release->ts_us).c_str(),
+                  resume->arg("mode").c_str());
+    }
+    if (verdict != nullptr && resume != nullptr) {
+      std::printf("  total verdict -> resume        %s\n",
+                  fmt_us(resume->ts_us - verdict->ts_us).c_str());
+    }
+  }
+  if (migrations == 0) std::printf("no lease migrations in this trace\n");
+  std::printf("\n");
+}
+
+void print_retransmits(const std::vector<Ev>& evs) {
+  std::printf("== retransmissions per link ==\n");
+  // Sender track identifies the link: the coordinator retransmits on its
+  // downlinks, worker w on its uplink. Bucket by attempt number.
+  std::map<int, std::map<int, int>> per_link;  // node -> attempt -> count
+  for (const Ev& e : evs) {
+    if (e.name != "retransmit") continue;
+    ++per_link[e.node][std::atoi(e.arg("attempt").c_str())];
+  }
+  if (per_link.empty()) {
+    std::printf("no retransmissions in this trace\n\n");
+    return;
+  }
+  for (const auto& [node, hist] : per_link) {
+    int total = 0;
+    for (const auto& [attempt, count] : hist) total += count;
+    std::printf("%s (%s): %d retransmit(s)\n", node_label(node).c_str(),
+                node == -1 ? "downlink" : "uplink", total);
+    for (const auto& [attempt, count] : hist) {
+      std::printf("  attempt %d  %5d  ", attempt, count);
+      for (int i = 0; i < count && i < 50; ++i) std::putchar('#');
+      std::putchar('\n');
+    }
+  }
+  std::printf("\n");
+}
+
+void print_shards(const std::vector<Ev>& evs) {
+  std::printf("== per-shard timeline ==\n");
+  std::vector<const Ev*> shards;
+  for (const Ev& e : evs) {
+    if (e.name.rfind("shard:", 0) == 0 && e.node == -1) {
+      shards.push_back(&e);
+    }
+  }
+  std::sort(shards.begin(), shards.end(), [](const Ev* a, const Ev* b) {
+    return std::atoi(a->arg("shard").c_str()) <
+           std::atoi(b->arg("shard").c_str());
+  });
+  for (const Ev* shard : shards) {
+    std::printf("shard %s  start %s  span %s\n", shard->arg("shard").c_str(),
+                fmt_us(shard->ts_us).c_str(), fmt_us(shard->dur_us).c_str());
+    for (const Ev& e : evs) {
+      if (e.name != "lease" || e.parent_id != shard->span_id) continue;
+      const Ev* run =
+          find_shard_run(evs, shard->arg("shard"), e.arg("epoch"));
+      std::printf("  epoch %s -> node %-3s  start %-12s dur %-12s resume %s%s%s\n",
+                  e.arg("epoch").c_str(), e.arg("node").c_str(),
+                  fmt_us(e.ts_us).c_str(), fmt_us(e.dur_us).c_str(),
+                  e.arg("resume").c_str(),
+                  run != nullptr && !run->arg("outcome").empty() ? "  " : "",
+                  run != nullptr ? run->arg("outcome").c_str() : "");
+    }
+  }
+  if (shards.empty()) std::printf("no shard spans in this trace\n");
+  std::printf("\n");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--failover] [--retransmits] [--shards] "
+               "<fabric-trace.json>\n"
+               "(no section flag = print every section)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool failover = false;
+  bool retransmits = false;
+  bool shards = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--failover") {
+      failover = true;
+    } else if (arg == "--retransmits") {
+      retransmits = true;
+    } else if (arg == "--shards") {
+      shards = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+  if (!failover && !retransmits && !shards) {
+    failover = retransmits = shards = true;
+  }
+
+  std::vector<Ev> evs;
+  std::string error;
+  if (!load_trace(path, evs, error)) {
+    std::fprintf(stderr, "xmap_trace: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu span(s)\n\n", path.c_str(), evs.size());
+  if (failover) print_failover(evs);
+  if (retransmits) print_retransmits(evs);
+  if (shards) print_shards(evs);
+  return 0;
+}
