@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "fabric/obs_tap.h"
+#include "fabric/tcp_transport.h"
 #include "fabric/transport.h"
 #include "fabric/worker.h"
 #include "netbase/random.h"
@@ -22,6 +23,13 @@ FabricResult fail(std::string message) {
   result.ok = false;
   result.error = std::move(message);
   return result;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
 }
 
 // Default targets (every block of the world) — the engine's recipe: window
@@ -47,6 +55,7 @@ struct WorkerState {
   int shard = -1;  // the lease this worker holds (kBusy only)
   Clock::time_point last_seen;
   std::uint64_t misses_counted = 0;
+  bool saw_join = false;  // first kRejoin consumed; later ones reconnect
 };
 
 struct ShardState {
@@ -108,6 +117,13 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
                   std::to_string(config.nodes));
     }
   }
+  if (config.transport == TransportKind::kTcp &&
+      config.fabric_faults.messages.any()) {
+    return fail(
+        "fabric: loopback message faults do not compose with the tcp "
+        "transport — inject socket-level chaos through the chaos proxy "
+        "instead");
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
 
@@ -161,7 +177,31 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
   obs::StageProfile* const profile =
       config.obs.profile ? &coord_profile : nullptr;
 
-  LoopbackFabric fabric{config.nodes, &config.fabric_faults};
+  // The transport plane. The loop below depends only on FabricPlane; the
+  // loopback pointer stays around for worker_endpoint(), the tcp pointer
+  // for bound_address().
+  std::unique_ptr<FabricPlane> plane_owned;
+  LoopbackFabric* loopback = nullptr;
+  TcpFabric* tcp = nullptr;
+  if (config.transport == TransportKind::kTcp) {
+    std::string transport_error;
+    auto tcp_plane =
+        TcpFabric::create(config.nodes, config.listen_address,
+                          transport_error);
+    if (tcp_plane == nullptr) return fail(std::move(transport_error));
+    tcp = tcp_plane.get();
+    plane_owned = std::move(tcp_plane);
+  } else {
+    auto lb =
+        std::make_unique<LoopbackFabric>(config.nodes, &config.fabric_faults);
+    loopback = lb.get();
+    plane_owned = std::move(lb);
+  }
+  FabricPlane& fabric = *plane_owned;
+
+  // TCP worker endpoints, owned here (the loopback owns its own).
+  std::vector<std::unique_ptr<Transport>> tcp_endpoints(
+      static_cast<std::size_t>(config.nodes));
 
   std::vector<std::unique_ptr<FabricWorker>> workers;
   workers.reserve(static_cast<std::size_t>(config.nodes));
@@ -189,8 +229,30 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     for (const auto& kill : config.fabric_faults.kills) {
       if (kill.node == w) wcfg.kill = kill;
     }
-    workers.push_back(std::make_unique<FabricWorker>(
-        std::move(wcfg), fabric.worker_endpoint(w)));
+    Transport* endpoint = nullptr;
+    if (tcp != nullptr) {
+      TcpWorkerOptions topt;
+      topt.connect_address = config.connect_address.empty()
+                                 ? tcp->bound_address()
+                                 : config.connect_address;
+      topt.worker = w;
+      topt.fingerprint = fp_hash;
+      topt.connect_timeout_ms = config.connect_timeout_ms;
+      topt.reconnect_window_ms = config.reconnect_window_ms;
+      topt.reconnect_delay_ms = config.reconnect_delay_ms;
+      if (config.tcp_worker_tweak) config.tcp_worker_tweak(w, topt);
+      std::string connect_error;
+      tcp_endpoints[static_cast<std::size_t>(w)] =
+          TcpWorkerTransport::create(std::move(topt), connect_error);
+      if (tcp_endpoints[static_cast<std::size_t>(w)] == nullptr) {
+        return fail(std::move(connect_error));
+      }
+      endpoint = tcp_endpoints[static_cast<std::size_t>(w)].get();
+    } else {
+      endpoint = loopback->worker_endpoint(w);
+    }
+    workers.push_back(
+        std::make_unique<FabricWorker>(std::move(wcfg), endpoint));
   }
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
@@ -414,6 +476,111 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     return &ss;
   };
 
+  std::vector<std::uint64_t> reconnects_per_node(
+      static_cast<std::size_t>(config.nodes), 0);
+
+  // Refuses a rejoin handshake: the worker gets the diagnostic (its only
+  // explanation), then the transport fences it — the connection drops and
+  // every future rejoin is refused at the socket layer.
+  const auto refuse_rejoin = [&](int w, const std::string& diagnostic) {
+    log_line("node " + std::to_string(w) + " rejoin refused: " + diagnostic);
+    result.worker_errors.push_back("node " + std::to_string(w) +
+                                   ": rejoin refused: " + diagnostic);
+    Message refused;
+    refused.type = MsgType::kRejoinRefused;
+    refused.worker = static_cast<std::uint32_t>(w);
+    refused.diagnostic = diagnostic;
+    fabric.send_to(w, encode_frame(refused));
+    fabric.drop_worker(w);
+    if (tracer != nullptr) {
+      tracer->instant(obs::kCoordinatorNode, "rejoin_refused", root_span,
+                      {{"node", std::to_string(w)},
+                       {"diagnostic", diagnostic}});
+    }
+    if (coord_recorder != nullptr) {
+      coord_recorder->record("rejoin_refused",
+                             "node " + std::to_string(w) + ": " + diagnostic);
+    }
+  };
+
+  // The reconnect-with-epoch handshake, coordinator side. Every socket
+  // connection (initial join and reconnect) opens with a kRejoin carrying
+  // identity + fingerprint + the lease the worker believes it holds; the
+  // worker must prove all three before the link resumes.
+  const auto handle_rejoin = [&](int w, const Message& msg) {
+    WorkerState& ws = wstate[static_cast<std::size_t>(w)];
+    if (ws.phase == WorkerPhase::kDead) {
+      // A zombie: declared dead by the heartbeat timeout, its lease (if
+      // any) already migrated under a bumped epoch. Refuse and quarantine.
+      std::string diagnostic = "zombie: worker was declared dead";
+      if (msg.has_lease &&
+          msg.shard < static_cast<std::uint32_t>(config.shards)) {
+        diagnostic += "; stale lease on shard " + std::to_string(msg.shard) +
+                      " (held epoch " + std::to_string(msg.epoch) +
+                      ", current epoch " +
+                      std::to_string(sstate[msg.shard].epoch) + ")";
+      }
+      refuse_rejoin(w, diagnostic);
+      return;
+    }
+    if (msg.fingerprint != fp_hash) {
+      const std::string diagnostic =
+          "scan fingerprint mismatch (stored " + hex_u64(msg.fingerprint) +
+          ", computed " + hex_u64(fp_hash) +
+          ") — refusing a link from a different scan";
+      refuse_rejoin(w, diagnostic);
+      fail_worker(w, "rejoin refused: " + diagnostic);
+      try_assign();
+      return;
+    }
+    if (msg.has_lease) {
+      const bool lease_current =
+          msg.shard < static_cast<std::uint32_t>(config.shards) &&
+          sstate[msg.shard].phase == ShardPhase::kAssigned &&
+          sstate[msg.shard].worker == w &&
+          sstate[msg.shard].epoch == msg.epoch;
+      if (!lease_current) {
+        const std::string current =
+            msg.shard < static_cast<std::uint32_t>(config.shards)
+                ? std::to_string(sstate[msg.shard].epoch)
+                : std::string("?");
+        refuse_rejoin(w, "stale lease on shard " + std::to_string(msg.shard) +
+                             " (held epoch " + std::to_string(msg.epoch) +
+                             ", current epoch " + current + ")");
+        fail_worker(w, "rejoined with a stale lease");
+        try_assign();
+        return;
+      }
+    }
+    Message accept;
+    accept.type = MsgType::kRejoinOk;
+    accept.worker = static_cast<std::uint32_t>(w);
+    fabric.send_to(w, encode_frame(accept));
+    if (ws.saw_join) {
+      ++result.reconnects;
+      ++reconnects_per_node[static_cast<std::size_t>(w)];
+      log_line("node " + std::to_string(w) + " rejoined" +
+               (msg.has_lease
+                    ? " holding shard " + std::to_string(msg.shard) +
+                          " epoch " + std::to_string(msg.epoch)
+                    : ""));
+      if (tracer != nullptr) {
+        std::uint64_t parent = root_span;
+        if (ws.shard >= 0) {
+          const ShardState& hs = sstate[static_cast<std::size_t>(ws.shard)];
+          parent = hs.lease_span != 0 ? hs.lease_span
+                                      : (hs.span != 0 ? hs.span : root_span);
+        }
+        tracer->instant(obs::kCoordinatorNode, "rejoin", parent,
+                        {{"node", std::to_string(w)}});
+      }
+      if (coord_recorder != nullptr) {
+        coord_recorder->record("rejoin", "node " + std::to_string(w));
+      }
+    }
+    ws.saw_join = true;
+  };
+
   const auto handle_delivery = [&](int w, Message&& msg) {
     WorkerState& ws = wstate[static_cast<std::size_t>(w)];
     switch (msg.type) {
@@ -613,13 +780,39 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
     if (rx.worker < 0 || rx.worker >= config.nodes) continue;
     WorkerState& ws = wstate[static_cast<std::size_t>(rx.worker)];
     if (rx.status == RecvStatus::kClosed) {
+      if (fabric.reconnectable() && ws.phase != WorkerPhase::kDead) {
+        // On a socket transport a dead connection is not a dead worker:
+        // the reconnect handshake may resurrect the link, so the heartbeat
+        // timeout stays the sole death arbiter.
+        log_line("node " + std::to_string(rx.worker) +
+                 " link down, awaiting rejoin");
+        if (tracer != nullptr) {
+          tracer->instant(obs::kCoordinatorNode, "link_down", root_span,
+                          {{"node", std::to_string(rx.worker)}});
+        }
+        if (coord_recorder != nullptr) {
+          coord_recorder->record("link_down",
+                                 "node " + std::to_string(rx.worker));
+        }
+        continue;
+      }
       fail_worker(rx.worker, "connection closed");
       try_assign();
       continue;
     }
     // Frames from dead workers are ignored wholesale — no acks, so a
-    // zombie's reliable sends starve and it shuts itself down.
-    if (ws.phase == WorkerPhase::kDead) continue;
+    // zombie's reliable sends starve and it shuts itself down. The one
+    // exception on a socket transport is the rejoin handshake: a zombie's
+    // reconnect gets an explicit refusal plus a transport-level fence.
+    if (ws.phase == WorkerPhase::kDead) {
+      if (fabric.reconnectable()) {
+        auto zombie = decode_frame(rx.frame);
+        if (zombie.message && zombie.message->type == MsgType::kRejoin) {
+          handle_rejoin(rx.worker, *zombie.message);
+        }
+      }
+      continue;
+    }
     ws.last_seen = Clock::now();
     ws.misses_counted = 0;
     obs::ScopedStageTimer decode_timer{profile, obs::Stage::kDecode};
@@ -645,6 +838,13 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
       ws.link->on_ack(msg.ack_seq);
     } else if (msg.type == MsgType::kHeartbeat) {
       // last_seen already refreshed — that is the heartbeat's whole job.
+    } else if (msg.type == MsgType::kRejoin) {
+      // Unreliable (seq 0) by design: it opens every stream, before the
+      // reliable channel state is trustworthy.
+      handle_rejoin(rx.worker, msg);
+    } else if (msg.type == MsgType::kRejoinOk ||
+               msg.type == MsgType::kRejoinRefused) {
+      // Coordinator-to-worker frames; ignore an echo.
     } else {
       auto inbound = ws.link->on_reliable(msg);
       if (!inbound.ack.empty()) {
@@ -670,6 +870,14 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
   fabric.close_all();
   for (auto& thread : threads) thread.join();
   emit_timeline(true);  // final snapshot: terminal state of the run
+
+  if (fabric.reconnectable()) {
+    for (int w = 0; w < config.nodes; ++w) {
+      const LinkCounters lc = fabric.link_counters(w);
+      result.bytes_sent += lc.bytes_sent;
+      result.bytes_received += lc.bytes_received;
+    }
+  }
 
   for (int w = 0; w < config.nodes; ++w) {
     const FabricWorker& worker = *workers[static_cast<std::size_t>(w)];
@@ -790,6 +998,38 @@ FabricResult run_fabric_scan(const FabricConfig& config) {
       *metrics.counter("fabric_shards_completed_total", {{"node", node}},
                        "Fabric shards scanned to completion", true) =
           completed_per_node[static_cast<std::size_t>(w)];
+    }
+  }
+  // Socket-transport link series: emitted only when the plane can actually
+  // reconnect, so loopback runs keep their exact metric set.
+  if (fabric.reconnectable()) {
+    *metrics.counter("fabric_reconnects_total", {},
+                     "Rejoin handshakes accepted after the initial join",
+                     true) = result.reconnects;
+    *metrics.counter("fabric_bytes_sent_total", {},
+                     "Raw stream bytes, coordinator to workers", true) =
+        result.bytes_sent;
+    *metrics.counter("fabric_bytes_received_total", {},
+                     "Raw stream bytes, workers to coordinator", true) =
+        result.bytes_received;
+    for (int w = 0; w < config.nodes; ++w) {
+      const std::string node = "worker-" + std::to_string(w);
+      const LinkCounters lc = fabric.link_counters(w);
+      if (reconnects_per_node[static_cast<std::size_t>(w)] > 0) {
+        *metrics.counter("fabric_reconnects_total", {{"node", node}},
+                         "Rejoin handshakes accepted after the initial join",
+                         true) = reconnects_per_node[static_cast<std::size_t>(w)];
+      }
+      if (lc.bytes_sent > 0) {
+        *metrics.counter("fabric_bytes_sent_total", {{"node", node}},
+                         "Raw stream bytes, coordinator to workers", true) =
+            lc.bytes_sent;
+      }
+      if (lc.bytes_received > 0) {
+        *metrics.counter("fabric_bytes_received_total", {{"node", node}},
+                         "Raw stream bytes, workers to coordinator", true) =
+            lc.bytes_received;
+      }
     }
   }
   result.metrics = obs::merge_shards({&metrics});

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -57,6 +58,14 @@ namespace xmap::fabric {
 
 inline constexpr int kMaxNodes = 32;
 
+struct TcpWorkerOptions;  // tcp_transport.h
+
+// Which transport carries the fabric's frames. Loopback is the in-process
+// reproduction substrate; TCP puts every frame on a real socket (one
+// coordinator acceptor, one connection per worker, reconnect-with-epoch
+// handshake on socket death — tcp_transport.h).
+enum class TransportKind : std::uint8_t { kLoopback, kTcp };
+
 struct FabricConfig {
   // The world every worker replicates.
   std::vector<topo::IspSpec> world_specs;
@@ -75,6 +84,25 @@ struct FabricConfig {
 
   int nodes = 1;    // worker engines (1..kMaxNodes)
   int shards = 8;   // fabric shard count S — the determinism unit
+
+  // Transport selection. With kTcp the coordinator binds listen_address
+  // (port 0 picks an ephemeral port) and workers connect to
+  // connect_address — empty means the coordinator's actual bound address,
+  // which is how tests route workers through a chaos proxy instead.
+  // Loopback message faults (fabric_faults.messages) are refused with kTcp:
+  // the chaos proxy is the socket-level fault substrate.
+  TransportKind transport = TransportKind::kLoopback;
+  std::string listen_address = "127.0.0.1:0";
+  std::string connect_address;
+  int connect_timeout_ms = 2000;
+  // Socket-death recovery: a disconnected worker retries every
+  // reconnect_delay_ms until reconnect_window_ms has elapsed, then gives
+  // up; the heartbeat timeout stays the sole death arbiter meanwhile.
+  int reconnect_window_ms = 1500;
+  int reconnect_delay_ms = 10;
+  // Test hook: adjust one worker's transport options (fingerprint
+  // override, per-node proxy routing, reconnect pacing) before connect.
+  std::function<void(int node, TcpWorkerOptions& options)> tcp_worker_tweak;
 
   // Worker checkpoint cadence (targets between streamed cursors). The only
   // failover granularity: a dead shard resumes from its last checkpoint.
@@ -166,6 +194,11 @@ struct FabricResult {
   std::uint64_t resumed_slots = 0;      // sum of failover handoff frontiers
   std::uint64_t frames_rejected = 0;    // undecodable frames dropped
   std::uint64_t retransmits = 0;        // reliable re-sends, both directions
+  // Socket-transport link accounting (zero on loopback): accepted rejoin
+  // handshakes after each worker's initial join, and raw stream bytes.
+  std::uint64_t reconnects = 0;
+  std::uint64_t bytes_sent = 0;      // coordinator -> workers
+  std::uint64_t bytes_received = 0;  // workers -> coordinator
   obs::MetricsSnapshot metrics;
 
   // Scan-content observability (when FabricConfig::obs asks for it):

@@ -437,6 +437,20 @@ std::string encode_frame(const Message& msg) {
       put_u32(payload, static_cast<std::uint32_t>(msg.metrics.entries.size()));
       for (const auto& e : msg.metrics.entries) put_metrics_entry(payload, e);
       break;
+    case MsgType::kRejoin:
+      put_u32(payload, msg.worker);
+      put_u64(payload, msg.fingerprint);
+      put_u8(payload, msg.has_lease ? 1 : 0);
+      put_u32(payload, msg.shard);
+      put_u32(payload, msg.epoch);
+      break;
+    case MsgType::kRejoinOk:
+      put_u32(payload, msg.worker);
+      break;
+    case MsgType::kRejoinRefused:
+      put_u32(payload, msg.worker);
+      put_string(payload, msg.diagnostic);
+      break;
   }
 
   std::string frame;
@@ -510,7 +524,7 @@ DecodeResult decode_frame(std::string_view frame) {
     return out;
   }
   if (type < static_cast<std::uint8_t>(MsgType::kHello) ||
-      type > static_cast<std::uint8_t>(MsgType::kObsMetrics)) {
+      type > static_cast<std::uint8_t>(MsgType::kRejoinRefused)) {
     out.error = "fabric frame: unknown message type " + std::to_string(type);
     return out;
   }
@@ -607,6 +621,27 @@ DecodeResult decode_frame(std::string_view frame) {
       }
       break;
     }
+    case MsgType::kRejoin: {
+      std::uint8_t has_lease = 0;
+      ok = in.read_u32(msg.worker, "worker") &&
+           in.read_u64(msg.fingerprint, "fingerprint") &&
+           in.read_u8(has_lease, "has_lease") &&
+           in.read_u32(msg.shard, "shard") && in.read_u32(msg.epoch, "epoch");
+      if (ok && has_lease > 1) {
+        error = "fabric frame: has_lease flag " + std::to_string(has_lease) +
+                " is not boolean";
+        ok = false;
+      }
+      msg.has_lease = has_lease == 1;
+      break;
+    }
+    case MsgType::kRejoinOk:
+      ok = in.read_u32(msg.worker, "worker");
+      break;
+    case MsgType::kRejoinRefused:
+      ok = in.read_u32(msg.worker, "worker") &&
+           in.read_string(msg.diagnostic, "diagnostic");
+      break;
   }
   if (!ok) {
     out.error = error.empty() ? "fabric frame: truncated body"

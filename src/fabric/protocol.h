@@ -56,6 +56,10 @@ enum class MsgType : std::uint8_t {
   kBye = 9,        // coordinator -> worker: fabric is done, exit
   kObsTrace = 10,  // worker -> coordinator: chunk of scan-content trace events
   kObsMetrics = 11,// worker -> coordinator: chunk of the scan metrics snapshot
+  kRejoin = 12,    // worker -> coordinator: stream-transport (re)connect
+                   // handshake: identity + fingerprint + held lease, if any
+  kRejoinOk = 13,  // coordinator -> worker: rejoin accepted, lease stands
+  kRejoinRefused = 14,  // coordinator -> worker: rejoin fenced, diagnostic
 };
 
 [[nodiscard]] constexpr const char* msg_type_name(MsgType t) {
@@ -71,6 +75,9 @@ enum class MsgType : std::uint8_t {
     case MsgType::kBye: return "bye";
     case MsgType::kObsTrace: return "obs-trace";
     case MsgType::kObsMetrics: return "obs-metrics";
+    case MsgType::kRejoin: return "rejoin";
+    case MsgType::kRejoinOk: return "rejoin-ok";
+    case MsgType::kRejoinRefused: return "rejoin-refused";
   }
   return "?";
 }
@@ -123,6 +130,7 @@ struct Message {
   std::uint64_t budget_cut = scan::kNoBudgetCut;  // precomputed, shared
   std::uint64_t fingerprint = 0;  // recover::fingerprint_hash of the scan
   bool has_resume = false;        // cursor below is a failover handoff
+  bool has_lease = false;         // Rejoin: shard/epoch below name a held lease
   scan::ScanCursor cursor;        // Assign (resume) / Checkpoint (progress)
 
   scan::ScanStats stats;           // Checkpoint (live) / ShardDone (final)

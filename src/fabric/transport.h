@@ -53,12 +53,31 @@ class Transport {
   // Closes both directions; the peer drains pending frames, then sees
   // kClosed. Idempotent.
   virtual void close() = 0;
+  // The worker informs its transport of the lease it currently holds so a
+  // reconnect handshake can claim it (has_lease in the Rejoin frame). The
+  // loopback has no reconnects, so the default does nothing.
+  virtual void note_lease(std::uint32_t shard, std::uint32_t epoch,
+                          bool held) {
+    (void)shard;
+    (void)epoch;
+    (void)held;
+  }
 };
 
-// The coordinator's side of an N-worker loopback fabric: one shared inbox
-// fed by every worker (frames tagged with the sender), plus per-worker
-// outboxes. Worker threads obtain their Transport via worker_endpoint().
-class LoopbackFabric {
+// Per-link traffic counters a plane may expose (zeros for transports that
+// do not track them). Reconnects are handshakes accepted after the initial
+// join.
+struct LinkCounters {
+  std::uint64_t bytes_sent = 0;      // coordinator -> worker
+  std::uint64_t bytes_received = 0;  // worker -> coordinator
+  std::uint64_t reconnects = 0;
+};
+
+// The coordinator's side of an N-worker fabric: one shared inbox fed by
+// every worker (frames tagged with the sender), plus per-worker outboxes.
+// The coordinator loop depends only on this interface; LoopbackFabric and
+// TcpFabric (tcp_transport.h) implement it.
+class FabricPlane {
  public:
   struct CoordRecv {
     RecvStatus status = RecvStatus::kTimeout;
@@ -66,30 +85,61 @@ class LoopbackFabric {
     std::string frame;
   };
 
-  // `faults` may be null (pristine transport); not owned, must outlive the
-  // fabric. Faults are applied on send, in both directions.
-  LoopbackFabric(int workers, const sim::FabricFaultPlan* faults);
-  ~LoopbackFabric();
+  virtual ~FabricPlane() = default;
 
-  LoopbackFabric(const LoopbackFabric&) = delete;
-  LoopbackFabric& operator=(const LoopbackFabric&) = delete;
-
-  [[nodiscard]] int workers() const;
-
-  // The worker-side endpoint (valid for the fabric's lifetime).
-  [[nodiscard]] Transport* worker_endpoint(int worker);
+  [[nodiscard]] virtual int workers() const = 0;
 
   // Receives the next frame from any worker; kClosed results identify
   // which worker hung up (each delivered exactly once, after its pending
   // frames).
-  [[nodiscard]] CoordRecv recv_any(int timeout_ms);
+  [[nodiscard]] virtual CoordRecv recv_any(int timeout_ms) = 0;
 
   // Sends to one worker; false when that worker's channel is closed.
-  bool send_to(int worker, std::string frame);
+  virtual bool send_to(int worker, std::string frame) = 0;
 
   // Closes the coordinator->worker direction of every channel (workers
   // drain and then see kClosed).
-  void close_all();
+  virtual void close_all() = 0;
+
+  // True when a kClosed from a worker may be followed by a rejoin (socket
+  // transports). The coordinator then leaves death detection to the
+  // heartbeat timeout instead of failing the worker on hangup.
+  [[nodiscard]] virtual bool reconnectable() const { return false; }
+
+  // Permanently fences a worker at the transport layer: its connection (if
+  // any) is dropped and future rejoin attempts are refused. No-op on
+  // transports without reconnects.
+  virtual void drop_worker(int worker) { (void)worker; }
+
+  [[nodiscard]] virtual LinkCounters link_counters(int worker) const {
+    (void)worker;
+    return {};
+  }
+};
+
+// The in-process reproduction substrate: frames move through delay-aware
+// FIFO mailboxes, faults are applied on send. Worker threads obtain their
+// Transport via worker_endpoint().
+class LoopbackFabric final : public FabricPlane {
+ public:
+  // `faults` may be null (pristine transport); not owned, must outlive the
+  // fabric. Faults are applied on send, in both directions.
+  LoopbackFabric(int workers, const sim::FabricFaultPlan* faults);
+  ~LoopbackFabric() override;
+
+  LoopbackFabric(const LoopbackFabric&) = delete;
+  LoopbackFabric& operator=(const LoopbackFabric&) = delete;
+
+  [[nodiscard]] int workers() const override;
+
+  // The worker-side endpoint (valid for the fabric's lifetime).
+  [[nodiscard]] Transport* worker_endpoint(int worker);
+
+  [[nodiscard]] CoordRecv recv_any(int timeout_ms) override;
+
+  bool send_to(int worker, std::string frame) override;
+
+  void close_all() override;
 
   struct Impl;  // opaque; public so the .cc's endpoint class can name it
 

@@ -239,6 +239,10 @@ void FabricWorker::run_shard(const Message& assign) {
   // shard m*S+s of M*S. The shard's record stream is therefore a pure
   // function of (scan config, shard index) — whichever worker runs it, at
   // whatever node count, produces identical bytes.
+  // The transport's rejoin handshake proves this lease after a socket
+  // death; held until the shard completes, so a crash leaves the stale
+  // lease in place for the coordinator to fence.
+  transport_->note_lease(assign.shard, assign.epoch, true);
   scan::ScanConfig wcfg = config_.base;
   wcfg.shard = config_.base.shard * static_cast<int>(assign.shards_total) +
                static_cast<int>(assign.shard);
@@ -444,6 +448,7 @@ void FabricWorker::run_shard(const Message& assign) {
   done.epoch = assign.epoch;
   done.stats = scanner->stats();
   if (send_reliable(std::move(done))) {
+    transport_->note_lease(0, 0, false);
     finish_span("completed");
   } else {
     finish_span("abandoned");

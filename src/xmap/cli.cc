@@ -116,6 +116,16 @@ Distributed fabric (src/fabric; see docs/distributed.md):
   --fabric-heartbeat-timeout-ms <n>
                             silence after which a worker is declared dead
                             and its shard fails over (default 250)
+  --fabric-transport <t>    loopback (in-process, default) or tcp: every
+                            frame crosses a real socket; workers reconnect
+                            after socket death via the rejoin handshake
+  --fabric-listen <addr:port>
+                            tcp: coordinator bind address (default
+                            127.0.0.1:0 — port 0 picks an ephemeral port);
+                            bind failures exit 2 naming address and errno
+  --fabric-connect <addr:port>
+                            tcp: worker connect address (default the
+                            coordinator's actual bound address)
   --kill-node-at <node>:<slot>[:close]
                             seeded crash: worker <node> dies when its scan
                             frontier reaches permutation slot <slot>
@@ -488,6 +498,25 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
         return fail("bad --fabric-heartbeat-timeout-ms (2..60000)");
       }
       opts.fabric_heartbeat_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--fabric-transport") {
+      std::string value;
+      if (!next_value(arg, value) ||
+          (value != "loopback" && value != "tcp")) {
+        return fail("bad --fabric-transport (loopback|tcp)");
+      }
+      opts.fabric_transport = value;
+    } else if (arg == "--fabric-listen") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--fabric-listen needs <addr:port>");
+      }
+      opts.fabric_listen = value;
+    } else if (arg == "--fabric-connect") {
+      std::string value;
+      if (!next_value(arg, value)) {
+        return fail("--fabric-connect needs <addr:port>");
+      }
+      opts.fabric_connect = value;
     } else if (arg == "--fabric-trace-file") {
       std::string value;
       if (!next_value(arg, value)) {
@@ -669,6 +698,19 @@ CliParseResult parse_cli(int argc, const char* const* argv) {
                     std::to_string(opts.fabric_nodes) + " fabric nodes");
       }
     }
+    if (opts.fabric_transport == "tcp" && opts.fabric_faults.messages.any()) {
+      return fail(
+          "--fabric-drop-heartbeat/-duplicate/-truncate/-delay-ms are "
+          "loopback message faults; with --fabric-transport tcp the chaos "
+          "proxy is the fault substrate (--kill-node-at still applies)");
+    }
+  }
+  if (opts.fabric_nodes == 0 &&
+      (opts.fabric_transport != "loopback" ||
+       opts.fabric_listen != "127.0.0.1:0" || !opts.fabric_connect.empty())) {
+    return fail(
+        "--fabric-transport/--fabric-listen/--fabric-connect need "
+        "--fabric-nodes");
   }
   if (opts.checkpoint_interval != 0 && opts.adaptive_rate) {
     // AIMD pacing makes the send schedule state-dependent, so there is no

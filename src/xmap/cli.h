@@ -78,6 +78,13 @@ struct CliOptions {
   int fabric_shards = 8;                 // --fabric-shards (default 8)
   int fabric_heartbeat_ms = 25;          // --fabric-heartbeat-ms
   int fabric_heartbeat_timeout_ms = 250;  // --fabric-heartbeat-timeout-ms
+  // Transport: "loopback" (in-process, the default) or "tcp" (real
+  // sockets: the coordinator binds --fabric-listen, workers connect to
+  // --fabric-connect, default the coordinator's bound address). Loopback
+  // message-fault flags are refused with tcp.
+  std::string fabric_transport = "loopback";  // --fabric-transport
+  std::string fabric_listen = "127.0.0.1:0";  // --fabric-listen addr:port
+  std::string fabric_connect;                 // --fabric-connect addr:port
   // Fabric-layer faults: seeded worker kills (--kill-node-at) and message
   // faults (--fabric-drop-heartbeat/-duplicate/-truncate/-delay-ms).
   sim::FabricFaultPlan fabric_faults;

@@ -42,6 +42,7 @@ void expect_roundtrip(const Message& msg) {
   EXPECT_EQ(got.budget_cut, msg.budget_cut);
   EXPECT_EQ(got.fingerprint, msg.fingerprint);
   EXPECT_EQ(got.has_resume, msg.has_resume);
+  EXPECT_EQ(got.has_lease, msg.has_lease);
   EXPECT_EQ(got.cursor.frontier_slot, msg.cursor.frontier_slot);
   EXPECT_EQ(got.cursor.spec_steps, msg.cursor.spec_steps);
   EXPECT_EQ(got.stats, msg.stats);
@@ -138,6 +139,33 @@ TEST(FabricProtocol, RoundTripsEveryMessageType) {
   Message bye;
   bye.type = MsgType::kBye;
   expect_roundtrip(bye);
+
+  Message rejoin;
+  rejoin.type = MsgType::kRejoin;
+  rejoin.worker = 4;
+  rejoin.fingerprint = 0x0123456789abcdefULL;
+  rejoin.has_lease = true;
+  rejoin.shard = 6;
+  rejoin.epoch = 3;
+  expect_roundtrip(rejoin);
+
+  // The no-lease variant: shard/epoch travel zeroed, has_lease gates them.
+  rejoin.has_lease = false;
+  rejoin.shard = 0;
+  rejoin.epoch = 0;
+  expect_roundtrip(rejoin);
+
+  Message rejoin_ok;
+  rejoin_ok.type = MsgType::kRejoinOk;
+  rejoin_ok.worker = 4;
+  expect_roundtrip(rejoin_ok);
+
+  Message rejoin_refused;
+  rejoin_refused.type = MsgType::kRejoinRefused;
+  rejoin_refused.worker = 4;
+  rejoin_refused.diagnostic =
+      "stale lease on shard 6 (held epoch 3, current epoch 5)";
+  expect_roundtrip(rejoin_refused);
 }
 
 // The wire size of one record is load-bearing: the decoder validates count
@@ -218,8 +246,9 @@ TEST(FabricProtocol, RejectsUnknownType) {
   msg.worker = 1;
   std::string frame = encode_frame(msg);
   const std::size_t payload_len = frame.size() - kFrameOverhead;
-  // 12 is the first value past kObsMetrics — the smallest out-of-range type.
-  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{12},
+  // 15 is the first value past kRejoinRefused — the smallest out-of-range
+  // type.
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{15},
                            std::uint8_t{255}}) {
     std::string doctored = frame;
     doctored[8] = static_cast<char>(bad);

@@ -12,11 +12,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "fabric/protocol.h"
+#include "fabric/tcp_transport.h"
 
 namespace xmap::fabric {
 namespace {
@@ -158,6 +160,28 @@ std::vector<std::string> corpus() {
   }
   frames.push_back(encode_frame(obs_metrics));
 
+  // The reconnect handshake triple (tcp_transport.h): the stream-opening
+  // kRejoin and the coordinator's two answers.
+  Message rejoin;
+  rejoin.type = MsgType::kRejoin;
+  rejoin.worker = 2;
+  rejoin.fingerprint = 0x0123456789abcdefULL;
+  rejoin.has_lease = true;
+  rejoin.shard = 4;
+  rejoin.epoch = 2;
+  frames.push_back(encode_frame(rejoin));
+
+  Message rejoin_ok;
+  rejoin_ok.type = MsgType::kRejoinOk;
+  rejoin_ok.worker = 2;
+  frames.push_back(encode_frame(rejoin_ok));
+
+  Message rejoin_refused;
+  rejoin_refused.type = MsgType::kRejoinRefused;
+  rejoin_refused.worker = 2;
+  rejoin_refused.diagnostic = "zombie: worker was declared dead";
+  frames.push_back(encode_frame(rejoin_refused));
+
   return frames;
 }
 
@@ -227,8 +251,9 @@ TEST(FabricFramesFuzz, UnsupportedTraceContextVersionRejected) {
 // wall-clock flag, histogram buckets) decode equal to what was encoded.
 TEST(FabricFramesFuzz, ObsChunksRoundTrip) {
   const auto frames = corpus();
-  // The last two corpus frames are the obs chunks built above.
-  auto trace_chunk = decode_frame(frames[frames.size() - 2]);
+  // The obs chunks sit just before the three rejoin-handshake frames at
+  // the corpus tail.
+  auto trace_chunk = decode_frame(frames[frames.size() - 5]);
   ASSERT_TRUE(trace_chunk.message.has_value()) << trace_chunk.error;
   ASSERT_EQ(trace_chunk.message->type, MsgType::kObsTrace);
   ASSERT_EQ(trace_chunk.message->trace_events.size(), 2u);
@@ -244,7 +269,7 @@ TEST(FabricFramesFuzz, ObsChunksRoundTrip) {
   EXPECT_EQ(span.dur, 900u);
   EXPECT_STREQ(span.str_val, "validated");
 
-  auto metrics_chunk = decode_frame(frames[frames.size() - 1]);
+  auto metrics_chunk = decode_frame(frames[frames.size() - 4]);
   ASSERT_TRUE(metrics_chunk.message.has_value()) << metrics_chunk.error;
   ASSERT_EQ(metrics_chunk.message->type, MsgType::kObsMetrics);
   const auto& snap = metrics_chunk.message->metrics;
@@ -376,6 +401,171 @@ TEST(FabricFramesFuzz, LyingLengthPrefixRejected) {
   const std::uint32_t smaller = len - 4;
   std::memcpy(down.data() + 4, &smaller, 4);
   EXPECT_FALSE(decode_frame(down).message.has_value());
+}
+
+// --- Streamed reassembly (tcp_transport.h) ---------------------------------
+//
+// Over TCP the frame boundary guarantees vanish: the kernel hands back
+// arbitrary byte spans. The FrameReassembler must recover exactly the sent
+// frame sequence from ANY re-chunking, and must never mis-parse,
+// over-allocate, or silently desynchronize on adversarial prefixes.
+
+std::string concatenated_corpus() {
+  std::string stream;
+  for (const auto& frame : corpus()) stream += frame;
+  return stream;
+}
+
+void expect_reassembles_exactly(const std::string& stream,
+                                const std::vector<std::string>& expect,
+                                FrameReassembler& sm) {
+  std::vector<std::string> got;
+  for (std::optional<std::string> frame; (frame = sm.next());) {
+    got.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(got.size(), expect.size()) << "stream size " << stream.size();
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "frame " << i;
+    // Boundary recovery is exact, not just decodable-equivalent.
+    EXPECT_TRUE(decode_frame(got[i]).message.has_value());
+  }
+  EXPECT_FALSE(sm.poisoned());
+  EXPECT_EQ(sm.buffered(), 0u);
+}
+
+// Every split point: the whole corpus stream cut into two feeds at each
+// possible byte offset reassembles to the identical frame sequence.
+TEST(FabricFramesFuzz, StreamedEverySplitPointReassembles) {
+  const auto frames = corpus();
+  const std::string stream = concatenated_corpus();
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    FrameReassembler sm;
+    ASSERT_TRUE(sm.feed(std::string_view(stream).substr(0, cut)));
+    ASSERT_TRUE(sm.feed(std::string_view(stream).substr(cut)));
+    expect_reassembles_exactly(stream, frames, sm);
+  }
+}
+
+// Seeded random re-chunkings, including 1-byte drip feeds: the kernel's
+// worst segmentation cannot change the recovered frames.
+TEST(FabricFramesFuzz, StreamedRandomChunkingReassembles) {
+  const auto frames = corpus();
+  const std::string stream = concatenated_corpus();
+  std::mt19937_64 rng{7};
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t max_chunk = 1 + rng() % 64;
+    FrameReassembler sm;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng() % max_chunk, stream.size() - off);
+      ASSERT_TRUE(sm.feed(std::string_view(stream).substr(off, n)));
+      off += n;
+    }
+    expect_reassembles_exactly(stream, frames, sm);
+  }
+}
+
+// Interleaved feed/next: popping frames mid-stream must not disturb the
+// boundaries of what follows.
+TEST(FabricFramesFuzz, StreamedInterleavedDrainReassembles) {
+  const auto frames = corpus();
+  const std::string stream = concatenated_corpus();
+  FrameReassembler sm;
+  std::vector<std::string> got;
+  for (std::size_t off = 0; off < stream.size(); off += 3) {
+    ASSERT_TRUE(sm.feed(std::string_view(stream).substr(
+        off, std::min<std::size_t>(3, stream.size() - off))));
+    for (std::optional<std::string> frame; (frame = sm.next());) {
+      got.push_back(std::move(*frame));
+    }
+  }
+  ASSERT_EQ(got.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) EXPECT_EQ(got[i], frames[i]);
+}
+
+// An adversarial length prefix above kMaxPayload poisons the stream before
+// any body is buffered: the buffer never grows past the header bytes, so a
+// hostile peer cannot drive allocation.
+TEST(FabricFramesFuzz, StreamedHostileLengthPoisonsWithoutAllocation) {
+  for (std::uint32_t hostile :
+       {static_cast<std::uint32_t>(kMaxPayload + 1), 0x7fffffffu,
+        0xffffffffu}) {
+    FrameReassembler sm;
+    std::string header(8, '\0');
+    std::memcpy(header.data(), "XFB1", 4);
+    std::memcpy(header.data() + 4, &hostile, 4);
+    EXPECT_FALSE(sm.feed(header));
+    EXPECT_TRUE(sm.poisoned());
+    EXPECT_NE(sm.error().find("length"), std::string::npos) << sm.error();
+    EXPECT_LE(sm.buffered(), header.size());
+    // Poison is latched: later bytes — even a whole valid frame — are
+    // discarded rather than risking a desynchronized parse.
+    Message msg;
+    msg.type = MsgType::kHeartbeat;
+    EXPECT_FALSE(sm.feed(encode_frame(msg)));
+    EXPECT_EQ(sm.next(), std::nullopt);
+  }
+}
+
+// Bad magic poisons immediately — a desynchronized stream has no
+// trustworthy resync point, so the reassembler refuses to guess.
+TEST(FabricFramesFuzz, StreamedBadMagicPoisons) {
+  FrameReassembler sm;
+  Message msg;
+  msg.type = MsgType::kHeartbeat;
+  msg.worker = 1;
+  std::string frame = encode_frame(msg);
+  ASSERT_TRUE(sm.feed(frame));  // one clean frame first
+  std::string doctored = frame;
+  doctored[0] = 'Z';
+  // The bad magic hides behind the clean frame still buffered at the
+  // front, so this feed succeeds; the poison fires when the front drains.
+  EXPECT_TRUE(sm.feed(doctored));
+  EXPECT_EQ(sm.next(), frame);
+  EXPECT_EQ(sm.next(), std::nullopt);
+  EXPECT_TRUE(sm.poisoned());
+  EXPECT_NE(sm.error().find("magic"), std::string::npos) << sm.error();
+}
+
+// A length prefix lying *within* bounds desynchronizes the stream — the
+// next "frame" then starts mid-body and its magic check fires. The
+// reassembler never hands out a frame decode_frame accepts from such a
+// stream: corruption surfaces as poison or decode rejection, not as a
+// wrong message.
+TEST(FabricFramesFuzz, StreamedLyingLengthNeverMisparses) {
+  const std::string stream = concatenated_corpus();
+  for (std::uint32_t lie : {0u, 1u, 9u, 24u, 200u}) {
+    FrameReassembler sm;
+    std::string doctored = stream;
+    std::memcpy(doctored.data() + 4, &lie, 4);
+    sm.feed(doctored);
+    for (std::optional<std::string> frame; (frame = sm.next());) {
+      auto decoded = decode_frame(*frame);
+      if (decoded.message.has_value()) {
+        // Only the truthful length reproduces the original first frame.
+        EXPECT_EQ(*frame, stream.substr(0, frame->size()));
+      }
+    }
+  }
+}
+
+// reset() forgets the poison and the buffer — the reuse path for a fresh
+// connection after a reconnect.
+TEST(FabricFramesFuzz, StreamedResetClearsPoisonForFreshConnection) {
+  FrameReassembler sm;
+  EXPECT_FALSE(sm.feed("ZZZZZZZZ"));
+  EXPECT_TRUE(sm.poisoned());
+  sm.reset();
+  EXPECT_FALSE(sm.poisoned());
+  EXPECT_EQ(sm.buffered(), 0u);
+  const auto frames = corpus();
+  for (const auto& frame : frames) ASSERT_TRUE(sm.feed(frame));
+  std::size_t n = 0;
+  for (std::optional<std::string> frame; (frame = sm.next());) {
+    EXPECT_EQ(*frame, frames[n++]);
+  }
+  EXPECT_EQ(n, frames.size());
 }
 
 }  // namespace

@@ -83,6 +83,40 @@ TEST(Cli, ParallelEngineFlags) {
                    .options.has_value());
 }
 
+TEST(Cli, FabricTransportFlags) {
+  auto result = parse({"--fabric-nodes", "2", "--fabric-transport", "tcp",
+                       "--fabric-listen", "127.0.0.1:4500",
+                       "--fabric-connect", "127.0.0.1:4501"});
+  ASSERT_TRUE(result.options.has_value()) << result.error;
+  EXPECT_EQ(result.options->fabric_transport, "tcp");
+  EXPECT_EQ(result.options->fabric_listen, "127.0.0.1:4500");
+  EXPECT_EQ(result.options->fabric_connect, "127.0.0.1:4501");
+
+  // Defaults: loopback, ephemeral listen, connect to the bound address.
+  auto plain = parse({"--fabric-nodes", "2"});
+  ASSERT_TRUE(plain.options.has_value());
+  EXPECT_EQ(plain.options->fabric_transport, "loopback");
+  EXPECT_EQ(plain.options->fabric_listen, "127.0.0.1:0");
+  EXPECT_TRUE(plain.options->fabric_connect.empty());
+
+  EXPECT_FALSE(parse({"--fabric-nodes", "2", "--fabric-transport", "udp"})
+                   .options.has_value());
+  // Transport flags without the fabric make no sense.
+  EXPECT_FALSE(parse({"--fabric-transport", "tcp"}).options.has_value());
+  EXPECT_FALSE(
+      parse({"--fabric-listen", "127.0.0.1:1"}).options.has_value());
+  EXPECT_FALSE(
+      parse({"--fabric-connect", "127.0.0.1:1"}).options.has_value());
+  // Loopback message faults are the other substrate's tool.
+  EXPECT_FALSE(parse({"--fabric-nodes", "2", "--fabric-transport", "tcp",
+                      "--fabric-duplicate", "0.5"})
+                   .options.has_value());
+  // Seeded kills stay valid over tcp (the crash is in the worker).
+  EXPECT_TRUE(parse({"--fabric-nodes", "2", "--fabric-transport", "tcp",
+                     "--kill-node-at", "1:500"})
+                  .options.has_value());
+}
+
 TEST(Cli, RetriesFlag) {
   auto result = parse({"--retries", "3"});
   ASSERT_TRUE(result.options.has_value());

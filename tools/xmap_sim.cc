@@ -439,6 +439,11 @@ int main(int argc, char** argv) {
     }
     fcfg.heartbeat_interval_ms = opts.fabric_heartbeat_ms;
     fcfg.heartbeat_timeout_ms = opts.fabric_heartbeat_timeout_ms;
+    if (opts.fabric_transport == "tcp") {
+      fcfg.transport = fabric::TransportKind::kTcp;
+      fcfg.listen_address = opts.fabric_listen;
+      fcfg.connect_address = opts.fabric_connect;
+    }
     fcfg.backoff.seed = opts.seed;
     fcfg.fingerprint = fingerprint;
     if (!opts.quiet) fcfg.log = &std::clog;
@@ -539,6 +544,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.missed_heartbeats),
           static_cast<unsigned long long>(result.retransmits),
           static_cast<unsigned long long>(result.frames_rejected));
+      if (opts.fabric_transport == "tcp") {
+        std::fprintf(
+            stderr,
+            "xmap_sim: fabric: tcp transport: %llu reconnect(s), %llu bytes "
+            "sent, %llu bytes received\n",
+            static_cast<unsigned long long>(result.reconnects),
+            static_cast<unsigned long long>(result.bytes_sent),
+            static_cast<unsigned long long>(result.bytes_received));
+      }
     }
     if (result.failed) {
       std::fprintf(stderr,
