@@ -16,6 +16,7 @@
 //     both paths must discover identical responder sets.
 //
 // Emits BENCH_hotpath_batching.json for tools/check_bench_regression.py.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -24,6 +25,7 @@
 
 #include "bench/common.h"
 #include "netbase/pool.h"
+#include "sim/event_loop.h"
 #include "topology/builder.h"
 #include "xmap/cyclic_group.h"
 #include "xmap/results.h"
@@ -109,37 +111,97 @@ struct SimResult {
   double wall_seconds = 0;
   std::uint64_t sent = 0;
   std::size_t unique = 0;
+  std::uint64_t events = 0;
 };
 
 // End-to-end classic scanner on the paper world (window from env, default
-// 2^10 per ISP) with the hot path selected by `legacy`.
-SimResult sim_scan(bool legacy, int window_bits) {
-  bench::World world{topo::paper::isp_specs(), window_bits,
-                     bench::seed_from_env()};
+// 2^10 per ISP) with the hot path selected by `legacy`. A scan consumes
+// its permutation, so each rep builds a fresh world; the timer covers only
+// the run — Network::prepare() hoists route-index compilation and the
+// first rep warms the allocator pools, the same steady-state protocol as
+// generation_sweep's best-of reps.
+SimResult sim_scan(bool legacy, int window_bits, int reps) {
   static const scan::IcmpEchoProbe module{64};
-  scan::ScanConfig cfg;
-  for (const auto& isp : world.internet.isps) {
-    cfg.targets.push_back(
-        scan::TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+  SimResult best;
+  for (int rep = 0; rep < reps; ++rep) {
+    bench::World world{topo::paper::isp_specs(), window_bits,
+                       bench::seed_from_env()};
+    scan::ScanConfig cfg;
+    for (const auto& isp : world.internet.isps) {
+      cfg.targets.push_back(
+          scan::TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+    }
+    cfg.source = *net::Ipv6Address::parse("2001:500::1");
+    cfg.seed = 7;
+    cfg.probes_per_sec = 1e9;  // unthrottled: measure engine cost
+    cfg.legacy_hot_path = legacy;
+    auto* scanner = world.net.make_node<scan::SimChannelScanner>(cfg, module);
+    const int iface = topo::attach_vantage(
+        world.net, world.internet, scanner, *net::Ipv6Prefix::parse(
+                                                "2001:500::/48"));
+    scanner->set_iface(iface);
+    scan::ResultCollector collector;
+    scanner->on_response([&collector](const scan::ProbeResponse& r,
+                                      sim::SimTime) { collector.add(r); });
+    scanner->start();
+    world.net.prepare();
+    const auto t0 = Clock::now();
+    world.net.run();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const SimResult r{secs, scanner->stats().sent,
+                      collector.unique_responders(),
+                      world.net.loop().events_processed()};
+    if (best.wall_seconds == 0 || r.wall_seconds < best.wall_seconds) {
+      best = r;
+    } else {
+      // Results must be identical across reps (same seed, same world);
+      // only the wall clock may move.
+      if (r.sent != best.sent || r.unique != best.unique) std::abort();
+    }
   }
-  cfg.source = *net::Ipv6Address::parse("2001:500::1");
-  cfg.seed = 7;
-  cfg.probes_per_sec = 1e9;  // unthrottled: measure engine cost
-  cfg.legacy_hot_path = legacy;
-  auto* scanner = world.net.make_node<scan::SimChannelScanner>(cfg, module);
-  const int iface = topo::attach_vantage(
-      world.net, world.internet, scanner, *net::Ipv6Prefix::parse(
-                                              "2001:500::/48"));
-  scanner->set_iface(iface);
-  scan::ResultCollector collector;
-  scanner->on_response([&collector](const scan::ProbeResponse& r,
-                                    sim::SimTime) { collector.add(r); });
-  scanner->start();
-  const auto t0 = Clock::now();
-  world.net.run();
-  const double secs =
-      std::chrono::duration<double>(Clock::now() - t0).count();
-  return {secs, scanner->stats().sent, collector.unique_responders()};
+  return best;
+}
+
+// Schedule+pop round-trip cost of the timing wheel: typed POD events
+// spread over the near-future slots the scan path actually uses, drained
+// through the normal dispatch loop. Median-free best-of to shed scheduler
+// noise.
+double event_schedule_pop_ns() {
+  struct Ctx {
+    std::uint64_t sink = 0;
+    static void handle(void* c, sim::SimTime, std::uint64_t a,
+                       std::uint64_t) {
+      static_cast<Ctx*>(c)->sink += a;
+    }
+  };
+  constexpr int kBatch = 4096;
+  constexpr int kRounds = 256;
+  double best = 1e18;
+  for (int rep = 0; rep < 5; ++rep) {
+    sim::EventLoop loop;
+    Ctx ctx;
+    loop.register_handler(sim::kEventDeliver, &ctx, &Ctx::handle);
+    const auto t0 = Clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      const sim::SimTime base = loop.now();
+      for (int i = 0; i < kBatch; ++i) {
+        // Mixed offsets: same-slot ties, nearby slots, and a sprinkle of
+        // far-future events exercising the overflow heap.
+        const sim::SimTime off =
+            (i % 16 == 0) ? 8u * 1024 * 1024
+                          : static_cast<sim::SimTime>((i % 1024) * 512);
+        loop.schedule_event(base + 1 + off, sim::kEventDeliver,
+                            static_cast<std::uint64_t>(i), 0);
+      }
+      loop.run();
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (ctx.sink == 0) std::abort();  // keep the loop observable
+    best = std::min(best, secs * 1e9 / (kBatch * kRounds));
+  }
+  return best;
 }
 
 }  // namespace
@@ -172,26 +234,37 @@ int main() {
 
   const int window_bits = bench::window_bits_from_env(10);
   std::printf("\nend-to-end sim scan, paper world, window 2^%d per ISP "
-              "(hop simulation included):\n",
+              "(hop simulation included, best of 5 runs):\n",
               window_bits);
-  const SimResult legacy = sim_scan(/*legacy=*/true, window_bits);
-  const SimResult batched = sim_scan(/*legacy=*/false, window_bits);
+  const SimResult legacy = sim_scan(/*legacy=*/true, window_bits, 5);
+  const SimResult batched = sim_scan(/*legacy=*/false, window_bits, 5);
+  const double batched_evpp =
+      static_cast<double>(batched.events) / static_cast<double>(batched.sent);
   std::printf("  legacy : %8.4f s  %llu probes  %.0f pps  %zu responders\n",
               legacy.wall_seconds,
               static_cast<unsigned long long>(legacy.sent),
               static_cast<double>(legacy.sent) / legacy.wall_seconds,
               legacy.unique);
-  std::printf("  batched: %8.4f s  %llu probes  %.0f pps  %zu responders\n",
+  std::printf("  batched: %8.4f s  %llu probes  %.0f pps  %zu responders  "
+              "%.2f events/probe\n",
               batched.wall_seconds,
               static_cast<unsigned long long>(batched.sent),
               static_cast<double>(batched.sent) / batched.wall_seconds,
-              batched.unique);
+              batched.unique, batched_evpp);
   json.add("sim_scan_legacy_pps",
            static_cast<double>(legacy.sent) / legacy.wall_seconds,
            "probes/s");
   json.add("sim_scan_batched_pps",
            static_cast<double>(batched.sent) / batched.wall_seconds,
            "probes/s");
+  // Loop events per probe on the batched path: the tentpole's structural
+  // claim (blocks + trains, not per-packet events) in one number.
+  json.add("sim_scan_events_per_probe", batched_evpp, "events/probe",
+           /*higher_is_better=*/false);
+  const double pop_ns = event_schedule_pop_ns();
+  std::printf("  timing wheel schedule+pop: %.1f ns\n", pop_ns);
+  json.add("event_schedule_pop_ns", pop_ns, "ns",
+           /*higher_is_better=*/false);
   json.write();
 
   if (legacy.sent != batched.sent || legacy.unique != batched.unique) {

@@ -5,10 +5,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench/common.h"
 #include "netbase/checksum.h"
+#include "netbase/random.h"
 #include "topology/routing_table.h"
 #include "xmap/cyclic_group.h"
 #include "xmap/probe_module.h"
@@ -222,6 +225,38 @@ void write_bench_json() {
   std::vector<std::uint8_t> buf(1280, 0xa5);
   json.add("checksum_1280_per_sec", throughput([&](const auto&) {
              return static_cast<std::size_t>(net::internet_checksum(buf));
+           }),
+           "checksums/s");
+  // SIMD-path checksum throughput, preceded by an equality sweep pinning
+  // the dispatched path to the byte-pair reference over random contents,
+  // odd lengths and unaligned starts. An abort here beats a silently wrong
+  // wire checksum in every probe.
+  {
+    net::Rng rng{0x51u};
+    std::vector<std::uint8_t> rbuf(1400);
+    for (auto& b : rbuf) b = static_cast<std::uint8_t>(rng.next());
+    for (const std::size_t off : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{3}, std::size_t{17}}) {
+      for (const std::size_t len :
+           {std::size_t{64}, std::size_t{127}, std::size_t{128},
+            std::size_t{256}, std::size_t{1279}, std::size_t{1280}}) {
+        const std::span<const std::uint8_t> s{rbuf.data() + off, len};
+        const std::uint16_t fast =
+            net::checksum_finish(net::checksum_accumulate(s));
+        const std::uint16_t ref =
+            net::checksum_finish(net::checksum_accumulate_reference(s));
+        if (fast != ref) {
+          std::fprintf(stderr,
+                       "checksum SIMD/reference mismatch off=%zu len=%zu\n",
+                       off, len);
+          std::abort();
+        }
+      }
+    }
+  }
+  json.add("checksum_1280_simd_per_sec", throughput([&](const auto&) {
+             return static_cast<std::size_t>(
+                 net::checksum_fold(net::checksum_accumulate(buf)));
            }),
            "checksums/s");
   json.write();

@@ -44,7 +44,7 @@ class ProbeBatch : public sim::Node {
     }
   }
 
-  void receive(const pkt::Bytes& packet, int /*iface*/) override {
+  void receive(pkt::Bytes packet, int /*iface*/) override {
     static const scan::IcmpEchoProbe kClassifier{64};
     if (auto response =
             kClassifier.classify(packet, config_.source, config_.seed)) {

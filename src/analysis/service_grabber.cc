@@ -207,7 +207,7 @@ void ServiceGrabber::send_request_data(Job& job) {
                               pkt::kTcpPsh | pkt::kTcpAck, 65535, request));
 }
 
-void ServiceGrabber::receive(const pkt::Bytes& packet, int /*iface*/) {
+void ServiceGrabber::receive(pkt::Bytes packet, int /*iface*/) {
   pkt::Ipv6View ip{packet};
   if (!ip.valid() || ip.dst() != config_.source) return;
 

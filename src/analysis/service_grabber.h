@@ -59,7 +59,7 @@ class ServiceGrabber : public sim::Node {
     return results_;
   }
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
 
  private:
   struct Job {

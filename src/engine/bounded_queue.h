@@ -44,6 +44,31 @@ class BoundedQueue {
     return true;
   }
 
+  // Bulk push: one lock round-trip and one consumer wake for the whole
+  // batch. Blocks until every item fits (capacity permitting batches to
+  // land whole keeps the backpressure bound intact); returns the number of
+  // items enqueued — short only if the queue was closed mid-wait. The
+  // batch is consumed (moved-from) either way.
+  template <typename Iter>
+  std::size_t push_many(Iter first, Iter last) {
+    std::size_t pushed = 0;
+    std::unique_lock lock{mu_};
+    while (first != last) {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) break;
+      while (first != last && items_.size() < capacity_) {
+        items_.push_back(std::move(*first));
+        ++first;
+        ++pushed;
+      }
+      // Wake the consumer before (possibly) blocking for more room, or the
+      // full-queue wait would deadlock against a sleeping collector.
+      not_empty_.notify_one();
+    }
+    return pushed;
+  }
+
   // Blocks while the queue is empty. Returns nullopt once the queue is
   // closed *and* fully drained.
   std::optional<T> pop() {

@@ -21,6 +21,11 @@ EngineResult fail(std::string message) {
   return result;
 }
 
+// Worker-local record batch size. Small enough that a batch never exceeds
+// the queue's backpressure bound (queue_capacity defaults to 4096), large
+// enough to amortize the queue mutex to noise.
+constexpr std::size_t kRecordFlushThreshold = 256;
+
 // Default targets (every block of the world). Window placement is a pure
 // function of the spec, so this costs nothing — no throwaway world build on
 // the main thread (which would be a serial prefix as long as one worker's
@@ -168,16 +173,32 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     scanner->set_iface(iface);
     scanner->set_progress(&progress);
     scanner->set_obs(config.obs, trace, metrics, profile);
+    // Records accumulate thread-locally and cross to the collector in
+    // batches: one queue lock round-trip per flush instead of per record.
+    // Flush points are load-bearing, not just periodic: a published cursor
+    // claims every record below it has already reached the collector, so
+    // the buffer MUST drain before each publication (and after the run).
+    std::vector<EngineRecord> local_records;
+    local_records.reserve(kRecordFlushThreshold);
+    const auto flush_records = [&queue, &local_records] {
+      if (local_records.empty()) return;
+      queue.push_many(local_records.begin(), local_records.end());
+      local_records.clear();
+    };
     scanner->on_response_slotted(
-        [&queue, w](const scan::ProbeResponse& r, sim::SimTime when,
-                    std::uint64_t raw_slot) {
-          queue.push(EngineRecord{r, when, w, raw_slot});
+        [&local_records, &flush_records, w](const scan::ProbeResponse& r,
+                                            sim::SimTime when,
+                                            std::uint64_t raw_slot) {
+          local_records.push_back(EngineRecord{r, when, w, raw_slot});
+          if (local_records.size() >= kRecordFlushThreshold) flush_records();
         });
     if (periodic_checkpoints) {
       PublishedCursor* slot = published[static_cast<std::size_t>(w)].get();
       scanner->set_checkpoint_hook(
           config.checkpoint_interval_targets,
-          [slot, &publish_epoch](const scan::ScanCursor& cursor) {
+          [slot, &publish_epoch, &flush_records](
+              const scan::ScanCursor& cursor) {
+            flush_records();
             {
               std::lock_guard lock{slot->mu};
               slot->cursor = cursor;
@@ -189,6 +210,7 @@ EngineResult run_parallel_scan(const EngineConfig& config) {
     scanner->start();
     const auto run_begin = std::chrono::steady_clock::now();
     net.run();
+    flush_records();
     const auto run_secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       run_begin)

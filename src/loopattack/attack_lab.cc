@@ -26,7 +26,7 @@ const Ipv6Address kSpoofedSource =
 
 class AttackLab::AttackerNode : public sim::Node {
  public:
-  void receive(const pkt::Bytes& packet, int) override {
+  void receive(pkt::Bytes packet, int) override {
     pkt::Ipv6View ip{packet};
     if (!ip.valid() || ip.next_header() != pkt::kProtoIcmpv6) return;
     pkt::Icmpv6View icmp{ip.payload()};

@@ -11,9 +11,18 @@ namespace xmap::net {
 
 // Ones-complement sum of 16-bit words, returning the running 32-bit
 // accumulator (not yet folded/complemented). Odd trailing byte is padded
-// with zero per RFC 1071.
+// with zero per RFC 1071. Large buffers take a SIMD-widened path where the
+// CPU supports it; the accumulator is only guaranteed equal to the
+// reference modulo 0xffff (zero iff the reference is zero), which every
+// fold/finish consumer preserves.
 [[nodiscard]] std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
                                                 std::uint32_t acc = 0);
+
+// Byte-pair RFC 1071 reference: no word tricks, no carry shortcuts, no
+// SIMD. The ground truth the property tests (and the SIMD equality asserts
+// in the micro bench) compare against.
+[[nodiscard]] std::uint32_t checksum_accumulate_reference(
+    std::span<const std::uint8_t> data, std::uint32_t acc = 0);
 
 // Folds the accumulator and returns the ones-complement checksum.
 [[nodiscard]] std::uint16_t checksum_finish(std::uint32_t acc);

@@ -4,15 +4,40 @@
 // substrate behaviour (link latency, serialization delay, scanner send
 // pacing, service response times) is expressed as scheduled events, which
 // makes every experiment fully deterministic for a given seed.
+//
+// The queue is a timing wheel, not a heap. Scan pacing generates a dense
+// stream of near-future timestamps (sends one gap apart, deliveries one
+// link latency ahead), for which a binary heap pays O(log n) pointer-heavy
+// sifts per operation on every schedule and pop. Here an event lands in a
+// 4096-slot wheel of 1.024 us ticks with one store and a bitmap bit; pops
+// walk the bitmap. Only the slot under the cursor is ordered — as a small
+// binary heap, so out-of-order appends into it (bulk-train re-arms) cost
+// O(log slot) instead of a re-sort. Far-future events (cooldown expiry, spaced
+// retransmit blocks, flap epochs) overflow into a small min-heap, and they
+// re-enter the wheel wholesale as the window slides over them. Pop order
+// is exactly (timestamp, schedule seq) — identical to the old heap — which
+// the wheel/heap equivalence property test pins down.
+//
+// Event records are fixed-size PODs. The common kinds (packet delivery,
+// bulk channel drains, scanner block sends) dispatch through a registered
+// handler table with two payload words, so the hot path never constructs,
+// relocates or indirectly invokes a closure. Closure events still exist
+// for cold paths: the callable lives in a stable side slab and the record
+// carries its index, so heap/wheel data movement never runs user code.
 #pragma once
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <queue>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "netbase/compiler.h"
 #include "netbase/pool.h"
 
 namespace xmap::sim {
@@ -25,13 +50,14 @@ inline constexpr SimTime kMicrosecond = 1000;
 inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 inline constexpr SimTime kSecond = 1000 * kMillisecond;
 
+// "No such time": later than every schedulable timestamp.
+inline constexpr SimTime kNeverTime = ~SimTime{0};
+
 // Move-only callable with fixed inline storage — the event loop's closure
 // type. std::function heap-allocates any capture beyond its tiny SBO
-// (libstdc++: 16 bytes), which on the scan hot path means one allocation
-// per scheduled send and one per simulated hop delivery. Every closure the
-// substrate schedules fits in kInlineFunctionCapacity bytes; captures that
-// can't (cold paths only) should wrap themselves in a std::function, which
-// fits by definition.
+// (libstdc++: 16 bytes). Closures that the substrate schedules fit in
+// kInlineFunctionCapacity bytes; captures that can't (cold paths only)
+// should wrap themselves in a std::function, which fits by definition.
 inline constexpr std::size_t kInlineFunctionCapacity = 88;
 
 class InlineFunction {
@@ -95,6 +121,17 @@ class InlineFunction {
   void (*destroy_)(void*) = nullptr;
 };
 
+// Typed event kinds. Kind 0 is the closure fallback; the others dispatch
+// through the handler table (see EventLoop::register_handler). The set is
+// small and closed on purpose: these are the simulator's hot paths.
+enum : std::uint32_t {
+  kEventClosure = 0,      // payload a = closure slab index
+  kEventDeliver = 1,      // sim::Network: one packet delivery
+  kEventChannelDrain = 2, // sim::Network: bulk link-channel drain
+  kEventScanBlock = 3,    // scan::SimChannelScanner: probe-block send train
+  kEventKindCount = 8,
+};
+
 class EventLoop {
  public:
   EventLoop() = default;
@@ -102,28 +139,88 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   [[nodiscard]] SimTime now() const { return now_; }
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  // Typed-event dispatch target: (ctx, event timestamp, payload a, b).
+  using Handler = void (*)(void* ctx, SimTime when, std::uint64_t a,
+                           std::uint64_t b);
+  void register_handler(std::uint32_t kind, void* ctx, Handler fn) {
+    assert(kind > kEventClosure && kind < kEventKindCount);
+    handlers_[kind] = {ctx, fn};
+  }
+
+  // Schedules a typed POD event — no closure, no allocation beyond the
+  // wheel slot itself.
+  void schedule_event(SimTime when, std::uint32_t kind, std::uint64_t a,
+                      std::uint64_t b) {
+    if (XMAP_UNLIKELY(when < now_)) {
+      // A past timestamp is a latent determinism bug in the caller (the
+      // event would run at a load-dependent time, not the intended one):
+      // trap in debug builds, clamp-and-count in release so production
+      // runs degrade exactly as the old silent-clamp behaviour did —
+      // except now the sim_events_clamped_total counter makes it visible.
+      assert(when >= now_ &&
+             "EventLoop: event scheduled in the past (latent determinism "
+             "bug in the caller)");
+      ++clamped_;
+      if (clamp_cell_ != nullptr) ++*clamp_cell_;
+      when = now_;
+    }
+    push_record(Record{when, next_seq_++, a, b, kind, 0});
+  }
+
   void schedule_at(SimTime when, InlineFunction fn) {
-    queue_.push(Event{when < now_ ? now_ : when, next_seq_++, std::move(fn)});
+    std::uint32_t ci;
+    if (!closure_free_.empty()) {
+      ci = closure_free_.back();
+      closure_free_.pop_back();
+      closures_[ci] = std::move(fn);
+    } else {
+      ci = static_cast<std::uint32_t>(closures_.size());
+      closures_.push_back(std::move(fn));
+    }
+    schedule_event(when, kEventClosure, ci, 0);
   }
   void schedule_after(SimTime delay, InlineFunction fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
 
+  // Events scheduled into the past since construction (release builds
+  // clamp them to now; debug builds assert). Wired to the
+  // sim_events_clamped_total counter by Network::set_obs.
+  [[nodiscard]] std::uint64_t clamped() const { return clamped_; }
+  void set_clamp_cell(std::uint64_t* cell) { clamp_cell_ = cell; }
+
+  // ---- Bulk-processing contract -------------------------------------------
+  //
+  // A bulk handler (channel drain, scan block) processes a train of
+  // sub-items inside one popped event, advancing the clock to each item's
+  // precomputed analytic stamp via set_time(). It must not process items
+  // stamped beyond bulk_horizon(): run_until() lowers the horizon to its
+  // deadline so a train straddling the deadline re-arms itself instead of
+  // overshooting. After a train the loop clock may be ahead of the next
+  // queued event; the next pop simply rewinds it. Causality is preserved
+  // because every stamp carried by a train is a pure function of the
+  // schedule, never of processing order.
+  [[nodiscard]] SimTime bulk_horizon() const { return bulk_horizon_; }
+  void set_time(SimTime t) {
+    assert(t <= bulk_horizon_);
+    now_ = t;
+  }
+
+  // Timestamp of the next queued event, or kNeverTime when the queue is
+  // empty. Bulk handlers cap their trains at this bound so every delivery
+  // happens with all earlier-stamped events already processed.
+  [[nodiscard]] SimTime next_when() {
+    if (!prepare(~std::uint64_t{0})) return kNeverTime;
+    return slots_[cur_tick_ & kSlotMask].front().when;
+  }
+
   // Runs one event; returns false when the queue is empty.
   bool step() {
-    if (queue_.empty()) return false;
-    // top() is const-ref by contract, but moving the closure out before
-    // pop() is safe: the heap rebalance only relocates the hollowed-out
-    // event. Saves a full Event copy (and its captured packet) per event.
-    Event& ev = const_cast<Event&>(queue_.top());
-    now_ = ev.when;
-    InlineFunction fn = std::move(ev.fn);
-    queue_.pop();
-    ++processed_;
-    fn();
+    if (!prepare(~std::uint64_t{0})) return false;
+    pop_dispatch();
     return true;
   }
 
@@ -135,32 +232,186 @@ class EventLoop {
   }
 
   // Runs events with timestamps <= `deadline`; the clock ends at `deadline`
-  // if the queue drains or only later events remain.
+  // if the queue drains or only later events remain. Bulk trains stop at
+  // the deadline too (see bulk_horizon above).
   void run_until(SimTime deadline) {
-    while (!queue_.empty() && queue_.top().when <= deadline) step();
+    const SimTime saved_horizon = bulk_horizon_;
+    bulk_horizon_ = deadline;
+    const std::uint64_t deadline_tick = deadline >> kSlotShift;
+    while (prepare(deadline_tick)) {
+      const net::PoolVector<Record>& v = slots_[cur_tick_ & kSlotMask];
+      if (v.front().when > deadline) break;
+      pop_dispatch();
+    }
+    bulk_horizon_ = saved_horizon;
     if (now_ < deadline) now_ = deadline;
   }
 
  private:
-  struct Event {
+  // One scheduled event: fixed-size, trivially copyable, 40 bytes. The
+  // wheel and the overflow heap move these with plain stores — no
+  // user-code relocation ever runs during queue maintenance.
+  struct Record {
     SimTime when;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    InlineFunction fn;
+    std::uint64_t a;    // payload word (closure slab index for kind 0)
+    std::uint64_t b;    // payload word
+    std::uint32_t kind;
+    std::uint32_t pad_;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  struct LaterRec {
+    bool operator()(const Record& x, const Record& y) const {
+      if (x.when != y.when) return x.when > y.when;
+      return x.seq > y.seq;
     }
   };
 
-  // Pool-backed storage: the queue's backing vector grows through the
-  // thread-local BytePool, so a warmed-up thread schedules events without
-  // touching the global heap.
-  std::priority_queue<Event, net::PoolVector<Event>, Later> queue_;
+  // 4096 slots of 2^10 ns: a ~4.19 ms look-ahead window, covering link
+  // latencies and paced send gaps. Events beyond it wait in the overflow
+  // heap and are swept into the wheel as the window slides.
+  static constexpr int kSlotShift = 10;
+  static constexpr int kSlotBits = 12;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;
+  static constexpr std::uint32_t kSlotMask = kSlots - 1;
+
+  void push_record(const Record& r) {
+    const std::uint64_t tick = r.when >> kSlotShift;
+    // tick >= cur_tick_ holds because when >= now_ and the cursor never
+    // rests past the earliest queued event (run_until parks it at the
+    // deadline tick, below every event it skipped).
+    if (tick - cur_tick_ < kSlots) {
+      push_slot(r, tick);
+    } else {
+      overflow_.push(r);
+    }
+    ++live_;
+  }
+
+  void push_slot(const Record& r, std::uint64_t tick) {
+    net::PoolVector<Record>& v = slots_[tick & kSlotMask];
+    v.push_back(r);
+    // Future slots take plain O(1) appends and are heapified only when the
+    // cursor reaches them. The current slot is already a heap while being
+    // drained, so appends there (drain re-arms, block resumes) sift in at
+    // O(log n) — dense same-slot churn never triggers a full re-sort.
+    if (tick == cur_tick_ && cur_heaped_) {
+      std::push_heap(v.begin(), v.end(), LaterRec{});
+    }
+    bitmap_[(tick & kSlotMask) >> 6] |= std::uint64_t{1}
+                                        << ((tick & kSlotMask) & 63);
+  }
+
+  // Distance (1..kSlots-1) to the next nonempty slot after the cursor, or
+  // 0 when the wheel holds nothing beyond the current slot. The window is
+  // exactly kSlots wide, so circular order equals timestamp order.
+  [[nodiscard]] std::uint32_t next_bit_distance() const {
+    const std::uint32_t cur = static_cast<std::uint32_t>(cur_tick_) & kSlotMask;
+    for (std::uint32_t probed = 1; probed <= kSlotMask;) {
+      const std::uint32_t pos = (cur + probed) & kSlotMask;
+      const std::uint32_t word = pos >> 6;
+      std::uint64_t bits = bitmap_[word] >> (pos & 63);
+      if (bits != 0) {
+        const auto d =
+            probed + static_cast<std::uint32_t>(std::countr_zero(bits));
+        if (d <= kSlotMask) return d;
+        return 0;
+      }
+      probed += 64 - (pos & 63);
+    }
+    return 0;
+  }
+
+  // Positions the cursor on the next due record, heapifying its slot and
+  // sweeping overflow events that the sliding window now covers. Stops
+  // (returning false) when the queue is empty or the next record's tick is
+  // beyond `max_tick` — in which case the cursor parks at max_tick so later
+  // schedules can never land behind it.
+  bool prepare(std::uint64_t max_tick) {
+    for (;;) {
+      net::PoolVector<Record>& v = slots_[cur_tick_ & kSlotMask];
+      if (!v.empty()) {
+        if (!cur_heaped_) {
+          std::make_heap(v.begin(), v.end(), LaterRec{});
+          cur_heaped_ = true;
+        }
+        return true;
+      }
+      cur_heaped_ = false;
+      bitmap_[((cur_tick_ & kSlotMask) >> 6)] &=
+          ~(std::uint64_t{1} << (cur_tick_ & 63));
+      // Sweep far-future events the window has slid over.
+      while (!overflow_.empty() &&
+             (overflow_.top().when >> kSlotShift) - cur_tick_ < kSlots) {
+        const Record r = overflow_.top();
+        overflow_.pop();
+        push_slot(r, r.when >> kSlotShift);
+      }
+      if (!v.empty()) continue;  // overflow sweep refilled the current slot
+      const std::uint32_t d = next_bit_distance();
+      std::uint64_t target;
+      if (d != 0) {
+        target = cur_tick_ + d;
+      } else if (!overflow_.empty()) {
+        target = overflow_.top().when >> kSlotShift;
+      } else {
+        if (cur_tick_ < max_tick && max_tick != ~std::uint64_t{0}) {
+          cur_tick_ = max_tick;
+        }
+        return false;
+      }
+      if (target > max_tick) {
+        if (cur_tick_ < max_tick) cur_tick_ = max_tick;
+        return false;
+      }
+      cur_tick_ = target;
+    }
+  }
+
+  void pop_dispatch() {
+    net::PoolVector<Record>& v = slots_[cur_tick_ & kSlotMask];
+    std::pop_heap(v.begin(), v.end(), LaterRec{});
+    const Record r = v.back();  // copy: handlers may grow/move the slot
+    v.pop_back();
+    now_ = r.when;
+    ++processed_;
+    --live_;
+    if (r.kind == kEventClosure) {
+      const auto ci = static_cast<std::uint32_t>(r.a);
+      InlineFunction fn = std::move(closures_[ci]);
+      closure_free_.push_back(ci);
+      fn();
+    } else {
+      const HandlerEntry& h = handlers_[r.kind];
+      h.fn(h.ctx, r.when, r.a, r.b);
+    }
+  }
+
+  // Pool-backed storage throughout: slot vectors, the overflow heap's
+  // backing vector and the closure slab all grow through the thread-local
+  // BytePool, so a warmed-up thread schedules events without touching the
+  // global heap.
+  net::PoolVector<Record> slots_[kSlots];
+  std::uint64_t bitmap_[kSlots / 64] = {};
+  std::uint64_t cur_tick_ = 0;
+  bool cur_heaped_ = false;  // current slot heapified (min on (when, seq))
+  std::priority_queue<Record, net::PoolVector<Record>, LaterRec> overflow_;
+
+  struct HandlerEntry {
+    void* ctx = nullptr;
+    Handler fn = nullptr;
+  };
+  HandlerEntry handlers_[kEventKindCount];
+
+  net::PoolVector<InlineFunction> closures_;
+  net::PoolVector<std::uint32_t> closure_free_;
+
   SimTime now_ = 0;
+  SimTime bulk_horizon_ = kNeverTime;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t clamped_ = 0;
+  std::uint64_t* clamp_cell_ = nullptr;
 };
 
 }  // namespace xmap::sim

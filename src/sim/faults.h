@@ -151,6 +151,14 @@ class FaultInjector {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
+  // The dial set a link of class `cls` is subject to. The network's bulk
+  // delivery path inspects this to decide which links need per-packet
+  // events (duplication and jitter change arrival times/counts; drops and
+  // corruption are keyed off stamps and packet bytes, so they batch).
+  [[nodiscard]] const LinkFaultParams& params(LinkClass cls) const {
+    return params_for(cls);
+  }
+
  private:
   [[nodiscard]] const LinkFaultParams& params_for(LinkClass cls) const;
 

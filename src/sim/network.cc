@@ -15,7 +15,47 @@ Network::Attachment Network::connect(NodeId a, NodeId b,
 
   node_links_[a].push_back(id);
   node_links_[b].push_back(id);
+  bulk_cached_ = -1;
+  run_prepared_ = false;
   return {id, link.a.iface, link.b.iface};
+}
+
+// Bulk eligibility: see the mode discussion in network.h. The per-link
+// strict flags let a fault plan with duplication/jitter dials keep bulk
+// delivery on every other link class.
+void Network::recompute_bulk() {
+  bool ok = bulk_user_enabled_ && !tracer_ &&
+            (trace_ == nullptr || !trace_->at(obs::TraceLevel::kPacket));
+  if (ok) {
+    for (const Link& link : links_) {
+      if (link.params.loss > 0 || link.params.rate_bps > 0) {
+        // Sequential-RNG loss and transmit-queue serialization both depend
+        // on global transmit order; no per-link fallback can save them.
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (ok) {
+    for (const auto& node : nodes_) {
+      if (node->time_sensitive()) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  link_strict_.assign(links_.size(), 0);
+  if (ok && faults_) {
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const LinkFaultParams& p =
+          faults_->params(links_[i].params.fault_class);
+      if (p.duplicate > 0 || p.jitter_ms > 0) link_strict_[i] = 1;
+    }
+  }
+  if (ok && channels_.size() < links_.size() * 2) {
+    channels_.resize(links_.size() * 2);
+  }
+  bulk_cached_ = ok ? 1 : 0;
 }
 
 void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
@@ -62,7 +102,6 @@ void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
     }
   }
 
-  const Endpoint dest = is_a ? link.b : link.a;
   const std::size_t size = packet.size();
 
   // Serialization delay: the sender's transmit queue frees up after
@@ -86,32 +125,126 @@ void Network::transmit(NodeId from, int iface, pkt::Bytes packet) {
     link.stats.bytes_ba += size;
   }
 
-  const auto deliver = [this, from, dest](const pkt::Bytes& p) {
-    if (faults_ && faults_->node_silent(dest.node, loop_.now())) {
-      faults_->note_silent_drop(dest.node, loop_.now());
-      return;
-    }
-    ++packets_delivered_;
-    if (delivered_cell_ != nullptr) ++*delivered_cell_;
-    if (trace_ != nullptr && trace_->at(obs::TraceLevel::kPacket)) {
-      obs::TraceEvent e;
-      e.ts = loop_.now();
-      e.name = "packet_hop";
-      e.cat = "net";
-      e.i0 = {"from", from};
-      e.i1 = {"to", dest.node};
-      e.i2 = {"bytes", p.size()};
-      trace_->add(e);
-    }
-    if (tracer_) tracer_(loop_.now(), from, dest.node, p);
-    nodes_[dest.node]->receive(p, dest.iface);
-  };
-  if (verdict.duplicate) {
-    loop_.schedule_at(arrive + kMicrosecond,
-                      [deliver, p = packet] { deliver(p); });
+  const std::uint32_t chan =
+      static_cast<std::uint32_t>(link_id) * 2 + (is_a ? 0u : 1u);
+  if (bulk_mode() && link_strict_[link_id] == 0) {
+    // Bulk links never see duplicate/jitter verdicts (those dials force
+    // the per-link strict flag), so one channel item per packet suffices.
+    chan_append(chan, arrive, std::move(packet));
+    return;
   }
-  loop_.schedule_at(arrive,
-                    [deliver, p = std::move(packet)] { deliver(p); });
+  if (verdict.duplicate) {
+    schedule_deliver(arrive + kMicrosecond, chan, packet);
+  }
+  schedule_deliver(arrive, chan, std::move(packet));
+}
+
+void Network::schedule_deliver(SimTime when, std::uint32_t chan,
+                               pkt::Bytes packet) {
+  std::uint32_t idx;
+  if (!pkt_free_.empty()) {
+    idx = pkt_free_.back();
+    pkt_free_.pop_back();
+    pkt_slab_[idx] = std::move(packet);
+  } else {
+    idx = static_cast<std::uint32_t>(pkt_slab_.size());
+    pkt_slab_.push_back(std::move(packet));
+  }
+  loop_.schedule_event(when, kEventDeliver, idx, chan);
+}
+
+void Network::on_deliver_event(void* ctx, SimTime when, std::uint64_t a,
+                               std::uint64_t b) {
+  auto* net = static_cast<Network*>(ctx);
+  const auto idx = static_cast<std::uint32_t>(a);
+  pkt::Bytes packet = std::move(net->pkt_slab_[idx]);
+  net->pkt_free_.push_back(idx);
+  net->deliver_one(static_cast<std::uint32_t>(b), when, std::move(packet));
+}
+
+void Network::chan_append(std::uint32_t chan, SimTime stamp,
+                          pkt::Bytes packet) {
+  assert(chan < channels_.size());  // sized by recompute_bulk()
+  Channel& c = channels_[chan];
+  if (c.items.size() > c.head && stamp < c.items.back().stamp) {
+    // A drain cascade produced a lower arrival stamp than an already-queued
+    // one (trains of different channels interleave out of stamp order).
+    // upper_bound keeps FIFO transmit order for equal stamps.
+    auto pos = std::upper_bound(
+        c.items.begin() + c.head, c.items.end(), stamp,
+        [](SimTime s, const ChanItem& item) { return s < item.stamp; });
+    c.items.insert(pos, ChanItem{stamp, std::move(packet)});
+  } else {
+    c.items.push_back(ChanItem{stamp, std::move(packet)});
+  }
+  const SimTime head_stamp = c.items[c.head].stamp;
+  if (head_stamp < c.armed_when) {
+    c.armed_when = head_stamp;
+    loop_.schedule_event(head_stamp, kEventChannelDrain, chan, head_stamp);
+  }
+}
+
+void Network::on_drain_event(void* ctx, SimTime /*when*/, std::uint64_t a,
+                             std::uint64_t b) {
+  auto* net = static_cast<Network*>(ctx);
+  Channel& c = net->channels_[static_cast<std::uint32_t>(a)];
+  EventLoop& loop = net->loop_;
+  // Payload b carries the armed stamp: an event superseded by a lower
+  // re-arm (its work already done by the earlier drain) returns without
+  // touching the channel, so stale drains never multiply.
+  if (static_cast<SimTime>(b) != c.armed_when) return;
+  // Deliver the run of packets whose stamps precede the bulk horizon —
+  // and, when an order observer (checkpoint hook) is registered, the next
+  // queued event, which reproduces exact per-event interleaving. Indices,
+  // not iterators: a delivery can cascade into an append on this very
+  // channel.
+  const SimTime horizon = loop.bulk_horizon();
+  const bool strict_order = net->order_observed_;
+  while (c.head < c.items.size()) {
+    const SimTime stamp = c.items[c.head].stamp;
+    if (stamp > horizon || (strict_order && stamp > loop.next_when())) break;
+    pkt::Bytes packet = std::move(c.items[c.head].bytes);
+    ++c.head;
+    loop.set_time(stamp);
+    net->deliver_one(static_cast<std::uint32_t>(a), stamp, std::move(packet));
+  }
+  if (c.head >= c.items.size()) {
+    c.items.clear();
+    c.head = 0;
+    c.armed_when = kNeverTime;
+  } else {
+    const SimTime head_stamp = c.items[c.head].stamp;
+    c.armed_when = head_stamp;
+    loop.schedule_event(head_stamp, kEventChannelDrain,
+                        static_cast<std::uint32_t>(a), head_stamp);
+  }
+}
+
+void Network::deliver_one(std::uint32_t chan, SimTime when,
+                          pkt::Bytes packet) {
+  const Link& link = links_[chan >> 1];
+  const bool to_b = (chan & 1) == 0;  // direction 0 = a->b
+  const Endpoint& dest = to_b ? link.b : link.a;
+  const NodeId from = to_b ? link.a.node : link.b.node;
+
+  if (faults_ && faults_->node_silent(dest.node, when)) {
+    faults_->note_silent_drop(dest.node, when);
+    return;
+  }
+  ++packets_delivered_;
+  if (delivered_cell_ != nullptr) ++*delivered_cell_;
+  if (trace_ != nullptr && trace_->at(obs::TraceLevel::kPacket)) {
+    obs::TraceEvent e;
+    e.ts = when;
+    e.name = "packet_hop";
+    e.cat = "net";
+    e.i0 = {"from", from};
+    e.i1 = {"to", dest.node};
+    e.i2 = {"bytes", packet.size()};
+    trace_->add(e);
+  }
+  if (tracer_) tracer_(when, from, dest.node, packet);
+  nodes_[dest.node]->receive(std::move(packet), dest.iface);
 }
 
 }  // namespace xmap::sim

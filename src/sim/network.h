@@ -4,8 +4,31 @@
 // propagation latency, serialization delay (bit rate) and random loss, and
 // keep per-direction traffic counters — the routing-loop amplification
 // experiments read those counters directly.
+//
+// Packet delivery runs in one of two modes:
+//
+//  * Strict mode: every hop is one typed event (kEventDeliver), popped in
+//    exact (timestamp, seq) order. Always correct, used whenever anything
+//    order-sensitive is attached (per-packet tracing, a delivery tracer,
+//    sequential-RNG link loss, serialization queues, or a node whose
+//    observable behaviour depends on cross-link packet interleaving).
+//
+//  * Bulk mode: each (link, direction) owns a persistent stamp-sorted
+//    channel of in-flight packets; one kEventChannelDrain event delivers a
+//    whole run of them, advancing the virtual clock to each packet's
+//    precomputed arrival stamp. Drains never run past the next queued
+//    event's timestamp, so every delivery still happens with all
+//    earlier-stamped events already processed — per-channel order is exact
+//    (timestamp, transmit-order ties), and cross-channel ties are the only
+//    freedom, which the eligibility gates restrict to nodes that declare
+//    themselves order-insensitive (time_sensitive() == false). Fault
+//    verdicts are keyed off (link, packet bytes, attempt, stamp), so
+//    drop/corrupt/flap dials batch; duplication and jitter change arrival
+//    times, so links under those dials individually fall back to strict
+//    per-packet events.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -31,8 +54,25 @@ class Node {
   virtual ~Node() = default;
 
   // Called when a packet arrives on interface `iface` (per-node numbering in
-  // order of connect() calls).
-  virtual void receive(const pkt::Bytes& packet, int iface) = 0;
+  // order of connect() calls). The packet is handed over by value so
+  // forwarding nodes can patch it in place and move it onward without a
+  // per-hop copy.
+  virtual void receive(pkt::Bytes packet, int iface) = 0;
+
+  // Bulk-delivery eligibility. Return false when this node's observable
+  // behaviour is a pure function of each packet's bytes and arrival
+  // timestamp (counters that only ever sum are fine). Return true (the
+  // conservative default) when behaviour depends on the interleaving of
+  // packets across different links — e.g. a token-bucket rate limiter, or
+  // a provisioning protocol whose allocations follow request order. One
+  // time-sensitive node pins the whole network to strict mode.
+  [[nodiscard]] virtual bool time_sensitive() const { return true; }
+
+  // Called once before event processing starts (and again after topology
+  // changes). Hook for deferred setup that would otherwise run lazily
+  // inside the measured hot path — routers compile their LC-trie
+  // forwarding index here. Must not schedule events or send packets.
+  virtual void prepare_run() {}
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] Network* network() const { return network_; }
@@ -73,7 +113,10 @@ struct LinkStats {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {}
+  explicit Network(std::uint64_t seed = 1) : rng_(seed), seed_(seed) {
+    loop_.register_handler(kEventDeliver, this, &Network::on_deliver_event);
+    loop_.register_handler(kEventChannelDrain, this, &Network::on_drain_event);
+  }
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -87,6 +130,8 @@ class Network {
     raw->network_ = this;
     raw->id_ = static_cast<NodeId>(nodes_.size());
     nodes_.push_back(std::move(node));
+    bulk_cached_ = -1;
+    run_prepared_ = false;
     return raw;
   }
   template <typename T, typename... Args>
@@ -114,11 +159,23 @@ class Network {
   // Runs the event loop to completion (bounded by max_events as a backstop).
   void run(std::uint64_t max_events = ~std::uint64_t{0}) {
     assert_confined();
+    prepare();
     loop_.run(max_events);
   }
   void run_until(SimTime deadline) {
     assert_confined();
+    prepare();
     loop_.run_until(deadline);
+  }
+
+  // Gives every node its prepare_run() callback (route-table compiles and
+  // similar deferred setup). run()/run_until() call this automatically the
+  // first time after a topology change; benchmarks call it explicitly so
+  // setup cost stays out of the timed region.
+  void prepare() {
+    if (run_prepared_) return;
+    run_prepared_ = true;
+    for (const auto& node : nodes_) node->prepare_run();
   }
 
   // A Network (and everything attached to it) is thread-confined: there is
@@ -138,12 +195,40 @@ class Network {
     return packets_delivered_;
   }
 
+  // True when the network delivers through bulk channels (recomputed
+  // lazily after any topology/fault/observability change). The scanner
+  // checks this to decide whether block-granular send events are safe.
+  [[nodiscard]] bool bulk_mode() {
+    if (bulk_cached_ < 0) recompute_bulk();
+    return bulk_cached_ != 0;
+  }
+  // Declares that something observes event-processing order, not just
+  // event stamps — today that is a checkpoint hook, whose "every record
+  // below the cursor is in hand" claim only holds under exact global
+  // stamp-order processing. While set, bulk trains (channel drains, scan
+  // block sweeps) cap every item at the loop's next queued event, exactly
+  // reproducing per-event interleaving. Without an observer the caps drop
+  // and a drain delivers its whole backlog in one dispatch; stamps are
+  // analytic either way, so stamped outputs are identical.
+  void set_order_observed(bool observed) { order_observed_ = observed; }
+  [[nodiscard]] bool order_observed() const { return order_observed_; }
+
+  // Master switch, default on. The bulk-vs-strict equivalence tests turn
+  // it off to produce the per-packet reference run. Set before run().
+  void set_bulk_enabled(bool enabled) {
+    bulk_user_enabled_ = enabled;
+    bulk_cached_ = -1;
+  }
+
   // Delivery tracer: called for every delivered packet (after loss, at
   // arrival time) — a pcap-style tap for debugging and the examples.
-  // Pass nullptr to disable.
+  // Pass nullptr to disable. Forces strict per-packet delivery.
   using Tracer = std::function<void(SimTime when, NodeId from, NodeId to,
                                     const pkt::Bytes& packet)>;
-  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+  void set_tracer(Tracer tracer) {
+    tracer_ = std::move(tracer);
+    bulk_cached_ = -1;
+  }
 
   // Installs (or replaces) the fault-injection layer. A plan with
   // seed == 0 inherits the network seed, so one seed still pins the whole
@@ -151,6 +236,7 @@ class Network {
   FaultInjector* install_faults(const FaultPlan& plan) {
     faults_ = std::make_unique<FaultInjector>(plan, seed_);
     faults_->set_obs(trace_, metrics_);
+    bulk_cached_ = -1;
     return faults_.get();
   }
   [[nodiscard]] FaultInjector* faults() const { return faults_.get(); }
@@ -175,7 +261,15 @@ class Network {
                   "icmp_rate_limited", {},
                   "ICMPv6 errors suppressed by device token buckets")
             : nullptr;
+    clamped_cell_ =
+        metrics != nullptr
+            ? metrics->counter("sim_events_clamped_total", {},
+                               "Events scheduled into the past and clamped "
+                               "to now (latent determinism bug)")
+            : nullptr;
+    loop_.set_clamp_cell(clamped_cell_);
     if (faults_) faults_->set_obs(trace, metrics);
+    bulk_cached_ = -1;
   }
 
   // Called by device nodes when their RFC 4443 ICMPv6 token bucket denies
@@ -208,8 +302,43 @@ class Network {
     SimTime next_free_ba = 0;
   };
 
+  // One in-flight packet inside a bulk channel.
+  struct ChanItem {
+    SimTime stamp;  // arrival time
+    pkt::Bytes bytes;
+  };
+  // Per-(link, direction) delivery channel: `items[head..)` sorted by
+  // arrival stamp (transmit-order FIFO for equal stamps), one armed drain
+  // event at the head stamp. Channel index = link * 2 + direction
+  // (0 = a->b, 1 = b->a).
+  struct Channel {
+    net::PoolVector<ChanItem> items;
+    std::uint32_t head = 0;
+    SimTime armed_when = kNeverTime;
+  };
+
   // Routes a transmit request from (node, iface) onto its link.
   void transmit(NodeId from, int iface, pkt::Bytes packet);
+
+  // Shared delivery tail for both modes: silent-node check, counters,
+  // trace, hand the packet to the destination node. `chan` encodes
+  // (link, direction); the loop clock equals `when` on entry.
+  void deliver_one(std::uint32_t chan, SimTime when, pkt::Bytes packet);
+
+  // Strict mode: parks the packet in the slab and schedules a typed
+  // delivery event.
+  void schedule_deliver(SimTime when, std::uint32_t chan, pkt::Bytes packet);
+
+  // Bulk mode: appends to the channel (sorted insert when a drain cascade
+  // produced an out-of-order arrival stamp) and arms a drain if needed.
+  void chan_append(std::uint32_t chan, SimTime stamp, pkt::Bytes packet);
+
+  static void on_deliver_event(void* ctx, SimTime when, std::uint64_t a,
+                               std::uint64_t b);
+  static void on_drain_event(void* ctx, SimTime when, std::uint64_t a,
+                             std::uint64_t b);
+
+  void recompute_bulk();
 
   EventLoop loop_;
   net::Rng rng_;
@@ -219,6 +348,7 @@ class Network {
   obs::MetricsShard* metrics_ = nullptr;
   std::uint64_t* delivered_cell_ = nullptr;
   std::uint64_t* icmp_limited_cell_ = nullptr;
+  std::uint64_t* clamped_cell_ = nullptr;
   std::unique_ptr<FaultInjector> faults_;
 #ifndef NDEBUG
   std::thread::id owner_{};  // set by the first run(); see assert_confined()
@@ -228,6 +358,18 @@ class Network {
   // node_links_[node][iface] == link id (interfaces are dense per node).
   std::vector<std::vector<LinkId>> node_links_;
   std::uint64_t packets_delivered_ = 0;
+
+  // Bulk-delivery state.
+  // Pool-backed so the lazy recompute inside run() stays off the global
+  // heap once the thread-local pool is warm.
+  net::PoolVector<Channel> channels_;          // 2 per link, lazily sized
+  net::PoolVector<std::uint8_t> link_strict_;  // per-link fall-back flag
+  net::PoolVector<pkt::Bytes> pkt_slab_;   // strict-mode in-flight packets
+  net::PoolVector<std::uint32_t> pkt_free_;
+  bool bulk_user_enabled_ = true;
+  bool run_prepared_ = false;
+  bool order_observed_ = false;
+  int bulk_cached_ = -1;  // -1 unknown, else 0/1
 };
 
 inline void Node::send(int iface, pkt::Bytes packet) {

@@ -40,7 +40,7 @@ bool IcmpRateLimiter::allow(sim::SimTime now) {
 // Router
 // ---------------------------------------------------------------------------
 
-void Router::receive(const pkt::Bytes& packet, int iface) {
+void Router::receive(pkt::Bytes packet, int iface) {
   ++counters_.received;
   if (provisioner_ != nullptr &&
       provisioner_->maybe_handle(packet, iface, [this](int ifc, pkt::Bytes p) {
@@ -80,8 +80,9 @@ void Router::receive(const pkt::Bytes& packet, int iface) {
       ++counters_.dropped;
       return;
     case RouteAction::kForward: {
-      pkt::Bytes fwd = packet;
-      if (!pkt::decrement_hop_limit(fwd)) {
+      // decrement_hop_limit leaves the packet untouched on expiry, so the
+      // error can quote it as received — no copy needed to forward.
+      if (!pkt::decrement_hop_limit(packet)) {
         ++counters_.dropped;
         send_error(pkt::Icmpv6Type::kTimeExceeded,
                    static_cast<std::uint8_t>(
@@ -90,7 +91,7 @@ void Router::receive(const pkt::Bytes& packet, int iface) {
         return;
       }
       ++counters_.forwarded;
-      emit(route->iface, std::move(fwd));
+      emit(route->iface, std::move(packet));
       return;
     }
   }
@@ -158,7 +159,7 @@ void Router::send_error(pkt::Icmpv6Type type, std::uint8_t code,
 // CpeRouter
 // ---------------------------------------------------------------------------
 
-void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
+void CpeRouter::receive(pkt::Bytes packet, int iface) {
   ++counters_.received;
   if (provision_active_ && handle_provisioning(packet)) return;
   pkt::Ipv6View ip{packet};
@@ -182,8 +183,7 @@ void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
   //    the error that exposes its WAN address to the scanner (Section III).
   if (config_.subnet_prefix.contains(dst)) {
     if (lan_hosts_.count(dst) != 0 && lan_iface_ >= 0) {
-      pkt::Bytes fwd = packet;
-      if (!pkt::decrement_hop_limit(fwd)) {
+      if (!pkt::decrement_hop_limit(packet)) {
         send_error(pkt::Icmpv6Type::kTimeExceeded,
                    static_cast<std::uint8_t>(
                        pkt::TimeExceededCode::kHopLimitExceeded),
@@ -191,7 +191,7 @@ void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
         return;
       }
       ++counters_.forwarded;
-      send(lan_iface_, std::move(fwd));
+      send(lan_iface_, std::move(packet));
       return;
     }
     if (lan_hosts_.count(dst) != 0) {
@@ -213,7 +213,7 @@ void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
   //    firmware lets it match the default route -> loop.
   if (config_.lan_prefix.contains(dst)) {
     if (config_.loop_lan) {
-      forward_wan(packet, /*looping=*/true);
+      forward_wan(std::move(packet), /*looping=*/true);
     } else {
       ++counters_.dropped;
       send_error(pkt::Icmpv6Type::kDestUnreachable,
@@ -226,7 +226,7 @@ void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
   // 4. Our WAN /64 but not our address ("NX WAN Address").
   if (config_.wan_prefix.contains(dst)) {
     if (config_.loop_wan) {
-      forward_wan(packet, /*looping=*/true);
+      forward_wan(std::move(packet), /*looping=*/true);
     } else {
       ++counters_.dropped;
       send_error(
@@ -242,7 +242,7 @@ void CpeRouter::receive(const pkt::Bytes& packet, int iface) {
   //    foreign destination are bounced back the same way — the ISP's
   //    routing, not ours, decides whether that loops.
   (void)iface;
-  forward_wan(packet, /*looping=*/false);
+  forward_wan(std::move(packet), /*looping=*/false);
 }
 
 void CpeRouter::forward_wan(pkt::Bytes packet, bool looping) {
@@ -254,12 +254,13 @@ void CpeRouter::forward_wan(pkt::Bytes packet, bool looping) {
       return;
     }
   }
-  const pkt::Bytes original = packet;  // for the Time Exceeded quote
+  // decrement_hop_limit leaves the packet untouched on expiry, so the Time
+  // Exceeded error quotes it exactly as received — no copy needed.
   if (!pkt::decrement_hop_limit(packet)) {
     send_error(
         pkt::Icmpv6Type::kTimeExceeded,
         static_cast<std::uint8_t>(pkt::TimeExceededCode::kHopLimitExceeded),
-        original);
+        packet);
     return;
   }
   ++counters_.forwarded;
@@ -389,7 +390,7 @@ bool CpeRouter::handle_provisioning(const pkt::Bytes& packet) {
 // UeDevice
 // ---------------------------------------------------------------------------
 
-void UeDevice::receive(const pkt::Bytes& packet, int iface) {
+void UeDevice::receive(pkt::Bytes packet, int iface) {
   ++counters_.received;
   pkt::Ipv6View ip{packet};
   if (!ip.valid() || ip.dst().is_multicast() || ip.dst().is_link_local()) {
@@ -447,7 +448,7 @@ void UeDevice::receive(const pkt::Bytes& packet, int iface) {
 // AliasedPrefixHost
 // ---------------------------------------------------------------------------
 
-void AliasedPrefixHost::receive(const pkt::Bytes& packet, int iface) {
+void AliasedPrefixHost::receive(pkt::Bytes packet, int iface) {
   ++counters_.received;
   pkt::Ipv6View ip{packet};
   if (!ip.valid() || !prefix_.contains(ip.dst())) {
@@ -467,7 +468,7 @@ void AliasedPrefixHost::receive(const pkt::Bytes& packet, int iface) {
 // LanHost
 // ---------------------------------------------------------------------------
 
-void LanHost::receive(const pkt::Bytes& packet, int iface) {
+void LanHost::receive(pkt::Bytes packet, int iface) {
   ++counters_.received;
   pkt::Ipv6View ip{packet};
   if (!ip.valid() || ip.dst() != address_) {

@@ -114,7 +114,18 @@ class Router : public sim::Node {
   }
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
+
+  // Stamp-pure unless the ICMPv6 token bucket is live (its refill depends
+  // on inter-arrival order across links) or a provisioning plane is
+  // attached (allocations follow request order).
+  [[nodiscard]] bool time_sensitive() const override {
+    return config_.icmp_rate_per_sec > 0 || provisioner_ != nullptr;
+  }
+
+  // Compile the LC-trie forwarding index up front; lazily it would build
+  // on the first lookup, inside the measured scan.
+  void prepare_run() override { table_.compile(); }
 
  protected:
   // Local delivery hook; the base answers ICMPv6 echo.
@@ -197,7 +208,14 @@ class CpeRouter : public sim::Node {
   void set_icmp_filtered(bool filtered) { icmp_filtered_ = filtered; }
   [[nodiscard]] bool icmp_filtered() const { return icmp_filtered_; }
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
+
+  // Stamp-pure unless rate-limiting ICMPv6 errors or provisioned over the
+  // wire (the DHCPv6-PD exchange is a stateful protocol conversation).
+  [[nodiscard]] bool time_sensitive() const override {
+    return config_.icmp_rate_per_sec > 0 || provision_active_ ||
+           provision_done_;
+  }
 
  private:
   static constexpr int kWanIface = 0;
@@ -247,7 +265,11 @@ class UeDevice : public sim::Node {
 
   void set_icmp_filtered(bool filtered) { icmp_filtered_ = filtered; }
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
+
+  [[nodiscard]] bool time_sensitive() const override {
+    return config_.icmp_rate_per_sec > 0;
+  }
 
  private:
   Config config_;
@@ -272,7 +294,10 @@ class AliasedPrefixHost : public sim::Node {
   [[nodiscard]] const net::Ipv6Prefix& prefix() const { return prefix_; }
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
+
+  // Pure function of the probed address: bulk-safe.
+  [[nodiscard]] bool time_sensitive() const override { return false; }
 
  private:
   net::Ipv6Prefix prefix_;
@@ -290,7 +315,10 @@ class LanHost : public sim::Node {
   [[nodiscard]] svc::ServiceHost& services() { return services_; }
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
+
+  // Echo + stateless services (keyed-hash sequence numbers): bulk-safe.
+  [[nodiscard]] bool time_sensitive() const override { return false; }
 
  private:
   net::Ipv6Address address_;

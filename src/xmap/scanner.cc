@@ -71,12 +71,6 @@ const std::vector<std::uint64_t> kRttBoundsNs = {
 // two sim-seconds is conservatively past all of them.
 constexpr sim::SimTime kStableHorizonNs = 2 * sim::kSecond;
 
-// Fresh targets drawn per schedule_fresh() dispatch on the deterministic
-// path. Send times are pure slot functions, so pulling permutation draws in
-// blocks changes only how often the generate stage runs — not one wire
-// byte. Budget/shutdown checks stay per-draw inside next_target().
-constexpr std::uint64_t kFreshBatch = 256;
-
 }  // namespace
 
 std::uint64_t compute_budget_cut(const std::vector<TargetSpec>& targets,
@@ -377,6 +371,65 @@ void SimChannelScanner::schedule_fresh() {
   // send times depend only on (seed, targets, rate, retries) — never on
   // shard count or thread count. Draws come in blocks; the next block is
   // armed on the last target's copy-0 send.
+  //
+  // Bulk block path: the whole draw batch becomes ONE typed event per copy
+  // sweep (see run_block_copy) instead of count*copies closures. Decided on
+  // the first dispatch — which runs inside Network::run(), after every
+  // connect/install_faults/set_obs call — so the network's bulk verdict is
+  // final by now.
+  if (use_blocks_ < 0) {
+    use_blocks_ = (!config_.adaptive_rate && !config_.legacy_hot_path &&
+                   (trace_ == nullptr ||
+                    !trace_->at(obs::TraceLevel::kScan)) &&
+                   network()->bulk_mode())
+                      ? 1
+                      : 0;
+    if (use_blocks_ != 0) {
+      network()->loop().register_handler(sim::kEventScanBlock, this,
+                                         &SimChannelScanner::on_block_event);
+    }
+  }
+  if (use_blocks_ != 0) {
+    std::uint32_t bidx;
+    if (!block_free_.empty()) {
+      bidx = block_free_.back();
+      block_free_.pop_back();
+    } else {
+      bidx = static_cast<std::uint32_t>(blocks_.size());
+      blocks_.emplace_back();
+    }
+    SendBlock& blk = blocks_[bidx];
+    blk.count = 0;
+    bool more = true;
+    for (std::uint64_t b = 0; b < kFreshBatch; ++b) {
+      if (!draw_fresh(target, raw_slot)) {
+        more = false;
+        fresh_done_ = true;
+        break;
+      }
+      blk.targets[blk.count] = target;
+      blk.raw_slots[blk.count] = raw_slot;
+      ++blk.count;
+      pending_sends_ += static_cast<std::uint64_t>(copies_);
+    }
+    if (blk.count == 0) {
+      block_free_.push_back(bidx);
+      maybe_finish_sending();
+      return;
+    }
+    blk.rearm = more;
+    blk.live_copies = static_cast<std::uint32_t>(copies_);
+    for (int c = 0; c < copies_; ++c) {
+      const sim::SimTime tc =
+          copy_time(blk.raw_slots[0], static_cast<std::uint32_t>(c));
+      network()->loop().schedule_event(
+          tc, sim::kEventScanBlock, bidx,
+          static_cast<std::uint64_t>(c) << 32);
+    }
+    if (!more) maybe_finish_sending();
+    return;
+  }
+
   const std::uint64_t batch = config_.legacy_hot_path ? 1 : kFreshBatch;
   for (std::uint64_t b = 0; b < batch; ++b) {
     if (!draw_fresh(target, raw_slot)) {
@@ -402,6 +455,53 @@ void SimChannelScanner::schedule_fresh() {
       });
     }
   }
+}
+
+void SimChannelScanner::on_block_event(void* ctx, sim::SimTime /*when*/,
+                                       std::uint64_t a, std::uint64_t b) {
+  auto* self = static_cast<SimChannelScanner*>(ctx);
+  self->run_block_copy(static_cast<std::uint32_t>(a),
+                       static_cast<std::uint32_t>(b >> 32),
+                       static_cast<std::uint32_t>(b & 0xffffffffu));
+}
+
+void SimChannelScanner::run_block_copy(std::uint32_t bidx, std::uint32_t copy,
+                                       std::uint32_t idx) {
+  sim::EventLoop& loop = network()->loop();
+  const sim::SimTime horizon = loop.bulk_horizon();
+  SendBlock& blk = blocks_[bidx];
+  // A checkpoint hook claims "every record below the cursor is in hand"
+  // at the instant it fires (at a block rearm), which only holds if the
+  // sweep never overtakes a queued delivery or response. With an order
+  // observer registered, cap every send at next_when() — exact global
+  // stamp order, the same schedule the per-event path runs. Without one,
+  // nothing observes processing order (all stamps are analytic), so the
+  // sweep runs free to the horizon and drains batch whole latency-windows
+  // of packets.
+  const bool strict_order = network()->order_observed();
+  while (idx < blk.count) {
+    const sim::SimTime tc = copy_time(blk.raw_slots[idx], copy);
+    if (tc > horizon || (strict_order && tc > loop.next_when())) {
+      // Park the rest of this sweep as a fresh event carrying the resume
+      // index.
+      loop.schedule_event(tc, sim::kEventScanBlock, bidx,
+                          (static_cast<std::uint64_t>(copy) << 32) | idx);
+      return;
+    }
+    // Every send is stamped with its analytic slot time, exactly as the
+    // per-copy closure would have been dispatched at.
+    loop.set_time(tc);
+    send_copy(blk.targets[idx], static_cast<int>(copy));
+    ++idx;
+  }
+  // Sweep complete. Copy 0 of a full block re-arms the draw loop at the
+  // last target's copy-0 slot — the same stamp the strict path's rearm
+  // closure fires at — so checkpoint cursors and fresh_done_ timing are
+  // identical in both modes. Free before re-arming: schedule_fresh may
+  // grow blocks_, invalidating `blk`.
+  const bool rearm = blk.rearm && copy == 0;
+  if (--blk.live_copies == 0) block_free_.push_back(bidx);
+  if (rearm) schedule_fresh();
 }
 
 std::uint64_t SimChannelScanner::frontier_slot() const {
@@ -518,7 +618,10 @@ void SimChannelScanner::send_copy(const net::Ipv6Address& target, int copy) {
   if (progress_ != nullptr) {
     progress_->sent.fetch_add(1, std::memory_order_relaxed);
   }
-  stats_.last_send = network()->now();
+  // Max, not assignment: block sweeps execute different copies' sends out
+  // of global stamp order, and the cooldown deadline must anchor on the
+  // latest send stamp either way.
+  stats_.last_send = std::max(stats_.last_send, network()->now());
   maybe_finish_sending();
 }
 
@@ -575,7 +678,7 @@ void SimChannelScanner::adapt_rate() {
   window_end_ = network()->now() + sim::kSecond / 2;
 }
 
-void SimChannelScanner::receive(const pkt::Bytes& packet, int /*iface*/) {
+void SimChannelScanner::receive(pkt::Bytes packet, int /*iface*/) {
   obs::ScopedStageTimer timer{profile_, obs::Stage::kReceive};
   const bool scan_trace =
       trace_ != nullptr && trace_->at(obs::TraceLevel::kScan);

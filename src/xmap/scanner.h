@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "netbase/flat_hash64.h"
+#include "netbase/pool.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -154,6 +155,12 @@ class SimChannelScanner : public sim::Node {
   void set_checkpoint_hook(std::uint64_t every_targets, CheckpointHook hook) {
     checkpoint_every_ = every_targets;
     checkpoint_hook_ = std::move(hook);
+    // The hook's "every record below the cursor is in hand" claim
+    // observes processing order, not just stamps: pin the network's bulk
+    // trains to exact per-event interleaving.
+    if (network() != nullptr && checkpoint_hook_ && checkpoint_every_ != 0) {
+      network()->set_order_observed(true);
+    }
   }
 
   // Optional live-telemetry sink (not owned; may be shared by several
@@ -191,9 +198,20 @@ class SimChannelScanner : public sim::Node {
   // meaningful without adaptive_rate.
   [[nodiscard]] ScanCursor stable_cursor() const;
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
+
+  // The scanner never generates load-dependent behavior on its own: send
+  // times are analytic slot functions and response handling is stateless in
+  // time, so it does not veto the network's bulk-delivery mode.
+  [[nodiscard]] bool time_sensitive() const override { return false; }
 
  private:
+  // Fresh targets drawn per schedule_fresh() dispatch on the deterministic
+  // path. Send times are pure slot functions, so pulling permutation draws
+  // in blocks changes only how often the generate stage runs — not one wire
+  // byte. Budget/shutdown checks stay per-draw inside next_target().
+  static constexpr std::uint64_t kFreshBatch = 256;
+
   // Draws the next permitted target and its global raw-cycle position;
   // false when all specs are exhausted, the budget cut is reached, or a
   // shutdown was requested (the un-drawn frontier stays intact for
@@ -210,6 +228,23 @@ class SimChannelScanner : public sim::Node {
   void schedule_fresh();
   void send_copy(const net::Ipv6Address& target, int copy);
   void maybe_finish_sending();
+  // Bulk block path: one kEventScanBlock event walks a whole block's worth
+  // of copy-`copy` sends starting at target index `idx`, stamping each send
+  // with its analytic slot time via EventLoop::set_time. The run re-arms
+  // itself (same event kind, updated index) when it crosses the loop's bulk
+  // horizon.
+  void run_block_copy(std::uint32_t bidx, std::uint32_t copy,
+                      std::uint32_t idx);
+  static void on_block_event(void* ctx, sim::SimTime when, std::uint64_t a,
+                             std::uint64_t b);
+  [[nodiscard]] sim::SimTime copy_time(std::uint64_t raw_slot,
+                                       std::uint32_t copy) const {
+    const std::uint64_t slot =
+        raw_slot * static_cast<std::uint64_t>(copies_) +
+        static_cast<std::uint64_t>(copy) *
+            (spacing_periods_ * static_cast<std::uint64_t>(copies_) + 1);
+    return static_cast<sim::SimTime>(slot) * gap_ns_;
+  }
   void adapt_rate();
   [[nodiscard]] std::uint64_t frontier_slot() const;
   [[nodiscard]] ScanCursor cursor_at_slot(std::uint64_t slot) const;
@@ -289,6 +324,27 @@ class SimChannelScanner : public sim::Node {
 
   std::uint64_t pending_sends_ = 0;  // copies scheduled but not yet fired
   sim::SimTime recv_deadline_ = ~sim::SimTime{0};
+
+  // Block-batched sending (bulk mode). A SendBlock holds one
+  // schedule_fresh() draw batch; each of its 1+retries copy sweeps is a
+  // single typed event instead of count*copies closures. Blocks live in a
+  // pool-backed slab recycled through a free list, so steady-state
+  // scanning allocates nothing. Decided lazily on the first
+  // schedule_fresh() (i.e. inside Network::run(), after all world setup):
+  // requires deterministic pacing, the template hot path, no scan-level
+  // tracing (trace insertion order would differ), and the network's bulk
+  // mode. Exactly one scanner may be actively sending per event loop —
+  // the block handler registration is latest-wins.
+  struct SendBlock {
+    net::Ipv6Address targets[kFreshBatch];
+    std::uint64_t raw_slots[kFreshBatch];
+    std::uint32_t count = 0;
+    std::uint32_t live_copies = 0;
+    bool rearm = false;  // copy-0 completion draws the next block
+  };
+  int use_blocks_ = -1;  // -1 undecided, else 0/1
+  net::PoolVector<SendBlock> blocks_;
+  net::PoolVector<std::uint32_t> block_free_;
 
   // Probe provenance for slotted callbacks: addr-key -> raw slot of the
   // drawn target (populated only when a slotted callback is installed).

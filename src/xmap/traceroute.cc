@@ -56,7 +56,7 @@ void TracerouteRunner::trace(const net::Ipv6Address& target) {
   }
 }
 
-void TracerouteRunner::receive(const pkt::Bytes& packet, int /*iface*/) {
+void TracerouteRunner::receive(pkt::Bytes packet, int /*iface*/) {
   auto response = module_.classify(packet, config_.source, config_.seed);
   if (!response) return;
   TraceHop hop;

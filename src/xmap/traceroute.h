@@ -78,7 +78,7 @@ class TracerouteRunner : public sim::Node {
 
   [[nodiscard]] std::vector<TraceResult> results() const;
 
-  void receive(const pkt::Bytes& packet, int iface) override;
+  void receive(pkt::Bytes packet, int iface) override;
 
  private:
   Config config_;

@@ -43,6 +43,42 @@ TEST(ChecksumProperty, MatchesNaiveOnEveryLengthAndAlignment) {
   }
 }
 
+TEST(ChecksumProperty, SimdPathMatchesReferenceAccumulator) {
+  // Lengths chosen to straddle the SIMD dispatch threshold (128 bytes) and
+  // its 64-byte block granularity, crossed with unaligned starts and odd
+  // tails. The accumulators only have to agree mod 0xffff (and share
+  // zeroness) — compare folded and finished forms, plus a chained second
+  // region to catch a mis-combined carry-in.
+  Rng rng{0xbadcab1e};
+  std::vector<std::uint8_t> buf(4096 + 64);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  const std::size_t lens[] = {64,  127, 128, 129, 192, 255,  256, 1279,
+                              1280, 1281, 1337, 2048, 4095, 4096};
+  for (std::size_t offset = 0; offset < 33; offset += offset < 4 ? 1 : 13) {
+    for (const std::size_t len : lens) {
+      const std::span<const std::uint8_t> s{buf.data() + offset, len};
+      const std::uint32_t fast = checksum_accumulate(s);
+      const std::uint32_t ref = checksum_accumulate_reference(s);
+      EXPECT_EQ(checksum_fold(fast) % 0xffff, checksum_fold(ref) % 0xffff)
+          << "offset=" << offset << " len=" << len;
+      EXPECT_EQ(fast == 0, ref == 0) << "offset=" << offset << " len=" << len;
+      EXPECT_EQ(checksum_finish(fast), naive_checksum(s))
+          << "offset=" << offset << " len=" << len;
+      // Chained: feed each accumulator form into a second even-length
+      // region and require identical final checksums.
+      const std::span<const std::uint8_t> s2{buf.data(), 256};
+      EXPECT_EQ(checksum_finish(checksum_accumulate(s2, fast)),
+                checksum_finish(checksum_accumulate_reference(s2, ref)))
+          << "offset=" << offset << " len=" << len;
+    }
+  }
+  // All-zero data must yield a zero accumulator on both paths (the one
+  // congruence class where 0 and 0xffff differ after ~).
+  const std::vector<std::uint8_t> zeros(512, 0);
+  EXPECT_EQ(checksum_accumulate(zeros), 0u);
+  EXPECT_EQ(checksum_accumulate_reference(zeros), 0u);
+}
+
 TEST(ChecksumProperty, EvenChunkedAccumulationMatchesWholeBuffer) {
   Rng rng{7};
   std::vector<std::uint8_t> buf(512);

@@ -202,7 +202,7 @@ TEST(FaultInjector, DuplicateAndCorruptVerdictsAreCounted) {
 
 class SinkNode : public Node {
  public:
-  void receive(const pkt::Bytes& packet, int) override {
+  void receive(pkt::Bytes packet, int) override {
     packets.push_back(packet);
     times.push_back(network()->now());
   }

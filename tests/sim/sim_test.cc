@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "netbase/random.h"
 #include "packet/packet.h"
 #include "sim/event_loop.h"
 #include "sim/network.h"
@@ -43,12 +46,120 @@ TEST(EventLoop, NestedSchedulingAdvancesClock) {
 }
 
 TEST(EventLoop, PastEventsClampToNow) {
+  // Scheduling into the past is a latent determinism bug in the caller:
+  // debug builds trap on the assert, release builds clamp to now() and
+  // expose the count (wired to sim_events_clamped_total by Network).
+  auto schedule_past = [](EventLoop& loop) {
+    loop.schedule_after(100, [&] { loop.schedule_at(10, [] {}); });
+    loop.run();
+  };
+#ifdef NDEBUG
   EventLoop loop;
-  loop.schedule_after(100, [&] {
-    loop.schedule_at(10, [] {});  // in the past: runs at now()
-  });
-  loop.run();
+  EXPECT_EQ(loop.clamped(), 0u);
+  schedule_past(loop);
   EXPECT_EQ(loop.now(), 100u);
+  EXPECT_EQ(loop.clamped(), 1u);
+#else
+  EXPECT_DEATH(
+      {
+        EventLoop loop;
+        schedule_past(loop);
+      },
+      "scheduled in the past");
+#endif
+}
+
+// Records every dispatched id so pop order can be compared to a sorted
+// reference. Ids arrive via typed-event payload `a`.
+struct PopRecorder {
+  std::vector<int> popped;
+  static void handle(void* ctx, SimTime /*when*/, std::uint64_t a,
+                     std::uint64_t /*b*/) {
+    static_cast<PopRecorder*>(ctx)->popped.push_back(static_cast<int>(a));
+  }
+};
+
+TEST(EventLoop, WheelPopOrderMatchesHeapReference) {
+  // Property: whatever mix of in-wheel, tied, far-future (overflow heap)
+  // and nested schedules arrives, pop order equals the (when, seq) sort a
+  // reference heap would produce — seq being global schedule order, so
+  // equal timestamps dispatch FIFO. Random streams cross the wheel span
+  // (4096 slots x 1024 ns) to force overflow parking and migration, and
+  // run_until() cuts land mid-slot to test deadline re-entry.
+  net::Rng rng{0x8e11};
+  for (int round = 0; round < 25; ++round) {
+    EventLoop loop;
+    PopRecorder rec;
+    loop.register_handler(kEventDeliver, &rec, &PopRecorder::handle);
+    std::vector<std::pair<SimTime, int>> ref;  // (when, id) in schedule order
+    int next_id = 0;
+    SimTime max_when = 0;
+    auto schedule = [&](SimTime when) {
+      ref.emplace_back(when, next_id);
+      max_when = std::max(max_when, when);
+      // Alternate closure and typed-event paths: both must obey the same
+      // ordering contract.
+      if (next_id % 2 == 0) {
+        const int id = next_id;
+        loop.schedule_at(when, [&rec, id] { rec.popped.push_back(id); });
+      } else {
+        loop.schedule_event(when, kEventDeliver,
+                            static_cast<std::uint64_t>(next_id), 0);
+      }
+      ++next_id;
+    };
+    const std::uint64_t kinds = 3 + rng.uniform(3);
+    for (int i = 0; i < 400; ++i) {
+      const std::uint64_t pick = rng.uniform(kinds);
+      if (pick == 0) {
+        // Tie cluster: timestamps rounded to a coarse grid.
+        schedule(64 * rng.uniform(64));
+      } else if (pick == 1) {
+        // Far future: multiple wheel revolutions out, lands in the
+        // overflow heap and must migrate back in order.
+        schedule(4096 * 1024 + rng.uniform(64u * 1024 * 1024));
+      } else {
+        schedule(rng.uniform(4096 * 1024));
+      }
+    }
+    // Nested: a handful of events schedule follow-ups relative to their own
+    // dispatch time, including zero-delay (same timestamp, later seq).
+    for (int i = 0; i < 20; ++i) {
+      const SimTime base = rng.uniform(4096 * 1024);
+      const SimTime delay = (i % 4 == 0) ? 0 : rng.uniform(512 * 1024);
+      ref.emplace_back(base, next_id);
+      const int outer = next_id++;
+      // The follow-up's seq is assigned at dispatch time, which is exactly
+      // when the reference learns about it too (appended mid-drain below).
+      loop.schedule_at(base, [&, outer, delay] {
+        rec.popped.push_back(outer);
+        ref.emplace_back(loop.now() + delay, next_id);
+        max_when = std::max(max_when, loop.now() + delay);
+        const int inner = next_id++;
+        loop.schedule_at(loop.now() + delay,
+                         [&rec, inner] { rec.popped.push_back(inner); });
+      });
+    }
+    // Drain in run_until() chunks with deadlines landing anywhere,
+    // including mid-slot and inside tie clusters, then finish with run().
+    SimTime deadline = 0;
+    for (int cut = 0; cut < 6; ++cut) {
+      deadline += rng.uniform(max_when / 4 + 1);
+      loop.run_until(deadline);
+    }
+    loop.run();
+    // Reference order: stable sort on when; ref holds schedule order, so
+    // stability reproduces the FIFO seq tie-break.
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    ASSERT_EQ(rec.popped.size(), ref.size()) << "round=" << round;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(rec.popped[i], ref[i].second)
+          << "round=" << round << " pos=" << i;
+    }
+  }
 }
 
 TEST(EventLoop, RunUntilStopsAtDeadline) {
@@ -75,7 +186,7 @@ TEST(EventLoop, MaxEventsBudget) {
 // A node that records everything it receives.
 class SinkNode : public Node {
  public:
-  void receive(const pkt::Bytes& packet, int iface) override {
+  void receive(pkt::Bytes packet, int iface) override {
     received.push_back({packet, iface, network()->now()});
   }
   struct Rx {
@@ -89,7 +200,7 @@ class SinkNode : public Node {
 // A node that sends a fixed packet when poked.
 class SourceNode : public Node {
  public:
-  void receive(const pkt::Bytes&, int) override {}
+  void receive(pkt::Bytes, int) override {}
   void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }
 };
 

@@ -165,7 +165,7 @@ TEST_F(BuiltWorld, ProbeElicitsUnreachableEndToEnd) {
   // topology: probe one allocated slot through the core.
   class Collector : public sim::Node {
    public:
-    void receive(const pkt::Bytes& packet, int) override {
+    void receive(pkt::Bytes packet, int) override {
       received.push_back(packet);
     }
     void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }

@@ -18,7 +18,7 @@ Ipv6Address addr(const char* text) { return *Ipv6Address::parse(text); }
 // Captures everything it receives.
 class Probe : public sim::Node {
  public:
-  void receive(const pkt::Bytes& packet, int) override {
+  void receive(pkt::Bytes packet, int) override {
     received.push_back(packet);
   }
   void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }

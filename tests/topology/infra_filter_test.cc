@@ -15,7 +15,7 @@ using net::Ipv6Prefix;
 
 class Probe : public sim::Node {
  public:
-  void receive(const pkt::Bytes& packet, int) override {
+  void receive(pkt::Bytes packet, int) override {
     received.push_back(packet);
   }
   void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }

@@ -192,7 +192,7 @@ TEST(Provisioning, ProvisionedCpeAnswersDiscoveryProbes) {
   // Probe a nonexistent address in the acquired subnet through the ISP.
   class Probe : public sim::Node {
    public:
-    void receive(const pkt::Bytes& packet, int) override {
+    void receive(pkt::Bytes packet, int) override {
       received.push_back(packet);
     }
     void emit(int iface, pkt::Bytes p) { send(iface, std::move(p)); }

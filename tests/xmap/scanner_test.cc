@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -434,6 +435,77 @@ TEST(ScannerIntegration, FaultCountersUpholdTheAccountingInvariant) {
     EXPECT_TRUE(truth.count(hop.address))
         << "corrupted packet validated: " << hop.address.to_string();
   }
+}
+
+TEST(ScannerIntegration, BulkDeliveryMatchesPerPacketPath) {
+  // The bulk fast path (channel trains + block sweeps) must be a pure
+  // reordering of processing, never of results: over a fault-injected
+  // world (duplication + corruption forcing per-link strict fallback,
+  // silent windows pruning deliveries), the canonicalized record stream
+  // and the full accounting stats must match the per-packet path exactly.
+  // Also run with a checkpoint hook armed, which flips the network into
+  // strict (order-observed) bulk mode — same requirement.
+  auto run = [](bool bulk, bool hook) {
+    ScanWorld world{8};
+    sim::FaultPlan plan;
+    plan.access.duplicate = 0.3;
+    plan.access.corrupt = 0.1;
+    plan.silent.fraction = 0.25;
+    plan.silent.start_ms = 5;
+    sim::FaultInjector* inj = world.net.install_faults(plan);
+    std::vector<sim::NodeId> candidates;
+    for (const auto& dev : world.internet.isps[5].devices) {
+      candidates.push_back(dev.node);
+    }
+    inj->choose_silent(candidates);
+    world.net.set_bulk_enabled(bulk);
+    IcmpEchoProbe probe{64};
+    ScanConfig cfg;
+    for (int i : {0, 5}) {
+      const auto& isp = world.internet.isps[static_cast<std::size_t>(i)];
+      cfg.targets.push_back(
+          TargetSpec{isp.scan_base, isp.window_lo, isp.window_hi});
+    }
+    cfg.source = kScannerAddr;
+    cfg.seed = 7;
+    cfg.probes_per_sec = 1e6;
+    auto* scanner = world.net.make_node<SimChannelScanner>(cfg, probe);
+    const int iface =
+        topo::attach_vantage(world.net, world.internet, scanner,
+                             kVantagePrefix);
+    scanner->set_iface(iface);
+    std::vector<std::string> records;
+    scanner->on_response_slotted(
+        [&records](const ProbeResponse& r, sim::SimTime when,
+                   std::uint64_t raw_slot) {
+          records.push_back(std::to_string(when) + "|" +
+                            r.responder.to_string() + "|" +
+                            r.probe_dst.to_string() + "|" +
+                            std::to_string(static_cast<int>(r.kind)) + "|" +
+                            std::to_string(raw_slot));
+        });
+    if (hook) {
+      scanner->set_checkpoint_hook(32, [](const ScanCursor&) {});
+    }
+    scanner->start();
+    world.net.run();
+    // Canonical order — downstream consumers (store, xmap_sim) sort
+    // records before use, so arrival order is not part of the contract.
+    std::sort(records.begin(), records.end());
+    const ScanStats& s = scanner->stats();
+    records.push_back("stats|" + std::to_string(s.sent) + "|" +
+                      std::to_string(s.received) + "|" +
+                      std::to_string(s.validated) + "|" +
+                      std::to_string(s.discarded) + "|" +
+                      std::to_string(s.corrupted) + "|" +
+                      std::to_string(s.duplicates) + "|" +
+                      std::to_string(s.late));
+    return records;
+  };
+  const auto strict = run(/*bulk=*/false, /*hook=*/false);
+  ASSERT_GT(strict.size(), 40u);  // the fault world still yields records
+  EXPECT_EQ(run(/*bulk=*/true, /*hook=*/false), strict);
+  EXPECT_EQ(run(/*bulk=*/true, /*hook=*/true), strict);
 }
 
 TEST(ScannerIntegration, AdaptiveRateBacksOffWhenHitRateCollapses) {
